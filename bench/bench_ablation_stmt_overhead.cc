@@ -1,0 +1,67 @@
+// Ablation: per-SQL-statement overhead. Quantifies why the tuple-based
+// insert (one INSERT per tuple) loses to the table-based insert (one
+// INSERT...SELECT per relation) as subtrees grow — §6 "issuing multiple
+// separate SQL statements incurs overhead".
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+#include "rdb/database.h"
+
+using namespace xupd;
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 20000;
+  std::printf("# Ablation: per-statement overhead (%d rows)\n", n);
+
+  // Path A: one INSERT statement per row.
+  {
+    rdb::Database db;
+    (void)db.Execute("CREATE TABLE t (id INTEGER, payload VARCHAR)");
+    Stopwatch sw;
+    for (int i = 0; i < n; ++i) {
+      Status s = db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                            ", 'payload-" + std::to_string(i) + "')");
+      if (!s.ok()) std::abort();
+    }
+    double per_stmt = sw.ElapsedSeconds();
+    std::printf("%-28s %12.6f sec (%8.2f us/row)\n", "insert-per-statement",
+                per_stmt, 1e6 * per_stmt / n);
+  }
+
+  // Path B: set-oriented INSERT ... SELECT (one statement).
+  {
+    rdb::Database db;
+    (void)db.Execute("CREATE TABLE t (id INTEGER, payload VARCHAR)");
+    (void)db.Execute("CREATE TABLE src (id INTEGER, payload VARCHAR)");
+    rdb::Table* src = db.FindTable("src");
+    for (int i = 0; i < n; ++i) {
+      (void)db.InsertDirect(src,
+                            {rdb::Value::Int(i),
+                             rdb::Value::Str("payload-" + std::to_string(i))});
+    }
+    Stopwatch sw;
+    Status s = db.Execute("INSERT INTO t SELECT id, payload FROM src");
+    if (!s.ok()) std::abort();
+    double set_oriented = sw.ElapsedSeconds();
+    std::printf("%-28s %12.6f sec (%8.2f us/row)\n", "insert-select-en-masse",
+                set_oriented, 1e6 * set_oriented / n);
+  }
+
+  // Path C: the direct bulk API (no SQL at all), as a floor.
+  {
+    rdb::Database db;
+    (void)db.Execute("CREATE TABLE t (id INTEGER, payload VARCHAR)");
+    rdb::Table* t = db.FindTable("t");
+    Stopwatch sw;
+    for (int i = 0; i < n; ++i) {
+      (void)db.InsertDirect(t,
+                            {rdb::Value::Int(i),
+                             rdb::Value::Str("payload-" + std::to_string(i))});
+    }
+    double direct = sw.ElapsedSeconds();
+    std::printf("%-28s %12.6f sec (%8.2f us/row)\n", "direct-bulk-api", direct,
+                1e6 * direct / n);
+  }
+  return 0;
+}

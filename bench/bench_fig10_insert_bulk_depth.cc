@@ -1,0 +1,47 @@
+// Figure 10: insert performance, bulk workload (replicate every root
+// subtree), fixed sf=100 fanout=4, depth 1..6. Series: tuple, table, asr.
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness.h"
+
+using namespace xupd;
+using bench::MeasureOnFreshStores;
+using engine::DeleteStrategy;
+using engine::InsertStrategy;
+
+int main(int argc, char** argv) {
+  int runs = argc > 1 ? std::atoi(argv[1]) : 5;
+  int max_depth = argc > 2 ? std::atoi(argv[2]) : 6;
+  bench::PrintHeader(
+      "Figure 10: insert (subtree copy), bulk workload, sf=100 fanout=4",
+      "depth");
+  const InsertStrategy methods[] = {InsertStrategy::kTuple,
+                                    InsertStrategy::kTable,
+                                    InsertStrategy::kAsr};
+  for (int depth = 1; depth <= max_depth; ++depth) {
+    workload::SyntheticSpec spec;
+    spec.scaling_factor = 100;
+    spec.depth = depth;
+    spec.fanout = 4;
+    auto gen = workload::GenerateFixedSynthetic(spec, 42);
+    if (!gen.ok()) return 1;
+    for (InsertStrategy method : methods) {
+      // Bulk workload: ONE insert operation replicating every root subtree
+      // (the set-oriented strategies batch their statements across all
+      // subtrees, which is what the paper's bulk numbers measure).
+      double t = MeasureOnFreshStores(
+          *gen, DeleteStrategy::kCascade, method,
+          [](engine::RelationalStore* store) {
+            Status s = store->CopySubtreesWhere("n1", "", store->root_id());
+            if (!s.ok()) {
+              std::fprintf(stderr, "copy failed: %s\n", s.ToString().c_str());
+              std::abort();
+            }
+          },
+          {runs});
+      bench::PrintPoint(ToString(method), depth, t);
+    }
+  }
+  return 0;
+}

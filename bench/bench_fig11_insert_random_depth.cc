@@ -1,0 +1,54 @@
+// Figure 11: insert performance, random workload (replicate 10 random
+// subtrees), fixed sf=100 fanout=4, depth 1..6. Expected shape: the tuple
+// method wins while copied subtrees are small, the table method overtakes as
+// depth (hence copied data) grows.
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness.h"
+
+using namespace xupd;
+using bench::MeasureOnFreshStores;
+using engine::DeleteStrategy;
+using engine::InsertStrategy;
+
+int main(int argc, char** argv) {
+  int runs = argc > 1 ? std::atoi(argv[1]) : 5;
+  int max_depth = argc > 2 ? std::atoi(argv[2]) : 6;
+  bench::PrintHeader(
+      "Figure 11: insert (subtree copy), random workload (10 subtrees), "
+      "sf=100 fanout=4",
+      "depth");
+  const InsertStrategy methods[] = {InsertStrategy::kTuple,
+                                    InsertStrategy::kTable,
+                                    InsertStrategy::kAsr};
+  for (int depth = 1; depth <= max_depth; ++depth) {
+    workload::SyntheticSpec spec;
+    spec.scaling_factor = 100;
+    spec.depth = depth;
+    spec.fanout = 4;
+    auto gen = workload::GenerateFixedSynthetic(spec, 42);
+    if (!gen.ok()) return 1;
+    std::vector<int64_t> picked;
+    {
+      auto scratch = bench::FreshStore(*gen, DeleteStrategy::kCascade,
+                                       InsertStrategy::kTable);
+      auto ids = scratch->SelectIds("n1", "");
+      if (!ids.ok()) return 1;
+      picked = bench::PickRandomIds(*ids, 10, 7);
+    }
+    for (InsertStrategy method : methods) {
+      double t = MeasureOnFreshStores(
+          *gen, DeleteStrategy::kCascade, method,
+          [&picked](engine::RelationalStore* store) {
+            for (int64_t id : picked) {
+              Status s = store->CopySubtree("n1", id, store->root_id());
+              if (!s.ok()) std::abort();
+            }
+          },
+          {runs});
+      bench::PrintPoint(ToString(method), depth, t);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 6: delete performance, bulk workload, fixed fanout=1 depth=8,
+// scaling factor 100..800. A bulk delete removes every root subtree (one
+// operation); series: asr, per-stm trigger, per-tuple trigger (cascade is
+// reported too — the paper omits it as ~per-stm).
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace xupd;
+using bench::MeasureOnFreshStores;
+using engine::DeleteStrategy;
+using engine::InsertStrategy;
+
+int main(int argc, char** argv) {
+  int runs = argc > 1 ? std::atoi(argv[1]) : 5;
+  bench::PrintHeader(
+      "Figure 6: delete, bulk workload, fanout=1 depth=8 (time vs sf)", "sf");
+  const DeleteStrategy methods[] = {
+      DeleteStrategy::kAsr, DeleteStrategy::kPerStatementTrigger,
+      DeleteStrategy::kPerTupleTrigger, DeleteStrategy::kCascade};
+  for (int sf : {100, 200, 400, 800}) {
+    workload::SyntheticSpec spec;
+    spec.scaling_factor = sf;
+    spec.depth = 8;
+    spec.fanout = 1;
+    auto gen = workload::GenerateFixedSynthetic(spec, /*seed=*/42);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+      return 1;
+    }
+    for (DeleteStrategy method : methods) {
+      double t = MeasureOnFreshStores(
+          *gen, method, InsertStrategy::kTable,
+          [](engine::RelationalStore* store) {
+            Status s = store->DeleteWhere("n1", "");
+            if (!s.ok()) {
+              std::fprintf(stderr, "delete failed: %s\n", s.ToString().c_str());
+              std::abort();
+            }
+          },
+          {runs});
+      bench::PrintPoint(ToString(method), sf, t);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// §7.2: effect of Access Support Relations on path-expression evaluation.
+// Compares the conventional plan (a chain of parentId joins along the path)
+// against the ASR plan (filtered leaf x ASR x start table — two joins) for
+// path lengths 3..5 and fanouts 1 and 4.
+//
+// Expected shape (§7.2): with fanout 4 the ASR is large (one row per full
+// path) and loses on short paths; with small fanout or long paths it wins.
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness.h"
+
+using namespace xupd;
+
+int main(int argc, char** argv) {
+  int runs = argc > 1 ? std::atoi(argv[1]) : 5;
+  std::printf("# Section 7.2: path-expression evaluation, joins vs ASR\n");
+  std::printf("%-7s %-9s %10s %12s %12s %10s\n", "fanout", "path_len",
+              "asr_rows", "joins_sec", "asr_sec", "asr_wins");
+  for (int fanout : {1, 4}) {
+    workload::SyntheticSpec spec;
+    spec.scaling_factor = 100;
+    spec.depth = 6;
+    spec.fanout = fanout;
+    auto gen = workload::GenerateFixedSynthetic(spec, 42);
+    if (!gen.ok()) return 1;
+    engine::RelationalStore::Options options;
+    options.build_asr = true;
+    auto store_or = engine::RelationalStore::Create(gen->dtd, options);
+    if (!store_or.ok()) return 1;
+    auto store = std::move(store_or).value();
+    if (!store->Load(*gen->doc).ok()) return 1;
+    size_t asr_rows = store->db()->FindTable("asr")->live_count();
+
+    for (int path_len : {3, 4, 5}) {
+      // Path n1 -> n<path_len>; filter on the leaf's integer value column.
+      std::string leaf = "n" + std::to_string(path_len);
+      std::string joins_pred = "l0.v" + std::to_string(path_len) + " < '200000'";
+      std::string asr_pred = "l.v" + std::to_string(path_len) + " < '200000'";
+      double joins_total = 0, asr_total = 0;
+      size_t joins_n = 0, asr_n = 0;
+      for (int r = 0; r < runs; ++r) {
+        Stopwatch sw;
+        auto a = store->PathQueryJoins("n1", leaf, joins_pred);
+        double tj = sw.ElapsedSeconds();
+        if (!a.ok()) {
+          std::fprintf(stderr, "%s\n", a.status().ToString().c_str());
+          return 1;
+        }
+        sw.Restart();
+        auto b = store->PathQueryAsr("n1", leaf, asr_pred);
+        double ta = sw.ElapsedSeconds();
+        if (!b.ok()) {
+          std::fprintf(stderr, "%s\n", b.status().ToString().c_str());
+          return 1;
+        }
+        if (*a != *b) {
+          std::fprintf(stderr, "plan results differ!\n");
+          return 1;
+        }
+        if (r > 0) {
+          joins_total += tj;
+          asr_total += ta;
+          ++joins_n;
+          ++asr_n;
+        }
+      }
+      double joins_avg = joins_total / static_cast<double>(joins_n);
+      double asr_avg = asr_total / static_cast<double>(asr_n);
+      std::printf("%-7d %-9d %10zu %12.6f %12.6f %10s\n", fanout, path_len,
+                  asr_rows, joins_avg, asr_avg,
+                  asr_avg < joins_avg ? "yes" : "no");
+    }
+  }
+  return 0;
+}

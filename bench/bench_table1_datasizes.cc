@@ -1,0 +1,68 @@
+// Table 1: the synthetic-document parameter grid and the resulting data
+// sizes. Prints tuple counts (closed form + measured after shredding) and
+// approximate stored bytes for each experiment family.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace xupd;
+
+namespace {
+
+size_t ApproxBytes(engine::RelationalStore* store) {
+  size_t bytes = 0;
+  for (const auto& name : store->db()->TableNames()) {
+    const rdb::Table* t = store->db()->FindTable(name);
+    for (size_t r = 0; r < t->capacity(); ++r) {
+      if (!t->is_live(r)) continue;
+      for (const rdb::Value& v : t->row(r)) {
+        bytes += v.type() == rdb::ValueType::kString ? v.AsString().size() + 8
+                                                     : 8;
+      }
+    }
+  }
+  return bytes;
+}
+
+void Report(const char* family, const workload::SyntheticSpec& spec) {
+  auto gen = workload::GenerateFixedSynthetic(spec, 42);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "%s\n", gen.status().ToString().c_str());
+    std::abort();
+  }
+  auto store = bench::FreshStore(*gen, engine::DeleteStrategy::kCascade,
+                                 engine::InsertStrategy::kTable);
+  size_t expected = workload::FixedSyntheticTupleCount(spec);
+  std::printf("%-18s sf=%-4d d=%d f=%d  tuples=%-8zu (closed form %-8zu)  "
+              "~%.2f MB\n",
+              family, spec.scaling_factor, spec.depth, spec.fanout,
+              gen->tuple_count, expected,
+              static_cast<double>(ApproxBytes(store.get())) / (1024.0 * 1024.0));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Table 1: synthetic data configurations and data sizes\n");
+  // fixed fanout (f=1): depth 2,4,8 x sf 100..800; max 6400 tuples (0.8MB).
+  for (int d : {2, 4, 8}) {
+    for (int sf : {100, 200, 400, 800}) {
+      Report("fixed-fanout", {sf, d, 1});
+    }
+  }
+  // fixed depth (d=2): fanout 1,2,4,8 x sf 100..800; max 7200 tuples.
+  for (int f : {1, 2, 4, 8}) {
+    for (int sf : {100, 200, 400, 800}) {
+      Report("fixed-depth", {sf, 2, f});
+    }
+  }
+  // fixed sf (=100): depth 2..5 x fanout 2,4,8 — capped as in the paper
+  // (58500 tuples / 7MB max, i.e. excluding blow-up combos).
+  for (int d : {2, 3, 4, 5}) {
+    for (int f : {2, 4, 8}) {
+      if (workload::FixedSyntheticTupleCount({100, d, f}) > 60000) continue;
+      Report("fixed-sf", {100, d, f});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Shared benchmark harness following the paper's protocol (§7): each point
+// is the average of 5 runs with the first run discarded; every run operates
+// on a freshly loaded store (loading is not timed).
+#ifndef XUPD_BENCH_HARNESS_H_
+#define XUPD_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "engine/store.h"
+#include "workload/synthetic.h"
+
+namespace xupd::bench {
+
+struct HarnessOptions {
+  int runs = 5;  ///< total runs; first discarded.
+};
+
+/// Builds a fresh store of the given strategies over `gen` and loads it.
+inline std::unique_ptr<engine::RelationalStore> FreshStore(
+    const workload::GeneratedDoc& gen, engine::DeleteStrategy del,
+    engine::InsertStrategy ins) {
+  engine::RelationalStore::Options options;
+  options.delete_strategy = del;
+  options.insert_strategy = ins;
+  auto store = engine::RelationalStore::Create(gen.dtd, options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store create failed: %s\n",
+                 store.status().ToString().c_str());
+    std::abort();
+  }
+  Status s = store.value()->Load(*gen.doc);
+  if (!s.ok()) {
+    std::fprintf(stderr, "store load failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  return std::move(store).value();
+}
+
+/// Measures `op` on fresh stores: runs+1 executions, first discarded,
+/// returns the average seconds.
+inline double MeasureOnFreshStores(
+    const workload::GeneratedDoc& gen, engine::DeleteStrategy del,
+    engine::InsertStrategy ins,
+    const std::function<void(engine::RelationalStore*)>& op,
+    const HarnessOptions& options = {}) {
+  double total = 0;
+  int counted = 0;
+  for (int r = 0; r < options.runs; ++r) {
+    auto store = FreshStore(gen, del, ins);
+    Stopwatch sw;
+    op(store.get());
+    double t = sw.ElapsedSeconds();
+    if (r > 0) {
+      total += t;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / counted : 0.0;
+}
+
+/// Prints one series point in a gnuplot-friendly layout.
+inline void PrintHeader(const std::string& title, const std::string& x_name) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("%-12s %8s %12s\n", "method", x_name.c_str(), "time_sec");
+}
+
+inline void PrintPoint(const std::string& method, long x, double seconds) {
+  std::printf("%-12s %8ld %12.6f\n", method.c_str(), x, seconds);
+}
+
+/// Selects `n` deterministic "random" subtree ids from the given list.
+inline std::vector<int64_t> PickRandomIds(const std::vector<int64_t>& ids,
+                                          size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> pool = ids;
+  std::vector<int64_t> out;
+  while (out.size() < n && !pool.empty()) {
+    size_t i = rng.Uniform(pool.size());
+    out.push_back(pool[i]);
+    pool.erase(pool.begin() + static_cast<ptrdiff_t>(i));
+  }
+  return out;
+}
+
+}  // namespace xupd::bench
+
+#endif  // XUPD_BENCH_HARNESS_H_

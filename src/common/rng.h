@@ -1,0 +1,52 @@
+// Deterministic pseudo-random generator (SplitMix64) used by the workload
+// generators and benches so that every experiment is reproducible from a seed.
+#ifndef XUPD_COMMON_RNG_H_
+#define XUPD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xupd {
+
+/// SplitMix64. Not cryptographic; chosen for speed and reproducibility across
+/// platforms (unlike std::mt19937 distributions, results are stable).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Random lowercase ASCII string of length n.
+  std::string RandomString(size_t n) {
+    std::string s;
+    s.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      s += static_cast<char>('a' + Uniform(26));
+    }
+    return s;
+  }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xupd
+
+#endif  // XUPD_COMMON_RNG_H_

@@ -1,0 +1,117 @@
+// Status: lightweight error propagation for xupd (Arrow/RocksDB idiom).
+//
+// Library code never throws across API boundaries; fallible functions return
+// Status or Result<T> (see result.h).
+#ifndef XUPD_COMMON_STATUS_H_
+#define XUPD_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xupd {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kParseError = 5,        ///< XML / DTD / XQuery / SQL syntax errors.
+  kConstraintViolation = 6,  ///< Schema or update-semantics violations.
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for a code ("ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to pass by value: the OK state carries no
+/// allocation; error states hold a heap string.
+class Status {
+ public:
+  /// Constructs OK.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace xupd
+
+/// Propagates a non-OK Status from the current function.
+#define XUPD_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::xupd::Status _xupd_status = (expr);         \
+    if (!_xupd_status.ok()) return _xupd_status;  \
+  } while (0)
+
+#define XUPD_CONCAT_IMPL(x, y) x##y
+#define XUPD_CONCAT(x, y) XUPD_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define XUPD_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  XUPD_ASSIGN_OR_RETURN_IMPL(XUPD_CONCAT(_xupd_result_, __LINE__), lhs, rexpr)
+
+#define XUPD_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value();
+
+#endif  // XUPD_COMMON_STATUS_H_

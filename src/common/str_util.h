@@ -1,0 +1,49 @@
+// Small string helpers shared across parsers and formatters.
+#ifndef XUPD_COMMON_STR_UTIL_H_
+#define XUPD_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xupd {
+
+/// Splits `s` on any run of ASCII whitespace; no empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Splits `s` on the single character `sep`; keeps empty tokens.
+std::vector<std::string> SplitChar(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string AsciiToLower(std::string_view s);
+std::string AsciiToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Escapes &, <, >, " and ' for XML text/attribute output.
+std::string XmlEscape(std::string_view s);
+
+/// Quotes a string as a SQL literal: doubles embedded single quotes and wraps
+/// in single quotes.
+std::string SqlQuote(std::string_view s);
+
+/// True if `s` parses entirely as a signed 64-bit integer; stores into *out.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace xupd
+
+#endif  // XUPD_COMMON_STR_UTIL_H_

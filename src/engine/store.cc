@@ -1,0 +1,669 @@
+#include "engine/store.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace xupd::engine {
+
+using asr::AsrManager;
+using rdb::Value;
+using shred::Mapping;
+using shred::ShreddedTuple;
+using shred::TableMapping;
+
+const char* ToString(DeleteStrategy s) {
+  switch (s) {
+    case DeleteStrategy::kPerTupleTrigger:
+      return "per-tuple";
+    case DeleteStrategy::kPerStatementTrigger:
+      return "per-stm";
+    case DeleteStrategy::kCascade:
+      return "cascade";
+    case DeleteStrategy::kAsr:
+      return "asr";
+  }
+  return "?";
+}
+
+const char* ToString(InsertStrategy s) {
+  switch (s) {
+    case InsertStrategy::kTuple:
+      return "tuple";
+    case InsertStrategy::kTable:
+      return "table";
+    case InsertStrategy::kAsr:
+      return "asr";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<RelationalStore>> RelationalStore::Create(
+    const xml::Dtd& dtd, const Options& options) {
+  auto mapping = Mapping::SharedInlining(dtd);
+  if (!mapping.ok()) return mapping.status();
+  std::unique_ptr<RelationalStore> store(new RelationalStore());
+  store->options_ = options;
+  if (options.delete_strategy == DeleteStrategy::kAsr ||
+      options.insert_strategy == InsertStrategy::kAsr) {
+    store->options_.build_asr = true;
+  }
+  store->mapping_ = std::make_unique<Mapping>(std::move(mapping).value());
+  store->shredder_ =
+      std::make_unique<shred::Shredder>(store->mapping_.get(), &store->db_);
+  XUPD_RETURN_IF_ERROR(store->shredder_->CreateSchema());
+  if (store->options_.build_asr) {
+    store->asr_ =
+        std::make_unique<AsrManager>(store->mapping_.get(), &store->db_);
+    XUPD_RETURN_IF_ERROR(store->asr_->CreateSchema());
+  }
+  XUPD_RETURN_IF_ERROR(store->InstallTriggers());
+  return store;
+}
+
+Status RelationalStore::InstallTriggers() {
+  if (options_.delete_strategy != DeleteStrategy::kPerTupleTrigger &&
+      options_.delete_strategy != DeleteStrategy::kPerStatementTrigger) {
+    return Status::OK();
+  }
+  bool per_row = options_.delete_strategy == DeleteStrategy::kPerTupleTrigger;
+  for (const TableMapping& t : mapping_->tables()) {
+    std::vector<const TableMapping*> children = mapping_->ChildTables(t.element);
+    if (children.empty()) continue;
+    std::string body;
+    for (const TableMapping* c : children) {
+      if (per_row) {
+        body += "DELETE FROM " + c->table + " WHERE parentId = OLD.id; ";
+      } else {
+        body += "DELETE FROM " + c->table +
+                " WHERE parentId NOT IN (SELECT id FROM " + t.table + "); ";
+      }
+    }
+    std::string sql = "CREATE TRIGGER trg_" + t.table + " AFTER DELETE ON " +
+                      t.table + " FOR EACH " +
+                      (per_row ? "ROW" : "STATEMENT") + " BEGIN " + body +
+                      "END";
+    XUPD_RETURN_IF_ERROR(db_.Execute(sql));
+  }
+  return Status::OK();
+}
+
+Status RelationalStore::Load(const xml::Document& doc) {
+  if (options_.build_asr) {
+    // Shred once; feed both the tables and the ASR.
+    auto tuples = shredder_->ShredSubtree(*doc.root(), 0);
+    if (!tuples.ok()) return tuples.status();
+    root_id_ = tuples->front().id;
+    for (const ShreddedTuple& t : *tuples) {
+      if (options_.load_via_sql) {
+        XUPD_RETURN_IF_ERROR(db_.Execute(shred::Shredder::InsertSql(t)));
+      } else {
+        rdb::Table* table = db_.FindTable(t.table->table);
+        XUPD_RETURN_IF_ERROR(db_.InsertDirect(table, t.row));
+      }
+    }
+    return asr_->BuildFromTuples(*tuples);
+  }
+  auto root_id = shredder_->LoadDocument(doc, options_.load_via_sql);
+  if (!root_id.ok()) return root_id.status();
+  root_id_ = root_id.value();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Deletes (§6.1)
+
+Status RelationalStore::DeleteWhere(const std::string& element,
+                                    const std::string& predicate) {
+  const TableMapping* tm = mapping_->ForElement(element);
+  if (tm == nullptr) {
+    return Status::InvalidArgument("element <" + element +
+                                   "> is not table-mapped");
+  }
+  return DeleteSubtreesImpl(tm, predicate);
+}
+
+Status RelationalStore::DeleteByIds(const std::string& element,
+                                    const std::vector<int64_t>& ids) {
+  const TableMapping* tm = mapping_->ForElement(element);
+  if (tm == nullptr) {
+    return Status::InvalidArgument("element <" + element +
+                                   "> is not table-mapped");
+  }
+  for (int64_t id : ids) {
+    XUPD_RETURN_IF_ERROR(
+        DeleteSubtreesImpl(tm, "id = " + std::to_string(id)));
+  }
+  return Status::OK();
+}
+
+Status RelationalStore::DeleteSubtreesImpl(const TableMapping* tm,
+                                           const std::string& predicate) {
+  switch (options_.delete_strategy) {
+    case DeleteStrategy::kPerTupleTrigger:
+    case DeleteStrategy::kPerStatementTrigger: {
+      // One statement; triggers cascade inside the engine (6.1.1).
+      std::string sql = "DELETE FROM " + tm->table;
+      if (!predicate.empty()) sql += " WHERE " + predicate;
+      return db_.Execute(sql);
+    }
+    case DeleteStrategy::kCascade:
+      return CascadeDelete(tm, predicate);
+    case DeleteStrategy::kAsr:
+      return AsrDelete(tm, predicate);
+  }
+  return Status::Internal("unknown delete strategy");
+}
+
+Status RelationalStore::CascadeDelete(const TableMapping* tm,
+                                      const std::string& predicate) {
+  // 6.1.2: delete the targets, then sweep orphans level by level, stopping
+  // along a branch as soon as a delete removes no tuples.
+  std::string sql = "DELETE FROM " + tm->table;
+  if (!predicate.empty()) sql += " WHERE " + predicate;
+  uint64_t before = db_.stats().rows_deleted;
+  XUPD_RETURN_IF_ERROR(db_.Execute(sql));
+  if (db_.stats().rows_deleted == before) return Status::OK();
+
+  std::vector<const TableMapping*> frontier{tm};
+  while (!frontier.empty()) {
+    std::vector<const TableMapping*> next;
+    for (const TableMapping* parent : frontier) {
+      for (const TableMapping* child : mapping_->ChildTables(parent->element)) {
+        uint64_t level_before = db_.stats().rows_deleted;
+        XUPD_RETURN_IF_ERROR(
+            db_.Execute("DELETE FROM " + child->table +
+                        " WHERE parentId NOT IN (SELECT id FROM " +
+                        parent->table + ")"));
+        if (db_.stats().rows_deleted > level_before) next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return Status::OK();
+}
+
+Status RelationalStore::AsrDelete(const TableMapping* tm,
+                                  const std::string& predicate) {
+  // 6.1.3: mark ASR rows through the targets, delete descendants by id sets
+  // from the ASR, delete the targets, repair left-completeness, unmark.
+  const std::string id_col = AsrManager::IdColumn(tm);
+  std::string mark = std::string("UPDATE ") + AsrManager::kTableName +
+                     " SET marked = 1 WHERE " + id_col + " IN (SELECT id FROM " +
+                     tm->table;
+  if (!predicate.empty()) mark += " WHERE " + predicate;
+  mark += ")";
+  XUPD_RETURN_IF_ERROR(db_.Execute(mark));
+
+  std::vector<const TableMapping*> region = mapping_->SubtreeTables(tm);
+  for (size_t i = 1; i < region.size(); ++i) {  // strict descendants
+    XUPD_RETURN_IF_ERROR(db_.Execute(
+        "DELETE FROM " + region[i]->table + " WHERE id IN (SELECT " +
+        AsrManager::IdColumn(region[i]) + " FROM " + AsrManager::kTableName +
+        " WHERE marked = 1)"));
+  }
+  std::string del = "DELETE FROM " + tm->table;
+  if (!predicate.empty()) del += " WHERE " + predicate;
+  XUPD_RETURN_IF_ERROR(db_.Execute(del));
+
+  XUPD_RETURN_IF_ERROR(db_.Execute(std::string("DELETE FROM ") +
+                                   AsrManager::kTableName +
+                                   " WHERE marked = 1"));
+
+  // Left-completeness repair: ancestors that lost all their paths get a
+  // fresh row ending at their level.
+  const TableMapping* parent = tm->parent_element.empty()
+                                   ? nullptr
+                                   : mapping_->ForElement(tm->parent_element);
+  if (parent != nullptr) {
+    auto orphans = db_.ExecuteQuery(
+        "SELECT id FROM " + parent->table + " WHERE id NOT IN (SELECT " +
+        AsrManager::IdColumn(parent) + " FROM " + AsrManager::kTableName +
+        " WHERE " + AsrManager::IdColumn(parent) + " IS NOT NULL)");
+    if (!orphans.ok()) return orphans.status();
+    for (const rdb::Row& row : orphans->rows) {
+      int64_t pid = row[0].AsInt();
+      auto chain = AncestorChain(parent, pid);
+      if (!chain.ok()) return chain.status();
+      chain->emplace_back(parent, pid);
+      std::map<const TableMapping*, int64_t> ids(chain->begin(), chain->end());
+      std::string sql = std::string("INSERT INTO ") + AsrManager::kTableName +
+                        " VALUES (";
+      bool first = true;
+      for (const TableMapping& t : mapping_->tables()) {
+        if (!first) sql += ", ";
+        auto it = ids.find(&t);
+        sql += it == ids.end() ? "NULL" : std::to_string(it->second);
+        first = false;
+      }
+      sql += ", 0)";
+      XUPD_RETURN_IF_ERROR(db_.Execute(sql));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<const TableMapping*, int64_t>>>
+RelationalStore::AncestorChain(const TableMapping* tm, int64_t id) {
+  std::vector<std::pair<const TableMapping*, int64_t>> chain;
+  const TableMapping* cur = tm;
+  int64_t cur_id = id;
+  while (!cur->parent_element.empty()) {
+    auto parent_id = db_.ExecuteQuery("SELECT parentId FROM " + cur->table +
+                                      " WHERE id = " + std::to_string(cur_id));
+    if (!parent_id.ok()) return parent_id.status();
+    if (parent_id->rows.empty() || parent_id->rows[0][0].is_null()) break;
+    const TableMapping* parent = mapping_->ForElement(cur->parent_element);
+    cur_id = parent_id->rows[0][0].AsInt();
+    chain.insert(chain.begin(), {parent, cur_id});
+    cur = parent;
+  }
+  return chain;
+}
+
+// ---------------------------------------------------------------------------
+// Inserts (§6.2)
+
+Status RelationalStore::CopySubtree(const std::string& element, int64_t src_id,
+                                    int64_t dest_parent_id) {
+  return CopySubtreesWhere(element, "id = " + std::to_string(src_id),
+                           dest_parent_id);
+}
+
+Status RelationalStore::CopySubtreesWhere(const std::string& element,
+                                          const std::string& predicate,
+                                          int64_t dest_parent_id) {
+  const TableMapping* tm = mapping_->ForElement(element);
+  if (tm == nullptr) {
+    return Status::InvalidArgument("element <" + element +
+                                   "> is not table-mapped");
+  }
+  switch (options_.insert_strategy) {
+    case InsertStrategy::kTuple:
+      return TupleInsert(tm, predicate, dest_parent_id);
+    case InsertStrategy::kTable:
+      return TableInsert(tm, predicate, dest_parent_id);
+    case InsertStrategy::kAsr:
+      return AsrInsert(tm, predicate, dest_parent_id);
+  }
+  return Status::Internal("unknown insert strategy");
+}
+
+Status RelationalStore::TupleInsert(const TableMapping* tm,
+                                    const std::string& predicate,
+                                    int64_t dest_parent_id) {
+  // 6.2.1: read the source subtrees through the Sorted Outer Union, remap
+  // ids tuple by tuple (old->new kept in memory), one INSERT per tuple.
+  shred::OuterUnionQuery query =
+      shred::BuildOuterUnion(*mapping_, tm, predicate);
+  auto result = db_.ExecuteQuery(query.sql);
+  if (!result.ok()) return result.status();
+  std::map<int64_t, int64_t> id_map;  // old id -> new id
+  for (const rdb::Row& row : result->rows) {
+    // Deepest non-null segment owns the row.
+    const shred::OuterUnionLayout::Segment* seg = nullptr;
+    for (const auto& s : query.layout.segments) {
+      if (!row[static_cast<size_t>(s.id_col)].is_null()) seg = &s;
+    }
+    if (seg == nullptr) continue;
+    int64_t old_id = row[static_cast<size_t>(seg->id_col)].AsInt();
+    int64_t new_id = db_.AllocateId();
+    id_map[old_id] = new_id;
+    int64_t parent;
+    if (seg->parent_id_col < 0) {
+      parent = dest_parent_id;
+    } else {
+      int64_t old_parent = row[static_cast<size_t>(seg->parent_id_col)].AsInt();
+      auto it = id_map.find(old_parent);
+      if (it == id_map.end()) {
+        return Status::Internal("outer-union stream out of order");
+      }
+      parent = it->second;
+    }
+    std::string sql = "INSERT INTO " + seg->table->table + " VALUES (" +
+                      std::to_string(new_id) + ", " + std::to_string(parent);
+    for (size_t f = 0; f < seg->field_count; ++f) {
+      sql += ", " +
+             row[static_cast<size_t>(seg->first_field_col) + f].ToSqlLiteral();
+    }
+    sql += ")";
+    XUPD_RETURN_IF_ERROR(db_.Execute(sql));
+  }
+  return Status::OK();
+}
+
+Status RelationalStore::TableInsert(const TableMapping* tm,
+                                    const std::string& predicate,
+                                    int64_t dest_parent_id) {
+  // 6.2.2: stage the source subtrees in temp tables, remap all ids with one
+  // offset (nextId - minId), and insert en masse per relation.
+  std::vector<const TableMapping*> region = mapping_->SubtreeTables(tm);
+  auto tmp_name = [](const TableMapping* t) { return "tmp_" + t->table; };
+
+  for (size_t i = 0; i < region.size(); ++i) {
+    const TableMapping* t = region[i];
+    std::string create = "CREATE TABLE " + tmp_name(t) +
+                         " (id INTEGER, parentId INTEGER";
+    for (const auto& f : t->fields) create += ", " + f.column + " VARCHAR";
+    create += ")";
+    XUPD_RETURN_IF_ERROR(db_.Execute(create));
+    if (i == 0) {
+      std::string sql =
+          "INSERT INTO " + tmp_name(t) + " SELECT * FROM " + t->table;
+      if (!predicate.empty()) sql += " WHERE " + predicate;
+      XUPD_RETURN_IF_ERROR(db_.Execute(sql));
+    } else {
+      const TableMapping* parent = mapping_->ForElement(t->parent_element);
+      XUPD_RETURN_IF_ERROR(db_.Execute(
+          "INSERT INTO " + tmp_name(t) + " SELECT * FROM " + t->table +
+          " WHERE parentId IN (SELECT id FROM " + tmp_name(parent) + ")"));
+    }
+  }
+
+  // min/max over all staged ids (one statement per staging table).
+  int64_t min_id = 0, max_id = -1;
+  for (const TableMapping* t : region) {
+    auto mm = db_.ExecuteQuery("SELECT MIN(id), MAX(id) FROM " + tmp_name(t));
+    if (!mm.ok()) return mm.status();
+    const rdb::Row& row = mm->rows[0];
+    if (row[0].is_null()) continue;
+    if (max_id < min_id) {
+      min_id = row[0].AsInt();
+      max_id = row[1].AsInt();
+    } else {
+      min_id = std::min(min_id, row[0].AsInt());
+      max_id = std::max(max_id, row[1].AsInt());
+    }
+  }
+  if (max_id < min_id) {
+    return Status::NotFound("source subtree is empty");
+  }
+  int64_t offset = db_.next_id() - min_id;
+  db_.AllocateIdBlock(max_id - min_id + 1);
+
+  for (const TableMapping* t : region) {
+    std::string cols = "id + " + std::to_string(offset) + ", parentId + " +
+                       std::to_string(offset);
+    for (const auto& f : t->fields) cols += ", " + f.column;
+    XUPD_RETURN_IF_ERROR(db_.Execute("INSERT INTO " + t->table + " SELECT " +
+                                     cols + " FROM " + tmp_name(t)));
+  }
+  // The copied region roots point at their new parent.
+  XUPD_RETURN_IF_ERROR(db_.Execute(
+      "UPDATE " + tm->table +
+      " SET parentId = " + std::to_string(dest_parent_id) +
+      " WHERE id IN (SELECT id + " + std::to_string(offset) + " FROM " +
+      tmp_name(tm) + ")"));
+  for (const TableMapping* t : region) {
+    XUPD_RETURN_IF_ERROR(db_.Execute("DROP TABLE " + tmp_name(t)));
+  }
+  return Status::OK();
+}
+
+Status RelationalStore::AsrInsert(const TableMapping* tm,
+                                  const std::string& predicate,
+                                  int64_t dest_parent_id) {
+  // 6.2.3: mark ASR paths through the sources, compute the offset from the
+  // ASR (no temp tables, no outer union), replicate per relation, add the
+  // new ASR paths, unmark.
+  const std::string asr = AsrManager::kTableName;
+  std::string mark = "UPDATE " + asr + " SET marked = 1 WHERE " +
+                     AsrManager::IdColumn(tm) + " IN (SELECT id FROM " +
+                     tm->table;
+  if (!predicate.empty()) mark += " WHERE " + predicate;
+  mark += ")";
+  XUPD_RETURN_IF_ERROR(db_.Execute(mark));
+
+  std::vector<const TableMapping*> region = mapping_->SubtreeTables(tm);
+  // One combined MIN/MAX statement over all region columns (a single ASR
+  // scan computes the remapping offset, §6.2.3).
+  std::string mm_sql = "SELECT ";
+  for (size_t i = 0; i < region.size(); ++i) {
+    if (i > 0) mm_sql += ", ";
+    mm_sql += "MIN(" + AsrManager::IdColumn(region[i]) + "), MAX(" +
+              AsrManager::IdColumn(region[i]) + ")";
+  }
+  mm_sql += " FROM " + asr + " WHERE marked = 1";
+  auto mm = db_.ExecuteQuery(mm_sql);
+  if (!mm.ok()) return mm.status();
+  int64_t min_id = 0, max_id = -1;
+  for (size_t i = 0; i < region.size(); ++i) {
+    const rdb::Value& lo = mm->rows[0][2 * i];
+    const rdb::Value& hi = mm->rows[0][2 * i + 1];
+    if (lo.is_null()) continue;
+    if (max_id < min_id) {
+      min_id = lo.AsInt();
+      max_id = hi.AsInt();
+    } else {
+      min_id = std::min(min_id, lo.AsInt());
+      max_id = std::max(max_id, hi.AsInt());
+    }
+  }
+  if (max_id < min_id) {
+    XUPD_RETURN_IF_ERROR(
+        db_.Execute("UPDATE " + asr + " SET marked = 0 WHERE marked = 1"));
+    return Status::NotFound("source subtree not present in ASR");
+  }
+  int64_t offset = db_.next_id() - min_id;
+  db_.AllocateIdBlock(max_id - min_id + 1);
+
+  for (const TableMapping* t : region) {
+    std::string cols = "id + " + std::to_string(offset) + ", parentId + " +
+                       std::to_string(offset);
+    for (const auto& f : t->fields) cols += ", " + f.column;
+    XUPD_RETURN_IF_ERROR(db_.Execute(
+        "INSERT INTO " + t->table + " SELECT " + cols + " FROM " + t->table +
+        " WHERE id IN (SELECT " + AsrManager::IdColumn(t) + " FROM " + asr +
+        " WHERE marked = 1)"));
+  }
+  XUPD_RETURN_IF_ERROR(db_.Execute(
+      "UPDATE " + tm->table +
+      " SET parentId = " + std::to_string(dest_parent_id) +
+      " WHERE id IN (SELECT " + AsrManager::IdColumn(tm) + " + " +
+      std::to_string(offset) + " FROM " + asr + " WHERE marked = 1)"));
+
+  // New ASR paths: destination ancestor chain above the copy, offset ids for
+  // the copied region, NULL elsewhere.
+  const TableMapping* dest_table = nullptr;
+  std::vector<std::pair<const TableMapping*, int64_t>> dest_chain;
+  if (dest_parent_id != 0) {
+    // Locate the destination parent's table by probing candidates.
+    for (const TableMapping& t : mapping_->tables()) {
+      auto r = db_.ExecuteQuery("SELECT id FROM " + t.table + " WHERE id = " +
+                                std::to_string(dest_parent_id));
+      if (r.ok() && !r->rows.empty()) {
+        dest_table = &t;
+        break;
+      }
+    }
+    if (dest_table == nullptr) {
+      return Status::NotFound("destination parent tuple not found");
+    }
+    auto chain = AncestorChain(dest_table, dest_parent_id);
+    if (!chain.ok()) return chain.status();
+    dest_chain = std::move(chain).value();
+    dest_chain.emplace_back(dest_table, dest_parent_id);
+  }
+  std::map<const TableMapping*, int64_t> dest_ids(dest_chain.begin(),
+                                                  dest_chain.end());
+  std::set<const TableMapping*> in_region(region.begin(), region.end());
+  std::string sql = "INSERT INTO " + asr + " SELECT ";
+  bool first = true;
+  for (const TableMapping& t : mapping_->tables()) {
+    if (!first) sql += ", ";
+    first = false;
+    if (in_region.count(&t) > 0) {
+      sql += AsrManager::IdColumn(&t) + " + " + std::to_string(offset);
+    } else if (dest_ids.count(&t) > 0) {
+      sql += std::to_string(dest_ids.at(&t));
+    } else {
+      sql += "NULL";
+    }
+  }
+  sql += ", 0 FROM " + asr + " WHERE marked = 1";
+  XUPD_RETURN_IF_ERROR(db_.Execute(sql));
+  return db_.Execute("UPDATE " + asr + " SET marked = 0 WHERE marked = 1");
+}
+
+Status RelationalStore::InsertConstructed(const xml::Element& content,
+                                          int64_t dest_parent_id) {
+  auto tuples = shredder_->ShredSubtree(content, dest_parent_id);
+  if (!tuples.ok()) return tuples.status();
+  for (const ShreddedTuple& t : *tuples) {
+    XUPD_RETURN_IF_ERROR(db_.Execute(shred::Shredder::InsertSql(t)));
+  }
+  if (options_.build_asr) {
+    // Maintain the ASR for the constructed content.
+    const TableMapping* tm = tuples->front().table;
+    std::map<const TableMapping*, int64_t> dest_ids;
+    if (dest_parent_id != 0 && !tm->parent_element.empty()) {
+      const TableMapping* parent = mapping_->ForElement(tm->parent_element);
+      auto chain = AncestorChain(parent, dest_parent_id);
+      if (!chain.ok()) return chain.status();
+      for (auto& [t, id] : *chain) dest_ids[t] = id;
+      dest_ids[parent] = dest_parent_id;
+    }
+    // Build adjacency and emit leaf-complete rows via SQL inserts.
+    std::map<int64_t, std::vector<const ShreddedTuple*>> children;
+    for (const ShreddedTuple& t : *tuples) {
+      if (t.parent_id != 0 && t.id != tuples->front().id) {
+        children[t.parent_id].push_back(&t);
+      }
+    }
+    std::map<const TableMapping*, int64_t> current = dest_ids;
+    std::function<Status(const ShreddedTuple*)> walk =
+        [&](const ShreddedTuple* node) -> Status {
+      current[node->table] = node->id;
+      auto it = children.find(node->id);
+      if (it == children.end() || it->second.empty()) {
+        std::string sql = std::string("INSERT INTO ") + AsrManager::kTableName +
+                          " VALUES (";
+        bool first = true;
+        for (const TableMapping& t : mapping_->tables()) {
+          if (!first) sql += ", ";
+          first = false;
+          auto found = current.find(&t);
+          sql += found == current.end() ? "NULL"
+                                        : std::to_string(found->second);
+        }
+        sql += ", 0)";
+        XUPD_RETURN_IF_ERROR(db_.Execute(sql));
+      } else {
+        for (const ShreddedTuple* c : it->second) {
+          XUPD_RETURN_IF_ERROR(walk(c));
+        }
+      }
+      current.erase(node->table);
+      return Status::OK();
+    };
+    XUPD_RETURN_IF_ERROR(walk(&tuples->front()));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+
+Result<std::vector<int64_t>> RelationalStore::SelectIds(
+    const std::string& element, const std::string& predicate) {
+  const TableMapping* tm = mapping_->ForElement(element);
+  if (tm == nullptr) {
+    return Status::InvalidArgument("element <" + element +
+                                   "> is not table-mapped");
+  }
+  std::string sql = "SELECT id FROM " + tm->table;
+  if (!predicate.empty()) sql += " WHERE " + predicate;
+  sql += " ORDER BY id";
+  auto result = db_.ExecuteQuery(sql);
+  if (!result.ok()) return result.status();
+  std::vector<int64_t> ids;
+  ids.reserve(result->rows.size());
+  for (const rdb::Row& row : result->rows) ids.push_back(row[0].AsInt());
+  return ids;
+}
+
+Result<std::vector<int64_t>> RelationalStore::PathQueryJoins(
+    const std::string& start_element, const std::string& leaf_element,
+    const std::string& leaf_predicate) {
+  const TableMapping* start = mapping_->ForElement(start_element);
+  const TableMapping* leaf = mapping_->ForElement(leaf_element);
+  if (start == nullptr || leaf == nullptr) {
+    return Status::InvalidArgument("elements are not table-mapped");
+  }
+  std::vector<const TableMapping*> path = mapping_->PathFromRoot(leaf);
+  auto it = std::find(path.begin(), path.end(), start);
+  if (it == path.end()) {
+    return Status::InvalidArgument("'" + start_element +
+                                   "' is not an ancestor of '" + leaf_element +
+                                   "'");
+  }
+  path.erase(path.begin(), it);  // start .. leaf
+  // FROM leaf l0, parent l1, ... WHERE l0.<pred> AND l0.parentId = l1.id ...
+  std::string sql = "SELECT ";
+  size_t n = path.size();
+  sql += "l" + std::to_string(n - 1) + ".id FROM ";
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) sql += ", ";
+    // l0 = leaf ... l(n-1) = start
+    sql += path[n - 1 - i]->table + " l" + std::to_string(i);
+  }
+  sql += " WHERE " + leaf_predicate;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    sql += " AND l" + std::to_string(i) + ".parentId = l" +
+           std::to_string(i + 1) + ".id";
+  }
+  auto result = db_.ExecuteQuery(sql);
+  if (!result.ok()) return result.status();
+  std::vector<int64_t> ids;
+  for (const rdb::Row& row : result->rows) ids.push_back(row[0].AsInt());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+Result<std::vector<int64_t>> RelationalStore::PathQueryAsr(
+    const std::string& start_element, const std::string& leaf_element,
+    const std::string& leaf_predicate) {
+  if (!options_.build_asr) {
+    return Status::InvalidArgument("store has no ASR");
+  }
+  const TableMapping* start = mapping_->ForElement(start_element);
+  const TableMapping* leaf = mapping_->ForElement(leaf_element);
+  if (start == nullptr || leaf == nullptr) {
+    return Status::InvalidArgument("elements are not table-mapped");
+  }
+  // Two joins regardless of path length (§5.3): leaf (filtered) x ASR x start.
+  std::string sql = "SELECT s.id FROM " + leaf->table + " l, " +
+                    AsrManager::kTableName + " a, " + start->table +
+                    " s WHERE " + leaf_predicate + " AND a." +
+                    AsrManager::IdColumn(leaf) + " = l.id AND s.id = a." +
+                    AsrManager::IdColumn(start);
+  auto result = db_.ExecuteQuery(sql);
+  if (!result.ok()) return result.status();
+  std::vector<int64_t> ids;
+  for (const rdb::Row& row : result->rows) ids.push_back(row[0].AsInt());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+Result<rdb::ResultSet> RelationalStore::OuterUnion(
+    const std::string& element, const std::string& root_where) {
+  const TableMapping* tm = mapping_->ForElement(element);
+  if (tm == nullptr) {
+    return Status::InvalidArgument("element <" + element +
+                                   "> is not table-mapped");
+  }
+  shred::OuterUnionQuery query =
+      shred::BuildOuterUnion(*mapping_, tm, root_where);
+  return db_.ExecuteQuery(query.sql);
+}
+
+Result<std::unique_ptr<xml::Document>> RelationalStore::Reconstruct() {
+  return shred::ReconstructDocument(*mapping_, &db_);
+}
+
+}  // namespace xupd::engine

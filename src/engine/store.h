@@ -1,0 +1,159 @@
+// RelationalStore: an XML repository over the relational engine — the
+// system under evaluation in §6/§7. Wires together the Shared Inlining
+// mapping, the shredder, the Sorted Outer Union, ASRs, and the paper's
+// delete/insert translation strategies.
+#ifndef XUPD_ENGINE_STORE_H_
+#define XUPD_ENGINE_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asr/asr.h"
+#include "common/result.h"
+#include "rdb/database.h"
+#include "shred/mapping.h"
+#include "shred/outer_union.h"
+#include "shred/shredder.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+
+namespace xupd::engine {
+
+/// §6.1 delete translation strategies.
+enum class DeleteStrategy {
+  kPerTupleTrigger,      ///< AFTER DELETE FOR EACH ROW triggers (6.1.1).
+  kPerStatementTrigger,  ///< AFTER DELETE FOR EACH STATEMENT triggers (6.1.1).
+  kCascade,              ///< application-level orphan sweeps (6.1.2).
+  kAsr,                  ///< ASR marking scheme (6.1.3).
+};
+
+/// §6.2 insert (subtree copy) translation strategies.
+enum class InsertStrategy {
+  kTuple,  ///< outer-union read + one INSERT per tuple (6.2.1).
+  kTable,  ///< temp tables + min/max id-offset remap en masse (6.2.2).
+  kAsr,    ///< ASR marking + offset remap, no outer union (6.2.3).
+};
+
+const char* ToString(DeleteStrategy s);
+const char* ToString(InsertStrategy s);
+
+class RelationalStore {
+ public:
+  struct Options {
+    DeleteStrategy delete_strategy = DeleteStrategy::kPerTupleTrigger;
+    InsertStrategy insert_strategy = InsertStrategy::kTable;
+    /// Build and maintain the ASR (implied by the ASR strategies).
+    bool build_asr = false;
+    /// Load documents through INSERT statements instead of the bulk API.
+    bool load_via_sql = false;
+  };
+
+  /// Creates the store for a DTD: derives the mapping, creates the schema,
+  /// and installs the triggers the delete strategy requires.
+  static Result<std::unique_ptr<RelationalStore>> Create(const xml::Dtd& dtd,
+                                                         const Options& options);
+
+  /// Shreds and loads a document (must match the DTD root).
+  Status Load(const xml::Document& doc);
+
+  // --- §6.1: deletes -------------------------------------------------------
+
+  /// Deletes every subtree of `element` whose root tuple satisfies the SQL
+  /// predicate (empty = all), using the configured strategy.
+  Status DeleteWhere(const std::string& element, const std::string& predicate);
+
+  /// Random-workload flavor: one delete operation per id (the paper issues
+  /// one SQL statement per deleted subtree, §7.3).
+  Status DeleteByIds(const std::string& element,
+                     const std::vector<int64_t>& ids);
+
+  // --- §6.2: inserts -------------------------------------------------------
+
+  /// Copies the subtree of `element` rooted at tuple `src_id` under the
+  /// tuple `dest_parent_id` (copy semantics; fresh ids), using the
+  /// configured strategy.
+  Status CopySubtree(const std::string& element, int64_t src_id,
+                     int64_t dest_parent_id);
+
+  /// Bulk flavor: copies every subtree of `element` whose root tuple
+  /// satisfies the SQL predicate (empty = all) in ONE strategy pass — the
+  /// paper's bulk insert workload is a single operation over all subtrees,
+  /// which is what lets the table method batch its statements (§7.4).
+  Status CopySubtreesWhere(const std::string& element,
+                           const std::string& predicate,
+                           int64_t dest_parent_id);
+
+  /// Inserts newly constructed content (an element subtree that maps to a
+  /// table) under `dest_parent_id`. Issues one INSERT per shredded tuple.
+  Status InsertConstructed(const xml::Element& content, int64_t dest_parent_id);
+
+  // --- queries -------------------------------------------------------------
+
+  /// ids of `element` tuples matching the predicate (empty = all).
+  Result<std::vector<int64_t>> SelectIds(const std::string& element,
+                                         const std::string& predicate);
+
+  /// §7.2 path-expression evaluation, conventional plan: chain of
+  /// parentId/id joins from the (filtered) leaf up to `start_element`.
+  Result<std::vector<int64_t>> PathQueryJoins(const std::string& start_element,
+                                              const std::string& leaf_element,
+                                              const std::string& leaf_predicate);
+
+  /// §7.2 path-expression evaluation through the ASR: filter leaf, join ASR,
+  /// join start table (two joins regardless of path length).
+  Result<std::vector<int64_t>> PathQueryAsr(const std::string& start_element,
+                                            const std::string& leaf_element,
+                                            const std::string& leaf_predicate);
+
+  /// Sorted Outer Union stream for the region rooted at `element` (§5.2).
+  Result<rdb::ResultSet> OuterUnion(const std::string& element,
+                                    const std::string& root_where);
+
+  /// Reconstructs the whole stored document.
+  Result<std::unique_ptr<xml::Document>> Reconstruct();
+
+  /// Executes an XQuery update statement against the store (translated to
+  /// SQL; see engine/translator.cc for the supported subset).
+  Status ExecuteXQueryUpdate(std::string_view query);
+
+  // --- accessors -----------------------------------------------------------
+
+  rdb::Database* db() { return &db_; }
+  const shred::Mapping& mapping() const { return *mapping_; }
+  const Options& options() const { return options_; }
+  int64_t root_id() const { return root_id_; }
+  const rdb::Stats& stats() const { return db_.stats(); }
+  shred::Shredder* shredder() { return shredder_.get(); }
+
+ private:
+  RelationalStore() = default;
+
+  Status InstallTriggers();
+  Status DeleteSubtreesImpl(const shred::TableMapping* tm,
+                            const std::string& predicate);
+  Status CascadeDelete(const shred::TableMapping* tm,
+                       const std::string& predicate);
+  Status AsrDelete(const shred::TableMapping* tm, const std::string& predicate);
+  Status TupleInsert(const shred::TableMapping* tm,
+                     const std::string& predicate, int64_t dest_parent_id);
+  Status TableInsert(const shred::TableMapping* tm,
+                     const std::string& predicate, int64_t dest_parent_id);
+  Status AsrInsert(const shred::TableMapping* tm, const std::string& predicate,
+                   int64_t dest_parent_id);
+  /// (table, id) chain from the mapping root down to `id`'s parent — used to
+  /// rebuild ASR rows. Walks parentId pointers with point queries.
+  Result<std::vector<std::pair<const shred::TableMapping*, int64_t>>>
+  AncestorChain(const shred::TableMapping* tm, int64_t id);
+
+  Options options_;
+  std::unique_ptr<shred::Mapping> mapping_;
+  rdb::Database db_;
+  std::unique_ptr<shred::Shredder> shredder_;
+  std::unique_ptr<asr::AsrManager> asr_;
+  int64_t root_id_ = 0;
+};
+
+}  // namespace xupd::engine
+
+#endif  // XUPD_ENGINE_STORE_H_

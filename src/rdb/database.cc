@@ -1,0 +1,96 @@
+#include "rdb/database.h"
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "rdb/sql_executor.h"
+#include "rdb/sql_parser.h"
+
+namespace xupd::rdb {
+
+namespace {
+
+// Busy-wait so the simulated latency shows up in wall-clock measurements.
+void SpinFor(double us) {
+  if (us <= 0) return;
+  Stopwatch sw;
+  while (sw.ElapsedSeconds() * 1e6 < us) {
+  }
+}
+
+}  // namespace
+
+Status Database::Execute(std::string_view sql_text) {
+  ++stats_.statements;
+  SpinFor(statement_latency_us_);
+  auto stmt = sql::ParseSql(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  Executor exec(this);
+  auto result = exec.Run(stmt.value());
+  if (!result.ok()) return result.status();
+  return Status::OK();
+}
+
+Result<ResultSet> Database::ExecuteQuery(std::string_view sql_text) {
+  ++stats_.statements;
+  SpinFor(statement_latency_us_);
+  auto stmt = sql::ParseSql(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  Executor exec(this);
+  return exec.Run(stmt.value());
+}
+
+Result<Table*> Database::CreateTableDirect(TableSchema schema) {
+  std::string key = AsciiToLower(schema.name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + schema.name() + "' already exists");
+  }
+  auto table = std::make_unique<Table>(std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return raw;
+}
+
+Status Database::InsertDirect(Table* table, Row row) {
+  auto rowid = table->Insert(std::move(row));
+  if (!rowid.ok()) return rowid.status();
+  ++stats_.rows_inserted;
+  return Status::OK();
+}
+
+Table* Database::FindTable(std::string_view name) {
+  auto it = tables_.find(AsciiToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::FindTable(std::string_view name) const {
+  auto it = tables_.find(AsciiToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) {
+    out.push_back(table->schema().name());
+  }
+  return out;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string out = Join(columns, " | ") + "\n";
+  size_t shown = 0;
+  for (const Row& row : rows) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows.size()) + " rows)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xupd::rdb

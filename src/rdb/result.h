@@ -1,0 +1,28 @@
+// Materialized query results.
+#ifndef XUPD_RDB_RESULT_H_
+#define XUPD_RDB_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "rdb/schema.h"
+
+namespace xupd::rdb {
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  int ColumnIndex(std::string_view name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (EqualsIgnoreCase(columns[i], name)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_RESULT_H_

@@ -1,0 +1,49 @@
+// Table schemas. SQL identifiers are case-insensitive; lookups normalize.
+#ifndef XUPD_RDB_SCHEMA_H_
+#define XUPD_RDB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "rdb/value.h"
+
+namespace xupd::rdb {
+
+enum class ColumnType { kInteger, kVarchar };
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kVarchar;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t column_count() const { return columns_.size(); }
+
+  /// Case-insensitive column lookup; -1 if absent.
+  int ColumnIndex(std::string_view column) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (EqualsIgnoreCase(columns_[i].name, column)) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+using Row = std::vector<Value>;
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_SCHEMA_H_

@@ -1,0 +1,171 @@
+// AST for the SQL dialect. The dialect covers exactly what the paper's
+// translation layer emits (§5.2 Fig. 5, §6): CREATE TABLE/INDEX/TRIGGER,
+// INSERT (VALUES and SELECT), DELETE, UPDATE, SELECT with multi-way joins,
+// IN/NOT IN subqueries, scalar aggregates, WITH CTEs, UNION ALL, ORDER BY.
+#ifndef XUPD_RDB_SQL_AST_H_
+#define XUPD_RDB_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdb/schema.h"
+#include "rdb/value.h"
+
+namespace xupd::rdb::sql {
+
+struct SelectStmt;
+
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kColumn,      ///< [table.]column
+    kOldColumn,   ///< OLD.column (trigger bodies)
+    kUnary,       ///< NOT x, -x
+    kBinary,      ///< comparisons, AND/OR, arithmetic
+    kIsNull,      ///< x IS [NOT] NULL
+    kInList,      ///< x [NOT] IN (v1, v2, ...)
+    kInSubquery,  ///< x [NOT] IN (SELECT ...)
+    kAggregate,   ///< MIN/MAX/COUNT/SUM(column | *)
+  };
+  enum class Op {
+    kNone,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kNot,
+    kNeg,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+  };
+  enum class Agg { kMin, kMax, kCount, kSum };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string table;   ///< kColumn qualifier (may be empty).
+  std::string column;  ///< kColumn / kOldColumn / kAggregate argument.
+  Op op = Op::kNone;
+  std::vector<Expr> children;  ///< kUnary (1), kBinary (2), kIsNull (1),
+                               ///< kInList/kInSubquery (operand at [0]).
+  std::vector<Expr> in_list;   ///< kInList values.
+  std::shared_ptr<SelectStmt> subquery;  ///< kInSubquery (shared: Expr copies).
+  bool negated = false;        ///< NOT IN / IS NOT NULL.
+  Agg agg = Agg::kCount;
+  bool count_star = false;
+};
+
+struct SelectItem {
+  bool star = false;
+  Expr expr;
+  std::string alias;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< defaults to table name.
+};
+
+struct OrderItem {
+  std::string column;  ///< output column name or source column.
+  bool desc = false;
+};
+
+/// One SELECT core (no set operations).
+struct SelectCore {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::optional<Expr> where;
+};
+
+/// WITH ctes, core UNION ALL core ... ORDER BY ...
+struct SelectStmt {
+  struct Cte {
+    std::string name;
+    std::vector<std::string> columns;  ///< declared column names.
+    std::shared_ptr<SelectStmt> query;
+  };
+  std::vector<Cte> ctes;
+  std::vector<SelectCore> cores;
+  std::vector<OrderItem> order_by;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+};
+
+struct CreateIndexStmt {
+  std::string name;
+  std::string table;
+  std::string column;
+};
+
+struct Statement;
+
+enum class TriggerGranularity { kRow, kStatement };
+
+struct CreateTriggerStmt {
+  std::string name;
+  std::string table;  ///< AFTER DELETE ON table.
+  TriggerGranularity granularity = TriggerGranularity::kRow;
+  std::vector<std::shared_ptr<Statement>> body;
+};
+
+struct DropStmt {
+  enum class What { kTable, kIndex, kTrigger };
+  What what = What::kTable;
+  std::string name;
+  std::string table;  ///< DROP INDEX name ON table.
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;        ///< empty = all, in order.
+  std::vector<std::vector<Expr>> rows;     ///< VALUES rows.
+  std::shared_ptr<SelectStmt> select;      ///< INSERT ... SELECT.
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::optional<Expr> where;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, Expr>> sets;
+  std::optional<Expr> where;
+};
+
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateIndex,
+    kCreateTrigger,
+    kDrop,
+    kInsert,
+    kDelete,
+    kUpdate,
+  };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;
+  CreateTableStmt create_table;
+  CreateIndexStmt create_index;
+  CreateTriggerStmt create_trigger;
+  DropStmt drop;
+  InsertStmt insert;
+  DeleteStmt del;
+  UpdateStmt update;
+};
+
+}  // namespace xupd::rdb::sql
+
+#endif  // XUPD_RDB_SQL_AST_H_

@@ -1,0 +1,102 @@
+// SQL execution engine. One Executor instance runs one top-level statement
+// (plus any trigger cascade it sets off).
+//
+// Join strategy: FROM tables bind left to right; each new table is joined by
+// hash-index lookup when an equi-join conjunct with an indexed column is
+// available, else by filtered scan. IN (SELECT ...) subqueries are evaluated
+// once per statement and memoized as hash sets.
+#ifndef XUPD_RDB_SQL_EXECUTOR_H_
+#define XUPD_RDB_SQL_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "rdb/database.h"
+#include "rdb/result.h"
+#include "rdb/sql_ast.h"
+
+namespace xupd::rdb {
+
+class Executor {
+ public:
+  explicit Executor(Database* db) : db_(db) {}
+
+  /// Executes any statement; SELECTs return their ResultSet, DML returns an
+  /// empty set.
+  Result<ResultSet> Run(const sql::Statement& stmt);
+
+ private:
+  struct Relation {
+    std::string alias;
+    const Table* table = nullptr;        // catalog table
+    const ResultSet* mat = nullptr;      // materialized CTE
+    size_t NumColumns() const;
+    int ColumnIndex(std::string_view name) const;
+    std::string ColumnName(size_t i) const;
+  };
+
+  /// A tuple in an intermediate join result: one row pointer per relation.
+  using JoinedRow = std::vector<const Row*>;
+
+  struct EvalContext {
+    const std::vector<Relation>* relations = nullptr;
+    const JoinedRow* row = nullptr;      // size = #bound relations
+    size_t bound = 0;                    // how many relations are bound
+    const Row* old_row = nullptr;        // trigger OLD row
+    const TableSchema* old_schema = nullptr;
+  };
+
+  Result<ResultSet> RunSelect(const sql::SelectStmt& stmt);
+  Result<ResultSet> RunSelectCore(const sql::SelectCore& core);
+  Result<ResultSet> RunCreateTable(const sql::CreateTableStmt& stmt);
+  Result<ResultSet> RunCreateIndex(const sql::CreateIndexStmt& stmt);
+  Result<ResultSet> RunCreateTrigger(const sql::CreateTriggerStmt& stmt);
+  Result<ResultSet> RunDrop(const sql::DropStmt& stmt);
+  Result<ResultSet> RunInsert(const sql::InsertStmt& stmt);
+  Result<ResultSet> RunDelete(const sql::DeleteStmt& stmt);
+  Result<ResultSet> RunUpdate(const sql::UpdateStmt& stmt);
+
+  /// Fires AFTER DELETE triggers for `table` given the deleted rows.
+  Status FireDeleteTriggers(const Table* table,
+                            const std::vector<Row>& deleted_rows);
+
+  Result<Value> Eval(const sql::Expr& expr, const EvalContext& ctx);
+  /// Boolean evaluation with SQL three-valued logic collapsed to
+  /// true / not-true (NULL counts as not-true).
+  Result<bool> EvalBool(const sql::Expr& expr, const EvalContext& ctx);
+
+  /// Finds rowids of `table` matching `where` (index-assisted), with
+  /// OLD-row context for trigger bodies.
+  Result<std::vector<size_t>> SelectRowids(const Table* table,
+                                           const sql::Expr* where,
+                                           const EvalContext& outer);
+
+  /// Resolves [alias.]column to (relation ordinal, column ordinal).
+  Result<std::pair<size_t, size_t>> ResolveColumn(
+      const std::vector<Relation>& relations, size_t bound,
+      const std::string& table, const std::string& column) const;
+
+  Result<Relation> LookupRelation(const std::string& name,
+                                  const std::string& alias) const;
+
+  const std::unordered_set<Value, ValueHash>* SubquerySet(const sql::Expr& e);
+
+  Database* db_;
+  /// CTEs visible while executing the current SELECT (name -> result).
+  std::map<std::string, std::unique_ptr<ResultSet>, std::less<>> ctes_;
+  /// Memoized IN-subquery sets, keyed by Expr identity.
+  std::map<const sql::Expr*, std::unique_ptr<std::unordered_set<Value, ValueHash>>>
+      subquery_sets_;
+  /// OLD-row context while running trigger bodies.
+  const Row* trigger_old_row_ = nullptr;
+  const TableSchema* trigger_old_schema_ = nullptr;
+  int trigger_depth_ = 0;
+};
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_SQL_EXECUTOR_H_

@@ -1,0 +1,17 @@
+// SQL lexer + recursive-descent parser.
+#ifndef XUPD_RDB_SQL_PARSER_H_
+#define XUPD_RDB_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "rdb/sql_ast.h"
+
+namespace xupd::rdb::sql {
+
+/// Parses a single SQL statement (a trailing ';' is allowed).
+Result<Statement> ParseSql(std::string_view text);
+
+}  // namespace xupd::rdb::sql
+
+#endif  // XUPD_RDB_SQL_PARSER_H_

@@ -1,0 +1,56 @@
+// Execution statistics — the observable cost model of the engine. Tests and
+// benches assert on these (e.g. tuple-based insert issues O(#tuples)
+// statements; per-statement triggers scan whole child relations).
+#ifndef XUPD_RDB_STATS_H_
+#define XUPD_RDB_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xupd::rdb {
+
+struct Stats {
+  /// SQL statements issued through Database::Execute / ExecuteQuery.
+  uint64_t statements = 0;
+  /// Statements executed inside trigger bodies.
+  uint64_t trigger_statements = 0;
+  /// Trigger firings (row triggers: per row; statement triggers: per stmt).
+  uint64_t trigger_firings = 0;
+  /// Rows visited by table scans.
+  uint64_t rows_scanned = 0;
+  /// Index probes (hash lookups).
+  uint64_t index_probes = 0;
+  uint64_t rows_inserted = 0;
+  uint64_t rows_deleted = 0;
+  uint64_t rows_updated = 0;
+
+  void Reset() { *this = Stats{}; }
+
+  Stats Delta(const Stats& earlier) const {
+    Stats d;
+    d.statements = statements - earlier.statements;
+    d.trigger_statements = trigger_statements - earlier.trigger_statements;
+    d.trigger_firings = trigger_firings - earlier.trigger_firings;
+    d.rows_scanned = rows_scanned - earlier.rows_scanned;
+    d.index_probes = index_probes - earlier.index_probes;
+    d.rows_inserted = rows_inserted - earlier.rows_inserted;
+    d.rows_deleted = rows_deleted - earlier.rows_deleted;
+    d.rows_updated = rows_updated - earlier.rows_updated;
+    return d;
+  }
+
+  std::string ToString() const {
+    return "stmts=" + std::to_string(statements) +
+           " trig_stmts=" + std::to_string(trigger_statements) +
+           " trig_fires=" + std::to_string(trigger_firings) +
+           " scanned=" + std::to_string(rows_scanned) +
+           " probes=" + std::to_string(index_probes) +
+           " ins=" + std::to_string(rows_inserted) +
+           " del=" + std::to_string(rows_deleted) +
+           " upd=" + std::to_string(rows_updated);
+  }
+};
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_STATS_H_

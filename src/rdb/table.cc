@@ -1,0 +1,88 @@
+#include "rdb/table.h"
+
+namespace xupd::rdb {
+
+Result<size_t> Table::Insert(Row row) {
+  if (row.size() != schema_.column_count()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table '" +
+        schema_.name() + "' (" + std::to_string(schema_.column_count()) + ")");
+  }
+  size_t rowid = rows_.size();
+  for (const auto& index : indexes_) {
+    index->Insert(row[static_cast<size_t>(index->column())], rowid);
+  }
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  return rowid;
+}
+
+Status Table::Delete(size_t rowid) {
+  if (rowid >= rows_.size() || !live_[rowid]) {
+    return Status::NotFound("row already deleted or out of range");
+  }
+  for (const auto& index : indexes_) {
+    index->Erase(rows_[rowid][static_cast<size_t>(index->column())], rowid);
+  }
+  live_[rowid] = false;
+  --live_count_;
+  return Status::OK();
+}
+
+Status Table::SetColumn(size_t rowid, int column, Value v) {
+  if (rowid >= rows_.size() || !live_[rowid]) {
+    return Status::NotFound("row deleted or out of range");
+  }
+  for (const auto& index : indexes_) {
+    if (index->column() == column) {
+      index->Erase(rows_[rowid][static_cast<size_t>(column)], rowid);
+      index->Insert(v, rowid);
+    }
+  }
+  rows_[rowid][static_cast<size_t>(column)] = std::move(v);
+  return Status::OK();
+}
+
+Status Table::CreateIndex(const std::string& index_name, int column) {
+  if (FindIndexByName(index_name) != nullptr) {
+    return Status::AlreadyExists("index '" + index_name + "' already exists");
+  }
+  if (column < 0 || static_cast<size_t>(column) >= schema_.column_count()) {
+    return Status::InvalidArgument("bad index column");
+  }
+  auto index = std::make_unique<HashIndex>(index_name, column);
+  for (size_t rowid = 0; rowid < rows_.size(); ++rowid) {
+    if (live_[rowid]) {
+      index->Insert(rows_[rowid][static_cast<size_t>(column)], rowid);
+    }
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+Status Table::DropIndex(const std::string& index_name) {
+  for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+    if (EqualsIgnoreCase((*it)->name(), index_name)) {
+      indexes_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("index '" + index_name + "' not found");
+}
+
+const HashIndex* Table::FindIndexOnColumn(int column) const {
+  for (const auto& index : indexes_) {
+    if (index->column() == column) return index.get();
+  }
+  return nullptr;
+}
+
+const HashIndex* Table::FindIndexByName(const std::string& name) const {
+  for (const auto& index : indexes_) {
+    if (EqualsIgnoreCase(index->name(), name)) return index.get();
+  }
+  return nullptr;
+}
+
+}  // namespace xupd::rdb

@@ -1,0 +1,94 @@
+// Heap table with tombstone deletes and hash indexes.
+#ifndef XUPD_RDB_TABLE_H_
+#define XUPD_RDB_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdb/schema.h"
+#include "rdb/value.h"
+
+namespace xupd::rdb {
+
+/// Hash index over one column: value -> set of row ids. Per-key hash sets
+/// keep Erase O(1) even for low-cardinality keys (e.g. a parentId shared by
+/// thousands of children, or an ASR column holding the single root id).
+class HashIndex {
+ public:
+  HashIndex(std::string name, int column) : name_(std::move(name)), column_(column) {}
+
+  const std::string& name() const { return name_; }
+  int column() const { return column_; }
+
+  void Insert(const Value& v, size_t rowid) {
+    map_[v].insert(rowid);
+    ++size_;
+  }
+  void Erase(const Value& v, size_t rowid) {
+    auto it = map_.find(v);
+    if (it == map_.end()) return;
+    if (it->second.erase(rowid) > 0) --size_;
+    if (it->second.empty()) map_.erase(it);
+  }
+  /// Appends matching row ids to *out.
+  void Lookup(const Value& v, std::vector<size_t>* out) const {
+    auto it = map_.find(v);
+    if (it == map_.end()) return;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  size_t size() const { return size_; }
+
+ private:
+  std::string name_;
+  int column_;
+  std::unordered_map<Value, std::unordered_set<size_t>, ValueHash> map_;
+  size_t size_ = 0;
+};
+
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+
+  /// Number of row slots (live + tombstoned). Scans iterate this range.
+  size_t capacity() const { return rows_.size(); }
+  size_t live_count() const { return live_count_; }
+
+  bool is_live(size_t rowid) const { return live_[rowid]; }
+  const Row& row(size_t rowid) const { return rows_[rowid]; }
+
+  /// Appends a row (arity must match the schema). Returns its rowid.
+  Result<size_t> Insert(Row row);
+
+  /// Tombstones a row; index entries are removed.
+  Status Delete(size_t rowid);
+
+  /// Sets one column; index entries are maintained.
+  Status SetColumn(size_t rowid, int column, Value v);
+
+  /// Creates a hash index over `column` (by index), populating from current
+  /// rows. Fails if an index of this name exists.
+  Status CreateIndex(const std::string& index_name, int column);
+  Status DropIndex(const std::string& index_name);
+
+  /// Index over `column`, or null.
+  const HashIndex* FindIndexOnColumn(int column) const;
+  const HashIndex* FindIndexByName(const std::string& name) const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  size_t live_count_ = 0;
+  std::vector<std::unique_ptr<HashIndex>> indexes_;
+};
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_TABLE_H_

@@ -1,0 +1,73 @@
+#include "rdb/value.h"
+
+#include "common/str_util.h"
+
+namespace xupd::rdb {
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;  // NULLs sort first (outer-union ORDER BY relies
+  if (other.is_null()) return 1;  // on parent rows preceding child rows).
+  if (type_ == ValueType::kInt && other.type_ == ValueType::kInt) {
+    return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
+  }
+  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+    int c = str_.compare(other.str_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Mixed: try numeric coercion of the string side.
+  int64_t coerced;
+  if (type_ == ValueType::kString && ParseInt64(str_, &coerced)) {
+    return coerced < other.int_ ? -1 : (coerced > other.int_ ? 1 : 0);
+  }
+  if (other.type_ == ValueType::kString && ParseInt64(other.str_, &coerced)) {
+    return int_ < coerced ? -1 : (int_ > coerced ? 1 : 0);
+  }
+  std::string lhs = ToString();
+  std::string rhs = other.ToString();
+  int c = lhs.compare(rhs);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt:
+      return std::hash<int64_t>{}(int_);
+    case ValueType::kString: {
+      // Hash strings that look like integers identically to the integer so
+      // mixed-type joins work with hash indexes.
+      int64_t coerced;
+      if (ParseInt64(str_, &coerced)) return std::hash<int64_t>{}(coerced);
+      return std::hash<std::string>{}(str_);
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kString:
+      return str_;
+  }
+  return "";
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kString:
+      return SqlQuote(str_);
+  }
+  return "NULL";
+}
+
+}  // namespace xupd::rdb

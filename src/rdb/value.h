@@ -1,0 +1,83 @@
+// SQL values: NULL, INTEGER (int64), VARCHAR (string).
+#ifndef XUPD_RDB_VALUE_H_
+#define XUPD_RDB_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace xupd::rdb {
+
+enum class ValueType { kNull, kInt, kString };
+
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.str_ = std::move(v);
+    return out;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  int64_t AsInt() const { return int_; }
+  const std::string& AsString() const { return str_; }
+
+  /// Three-way comparison for ORDER BY and joins. NULL sorts first; NULL is
+  /// only equal to NULL here (SQL expression evaluation handles UNKNOWN
+  /// separately). Mixed int/string: the string is coerced to int when it
+  /// parses, else values compare by their textual form.
+  int Compare(const Value& other) const;
+
+  /// SQL equality (used by indexes and IN-sets): NULL never matches.
+  bool SqlEquals(const Value& other) const {
+    if (is_null() || other.is_null()) return false;
+    return Compare(other) == 0;
+  }
+
+  /// Identity (NULL == NULL), for container keys.
+  bool operator==(const Value& other) const {
+    if (type_ != other.type_) return Compare(other) == 0 && !is_null() && !other.is_null();
+    switch (type_) {
+      case ValueType::kNull:
+        return true;
+      case ValueType::kInt:
+        return int_ == other.int_;
+      case ValueType::kString:
+        return str_ == other.str_;
+    }
+    return false;
+  }
+
+  size_t Hash() const;
+
+  /// Rendering for result display ("NULL", 42, abc).
+  std::string ToString() const;
+
+  /// Rendering as a SQL literal (quoted string / bare int / NULL).
+  std::string ToSqlLiteral() const;
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  std::string str_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_VALUE_H_

@@ -1,0 +1,60 @@
+// The Edge mapping (§5.1, after Florescu & Kossmann [10]): every element,
+// attribute, reference and text node becomes a tuple in a single `edge`
+// relation. Its advantages over inlining, per the paper: it needs no DTD,
+// and (in our implementation) it preserves document order via an ordinal
+// column. Its drawback — "excessive fragmentation ... traversing XML
+// structure or outputting XML content requires many joins" — is what makes
+// Shared Inlining the store's default.
+#ifndef XUPD_SHRED_EDGE_H_
+#define XUPD_SHRED_EDGE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "rdb/database.h"
+#include "xml/document.h"
+
+namespace xupd::shred {
+
+/// Schema:
+///   edge(source INTEGER,   -- parent element id (NULL for the root edge)
+///        ordinal INTEGER,  -- position among the parent's children/attrs
+///        kind VARCHAR,     -- 'elem' | 'text' | 'attr' | 'ref'
+///        name VARCHAR,     -- element/attribute/reflist name
+///        value VARCHAR,    -- PCDATA / attribute value / ref target
+///        target INTEGER)   -- child element id ('elem' rows)
+class EdgeStore {
+ public:
+  explicit EdgeStore(rdb::Database* db) : db_(db) {}
+
+  static constexpr const char* kTableName = "edge";
+
+  /// Creates the edge relation plus indexes on source and target.
+  Status CreateSchema();
+
+  /// Shreds a whole document; returns the root element's id. No DTD needed.
+  Result<int64_t> Load(const xml::Document& doc);
+
+  /// Rebuilds the document, *including document order* (children sorted by
+  /// ordinal). Ref-attribute names are re-derived from 'ref' rows.
+  Result<std::unique_ptr<xml::Document>> Reconstruct();
+
+  /// Number of live edge tuples.
+  size_t EdgeCount() const;
+
+  /// Ids of elements with the given name whose 'text'-edge value matches —
+  /// a one-level content lookup, used to contrast join counts with the
+  /// inlined mapping.
+  Result<std::vector<int64_t>> FindElementsByText(const std::string& name,
+                                                  const std::string& value);
+
+ private:
+  Status LoadElement(const xml::Element& element, int64_t parent_id,
+                     int64_t ordinal, int64_t* out_id);
+
+  rdb::Database* db_;
+};
+
+}  // namespace xupd::shred
+
+#endif  // XUPD_SHRED_EDGE_H_

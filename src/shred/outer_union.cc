@@ -1,0 +1,223 @@
+#include "shred/outer_union.h"
+
+#include <map>
+
+#include "common/str_util.h"
+
+namespace xupd::shred {
+
+using rdb::Value;
+
+std::vector<std::string> OuterUnionLayout::ColumnNames() const {
+  std::vector<std::string> out;
+  out.reserve(width);
+  for (size_t i = 0; i < width; ++i) {
+    out.push_back("C" + std::to_string(i + 1));
+  }
+  return out;
+}
+
+OuterUnionQuery BuildOuterUnion(const Mapping& mapping,
+                                const TableMapping* region_root,
+                                const std::string& root_where) {
+  OuterUnionQuery out;
+  std::vector<const TableMapping*> tables = mapping.SubtreeTables(region_root);
+
+  // Assign wide-tuple columns.
+  std::map<const TableMapping*, size_t> segment_of;
+  int next_col = 0;
+  for (const TableMapping* t : tables) {
+    OuterUnionLayout::Segment seg;
+    seg.table = t;
+    seg.id_col = next_col++;
+    seg.first_field_col = next_col;
+    seg.field_count = t->fields.size();
+    next_col += static_cast<int>(t->fields.size());
+    segment_of[t] = out.layout.segments.size();
+    out.layout.segments.push_back(seg);
+  }
+  out.layout.width = static_cast<size_t>(next_col);
+  // Parent id columns.
+  for (auto& seg : out.layout.segments) {
+    if (seg.table == region_root) {
+      seg.parent_id_col = -1;
+    } else {
+      const TableMapping* parent = mapping.ForElement(seg.table->parent_element);
+      seg.parent_id_col =
+          out.layout.segments[segment_of.at(parent)].id_col;
+    }
+  }
+
+  std::vector<std::string> col_names = out.layout.ColumnNames();
+  std::string col_list = "(" + Join(col_names, ", ") + ")";
+
+  // Ancestor segments (within the region) per segment.
+  auto ancestors_of = [&](size_t seg_idx) {
+    std::vector<size_t> anc;
+    const TableMapping* cur = out.layout.segments[seg_idx].table;
+    while (cur != region_root) {
+      const TableMapping* parent = mapping.ForElement(cur->parent_element);
+      anc.push_back(segment_of.at(parent));
+      cur = parent;
+    }
+    return anc;
+  };
+
+  std::string sql = "WITH ";
+  for (size_t k = 0; k < out.layout.segments.size(); ++k) {
+    const auto& seg = out.layout.segments[k];
+    if (k > 0) sql += ", ";
+    sql += "Q" + std::to_string(k + 1) + " " + col_list + " AS (SELECT ";
+    std::vector<size_t> anc = ancestors_of(k);
+    std::vector<std::string> exprs(out.layout.width, "NULL");
+    for (size_t a : anc) {
+      int col = out.layout.segments[a].id_col;
+      exprs[static_cast<size_t>(col)] =
+          "q." + col_names[static_cast<size_t>(col)];
+    }
+    exprs[static_cast<size_t>(seg.id_col)] = "t.id";
+    for (size_t f = 0; f < seg.field_count; ++f) {
+      exprs[static_cast<size_t>(seg.first_field_col) + f] =
+          "t." + seg.table->fields[f].column;
+    }
+    sql += Join(exprs, ", ");
+    if (k == 0) {
+      sql += " FROM " + seg.table->table + " t";
+      if (!root_where.empty()) sql += " WHERE " + root_where;
+    } else {
+      size_t parent_seg = anc.front();
+      sql += " FROM Q" + std::to_string(parent_seg + 1) + " q, " +
+             seg.table->table + " t WHERE t.parentId = q." +
+             col_names[static_cast<size_t>(
+                 out.layout.segments[parent_seg].id_col)];
+    }
+    sql += ")";
+  }
+  sql += " ";
+  for (size_t k = 0; k < out.layout.segments.size(); ++k) {
+    if (k > 0) sql += " UNION ALL ";
+    sql += "(SELECT * FROM Q" + std::to_string(k + 1) + ")";
+  }
+  sql += " ORDER BY ";
+  std::vector<std::string> order_cols;
+  for (const auto& seg : out.layout.segments) {
+    order_cols.push_back(col_names[static_cast<size_t>(seg.id_col)]);
+  }
+  sql += Join(order_cols, ", ");
+  out.sql = std::move(sql);
+  return out;
+}
+
+namespace {
+
+/// Ensures the inlined element at `path` below `root` exists, creating
+/// missing steps in order; returns the element at the end of the path.
+xml::Element* EnsurePath(xml::Element* root,
+                         const std::vector<std::string>& path) {
+  xml::Element* cur = root;
+  for (const std::string& step : path) {
+    xml::Element* next = cur->FindChildElement(step);
+    if (next == nullptr) {
+      next = cur->AppendSimpleChild(step, "");
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+std::unique_ptr<xml::Element> BuildElementFromRow(
+    const TableMapping* tm, const rdb::Row& row,
+    const OuterUnionLayout::Segment& seg) {
+  auto elem = std::make_unique<xml::Element>(tm->element);
+  for (size_t f = 0; f < seg.field_count; ++f) {
+    const InlinedField& field = tm->fields[f];
+    const Value& v = row[static_cast<size_t>(seg.first_field_col) + f];
+    if (v.is_null()) continue;
+    xml::Element* at = EnsurePath(elem.get(), field.path);
+    switch (field.kind) {
+      case InlinedField::Kind::kPcdata:
+        if (!v.ToString().empty()) at->AppendText(v.ToString());
+        break;
+      case InlinedField::Kind::kAttribute:
+        if (field.is_ref) {
+          for (std::string& target : SplitWhitespace(v.ToString())) {
+            at->AppendRef(field.attr, std::move(target));
+          }
+        } else {
+          at->SetAttribute(field.attr, v.ToString());
+        }
+        break;
+      case InlinedField::Kind::kPresence:
+        break;  // EnsurePath materialized it.
+    }
+  }
+  return elem;
+}
+
+}  // namespace
+
+Result<std::vector<std::unique_ptr<xml::Element>>> ReconstructFromOuterUnion(
+    const Mapping& mapping, const OuterUnionLayout& layout,
+    const rdb::ResultSet& result) {
+  (void)mapping;
+  std::vector<std::unique_ptr<xml::Element>> roots;
+  std::map<int64_t, xml::Element*> by_id;
+  for (const rdb::Row& row : result.rows) {
+    // The row's segment: the last (pre-order) segment whose id is non-null.
+    int seg_idx = -1;
+    for (size_t k = 0; k < layout.segments.size(); ++k) {
+      if (!row[static_cast<size_t>(layout.segments[k].id_col)].is_null()) {
+        seg_idx = static_cast<int>(k);
+      }
+    }
+    if (seg_idx < 0) {
+      return Status::Internal("outer-union row with no id columns");
+    }
+    const auto& seg = layout.segments[static_cast<size_t>(seg_idx)];
+    int64_t id = row[static_cast<size_t>(seg.id_col)].AsInt();
+    auto elem = BuildElementFromRow(seg.table, row, seg);
+    xml::Element* raw = elem.get();
+    if (seg.parent_id_col < 0) {
+      roots.push_back(std::move(elem));
+    } else {
+      const Value& pid = row[static_cast<size_t>(seg.parent_id_col)];
+      if (pid.is_null()) {
+        return Status::Internal("child row with NULL parent id");
+      }
+      auto it = by_id.find(pid.AsInt());
+      if (it == by_id.end()) {
+        return Status::Internal(
+            "sorted stream violated: child before parent (parent id " +
+            pid.ToString() + ")");
+      }
+      it->second->AppendChild(std::move(elem));
+    }
+    by_id[id] = raw;
+  }
+  return roots;
+}
+
+Result<std::unique_ptr<xml::Document>> ReconstructDocument(
+    const Mapping& mapping, rdb::Database* db) {
+  OuterUnionQuery query = BuildOuterUnion(mapping, mapping.root(), "");
+  auto result = db->ExecuteQuery(query.sql);
+  if (!result.ok()) return result.status();
+  auto roots = ReconstructFromOuterUnion(mapping, query.layout, *result);
+  if (!roots.ok()) return roots.status();
+  if (roots->size() != 1) {
+    return Status::Internal("expected exactly one document root, got " +
+                            std::to_string(roots->size()));
+  }
+  auto doc = std::make_unique<xml::Document>(std::move(roots->front()));
+  for (const xml::AttrDecl& a : mapping.dtd().attributes()) {
+    if (a.type == xml::AttrType::kIdref || a.type == xml::AttrType::kIdrefs) {
+      doc->DeclareRefAttribute(a.name);
+    }
+    if (a.type == xml::AttrType::kId) {
+      doc->set_id_attribute(a.name);
+    }
+  }
+  return doc;
+}
+
+}  // namespace xupd::shred

@@ -1,0 +1,62 @@
+// Sorted Outer Union (§5.2, Figure 5): one WITH/UNION ALL/ORDER BY query
+// retrieves an XML region stored across multiple tables as a single sorted
+// stream of wide tuples (child data after parent data, different parents not
+// intermixed), plus the reconstruction of XML from that stream.
+#ifndef XUPD_SHRED_OUTER_UNION_H_
+#define XUPD_SHRED_OUTER_UNION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdb/database.h"
+#include "shred/mapping.h"
+#include "xml/document.h"
+
+namespace xupd::shred {
+
+/// Column layout of the wide tuple.
+struct OuterUnionLayout {
+  struct Segment {
+    const TableMapping* table = nullptr;
+    int id_col = -1;         ///< wide-tuple column holding this table's id.
+    int parent_id_col = -1;  ///< wide-tuple column holding the parent id
+                             ///< (-1 for the region root).
+    int first_field_col = -1;
+    size_t field_count = 0;
+  };
+  std::vector<Segment> segments;  ///< pre-order over the region's tables.
+  size_t width = 0;
+
+  /// Wide-tuple column names: C1..Cwidth (as in Figure 5).
+  std::vector<std::string> ColumnNames() const;
+};
+
+/// Builds the Figure-5 query for the region rooted at `region_root`.
+/// `root_where` is a SQL predicate over the root table's columns (applied in
+/// the base subquery Q1, since "the other branches of the Outer Union cannot
+/// remove tuples"); empty selects everything.
+struct OuterUnionQuery {
+  std::string sql;
+  OuterUnionLayout layout;
+};
+OuterUnionQuery BuildOuterUnion(const Mapping& mapping,
+                                const TableMapping* region_root,
+                                const std::string& root_where);
+
+/// Rebuilds XML elements from a sorted outer-union result. Returns the
+/// reconstructed region roots (one element per qualifying root tuple).
+Result<std::vector<std::unique_ptr<xml::Element>>> ReconstructFromOuterUnion(
+    const Mapping& mapping, const OuterUnionLayout& layout,
+    const rdb::ResultSet& result);
+
+/// Convenience: runs the outer-union query for the whole document and
+/// reconstructs it. The result has ref-attribute declarations taken from the
+/// mapping's DTD.
+Result<std::unique_ptr<xml::Document>> ReconstructDocument(
+    const Mapping& mapping, rdb::Database* db);
+
+}  // namespace xupd::shred
+
+#endif  // XUPD_SHRED_OUTER_UNION_H_

@@ -1,0 +1,147 @@
+#include "shred/shredder.h"
+
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace xupd::shred {
+
+using rdb::Value;
+
+Status Shredder::CreateSchema() {
+  for (const std::string& sql : mapping_->SchemaSql()) {
+    XUPD_RETURN_IF_ERROR(db_->Execute(sql));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Finds the element at `path` below `e`; null when any step is missing.
+const xml::Element* Navigate(const xml::Element& e,
+                             const std::vector<std::string>& path) {
+  const xml::Element* cur = &e;
+  for (const std::string& step : path) {
+    cur = cur->FindChildElement(step);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+}  // namespace
+
+Status Shredder::FillFields(const xml::Element& element, const TableMapping* tm,
+                            rdb::Row* row) const {
+  for (size_t i = 0; i < tm->fields.size(); ++i) {
+    const InlinedField& f = tm->fields[i];
+    const xml::Element* target = Navigate(element, f.path);
+    Value v;  // NULL
+    if (target != nullptr) {
+      switch (f.kind) {
+        case InlinedField::Kind::kPcdata:
+          v = Value::Str(target->TextContent());
+          break;
+        case InlinedField::Kind::kAttribute: {
+          if (f.is_ref) {
+            if (const xml::RefList* r = target->FindRefList(f.attr)) {
+              v = Value::Str(Join(r->targets, " "));
+            }
+          } else if (const xml::Attribute* a = target->FindAttribute(f.attr)) {
+            v = Value::Str(a->value);
+          }
+          break;
+        }
+        case InlinedField::Kind::kPresence:
+          v = Value::Str("1");
+          break;
+      }
+    }
+    (*row)[static_cast<size_t>(tm->FieldColumn(i))] = std::move(v);
+  }
+  return Status::OK();
+}
+
+Status Shredder::ShredElement(const xml::Element& element, int64_t parent_id,
+                              std::vector<ShreddedTuple>* out) {
+  const TableMapping* tm = mapping_->ForElement(element.name());
+  if (tm == nullptr) {
+    return Status::InvalidArgument("element <" + element.name() +
+                                   "> does not map to a table");
+  }
+  ShreddedTuple tuple;
+  tuple.table = tm;
+  tuple.id = db_->AllocateId();
+  tuple.parent_id = parent_id;
+  tuple.row.assign(2 + tm->fields.size(), Value::Null());
+  tuple.row[TableMapping::kIdColumn] = Value::Int(tuple.id);
+  tuple.row[TableMapping::kParentIdColumn] =
+      parent_id == 0 ? Value::Null() : Value::Int(parent_id);
+  XUPD_RETURN_IF_ERROR(FillFields(element, tm, &tuple.row));
+  int64_t self_id = tuple.id;
+  out->push_back(std::move(tuple));
+
+  // Recurse into descendants that map to tables. Inlined subtrees were
+  // captured by FillFields; table-mapped elements may sit below inlined
+  // levels, so walk the whole subtree but stop at table boundaries.
+  std::function<Status(const xml::Element&)> walk =
+      [&](const xml::Element& e) -> Status {
+    for (const auto& child : e.children()) {
+      if (!child->is_element()) continue;
+      const auto* ce = static_cast<const xml::Element*>(child.get());
+      if (mapping_->ForElement(ce->name()) != nullptr) {
+        XUPD_RETURN_IF_ERROR(ShredElement(*ce, self_id, out));
+      } else {
+        XUPD_RETURN_IF_ERROR(walk(*ce));
+      }
+    }
+    return Status::OK();
+  };
+  return walk(element);
+}
+
+Result<std::vector<ShreddedTuple>> Shredder::ShredSubtree(
+    const xml::Element& element, int64_t parent_id) {
+  std::vector<ShreddedTuple> out;
+  XUPD_RETURN_IF_ERROR(ShredElement(element, parent_id, &out));
+  return out;
+}
+
+std::string Shredder::InsertSql(const ShreddedTuple& tuple) {
+  std::string sql = "INSERT INTO " + tuple.table->table + " VALUES (";
+  for (size_t i = 0; i < tuple.row.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += tuple.row[i].ToSqlLiteral();
+  }
+  sql += ")";
+  return sql;
+}
+
+Result<int64_t> Shredder::LoadDocument(const xml::Document& doc, bool via_sql) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root");
+  }
+  if (doc.root()->name() != mapping_->root()->element) {
+    return Status::InvalidArgument("document root <" + doc.root()->name() +
+                                   "> does not match mapping root <" +
+                                   mapping_->root()->element + ">");
+  }
+  auto tuples = ShredSubtree(*doc.root(), 0);
+  if (!tuples.ok()) return tuples.status();
+  int64_t root_id = tuples->front().id;
+  if (via_sql) {
+    for (const ShreddedTuple& t : *tuples) {
+      XUPD_RETURN_IF_ERROR(db_->Execute(InsertSql(t)));
+    }
+  } else {
+    for (ShreddedTuple& t : *tuples) {
+      rdb::Table* table = db_->FindTable(t.table->table);
+      if (table == nullptr) {
+        return Status::Internal("table '" + t.table->table + "' missing");
+      }
+      XUPD_RETURN_IF_ERROR(db_->InsertDirect(table, std::move(t.row)));
+    }
+  }
+  return root_id;
+}
+
+}  // namespace xupd::shred

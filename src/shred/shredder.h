@@ -1,0 +1,58 @@
+// Shredder: walks an XML document and produces relational tuples according
+// to a Mapping. Loading can go through SQL INSERT statements (authentic but
+// slower) or the direct bulk API.
+#ifndef XUPD_SHRED_SHREDDER_H_
+#define XUPD_SHRED_SHREDDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "rdb/database.h"
+#include "shred/mapping.h"
+#include "xml/document.h"
+
+namespace xupd::shred {
+
+/// One shredded tuple, not yet inserted.
+struct ShreddedTuple {
+  const TableMapping* table = nullptr;
+  int64_t id = 0;
+  int64_t parent_id = 0;  ///< 0 = no parent (root).
+  rdb::Row row;           ///< full row including id/parentId columns.
+};
+
+class Shredder {
+ public:
+  Shredder(const Mapping* mapping, rdb::Database* db)
+      : mapping_(mapping), db_(db) {}
+
+  /// Creates all tables and id/parentId indexes (always through SQL DDL).
+  Status CreateSchema();
+
+  /// Shreds and loads a whole document. Returns the root tuple id.
+  /// `via_sql` loads through INSERT statements instead of the bulk API.
+  Result<int64_t> LoadDocument(const xml::Document& doc, bool via_sql);
+
+  /// Shreds the subtree rooted at `element` (which must map to a table),
+  /// assigning fresh ids from the database id counter, with the subtree root
+  /// attached to `parent_id`. Does not insert.
+  Result<std::vector<ShreddedTuple>> ShredSubtree(const xml::Element& element,
+                                                  int64_t parent_id);
+
+  /// Renders an INSERT statement for a shredded tuple.
+  static std::string InsertSql(const ShreddedTuple& tuple);
+
+ private:
+  Status FillFields(const xml::Element& element, const TableMapping* tm,
+                    rdb::Row* row) const;
+  Status ShredElement(const xml::Element& element, int64_t parent_id,
+                      std::vector<ShreddedTuple>* out);
+
+  const Mapping* mapping_;
+  rdb::Database* db_;
+};
+
+}  // namespace xupd::shred
+
+#endif  // XUPD_SHRED_SHREDDER_H_

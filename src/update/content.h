@@ -1,0 +1,69 @@
+// Content values for Insert / Replace operations (§3.2): new PCDATA, a new
+// element subtree, a new attribute, or a new reference. Mirrors the XQuery
+// constructors <elem>...</elem>, "text", new_attribute(n, v), new_ref(n, t).
+#ifndef XUPD_UPDATE_CONTENT_H_
+#define XUPD_UPDATE_CONTENT_H_
+
+#include <memory>
+#include <string>
+
+#include "xml/node.h"
+
+namespace xupd::update {
+
+class Content {
+ public:
+  enum class Kind { kElement, kPcdata, kAttribute, kReference };
+
+  static Content MakeElement(std::unique_ptr<xml::Element> element) {
+    Content c(Kind::kElement);
+    c.element_ = std::move(element);
+    return c;
+  }
+  static Content MakePcdata(std::string text) {
+    Content c(Kind::kPcdata);
+    c.text_ = std::move(text);
+    return c;
+  }
+  static Content MakeAttribute(std::string name, std::string value) {
+    Content c(Kind::kAttribute);
+    c.name_ = std::move(name);
+    c.text_ = std::move(value);
+    return c;
+  }
+  static Content MakeReference(std::string name, std::string target) {
+    Content c(Kind::kReference);
+    c.name_ = std::move(name);
+    c.text_ = std::move(target);
+    return c;
+  }
+
+  Kind kind() const { return kind_; }
+  /// kElement: the subtree template; insertion clones it so a Content can be
+  /// applied to many targets.
+  const xml::Element* element() const { return element_.get(); }
+  /// kPcdata: text; kAttribute: value; kReference: target ID.
+  const std::string& text() const { return text_; }
+  /// kAttribute / kReference: the name / label.
+  const std::string& name() const { return name_; }
+
+  Content Clone() const {
+    Content c(kind_);
+    c.name_ = name_;
+    c.text_ = text_;
+    if (element_ != nullptr) c.element_ = element_->Clone();
+    return c;
+  }
+
+ private:
+  explicit Content(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::unique_ptr<xml::Element> element_;
+  std::string text_;
+  std::string name_;
+};
+
+}  // namespace xupd::update
+
+#endif  // XUPD_UPDATE_CONTENT_H_

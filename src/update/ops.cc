@@ -1,0 +1,329 @@
+#include "update/ops.h"
+
+#include <algorithm>
+
+namespace xupd::update {
+
+using xpath::XmlObject;
+
+namespace {
+
+Status DeletedBindingError() {
+  return Status::ConstraintViolation(
+      "binding has been deleted earlier in this update sequence");
+}
+
+}  // namespace
+
+bool UpdateExecutor::IsDeleted(const XmlObject& obj) const {
+  // Attribute tombstones.
+  if (obj.is_attribute() &&
+      deleted_attrs_.count({obj.element, obj.name}) > 0) {
+    return true;
+  }
+  // Ref entry tombstones.
+  if (obj.is_ref_entry()) {
+    if (CurrentRefIndex(obj.element, obj.name, obj.index) < 0) return true;
+  }
+  // Element/text (or owner) tombstones: walk up the ancestor chain; deleted
+  // subtree roots are detached, so the walk terminates at the subtree root.
+  const xml::Node* node =
+      obj.is_text() ? static_cast<const xml::Node*>(obj.text)
+                    : static_cast<const xml::Node*>(obj.element);
+  while (node != nullptr) {
+    if (deleted_nodes_.count(node) > 0) return true;
+    node = node->parent();
+  }
+  return false;
+}
+
+Status UpdateExecutor::CheckLive(const XmlObject& obj) {
+  if (obj.is_null()) return Status::InvalidArgument("null binding");
+  if (IsDeleted(obj)) return DeletedBindingError();
+  return Status::OK();
+}
+
+int64_t UpdateExecutor::CurrentRefIndex(const xml::Element* owner,
+                                        const std::string& list,
+                                        size_t original) const {
+  auto it = ref_positions_.find({owner, list});
+  if (it == ref_positions_.end()) return static_cast<int64_t>(original);
+  if (original >= it->second.size()) return static_cast<int64_t>(original);
+  return it->second[original];
+}
+
+void UpdateExecutor::NoteRefRemoved(const xml::Element* owner,
+                                    const std::string& list,
+                                    int64_t current_pos) {
+  RefKey key{owner, list};
+  auto it = ref_positions_.find(key);
+  if (it == ref_positions_.end()) {
+    // Initialize identity mapping sized to the pre-removal list length + 1
+    // (the list has already been mutated by the caller, hence +1).
+    const xml::RefList* rl = owner->FindRefList(list);
+    size_t n = (rl != nullptr ? rl->targets.size() : 0) + 1;
+    std::vector<int64_t> ident(n);
+    for (size_t i = 0; i < n; ++i) ident[i] = static_cast<int64_t>(i);
+    it = ref_positions_.emplace(key, std::move(ident)).first;
+  }
+  for (int64_t& pos : it->second) {
+    if (pos == current_pos) {
+      pos = -1;
+    } else if (pos > current_pos) {
+      --pos;
+    }
+  }
+}
+
+void UpdateExecutor::NoteRefInserted(const xml::Element* owner,
+                                     const std::string& list,
+                                     int64_t current_pos) {
+  RefKey key{owner, list};
+  auto it = ref_positions_.find(key);
+  if (it == ref_positions_.end()) {
+    const xml::RefList* rl = owner->FindRefList(list);
+    size_t n = rl != nullptr ? rl->targets.size() : 0;
+    // The list already contains the inserted entry; original positions cover
+    // n-1 entries.
+    std::vector<int64_t> ident(n > 0 ? n - 1 : 0);
+    for (size_t i = 0; i < ident.size(); ++i) ident[i] = static_cast<int64_t>(i);
+    it = ref_positions_.emplace(key, std::move(ident)).first;
+  }
+  for (int64_t& pos : it->second) {
+    if (pos >= current_pos) ++pos;
+  }
+}
+
+Status UpdateExecutor::Delete(const XmlObject& child) {
+  XUPD_RETURN_IF_ERROR(CheckLive(child));
+  switch (child.kind) {
+    case XmlObject::Kind::kElement: {
+      xml::Element* parent = child.element->parent();
+      if (parent == nullptr) {
+        return Status::InvalidArgument("cannot delete the document root");
+      }
+      size_t idx = parent->IndexOfChild(child.element);
+      if (idx == xml::Element::kNpos) {
+        return Status::Internal("child not found in parent");
+      }
+      auto removed = parent->RemoveChildAt(idx);
+      if (!removed.ok()) return removed.status();
+      deleted_nodes_.insert(removed.value().get());
+      graveyard_.push_back(std::move(removed).value());
+      doc_->InvalidateIdMap();
+      return Status::OK();
+    }
+    case XmlObject::Kind::kAttribute: {
+      XUPD_RETURN_IF_ERROR(child.element->RemoveAttribute(child.name));
+      deleted_attrs_.insert({child.element, child.name});
+      return Status::OK();
+    }
+    case XmlObject::Kind::kRefEntry: {
+      int64_t cur = CurrentRefIndex(child.element, child.name, child.index);
+      if (cur < 0) return DeletedBindingError();
+      XUPD_RETURN_IF_ERROR(
+          child.element->RemoveRefAt(child.name, static_cast<size_t>(cur)));
+      NoteRefRemoved(child.element, child.name, cur);
+      return Status::OK();
+    }
+    case XmlObject::Kind::kText: {
+      xml::Element* parent = child.element;
+      size_t idx = parent->IndexOfChild(child.text);
+      if (idx == xml::Element::kNpos) {
+        return Status::Internal("text node not found in parent");
+      }
+      auto removed = parent->RemoveChildAt(idx);
+      if (!removed.ok()) return removed.status();
+      deleted_nodes_.insert(removed.value().get());
+      graveyard_.push_back(std::move(removed).value());
+      return Status::OK();
+    }
+    case XmlObject::Kind::kNull:
+      return Status::InvalidArgument("null binding");
+  }
+  return Status::Internal("unknown object kind");
+}
+
+Status UpdateExecutor::Rename(const XmlObject& child, const std::string& name) {
+  XUPD_RETURN_IF_ERROR(CheckLive(child));
+  switch (child.kind) {
+    case XmlObject::Kind::kElement:
+      child.element->set_name(name);
+      return Status::OK();
+    case XmlObject::Kind::kAttribute:
+      return child.element->RenameAttribute(child.name, name);
+    case XmlObject::Kind::kRefEntry:
+      // "we cannot rename an individual IDREF within an IDREFS; such a
+      //  rename operation will rename the entire IDREFS" (§3.2).
+      return child.element->RenameRefList(child.name, name);
+    case XmlObject::Kind::kText:
+      return Status::InvalidArgument("PCDATA cannot be renamed");
+    case XmlObject::Kind::kNull:
+      return Status::InvalidArgument("null binding");
+  }
+  return Status::Internal("unknown object kind");
+}
+
+Status UpdateExecutor::Insert(const XmlObject& target, const Content& content) {
+  XUPD_RETURN_IF_ERROR(CheckLive(target));
+  if (!target.is_element()) {
+    return Status::InvalidArgument("Insert target must be an element");
+  }
+  switch (content.kind()) {
+    case Content::Kind::kElement:
+      target.element->AppendChild(content.element()->Clone());
+      doc_->InvalidateIdMap();
+      return Status::OK();
+    case Content::Kind::kPcdata:
+      target.element->AppendText(content.text());
+      return Status::OK();
+    case Content::Kind::kAttribute:
+      // "An attempt to insert an attribute with the same name as an existing
+      //  attribute fails" (§3.2).
+      return target.element->InsertAttribute(content.name(), content.text());
+    case Content::Kind::kReference: {
+      target.element->AppendRef(content.name(), content.text());
+      // Appending never disturbs tracked original positions.
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown content kind");
+}
+
+Status UpdateExecutor::InsertRelative(const XmlObject& ref,
+                                      const Content& content, bool before) {
+  if (model_ == ExecutionModel::kUnordered) {
+    return Status::InvalidArgument(
+        "InsertBefore/InsertAfter are defined only for the ordered model");
+  }
+  XUPD_RETURN_IF_ERROR(CheckLive(ref));
+  switch (ref.kind) {
+    case XmlObject::Kind::kElement:
+    case XmlObject::Kind::kText: {
+      if (content.kind() != Content::Kind::kElement &&
+          content.kind() != Content::Kind::kPcdata) {
+        return Status::InvalidArgument(
+            "positional insert relative to a child requires element or PCDATA "
+            "content");
+      }
+      xml::Element* parent = ref.is_element() ? ref.element->parent()
+                                              : ref.element;
+      if (parent == nullptr) {
+        return Status::InvalidArgument("cannot insert relative to the root");
+      }
+      const xml::Node* ref_node =
+          ref.is_element() ? static_cast<const xml::Node*>(ref.element)
+                           : static_cast<const xml::Node*>(ref.text);
+      size_t idx = parent->IndexOfChild(ref_node);
+      if (idx == xml::Element::kNpos) {
+        return Status::Internal("reference child not found in parent");
+      }
+      std::unique_ptr<xml::Node> node;
+      if (content.kind() == Content::Kind::kElement) {
+        node = content.element()->Clone();
+      } else {
+        node = std::make_unique<xml::Text>(content.text());
+      }
+      XUPD_RETURN_IF_ERROR(parent->InsertChildAt(before ? idx : idx + 1,
+                                                 std::move(node)));
+      doc_->InvalidateIdMap();
+      return Status::OK();
+    }
+    case XmlObject::Kind::kRefEntry: {
+      if (content.kind() != Content::Kind::kReference &&
+          content.kind() != Content::Kind::kPcdata) {
+        return Status::InvalidArgument(
+            "positional insert into an IDREFS requires an ID");
+      }
+      int64_t cur = CurrentRefIndex(ref.element, ref.name, ref.index);
+      if (cur < 0) return DeletedBindingError();
+      int64_t pos = before ? cur : cur + 1;
+      // A plain string ("jones1") used as content against a ref binding is
+      // interpreted as an ID (Example 3 inserts "jones1" BEFORE $sref).
+      const std::string& target_id = content.text();
+      XUPD_RETURN_IF_ERROR(ref.element->InsertRefAt(
+          ref.name, static_cast<size_t>(pos), target_id));
+      NoteRefInserted(ref.element, ref.name, pos);
+      return Status::OK();
+    }
+    case XmlObject::Kind::kAttribute:
+      return Status::InvalidArgument(
+          "attributes are unordered; positional insert is undefined");
+    case XmlObject::Kind::kNull:
+      return Status::InvalidArgument("null binding");
+  }
+  return Status::Internal("unknown object kind");
+}
+
+Status UpdateExecutor::InsertBefore(const XmlObject& ref,
+                                    const Content& content) {
+  return InsertRelative(ref, content, /*before=*/true);
+}
+
+Status UpdateExecutor::InsertAfter(const XmlObject& ref,
+                                   const Content& content) {
+  return InsertRelative(ref, content, /*before=*/false);
+}
+
+Status UpdateExecutor::Replace(const XmlObject& child, const Content& content) {
+  XUPD_RETURN_IF_ERROR(CheckLive(child));
+  // Reference bindings may only be replaced by references of the same label.
+  if (child.is_ref_entry()) {
+    if (content.kind() == Content::Kind::kReference) {
+      if (content.name() != child.name) {
+        return Status::InvalidArgument(
+            "a reference can only be replaced with a reference of the same "
+            "label ('" + child.name + "')");
+      }
+      int64_t cur = CurrentRefIndex(child.element, child.name, child.index);
+      if (cur < 0) return DeletedBindingError();
+      return child.element->ReplaceRefAt(child.name,
+                                         static_cast<size_t>(cur),
+                                         content.text());
+    }
+    if (content.kind() == Content::Kind::kAttribute) {
+      // Example 4 replaces a manager reference with
+      // new_attribute(managers, "jones1"): the paper treats the attribute
+      // constructor as supplying the (label, id) pair for the reference.
+      if (content.name() != child.name) {
+        return Status::InvalidArgument(
+            "a reference can only be replaced with a reference of the same "
+            "label ('" + child.name + "')");
+      }
+      int64_t cur = CurrentRefIndex(child.element, child.name, child.index);
+      if (cur < 0) return DeletedBindingError();
+      return child.element->ReplaceRefAt(child.name,
+                                         static_cast<size_t>(cur),
+                                         content.text());
+    }
+    return Status::InvalidArgument(
+        "a reference binding can only be replaced by a reference");
+  }
+  if (child.is_attribute()) {
+    if (content.kind() != Content::Kind::kAttribute) {
+      return Status::InvalidArgument(
+          "an attribute binding can only be replaced by an attribute");
+    }
+    XUPD_RETURN_IF_ERROR(Delete(child));
+    // The replacement may carry a different name.
+    XUPD_RETURN_IF_ERROR(
+        child.element->InsertAttribute(content.name(), content.text()));
+    return Status::OK();
+  }
+  if (child.is_element() || child.is_text()) {
+    if (model_ == ExecutionModel::kOrdered) {
+      XUPD_RETURN_IF_ERROR(InsertRelative(child, content, /*before=*/true));
+      return Delete(child);
+    }
+    XmlObject parent = XmlObject::OfElement(
+        child.is_element() ? child.element->parent() : child.element);
+    if (parent.element == nullptr) {
+      return Status::InvalidArgument("cannot replace the document root");
+    }
+    XUPD_RETURN_IF_ERROR(Insert(parent, content));
+    return Delete(child);
+  }
+  return Status::InvalidArgument("null binding");
+}
+
+}  // namespace xupd::update

@@ -1,0 +1,103 @@
+// The primitive update operations of §3.2, executed over the native tree.
+//
+// An UpdateExecutor scopes one *update operation* (a sequence of primitive
+// sub-operations over pre-computed bindings) and enforces the paper's
+// semantic restrictions:
+//   * all bindings are made over the input before any updates execute
+//     (callers bind first, then apply);
+//   * a deleted binding cannot be the target of a later operation in the
+//     sequence — but it can be used as *content* (copy semantics);
+//   * IDREFS entry bindings stay valid under earlier inserts/deletes within
+//     the same list (original positions are tracked and remapped);
+//   * ordered vs unordered execution models differ in where plain Insert
+//     places content (append at end vs arbitrary; we implement "arbitrary"
+//     as append too, but InsertBefore/InsertAfter are rejected when the
+//     model is unordered).
+#ifndef XUPD_UPDATE_OPS_H_
+#define XUPD_UPDATE_OPS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "update/content.h"
+#include "xml/document.h"
+#include "xpath/object.h"
+
+namespace xupd::update {
+
+enum class ExecutionModel { kOrdered, kUnordered };
+
+class UpdateExecutor {
+ public:
+  UpdateExecutor(xml::Document* doc, ExecutionModel model)
+      : doc_(doc), model_(model) {}
+
+  /// Delete(child): removes `child` (element / attribute / IDREF entry /
+  /// PCDATA) from its target object. Deleted subtrees are kept alive in a
+  /// graveyard so later operations may still use them as content.
+  Status Delete(const xpath::XmlObject& child);
+
+  /// Rename(child, name): renames an element, attribute, or entire IDREFS
+  /// list. Renaming an individual IDREF entry renames its whole list (§3.2);
+  /// PCDATA cannot be renamed.
+  Status Rename(const xpath::XmlObject& child, const std::string& name);
+
+  /// Insert(target, content): appends new content to `target` (an element).
+  /// Attribute inserts fail on name collision; reference inserts extend an
+  /// existing list.
+  Status Insert(const xpath::XmlObject& target, const Content& content);
+
+  /// InsertBefore/InsertAfter(ref, content): positional insertion, ordered
+  /// model only. `ref` is a child element / PCDATA (content must be element
+  /// or PCDATA) or an IDREFS entry (content must be a reference).
+  Status InsertBefore(const xpath::XmlObject& ref, const Content& content);
+  Status InsertAfter(const xpath::XmlObject& ref, const Content& content);
+
+  /// Replace(child, content): atomic InsertBefore+Delete (ordered) or
+  /// Insert+Delete (unordered). A reference binding may only be replaced by
+  /// a reference with the same label (§4.2.3).
+  Status Replace(const xpath::XmlObject& child, const Content& content);
+
+  /// True if the object (or an ancestor of it) was deleted earlier in this
+  /// operation sequence.
+  bool IsDeleted(const xpath::XmlObject& obj) const;
+
+  xml::Document* document() const { return doc_; }
+  ExecutionModel model() const { return model_; }
+
+ private:
+  Status CheckLive(const xpath::XmlObject& obj);
+  /// Current position of an IDREFS entry bound at original position
+  /// `original`; -1 if that entry was deleted.
+  int64_t CurrentRefIndex(const xml::Element* owner, const std::string& list,
+                          size_t original) const;
+  void NoteRefRemoved(const xml::Element* owner, const std::string& list,
+                      int64_t current_pos);
+  void NoteRefInserted(const xml::Element* owner, const std::string& list,
+                       int64_t current_pos);
+  Status InsertRelative(const xpath::XmlObject& ref, const Content& content,
+                        bool before);
+
+  xml::Document* doc_;
+  ExecutionModel model_;
+
+  /// Subtree roots (elements / text nodes) detached by Delete; owned here so
+  /// content copies still work.
+  std::vector<std::unique_ptr<xml::Node>> graveyard_;
+  std::set<const xml::Node*> deleted_nodes_;
+  /// Attributes deleted in this sequence: (element, attr name).
+  std::set<std::pair<const xml::Element*, std::string>> deleted_attrs_;
+
+  /// Per (element, list): map original position -> current position (-1 =
+  /// deleted). Lazily initialized to identity on first touch.
+  using RefKey = std::pair<const xml::Element*, std::string>;
+  mutable std::map<RefKey, std::vector<int64_t>> ref_positions_;
+};
+
+}  // namespace xupd::update
+
+#endif  // XUPD_UPDATE_OPS_H_

@@ -1,0 +1,157 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace xupd::workload {
+
+namespace {
+
+std::string SyntheticDtdText(int depth) {
+  std::string out = "<!ELEMENT doc (n1*)>\n";
+  for (int k = 1; k <= depth; ++k) {
+    std::string children = "s" + std::to_string(k) + ", v" + std::to_string(k);
+    if (k < depth) children += ", n" + std::to_string(k + 1) + "*";
+    out += "<!ELEMENT n" + std::to_string(k) + " (" + children + ")>\n";
+    out += "<!ELEMENT s" + std::to_string(k) + " (#PCDATA)>\n";
+    out += "<!ELEMENT v" + std::to_string(k) + " (#PCDATA)>\n";
+  }
+  return out;
+}
+
+// Builds one subtree node at level `k`; recurses to `depth` with `fanout`
+// children per internal node (fanout may be a callback for randomization).
+void BuildNode(xml::Element* parent, int k, int depth, int fanout, Rng* rng,
+               size_t* count, bool randomized, int max_fanout) {
+  auto node = std::make_unique<xml::Element>("n" + std::to_string(k));
+  node->AppendSimpleChild("s" + std::to_string(k), rng->RandomString(50));
+  node->AppendSimpleChild("v" + std::to_string(k),
+                          std::to_string(rng->UniformRange(0, 999999)));
+  ++*count;
+  xml::Element* raw =
+      static_cast<xml::Element*>(parent->AppendChild(std::move(node)));
+  if (k < depth) {
+    int f = randomized ? static_cast<int>(rng->UniformRange(1, max_fanout))
+                       : fanout;
+    for (int c = 0; c < f; ++c) {
+      BuildNode(raw, k + 1, depth, fanout, rng, count, randomized, max_fanout);
+    }
+  }
+}
+
+Result<GeneratedDoc> GenerateSynthetic(const SyntheticSpec& spec, uint64_t seed,
+                                       bool randomized) {
+  if (spec.scaling_factor < 1 || spec.depth < 1 || spec.fanout < 1) {
+    return Status::InvalidArgument("synthetic spec parameters must be >= 1");
+  }
+  GeneratedDoc out;
+  out.dtd_text = SyntheticDtdText(spec.depth);
+  auto dtd = xml::Dtd::Parse(out.dtd_text);
+  if (!dtd.ok()) return dtd.status();
+  out.dtd = std::move(dtd).value();
+
+  Rng rng(seed);
+  auto root = std::make_unique<xml::Element>("doc");
+  size_t count = 1;  // the root tuple
+  for (int s = 0; s < spec.scaling_factor; ++s) {
+    int depth = spec.depth;
+    if (randomized) {
+      int min_depth = std::min(2, spec.depth);
+      depth = static_cast<int>(rng.UniformRange(min_depth, spec.depth));
+    }
+    BuildNode(root.get(), 1, depth, spec.fanout, &rng, &count, randomized,
+              spec.fanout);
+  }
+  out.doc = std::make_unique<xml::Document>(std::move(root));
+  out.tuple_count = count;
+  return out;
+}
+
+}  // namespace
+
+Result<GeneratedDoc> GenerateFixedSynthetic(const SyntheticSpec& spec,
+                                            uint64_t seed) {
+  return GenerateSynthetic(spec, seed, /*randomized=*/false);
+}
+
+Result<GeneratedDoc> GenerateRandomizedSynthetic(const SyntheticSpec& spec,
+                                                 uint64_t seed) {
+  return GenerateSynthetic(spec, seed, /*randomized=*/true);
+}
+
+size_t FixedSyntheticTupleCount(const SyntheticSpec& spec) {
+  size_t per_subtree = 0;
+  size_t level = 1;
+  for (int d = 0; d < spec.depth; ++d) {
+    per_subtree += level;
+    level *= static_cast<size_t>(spec.fanout);
+  }
+  return 1 + static_cast<size_t>(spec.scaling_factor) * per_subtree;
+}
+
+Result<GeneratedDoc> GenerateDblp(const DblpSpec& spec, uint64_t seed) {
+  static const char kDblpDtd[] = R"(
+<!ELEMENT dblp (conference*)>
+<!ELEMENT conference (cname, publication*)>
+<!ELEMENT publication (title, year, pages?, author*, cite*)>
+<!ELEMENT cname (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT cite (#PCDATA)>
+)";
+  GeneratedDoc out;
+  out.dtd_text = kDblpDtd;
+  auto dtd = xml::Dtd::Parse(out.dtd_text);
+  if (!dtd.ok()) return dtd.status();
+  out.dtd = std::move(dtd).value();
+
+  Rng rng(seed);
+  auto root = std::make_unique<xml::Element>("dblp");
+  size_t count = 1;
+  int pub_serial = 0;
+  for (int c = 0; c < spec.conferences; ++c) {
+    auto conf = std::make_unique<xml::Element>("conference");
+    conf->AppendSimpleChild("cname", "conf-" + std::to_string(c));
+    ++count;
+    int pubs =
+        static_cast<int>(rng.UniformRange(spec.min_pubs, spec.max_pubs));
+    for (int p = 0; p < pubs; ++p) {
+      auto pub = std::make_unique<xml::Element>("publication");
+      pub->AppendSimpleChild("title", "title-" + std::to_string(pub_serial) +
+                                          "-" + rng.RandomString(24));
+      pub->AppendSimpleChild(
+          "year",
+          std::to_string(rng.UniformRange(spec.min_year, spec.max_year)));
+      if (rng.Uniform(2) == 0) {
+        pub->AppendSimpleChild("pages",
+                               std::to_string(rng.UniformRange(1, 500)));
+      }
+      ++count;
+      int authors = static_cast<int>(
+          rng.UniformRange(spec.min_authors, spec.max_authors));
+      for (int a = 0; a < authors; ++a) {
+        pub->AppendSimpleChild(
+            "author", "author-" + std::to_string(rng.Uniform(5000)));
+        ++count;
+      }
+      int cites =
+          static_cast<int>(rng.UniformRange(spec.min_cites, spec.max_cites));
+      for (int ci = 0; ci < cites; ++ci) {
+        pub->AppendSimpleChild("cite",
+                               "pub-" + std::to_string(rng.Uniform(100000)));
+        ++count;
+      }
+      conf->AppendChild(std::move(pub));
+      ++pub_serial;
+    }
+    root->AppendChild(std::move(conf));
+  }
+  out.doc = std::make_unique<xml::Document>(std::move(root));
+  out.tuple_count = count;
+  return out;
+}
+
+}  // namespace xupd::workload

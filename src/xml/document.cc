@@ -1,0 +1,43 @@
+#include "xml/document.h"
+
+namespace xupd::xml {
+
+namespace {
+
+void CollectIds(Element* e, const std::string& id_attr,
+                std::unordered_map<std::string, Element*>* map) {
+  if (const Attribute* a = e->FindAttribute(id_attr)) {
+    map->emplace(a->value, e);  // first occurrence wins on duplicate IDs
+  }
+  for (const auto& c : e->children()) {
+    if (c->is_element()) {
+      CollectIds(static_cast<Element*>(c.get()), id_attr, map);
+    }
+  }
+}
+
+}  // namespace
+
+Element* Document::FindById(std::string_view id) const {
+  if (id_map_dirty_) RebuildIdMap();
+  auto it = id_map_.find(std::string(id));
+  return it == id_map_.end() ? nullptr : it->second;
+}
+
+void Document::RebuildIdMap() const {
+  id_map_.clear();
+  if (root_ != nullptr) {
+    CollectIds(root_.get(), id_attribute_, &id_map_);
+  }
+  id_map_dirty_ = false;
+}
+
+std::unique_ptr<Document> Document::Clone() const {
+  auto copy = std::make_unique<Document>();
+  copy->id_attribute_ = id_attribute_;
+  copy->ref_attributes_ = ref_attributes_;
+  if (root_ != nullptr) copy->set_root(root_->Clone());
+  return copy;
+}
+
+}  // namespace xupd::xml

@@ -1,0 +1,71 @@
+// Document: owns the element tree, tracks which attribute names carry ID /
+// IDREF semantics, and maintains the ID -> element index used by ref()
+// path steps and the -> dereference operator.
+#ifndef XUPD_XML_DOCUMENT_H_
+#define XUPD_XML_DOCUMENT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "xml/node.h"
+
+namespace xupd::xml {
+
+class Document {
+ public:
+  Document() = default;
+  explicit Document(std::unique_ptr<Element> root) : root_(std::move(root)) {}
+
+  Element* root() const { return root_.get(); }
+  void set_root(std::unique_ptr<Element> root) {
+    root_ = std::move(root);
+    InvalidateIdMap();
+  }
+
+  /// Name of the attribute that carries element identity ("ID" by default,
+  /// as in the paper's bio-lab example).
+  const std::string& id_attribute() const { return id_attribute_; }
+  void set_id_attribute(std::string name) {
+    id_attribute_ = std::move(name);
+    InvalidateIdMap();
+  }
+
+  /// Attribute names that should be interpreted as IDREF/IDREFS when parsing
+  /// (e.g. "managers", "source", "biologist", "lab" in the paper's example).
+  const std::set<std::string>& ref_attributes() const { return ref_attributes_; }
+  void DeclareRefAttribute(std::string name) {
+    ref_attributes_.insert(std::move(name));
+  }
+
+  /// Looks up an element by its ID attribute value. The index is rebuilt
+  /// lazily after mutations (see InvalidateIdMap).
+  Element* FindById(std::string_view id) const;
+
+  /// Must be called (directly or via the update executor) after structural
+  /// mutations that may add/remove IDs.
+  void InvalidateIdMap() { id_map_dirty_ = true; }
+
+  /// Deep copy of the whole document, including ref-attribute declarations.
+  std::unique_ptr<Document> Clone() const;
+
+  /// Number of element nodes in the document.
+  size_t ElementCount() const {
+    return root_ ? root_->SubtreeElementCount() : 0;
+  }
+
+ private:
+  void RebuildIdMap() const;
+
+  std::unique_ptr<Element> root_;
+  std::string id_attribute_ = "ID";
+  std::set<std::string> ref_attributes_;
+
+  mutable bool id_map_dirty_ = true;
+  mutable std::unordered_map<std::string, Element*> id_map_;
+};
+
+}  // namespace xupd::xml
+
+#endif  // XUPD_XML_DOCUMENT_H_

@@ -1,0 +1,392 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace xupd::xml {
+
+namespace {
+
+/// Character-level cursor over DTD text with line tracking for errors.
+class DtdCursor {
+ public:
+  explicit DtdCursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (!AtEnd()) {
+      if (text_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_).substr(0, word.size()) == word) {
+      for (size_t i = 0; i < word.size(); ++i) Advance();
+      return true;
+    }
+    return false;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  std::string ReadName() {
+    std::string name;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == '.' || c == ':') {
+        name += c;
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return name;
+  }
+  int line() const { return line_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("DTD line " + std::to_string(line_) + ": " + msg);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+Quant ReadQuant(DtdCursor* cur) {
+  if (cur->Consume('?')) return Quant::kOptional;
+  if (cur->Consume('*')) return Quant::kStar;
+  if (cur->Consume('+')) return Quant::kPlus;
+  return Quant::kOne;
+}
+
+// Forward decl: cp := Name quant? | '(' choice-or-seq ')' quant?
+Status ParseCp(DtdCursor* cur, ContentParticle* out);
+
+Status ParseGroup(DtdCursor* cur, ContentParticle* out) {
+  // Called after '('. Parses (cp (',' cp)*) or (cp ('|' cp)*) up to ')'.
+  std::vector<ContentParticle> items;
+  char sep = '\0';
+  while (true) {
+    cur->SkipWhitespace();
+    ContentParticle item;
+    XUPD_RETURN_IF_ERROR(ParseCp(cur, &item));
+    items.push_back(std::move(item));
+    cur->SkipWhitespace();
+    if (cur->Consume(')')) break;
+    char c = cur->Peek();
+    if (c != ',' && c != '|') {
+      return cur->Error("expected ',' '|' or ')' in content model");
+    }
+    if (sep != '\0' && sep != c) {
+      return cur->Error("cannot mix ',' and '|' at the same level");
+    }
+    sep = c;
+    cur->Advance();
+  }
+  if (items.size() == 1 && sep == '\0') {
+    *out = std::move(items[0]);
+    // A group around a single particle may still carry its own quantifier,
+    // e.g. (a)* — handled by caller reading quant after ')'.
+    return Status::OK();
+  }
+  out->kind = (sep == '|') ? ContentParticle::Kind::kChoice
+                           : ContentParticle::Kind::kSeq;
+  out->children = std::move(items);
+  return Status::OK();
+}
+
+Status ParseCp(DtdCursor* cur, ContentParticle* out) {
+  cur->SkipWhitespace();
+  if (cur->Consume('(')) {
+    ContentParticle group;
+    XUPD_RETURN_IF_ERROR(ParseGroup(cur, &group));
+    Quant q = ReadQuant(cur);
+    if (q != Quant::kOne) {
+      // Combining quantifiers: wrap when the inner particle already has one.
+      if (group.quant != Quant::kOne) {
+        ContentParticle wrapper;
+        wrapper.kind = ContentParticle::Kind::kSeq;
+        wrapper.quant = q;
+        wrapper.children.push_back(std::move(group));
+        *out = std::move(wrapper);
+        return Status::OK();
+      }
+      group.quant = q;
+    }
+    *out = std::move(group);
+    return Status::OK();
+  }
+  std::string name = cur->ReadName();
+  if (name.empty()) return cur->Error("expected element name in content model");
+  out->kind = ContentParticle::Kind::kName;
+  out->name = std::move(name);
+  out->quant = ReadQuant(cur);
+  return Status::OK();
+}
+
+Status ParseElementDecl(DtdCursor* cur, Dtd* dtd) {
+  cur->SkipWhitespace();
+  ElementDecl decl;
+  decl.name = cur->ReadName();
+  if (decl.name.empty()) return cur->Error("expected element name");
+  cur->SkipWhitespace();
+  if (cur->ConsumeWord("EMPTY")) {
+    decl.type = ContentType::kEmpty;
+  } else if (cur->ConsumeWord("ANY")) {
+    decl.type = ContentType::kAny;
+  } else if (cur->Peek() == '(') {
+    cur->Advance();
+    cur->SkipWhitespace();
+    if (cur->ConsumeWord("#PCDATA")) {
+      // (#PCDATA) or (#PCDATA | a | b)*
+      std::vector<std::string> names;
+      cur->SkipWhitespace();
+      while (cur->Consume('|')) {
+        cur->SkipWhitespace();
+        std::string n = cur->ReadName();
+        if (n.empty()) return cur->Error("expected name in mixed content");
+        names.push_back(std::move(n));
+        cur->SkipWhitespace();
+      }
+      if (!cur->Consume(')')) return cur->Error("expected ')' after #PCDATA");
+      ReadQuant(cur);  // optional trailing '*'
+      if (names.empty()) {
+        decl.type = ContentType::kPcdataOnly;
+      } else {
+        decl.type = ContentType::kMixed;
+        decl.mixed_names = std::move(names);
+      }
+    } else {
+      decl.type = ContentType::kChildren;
+      ContentParticle group;
+      XUPD_RETURN_IF_ERROR(ParseGroup(cur, &group));
+      Quant q = ReadQuant(cur);
+      if (q != Quant::kOne) {
+        if (group.quant != Quant::kOne) {
+          ContentParticle wrapper;
+          wrapper.kind = ContentParticle::Kind::kSeq;
+          wrapper.quant = q;
+          wrapper.children.push_back(std::move(group));
+          group = std::move(wrapper);
+        } else {
+          group.quant = q;
+        }
+      }
+      decl.model = std::move(group);
+    }
+  } else {
+    return cur->Error("expected content model for <!ELEMENT " + decl.name + ">");
+  }
+  cur->SkipWhitespace();
+  if (!cur->Consume('>')) return cur->Error("expected '>' to close <!ELEMENT>");
+  dtd->AddElement(std::move(decl));
+  return Status::OK();
+}
+
+Status ParseAttType(DtdCursor* cur, AttrDecl* decl) {
+  cur->SkipWhitespace();
+  if (cur->ConsumeWord("CDATA")) {
+    decl->type = AttrType::kCdata;
+  } else if (cur->ConsumeWord("IDREFS")) {
+    decl->type = AttrType::kIdrefs;
+  } else if (cur->ConsumeWord("IDREF")) {
+    decl->type = AttrType::kIdref;
+  } else if (cur->ConsumeWord("ID")) {
+    decl->type = AttrType::kId;
+  } else if (cur->ConsumeWord("NMTOKENS") || cur->ConsumeWord("NMTOKEN")) {
+    decl->type = AttrType::kNmtoken;
+  } else if (cur->Consume('(')) {
+    decl->type = AttrType::kEnumerated;
+    while (true) {
+      cur->SkipWhitespace();
+      std::string v = cur->ReadName();
+      if (v.empty()) return cur->Error("expected enumeration value");
+      decl->enum_values.push_back(std::move(v));
+      cur->SkipWhitespace();
+      if (cur->Consume(')')) break;
+      if (!cur->Consume('|')) return cur->Error("expected '|' or ')'");
+    }
+  } else {
+    return cur->Error("unsupported attribute type");
+  }
+  return Status::OK();
+}
+
+Status ParseQuotedValue(DtdCursor* cur, std::string* out) {
+  char quote = cur->Peek();
+  if (quote != '"' && quote != '\'') return cur->Error("expected quoted value");
+  cur->Advance();
+  out->clear();
+  while (!cur->AtEnd() && cur->Peek() != quote) {
+    *out += cur->Peek();
+    cur->Advance();
+  }
+  if (!cur->Consume(quote)) return cur->Error("unterminated quoted value");
+  return Status::OK();
+}
+
+Status ParseAttlistDecl(DtdCursor* cur, Dtd* dtd) {
+  cur->SkipWhitespace();
+  std::string element = cur->ReadName();
+  if (element.empty()) return cur->Error("expected element name in <!ATTLIST>");
+  while (true) {
+    cur->SkipWhitespace();
+    if (cur->Consume('>')) break;
+    AttrDecl decl;
+    decl.element = element;
+    decl.name = cur->ReadName();
+    if (decl.name.empty()) return cur->Error("expected attribute name");
+    XUPD_RETURN_IF_ERROR(ParseAttType(cur, &decl));
+    cur->SkipWhitespace();
+    if (cur->ConsumeWord("#REQUIRED")) {
+      decl.mode = AttrDefaultMode::kRequired;
+    } else if (cur->ConsumeWord("#IMPLIED")) {
+      decl.mode = AttrDefaultMode::kImplied;
+    } else if (cur->ConsumeWord("#FIXED")) {
+      decl.mode = AttrDefaultMode::kFixed;
+      cur->SkipWhitespace();
+      XUPD_RETURN_IF_ERROR(ParseQuotedValue(cur, &decl.default_value));
+    } else {
+      decl.mode = AttrDefaultMode::kDefault;
+      XUPD_RETURN_IF_ERROR(ParseQuotedValue(cur, &decl.default_value));
+    }
+    dtd->AddAttribute(std::move(decl));
+  }
+  return Status::OK();
+}
+
+// Recursively collects child occurrences from a content particle.
+// `repeated_ctx` / `optional_ctx` carry the context implied by enclosing
+// groups (e.g. everything under a starred group is repeated+optional).
+void CollectOccurrences(const ContentParticle& p, bool repeated_ctx,
+                        bool optional_ctx,
+                        std::vector<ChildOccurrence>* out) {
+  bool self_rep = p.quant == Quant::kStar || p.quant == Quant::kPlus;
+  bool self_opt = p.quant == Quant::kStar || p.quant == Quant::kOptional;
+  bool repeated = repeated_ctx || self_rep;
+  bool optional = optional_ctx || self_opt;
+  if (p.kind == ContentParticle::Kind::kName) {
+    for (ChildOccurrence& occ : *out) {
+      if (occ.name == p.name) {
+        // Appears more than once in the model: definitely repeated.
+        occ.repeated = true;
+        return;
+      }
+    }
+    out->push_back(ChildOccurrence{p.name, repeated, optional});
+    return;
+  }
+  bool choice = p.kind == ContentParticle::Kind::kChoice;
+  for (const ContentParticle& c : p.children) {
+    // A choice branch is optional (a sibling branch may be taken instead).
+    CollectOccurrences(c, repeated, optional || choice, out);
+  }
+}
+
+}  // namespace
+
+Result<Dtd> Dtd::Parse(std::string_view text) {
+  Dtd dtd;
+  DtdCursor cur(text);
+  while (true) {
+    cur.SkipWhitespace();
+    if (cur.AtEnd()) break;
+    if (cur.ConsumeWord("<!--")) {
+      while (!cur.AtEnd() && !cur.ConsumeWord("-->")) cur.Advance();
+      continue;
+    }
+    if (cur.ConsumeWord("<!ELEMENT")) {
+      XUPD_RETURN_IF_ERROR(ParseElementDecl(&cur, &dtd));
+    } else if (cur.ConsumeWord("<!ATTLIST")) {
+      XUPD_RETURN_IF_ERROR(ParseAttlistDecl(&cur, &dtd));
+    } else {
+      return cur.Error("expected <!ELEMENT>, <!ATTLIST> or comment");
+    }
+  }
+  if (dtd.elements().empty()) {
+    return Status::ParseError("DTD contains no element declarations");
+  }
+  return dtd;
+}
+
+const ElementDecl* Dtd::FindElement(std::string_view name) const {
+  auto it = element_index_.find(name);
+  return it == element_index_.end() ? nullptr : &elements_[it->second];
+}
+
+const AttrDecl* Dtd::FindAttribute(std::string_view element,
+                                   std::string_view attr) const {
+  for (const AttrDecl& a : attributes_) {
+    if (a.element == element && a.name == attr) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<const AttrDecl*> Dtd::AttributesOf(std::string_view element) const {
+  std::vector<const AttrDecl*> out;
+  for (const AttrDecl& a : attributes_) {
+    if (a.element == element) out.push_back(&a);
+  }
+  return out;
+}
+
+std::string Dtd::RootName() const {
+  std::set<std::string> referenced;
+  for (const ElementDecl& e : elements_) {
+    for (const ChildOccurrence& c : ChildElements(e.name)) {
+      referenced.insert(c.name);
+    }
+    for (const std::string& m : e.mixed_names) referenced.insert(m);
+  }
+  for (const ElementDecl& e : elements_) {
+    if (referenced.find(e.name) == referenced.end()) return e.name;
+  }
+  return elements_.empty() ? "" : elements_.front().name;
+}
+
+std::vector<ChildOccurrence> Dtd::ChildElements(std::string_view element) const {
+  std::vector<ChildOccurrence> out;
+  const ElementDecl* decl = FindElement(element);
+  if (decl == nullptr) return out;
+  if (decl->type == ContentType::kChildren) {
+    CollectOccurrences(decl->model, /*repeated_ctx=*/false,
+                       /*optional_ctx=*/false, &out);
+  } else if (decl->type == ContentType::kMixed) {
+    for (const std::string& n : decl->mixed_names) {
+      out.push_back(ChildOccurrence{n, /*repeated=*/true, /*optional=*/true});
+    }
+  }
+  return out;
+}
+
+bool Dtd::IsPcdataOnly(std::string_view element) const {
+  const ElementDecl* decl = FindElement(element);
+  return decl != nullptr && decl->type == ContentType::kPcdataOnly;
+}
+
+void Dtd::AddElement(ElementDecl decl) {
+  element_index_[decl.name] = elements_.size();
+  elements_.push_back(std::move(decl));
+}
+
+void Dtd::AddAttribute(AttrDecl decl) { attributes_.push_back(std::move(decl)); }
+
+}  // namespace xupd::xml

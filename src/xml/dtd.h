@@ -1,0 +1,98 @@
+// DTD model + parser. The DTD drives (a) IDREF/IDREFS attribute
+// classification when parsing documents, (b) the Shared Inlining relational
+// mapping of §5.1, and (c) the validator (an implementation of the paper's §8
+// "typechecking updates" future-work item).
+#ifndef XUPD_XML_DTD_H_
+#define XUPD_XML_DTD_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xupd::xml {
+
+/// Occurrence qualifier on a content particle: one, `?`, `*`, `+`.
+enum class Quant { kOne, kOptional, kStar, kPlus };
+
+/// A node in an <!ELEMENT> content model.
+struct ContentParticle {
+  enum class Kind { kName, kSeq, kChoice };
+  Kind kind = Kind::kName;
+  Quant quant = Quant::kOne;
+  std::string name;                       ///< kName only.
+  std::vector<ContentParticle> children;  ///< kSeq / kChoice.
+};
+
+enum class ContentType { kEmpty, kAny, kPcdataOnly, kMixed, kChildren };
+
+struct ElementDecl {
+  std::string name;
+  ContentType type = ContentType::kEmpty;
+  ContentParticle model;                 ///< valid when type == kChildren.
+  std::vector<std::string> mixed_names;  ///< valid when type == kMixed.
+};
+
+enum class AttrType { kCdata, kId, kIdref, kIdrefs, kNmtoken, kEnumerated };
+enum class AttrDefaultMode { kRequired, kImplied, kFixed, kDefault };
+
+struct AttrDecl {
+  std::string element;
+  std::string name;
+  AttrType type = AttrType::kCdata;
+  AttrDefaultMode mode = AttrDefaultMode::kImplied;
+  std::string default_value;
+  std::vector<std::string> enum_values;  ///< kEnumerated only.
+};
+
+/// Summary of how a child element occurs within its parent's content model;
+/// this is exactly the information the Shared Inlining mapper needs.
+struct ChildOccurrence {
+  std::string name;
+  bool repeated = false;  ///< may occur more than once (under * / + / twice).
+  bool optional = false;  ///< may be absent (under ? / * / choice branch).
+};
+
+/// A parsed Document Type Definition.
+class Dtd {
+ public:
+  /// Parses the *internal subset* syntax: a sequence of <!ELEMENT ...> and
+  /// <!ATTLIST ...> declarations (comments allowed). Returns ParseError with
+  /// line info on malformed input.
+  static Result<Dtd> Parse(std::string_view text);
+
+  const std::vector<ElementDecl>& elements() const { return elements_; }
+  const std::vector<AttrDecl>& attributes() const { return attributes_; }
+
+  const ElementDecl* FindElement(std::string_view name) const;
+  const AttrDecl* FindAttribute(std::string_view element,
+                                std::string_view attr) const;
+  std::vector<const AttrDecl*> AttributesOf(std::string_view element) const;
+
+  /// The first declared element that is not referenced in any other element's
+  /// content model — the conventional document root.
+  std::string RootName() const;
+
+  /// Flattened child-element occurrence info for `element` (empty for
+  /// EMPTY/PCDATA-only elements). ANY returns an empty list (treated as
+  /// unmappable by the inliner).
+  std::vector<ChildOccurrence> ChildElements(std::string_view element) const;
+
+  /// True if the element's content model is exactly (#PCDATA).
+  bool IsPcdataOnly(std::string_view element) const;
+
+  void AddElement(ElementDecl decl);
+  void AddAttribute(AttrDecl decl);
+
+ private:
+  std::vector<ElementDecl> elements_;
+  std::vector<AttrDecl> attributes_;
+  std::map<std::string, size_t, std::less<>> element_index_;
+};
+
+}  // namespace xupd::xml
+
+#endif  // XUPD_XML_DTD_H_

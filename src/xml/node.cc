@@ -1,0 +1,321 @@
+#include "xml/node.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace xupd::xml {
+
+const Attribute* Element::FindAttribute(std::string_view name) const {
+  for (const Attribute& a : attrs_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+Status Element::InsertAttribute(std::string name, std::string value) {
+  if (FindAttribute(name) != nullptr) {
+    return Status::AlreadyExists("attribute '" + name + "' already exists on <" +
+                                 name_ + ">");
+  }
+  attrs_.push_back(Attribute{std::move(name), std::move(value)});
+  return Status::OK();
+}
+
+void Element::SetAttribute(std::string name, std::string value) {
+  for (Attribute& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attrs_.push_back(Attribute{std::move(name), std::move(value)});
+}
+
+Status Element::RemoveAttribute(std::string_view name) {
+  for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+    if (it->name == name) {
+      attrs_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("attribute '" + std::string(name) + "' not found on <" +
+                          name_ + ">");
+}
+
+Status Element::RenameAttribute(std::string_view old_name, std::string new_name) {
+  if (old_name != new_name && FindAttribute(new_name) != nullptr) {
+    return Status::AlreadyExists("attribute '" + new_name + "' already exists");
+  }
+  for (Attribute& a : attrs_) {
+    if (a.name == old_name) {
+      a.name = std::move(new_name);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("attribute '" + std::string(old_name) + "' not found");
+}
+
+const RefList* Element::FindRefList(std::string_view name) const {
+  for (const RefList& r : refs_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+RefList* Element::FindRefList(std::string_view name) {
+  for (RefList& r : refs_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+void Element::AppendRef(std::string name, std::string target) {
+  if (RefList* list = FindRefList(name)) {
+    list->targets.push_back(std::move(target));
+    return;
+  }
+  refs_.push_back(RefList{std::move(name), {std::move(target)}});
+}
+
+Status Element::InsertRefAt(std::string_view name, size_t index,
+                            std::string target) {
+  RefList* list = FindRefList(name);
+  if (list == nullptr) {
+    return Status::NotFound("IDREFS list '" + std::string(name) + "' not found");
+  }
+  if (index > list->targets.size()) {
+    return Status::OutOfRange("IDREFS index out of range");
+  }
+  list->targets.insert(list->targets.begin() + static_cast<ptrdiff_t>(index),
+                       std::move(target));
+  return Status::OK();
+}
+
+Status Element::RemoveRefAt(std::string_view name, size_t index) {
+  for (auto it = refs_.begin(); it != refs_.end(); ++it) {
+    if (it->name == name) {
+      if (index >= it->targets.size()) {
+        return Status::OutOfRange("IDREFS index out of range");
+      }
+      it->targets.erase(it->targets.begin() + static_cast<ptrdiff_t>(index));
+      if (it->targets.empty()) refs_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("IDREFS list '" + std::string(name) + "' not found");
+}
+
+Status Element::RenameRefList(std::string_view old_name, std::string new_name) {
+  if (old_name != new_name && FindRefList(new_name) != nullptr) {
+    return Status::AlreadyExists("IDREFS list '" + new_name + "' already exists");
+  }
+  for (RefList& r : refs_) {
+    if (r.name == old_name) {
+      r.name = std::move(new_name);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("IDREFS list '" + std::string(old_name) + "' not found");
+}
+
+Status Element::ReplaceRefAt(std::string_view name, size_t index,
+                             std::string target) {
+  RefList* list = FindRefList(name);
+  if (list == nullptr) {
+    return Status::NotFound("IDREFS list '" + std::string(name) + "' not found");
+  }
+  if (index >= list->targets.size()) {
+    return Status::OutOfRange("IDREFS index out of range");
+  }
+  list->targets[index] = std::move(target);
+  return Status::OK();
+}
+
+size_t Element::IndexOfChild(const Node* node) const {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == node) return i;
+  }
+  return kNpos;
+}
+
+Element* Element::AppendChild(std::unique_ptr<Node> node) {
+  node->parent_ = this;
+  Node* raw = node.get();
+  children_.push_back(std::move(node));
+  return raw->is_element() ? static_cast<Element*>(raw) : nullptr;
+}
+
+Status Element::InsertChildAt(size_t index, std::unique_ptr<Node> node) {
+  if (index > children_.size()) {
+    return Status::OutOfRange("child index out of range");
+  }
+  node->parent_ = this;
+  children_.insert(children_.begin() + static_cast<ptrdiff_t>(index),
+                   std::move(node));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Node>> Element::RemoveChildAt(size_t index) {
+  if (index >= children_.size()) {
+    return Status::OutOfRange("child index out of range");
+  }
+  std::unique_ptr<Node> out = std::move(children_[index]);
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+  out->parent_ = nullptr;
+  return out;
+}
+
+Element* Element::AppendSimpleChild(std::string name, std::string text) {
+  auto child = std::make_unique<Element>(std::move(name));
+  if (!text.empty()) child->AppendText(std::move(text));
+  return static_cast<Element*>(AppendChild(std::move(child)));
+}
+
+void Element::AppendText(std::string text) {
+  AppendChild(std::make_unique<Text>(std::move(text)));
+}
+
+Element* Element::FindChildElement(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->is_element()) {
+      auto* e = static_cast<Element*>(c.get());
+      if (e->name() == name) return e;
+    }
+  }
+  return nullptr;
+}
+
+std::string Element::TextContent() const {
+  std::string out;
+  for (const auto& c : children_) {
+    if (c->is_text()) out += static_cast<const Text*>(c.get())->value();
+  }
+  return out;
+}
+
+std::unique_ptr<Element> Element::Clone() const {
+  auto copy = std::make_unique<Element>(name_);
+  copy->attrs_ = attrs_;
+  copy->refs_ = refs_;
+  copy->children_.reserve(children_.size());
+  for (const auto& c : children_) {
+    copy->AppendChild(c->CloneNode());
+  }
+  return copy;
+}
+
+std::unique_ptr<Node> Element::CloneNode() const { return Clone(); }
+
+size_t Element::SubtreeElementCount() const {
+  size_t n = 1;
+  for (const auto& c : children_) {
+    if (c->is_element()) {
+      n += static_cast<const Element*>(c.get())->SubtreeElementCount();
+    }
+  }
+  return n;
+}
+
+namespace {
+
+// Order-insensitive comparison of attribute sets and reflist name sets.
+bool AttrsEqual(const Element& a, const Element& b) {
+  if (a.attributes().size() != b.attributes().size()) return false;
+  for (const Attribute& attr : a.attributes()) {
+    const Attribute* other = b.FindAttribute(attr.name);
+    if (other == nullptr || other->value != attr.value) return false;
+  }
+  return true;
+}
+
+bool RefsEqual(const Element& a, const Element& b) {
+  if (a.ref_lists().size() != b.ref_lists().size()) return false;
+  for (const RefList& r : a.ref_lists()) {
+    const RefList* other = b.FindRefList(r.name);
+    if (other == nullptr || other->targets != r.targets) return false;
+  }
+  return true;
+}
+
+bool DeepEqualImpl(const Node& a, const Node& b, bool ordered);
+
+// Canonical sort key for unordered child comparison.
+std::string UnorderedKey(const Node& n);
+
+bool ChildrenEqual(const Element& a, const Element& b, bool ordered) {
+  if (a.child_count() != b.child_count()) return false;
+  if (ordered) {
+    for (size_t i = 0; i < a.child_count(); ++i) {
+      if (!DeepEqualImpl(*a.child(i), *b.child(i), ordered)) return false;
+    }
+    return true;
+  }
+  // Unordered: match children as multisets via canonical serialization keys.
+  std::multimap<std::string, const Node*> bkeys;
+  for (size_t i = 0; i < b.child_count(); ++i) {
+    bkeys.emplace(UnorderedKey(*b.child(i)), b.child(i));
+  }
+  for (size_t i = 0; i < a.child_count(); ++i) {
+    auto it = bkeys.find(UnorderedKey(*a.child(i)));
+    if (it == bkeys.end()) return false;
+    bkeys.erase(it);
+  }
+  return true;
+}
+
+bool DeepEqualImpl(const Node& a, const Node& b, bool ordered) {
+  if (a.kind() != b.kind()) return false;
+  if (a.is_text()) {
+    return static_cast<const Text&>(a).value() ==
+           static_cast<const Text&>(b).value();
+  }
+  const auto& ea = static_cast<const Element&>(a);
+  const auto& eb = static_cast<const Element&>(b);
+  if (ea.name() != eb.name()) return false;
+  if (!AttrsEqual(ea, eb) || !RefsEqual(ea, eb)) return false;
+  return ChildrenEqual(ea, eb, ordered);
+}
+
+std::string UnorderedKey(const Node& n) {
+  if (n.is_text()) {
+    return "#text:" + static_cast<const Text&>(n).value();
+  }
+  const auto& e = static_cast<const Element&>(n);
+  std::string key = "<" + e.name();
+  std::vector<std::string> attrs;
+  for (const Attribute& a : e.attributes()) {
+    attrs.push_back(a.name + "=" + a.value);
+  }
+  std::sort(attrs.begin(), attrs.end());
+  for (const auto& a : attrs) key += " @" + a;
+  std::vector<std::string> refs;
+  for (const RefList& r : e.ref_lists()) {
+    refs.push_back(r.name + "=" + Join(r.targets, " "));
+  }
+  std::sort(refs.begin(), refs.end());
+  for (const auto& r : refs) key += " &" + r;
+  key += ">";
+  std::vector<std::string> kids;
+  kids.reserve(e.child_count());
+  for (size_t i = 0; i < e.child_count(); ++i) {
+    kids.push_back(UnorderedKey(*e.child(i)));
+  }
+  std::sort(kids.begin(), kids.end());
+  for (const auto& k : kids) key += k;
+  key += "</>";
+  return key;
+}
+
+}  // namespace
+
+bool DeepEqual(const Node& a, const Node& b) {
+  return DeepEqualImpl(a, b, /*ordered=*/true);
+}
+
+bool DeepEqualUnordered(const Node& a, const Node& b) {
+  return DeepEqualImpl(a, b, /*ordered=*/false);
+}
+
+}  // namespace xupd::xml

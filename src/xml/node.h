@@ -1,0 +1,200 @@
+// The XML data model of "Updating XML" §3.1: a node-labeled tree with
+// references. An *object* is one of:
+//   - an element: name, set of attributes, set of named IDREFS lists, ordered
+//     list of child elements / PCDATA;
+//   - an attribute: (name, string value), unordered w.r.t. one another;
+//   - an IDREFS list: a *named ordered list* of ID references (an IDREF is a
+//     singleton list);
+//   - PCDATA: a string value inside an element.
+#ifndef XUPD_XML_NODE_H_
+#define XUPD_XML_NODE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xupd::xml {
+
+class Element;
+
+enum class NodeKind { kElement, kText };
+
+/// An attribute: name + string value. Attributes are unordered with respect
+/// to one another (we keep insertion order for readable serialization only).
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+/// A named ordered list of ID references (IDREFS). Per the paper, an IDREF is
+/// treated as a singleton IDREFS list. Entry order is meaningful.
+struct RefList {
+  std::string name;
+  std::vector<std::string> targets;
+
+  bool operator==(const RefList&) const = default;
+};
+
+/// Base of the ordered child list: either an Element or a Text (PCDATA) node.
+class Node {
+ public:
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  /// Owning parent element; null for a detached node or the document root.
+  Element* parent() const { return parent_; }
+
+  /// Deep copy with no parent.
+  virtual std::unique_ptr<Node> CloneNode() const = 0;
+
+ protected:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+ private:
+  friend class Element;
+  NodeKind kind_;
+  Element* parent_ = nullptr;
+};
+
+/// PCDATA content.
+class Text : public Node {
+ public:
+  explicit Text(std::string value)
+      : Node(NodeKind::kText), value_(std::move(value)) {}
+
+  const std::string& value() const { return value_; }
+  void set_value(std::string v) { value_ = std::move(v); }
+
+  std::unique_ptr<Node> CloneNode() const override {
+    return std::make_unique<Text>(value_);
+  }
+
+ private:
+  std::string value_;
+};
+
+/// An element node. Mutators implement the checks required by the §3.2
+/// primitives (e.g. inserting an attribute that already exists fails).
+class Element : public Node {
+ public:
+  explicit Element(std::string name)
+      : Node(NodeKind::kElement), name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- Attributes -----------------------------------------------------------
+
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+
+  /// Null if absent.
+  const Attribute* FindAttribute(std::string_view name) const;
+
+  /// Fails with AlreadyExists if an attribute of this name is present
+  /// (paper §3.2, Insert semantics).
+  Status InsertAttribute(std::string name, std::string value);
+
+  /// Unconditionally sets (used by parsers/generators, not by update ops).
+  void SetAttribute(std::string name, std::string value);
+
+  /// Fails with NotFound if absent.
+  Status RemoveAttribute(std::string_view name);
+
+  /// Renames attribute `old_name` to `new_name`; fails if the source is
+  /// missing or the destination already exists.
+  Status RenameAttribute(std::string_view old_name, std::string new_name);
+
+  // --- IDREFS lists ---------------------------------------------------------
+
+  const std::vector<RefList>& ref_lists() const { return refs_; }
+  const RefList* FindRefList(std::string_view name) const;
+  RefList* FindRefList(std::string_view name);
+
+  /// Appends `target` to the IDREFS list `name`, creating the list if absent
+  /// (paper: inserting a reference with the name of an existing IDREFS adds
+  /// an extra entry).
+  void AppendRef(std::string name, std::string target);
+
+  /// Inserts `target` at `index` within list `name` (0 = front).
+  Status InsertRefAt(std::string_view name, size_t index, std::string target);
+
+  /// Removes the single entry at `index`; the rest of the list is preserved.
+  /// An emptied list is removed entirely.
+  Status RemoveRefAt(std::string_view name, size_t index);
+
+  /// Renames the *entire* IDREFS list (individual IDREFs cannot be renamed).
+  Status RenameRefList(std::string_view old_name, std::string new_name);
+
+  Status ReplaceRefAt(std::string_view name, size_t index, std::string target);
+
+  // --- Children (ordered list of Element / Text) -----------------------------
+
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  size_t child_count() const { return children_.size(); }
+  Node* child(size_t i) const { return children_[i].get(); }
+
+  /// Index of `node` in the child list, or npos.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t IndexOfChild(const Node* node) const;
+
+  /// Appends (ordered model: all non-attribute insertions go at the end).
+  Element* AppendChild(std::unique_ptr<Node> node);
+
+  /// Inserts at position `index` (<= child_count()).
+  Status InsertChildAt(size_t index, std::unique_ptr<Node> node);
+
+  /// Detaches and returns the child at `index`.
+  Result<std::unique_ptr<Node>> RemoveChildAt(size_t index);
+
+  /// Convenience: appends <name>text</name>.
+  Element* AppendSimpleChild(std::string name, std::string text);
+
+  /// Appends a Text child.
+  void AppendText(std::string text);
+
+  /// First child element with this name, or null.
+  Element* FindChildElement(std::string_view name) const;
+
+  /// Concatenated PCDATA of direct Text children.
+  std::string TextContent() const;
+
+  /// Deep copy (children, attributes, reflists); no parent.
+  std::unique_ptr<Element> Clone() const;
+  std::unique_ptr<Node> CloneNode() const override;
+
+  /// Number of element nodes in this subtree (including this one).
+  size_t SubtreeElementCount() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attrs_;
+  std::vector<RefList> refs_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// Deep structural equality in the *ordered* model: names, attribute sets
+/// (order-insensitive), reflists (name-insensitive order, entry order
+/// sensitive) and child lists (order sensitive) must match.
+bool DeepEqual(const Node& a, const Node& b);
+
+/// Deep equality in the *unordered* model: like DeepEqual but child lists are
+/// compared as multisets (used to compare against the relational store, which
+/// does not preserve document order).
+bool DeepEqualUnordered(const Node& a, const Node& b);
+
+}  // namespace xupd::xml
+
+#endif  // XUPD_XML_NODE_H_

@@ -1,0 +1,391 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "common/str_util.h"
+
+namespace xupd::xml {
+
+namespace {
+
+class XmlCursor {
+ public:
+  explicit XmlCursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t off = 0) const {
+    return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+  }
+  void Advance() {
+    if (!AtEnd()) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    if (Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_).substr(0, word.size()) == word) {
+      for (size_t i = 0; i < word.size(); ++i) Advance();
+      return true;
+    }
+    return false;
+  }
+  bool LookingAt(std::string_view word) const {
+    return text_.substr(pos_).substr(0, word.size()) == word;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  size_t pos() const { return pos_; }
+  std::string_view Slice(size_t from, size_t to) const {
+    return text_.substr(from, to - from);
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("XML " + std::to_string(line_) + ":" +
+                              std::to_string(col_) + ": " + msg);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+std::string ReadName(XmlCursor* cur) {
+  std::string name;
+  if (!IsNameStart(cur->Peek())) return name;
+  while (IsNameChar(cur->Peek())) {
+    name += cur->Peek();
+    cur->Advance();
+  }
+  return name;
+}
+
+Status DecodeEntity(XmlCursor* cur, std::string* out) {
+  // Called after consuming '&'.
+  if (cur->Consume('#')) {
+    int base = 10;
+    if (cur->Consume('x') || cur->Consume('X')) base = 16;
+    std::string digits;
+    while (std::isxdigit(static_cast<unsigned char>(cur->Peek()))) {
+      digits += cur->Peek();
+      cur->Advance();
+    }
+    if (!cur->Consume(';') || digits.empty()) {
+      return cur->Error("malformed character reference");
+    }
+    uint32_t cp = static_cast<uint32_t>(std::stoul(digits, nullptr, base));
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return Status::OK();
+  }
+  std::string name = ReadName(cur);
+  if (!cur->Consume(';')) return cur->Error("malformed entity reference");
+  if (name == "amp") {
+    *out += '&';
+  } else if (name == "lt") {
+    *out += '<';
+  } else if (name == "gt") {
+    *out += '>';
+  } else if (name == "quot") {
+    *out += '"';
+  } else if (name == "apos") {
+    *out += '\'';
+  } else {
+    return cur->Error("unknown entity '&" + name + ";'");
+  }
+  return Status::OK();
+}
+
+bool IsWhitespaceOnly(const std::string& s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParseOptions& options)
+      : cur_(text), options_(options), dtd_(options.dtd) {}
+
+  Result<ParsedXml> ParseDocument() {
+    XUPD_RETURN_IF_ERROR(SkipProlog());
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    cur_.SkipWhitespace();
+    while (cur_.LookingAt("<!--")) {
+      XUPD_RETURN_IF_ERROR(SkipComment());
+      cur_.SkipWhitespace();
+    }
+    if (!cur_.AtEnd()) {
+      return cur_.Error("trailing content after document element");
+    }
+    ParsedXml out;
+    out.document = std::make_unique<Document>(std::move(root).value());
+    out.document->set_id_attribute(options_.id_attribute);
+    for (const std::string& r : options_.ref_attributes) {
+      out.document->DeclareRefAttribute(r);
+    }
+    if (internal_dtd_.has_value()) {
+      for (const AttrDecl& a : internal_dtd_->attributes()) {
+        if (a.type == AttrType::kIdref || a.type == AttrType::kIdrefs) {
+          out.document->DeclareRefAttribute(a.name);
+        }
+      }
+      out.internal_dtd = std::move(internal_dtd_);
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<Element>> ParseSingleElement() {
+    cur_.SkipWhitespace();
+    auto elem = ParseElement();
+    if (!elem.ok()) return elem.status();
+    cur_.SkipWhitespace();
+    if (!cur_.AtEnd()) return cur_.Error("trailing content after fragment");
+    return std::move(elem).value();
+  }
+
+ private:
+  Status SkipProlog() {
+    while (true) {
+      cur_.SkipWhitespace();
+      if (cur_.LookingAt("<?")) {
+        XUPD_RETURN_IF_ERROR(SkipPi());
+      } else if (cur_.LookingAt("<!--")) {
+        XUPD_RETURN_IF_ERROR(SkipComment());
+      } else if (cur_.LookingAt("<!DOCTYPE")) {
+        XUPD_RETURN_IF_ERROR(ParseDoctype());
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status SkipPi() {
+    cur_.ConsumeWord("<?");
+    while (!cur_.AtEnd() && !cur_.ConsumeWord("?>")) cur_.Advance();
+    return Status::OK();
+  }
+
+  Status SkipComment() {
+    cur_.ConsumeWord("<!--");
+    while (!cur_.AtEnd()) {
+      if (cur_.ConsumeWord("-->")) return Status::OK();
+      cur_.Advance();
+    }
+    return cur_.Error("unterminated comment");
+  }
+
+  Status ParseDoctype() {
+    cur_.ConsumeWord("<!DOCTYPE");
+    cur_.SkipWhitespace();
+    ReadName(&cur_);  // root name (unused)
+    cur_.SkipWhitespace();
+    if (cur_.Consume('[')) {
+      size_t start = cur_.pos();
+      int depth = 0;
+      while (!cur_.AtEnd()) {
+        char c = cur_.Peek();
+        if (c == '<') ++depth;
+        if (c == '>') --depth;
+        if (c == ']' && depth <= 0) break;
+        cur_.Advance();
+      }
+      size_t end = cur_.pos();
+      if (!cur_.Consume(']')) return cur_.Error("unterminated internal subset");
+      auto dtd = Dtd::Parse(cur_.Slice(start, end));
+      if (!dtd.ok()) return dtd.status();
+      internal_dtd_ = std::move(dtd).value();
+      if (dtd_ == nullptr) dtd_ = &*internal_dtd_;
+    }
+    cur_.SkipWhitespace();
+    if (!cur_.Consume('>')) return cur_.Error("expected '>' after DOCTYPE");
+    return Status::OK();
+  }
+
+  bool IsRefAttribute(const std::string& element, const std::string& attr) {
+    if (options_.ref_attributes.count(attr) > 0) return true;
+    if (dtd_ != nullptr) {
+      const AttrDecl* decl = dtd_->FindAttribute(element, attr);
+      if (decl != nullptr) {
+        return decl->type == AttrType::kIdref || decl->type == AttrType::kIdrefs;
+      }
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<Element>> ParseElement() {
+    if (!cur_.Consume('<')) return cur_.Error("expected '<'");
+    std::string name = ReadName(&cur_);
+    if (name.empty()) return cur_.Error("expected element name");
+    auto elem = std::make_unique<Element>(name);
+
+    // Attributes.
+    while (true) {
+      cur_.SkipWhitespace();
+      if (cur_.Consume('>')) break;
+      if (cur_.ConsumeWord("/>")) return elem;  // empty element
+      std::string attr_name = ReadName(&cur_);
+      if (attr_name.empty()) return cur_.Error("expected attribute name");
+      cur_.SkipWhitespace();
+      if (!cur_.Consume('=')) return cur_.Error("expected '=' after attribute");
+      cur_.SkipWhitespace();
+      std::string value;
+      XUPD_RETURN_IF_ERROR(ParseAttrValue(&value));
+      if (IsRefAttribute(name, attr_name)) {
+        for (std::string& target : SplitWhitespace(value)) {
+          elem->AppendRef(attr_name, std::move(target));
+        }
+      } else {
+        if (elem->FindAttribute(attr_name) != nullptr) {
+          return cur_.Error("duplicate attribute '" + attr_name + "'");
+        }
+        elem->SetAttribute(std::move(attr_name), std::move(value));
+      }
+    }
+
+    // Content.
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      if (options_.keep_whitespace_text || !IsWhitespaceOnly(text)) {
+        elem->AppendText(std::move(text));
+      }
+      text.clear();
+    };
+    while (true) {
+      if (cur_.AtEnd()) return cur_.Error("unexpected end inside <" + name + ">");
+      if (cur_.LookingAt("</")) {
+        flush_text();
+        cur_.ConsumeWord("</");
+        std::string close = ReadName(&cur_);
+        cur_.SkipWhitespace();
+        if (!cur_.Consume('>')) return cur_.Error("expected '>' in close tag");
+        // Accept the paper's shorthand </> for "close current element".
+        if (!close.empty() && close != name) {
+          return cur_.Error("mismatched close tag </" + close + "> for <" +
+                            name + ">");
+        }
+        return elem;
+      }
+      if (cur_.LookingAt("<!--")) {
+        flush_text();
+        XUPD_RETURN_IF_ERROR(SkipComment());
+        continue;
+      }
+      if (cur_.LookingAt("<![CDATA[")) {
+        cur_.ConsumeWord("<![CDATA[");
+        while (!cur_.AtEnd() && !cur_.LookingAt("]]>")) {
+          text += cur_.Peek();
+          cur_.Advance();
+        }
+        if (!cur_.ConsumeWord("]]>")) return cur_.Error("unterminated CDATA");
+        continue;
+      }
+      if (cur_.LookingAt("<?")) {
+        flush_text();
+        XUPD_RETURN_IF_ERROR(SkipPi());
+        continue;
+      }
+      if (cur_.Peek() == '<') {
+        flush_text();
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        elem->AppendChild(std::move(child).value());
+        continue;
+      }
+      if (cur_.Peek() == '&') {
+        cur_.Advance();
+        XUPD_RETURN_IF_ERROR(DecodeEntity(&cur_, &text));
+        continue;
+      }
+      text += cur_.Peek();
+      cur_.Advance();
+    }
+  }
+
+  Status ParseAttrValue(std::string* out) {
+    char quote = cur_.Peek();
+    if (quote != '"' && quote != '\'') {
+      return cur_.Error("expected quoted attribute value");
+    }
+    cur_.Advance();
+    out->clear();
+    while (!cur_.AtEnd() && cur_.Peek() != quote) {
+      if (cur_.Peek() == '&') {
+        cur_.Advance();
+        XUPD_RETURN_IF_ERROR(DecodeEntity(&cur_, out));
+      } else {
+        *out += cur_.Peek();
+        cur_.Advance();
+      }
+    }
+    if (!cur_.Consume(quote)) return cur_.Error("unterminated attribute value");
+    return Status::OK();
+  }
+
+  XmlCursor cur_;
+  const ParseOptions& options_;
+  const Dtd* dtd_;
+  std::optional<Dtd> internal_dtd_;
+};
+
+}  // namespace
+
+Result<ParsedXml> ParseXml(std::string_view text, const ParseOptions& options) {
+  Parser parser(text, options);
+  return parser.ParseDocument();
+}
+
+Result<ParsedXml> ParseXml(std::string_view text) {
+  ParseOptions options;
+  return ParseXml(text, options);
+}
+
+Result<std::unique_ptr<Element>> ParseFragment(std::string_view text,
+                                               const ParseOptions& options) {
+  Parser parser(text, options);
+  return parser.ParseSingleElement();
+}
+
+}  // namespace xupd::xml

@@ -1,0 +1,61 @@
+// Recursive-descent XML parser producing the xupd data model. Supports
+// elements, attributes, PCDATA, comments, processing instructions, CDATA,
+// character/entity references, and an inline <!DOCTYPE [ ... ]> internal
+// subset (parsed with xml::Dtd).
+//
+// Attribute classification: an attribute is stored as an IDREF/IDREFS list
+// when (a) the DTD declares it IDREF/IDREFS, or (b) its name appears in
+// ParseOptions::ref_attributes. The document's id attribute defaults to "ID".
+#ifndef XUPD_XML_PARSER_H_
+#define XUPD_XML_PARSER_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+
+namespace xupd::xml {
+
+struct ParseOptions {
+  /// External DTD used to classify ID/IDREF/IDREFS attributes. If null and
+  /// the document has an internal subset, that subset is used instead.
+  const Dtd* dtd = nullptr;
+
+  /// Attribute names treated as IDREF(S) regardless of DTD (the paper's bio
+  /// example uses managers/source/biologist/lab without a DTD).
+  std::set<std::string> ref_attributes;
+
+  /// Name of the identity attribute.
+  std::string id_attribute = "ID";
+
+  /// Keep whitespace-only text nodes (default: dropped, as they are
+  /// formatting artifacts in data-oriented XML).
+  bool keep_whitespace_text = false;
+};
+
+/// Result of a parse: the document plus the internal-subset DTD if present.
+struct ParsedXml {
+  std::unique_ptr<Document> document;
+  std::optional<Dtd> internal_dtd;
+};
+
+/// Parses a complete XML document. Errors carry 1-based line/column info.
+Result<ParsedXml> ParseXml(std::string_view text, const ParseOptions& options);
+
+/// Convenience overload with default options.
+Result<ParsedXml> ParseXml(std::string_view text);
+
+/// Parses a single element fragment (used by XQuery element constructors,
+/// e.g. INSERT <firstname>Jeff</firstname>). Ref classification follows
+/// `options` as above.
+Result<std::unique_ptr<Element>> ParseFragment(std::string_view text,
+                                               const ParseOptions& options);
+
+}  // namespace xupd::xml
+
+#endif  // XUPD_XML_PARSER_H_

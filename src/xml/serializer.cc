@@ -1,0 +1,108 @@
+#include "xml/serializer.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace xupd::xml {
+
+namespace {
+
+void WriteOpenTag(const Element& e, const SerializeOptions& options,
+                  std::string* out) {
+  *out += '<';
+  *out += e.name();
+  std::vector<std::pair<std::string, std::string>> attrs;
+  for (const Attribute& a : e.attributes()) {
+    attrs.emplace_back(a.name, a.value);
+  }
+  for (const RefList& r : e.ref_lists()) {
+    attrs.emplace_back(r.name, Join(r.targets, " "));
+  }
+  if (options.sort_attributes) {
+    std::sort(attrs.begin(), attrs.end());
+  }
+  for (const auto& [name, value] : attrs) {
+    *out += ' ';
+    *out += name;
+    *out += "=\"";
+    *out += XmlEscape(value);
+    *out += '"';
+  }
+}
+
+bool HasOnlyTextChildren(const Element& e) {
+  for (const auto& c : e.children()) {
+    if (!c->is_text()) return false;
+  }
+  return true;
+}
+
+void SerializeNode(const Node& node, const SerializeOptions& options, int depth,
+                   std::string* out) {
+  std::string pad =
+      options.pretty ? std::string(static_cast<size_t>(depth * options.indent), ' ')
+                     : "";
+  if (node.is_text()) {
+    *out += pad;
+    *out += XmlEscape(static_cast<const Text&>(node).value());
+    if (options.pretty) *out += '\n';
+    return;
+  }
+  const auto& e = static_cast<const Element&>(node);
+  *out += pad;
+  WriteOpenTag(e, options, out);
+  if (e.children().empty()) {
+    *out += "/>";
+    if (options.pretty) *out += '\n';
+    return;
+  }
+  if (HasOnlyTextChildren(e)) {
+    *out += '>';
+    for (const auto& c : e.children()) {
+      *out += XmlEscape(static_cast<const Text*>(c.get())->value());
+    }
+    *out += "</";
+    *out += e.name();
+    *out += '>';
+    if (options.pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (options.pretty) *out += '\n';
+  for (const auto& c : e.children()) {
+    SerializeNode(*c, options, depth + 1, out);
+  }
+  *out += pad;
+  *out += "</";
+  *out += e.name();
+  *out += '>';
+  if (options.pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string Serialize(const Node& node, const SerializeOptions& options) {
+  std::string out;
+  SerializeNode(node, options, 0, &out);
+  return out;
+}
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  if (doc.root() == nullptr) return "";
+  return Serialize(*doc.root(), options);
+}
+
+std::string Canonical(const Node& node) {
+  SerializeOptions options;
+  options.pretty = false;
+  options.sort_attributes = true;
+  return Serialize(node, options);
+}
+
+std::string Canonical(const Document& doc) {
+  if (doc.root() == nullptr) return "";
+  return Canonical(*doc.root());
+}
+
+}  // namespace xupd::xml

@@ -1,0 +1,30 @@
+// XML serialization: pretty printing for humans, canonical form for tests.
+#ifndef XUPD_XML_SERIALIZER_H_
+#define XUPD_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/document.h"
+#include "xml/node.h"
+
+namespace xupd::xml {
+
+struct SerializeOptions {
+  bool pretty = true;
+  int indent = 2;
+  /// Sort attributes and reflists by name (stable output regardless of
+  /// insertion order; attributes are semantically unordered).
+  bool sort_attributes = false;
+};
+
+std::string Serialize(const Node& node, const SerializeOptions& options = {});
+std::string Serialize(const Document& doc, const SerializeOptions& options = {});
+
+/// Canonical single-line form with sorted attributes — suitable for golden
+/// comparisons in tests.
+std::string Canonical(const Node& node);
+std::string Canonical(const Document& doc);
+
+}  // namespace xupd::xml
+
+#endif  // XUPD_XML_SERIALIZER_H_

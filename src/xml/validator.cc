@@ -1,0 +1,261 @@
+#include "xml/validator.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xupd::xml {
+
+namespace {
+
+// Content-model matching: computes the set of positions reachable after
+// matching `particle` starting from each position in `from`, over the
+// sequence of child element names. Sets are kept sorted and deduplicated.
+using PosSet = std::vector<size_t>;
+
+void AddPos(PosSet* set, size_t pos) {
+  auto it = std::lower_bound(set->begin(), set->end(), pos);
+  if (it == set->end() || *it != pos) set->insert(it, pos);
+}
+
+PosSet MatchOnce(const ContentParticle& p, const std::vector<std::string>& names,
+                 const PosSet& from);
+
+PosSet MatchWithQuant(const ContentParticle& p,
+                      const std::vector<std::string>& names, const PosSet& from) {
+  PosSet result;
+  switch (p.quant) {
+    case Quant::kOne:
+      return MatchOnce(p, names, from);
+    case Quant::kOptional: {
+      result = from;
+      PosSet once = MatchOnce(p, names, from);
+      for (size_t pos : once) AddPos(&result, pos);
+      return result;
+    }
+    case Quant::kStar:
+    case Quant::kPlus: {
+      PosSet frontier = (p.quant == Quant::kStar) ? from : PosSet{};
+      PosSet current = from;
+      if (p.quant == Quant::kStar) {
+        result = from;
+      }
+      // Iterate to a fixpoint; positions only grow, bounded by names.size()+1.
+      while (true) {
+        PosSet next = MatchOnce(p, names, current);
+        bool changed = false;
+        for (size_t pos : next) {
+          auto it = std::lower_bound(result.begin(), result.end(), pos);
+          if (it == result.end() || *it != pos) {
+            result.insert(it, pos);
+            changed = true;
+          }
+        }
+        if (!changed) break;
+        current = std::move(next);
+        if (current.empty()) break;
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+PosSet MatchOnce(const ContentParticle& p, const std::vector<std::string>& names,
+                 const PosSet& from) {
+  PosSet result;
+  switch (p.kind) {
+    case ContentParticle::Kind::kName:
+      for (size_t pos : from) {
+        if (pos < names.size() && names[pos] == p.name) {
+          AddPos(&result, pos + 1);
+        }
+      }
+      return result;
+    case ContentParticle::Kind::kSeq: {
+      PosSet current = from;
+      for (const ContentParticle& c : p.children) {
+        current = MatchWithQuant(c, names, current);
+        if (current.empty()) return current;
+      }
+      return current;
+    }
+    case ContentParticle::Kind::kChoice: {
+      for (const ContentParticle& c : p.children) {
+        PosSet branch = MatchWithQuant(c, names, from);
+        for (size_t pos : branch) AddPos(&result, pos);
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+bool MatchesModel(const ContentParticle& model,
+                  const std::vector<std::string>& names) {
+  PosSet end = MatchWithQuant(model, names, PosSet{0});
+  return std::binary_search(end.begin(), end.end(), names.size());
+}
+
+Status ValidateAttributes(const Element& e, const Dtd& dtd,
+                          const ValidateOptions& options) {
+  std::vector<const AttrDecl*> decls = dtd.AttributesOf(e.name());
+  for (const AttrDecl* decl : decls) {
+    bool is_ref =
+        decl->type == AttrType::kIdref || decl->type == AttrType::kIdrefs;
+    bool present = is_ref ? e.FindRefList(decl->name) != nullptr
+                          : e.FindAttribute(decl->name) != nullptr;
+    if (decl->mode == AttrDefaultMode::kRequired && !present) {
+      return Status::ConstraintViolation("element <" + e.name() +
+                                         "> missing required attribute '" +
+                                         decl->name + "'");
+    }
+    if (decl->type == AttrType::kEnumerated && present) {
+      const Attribute* a = e.FindAttribute(decl->name);
+      if (a != nullptr &&
+          std::find(decl->enum_values.begin(), decl->enum_values.end(),
+                    a->value) == decl->enum_values.end()) {
+        return Status::ConstraintViolation(
+            "attribute '" + decl->name + "' of <" + e.name() +
+            "> has value '" + a->value + "' outside its enumeration");
+      }
+    }
+    if (decl->type == AttrType::kIdref && present) {
+      const RefList* r = e.FindRefList(decl->name);
+      if (r != nullptr && r->targets.size() > 1) {
+        return Status::ConstraintViolation("IDREF attribute '" + decl->name +
+                                           "' of <" + e.name() +
+                                           "> holds more than one reference");
+      }
+    }
+  }
+  if (options.strict_attributes) {
+    for (const Attribute& a : e.attributes()) {
+      if (dtd.FindAttribute(e.name(), a.name) == nullptr) {
+        return Status::ConstraintViolation("undeclared attribute '" + a.name +
+                                           "' on <" + e.name() + ">");
+      }
+    }
+    for (const RefList& r : e.ref_lists()) {
+      if (dtd.FindAttribute(e.name(), r.name) == nullptr) {
+        return Status::ConstraintViolation("undeclared IDREFS '" + r.name +
+                                           "' on <" + e.name() + ">");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateContent(const Element& e, const Dtd& dtd) {
+  const ElementDecl* decl = dtd.FindElement(e.name());
+  if (decl == nullptr) {
+    return Status::ConstraintViolation("undeclared element <" + e.name() + ">");
+  }
+  std::vector<std::string> child_names;
+  bool has_text = false;
+  for (const auto& c : e.children()) {
+    if (c->is_element()) {
+      child_names.push_back(static_cast<const Element*>(c.get())->name());
+    } else {
+      has_text = true;
+    }
+  }
+  switch (decl->type) {
+    case ContentType::kEmpty:
+      if (!child_names.empty() || has_text) {
+        return Status::ConstraintViolation("element <" + e.name() +
+                                           "> declared EMPTY has content");
+      }
+      return Status::OK();
+    case ContentType::kAny:
+      return Status::OK();
+    case ContentType::kPcdataOnly:
+      if (!child_names.empty()) {
+        return Status::ConstraintViolation(
+            "element <" + e.name() + "> declared (#PCDATA) has child elements");
+      }
+      return Status::OK();
+    case ContentType::kMixed:
+      for (const std::string& n : child_names) {
+        if (std::find(decl->mixed_names.begin(), decl->mixed_names.end(), n) ==
+            decl->mixed_names.end()) {
+          return Status::ConstraintViolation("element <" + n +
+                                             "> not allowed in mixed content of <" +
+                                             e.name() + ">");
+        }
+      }
+      return Status::OK();
+    case ContentType::kChildren:
+      if (has_text) {
+        // Whitespace-only text was already dropped by the parser; any
+        // remaining text in element content is a violation.
+        return Status::ConstraintViolation("PCDATA not allowed in element <" +
+                                           e.name() + ">");
+      }
+      if (!MatchesModel(decl->model, child_names)) {
+        return Status::ConstraintViolation(
+            "children of <" + e.name() + "> do not match its content model");
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status ValidateRecursive(const Element& e, const Dtd& dtd,
+                         const ValidateOptions& options,
+                         std::set<std::string>* seen_ids,
+                         std::vector<std::string>* idrefs) {
+  XUPD_RETURN_IF_ERROR(ValidateContent(e, dtd));
+  XUPD_RETURN_IF_ERROR(ValidateAttributes(e, dtd, options));
+  for (const AttrDecl* decl : dtd.AttributesOf(e.name())) {
+    if (decl->type == AttrType::kId) {
+      if (const Attribute* a = e.FindAttribute(decl->name)) {
+        if (!seen_ids->insert(a->value).second) {
+          return Status::ConstraintViolation("duplicate ID '" + a->value + "'");
+        }
+      }
+    }
+  }
+  for (const RefList& r : e.ref_lists()) {
+    for (const std::string& target : r.targets) {
+      idrefs->push_back(target);
+    }
+  }
+  for (const auto& c : e.children()) {
+    if (c->is_element()) {
+      XUPD_RETURN_IF_ERROR(ValidateRecursive(*static_cast<const Element*>(c.get()),
+                                             dtd, options, seen_ids, idrefs));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Validate(const Document& doc, const Dtd& dtd,
+                const ValidateOptions& options) {
+  if (doc.root() == nullptr) {
+    return Status::InvalidArgument("document has no root element");
+  }
+  std::set<std::string> ids;
+  std::vector<std::string> idrefs;
+  XUPD_RETURN_IF_ERROR(
+      ValidateRecursive(*doc.root(), dtd, options, &ids, &idrefs));
+  if (options.check_idref_targets) {
+    for (const std::string& target : idrefs) {
+      if (ids.find(target) == ids.end()) {
+        return Status::ConstraintViolation("dangling IDREF '" + target + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateElementShallow(const Element& element, const Dtd& dtd,
+                              const ValidateOptions& options) {
+  XUPD_RETURN_IF_ERROR(ValidateContent(element, dtd));
+  return ValidateAttributes(element, dtd, options);
+}
+
+}  // namespace xupd::xml

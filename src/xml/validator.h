@@ -1,0 +1,34 @@
+// DTD validation — an implementation of the paper's §8 future-work item
+// ("typechecking updates"): validate a document, or revalidate just the
+// elements touched by an update.
+#ifndef XUPD_XML_VALIDATOR_H_
+#define XUPD_XML_VALIDATOR_H_
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/dtd.h"
+
+namespace xupd::xml {
+
+struct ValidateOptions {
+  /// Reject attributes that are not declared in an <!ATTLIST>.
+  bool strict_attributes = false;
+  /// Check that every IDREF target resolves to an existing ID. The paper's
+  /// delete semantics allow dangling references (§4.2.1), so this defaults
+  /// to off; turn on for full DTD conformance checks.
+  bool check_idref_targets = false;
+};
+
+/// Validates the whole document against `dtd`: element content models,
+/// required attributes, ID uniqueness, enumerated values.
+Status Validate(const Document& doc, const Dtd& dtd,
+                const ValidateOptions& options = {});
+
+/// Validates just `element` (content model + attributes), without recursing
+/// into descendants. Used to typecheck the local effect of an update.
+Status ValidateElementShallow(const Element& element, const Dtd& dtd,
+                              const ValidateOptions& options = {});
+
+}  // namespace xupd::xml
+
+#endif  // XUPD_XML_VALIDATOR_H_

@@ -1,0 +1,75 @@
+// AST for the XPath subset used by the paper's update language:
+//   document("bio.xml")/db/lab[@ID="baselab"]/name
+//   $p/ref(biologist,"smith1")      -- bind a single IDREF entry (§4.2)
+//   $lab/@category                  -- bind an attribute as a whole (§4.2)
+//   //Order[status="ready" and OrderLine/ItemName="tire"]
+//   @biologist->lastname            -- IDREF dereference
+//   $lab.index() = 0                -- position function (Example 5)
+// Both '/' and '.' are accepted as step separators (the paper uses
+// Customer.Order.OrderLine in Example 7 and /db/lab elsewhere).
+#ifndef XUPD_XPATH_AST_H_
+#define XUPD_XPATH_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xupd::xpath {
+
+struct Predicate;
+
+/// One location step.
+struct Step {
+  enum class Axis {
+    kChild,       ///< name or *
+    kDescendant,  ///< // name (descendant-or-self)
+    kAttribute,   ///< @name or @*
+    kRefEntry,    ///< ref(label, "id") / ref(label, *) / ref(*, *)
+    kDeref,       ///< -> name : IDREF/attribute value to target element
+    kTextNodes,   ///< text() : PCDATA children
+  };
+  Axis axis = Axis::kChild;
+  std::string name;        ///< element/attribute/reflist name; "*" = any.
+  std::string ref_target;  ///< kRefEntry only; "*" = any entry.
+  std::vector<Predicate> predicates;
+};
+
+/// A (possibly relative) path expression.
+struct PathExpr {
+  enum class Head {
+    kDocument,  ///< document("name") ...
+    kVariable,  ///< $var ...
+    kContext,   ///< relative to the evaluation context object
+  };
+  Head head = Head::kContext;
+  std::string document_name;  ///< kDocument: the (informational) URI.
+  std::string variable;       ///< kVariable: variable name without '$'.
+  std::vector<Step> steps;
+
+  /// True if the expression ends in `.index()`: the path's value is the
+  /// 0-based position of the bound object within its producing sequence.
+  bool index_fn = false;
+};
+
+/// Boolean predicate grammar: or / and / not / comparison / existence.
+struct Predicate {
+  enum class Kind { kCompare, kExists, kAnd, kOr, kNot };
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  Kind kind = Kind::kExists;
+  PathExpr path;  ///< kCompare / kExists: the left operand.
+  Op op = Op::kEq;
+  bool rhs_is_number = false;
+  int64_t rhs_number = 0;
+  std::string rhs_string;
+  std::vector<Predicate> children;  ///< kAnd / kOr (>=2), kNot (1).
+};
+
+/// Renders the AST back to (normalized) path syntax; used in diagnostics and
+/// parser tests.
+std::string ToString(const PathExpr& path);
+std::string ToString(const Predicate& pred);
+
+}  // namespace xupd::xpath
+
+#endif  // XUPD_XPATH_AST_H_

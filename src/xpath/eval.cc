@@ -1,0 +1,265 @@
+#include "xpath/eval.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace xupd::xpath {
+
+namespace {
+
+bool NameMatches(const std::string& pattern, const std::string& name) {
+  return pattern == "*" || pattern == name;
+}
+
+void CollectDescendants(xml::Element* e, const std::string& name,
+                        std::vector<XmlObject>* out) {
+  if (NameMatches(name, e->name())) {
+    out->push_back(XmlObject::OfElement(e));
+  }
+  for (const auto& c : e->children()) {
+    if (c->is_element()) {
+      CollectDescendants(static_cast<xml::Element*>(c.get()), name, out);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<XmlObject>> Evaluator::ApplyStep(
+    const Step& step, const std::vector<XmlObject>& input,
+    const Environment& env, bool from_document_head) const {
+  std::vector<XmlObject> matched;
+  for (const XmlObject& obj : input) {
+    switch (step.axis) {
+      case Step::Axis::kChild: {
+        if (!obj.is_element()) break;
+        // From the document head, the first step may name the root element
+        // itself (the paper writes both document(...)/db/... and
+        // document(...)/paper); try the root first, then its children.
+        if (from_document_head && NameMatches(step.name, obj.element->name())) {
+          matched.push_back(XmlObject::OfElement(obj.element));
+          break;
+        }
+        for (const auto& c : obj.element->children()) {
+          if (c->is_element()) {
+            auto* e = static_cast<xml::Element*>(c.get());
+            if (NameMatches(step.name, e->name())) {
+              matched.push_back(XmlObject::OfElement(e));
+            }
+          }
+        }
+        break;
+      }
+      case Step::Axis::kDescendant: {
+        if (!obj.is_element()) break;
+        CollectDescendants(obj.element, step.name, &matched);
+        break;
+      }
+      case Step::Axis::kAttribute: {
+        if (!obj.is_element()) break;
+        if (step.name == "*") {
+          for (const xml::Attribute& a : obj.element->attributes()) {
+            matched.push_back(XmlObject::OfAttribute(obj.element, a.name));
+          }
+        } else if (obj.element->FindAttribute(step.name) != nullptr) {
+          matched.push_back(XmlObject::OfAttribute(obj.element, step.name));
+        }
+        break;
+      }
+      case Step::Axis::kRefEntry: {
+        if (!obj.is_element()) break;
+        for (const xml::RefList& list : obj.element->ref_lists()) {
+          if (!NameMatches(step.name, list.name)) continue;
+          for (size_t i = 0; i < list.targets.size(); ++i) {
+            if (step.ref_target == "*" || list.targets[i] == step.ref_target) {
+              matched.push_back(
+                  XmlObject::OfRefEntry(obj.element, list.name, i));
+            }
+          }
+        }
+        break;
+      }
+      case Step::Axis::kDeref: {
+        // IDREF entry or attribute value -> target element.
+        std::string target_id;
+        if (obj.is_ref_entry() || obj.is_attribute()) {
+          target_id = StringValueOf(obj);
+        } else {
+          break;
+        }
+        xml::Element* target = doc_->FindById(target_id);
+        if (target != nullptr && NameMatches(step.name, target->name())) {
+          matched.push_back(XmlObject::OfElement(target));
+        }
+        break;
+      }
+      case Step::Axis::kTextNodes: {
+        if (!obj.is_element()) break;
+        for (size_t i = 0; i < obj.element->child_count(); ++i) {
+          xml::Node* c = obj.element->child(i);
+          if (c->is_text()) {
+            matched.push_back(
+                XmlObject::OfText(obj.element, static_cast<xml::Text*>(c)));
+          }
+        }
+        break;
+      }
+    }
+  }
+  // Assign positions before predicate filtering so index() sees the
+  // pre-filter position among matched candidates.
+  for (size_t i = 0; i < matched.size(); ++i) {
+    matched[i].binding_index = i;
+  }
+  if (step.predicates.empty()) return matched;
+  std::vector<XmlObject> filtered;
+  for (const XmlObject& obj : matched) {
+    bool keep = true;
+    for (const Predicate& pred : step.predicates) {
+      auto ok = EvalPredicate(pred, env, obj);
+      if (!ok.ok()) return ok.status();
+      if (!ok.value()) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) filtered.push_back(obj);
+  }
+  return filtered;
+}
+
+Result<std::vector<XmlObject>> Evaluator::Eval(const PathExpr& path,
+                                               const Environment& env,
+                                               const XmlObject& context) const {
+  std::vector<XmlObject> current;
+  bool from_document_head = false;
+  switch (path.head) {
+    case PathExpr::Head::kDocument:
+      if (doc_->root() == nullptr) {
+        return Status::InvalidArgument("document has no root");
+      }
+      current.push_back(XmlObject::OfElement(doc_->root()));
+      from_document_head = true;
+      break;
+    case PathExpr::Head::kVariable: {
+      auto it = env.find(path.variable);
+      if (it == env.end()) {
+        return Status::NotFound("unbound variable $" + path.variable);
+      }
+      current.push_back(it->second);
+      break;
+    }
+    case PathExpr::Head::kContext:
+      if (!context.is_null()) {
+        current.push_back(context);
+      } else if (doc_->root() != nullptr) {
+        current.push_back(XmlObject::OfElement(doc_->root()));
+        from_document_head = true;
+      } else {
+        return Status::InvalidArgument("no context for relative path");
+      }
+      break;
+  }
+  for (const Step& step : path.steps) {
+    auto next = ApplyStep(step, current, env, from_document_head);
+    if (!next.ok()) return next.status();
+    current = std::move(next).value();
+    from_document_head = false;
+    if (current.empty()) break;
+  }
+  // Positions: a pass-through path ($var / bare context) must preserve the
+  // binding_index recorded when the object was first bound — Example 5's
+  // WHERE $lab.index() = 0 relies on it. Paths with steps get fresh
+  // sequential positions.
+  if (!path.steps.empty()) {
+    for (size_t i = 0; i < current.size(); ++i) {
+      current[i].binding_index = i;
+    }
+  }
+  return current;
+}
+
+Result<bool> Evaluator::EvalCompare(const Predicate& pred,
+                                    const Environment& env,
+                                    const XmlObject& context) const {
+  auto objects = Eval(pred.path, env, context);
+  if (!objects.ok()) return objects.status();
+  auto compare_values = [&](int cmp) {
+    switch (pred.op) {
+      case Predicate::Op::kEq:
+        return cmp == 0;
+      case Predicate::Op::kNe:
+        return cmp != 0;
+      case Predicate::Op::kLt:
+        return cmp < 0;
+      case Predicate::Op::kLe:
+        return cmp <= 0;
+      case Predicate::Op::kGt:
+        return cmp > 0;
+      case Predicate::Op::kGe:
+        return cmp >= 0;
+    }
+    return false;
+  };
+  for (const XmlObject& obj : *objects) {
+    if (pred.path.index_fn) {
+      int64_t idx = static_cast<int64_t>(obj.binding_index);
+      int64_t rhs = pred.rhs_is_number ? pred.rhs_number : 0;
+      int cmp = idx < rhs ? -1 : (idx > rhs ? 1 : 0);
+      if (compare_values(cmp)) return true;
+      continue;
+    }
+    std::string value = StringValueOf(obj);
+    int cmp;
+    int64_t lhs_num;
+    if (pred.rhs_is_number && ParseInt64(StripWhitespace(value), &lhs_num)) {
+      cmp = lhs_num < pred.rhs_number ? -1 : (lhs_num > pred.rhs_number ? 1 : 0);
+    } else {
+      std::string rhs = pred.rhs_is_number ? std::to_string(pred.rhs_number)
+                                           : pred.rhs_string;
+      cmp = value.compare(rhs);
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    if (compare_values(cmp)) return true;
+  }
+  return false;
+}
+
+Result<bool> Evaluator::EvalPredicate(const Predicate& pred,
+                                      const Environment& env,
+                                      const XmlObject& context) const {
+  switch (pred.kind) {
+    case Predicate::Kind::kExists: {
+      // Special case: a bare `$var.index()` or path ending in index() used
+      // as a boolean is not meaningful; treat as existence of the path.
+      auto objects = Eval(pred.path, env, context);
+      if (!objects.ok()) return objects.status();
+      return !objects.value().empty();
+    }
+    case Predicate::Kind::kCompare:
+      return EvalCompare(pred, env, context);
+    case Predicate::Kind::kAnd:
+      for (const Predicate& c : pred.children) {
+        auto r = EvalPredicate(c, env, context);
+        if (!r.ok()) return r.status();
+        if (!r.value()) return false;
+      }
+      return true;
+    case Predicate::Kind::kOr:
+      for (const Predicate& c : pred.children) {
+        auto r = EvalPredicate(c, env, context);
+        if (!r.ok()) return r.status();
+        if (r.value()) return true;
+      }
+      return false;
+    case Predicate::Kind::kNot: {
+      auto r = EvalPredicate(pred.children[0], env, context);
+      if (!r.ok()) return r.status();
+      return !r.value();
+    }
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+}  // namespace xupd::xpath

@@ -1,0 +1,59 @@
+// Path-expression evaluation over the native XML tree. Produces XmlObject
+// bindings; follows the paper's conventions: a variable bound to @attr is a
+// reference to the attribute (not just its value), ref(label, id) binds a
+// single IDREF entry, and -> dereferences references via the document ID map.
+#ifndef XUPD_XPATH_EVAL_H_
+#define XUPD_XPATH_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+#include "xpath/object.h"
+
+namespace xupd::xpath {
+
+/// Variable environment: one object per variable (tuple-at-a-time FLWR
+/// iteration).
+using Environment = std::map<std::string, XmlObject>;
+
+class Evaluator {
+ public:
+  explicit Evaluator(const xml::Document* doc) : doc_(doc) {}
+
+  /// Evaluates `path` and returns its object sequence. `env` resolves
+  /// $variable heads; `context` is the object a relative path starts from
+  /// (may be Null, in which case relative paths start at the document root).
+  ///
+  /// On return every object's binding_index is its position in the result.
+  Result<std::vector<XmlObject>> Eval(const PathExpr& path,
+                                      const Environment& env,
+                                      const XmlObject& context) const;
+
+  /// Evaluates a predicate with `context` as the current object.
+  Result<bool> EvalPredicate(const Predicate& pred, const Environment& env,
+                             const XmlObject& context) const;
+
+  /// Evaluates a path that is expected to produce a comparable value
+  /// sequence and compares existentially against a literal (XPath
+  /// semantics: true if ANY object satisfies the comparison).
+  Result<bool> EvalCompare(const Predicate& pred, const Environment& env,
+                           const XmlObject& context) const;
+
+  const xml::Document* document() const { return doc_; }
+
+ private:
+  Result<std::vector<XmlObject>> ApplyStep(const Step& step,
+                                           const std::vector<XmlObject>& input,
+                                           const Environment& env,
+                                           bool from_document_head) const;
+
+  const xml::Document* doc_;
+};
+
+}  // namespace xupd::xpath
+
+#endif  // XUPD_XPATH_EVAL_H_

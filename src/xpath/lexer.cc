@@ -1,0 +1,367 @@
+#include "xpath/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace xupd::xpath {
+
+Lexer::Lexer(std::string_view text) : text_(text) {}
+
+void Lexer::SkipSpace() {
+  while (pos_ < text_.size()) {
+    char c = text_[pos_];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+      ++pos_;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++col_;
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+namespace {
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == ':';
+}
+}  // namespace
+
+const Token& Lexer::Peek() {
+  if (!has_peek_) {
+    peek_ = Scan();
+    has_peek_ = true;
+  }
+  return peek_;
+}
+
+Token Lexer::Next() {
+  if (has_peek_) {
+    has_peek_ = false;
+    return peek_;
+  }
+  return Scan();
+}
+
+bool Lexer::PeekKeyword(std::string_view kw) {
+  const Token& t = Peek();
+  return t.type == TokenType::kName && EqualsIgnoreCase(t.text, kw);
+}
+
+bool Lexer::ConsumeKeyword(std::string_view kw) {
+  if (PeekKeyword(kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Result<Token> Lexer::Expect(TokenType type, std::string_view what) {
+  const Token& t = Peek();
+  if (t.type != type) {
+    return Error("expected " + std::string(what));
+  }
+  return Next();
+}
+
+Status Lexer::Error(const std::string& msg) const {
+  int line = has_peek_ ? peek_.line : line_;
+  int col = has_peek_ ? peek_.col : col_;
+  return Status::ParseError("query " + std::to_string(line) + ":" +
+                            std::to_string(col) + ": " + msg);
+}
+
+Token Lexer::Scan() {
+  SkipSpace();
+  Token t;
+  t.line = line_;
+  t.col = col_;
+  if (pos_ >= text_.size()) {
+    t.type = TokenType::kEnd;
+    return t;
+  }
+  char c = text_[pos_];
+  auto advance = [&](size_t n) {
+    pos_ += n;
+    col_ += static_cast<int>(n);
+  };
+  auto two = [&](char next) {
+    return pos_ + 1 < text_.size() && text_[pos_ + 1] == next;
+  };
+  switch (c) {
+    case '/':
+      if (two('/')) {
+        advance(2);
+        t.type = TokenType::kDoubleSlash;
+      } else {
+        advance(1);
+        t.type = TokenType::kSlash;
+      }
+      return t;
+    case '.':
+      advance(1);
+      t.type = TokenType::kDot;
+      return t;
+    case '@':
+      advance(1);
+      t.type = TokenType::kAt;
+      return t;
+    case '*':
+      advance(1);
+      t.type = TokenType::kStar;
+      return t;
+    case '(':
+      advance(1);
+      t.type = TokenType::kLParen;
+      return t;
+    case ')':
+      advance(1);
+      t.type = TokenType::kRParen;
+      return t;
+    case '[':
+      advance(1);
+      t.type = TokenType::kLBracket;
+      return t;
+    case ']':
+      advance(1);
+      t.type = TokenType::kRBracket;
+      return t;
+    case '{':
+      advance(1);
+      t.type = TokenType::kLBrace;
+      return t;
+    case '}':
+      advance(1);
+      t.type = TokenType::kRBrace;
+      return t;
+    case ',':
+      advance(1);
+      t.type = TokenType::kComma;
+      return t;
+    case '=':
+      advance(1);
+      t.type = TokenType::kEq;
+      return t;
+    case ':':
+      if (two('=')) {
+        advance(2);
+        t.type = TokenType::kAssign;
+        return t;
+      }
+      advance(1);
+      t.type = TokenType::kName;  // lone ':' is invalid; surfaces as bad name
+      t.text = ":";
+      return t;
+    case '!':
+      if (two('=')) {
+        advance(2);
+        t.type = TokenType::kNe;
+        return t;
+      }
+      advance(1);
+      t.type = TokenType::kName;
+      t.text = "!";
+      return t;
+    case '<':
+      if (two('=')) {
+        advance(2);
+        t.type = TokenType::kLe;
+      } else if (two('>')) {
+        advance(2);
+        t.type = TokenType::kNe;
+      } else {
+        advance(1);
+        t.type = TokenType::kLt;
+      }
+      return t;
+    case '>':
+      if (two('=')) {
+        advance(2);
+        t.type = TokenType::kGe;
+      } else {
+        advance(1);
+        t.type = TokenType::kGt;
+      }
+      return t;
+    case '-':
+      if (two('>')) {
+        advance(2);
+        t.type = TokenType::kArrow;
+        return t;
+      }
+      if (pos_ + 1 < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        // negative number
+        advance(1);
+        std::string digits = "-";
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          digits += text_[pos_];
+          advance(1);
+        }
+        t.type = TokenType::kNumber;
+        ParseInt64(digits, &t.number);
+        return t;
+      }
+      advance(1);
+      t.type = TokenType::kName;
+      t.text = "-";
+      return t;
+    case '$': {
+      advance(1);
+      std::string name;
+      while (pos_ < text_.size() && IsNameChar(text_[pos_])) {
+        name += text_[pos_];
+        advance(1);
+      }
+      t.type = TokenType::kVariable;
+      t.text = std::move(name);
+      return t;
+    }
+    case '"':
+    case '\'': {
+      char quote = c;
+      advance(1);
+      std::string value;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        if (text_[pos_] == '\n') {
+          ++line_;
+          col_ = 0;
+        }
+        value += text_[pos_];
+        advance(1);
+      }
+      if (pos_ < text_.size()) advance(1);  // closing quote
+      t.type = TokenType::kString;
+      t.text = std::move(value);
+      return t;
+    }
+    default:
+      break;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string digits;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      digits += text_[pos_];
+      advance(1);
+    }
+    t.type = TokenType::kNumber;
+    ParseInt64(digits, &t.number);
+    return t;
+  }
+  if (IsNameStart(c)) {
+    std::string name;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) {
+      // '-' is a legal XML name character, but '->' is the dereference
+      // operator: stop the name before it.
+      if (text_[pos_] == '-' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] == '>') {
+        break;
+      }
+      name += text_[pos_];
+      advance(1);
+    }
+    t.type = TokenType::kName;
+    t.text = std::move(name);
+    return t;
+  }
+  // Unknown character: emit as a one-char name so the parser reports context.
+  advance(1);
+  t.type = TokenType::kName;
+  t.text = std::string(1, c);
+  return t;
+}
+
+Result<Token> Lexer::NextContent() {
+  // Ensure we look at raw text (no lookahead already consumed).
+  if (has_peek_) {
+    if (peek_.type == TokenType::kLt) {
+      // Re-scan from the '<': rewind is impossible with the stored token, so
+      // capture from the current position (right after '<').
+      has_peek_ = false;
+      return ScanXmlFragment();
+    }
+    has_peek_ = false;
+    return peek_;
+  }
+  SkipSpace();
+  if (pos_ < text_.size() && text_[pos_] == '<') {
+    ++pos_;
+    ++col_;
+    return ScanXmlFragment();
+  }
+  return Scan();
+}
+
+Result<Token> Lexer::ScanXmlFragment() {
+  // Called with the leading '<' already consumed. Captures a balanced
+  // element: tracks tag nesting; supports the paper's `</>` close shorthand,
+  // self-closing tags and quoted attribute values.
+  Token t;
+  t.type = TokenType::kXmlFragment;
+  t.line = line_;
+  t.col = col_;
+  std::string frag = "<";
+  int depth = 0;       // number of currently open elements
+  bool in_tag = true;  // currently inside <...>
+  bool closing = false;
+  bool self_close = false;
+  char quote = '\0';
+  while (pos_ < text_.size()) {
+    char c = text_[pos_];
+    frag += c;
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+    if (in_tag) {
+      if (quote != '\0') {
+        if (c == quote) quote = '\0';
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        quote = c;
+      } else if (c == '/') {
+        // '</' begins a close tag only right after '<'; '/>' self-closes.
+        if (frag.size() >= 2 && frag[frag.size() - 2] == '<') {
+          closing = true;
+        } else {
+          self_close = true;
+        }
+      } else if (c == '>') {
+        in_tag = false;
+        if (closing || self_close) {
+          if (closing) --depth;
+          closing = false;
+          self_close = false;
+          if (depth <= 0) {
+            t.text = frag;
+            return t;
+          }
+        } else {
+          ++depth;
+        }
+      }
+    } else {
+      if (c == '<') {
+        in_tag = true;
+        closing = false;
+        self_close = false;
+      }
+    }
+  }
+  return Status::ParseError("unterminated XML constructor in query");
+}
+
+}  // namespace xupd::xpath

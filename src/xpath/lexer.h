@@ -1,0 +1,96 @@
+// Token scanner shared by the path-expression parser and the XQuery-update
+// parser. Keywords are case-insensitive (the paper mixes FOR/for, IN/in).
+#ifndef XUPD_XPATH_LEXER_H_
+#define XUPD_XPATH_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace xupd::xpath {
+
+enum class TokenType {
+  kEnd,
+  kName,        ///< bare identifier (element names, keywords)
+  kVariable,    ///< $name
+  kString,      ///< "..." or '...'
+  kNumber,      ///< integer literal
+  kSlash,       ///< /
+  kDoubleSlash, ///< //
+  kDot,         ///< .
+  kAt,          ///< @
+  kStar,        ///< *
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kEq,          ///< =
+  kNe,          ///< != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kArrow,       ///< ->
+  kAssign,      ///< :=
+  kXmlFragment, ///< a balanced <...>...</...> fragment captured verbatim
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< name / string contents / fragment text
+  int64_t number = 0; ///< kNumber value
+  int line = 1;
+  int col = 1;
+};
+
+/// Streaming lexer. XML fragments (element constructors inside INSERT /
+/// REPLACE clauses) are only recognized when the parser explicitly asks via
+/// NextContent(), since '<' is otherwise a comparison operator.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text);
+
+  /// Returns the current token without consuming it.
+  const Token& Peek();
+
+  /// Consumes and returns the current token.
+  Token Next();
+
+  /// Like Next(), but a leading '<' is treated as the start of a balanced
+  /// XML element constructor and captured verbatim as kXmlFragment.
+  Result<Token> NextContent();
+
+  /// True if the current token is a name equal (case-insensitively) to kw.
+  bool PeekKeyword(std::string_view kw);
+
+  /// Consumes the keyword if present.
+  bool ConsumeKeyword(std::string_view kw);
+
+  /// Consumes a token of the given type or returns a ParseError.
+  Result<Token> Expect(TokenType type, std::string_view what);
+
+  Status Error(const std::string& msg) const;
+
+ private:
+  Token Scan();
+  Result<Token> ScanXmlFragment();
+  void SkipSpace();
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool has_peek_ = false;
+  Token peek_;
+};
+
+}  // namespace xupd::xpath
+
+#endif  // XUPD_XPATH_LEXER_H_

@@ -1,0 +1,26 @@
+#include "xpath/object.h"
+
+namespace xupd::xpath {
+
+std::string StringValueOf(const XmlObject& obj) {
+  switch (obj.kind) {
+    case XmlObject::Kind::kNull:
+      return "";
+    case XmlObject::Kind::kElement:
+      return obj.element->TextContent();
+    case XmlObject::Kind::kAttribute: {
+      const xml::Attribute* a = obj.element->FindAttribute(obj.name);
+      return a != nullptr ? a->value : "";
+    }
+    case XmlObject::Kind::kRefEntry: {
+      const xml::RefList* r = obj.element->FindRefList(obj.name);
+      if (r == nullptr || obj.index >= r->targets.size()) return "";
+      return r->targets[obj.index];
+    }
+    case XmlObject::Kind::kText:
+      return obj.text != nullptr ? obj.text->value() : "";
+  }
+  return "";
+}
+
+}  // namespace xupd::xpath

@@ -1,0 +1,458 @@
+#include "xpath/parser.h"
+
+#include "common/str_util.h"
+
+namespace xupd::xpath {
+
+namespace {
+
+// Parses one step after its leading separator has been consumed.
+// `descendant` marks a step introduced by '//'.
+Result<Step> ParseStep(Lexer* lexer, bool descendant);
+
+Result<std::vector<Predicate>> ParseStepPredicates(Lexer* lexer) {
+  std::vector<Predicate> preds;
+  while (lexer->Peek().type == TokenType::kLBracket) {
+    lexer->Next();
+    auto pred = ParsePredicate(lexer);
+    if (!pred.ok()) return pred.status();
+    preds.push_back(std::move(pred).value());
+    auto close = lexer->Expect(TokenType::kRBracket, "']'");
+    if (!close.ok()) return close.status();
+  }
+  return preds;
+}
+
+// ref(label, "id") — after consuming the name "ref"; '(' is next.
+Result<Step> ParseRefStep(Lexer* lexer, bool descendant) {
+  Step step;
+  step.axis = Step::Axis::kRefEntry;
+  (void)descendant;  // ref() entries are direct members of the element
+  lexer->Next();     // '('
+  const Token& name_tok = lexer->Peek();
+  if (name_tok.type == TokenType::kStar) {
+    lexer->Next();
+    step.name = "*";
+  } else if (name_tok.type == TokenType::kName) {
+    step.name = lexer->Next().text;
+  } else {
+    return lexer->Error("expected IDREFS name in ref()");
+  }
+  auto comma = lexer->Expect(TokenType::kComma, "',' in ref()");
+  if (!comma.ok()) return comma.status();
+  const Token& target_tok = lexer->Peek();
+  if (target_tok.type == TokenType::kStar) {
+    lexer->Next();
+    step.ref_target = "*";
+  } else if (target_tok.type == TokenType::kString ||
+             target_tok.type == TokenType::kName) {
+    step.ref_target = lexer->Next().text;
+  } else {
+    return lexer->Error("expected target ID or * in ref()");
+  }
+  auto close = lexer->Expect(TokenType::kRParen, "')' in ref()");
+  if (!close.ok()) return close.status();
+  auto preds = ParseStepPredicates(lexer);
+  if (!preds.ok()) return preds.status();
+  step.predicates = std::move(preds).value();
+  return step;
+}
+
+Result<Step> ParseStep(Lexer* lexer, bool descendant) {
+  const Token& t = lexer->Peek();
+  Step step;
+  step.axis = descendant ? Step::Axis::kDescendant : Step::Axis::kChild;
+  if (t.type == TokenType::kAt) {
+    lexer->Next();
+    step.axis = Step::Axis::kAttribute;
+    const Token& name_tok = lexer->Peek();
+    if (name_tok.type == TokenType::kStar) {
+      lexer->Next();
+      step.name = "*";
+    } else if (name_tok.type == TokenType::kName) {
+      step.name = lexer->Next().text;
+    } else {
+      return lexer->Error("expected attribute name after '@'");
+    }
+    auto preds = ParseStepPredicates(lexer);
+    if (!preds.ok()) return preds.status();
+    step.predicates = std::move(preds).value();
+    return step;
+  }
+  if (t.type == TokenType::kStar) {
+    lexer->Next();
+    step.name = "*";
+    auto preds = ParseStepPredicates(lexer);
+    if (!preds.ok()) return preds.status();
+    step.predicates = std::move(preds).value();
+    return step;
+  }
+  if (t.type == TokenType::kName) {
+    if (EqualsIgnoreCase(t.text, "ref") &&
+        lexer->Peek().type == TokenType::kName) {
+      // Look ahead for '(' — ref is also a legal element name.
+      Token saved = lexer->Next();
+      if (lexer->Peek().type == TokenType::kLParen) {
+        return ParseRefStep(lexer, descendant);
+      }
+      step.name = saved.text;
+      auto preds = ParseStepPredicates(lexer);
+      if (!preds.ok()) return preds.status();
+      step.predicates = std::move(preds).value();
+      return step;
+    }
+    if (EqualsIgnoreCase(t.text, "text")) {
+      Token saved = lexer->Next();
+      if (lexer->Peek().type == TokenType::kLParen) {
+        lexer->Next();
+        auto close = lexer->Expect(TokenType::kRParen, "')' after text(");
+        if (!close.ok()) return close.status();
+        step.axis = Step::Axis::kTextNodes;
+        return step;
+      }
+      step.name = saved.text;
+      auto preds = ParseStepPredicates(lexer);
+      if (!preds.ok()) return preds.status();
+      step.predicates = std::move(preds).value();
+      return step;
+    }
+    step.name = lexer->Next().text;
+    auto preds = ParseStepPredicates(lexer);
+    if (!preds.ok()) return preds.status();
+    step.predicates = std::move(preds).value();
+    return step;
+  }
+  return lexer->Error("expected a path step");
+}
+
+// True if the token can begin a path step.
+bool StartsStep(const Token& t) {
+  return t.type == TokenType::kName || t.type == TokenType::kAt ||
+         t.type == TokenType::kStar;
+}
+
+}  // namespace
+
+Result<PathExpr> ParsePath(Lexer* lexer) {
+  PathExpr path;
+  const Token& head = lexer->Peek();
+
+  if (head.type == TokenType::kVariable) {
+    path.head = PathExpr::Head::kVariable;
+    path.variable = lexer->Next().text;
+  } else if (head.type == TokenType::kName &&
+             EqualsIgnoreCase(head.text, "document")) {
+    Token saved = lexer->Next();
+    if (lexer->Peek().type == TokenType::kLParen) {
+      lexer->Next();
+      auto uri = lexer->Expect(TokenType::kString, "document URI string");
+      if (!uri.ok()) return uri.status();
+      auto close = lexer->Expect(TokenType::kRParen, "')'");
+      if (!close.ok()) return close.status();
+      path.head = PathExpr::Head::kDocument;
+      path.document_name = uri.value().text;
+    } else {
+      // "document" used as a plain element name in a relative path.
+      path.head = PathExpr::Head::kContext;
+      Step step;
+      step.axis = Step::Axis::kChild;
+      step.name = saved.text;
+      auto preds = ParseStepPredicates(lexer);
+      if (!preds.ok()) return preds.status();
+      step.predicates = std::move(preds).value();
+      path.steps.push_back(std::move(step));
+    }
+  } else if (StartsStep(head)) {
+    path.head = PathExpr::Head::kContext;
+    auto step = ParseStep(lexer, /*descendant=*/false);
+    if (!step.ok()) return step.status();
+    path.steps.push_back(std::move(step).value());
+  } else if (head.type == TokenType::kSlash ||
+             head.type == TokenType::kDoubleSlash) {
+    // Leading '/' or '//' relative to the context (document root).
+    path.head = PathExpr::Head::kContext;
+  } else {
+    return lexer->Error("expected a path expression");
+  }
+
+  // Steps.
+  while (true) {
+    const Token& t = lexer->Peek();
+    if (t.type == TokenType::kSlash || t.type == TokenType::kDoubleSlash ||
+        t.type == TokenType::kDot) {
+      bool descendant = t.type == TokenType::kDoubleSlash;
+      lexer->Next();
+      // `.index()` — the position function terminates the path.
+      if (lexer->PeekKeyword("index")) {
+        Token saved = lexer->Next();
+        if (lexer->Peek().type == TokenType::kLParen) {
+          lexer->Next();
+          auto close = lexer->Expect(TokenType::kRParen, "')' after index(");
+          if (!close.ok()) return close.status();
+          path.index_fn = true;
+          return path;
+        }
+        // Plain element named "index".
+        Step step;
+        step.axis =
+            descendant ? Step::Axis::kDescendant : Step::Axis::kChild;
+        step.name = saved.text;
+        auto preds = ParseStepPredicates(lexer);
+        if (!preds.ok()) return preds.status();
+        step.predicates = std::move(preds).value();
+        path.steps.push_back(std::move(step));
+        continue;
+      }
+      auto step = ParseStep(lexer, descendant);
+      if (!step.ok()) return step.status();
+      path.steps.push_back(std::move(step).value());
+      continue;
+    }
+    if (t.type == TokenType::kArrow) {
+      lexer->Next();
+      Step step;
+      step.axis = Step::Axis::kDeref;
+      const Token& name_tok = lexer->Peek();
+      if (name_tok.type == TokenType::kStar) {
+        lexer->Next();
+        step.name = "*";
+      } else if (name_tok.type == TokenType::kName) {
+        step.name = lexer->Next().text;
+      } else {
+        // Bare '->' dereferences without a name filter.
+        step.name = "*";
+      }
+      auto preds = ParseStepPredicates(lexer);
+      if (!preds.ok()) return preds.status();
+      step.predicates = std::move(preds).value();
+      path.steps.push_back(std::move(step));
+      continue;
+    }
+    break;
+  }
+  return path;
+}
+
+Result<Predicate> ParsePredicate(Lexer* lexer) {
+  // or-expression
+  auto parse_and = [&]() -> Result<Predicate> {
+    // and-expression over unary terms
+    auto parse_unary = [&](auto&& self) -> Result<Predicate> {
+      if (lexer->ConsumeKeyword("not")) {
+        auto open = lexer->Expect(TokenType::kLParen, "'(' after not");
+        if (!open.ok()) return open.status();
+        auto inner = ParsePredicate(lexer);
+        if (!inner.ok()) return inner.status();
+        auto close = lexer->Expect(TokenType::kRParen, "')'");
+        if (!close.ok()) return close.status();
+        Predicate pred;
+        pred.kind = Predicate::Kind::kNot;
+        pred.children.push_back(std::move(inner).value());
+        return pred;
+      }
+      if (lexer->Peek().type == TokenType::kLParen) {
+        lexer->Next();
+        auto inner = ParsePredicate(lexer);
+        if (!inner.ok()) return inner.status();
+        auto close = lexer->Expect(TokenType::kRParen, "')'");
+        if (!close.ok()) return close.status();
+        return inner;
+      }
+      (void)self;
+      // comparison or existence test
+      auto path = ParsePath(lexer);
+      if (!path.ok()) return path.status();
+      Predicate pred;
+      pred.path = std::move(path).value();
+      const Token& t = lexer->Peek();
+      Predicate::Op op;
+      switch (t.type) {
+        case TokenType::kEq:
+          op = Predicate::Op::kEq;
+          break;
+        case TokenType::kNe:
+          op = Predicate::Op::kNe;
+          break;
+        case TokenType::kLt:
+          op = Predicate::Op::kLt;
+          break;
+        case TokenType::kLe:
+          op = Predicate::Op::kLe;
+          break;
+        case TokenType::kGt:
+          op = Predicate::Op::kGt;
+          break;
+        case TokenType::kGe:
+          op = Predicate::Op::kGe;
+          break;
+        default:
+          pred.kind = Predicate::Kind::kExists;
+          return pred;
+      }
+      lexer->Next();
+      pred.kind = Predicate::Kind::kCompare;
+      pred.op = op;
+      const Token& rhs = lexer->Peek();
+      if (rhs.type == TokenType::kNumber) {
+        pred.rhs_is_number = true;
+        pred.rhs_number = lexer->Next().number;
+      } else if (rhs.type == TokenType::kString) {
+        pred.rhs_string = lexer->Next().text;
+      } else {
+        return lexer->Error("expected literal on right side of comparison");
+      }
+      return pred;
+    };
+
+    auto first = parse_unary(parse_unary);
+    if (!first.ok()) return first.status();
+    if (!lexer->PeekKeyword("and")) return first;
+    Predicate conj;
+    conj.kind = Predicate::Kind::kAnd;
+    conj.children.push_back(std::move(first).value());
+    while (lexer->ConsumeKeyword("and")) {
+      auto next = parse_unary(parse_unary);
+      if (!next.ok()) return next.status();
+      conj.children.push_back(std::move(next).value());
+    }
+    return conj;
+  };
+
+  auto first = parse_and();
+  if (!first.ok()) return first.status();
+  if (!lexer->PeekKeyword("or")) return first;
+  Predicate disj;
+  disj.kind = Predicate::Kind::kOr;
+  disj.children.push_back(std::move(first).value());
+  while (lexer->ConsumeKeyword("or")) {
+    auto next = parse_and();
+    if (!next.ok()) return next.status();
+    disj.children.push_back(std::move(next).value());
+  }
+  return disj;
+}
+
+Result<PathExpr> ParsePathString(std::string_view text) {
+  Lexer lexer(text);
+  auto path = ParsePath(&lexer);
+  if (!path.ok()) return path.status();
+  if (lexer.Peek().type != TokenType::kEnd) {
+    return lexer.Error("trailing input after path expression");
+  }
+  return path;
+}
+
+Result<Predicate> ParsePredicateString(std::string_view text) {
+  Lexer lexer(text);
+  auto pred = ParsePredicate(&lexer);
+  if (!pred.ok()) return pred.status();
+  if (lexer.Peek().type != TokenType::kEnd) {
+    return lexer.Error("trailing input after predicate");
+  }
+  return pred;
+}
+
+namespace {
+
+const char* OpName(Predicate::Op op) {
+  switch (op) {
+    case Predicate::Op::kEq:
+      return "=";
+    case Predicate::Op::kNe:
+      return "!=";
+    case Predicate::Op::kLt:
+      return "<";
+    case Predicate::Op::kLe:
+      return "<=";
+    case Predicate::Op::kGt:
+      return ">";
+    case Predicate::Op::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ToString(const PathExpr& path) {
+  std::string out;
+  switch (path.head) {
+    case PathExpr::Head::kDocument:
+      out += "document(\"" + path.document_name + "\")";
+      break;
+    case PathExpr::Head::kVariable:
+      out += "$" + path.variable;
+      break;
+    case PathExpr::Head::kContext:
+      break;
+  }
+  bool first = true;
+  for (const Step& s : path.steps) {
+    bool relative_first = first && path.head == PathExpr::Head::kContext;
+    switch (s.axis) {
+      case Step::Axis::kChild:
+        if (!relative_first) out += "/";
+        out += s.name;
+        break;
+      case Step::Axis::kDescendant:
+        out += "//" + s.name;
+        break;
+      case Step::Axis::kAttribute:
+        if (!relative_first) out += "/";
+        out += "@" + s.name;
+        break;
+      case Step::Axis::kRefEntry:
+        if (!relative_first) out += "/";
+        out += "ref(" + s.name + ",";
+        out += s.ref_target == "*" ? "*" : "\"" + s.ref_target + "\"";
+        out += ")";
+        break;
+      case Step::Axis::kDeref:
+        out += "->" + s.name;
+        break;
+      case Step::Axis::kTextNodes:
+        if (!relative_first) out += "/";
+        out += "text()";
+        break;
+    }
+    for (const Predicate& p : s.predicates) {
+      out += "[" + ToString(p) + "]";
+    }
+    first = false;
+  }
+  if (path.index_fn) out += ".index()";
+  return out;
+}
+
+std::string ToString(const Predicate& pred) {
+  switch (pred.kind) {
+    case Predicate::Kind::kExists:
+      return ToString(pred.path);
+    case Predicate::Kind::kCompare: {
+      std::string rhs = pred.rhs_is_number ? std::to_string(pred.rhs_number)
+                                           : "\"" + pred.rhs_string + "\"";
+      return ToString(pred.path) + OpName(pred.op) + rhs;
+    }
+    case Predicate::Kind::kAnd: {
+      std::string out;
+      for (size_t i = 0; i < pred.children.size(); ++i) {
+        if (i > 0) out += " and ";
+        out += ToString(pred.children[i]);
+      }
+      return out;
+    }
+    case Predicate::Kind::kOr: {
+      std::string out;
+      for (size_t i = 0; i < pred.children.size(); ++i) {
+        if (i > 0) out += " or ";
+        out += ToString(pred.children[i]);
+      }
+      return out;
+    }
+    case Predicate::Kind::kNot:
+      return "not(" + ToString(pred.children[0]) + ")";
+  }
+  return "";
+}
+
+}  // namespace xupd::xpath

@@ -1,0 +1,30 @@
+// Parser for path expressions and predicates. Exposes entry points that
+// consume from a shared Lexer so the XQuery-update parser can embed paths.
+#ifndef XUPD_XPATH_PARSER_H_
+#define XUPD_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+#include "xpath/lexer.h"
+
+namespace xupd::xpath {
+
+/// Parses a complete path expression from `lexer` (stops at the first token
+/// that cannot extend the path).
+Result<PathExpr> ParsePath(Lexer* lexer);
+
+/// Parses a boolean predicate expression (the contents of [...] or a WHERE
+/// condition) from `lexer`.
+Result<Predicate> ParsePredicate(Lexer* lexer);
+
+/// Parses a standalone path string; fails on trailing input.
+Result<PathExpr> ParsePathString(std::string_view text);
+
+/// Parses a standalone predicate string; fails on trailing input.
+Result<Predicate> ParsePredicateString(std::string_view text);
+
+}  // namespace xupd::xpath
+
+#endif  // XUPD_XPATH_PARSER_H_

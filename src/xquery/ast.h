@@ -1,0 +1,90 @@
+// AST for the paper's XQuery extensions (§4.1):
+//
+//   FOR $b IN path, ...  LET $v := path, ...  WHERE pred, ...
+//   UPDATE $b { subOp {, subOp}* }
+//
+//   subOp := DELETE $child
+//          | RENAME $child TO name
+//          | INSERT content [BEFORE | AFTER $child]
+//          | REPLACE $child WITH content
+//          | FOR $b' IN path, ... WHERE ... UPDATE $b' { ... }
+//
+// Plain FLWR queries (RETURN expr) are also represented so the same parser
+// serves the Sorted-Outer-Union query path (§5.2, Example 6/7).
+#ifndef XUPD_XQUERY_AST_H_
+#define XUPD_XQUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xpath/ast.h"
+
+namespace xupd::xquery {
+
+/// Content in INSERT / REPLACE clauses.
+struct ContentExpr {
+  enum class Kind {
+    kNone,
+    kXmlFragment,   ///< <tag ...>...</tag> captured verbatim.
+    kString,        ///< "PCDATA" (or an ID when inserted into an IDREFS).
+    kNewAttribute,  ///< new_attribute(name, "value")
+    kNewRef,        ///< new_ref(label, "target")
+    kPath,          ///< $var or path — copy of an existing object.
+  };
+  Kind kind = Kind::kNone;
+  std::string text;  ///< fragment text / string literal / constructor value.
+  std::string name;  ///< new_attribute / new_ref name.
+  xpath::PathExpr path;  ///< kPath.
+};
+
+struct UpdateOp;
+
+/// One sub-operation inside UPDATE { ... }.
+struct SubOp {
+  enum class Kind { kDelete, kRename, kInsert, kReplace, kNestedUpdate };
+  enum class Position { kAppend, kBefore, kAfter };
+
+  Kind kind = Kind::kDelete;
+  xpath::PathExpr child;        ///< DELETE/RENAME/REPLACE target; INSERT
+                                ///< BEFORE/AFTER reference binding.
+  std::string rename_to;        ///< RENAME ... TO name.
+  ContentExpr content;          ///< INSERT / REPLACE content.
+  Position position = Position::kAppend;  ///< INSERT placement.
+  std::unique_ptr<UpdateOp> nested;       ///< kNestedUpdate.
+};
+
+struct ForClause {
+  std::string variable;
+  xpath::PathExpr path;
+};
+
+struct LetClause {
+  std::string variable;
+  xpath::PathExpr path;
+};
+
+/// UPDATE $target { subops } — possibly nested, in which case it carries its
+/// own FOR/WHERE clauses.
+struct UpdateOp {
+  std::vector<ForClause> for_clauses;      ///< nested updates only.
+  std::vector<xpath::Predicate> where;     ///< nested updates only.
+  xpath::PathExpr target;                  ///< the $binding being updated.
+  std::vector<SubOp> sub_ops;
+};
+
+/// A complete statement: update (one or more UPDATE ops) or query (RETURN).
+struct Statement {
+  std::vector<ForClause> for_clauses;
+  std::vector<LetClause> let_clauses;
+  std::vector<xpath::Predicate> where;
+  std::vector<UpdateOp> updates;                ///< update statement.
+  std::optional<xpath::PathExpr> return_path;   ///< FLWR query.
+
+  bool is_update() const { return !updates.empty(); }
+};
+
+}  // namespace xupd::xquery
+
+#endif  // XUPD_XQUERY_AST_H_

@@ -1,0 +1,76 @@
+// Native-tree execution of parsed XQuery update statements and FLWR queries.
+//
+// Follows §3.2/§4 semantics: all variable bindings (including those of
+// nested FOR...UPDATE sub-operations) are computed over the *input* document
+// before any update executes; content is materialized per target at bind
+// time (copy semantics); deleted bindings cannot be reused as operation
+// targets later in the sequence.
+#ifndef XUPD_XQUERY_EXECUTOR_H_
+#define XUPD_XQUERY_EXECUTOR_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "update/ops.h"
+#include "xml/document.h"
+#include "xpath/eval.h"
+#include "xquery/ast.h"
+
+namespace xupd::xquery {
+
+class NativeExecutor {
+ public:
+  explicit NativeExecutor(
+      xml::Document* doc,
+      update::ExecutionModel model = update::ExecutionModel::kOrdered)
+      : doc_(doc), model_(model) {}
+
+  /// Parses and executes an update statement.
+  Status ExecuteString(std::string_view query);
+
+  /// Executes a parsed update statement.
+  Status Execute(const Statement& stmt);
+
+  /// Evaluates a FLWR query (RETURN clause); returns the bound objects, one
+  /// per qualifying tuple.
+  Result<std::vector<xpath::XmlObject>> EvalQuery(const Statement& stmt);
+
+  /// Number of binding tuples processed by the last Execute call.
+  size_t last_tuple_count() const { return last_tuple_count_; }
+
+ private:
+  /// A fully-bound primitive operation ready for execution.
+  struct BoundOp {
+    SubOp::Kind kind = SubOp::Kind::kDelete;
+    SubOp::Position position = SubOp::Position::kAppend;
+    xpath::XmlObject target;  ///< UPDATE target (for plain INSERT).
+    xpath::XmlObject child;   ///< op operand (delete/rename/replace/ref).
+    std::string rename_to;
+    std::optional<update::Content> content;
+  };
+
+  Result<std::vector<xpath::Environment>> BindTuples(
+      const std::vector<ForClause>& fors,
+      const std::vector<LetClause>& lets,
+      const std::vector<xpath::Predicate>& where,
+      const xpath::Environment& outer, const xpath::XmlObject& context) const;
+
+  Status BindUpdateOp(const UpdateOp& op, const xpath::Environment& env,
+                      const xpath::XmlObject& context,
+                      std::vector<BoundOp>* out) const;
+
+  Result<update::Content> ResolveContent(const ContentExpr& expr,
+                                         const xpath::Environment& env,
+                                         const xpath::XmlObject& context) const;
+
+  xml::Document* doc_;
+  update::ExecutionModel model_;
+  size_t last_tuple_count_ = 0;
+};
+
+}  // namespace xupd::xquery
+
+#endif  // XUPD_XQUERY_EXECUTOR_H_

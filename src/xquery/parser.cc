@@ -1,0 +1,273 @@
+#include "xquery/parser.h"
+
+#include "common/str_util.h"
+#include "xpath/lexer.h"
+#include "xpath/parser.h"
+
+namespace xupd::xquery {
+
+using xpath::Lexer;
+using xpath::Token;
+using xpath::TokenType;
+
+namespace {
+
+Result<std::vector<ForClause>> ParseForClauses(Lexer* lexer) {
+  // "FOR" already consumed.
+  std::vector<ForClause> clauses;
+  while (true) {
+    auto var = lexer->Expect(TokenType::kVariable, "variable after FOR");
+    if (!var.ok()) return var.status();
+    if (!lexer->ConsumeKeyword("in")) {
+      return lexer->Error("expected IN in FOR clause");
+    }
+    auto path = xpath::ParsePath(lexer);
+    if (!path.ok()) return path.status();
+    clauses.push_back(ForClause{var.value().text, std::move(path).value()});
+    if (lexer->Peek().type == TokenType::kComma) {
+      lexer->Next();
+      continue;
+    }
+    break;
+  }
+  return clauses;
+}
+
+Result<std::vector<LetClause>> ParseLetClauses(Lexer* lexer) {
+  std::vector<LetClause> clauses;
+  while (true) {
+    auto var = lexer->Expect(TokenType::kVariable, "variable after LET");
+    if (!var.ok()) return var.status();
+    auto assign = lexer->Expect(TokenType::kAssign, "':=' in LET clause");
+    if (!assign.ok()) return assign.status();
+    auto path = xpath::ParsePath(lexer);
+    if (!path.ok()) return path.status();
+    clauses.push_back(LetClause{var.value().text, std::move(path).value()});
+    if (lexer->Peek().type == TokenType::kComma) {
+      lexer->Next();
+      continue;
+    }
+    break;
+  }
+  return clauses;
+}
+
+Result<std::vector<xpath::Predicate>> ParseWhere(Lexer* lexer) {
+  // "WHERE" already consumed. Comma-separated predicates form a conjunction.
+  std::vector<xpath::Predicate> preds;
+  while (true) {
+    auto pred = xpath::ParsePredicate(lexer);
+    if (!pred.ok()) return pred.status();
+    preds.push_back(std::move(pred).value());
+    if (lexer->Peek().type == TokenType::kComma) {
+      lexer->Next();
+      continue;
+    }
+    break;
+  }
+  return preds;
+}
+
+Result<ContentExpr> ParseContent(Lexer* lexer) {
+  ContentExpr content;
+  const Token& t = lexer->Peek();
+  if (t.type == TokenType::kLt) {
+    auto frag = lexer->NextContent();
+    if (!frag.ok()) return frag.status();
+    if (frag.value().type != TokenType::kXmlFragment) {
+      return lexer->Error("malformed XML constructor");
+    }
+    content.kind = ContentExpr::Kind::kXmlFragment;
+    content.text = frag.value().text;
+    return content;
+  }
+  if (t.type == TokenType::kString) {
+    content.kind = ContentExpr::Kind::kString;
+    content.text = lexer->Next().text;
+    return content;
+  }
+  if (t.type == TokenType::kName && (EqualsIgnoreCase(t.text, "new_attribute") ||
+                                     EqualsIgnoreCase(t.text, "new_ref"))) {
+    bool is_attr = EqualsIgnoreCase(t.text, "new_attribute");
+    lexer->Next();
+    auto open = lexer->Expect(TokenType::kLParen, "'('");
+    if (!open.ok()) return open.status();
+    const Token& name_tok = lexer->Peek();
+    if (name_tok.type != TokenType::kName &&
+        name_tok.type != TokenType::kString) {
+      return lexer->Error("expected name in constructor");
+    }
+    content.name = lexer->Next().text;
+    auto comma = lexer->Expect(TokenType::kComma, "','");
+    if (!comma.ok()) return comma.status();
+    const Token& val_tok = lexer->Peek();
+    if (val_tok.type == TokenType::kString || val_tok.type == TokenType::kName) {
+      content.text = lexer->Next().text;
+    } else if (val_tok.type == TokenType::kNumber) {
+      content.text = std::to_string(lexer->Next().number);
+    } else {
+      return lexer->Error("expected value in constructor");
+    }
+    auto close = lexer->Expect(TokenType::kRParen, "')'");
+    if (!close.ok()) return close.status();
+    content.kind = is_attr ? ContentExpr::Kind::kNewAttribute
+                           : ContentExpr::Kind::kNewRef;
+    return content;
+  }
+  // Otherwise: a path (e.g. INSERT $source).
+  auto path = xpath::ParsePath(lexer);
+  if (!path.ok()) return path.status();
+  content.kind = ContentExpr::Kind::kPath;
+  content.path = std::move(path).value();
+  return content;
+}
+
+Result<UpdateOp> ParseUpdateOp(Lexer* lexer);
+
+Result<SubOp> ParseSubOp(Lexer* lexer) {
+  SubOp op;
+  if (lexer->ConsumeKeyword("delete")) {
+    op.kind = SubOp::Kind::kDelete;
+    auto path = xpath::ParsePath(lexer);
+    if (!path.ok()) return path.status();
+    op.child = std::move(path).value();
+    return op;
+  }
+  if (lexer->ConsumeKeyword("rename")) {
+    op.kind = SubOp::Kind::kRename;
+    auto path = xpath::ParsePath(lexer);
+    if (!path.ok()) return path.status();
+    op.child = std::move(path).value();
+    if (!lexer->ConsumeKeyword("to")) {
+      return lexer->Error("expected TO in RENAME");
+    }
+    const Token& name_tok = lexer->Peek();
+    if (name_tok.type != TokenType::kName &&
+        name_tok.type != TokenType::kString) {
+      return lexer->Error("expected new name after TO");
+    }
+    op.rename_to = lexer->Next().text;
+    return op;
+  }
+  if (lexer->ConsumeKeyword("insert")) {
+    op.kind = SubOp::Kind::kInsert;
+    auto content = ParseContent(lexer);
+    if (!content.ok()) return content.status();
+    op.content = std::move(content).value();
+    if (lexer->ConsumeKeyword("before")) {
+      op.position = SubOp::Position::kBefore;
+    } else if (lexer->ConsumeKeyword("after")) {
+      op.position = SubOp::Position::kAfter;
+    } else {
+      op.position = SubOp::Position::kAppend;
+      return op;
+    }
+    auto ref = xpath::ParsePath(lexer);
+    if (!ref.ok()) return ref.status();
+    op.child = std::move(ref).value();
+    return op;
+  }
+  if (lexer->ConsumeKeyword("replace")) {
+    op.kind = SubOp::Kind::kReplace;
+    auto path = xpath::ParsePath(lexer);
+    if (!path.ok()) return path.status();
+    op.child = std::move(path).value();
+    if (!lexer->ConsumeKeyword("with")) {
+      return lexer->Error("expected WITH in REPLACE");
+    }
+    auto content = ParseContent(lexer);
+    if (!content.ok()) return content.status();
+    op.content = std::move(content).value();
+    return op;
+  }
+  if (lexer->ConsumeKeyword("for")) {
+    op.kind = SubOp::Kind::kNestedUpdate;
+    auto nested = std::make_unique<UpdateOp>();
+    auto fors = ParseForClauses(lexer);
+    if (!fors.ok()) return fors.status();
+    nested->for_clauses = std::move(fors).value();
+    if (lexer->ConsumeKeyword("where")) {
+      auto where = ParseWhere(lexer);
+      if (!where.ok()) return where.status();
+      nested->where = std::move(where).value();
+    }
+    if (!lexer->ConsumeKeyword("update")) {
+      return lexer->Error("expected UPDATE in nested update");
+    }
+    auto inner = ParseUpdateOp(lexer);
+    if (!inner.ok()) return inner.status();
+    nested->target = std::move(inner.value().target);
+    nested->sub_ops = std::move(inner.value().sub_ops);
+    op.nested = std::move(nested);
+    return op;
+  }
+  return lexer->Error(
+      "expected DELETE, RENAME, INSERT, REPLACE or nested FOR...UPDATE");
+}
+
+// Parses "$target { subop, ... }" — the part after the UPDATE keyword.
+Result<UpdateOp> ParseUpdateOp(Lexer* lexer) {
+  UpdateOp op;
+  auto target = xpath::ParsePath(lexer);
+  if (!target.ok()) return target.status();
+  op.target = std::move(target).value();
+  auto open = lexer->Expect(TokenType::kLBrace, "'{' after UPDATE target");
+  if (!open.ok()) return open.status();
+  while (true) {
+    auto sub = ParseSubOp(lexer);
+    if (!sub.ok()) return sub.status();
+    op.sub_ops.push_back(std::move(sub).value());
+    if (lexer->Peek().type == TokenType::kComma) {
+      lexer->Next();
+      continue;
+    }
+    break;
+  }
+  auto close = lexer->Expect(TokenType::kRBrace, "'}' after update operations");
+  if (!close.ok()) return close.status();
+  return op;
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view text) {
+  Lexer lexer(text);
+  Statement stmt;
+  if (lexer.ConsumeKeyword("for")) {
+    auto fors = ParseForClauses(&lexer);
+    if (!fors.ok()) return fors.status();
+    stmt.for_clauses = std::move(fors).value();
+  }
+  if (lexer.ConsumeKeyword("let")) {
+    auto lets = ParseLetClauses(&lexer);
+    if (!lets.ok()) return lets.status();
+    stmt.let_clauses = std::move(lets).value();
+  }
+  if (lexer.ConsumeKeyword("where")) {
+    auto where = ParseWhere(&lexer);
+    if (!where.ok()) return where.status();
+    stmt.where = std::move(where).value();
+  }
+  bool saw_clause = false;
+  while (lexer.ConsumeKeyword("update")) {
+    saw_clause = true;
+    auto op = ParseUpdateOp(&lexer);
+    if (!op.ok()) return op.status();
+    stmt.updates.push_back(std::move(op).value());
+  }
+  if (!saw_clause) {
+    if (lexer.ConsumeKeyword("return")) {
+      auto path = xpath::ParsePath(&lexer);
+      if (!path.ok()) return path.status();
+      stmt.return_path = std::move(path).value();
+    } else {
+      return lexer.Error("expected UPDATE or RETURN clause");
+    }
+  }
+  if (lexer.Peek().type != TokenType::kEnd) {
+    return lexer.Error("trailing input after statement");
+  }
+  return stmt;
+}
+
+}  // namespace xupd::xquery

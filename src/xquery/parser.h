@@ -1,0 +1,17 @@
+// Parser for the XQuery update/query surface syntax of §4.
+#ifndef XUPD_XQUERY_PARSER_H_
+#define XUPD_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xquery/ast.h"
+
+namespace xupd::xquery {
+
+/// Parses a complete FOR...LET...WHERE...UPDATE/RETURN statement.
+Result<Statement> ParseStatement(std::string_view text);
+
+}  // namespace xupd::xquery
+
+#endif  // XUPD_XQUERY_PARSER_H_

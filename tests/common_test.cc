@@ -1,0 +1,163 @@
+// Tests for the common module: Status/Result, string utilities, RNG.
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace xupd {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("line 3: boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "line 3: boom");
+  EXPECT_EQ(s.ToString(), "ParseError: line 3: boom");
+}
+
+TEST(StatusTest, CopyIsCheapAndEqual) {
+  Status a = Status::NotFound("x");
+  Status b = a;
+  EXPECT_EQ(a, b);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  XUPD_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x * 2;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  XUPD_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  auto ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  auto bad = ParsePositive(0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bad.value_or(-7), -7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(UsesAssignOrReturn(5).value(), 11);
+  EXPECT_FALSE(UsesAssignOrReturn(-5).ok());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(StrUtilTest, SplitWhitespace) {
+  EXPECT_EQ(SplitWhitespace("  a  bb\tc\n"),
+            (std::vector<std::string>{"a", "bb", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(StrUtilTest, JoinAndSplitChar) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(SplitChar("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StrUtilTest, CaseHelpers) {
+  EXPECT_EQ(AsciiToLower("AbC"), "abc");
+  EXPECT_EQ(AsciiToUpper("aBc"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StrUtilTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(StrUtilTest, SqlQuote) {
+  EXPECT_EQ(SqlQuote("abc"), "'abc'");
+  EXPECT_EQ(SqlQuote("John's"), "'John''s'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+TEST(StrUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64("-9", &v));
+  EXPECT_EQ(v, -9);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64(" 1", &v));
+}
+
+TEST(StrUtilTest, StripAndAffixes) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(EndsWith("abcdef", "def"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 10; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+  }
+  EXPECT_NE(Rng(7).Next(), c.Next());
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, RandomStringShapeAndLength) {
+  Rng rng(3);
+  std::string s = rng.RandomString(50);
+  EXPECT_EQ(s.size(), 50u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace xupd

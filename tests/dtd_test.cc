@@ -1,0 +1,233 @@
+// Tests for the DTD parser and the validator (§8 "typechecking" extension).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xml/dtd.h"
+#include "xml/parser.h"
+#include "xml/validator.h"
+
+namespace xupd::xml {
+namespace {
+
+TEST(DtdParseTest, Figure4CustomerDtd) {
+  Dtd dtd = xupd::testing::MustParseDtd(xupd::testing::kCustomerDtd);
+  EXPECT_EQ(dtd.RootName(), "CustDB");
+  const ElementDecl* customer = dtd.FindElement("Customer");
+  ASSERT_NE(customer, nullptr);
+  EXPECT_EQ(customer->type, ContentType::kChildren);
+  auto children = dtd.ChildElements("Customer");
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0].name, "Name");
+  EXPECT_FALSE(children[0].repeated);
+  EXPECT_FALSE(children[0].optional);
+  EXPECT_EQ(children[2].name, "Order");
+  EXPECT_TRUE(children[2].repeated);
+  EXPECT_TRUE(children[2].optional);
+  EXPECT_TRUE(dtd.IsPcdataOnly("Name"));
+  EXPECT_FALSE(dtd.IsPcdataOnly("Address"));
+}
+
+TEST(DtdParseTest, OptionalMarksOptionalNotRepeated) {
+  Dtd dtd = xupd::testing::MustParseDtd(
+      "<!ELEMENT a (b?, c+)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>");
+  auto children = dtd.ChildElements("a");
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_TRUE(children[0].optional);
+  EXPECT_FALSE(children[0].repeated);
+  EXPECT_TRUE(children[1].repeated);
+  EXPECT_FALSE(children[1].optional);  // '+' requires at least one
+}
+
+TEST(DtdParseTest, ChoiceBranchesAreOptional) {
+  Dtd dtd = xupd::testing::MustParseDtd(
+      "<!ELEMENT a (b | c)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>");
+  auto children = dtd.ChildElements("a");
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_TRUE(children[0].optional);
+  EXPECT_TRUE(children[1].optional);
+}
+
+TEST(DtdParseTest, RepeatedMention) {
+  Dtd dtd = xupd::testing::MustParseDtd(
+      "<!ELEMENT a (b, c, b)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>");
+  auto children = dtd.ChildElements("a");
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_TRUE(children[0].repeated);  // b appears twice
+}
+
+TEST(DtdParseTest, StarredGroupMakesMembersRepeated) {
+  Dtd dtd = xupd::testing::MustParseDtd(
+      "<!ELEMENT a ((b, c)*)> <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>");
+  for (const auto& child : dtd.ChildElements("a")) {
+    EXPECT_TRUE(child.repeated) << child.name;
+    EXPECT_TRUE(child.optional) << child.name;
+  }
+}
+
+TEST(DtdParseTest, MixedContent) {
+  Dtd dtd = xupd::testing::MustParseDtd(
+      "<!ELEMENT p (#PCDATA | em | b)*> <!ELEMENT em (#PCDATA)> "
+      "<!ELEMENT b (#PCDATA)>");
+  const ElementDecl* p = dtd.FindElement("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->type, ContentType::kMixed);
+  EXPECT_EQ(p->mixed_names.size(), 2u);
+}
+
+TEST(DtdParseTest, AttlistTypes) {
+  Dtd dtd = xupd::testing::MustParseDtd(R"(
+    <!ELEMENT lab EMPTY>
+    <!ATTLIST lab ID ID #REQUIRED
+                  managers IDREFS #IMPLIED
+                  kind (bio|chem) "bio"
+                  note CDATA #FIXED "x">)");
+  EXPECT_EQ(dtd.FindAttribute("lab", "ID")->type, AttrType::kId);
+  EXPECT_EQ(dtd.FindAttribute("lab", "ID")->mode, AttrDefaultMode::kRequired);
+  EXPECT_EQ(dtd.FindAttribute("lab", "managers")->type, AttrType::kIdrefs);
+  const AttrDecl* kind = dtd.FindAttribute("lab", "kind");
+  ASSERT_NE(kind, nullptr);
+  EXPECT_EQ(kind->type, AttrType::kEnumerated);
+  EXPECT_EQ(kind->default_value, "bio");
+  EXPECT_EQ(dtd.FindAttribute("lab", "note")->mode, AttrDefaultMode::kFixed);
+}
+
+TEST(DtdParseTest, Errors) {
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT >").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b,| c)>").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b | c, d)>").ok());  // mixed seps
+  EXPECT_FALSE(Dtd::Parse("<!BOGUS a>").ok());
+  EXPECT_FALSE(Dtd::Parse("").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ATTLIST a x WEIRD #IMPLIED>").ok());
+}
+
+TEST(DtdParseTest, InternalSubsetPickedUpByXmlParser) {
+  auto parsed = ParseXml(R"(<!DOCTYPE db [
+      <!ELEMENT db (lab*)>
+      <!ELEMENT lab (#PCDATA)>
+      <!ATTLIST lab managers IDREFS #IMPLIED>
+    ]>
+    <db><lab managers="a b">X</lab></db>)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_TRUE(parsed->internal_dtd.has_value());
+  xml::Element* lab = parsed->document->root()->FindChildElement("lab");
+  ASSERT_NE(lab, nullptr);
+  ASSERT_NE(lab->FindRefList("managers"), nullptr);
+  EXPECT_EQ(lab->FindRefList("managers")->targets.size(), 2u);
+}
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  Dtd dtd_ = xupd::testing::MustParseDtd(xupd::testing::kCustomerDtd);
+};
+
+TEST_F(ValidatorTest, ValidDocumentPasses) {
+  auto doc = xupd::testing::MustParse(xupd::testing::kCustomerXml);
+  EXPECT_TRUE(Validate(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, MissingRequiredChildFails) {
+  auto doc = xupd::testing::MustParse(
+      "<CustDB><Customer><Name>X</Name></Customer></CustDB>");
+  // Customer requires Name, Address.
+  Status s = Validate(*doc, dtd_);
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(ValidatorTest, WrongChildOrderFails) {
+  auto doc = xupd::testing::MustParse(
+      "<CustDB><Customer>"
+      "<Address><City>A</City><State>B</State></Address><Name>X</Name>"
+      "</Customer></CustDB>");
+  EXPECT_FALSE(Validate(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, UndeclaredElementFails) {
+  auto doc = xupd::testing::MustParse("<CustDB><Widget/></CustDB>");
+  EXPECT_FALSE(Validate(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, PcdataInElementContentFails) {
+  auto doc = xupd::testing::MustParse(
+      "<CustDB>stray text<Customer><Name>X</Name>"
+      "<Address><City>A</City><State>B</State></Address>"
+      "</Customer></CustDB>");
+  EXPECT_FALSE(Validate(*doc, dtd_).ok());
+}
+
+TEST_F(ValidatorTest, DuplicateIdFails) {
+  Dtd dtd = xupd::testing::MustParseDtd(R"(
+    <!ELEMENT db (lab*)> <!ELEMENT lab (#PCDATA)>
+    <!ATTLIST lab ID ID #REQUIRED>)");
+  auto doc = xupd::testing::MustParse(
+      R"(<db><lab ID="x">a</lab><lab ID="x">b</lab></db>)");
+  Status s = Validate(*doc, dtd);
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(ValidatorTest, DanglingIdrefPolicy) {
+  Dtd dtd = xupd::testing::MustParseDtd(R"(
+    <!ELEMENT db (lab*)> <!ELEMENT lab (#PCDATA)>
+    <!ATTLIST lab ID ID #REQUIRED boss IDREF #IMPLIED>)");
+  ParseOptions options;
+  options.dtd = &dtd;  // classifies boss as an IDREF attribute
+  auto parsed = ParseXml(
+      R"(<db><lab ID="x" boss="ghost">a</lab></db>)", options);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed->document->root()
+                ->FindChildElement("lab")
+                ->FindRefList("boss"),
+            nullptr);
+  // Default: dangling refs allowed (the paper's delete semantics, §4.2.1).
+  EXPECT_TRUE(Validate(*parsed->document, dtd).ok());
+  // Strict conformance: rejected.
+  ValidateOptions strict;
+  strict.check_idref_targets = true;
+  EXPECT_FALSE(Validate(*parsed->document, dtd, strict).ok());
+}
+
+TEST_F(ValidatorTest, RequiredAttributeMissing) {
+  Dtd dtd = xupd::testing::MustParseDtd(R"(
+    <!ELEMENT db (lab*)> <!ELEMENT lab (#PCDATA)>
+    <!ATTLIST lab ID ID #REQUIRED>)");
+  auto doc = xupd::testing::MustParse("<db><lab>a</lab></db>");
+  EXPECT_FALSE(Validate(*doc, dtd).ok());
+}
+
+TEST_F(ValidatorTest, EnumeratedValueChecked) {
+  Dtd dtd = xupd::testing::MustParseDtd(R"(
+    <!ELEMENT db (lab*)> <!ELEMENT lab (#PCDATA)>
+    <!ATTLIST lab kind (bio|chem) #IMPLIED>)");
+  auto good = xupd::testing::MustParse(R"(<db><lab kind="bio">a</lab></db>)");
+  EXPECT_TRUE(Validate(*good, dtd).ok());
+  auto bad = xupd::testing::MustParse(R"(<db><lab kind="math">a</lab></db>)");
+  EXPECT_FALSE(Validate(*bad, dtd).ok());
+}
+
+TEST_F(ValidatorTest, StrictAttributesRejectUndeclared) {
+  auto doc = xupd::testing::MustParse(
+      "<CustDB><Customer bogus=\"1\"><Name>X</Name>"
+      "<Address><City>A</City><State>B</State></Address>"
+      "</Customer></CustDB>");
+  EXPECT_TRUE(Validate(*doc, dtd_).ok());  // lenient by default
+  ValidateOptions strict;
+  strict.strict_attributes = true;
+  EXPECT_FALSE(Validate(*doc, dtd_, strict).ok());
+}
+
+TEST_F(ValidatorTest, ShallowValidationChecksOneLevel) {
+  auto doc = xupd::testing::MustParse(
+      "<CustDB><Customer><Name>X</Name>"
+      "<Address><City>A</City><State>B</State></Address>"
+      "</Customer></CustDB>");
+  xml::Element* customer = doc->root()->FindChildElement("Customer");
+  ASSERT_NE(customer, nullptr);
+  EXPECT_TRUE(ValidateElementShallow(*customer, dtd_).ok());
+  // Break a grandchild: shallow validation of Customer still passes.
+  xml::Element* address = customer->FindChildElement("Address");
+  address->AppendSimpleChild("Widget", "");
+  EXPECT_TRUE(ValidateElementShallow(*customer, dtd_).ok());
+  EXPECT_FALSE(ValidateElementShallow(*address, dtd_).ok());
+}
+
+}  // namespace
+}  // namespace xupd::xml

@@ -1,0 +1,273 @@
+// Tests for the §3.2 primitive operations and their semantic restrictions.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "update/ops.h"
+#include "xml/serializer.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+
+namespace xupd::update {
+namespace {
+
+using xpath::XmlObject;
+
+class UpdateOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = xupd::testing::ParseBioDocument();
+    exec_ = std::make_unique<UpdateExecutor>(doc_.get(),
+                                             ExecutionModel::kOrdered);
+  }
+
+  XmlObject EvalOne(const std::string& path) {
+    auto parsed = xpath::ParsePathString(path);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    xpath::Evaluator eval(doc_.get());
+    auto result = eval.Eval(parsed.value(), {}, XmlObject::Null());
+    EXPECT_TRUE(result.ok()) << result.status();
+    EXPECT_FALSE(result->empty()) << path << " bound nothing";
+    return result->front();
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<UpdateExecutor> exec_;
+};
+
+TEST_F(UpdateOpsTest, DeleteElement) {
+  XmlObject title = EvalOne("document(\"b\")/paper/title");
+  ASSERT_TRUE(exec_->Delete(title).ok());
+  xpath::Evaluator eval(doc_.get());
+  auto parsed = xpath::ParsePathString("document(\"b\")/paper/title");
+  auto after = eval.Eval(parsed.value(), {}, XmlObject::Null());
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->empty());
+}
+
+TEST_F(UpdateOpsTest, DeleteAttribute) {
+  XmlObject cat = EvalOne("document(\"b\")/paper/@category");
+  ASSERT_TRUE(exec_->Delete(cat).ok());
+  EXPECT_EQ(doc_->FindById("Smith991231")->FindAttribute("category"), nullptr);
+}
+
+TEST_F(UpdateOpsTest, DeleteSingleRefPreservesRest) {
+  XmlObject ref = EvalOne(
+      "document(\"b\")//lab[@ID=\"lalab\"]/ref(managers,\"smith1\")");
+  ASSERT_TRUE(exec_->Delete(ref).ok());
+  const xml::RefList* managers =
+      doc_->FindById("lalab")->FindRefList("managers");
+  ASSERT_NE(managers, nullptr);
+  EXPECT_EQ(managers->targets, (std::vector<std::string>{"jones1"}));
+}
+
+TEST_F(UpdateOpsTest, DeleteRootFails) {
+  XmlObject root = XmlObject::OfElement(doc_->root());
+  EXPECT_FALSE(exec_->Delete(root).ok());
+}
+
+TEST_F(UpdateOpsTest, DanglingReferencesAreAllowed) {
+  // §4.2.1: deleting a referenced element leaves a dangling IDREF.
+  XmlObject bio = EvalOne("document(\"b\")/db/biologist[@ID=\"smith1\"]");
+  ASSERT_TRUE(exec_->Delete(bio).ok());
+  const xml::RefList* managers =
+      doc_->FindById("baselab")->FindRefList("managers");
+  ASSERT_NE(managers, nullptr);
+  EXPECT_EQ(managers->targets.front(), "smith1");  // dangles, by design
+}
+
+TEST_F(UpdateOpsTest, DeletedBindingCannotBeRenamed) {
+  XmlObject title = EvalOne("document(\"b\")/paper/title");
+  ASSERT_TRUE(exec_->Delete(title).ok());
+  Status s = exec_->Rename(title, "headline");
+  EXPECT_EQ(s.code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(UpdateOpsTest, DescendantOfDeletedSubtreeIsDeleted) {
+  XmlObject location = EvalOne("document(\"b\")//lab[@ID=\"baselab\"]/location");
+  XmlObject city = EvalOne(
+      "document(\"b\")//lab[@ID=\"baselab\"]/location/city");
+  ASSERT_TRUE(exec_->Delete(location).ok());
+  EXPECT_TRUE(exec_->IsDeleted(city));
+  EXPECT_FALSE(exec_->Rename(city, "town").ok());
+}
+
+TEST_F(UpdateOpsTest, RenameElement) {
+  XmlObject name = EvalOne("document(\"b\")//lab[@ID=\"lab2\"]/name");
+  ASSERT_TRUE(exec_->Rename(name, "title").ok());
+  EXPECT_EQ(doc_->FindById("lab2")->FindChildElement("title")->TextContent(),
+            "PMBL");
+}
+
+TEST_F(UpdateOpsTest, RenameAttribute) {
+  XmlObject age = EvalOne("document(\"b\")/db/biologist[@ID=\"jones1\"]/@age");
+  ASSERT_TRUE(exec_->Rename(age, "years").ok());
+  EXPECT_EQ(doc_->FindById("jones1")->FindAttribute("age"), nullptr);
+  EXPECT_EQ(doc_->FindById("jones1")->FindAttribute("years")->value, "32");
+}
+
+TEST_F(UpdateOpsTest, RenameRefEntryRenamesWholeList) {
+  // §3.2: renaming an individual IDREF renames the entire IDREFS.
+  XmlObject ref = EvalOne(
+      "document(\"b\")//lab[@ID=\"lalab\"]/ref(managers,\"smith1\")");
+  ASSERT_TRUE(exec_->Rename(ref, "supervisors").ok());
+  xml::Element* lalab = doc_->FindById("lalab");
+  EXPECT_EQ(lalab->FindRefList("managers"), nullptr);
+  ASSERT_NE(lalab->FindRefList("supervisors"), nullptr);
+  EXPECT_EQ(lalab->FindRefList("supervisors")->targets.size(), 2u);
+}
+
+TEST_F(UpdateOpsTest, RenamePcdataFails) {
+  XmlObject text = EvalOne("document(\"b\")//lab[@ID=\"lab2\"]/name/text()");
+  EXPECT_FALSE(exec_->Rename(text, "x").ok());
+}
+
+TEST_F(UpdateOpsTest, InsertAttributeFailsOnExisting) {
+  XmlObject paper = EvalOne("document(\"b\")/paper");
+  Status s = exec_->Insert(paper, Content::MakeAttribute("category", "x"));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(UpdateOpsTest, InsertReferenceExtendsList) {
+  XmlObject lab = EvalOne("document(\"b\")/db/lab[@ID=\"baselab\"]");
+  ASSERT_TRUE(
+      exec_->Insert(lab, Content::MakeReference("managers", "jones1")).ok());
+  EXPECT_EQ(doc_->FindById("baselab")->FindRefList("managers")->targets,
+            (std::vector<std::string>{"smith1", "jones1"}));
+}
+
+TEST_F(UpdateOpsTest, InsertElementAppendsAtEnd) {
+  XmlObject bio = EvalOne("document(\"b\")/db/biologist[@ID=\"smith1\"]");
+  auto first = std::make_unique<xml::Element>("firstname");
+  first->AppendText("Jeff");
+  ASSERT_TRUE(exec_->Insert(bio, Content::MakeElement(std::move(first))).ok());
+  xml::Element* smith = doc_->FindById("smith1");
+  ASSERT_EQ(smith->child_count(), 2u);
+  EXPECT_EQ(static_cast<xml::Element*>(smith->child(1))->name(), "firstname");
+}
+
+TEST_F(UpdateOpsTest, InsertPcdata) {
+  XmlObject name = EvalOne("document(\"b\")//lab[@ID=\"lab2\"]/name");
+  ASSERT_TRUE(exec_->Insert(name, Content::MakePcdata(" (Philly)")).ok());
+  EXPECT_EQ(doc_->FindById("lab2")->FindChildElement("name")->TextContent(),
+            "PMBL (Philly)");
+}
+
+TEST_F(UpdateOpsTest, InsertBeforeElement) {
+  // Example 3: add a street element after the name.
+  XmlObject name = EvalOne("document(\"b\")/db/lab[@ID=\"baselab\"]/name");
+  auto street = std::make_unique<xml::Element>("street");
+  street->AppendText("Oak");
+  ASSERT_TRUE(
+      exec_->InsertAfter(name, Content::MakeElement(std::move(street))).ok());
+  xml::Element* lab = doc_->FindById("baselab");
+  ASSERT_GE(lab->child_count(), 2u);
+  EXPECT_EQ(static_cast<xml::Element*>(lab->child(1))->name(), "street");
+}
+
+TEST_F(UpdateOpsTest, InsertRefBeforeEntry) {
+  // Example 3: add jones1 as the first manager.
+  XmlObject sref = EvalOne(
+      "document(\"b\")/db/lab[@ID=\"baselab\"]/ref(managers,\"smith1\")");
+  ASSERT_TRUE(exec_->InsertBefore(sref, Content::MakePcdata("jones1")).ok());
+  EXPECT_EQ(doc_->FindById("baselab")->FindRefList("managers")->targets,
+            (std::vector<std::string>{"jones1", "smith1"}));
+}
+
+TEST_F(UpdateOpsTest, RefBindingSurvivesEarlierListEdits) {
+  // Bind both entries of lalab's managers, delete the first, then delete
+  // the second via its original index — position remapping must apply.
+  XmlObject first = EvalOne(
+      "document(\"b\")//lab[@ID=\"lalab\"]/ref(managers,\"smith1\")");
+  XmlObject second = EvalOne(
+      "document(\"b\")//lab[@ID=\"lalab\"]/ref(managers,\"jones1\")");
+  ASSERT_EQ(second.index, 1u);
+  ASSERT_TRUE(exec_->Delete(first).ok());
+  ASSERT_TRUE(exec_->Delete(second).ok());
+  EXPECT_EQ(doc_->FindById("lalab")->FindRefList("managers"), nullptr);
+}
+
+TEST_F(UpdateOpsTest, DoubleDeleteRefIsDeletedBindingError) {
+  XmlObject ref = EvalOne(
+      "document(\"b\")//lab[@ID=\"lalab\"]/ref(managers,\"smith1\")");
+  ASSERT_TRUE(exec_->Delete(ref).ok());
+  EXPECT_EQ(exec_->Delete(ref).code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(UpdateOpsTest, PositionalInsertRejectedInUnorderedModel) {
+  UpdateExecutor unordered(doc_.get(), ExecutionModel::kUnordered);
+  XmlObject name = EvalOne("document(\"b\")/db/lab[@ID=\"baselab\"]/name");
+  auto street = std::make_unique<xml::Element>("street");
+  EXPECT_FALSE(
+      unordered.InsertBefore(name, Content::MakeElement(std::move(street)))
+          .ok());
+}
+
+TEST_F(UpdateOpsTest, ReplaceElement) {
+  // Example 4: replace the name with an appellation element.
+  XmlObject name = EvalOne("document(\"b\")/db/lab[@ID=\"baselab\"]/name");
+  auto appellation = std::make_unique<xml::Element>("appellation");
+  appellation->AppendText("Fancy Lab");
+  ASSERT_TRUE(
+      exec_->Replace(name, Content::MakeElement(std::move(appellation))).ok());
+  xml::Element* lab = doc_->FindById("baselab");
+  EXPECT_EQ(lab->FindChildElement("name"), nullptr);
+  ASSERT_NE(lab->FindChildElement("appellation"), nullptr);
+  EXPECT_EQ(lab->FindChildElement("appellation")->TextContent(), "Fancy Lab");
+  // Replacement occupies the original position (ordered model).
+  EXPECT_EQ(lab->IndexOfChild(lab->FindChildElement("appellation")), 0u);
+}
+
+TEST_F(UpdateOpsTest, ReplaceRefRequiresSameLabel) {
+  XmlObject ref = EvalOne(
+      "document(\"b\")/db/lab[@ID=\"baselab\"]/ref(managers,\"smith1\")");
+  EXPECT_FALSE(
+      exec_->Replace(ref, Content::MakeReference("owners", "jones1")).ok());
+  ASSERT_TRUE(
+      exec_->Replace(ref, Content::MakeReference("managers", "jones1")).ok());
+  EXPECT_EQ(doc_->FindById("baselab")->FindRefList("managers")->targets,
+            (std::vector<std::string>{"jones1"}));
+}
+
+TEST_F(UpdateOpsTest, ReplaceAttribute) {
+  XmlObject cat = EvalOne("document(\"b\")/paper/@category");
+  ASSERT_TRUE(
+      exec_->Replace(cat, Content::MakeAttribute("category", "biology")).ok());
+  EXPECT_EQ(doc_->FindById("Smith991231")->FindAttribute("category")->value,
+            "biology");
+}
+
+TEST_F(UpdateOpsTest, ReplaceDeletedBindingFails) {
+  XmlObject name = EvalOne("document(\"b\")/db/lab[@ID=\"baselab\"]/name");
+  ASSERT_TRUE(exec_->Delete(name).ok());
+  auto repl = std::make_unique<xml::Element>("name");
+  EXPECT_EQ(
+      exec_->Replace(name, Content::MakeElement(std::move(repl))).code(),
+      StatusCode::kConstraintViolation);
+}
+
+TEST_F(UpdateOpsTest, UnorderedReplaceAppends) {
+  UpdateExecutor unordered(doc_.get(), ExecutionModel::kUnordered);
+  XmlObject name = EvalOne("document(\"b\")/db/lab[@ID=\"baselab\"]/name");
+  auto repl = std::make_unique<xml::Element>("appellation");
+  repl->AppendText("Fancy");
+  ASSERT_TRUE(
+      unordered.Replace(name, Content::MakeElement(std::move(repl))).ok());
+  xml::Element* lab = doc_->FindById("baselab");
+  EXPECT_EQ(lab->FindChildElement("name"), nullptr);
+  EXPECT_NE(lab->FindChildElement("appellation"), nullptr);
+}
+
+TEST_F(UpdateOpsTest, DeletedSubtreeUsableAsContent) {
+  // Delete a subtree, then insert a copy of it elsewhere (content use of a
+  // deleted binding is allowed).
+  XmlObject location = EvalOne("document(\"b\")//lab[@ID=\"baselab\"]/location");
+  ASSERT_TRUE(exec_->Delete(location).ok());
+  XmlObject lab2 = XmlObject::OfElement(doc_->FindById("lab2"));
+  ASSERT_TRUE(
+      exec_->Insert(lab2, Content::MakeElement(location.element->Clone()))
+          .ok());
+  EXPECT_NE(doc_->FindById("lab2")->FindChildElement("location"), nullptr);
+}
+
+}  // namespace
+}  // namespace xupd::update

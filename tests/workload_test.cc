@@ -1,0 +1,144 @@
+// Tests for the §7.1 workload generators: Table 1 tuple counts, determinism,
+// DTD conformance, randomized bounds, DBLP shape.
+#include <gtest/gtest.h>
+
+#include "shred/mapping.h"
+#include "workload/synthetic.h"
+#include "xml/serializer.h"
+#include "xml/validator.h"
+
+namespace xupd::workload {
+namespace {
+
+TEST(FixedSyntheticTest, Table1TupleCounts) {
+  // The exact corner values from Table 1 of the paper.
+  EXPECT_EQ(FixedSyntheticTupleCount({800, 8, 1}), 6400u + 1);   // 0.8MB row
+  EXPECT_EQ(FixedSyntheticTupleCount({800, 2, 8}), 7200u + 1);   // 0.7MB row
+  EXPECT_EQ(FixedSyntheticTupleCount({100, 4, 8}), 58500u + 1);  // 7MB row
+}
+
+TEST(FixedSyntheticTest, GeneratedCountsMatchClosedForm) {
+  for (int sf : {10, 50}) {
+    for (int d : {1, 2, 4}) {
+      for (int f : {1, 2, 4}) {
+        SyntheticSpec spec{sf, d, f};
+        auto gen = GenerateFixedSynthetic(spec, 1);
+        ASSERT_TRUE(gen.ok());
+        EXPECT_EQ(gen->tuple_count, FixedSyntheticTupleCount(spec))
+            << "sf=" << sf << " d=" << d << " f=" << f;
+      }
+    }
+  }
+}
+
+TEST(FixedSyntheticTest, DeterministicForSeed) {
+  SyntheticSpec spec{20, 3, 2};
+  auto a = GenerateFixedSynthetic(spec, 7);
+  auto b = GenerateFixedSynthetic(spec, 7);
+  auto c = GenerateFixedSynthetic(spec, 8);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(xml::Canonical(*a->doc), xml::Canonical(*b->doc));
+  EXPECT_NE(xml::Canonical(*a->doc), xml::Canonical(*c->doc));
+}
+
+TEST(FixedSyntheticTest, ValidAgainstOwnDtd) {
+  auto gen = GenerateFixedSynthetic({10, 3, 2}, 3);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_TRUE(xml::Validate(*gen->doc, gen->dtd).ok());
+}
+
+TEST(FixedSyntheticTest, DataElementsInlineUnderSharedInlining) {
+  auto gen = GenerateFixedSynthetic({10, 4, 2}, 3);
+  ASSERT_TRUE(gen.ok());
+  auto mapping = shred::Mapping::SharedInlining(gen->dtd);
+  ASSERT_TRUE(mapping.ok());
+  // Tables: doc + n1..n4; s*/v* data elements are inlined columns.
+  EXPECT_EQ(mapping->tables().size(), 5u);
+  EXPECT_EQ(mapping->ForElement("s2"), nullptr);
+  EXPECT_NE(mapping->ForElement("n2")->FindFieldByColumn("s2"), nullptr);
+}
+
+TEST(FixedSyntheticTest, FiftyCharStrings) {
+  auto gen = GenerateFixedSynthetic({2, 1, 1}, 3);
+  ASSERT_TRUE(gen.ok());
+  xml::Element* n1 = gen->doc->root()->FindChildElement("n1");
+  ASSERT_NE(n1, nullptr);
+  EXPECT_EQ(n1->FindChildElement("s1")->TextContent().size(), 50u);
+}
+
+TEST(FixedSyntheticTest, RejectsBadSpec) {
+  EXPECT_FALSE(GenerateFixedSynthetic({0, 1, 1}, 1).ok());
+  EXPECT_FALSE(GenerateFixedSynthetic({1, 0, 1}, 1).ok());
+  EXPECT_FALSE(GenerateFixedSynthetic({1, 1, 0}, 1).ok());
+}
+
+TEST(RandomizedSyntheticTest, RespectsBounds) {
+  SyntheticSpec spec{50, 5, 4};
+  auto gen = GenerateRandomizedSynthetic(spec, 11);
+  ASSERT_TRUE(gen.ok());
+  // Every subtree depth within [2,5]; every fanout within [1,4]. Validate
+  // against the DTD (covers structure), and check the doc is not degenerate.
+  EXPECT_TRUE(xml::Validate(*gen->doc, gen->dtd).ok());
+  size_t min_count = 1 + 50 * 2;  // every subtree has at least 2 levels
+  EXPECT_GE(gen->tuple_count, min_count);
+  size_t max_count = workload::FixedSyntheticTupleCount(spec);
+  EXPECT_LE(gen->tuple_count, max_count);
+}
+
+TEST(RandomizedSyntheticTest, VariesAcrossSubtrees) {
+  auto gen = GenerateRandomizedSynthetic({30, 5, 4}, 13);
+  ASSERT_TRUE(gen.ok());
+  std::set<size_t> sizes;
+  for (const auto& c : gen->doc->root()->children()) {
+    if (c->is_element()) {
+      sizes.insert(static_cast<xml::Element*>(c.get())->SubtreeElementCount());
+    }
+  }
+  EXPECT_GT(sizes.size(), 3u);  // not all subtrees identical
+}
+
+TEST(DblpTest, ShapeAndDeterminism) {
+  DblpSpec spec;
+  spec.conferences = 10;
+  auto a = GenerateDblp(spec, 5);
+  auto b = GenerateDblp(spec, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(xml::Canonical(*a->doc), xml::Canonical(*b->doc));
+  EXPECT_TRUE(xml::Validate(*a->doc, a->dtd).ok());
+  // Bushy: far more tuples than conferences.
+  EXPECT_GT(a->tuple_count, 10u * 20u);
+}
+
+TEST(DblpTest, YearsWithinRange) {
+  DblpSpec spec;
+  spec.conferences = 5;
+  auto gen = GenerateDblp(spec, 5);
+  ASSERT_TRUE(gen.ok());
+  std::function<void(const xml::Element&)> walk = [&](const xml::Element& e) {
+    if (e.name() == "year") {
+      int y = std::stoi(e.TextContent());
+      EXPECT_GE(y, 1990);
+      EXPECT_LE(y, 2002);
+    }
+    for (const auto& c : e.children()) {
+      if (c->is_element()) walk(*static_cast<xml::Element*>(c.get()));
+    }
+  };
+  walk(*gen->doc->root());
+}
+
+TEST(DblpTest, MapsToFiveTables) {
+  auto gen = GenerateDblp({}, 5);
+  ASSERT_TRUE(gen.ok());
+  auto mapping = shred::Mapping::SharedInlining(gen->dtd);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->tables().size(), 5u);
+  EXPECT_NE(mapping->ForElement("publication"), nullptr);
+  // year is inlined on publication (the Table-2 delete predicate relies on
+  // it being a column).
+  EXPECT_NE(mapping->ForElement("publication")->FindFieldByColumn("year"),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace xupd::workload

@@ -1,0 +1,219 @@
+// Unit tests for the XML data model (src/xml/node.h, document.h).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xml/node.h"
+#include "xml/serializer.h"
+
+namespace xupd::xml {
+namespace {
+
+TEST(ElementTest, InsertAttributeFailsOnDuplicate) {
+  Element e("paper");
+  ASSERT_TRUE(e.InsertAttribute("category", "spectral").ok());
+  Status s = e.InsertAttribute("category", "other");
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  ASSERT_NE(e.FindAttribute("category"), nullptr);
+  EXPECT_EQ(e.FindAttribute("category")->value, "spectral");
+}
+
+TEST(ElementTest, RemoveAttribute) {
+  Element e("paper");
+  e.SetAttribute("category", "spectral");
+  EXPECT_TRUE(e.RemoveAttribute("category").ok());
+  EXPECT_EQ(e.FindAttribute("category"), nullptr);
+  EXPECT_EQ(e.RemoveAttribute("category").code(), StatusCode::kNotFound);
+}
+
+TEST(ElementTest, RenameAttribute) {
+  Element e("lab");
+  e.SetAttribute("city", "Seattle");
+  ASSERT_TRUE(e.RenameAttribute("city", "town").ok());
+  EXPECT_EQ(e.FindAttribute("city"), nullptr);
+  ASSERT_NE(e.FindAttribute("town"), nullptr);
+  EXPECT_EQ(e.FindAttribute("town")->value, "Seattle");
+}
+
+TEST(ElementTest, RenameAttributeToExistingFails) {
+  Element e("lab");
+  e.SetAttribute("a", "1");
+  e.SetAttribute("b", "2");
+  EXPECT_EQ(e.RenameAttribute("a", "b").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ElementTest, AppendRefCreatesAndExtends) {
+  Element e("lab");
+  e.AppendRef("managers", "smith1");
+  e.AppendRef("managers", "jones1");
+  const RefList* list = e.FindRefList("managers");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->targets, (std::vector<std::string>{"smith1", "jones1"}));
+}
+
+TEST(ElementTest, InsertRefAtFront) {
+  Element e("lab");
+  e.AppendRef("managers", "smith1");
+  ASSERT_TRUE(e.InsertRefAt("managers", 0, "jones1").ok());
+  EXPECT_EQ(e.FindRefList("managers")->targets,
+            (std::vector<std::string>{"jones1", "smith1"}));
+}
+
+TEST(ElementTest, RemoveRefPreservesRemainder) {
+  Element e("lab");
+  e.AppendRef("managers", "a");
+  e.AppendRef("managers", "b");
+  e.AppendRef("managers", "c");
+  ASSERT_TRUE(e.RemoveRefAt("managers", 1).ok());
+  EXPECT_EQ(e.FindRefList("managers")->targets,
+            (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(ElementTest, RemoveLastRefDropsList) {
+  Element e("lab");
+  e.AppendRef("managers", "a");
+  ASSERT_TRUE(e.RemoveRefAt("managers", 0).ok());
+  EXPECT_EQ(e.FindRefList("managers"), nullptr);
+}
+
+TEST(ElementTest, RemoveRefOutOfRange) {
+  Element e("lab");
+  e.AppendRef("managers", "a");
+  EXPECT_EQ(e.RemoveRefAt("managers", 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(e.RemoveRefAt("absent", 0).code(), StatusCode::kNotFound);
+}
+
+TEST(ElementTest, RenameRefListRenamesWholeList) {
+  Element e("lab");
+  e.AppendRef("managers", "a");
+  e.AppendRef("managers", "b");
+  ASSERT_TRUE(e.RenameRefList("managers", "bosses").ok());
+  EXPECT_EQ(e.FindRefList("managers"), nullptr);
+  EXPECT_EQ(e.FindRefList("bosses")->targets,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ElementTest, ChildInsertRemoveOrder) {
+  Element e("db");
+  e.AppendSimpleChild("a", "1");
+  e.AppendSimpleChild("c", "3");
+  auto b = std::make_unique<Element>("b");
+  ASSERT_TRUE(e.InsertChildAt(1, std::move(b)).ok());
+  ASSERT_EQ(e.child_count(), 3u);
+  EXPECT_EQ(static_cast<Element*>(e.child(0))->name(), "a");
+  EXPECT_EQ(static_cast<Element*>(e.child(1))->name(), "b");
+  EXPECT_EQ(static_cast<Element*>(e.child(2))->name(), "c");
+  auto removed = e.RemoveChildAt(1);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(static_cast<Element*>(removed.value().get())->name(), "b");
+  EXPECT_EQ(e.child_count(), 2u);
+}
+
+TEST(ElementTest, IndexOfChild) {
+  Element e("db");
+  Element* a = e.AppendSimpleChild("a", "");
+  Element* b = e.AppendSimpleChild("b", "");
+  EXPECT_EQ(e.IndexOfChild(a), 0u);
+  EXPECT_EQ(e.IndexOfChild(b), 1u);
+  Element other("x");
+  EXPECT_EQ(e.IndexOfChild(&other), Element::kNpos);
+}
+
+TEST(ElementTest, ParentPointersMaintained) {
+  Element e("db");
+  Element* a = e.AppendSimpleChild("a", "");
+  EXPECT_EQ(a->parent(), &e);
+  auto removed = e.RemoveChildAt(0);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed.value()->parent(), nullptr);
+}
+
+TEST(ElementTest, CloneIsDeepAndDetached) {
+  Element e("lab");
+  e.SetAttribute("ID", "baselab");
+  e.AppendRef("managers", "smith1");
+  e.AppendSimpleChild("name", "Seattle Bio Lab");
+  auto copy = e.Clone();
+  EXPECT_TRUE(DeepEqual(e, *copy));
+  copy->SetAttribute("ID", "other");
+  EXPECT_FALSE(DeepEqual(e, *copy));
+  EXPECT_EQ(copy->parent(), nullptr);
+}
+
+TEST(ElementTest, TextContentConcatenatesDirectText) {
+  Element e("name");
+  e.AppendText("Seattle ");
+  e.AppendSimpleChild("b", "ignored");
+  e.AppendText("Bio Lab");
+  EXPECT_EQ(e.TextContent(), "Seattle Bio Lab");
+}
+
+TEST(ElementTest, SubtreeElementCount) {
+  auto doc = xupd::testing::ParseBioDocument();
+  // Figure 1 has exactly 20 elements: db, university, 3 labs, paper,
+  // 2 biologists, and 12 leaf elements.
+  EXPECT_EQ(doc->root()->SubtreeElementCount(), 20u);
+}
+
+TEST(DeepEqualTest, OrderSensitivity) {
+  auto a = xupd::testing::MustParse("<r><x/><y/></r>");
+  auto b = xupd::testing::MustParse("<r><y/><x/></r>");
+  EXPECT_FALSE(DeepEqual(*a->root(), *b->root()));
+  EXPECT_TRUE(DeepEqualUnordered(*a->root(), *b->root()));
+}
+
+TEST(DeepEqualTest, AttributeOrderIsInsignificant) {
+  auto a = xupd::testing::MustParse(R"(<r a="1" b="2"/>)");
+  auto b = xupd::testing::MustParse(R"(<r b="2" a="1"/>)");
+  EXPECT_TRUE(DeepEqual(*a->root(), *b->root()));
+}
+
+TEST(DeepEqualTest, UnorderedMultisetSemantics) {
+  auto a = xupd::testing::MustParse("<r><x/><x/><y/></r>");
+  auto b = xupd::testing::MustParse("<r><x/><y/><y/></r>");
+  EXPECT_FALSE(DeepEqualUnordered(*a->root(), *b->root()));
+}
+
+TEST(DocumentTest, FindById) {
+  auto doc = xupd::testing::ParseBioDocument();
+  Element* lab = doc->FindById("baselab");
+  ASSERT_NE(lab, nullptr);
+  EXPECT_EQ(lab->name(), "lab");
+  EXPECT_EQ(doc->FindById("nosuch"), nullptr);
+}
+
+TEST(DocumentTest, IdMapInvalidation) {
+  auto doc = xupd::testing::ParseBioDocument();
+  ASSERT_NE(doc->FindById("baselab"), nullptr);
+  Element* root = doc->root();
+  auto newlab = std::make_unique<Element>("lab");
+  newlab->SetAttribute("ID", "freshlab");
+  root->AppendChild(std::move(newlab));
+  doc->InvalidateIdMap();
+  EXPECT_NE(doc->FindById("freshlab"), nullptr);
+}
+
+TEST(DocumentTest, CloneIsIndependent) {
+  auto doc = xupd::testing::ParseBioDocument();
+  auto copy = doc->Clone();
+  EXPECT_TRUE(DeepEqual(*doc->root(), *copy->root()));
+  EXPECT_NE(copy->FindById("baselab"), nullptr);
+  copy->root()->SetAttribute("touched", "yes");
+  EXPECT_FALSE(DeepEqual(*doc->root(), *copy->root()));
+}
+
+TEST(DocumentTest, RefAttributesParsedAsRefLists) {
+  auto doc = xupd::testing::ParseBioDocument();
+  Element* lalab = doc->FindById("lalab");
+  ASSERT_NE(lalab, nullptr);
+  const RefList* managers = lalab->FindRefList("managers");
+  ASSERT_NE(managers, nullptr);
+  EXPECT_EQ(managers->targets, (std::vector<std::string>{"smith1", "jones1"}));
+  // Plain attributes stay attributes.
+  Element* paper = doc->FindById("Smith991231");
+  ASSERT_NE(paper, nullptr);
+  EXPECT_NE(paper->FindAttribute("category"), nullptr);
+  EXPECT_NE(paper->FindRefList("biologist"), nullptr);
+}
+
+}  // namespace
+}  // namespace xupd::xml

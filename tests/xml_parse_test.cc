@@ -1,0 +1,136 @@
+// Tests for the XML parser and serializer: features, errors, round trips.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xupd::xml {
+namespace {
+
+TEST(XmlParseTest, MinimalDocument) {
+  auto parsed = ParseXml("<a/>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->document->root()->name(), "a");
+  EXPECT_EQ(parsed->document->root()->child_count(), 0u);
+}
+
+TEST(XmlParseTest, AttributesBothQuoteStyles) {
+  auto parsed = ParseXml(R"(<a x="1" y='2'/>)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->document->root()->FindAttribute("x")->value, "1");
+  EXPECT_EQ(parsed->document->root()->FindAttribute("y")->value, "2");
+}
+
+TEST(XmlParseTest, EntityReferences) {
+  auto parsed = ParseXml("<a x=\"&lt;&amp;&gt;\">&quot;hi&apos; &#65;&#x42;</a>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->document->root()->FindAttribute("x")->value, "<&>");
+  EXPECT_EQ(parsed->document->root()->TextContent(), "\"hi' AB");
+}
+
+TEST(XmlParseTest, CdataSection) {
+  auto parsed = ParseXml("<a><![CDATA[<not><parsed>&amp;]]></a>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->document->root()->TextContent(), "<not><parsed>&amp;");
+}
+
+TEST(XmlParseTest, CommentsAndPisSkipped) {
+  auto parsed = ParseXml(
+      "<?xml version=\"1.0\"?><!-- c --><a><!-- inner --><b/><?pi data?></a>"
+      "<!-- trailing -->");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->document->root()->child_count(), 1u);
+}
+
+TEST(XmlParseTest, WhitespaceTextDroppedByDefault) {
+  auto parsed = ParseXml("<a>\n  <b/>\n</a>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->document->root()->child_count(), 1u);
+  ParseOptions keep;
+  keep.keep_whitespace_text = true;
+  auto kept = ParseXml("<a>\n  <b/>\n</a>", keep);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->document->root()->child_count(), 3u);
+}
+
+TEST(XmlParseTest, MixedContentPreserved) {
+  auto parsed = ParseXml("<p>one <em>two</em> three</p>");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->document->root()->child_count(), 3u);
+  EXPECT_TRUE(parsed->document->root()->child(0)->is_text());
+  EXPECT_TRUE(parsed->document->root()->child(1)->is_element());
+  EXPECT_TRUE(parsed->document->root()->child(2)->is_text());
+}
+
+TEST(XmlParseTest, EmptyCloseShorthand) {
+  // The paper writes <name>UCLA Primary Lab</> in Example 5.
+  auto frag = ParseFragment("<name>UCLA Primary Lab</>", ParseOptions{});
+  ASSERT_TRUE(frag.ok()) << frag.status();
+  EXPECT_EQ(frag.value()->TextContent(), "UCLA Primary Lab");
+}
+
+TEST(XmlParseTest, Errors) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a>").ok());                    // unterminated
+  EXPECT_FALSE(ParseXml("<a></b>").ok());                // mismatched
+  EXPECT_FALSE(ParseXml("<a x=1/>").ok());               // unquoted attr
+  EXPECT_FALSE(ParseXml("<a x=\"1\" x=\"2\"/>").ok());   // duplicate attr
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());               // two roots
+  EXPECT_FALSE(ParseXml("<a>&bogus;</a>").ok());         // unknown entity
+  EXPECT_FALSE(ParseXml("<1tag/>").ok());                // bad name
+}
+
+TEST(XmlParseTest, ErrorsCarryLineInfo) {
+  auto parsed = ParseXml("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("3"), std::string::npos)
+      << parsed.status();
+}
+
+TEST(XmlRoundTripTest, BioDocument) {
+  auto doc = xupd::testing::ParseBioDocument();
+  std::string text = Serialize(*doc);
+  ParseOptions options;
+  options.ref_attributes = {"managers", "source", "biologist", "lab"};
+  auto reparsed = ParseXml(text, options);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_TRUE(DeepEqual(*doc->root(), *reparsed->document->root()));
+}
+
+TEST(XmlRoundTripTest, CompactForm) {
+  auto doc = xupd::testing::ParseBioDocument();
+  SerializeOptions compact;
+  compact.pretty = false;
+  std::string text = Serialize(*doc, compact);
+  ParseOptions options;
+  options.ref_attributes = {"managers", "source", "biologist", "lab"};
+  auto reparsed = ParseXml(text, options);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(DeepEqual(*doc->root(), *reparsed->document->root()));
+}
+
+TEST(XmlRoundTripTest, EscapingSurvives) {
+  Element e("t");
+  e.SetAttribute("a", "x<y&\"z'");
+  e.AppendText("a<b>&c");
+  std::string text = Canonical(e);
+  auto frag = ParseFragment(text, ParseOptions{});
+  ASSERT_TRUE(frag.ok()) << frag.status() << " text=" << text;
+  EXPECT_TRUE(DeepEqual(e, *frag.value()));
+}
+
+TEST(XmlSerializeTest, CanonicalSortsAttributes) {
+  auto a = xupd::testing::MustParse(R"(<r b="2" a="1"/>)");
+  auto b = xupd::testing::MustParse(R"(<r a="1" b="2"/>)");
+  EXPECT_EQ(Canonical(*a), Canonical(*b));
+}
+
+TEST(XmlSerializeTest, RefListsSerializedSpaceJoined) {
+  auto doc = xupd::testing::ParseBioDocument();
+  std::string text = Canonical(*doc->FindById("lalab"));
+  EXPECT_NE(text.find("managers=\"smith1 jones1\""), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace xupd::xml

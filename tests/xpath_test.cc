@@ -1,0 +1,241 @@
+// Tests for the path-expression parser and evaluator.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+
+namespace xupd::xpath {
+namespace {
+
+class XPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override { doc_ = xupd::testing::ParseBioDocument(); }
+
+  std::vector<XmlObject> Eval(const std::string& path,
+                              const Environment& env = {}) {
+    auto parsed = ParsePathString(path);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    Evaluator eval(doc_.get());
+    auto result = eval.Eval(parsed.value(), env, XmlObject::Null());
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? std::move(result).value() : std::vector<XmlObject>{};
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+};
+
+TEST_F(XPathTest, ParseRoundTrip) {
+  struct Case {
+    const char* in;
+    const char* normalized;
+  };
+  const Case cases[] = {
+      {"document(\"bio.xml\")/db/lab", "document(\"bio.xml\")/db/lab"},
+      {"$p/title", "$p/title"},
+      {"$p/@category", "$p/@category"},
+      {"$p/ref(biologist,\"smith1\")", "$p/ref(biologist,\"smith1\")"},
+      {"$lab/ref(managers, *)", "$lab/ref(managers,*)"},
+      {"//Order", "//Order"},
+      {"db/lab[@ID=\"baselab\"]/name", "db/lab[@ID=\"baselab\"]/name"},
+      {"CustDb.Customer", "CustDb/Customer"},
+      {"$lab.index()", "$lab.index()"},
+      {"@biologist->lastname", "@biologist->lastname"},
+  };
+  for (const Case& c : cases) {
+    auto parsed = ParsePathString(c.in);
+    ASSERT_TRUE(parsed.ok()) << c.in << ": " << parsed.status();
+    EXPECT_EQ(ToString(parsed.value()), c.normalized) << c.in;
+  }
+}
+
+TEST_F(XPathTest, ParseErrors) {
+  EXPECT_FALSE(ParsePathString("").ok());
+  EXPECT_FALSE(ParsePathString("$x/[foo]").ok());
+  EXPECT_FALSE(ParsePathString("a[unclosed").ok());
+  EXPECT_FALSE(ParsePathString("ref(a)").ok());
+  EXPECT_FALSE(ParsePathString("a b").ok());  // trailing input
+}
+
+TEST_F(XPathTest, DocumentChildStep) {
+  auto labs = Eval("document(\"bio.xml\")/db/lab");
+  ASSERT_EQ(labs.size(), 2u);  // baselab and lab2 (lalab is nested deeper)
+  EXPECT_EQ(StringValueOf(XmlObject::OfAttribute(labs[0].element, "ID")),
+            "baselab");
+}
+
+TEST_F(XPathTest, DocumentHeadMayNameRootOrChild) {
+  // The paper writes both document(...)/db/biologist and document(...)/paper.
+  EXPECT_EQ(Eval("document(\"bio.xml\")/db").size(), 1u);
+  EXPECT_EQ(Eval("document(\"bio.xml\")/paper").size(), 1u);
+}
+
+TEST_F(XPathTest, DescendantStep) {
+  auto labs = Eval("document(\"bio.xml\")//lab");
+  EXPECT_EQ(labs.size(), 3u);
+  auto cities = Eval("document(\"bio.xml\")//city");
+  EXPECT_EQ(cities.size(), 3u);
+}
+
+TEST_F(XPathTest, WildcardStep) {
+  auto kids = Eval("document(\"bio.xml\")/db/*");
+  EXPECT_EQ(kids.size(), 6u);  // university, 2 labs, paper, 2 biologists
+}
+
+TEST_F(XPathTest, AttributeBinding) {
+  auto cats = Eval("document(\"bio.xml\")/paper/@category");
+  ASSERT_EQ(cats.size(), 1u);
+  EXPECT_TRUE(cats[0].is_attribute());
+  EXPECT_EQ(StringValueOf(cats[0]), "spectral");
+}
+
+TEST_F(XPathTest, AttributeWildcard) {
+  auto attrs = Eval("document(\"bio.xml\")/paper/@*");
+  // ID and category are plain attributes; source/biologist are IDREFs.
+  EXPECT_EQ(attrs.size(), 2u);
+}
+
+TEST_F(XPathTest, RefEntryBinding) {
+  auto refs = Eval("document(\"bio.xml\")//lab[@ID=\"lalab\"]/"
+                   "ref(managers,\"jones1\")");
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_TRUE(refs[0].is_ref_entry());
+  EXPECT_EQ(refs[0].index, 1u);
+  EXPECT_EQ(StringValueOf(refs[0]), "jones1");
+}
+
+TEST_F(XPathTest, RefWildcardTarget) {
+  auto refs = Eval("document(\"bio.xml\")//lab[@ID=\"lalab\"]/ref(managers,*)");
+  EXPECT_EQ(refs.size(), 2u);
+}
+
+TEST_F(XPathTest, RefWildcardName) {
+  auto refs = Eval("document(\"bio.xml\")/paper/ref(*,*)");
+  EXPECT_EQ(refs.size(), 2u);  // source and biologist
+}
+
+TEST_F(XPathTest, DerefOperator) {
+  auto names = Eval(
+      "document(\"bio.xml\")/paper/ref(biologist,*)->biologist/lastname");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(StringValueOf(names[0]), "Smith");
+}
+
+TEST_F(XPathTest, DerefAttributeStyle) {
+  // db's lab attribute is an IDREF; dereference it.
+  auto labs = Eval("document(\"bio.xml\")/db/ref(lab,*)->lab/name");
+  ASSERT_EQ(labs.size(), 1u);
+  EXPECT_EQ(StringValueOf(labs[0]), "UCLA Bio Lab");
+}
+
+TEST_F(XPathTest, PredicateOnValue) {
+  auto labs = Eval("document(\"bio.xml\")//lab[name=\"PMBL\"]");
+  ASSERT_EQ(labs.size(), 1u);
+  EXPECT_EQ(StringValueOf(XmlObject::OfAttribute(labs[0].element, "ID")),
+            "lab2");
+}
+
+TEST_F(XPathTest, PredicateAndOr) {
+  auto both = Eval(
+      "document(\"bio.xml\")//lab[city=\"Philadelphia\" and country=\"USA\"]");
+  EXPECT_EQ(both.size(), 1u);
+  auto either = Eval(
+      "document(\"bio.xml\")//lab[name=\"PMBL\" or name=\"Seattle Bio Lab\"]");
+  EXPECT_EQ(either.size(), 2u);
+}
+
+TEST_F(XPathTest, PredicateNot) {
+  // lalab has no country child; baselab's country is nested under location,
+  // so only lab2 has a *direct* country child.
+  auto labs = Eval("document(\"bio.xml\")//lab[not(country=\"USA\")]");
+  EXPECT_EQ(labs.size(), 2u);
+  auto deep = Eval("document(\"bio.xml\")//lab[not(location/country=\"USA\")]");
+  EXPECT_EQ(deep.size(), 2u);  // lalab and lab2
+}
+
+TEST_F(XPathTest, PredicateExistence) {
+  auto labs = Eval("document(\"bio.xml\")//lab[location]");
+  ASSERT_EQ(labs.size(), 1u);
+  EXPECT_EQ(StringValueOf(XmlObject::OfAttribute(labs[0].element, "ID")),
+            "baselab");
+}
+
+TEST_F(XPathTest, PredicateNestedPath) {
+  auto labs = Eval("document(\"bio.xml\")//lab[location/city=\"Seattle\"]");
+  EXPECT_EQ(labs.size(), 1u);
+}
+
+TEST_F(XPathTest, NumericComparison) {
+  auto bios = Eval("document(\"bio.xml\")/db/biologist[@age>30]");
+  ASSERT_EQ(bios.size(), 1u);
+  auto none = Eval("document(\"bio.xml\")/db/biologist[@age>40]");
+  EXPECT_EQ(none.size(), 0u);
+  auto le = Eval("document(\"bio.xml\")/db/biologist[@age<=32]");
+  EXPECT_EQ(le.size(), 1u);
+}
+
+TEST_F(XPathTest, VariableHead) {
+  auto papers = Eval("document(\"bio.xml\")/paper");
+  ASSERT_EQ(papers.size(), 1u);
+  Environment env{{"p", papers[0]}};
+  auto parsed = ParsePathString("$p/title");
+  ASSERT_TRUE(parsed.ok());
+  Evaluator eval(doc_.get());
+  auto titles = eval.Eval(parsed.value(), env, XmlObject::Null());
+  ASSERT_TRUE(titles.ok());
+  ASSERT_EQ(titles->size(), 1u);
+  EXPECT_EQ(StringValueOf(titles->front()), "Autocatalysis of Spectral...");
+}
+
+TEST_F(XPathTest, UnboundVariableFails) {
+  auto parsed = ParsePathString("$nosuch/title");
+  ASSERT_TRUE(parsed.ok());
+  Evaluator eval(doc_.get());
+  auto result = eval.Eval(parsed.value(), {}, XmlObject::Null());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(XPathTest, IndexFunctionPreservesForBindingPosition) {
+  auto labs = Eval("document(\"bio.xml\")//lab");
+  ASSERT_EQ(labs.size(), 3u);
+  EXPECT_EQ(labs[0].binding_index, 0u);
+  EXPECT_EQ(labs[2].binding_index, 2u);
+  // $lab.index() = 2 is true only for the third binding.
+  auto pred = ParsePredicateString("$lab.index() = 2");
+  ASSERT_TRUE(pred.ok());
+  Evaluator eval(doc_.get());
+  Environment env{{"lab", labs[2]}};
+  auto r = eval.EvalPredicate(pred.value(), env, XmlObject::Null());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value());
+  env["lab"] = labs[0];
+  r = eval.EvalPredicate(pred.value(), env, XmlObject::Null());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value());
+}
+
+TEST_F(XPathTest, TextNodeStep) {
+  auto texts = Eval("document(\"bio.xml\")//lab[@ID=\"lab2\"]/name/text()");
+  ASSERT_EQ(texts.size(), 1u);
+  EXPECT_TRUE(texts[0].is_text());
+  EXPECT_EQ(StringValueOf(texts[0]), "PMBL");
+}
+
+TEST_F(XPathTest, DottedPathSeparators) {
+  // Example 7 style: Customer.Order.OrderLine
+  auto doc = xupd::testing::MustParse(xupd::testing::kCustomerXml);
+  Evaluator eval(doc.get());
+  auto parsed = ParsePathString("document(\"c\")/CustDB.Customer.Order.OrderLine");
+  ASSERT_TRUE(parsed.ok());
+  auto lines = eval.Eval(parsed.value(), {}, XmlObject::Null());
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(lines->size(), 4u);
+}
+
+TEST_F(XPathTest, EmptyResultIsNotAnError) {
+  EXPECT_EQ(Eval("document(\"bio.xml\")/db/nosuch/deeper").size(), 0u);
+}
+
+}  // namespace
+}  // namespace xupd::xpath

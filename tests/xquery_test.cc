@@ -1,0 +1,308 @@
+// Tests for the XQuery-update parser and native executor, centered on the
+// paper's Examples 1-5 and 8 (§4, §6).
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xml/serializer.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+#include "xquery/executor.h"
+#include "xquery/parser.h"
+
+namespace xupd::xquery {
+namespace {
+
+using xpath::XmlObject;
+
+class XQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { doc_ = xupd::testing::ParseBioDocument(); }
+
+  void MustExecute(const std::string& query) {
+    NativeExecutor exec(doc_.get());
+    Status s = exec.ExecuteString(query);
+    ASSERT_TRUE(s.ok()) << s;
+  }
+
+  std::unique_ptr<xml::Document> doc_;
+};
+
+TEST_F(XQueryTest, ParseExample1Shape) {
+  auto stmt = ParseStatement(R"(
+    FOR $p IN document("bio.xml")/paper,
+        $cat IN $p/@category,
+        $bio IN $p/ref(biologist,"smith1"),
+        $ti IN $p/title
+    UPDATE $p {
+      DELETE $cat,
+      DELETE $bio,
+      DELETE $ti
+    })");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->for_clauses.size(), 4u);
+  ASSERT_EQ(stmt->updates.size(), 1u);
+  EXPECT_EQ(stmt->updates[0].sub_ops.size(), 3u);
+  EXPECT_EQ(stmt->updates[0].sub_ops[0].kind, SubOp::Kind::kDelete);
+}
+
+TEST_F(XQueryTest, ParseErrors) {
+  EXPECT_FALSE(ParseStatement("FOR $x document(\"a\")/b UPDATE $x {DELETE $x}").ok());
+  EXPECT_FALSE(ParseStatement("FOR $x IN a/b").ok());  // no UPDATE/RETURN
+  EXPECT_FALSE(ParseStatement("FOR $x IN a/b UPDATE $x {DELETE}").ok());
+  EXPECT_FALSE(ParseStatement("FOR $x IN a/b UPDATE $x {RENAME $x}").ok());
+  EXPECT_FALSE(ParseStatement("FOR $x IN a/b UPDATE $x {INSERT}").ok());
+  EXPECT_FALSE(
+      ParseStatement("FOR $x IN a/b UPDATE $x {DELETE $x").ok());  // no '}'
+  EXPECT_FALSE(ParseStatement("FOR $x IN a/b UPDATE $x {DELETE $x} garbage").ok());
+}
+
+TEST_F(XQueryTest, Example1_DeleteAttrRefAndSubelement) {
+  MustExecute(R"(
+    FOR $p IN document("bio.xml")/paper,
+        $cat IN $p/@category,
+        $bio IN $p/ref(biologist,"smith1"),
+        $ti IN $p/title
+    UPDATE $p {
+      DELETE $cat,
+      DELETE $bio,
+      DELETE $ti
+    })");
+  xml::Element* paper = doc_->FindById("Smith991231");
+  ASSERT_NE(paper, nullptr);
+  EXPECT_EQ(paper->FindAttribute("category"), nullptr);
+  EXPECT_EQ(paper->FindRefList("biologist"), nullptr);
+  EXPECT_EQ(paper->FindChildElement("title"), nullptr);
+  // Untouched parts remain.
+  EXPECT_NE(paper->FindRefList("source"), nullptr);
+}
+
+TEST_F(XQueryTest, Example2_InsertAttrRefsAndSubelement) {
+  MustExecute(R"(
+    FOR $bio in document("bio.xml")/db/biologist[@ID="smith1"]
+    UPDATE $bio {
+      INSERT new_attribute(age,"29"),
+      INSERT new_ref(worksAt,"ucla"),
+      INSERT new_ref(worksAt,"baselab"),
+      INSERT <firstname>Jeff</firstname>
+    })");
+  xml::Element* smith = doc_->FindById("smith1");
+  ASSERT_NE(smith, nullptr);
+  ASSERT_NE(smith->FindAttribute("age"), nullptr);
+  EXPECT_EQ(smith->FindAttribute("age")->value, "29");
+  ASSERT_NE(smith->FindRefList("worksAt"), nullptr);
+  // Ordered model: successive references append to the worksAt list.
+  EXPECT_EQ(smith->FindRefList("worksAt")->targets,
+            (std::vector<std::string>{"ucla", "baselab"}));
+  // The firstname subelement appears after existing subelements.
+  ASSERT_EQ(smith->child_count(), 2u);
+  EXPECT_EQ(static_cast<xml::Element*>(smith->child(1))->name(), "firstname");
+}
+
+TEST_F(XQueryTest, Example3_PositionalInserts) {
+  MustExecute(R"(
+    FOR $lab in document("bio.xml")/db/lab[@ID="baselab"],
+        $n IN $lab/name,
+        $sref IN ref(managers,"smith1")
+    UPDATE $lab {
+      INSERT "jones1" BEFORE $sref,
+      INSERT <street>Oak</street> AFTER $n
+    })");
+  xml::Element* lab = doc_->FindById("baselab");
+  ASSERT_NE(lab, nullptr);
+  // jones1 is now the first manager.
+  EXPECT_EQ(lab->FindRefList("managers")->targets,
+            (std::vector<std::string>{"jones1", "smith1"}));
+  // street comes right after name.
+  ASSERT_GE(lab->child_count(), 3u);
+  EXPECT_EQ(static_cast<xml::Element*>(lab->child(0))->name(), "name");
+  EXPECT_EQ(static_cast<xml::Element*>(lab->child(1))->name(), "street");
+  EXPECT_EQ(static_cast<xml::Element*>(lab->child(1))->TextContent(), "Oak");
+}
+
+TEST_F(XQueryTest, Example4_ReplaceElementAndRef) {
+  MustExecute(R"(
+    FOR $lab in document("bio.xml")/db/lab,
+        $name IN $lab/name,
+        $mgr IN $lab/ref(managers, *)
+    UPDATE $lab {
+      REPLACE $name WITH <appellation>Fancy Lab</>,
+      REPLACE $mgr WITH new_attribute(managers,"jones1")
+    })");
+  // Only baselab has managers, so only it qualifies (lab2 yields no tuple).
+  xml::Element* baselab = doc_->FindById("baselab");
+  EXPECT_EQ(baselab->FindChildElement("name"), nullptr);
+  ASSERT_NE(baselab->FindChildElement("appellation"), nullptr);
+  EXPECT_EQ(baselab->FindChildElement("appellation")->TextContent(),
+            "Fancy Lab");
+  EXPECT_EQ(baselab->FindRefList("managers")->targets,
+            (std::vector<std::string>{"jones1"}));
+  // lab2 untouched.
+  EXPECT_NE(doc_->FindById("lab2")->FindChildElement("name"), nullptr);
+}
+
+TEST_F(XQueryTest, Example5_MultiLevelNestedUpdate) {
+  // The paper's Example 5 (with $u/lab for the binding the prose describes;
+  // the printed query contains a $u/name typo). Expected output is Figure 3.
+  MustExecute(R"(
+    FOR $u in document("bio.xml")/db/university[@ID="ucla"],
+        $lab IN $u/lab
+    WHERE $lab.index() = 0
+    UPDATE $u {
+      INSERT new_attribute(labs,"2"),
+      INSERT <lab ID="newlab">
+               <name>UCLA Secondary Lab</name>
+             </lab> BEFORE $lab,
+      FOR $l1 IN $u/lab,
+          $labname IN $l1/name,
+          $ci IN $l1/city
+      UPDATE $l1 {
+        REPLACE $labname WITH <name>UCLA Primary Lab</>,
+        DELETE $ci
+      }
+    })");
+  xml::Element* ucla = doc_->FindById("ucla");
+  ASSERT_NE(ucla, nullptr);
+  ASSERT_NE(ucla->FindAttribute("labs"), nullptr);
+  EXPECT_EQ(ucla->FindAttribute("labs")->value, "2");
+  // Two labs: newlab first, then the renamed original.
+  ASSERT_EQ(ucla->child_count(), 2u);
+  auto* first = static_cast<xml::Element*>(ucla->child(0));
+  auto* second = static_cast<xml::Element*>(ucla->child(1));
+  EXPECT_EQ(first->FindAttribute("ID")->value, "newlab");
+  EXPECT_EQ(first->FindChildElement("name")->TextContent(),
+            "UCLA Secondary Lab");
+  EXPECT_EQ(second->FindAttribute("ID")->value, "lalab");
+  EXPECT_EQ(second->FindChildElement("name")->TextContent(),
+            "UCLA Primary Lab");
+  // The nested update bound against the *input*: the freshly inserted newlab
+  // is not renamed, and lalab's city is gone.
+  EXPECT_EQ(second->FindChildElement("city"), nullptr);
+  EXPECT_EQ(first->FindChildElement("city"), nullptr);
+  // lalab keeps its managers.
+  EXPECT_EQ(second->FindRefList("managers")->targets.size(), 2u);
+}
+
+TEST_F(XQueryTest, Example8_NestedUpdateOnCustomerDoc) {
+  auto doc = xupd::testing::MustParse(xupd::testing::kCustomerXml);
+  NativeExecutor exec(doc.get());
+  Status s = exec.ExecuteString(R"(
+    FOR $o IN document("custdb.xml")//Order[Status="ready" and
+                                            OrderLine/ItemName="tire"]
+    UPDATE $o {
+      INSERT <Status>suspended</Status>,
+      FOR $i IN $o/OrderLine[ItemName="tire"]
+      UPDATE $i {
+        INSERT <comment>recalled</comment>
+      }
+    })");
+  ASSERT_TRUE(s.ok()) << s;
+  // John's first order was ready + tire.
+  xpath::Evaluator eval(doc.get());
+  auto parsed = xpath::ParsePathString("document(\"c\")//Order");
+  auto orders = eval.Eval(parsed.value(), {}, XmlObject::Null());
+  ASSERT_TRUE(orders.ok());
+  ASSERT_EQ(orders->size(), 3u);
+  xml::Element* first_order = orders->front().element;
+  // A second Status element was appended (native model has no DTD checks).
+  size_t status_count = 0;
+  for (const auto& c : first_order->children()) {
+    if (c->is_element() &&
+        static_cast<xml::Element*>(c.get())->name() == "Status") {
+      ++status_count;
+    }
+  }
+  EXPECT_EQ(status_count, 2u);
+  // Only the tire order line got the comment.
+  xml::Element* tire_line = first_order->FindChildElement("OrderLine");
+  ASSERT_NE(tire_line, nullptr);
+  EXPECT_NE(tire_line->FindChildElement("comment"), nullptr);
+  // The wrench line is untouched.
+  auto lines_parsed =
+      xpath::ParsePathString("document(\"c\")//OrderLine[ItemName=\"wrench\"]");
+  auto wrench = eval.Eval(lines_parsed.value(), {}, XmlObject::Null());
+  ASSERT_TRUE(wrench.ok());
+  ASSERT_EQ(wrench->size(), 1u);
+  EXPECT_EQ(wrench->front().element->FindChildElement("comment"), nullptr);
+  // The shipped tire order was not selected.
+  xml::Element* second_order = orders->at(1).element;
+  EXPECT_EQ(second_order->FindChildElement("Status")->TextContent(), "shipped");
+}
+
+TEST_F(XQueryTest, WhereFiltersTuples) {
+  MustExecute(R"(
+    FOR $lab IN document("bio.xml")//lab
+    WHERE $lab/name = "PMBL"
+    UPDATE $lab { RENAME $lab TO archive })");
+  // Only lab2 renamed.
+  EXPECT_EQ(doc_->FindById("lab2")->name(), "archive");
+  EXPECT_EQ(doc_->FindById("baselab")->name(), "lab");
+}
+
+TEST_F(XQueryTest, MultipleUpdateClauses) {
+  MustExecute(R"(
+    FOR $l2 IN document("bio.xml")//lab[@ID="lab2"],
+        $b IN document("bio.xml")/db/biologist[@ID="jones1"]
+    UPDATE $l2 { INSERT new_attribute(size,"small") }
+    UPDATE $b { INSERT new_attribute(tenured,"yes") })");
+  EXPECT_NE(doc_->FindById("lab2")->FindAttribute("size"), nullptr);
+  EXPECT_NE(doc_->FindById("jones1")->FindAttribute("tenured"), nullptr);
+}
+
+TEST_F(XQueryTest, LetClauseBinds) {
+  MustExecute(R"(
+    FOR $p IN document("bio.xml")/paper
+    LET $t := $p/title
+    UPDATE $p { DELETE $t })");
+  EXPECT_EQ(doc_->FindById("Smith991231")->FindChildElement("title"), nullptr);
+}
+
+TEST_F(XQueryTest, InsertCopyFromPathHasCopySemantics) {
+  // Copy baselab's location into lab2; the original must stay.
+  MustExecute(R"(
+    FOR $src IN document("bio.xml")//lab[@ID="baselab"]/location,
+        $dst IN document("bio.xml")//lab[@ID="lab2"]
+    UPDATE $dst { INSERT $src })");
+  EXPECT_NE(doc_->FindById("lab2")->FindChildElement("location"), nullptr);
+  EXPECT_NE(doc_->FindById("baselab")->FindChildElement("location"), nullptr);
+  // Deep copy, not alias.
+  EXPECT_NE(doc_->FindById("lab2")->FindChildElement("location"),
+            doc_->FindById("baselab")->FindChildElement("location"));
+}
+
+TEST_F(XQueryTest, BulkDeleteManyTuplesSkipsAlreadyDeleted) {
+  // //lab binds lalab, baselab and lab2; //city binds cities including those
+  // under labs. Deleting labs first must not break deleting cities bound
+  // inside them (they are skipped as already-deleted).
+  MustExecute(R"(
+    FOR $lab IN document("bio.xml")//lab
+    UPDATE $lab { DELETE $lab })");
+  xpath::Evaluator eval(doc_.get());
+  auto parsed = xpath::ParsePathString("document(\"b\")//lab");
+  auto labs = eval.Eval(parsed.value(), {}, XmlObject::Null());
+  ASSERT_TRUE(labs.ok());
+  EXPECT_TRUE(labs->empty());
+}
+
+TEST_F(XQueryTest, FlwrQueryReturn) {
+  auto stmt = ParseStatement(R"(
+    FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"]
+    RETURN $c)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  auto doc = xupd::testing::MustParse(xupd::testing::kCustomerXml);
+  NativeExecutor exec(doc.get());
+  auto result = exec.EvalQuery(stmt.value());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);  // two Johns
+}
+
+TEST_F(XQueryTest, UpdateTargetBoundNothingIsNoop) {
+  NativeExecutor exec(doc_.get());
+  Status s = exec.ExecuteString(R"(
+    FOR $x IN document("bio.xml")/db/nosuch
+    UPDATE $x { DELETE $x })");
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_EQ(exec.last_tuple_count(), 0u);
+}
+
+}  // namespace
+}  // namespace xupd::xquery
