@@ -69,6 +69,17 @@ std::string AsciiToUpper(std::string_view s) {
   return out;
 }
 
+int CompareIgnoreCase(std::string_view a, std::string_view b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int ca = std::tolower(static_cast<unsigned char>(a[i]));
+    int cb = std::tolower(static_cast<unsigned char>(b[i]));
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {

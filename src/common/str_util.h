@@ -31,6 +31,19 @@ std::string AsciiToUpper(std::string_view s);
 /// Case-insensitive ASCII equality.
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
+/// Case-insensitive ASCII three-way comparison (strcasecmp semantics).
+int CompareIgnoreCase(std::string_view a, std::string_view b);
+
+/// Transparent case-insensitive ordering for ordered containers: lets a
+/// std::map keyed by std::string be probed with a string_view without
+/// allocating a lowered copy on every lookup.
+struct AsciiCaseInsensitiveLess {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return CompareIgnoreCase(a, b) < 0;
+  }
+};
+
 /// Escapes &, <, >, " and ' for XML text/attribute output.
 std::string XmlEscape(std::string_view s);
 

@@ -5,6 +5,7 @@
 #ifndef XUPD_ENGINE_STORE_H_
 #define XUPD_ENGINE_STORE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,12 @@ class RelationalStore {
     bool build_asr = false;
     /// Load documents through INSERT statements instead of the bulk API.
     bool load_via_sql = false;
+    /// Rows per multi-row INSERT on the SQL insert paths (tuple-strategy
+    /// copies, constructed-content inserts, SQL loads). 1 restores the
+    /// paper's one-statement-per-tuple regime exactly — literal SQL text,
+    /// parsed per tuple (§6.2.1); larger values batch tuples of the same
+    /// table into one prepared multi-row statement.
+    int insert_batch_size = 64;
   };
 
   /// Creates the store for a DTD: derives the mapping, creates the schema,
@@ -145,6 +152,12 @@ class RelationalStore {
   /// rebuild ASR rows. Walks parentId pointers with point queries.
   Result<std::vector<std::pair<const shred::TableMapping*, int64_t>>>
   AncestorChain(const shred::TableMapping* tm, int64_t id);
+
+  /// "INSERT INTO asr VALUES (?, ..., ?, 0)" — one placeholder per mapping
+  /// table, unmarked. Pair with AsrRowParams for the bound values.
+  std::string AsrInsertRowSql() const;
+  std::vector<rdb::Value> AsrRowParams(
+      const std::map<const shred::TableMapping*, int64_t>& ids) const;
 
   Options options_;
   std::unique_ptr<shred::Mapping> mapping_;

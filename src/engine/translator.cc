@@ -552,7 +552,10 @@ class Translator {
       return Status::NotFound("no mapped column for inlined insert");
     }
     if (where.ids.empty()) return Status::OK();
-    std::string sets = f->column + " = " + SqlQuote(value);
+    // Bind the content as a parameter: the statement text stays constant
+    // across values (no quoting/escaping), so repeated ops over the same
+    // column reuse one parsed plan.
+    std::string sets = f->column + " = ?";
     // Maintain the presence flag of enclosing inlined non-leaf elements.
     for (const InlinedField& pf : tm->fields) {
       if (pf.kind == InlinedField::Kind::kPresence &&
@@ -561,8 +564,13 @@ class Translator {
         sets += ", " + pf.column + " = '1'";
       }
     }
-    return store_->db()->Execute("UPDATE " + tm->table + " SET " + sets +
-                                 " WHERE id IN (" + IdList(where.ids) + ")");
+    // The id list is inlined, so the text is effectively one-shot — bind the
+    // value but keep the statement out of the LRU (cacheable = false) so it
+    // cannot evict genuinely reusable plans.
+    return store_->db()->ExecuteBound(
+        "UPDATE " + tm->table + " SET " + sets + " WHERE id IN (" +
+            IdList(where.ids) + ")",
+        {rdb::Value::Str(value)}, /*cacheable=*/false);
   }
 
   Status ExecuteInsert(const PlannedOp& op) {

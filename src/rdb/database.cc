@@ -19,31 +19,147 @@ void SpinFor(double us) {
 
 }  // namespace
 
+std::string MultiRowInsertSql(std::string_view table, size_t columns,
+                              size_t rows) {
+  std::string sql = "INSERT INTO ";
+  sql += table;
+  sql += " VALUES ";
+  for (size_t r = 0; r < rows; ++r) {
+    if (r > 0) sql += ", ";
+    sql += "(";
+    for (size_t c = 0; c < columns; ++c) {
+      if (c > 0) sql += ", ";
+      sql += "?";
+    }
+    sql += ")";
+  }
+  return sql;
+}
+
+bool Database::IsDdl(const sql::Statement& stmt) {
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kCreateTable:
+    case sql::Statement::Kind::kCreateIndex:
+    case sql::Statement::Kind::kCreateTrigger:
+    case sql::Statement::Kind::kDrop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Database::InvalidateStatementCache() {
+  cache_index_.clear();
+  cache_lru_.clear();
+}
+
+void Database::set_prepared_cache_capacity(size_t capacity) {
+  cache_capacity_ = capacity;
+  while (cache_lru_.size() > cache_capacity_) {
+    cache_index_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+  }
+}
+
 Status Database::Execute(std::string_view sql_text) {
   ++stats_.statements;
   SpinFor(statement_latency_us_);
+  ++stats_.sql_parses;
   auto stmt = sql::ParseSql(sql_text);
   if (!stmt.ok()) return stmt.status();
   Executor exec(this);
   auto result = exec.Run(stmt.value());
   if (!result.ok()) return result.status();
+  if (IsDdl(stmt.value())) InvalidateStatementCache();
   return Status::OK();
 }
 
 Result<ResultSet> Database::ExecuteQuery(std::string_view sql_text) {
   ++stats_.statements;
   SpinFor(statement_latency_us_);
+  ++stats_.sql_parses;
   auto stmt = sql::ParseSql(sql_text);
   if (!stmt.ok()) return stmt.status();
   Executor exec(this);
   return exec.Run(stmt.value());
 }
 
+Result<StatementHandle> Database::Prepare(std::string_view sql_text,
+                                          bool cacheable) {
+  auto it = cache_index_.find(sql_text);
+  if (it != cache_index_.end()) {
+    ++stats_.prepared_hits;
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return it->second->second;
+  }
+  ++stats_.prepared_misses;
+  ++stats_.sql_parses;
+  auto stmt = sql::ParseSql(sql_text);
+  if (!stmt.ok()) return stmt.status();
+  auto prepared = std::make_shared<PreparedStatement>();
+  prepared->sql = std::string(sql_text);
+  prepared->param_count = stmt.value().param_count;
+  prepared->stmt = std::move(stmt).value();
+  StatementHandle handle = std::move(prepared);
+  // DDL is never cached: executing it would invalidate its own entry.
+  if (cacheable && !IsDdl(handle->stmt) && cache_capacity_ > 0) {
+    cache_lru_.emplace_front(handle->sql, handle);
+    cache_index_[handle->sql] = cache_lru_.begin();
+    if (cache_lru_.size() > cache_capacity_) {
+      cache_index_.erase(cache_lru_.back().first);
+      cache_lru_.pop_back();
+    }
+  }
+  return handle;
+}
+
+Status Database::ExecutePrepared(const StatementHandle& handle,
+                                 const std::vector<Value>& params) {
+  auto result = ExecuteQueryPrepared(handle, params);
+  if (!result.ok()) return result.status();
+  return Status::OK();
+}
+
+Result<ResultSet> Database::ExecuteQueryPrepared(
+    const StatementHandle& handle, const std::vector<Value>& params) {
+  if (handle == nullptr) {
+    return Status::InvalidArgument("null prepared statement handle");
+  }
+  if (static_cast<int>(params.size()) != handle->param_count) {
+    return Status::InvalidArgument(
+        "bound " + std::to_string(params.size()) + " parameters, statement has " +
+        std::to_string(handle->param_count));
+  }
+  ++stats_.statements;
+  SpinFor(statement_latency_us_);
+  Executor exec(this, &params);
+  auto result = exec.Run(handle->stmt);
+  if (!result.ok()) return result.status();
+  if (IsDdl(handle->stmt)) InvalidateStatementCache();
+  return result;
+}
+
+Status Database::ExecuteBound(std::string_view sql,
+                              const std::vector<Value>& params,
+                              bool cacheable) {
+  auto handle = Prepare(sql, cacheable);
+  if (!handle.ok()) return handle.status();
+  return ExecutePrepared(handle.value(), params);
+}
+
+Result<ResultSet> Database::ExecuteQueryBound(std::string_view sql,
+                                              const std::vector<Value>& params,
+                                              bool cacheable) {
+  auto handle = Prepare(sql, cacheable);
+  if (!handle.ok()) return handle.status();
+  return ExecuteQueryPrepared(handle.value(), params);
+}
+
 Result<Table*> Database::CreateTableDirect(TableSchema schema) {
-  std::string key = AsciiToLower(schema.name());
-  if (tables_.count(key) > 0) {
+  if (tables_.count(schema.name()) > 0) {
     return Status::AlreadyExists("table '" + schema.name() + "' already exists");
   }
+  std::string key = schema.name();
   auto table = std::make_unique<Table>(std::move(schema));
   Table* raw = table.get();
   tables_.emplace(std::move(key), std::move(table));
@@ -58,12 +174,12 @@ Status Database::InsertDirect(Table* table, Row row) {
 }
 
 Table* Database::FindTable(std::string_view name) {
-  auto it = tables_.find(AsciiToLower(name));
+  auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
 const Table* Database::FindTable(std::string_view name) const {
-  auto it = tables_.find(AsciiToLower(name));
+  auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
 

@@ -1,23 +1,49 @@
 // Database: catalog of tables + AFTER DELETE triggers, and the SQL entry
 // points. Every Execute/ExecuteQuery call parses its SQL text — statement
 // issue overhead is part of the cost model the paper studies (§6: "issuing
-// multiple separate SQL statements incurs overhead").
+// multiple separate SQL statements incurs overhead"). Prepare/ExecutePrepared
+// model the JDBC PreparedStatement path: the text is parsed once, kept in an
+// LRU cache keyed by SQL text, and later executions only bind parameter
+// values (they still pay the simulated round-trip latency, but not the
+// parse).
 #ifndef XUPD_RDB_DATABASE_H_
 #define XUPD_RDB_DATABASE_H_
 
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "common/str_util.h"
 #include "rdb/result.h"
 #include "rdb/sql_ast.h"
 #include "rdb/stats.h"
 #include "rdb/table.h"
 
 namespace xupd::rdb {
+
+/// An immutable parsed statement. Handles stay valid after cache eviction or
+/// invalidation (they are shared_ptrs); name resolution happens at execution
+/// time, so a handle held across DDL simply re-resolves against the new
+/// catalog.
+struct PreparedStatement {
+  std::string sql;     ///< original text (also the cache key).
+  sql::Statement stmt; ///< parsed form.
+  int param_count = 0; ///< number of ? placeholders to bind.
+};
+
+using StatementHandle = std::shared_ptr<const PreparedStatement>;
+
+/// Renders "INSERT INTO <table> VALUES (?, ...), (?, ...), ..." with `rows`
+/// placeholder rows of `columns` placeholders each. Parameter values are
+/// bound row-major. Constant for a fixed (table, columns, rows) shape, so
+/// batched loads of the same batch size hit the prepared cache.
+std::string MultiRowInsertSql(std::string_view table, size_t columns,
+                              size_t rows);
 
 class Database {
  public:
@@ -28,6 +54,33 @@ class Database {
 
   /// Parses and executes a SELECT, returning its rows.
   Result<ResultSet> ExecuteQuery(std::string_view sql);
+
+  /// Parses `sql` into a reusable handle, or returns the cached handle when
+  /// the same text was prepared before (LRU, invalidated by DDL). DDL
+  /// statements parse but are never cached. `cacheable = false` still probes
+  /// the cache but never inserts on a miss — for one-shot texts (e.g. with
+  /// inlined id lists) that would only evict reusable plans.
+  Result<StatementHandle> Prepare(std::string_view sql, bool cacheable = true);
+
+  /// Executes a prepared statement, binding `params` to its ? placeholders
+  /// positionally. Pays the per-statement latency but skips the parse.
+  Status ExecutePrepared(const StatementHandle& handle,
+                         const std::vector<Value>& params = {});
+  Result<ResultSet> ExecuteQueryPrepared(const StatementHandle& handle,
+                                         const std::vector<Value>& params = {});
+
+  /// Convenience: Prepare (served from the cache after the first call) then
+  /// ExecutePrepared.
+  Status ExecuteBound(std::string_view sql, const std::vector<Value>& params,
+                      bool cacheable = true);
+  Result<ResultSet> ExecuteQueryBound(std::string_view sql,
+                                      const std::vector<Value>& params,
+                                      bool cacheable = true);
+
+  /// Prepared-statement cache introspection (tests/benches).
+  size_t prepared_cache_size() const { return cache_lru_.size(); }
+  size_t prepared_cache_capacity() const { return cache_capacity_; }
+  void set_prepared_cache_capacity(size_t capacity);
 
   /// Direct bulk-load API (bypasses SQL): used by the shredder to load
   /// documents quickly; benchmark updates always go through Execute().
@@ -42,10 +95,11 @@ class Database {
   const Stats& stats() const { return stats_; }
 
   /// Simulated per-statement issue latency (microseconds), applied to every
-  /// Execute/ExecuteQuery call — models the client/server round trip +
-  /// optimizer cost a 2001-era JDBC/DB2 stack pays per statement (trigger
-  /// bodies run inside the engine and do NOT pay it). Default 0 (off); the
-  /// Table 2 bench uses it to reproduce the paper's cost regime (DESIGN.md).
+  /// Execute/ExecuteQuery/ExecutePrepared call — models the client/server
+  /// round trip a 2001-era JDBC/DB2 stack pays per statement (trigger
+  /// bodies run inside the engine and do NOT pay it; prepared statements
+  /// pay the round trip but skip the parse). Default 0 (off); the Table 2
+  /// bench uses it to reproduce the paper's cost regime (DESIGN.md).
   double statement_latency_us() const { return statement_latency_us_; }
   void set_statement_latency_us(double us) { statement_latency_us_ = us; }
 
@@ -72,11 +126,28 @@ class Database {
  private:
   friend class Executor;
 
-  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+  /// CREATE/DROP of any catalog object drops every cached plan (outstanding
+  /// handles survive; re-Prepare of the same text is a miss).
+  void InvalidateStatementCache();
+  static bool IsDdl(const sql::Statement& stmt);
+
+  /// Tables keyed by their original name, compared case-insensitively; the
+  /// transparent comparator keeps FindTable allocation-free on the hot path.
+  std::map<std::string, std::unique_ptr<Table>, AsciiCaseInsensitiveLess>
+      tables_;
   std::vector<TriggerDef> triggers_;
   Stats stats_;
   int64_t next_id_ = 1;
   double statement_latency_us_ = 0;
+
+  /// LRU prepared-statement cache: list front = most recently used; the
+  /// index maps SQL text to its list node (transparent lookup, no copy).
+  std::list<std::pair<std::string, StatementHandle>> cache_lru_;
+  std::map<std::string, std::list<std::pair<std::string, StatementHandle>>::
+                            iterator,
+           std::less<>>
+      cache_index_;
+  size_t cache_capacity_ = 128;
 };
 
 }  // namespace xupd::rdb

@@ -20,6 +20,7 @@ struct SelectStmt;
 struct Expr {
   enum class Kind {
     kLiteral,
+    kParam,       ///< ? placeholder, bound at execution time
     kColumn,      ///< [table.]column
     kOldColumn,   ///< OLD.column (trigger bodies)
     kUnary,       ///< NOT x, -x
@@ -50,6 +51,7 @@ struct Expr {
 
   Kind kind = Kind::kLiteral;
   Value literal;
+  int param_index = 0; ///< kParam: 0-based ordinal of the placeholder.
   std::string table;   ///< kColumn qualifier (may be empty).
   std::string column;  ///< kColumn / kOldColumn / kAggregate argument.
   Op op = Op::kNone;
@@ -156,6 +158,9 @@ struct Statement {
     kUpdate,
   };
   Kind kind = Kind::kSelect;
+  /// Number of ? placeholders in the statement text; values must be bound
+  /// positionally (left to right) at execution time.
+  int param_count = 0;
   SelectStmt select;
   CreateTableStmt create_table;
   CreateIndexStmt create_index;

@@ -96,7 +96,7 @@ Result<ResultSet> Executor::RunCreateTrigger(const sql::CreateTriggerStmt& stmt)
 Result<ResultSet> Executor::RunDrop(const sql::DropStmt& stmt) {
   switch (stmt.what) {
     case sql::DropStmt::What::kTable: {
-      auto it = db_->tables_.find(AsciiToLower(stmt.name));
+      auto it = db_->tables_.find(stmt.name);
       if (it == db_->tables_.end()) {
         return Status::NotFound("table '" + stmt.name + "' not found");
       }
@@ -224,6 +224,16 @@ Result<Value> Executor::Eval(const Expr& expr, const EvalContext& ctx) {
   switch (expr.kind) {
     case Expr::Kind::kLiteral:
       return expr.literal;
+    case Expr::Kind::kParam: {
+      if (params_ == nullptr ||
+          expr.param_index >= static_cast<int>(params_->size()) ||
+          expr.param_index < 0) {
+        return Status::InvalidArgument(
+            "parameter ?" + std::to_string(expr.param_index + 1) +
+            " is not bound");
+      }
+      return (*params_)[static_cast<size_t>(expr.param_index)];
+    }
     case Expr::Kind::kColumn: {
       if (ctx.relations == nullptr) {
         return Status::InvalidArgument("column reference outside a query");
@@ -536,7 +546,6 @@ Result<ResultSet> Executor::RunSelectCore(const sql::SelectCore& core) {
   for (size_t k = 0; k < relations.size(); ++k) {
     const Relation& rel = relations[k];
     // Find an equi-join conjunct usable for an index lookup on rel.
-    const Expr* probe_col_expr = nullptr;  // column of rel
     const Expr* probe_val_expr = nullptr;  // expression over earlier relations
     const HashIndex* index = nullptr;
     if (rel.table != nullptr) {
@@ -563,7 +572,6 @@ Result<ResultSet> Executor::RunSelectCore(const sql::SelectCore& core) {
           const HashIndex* idx =
               rel.table->FindIndexOnColumn(static_cast<int>(rc.value().second));
           if (idx != nullptr) {
-            probe_col_expr = &lhs;
             probe_val_expr = &rhs;
             index = idx;
             break;
@@ -903,7 +911,7 @@ Result<ResultSet> Executor::RunInsert(const sql::InsertStmt& stmt) {
     }
   }
 
-  auto insert_values = [&](const std::vector<Value>& values) -> Status {
+  auto build_row = [&](const std::vector<Value>& values) -> Result<Row> {
     if (values.size() != column_map.size()) {
       return Status::InvalidArgument("INSERT arity mismatch");
     }
@@ -914,17 +922,17 @@ Result<ResultSet> Executor::RunInsert(const sql::InsertStmt& stmt) {
       if (!coerced.ok()) return coerced.status();
       row[static_cast<size_t>(column_map[i])] = std::move(coerced).value();
     }
-    auto rowid = table->Insert(std::move(row));
-    if (!rowid.ok()) return rowid.status();
-    ++db_->stats_.rows_inserted;
-    return Status::OK();
+    return row;
   };
 
   if (stmt.select != nullptr) {
     auto result = RunSelect(*stmt.select);
     if (!result.ok()) return result.status();
     for (const Row& row : result->rows) {
-      XUPD_RETURN_IF_ERROR(insert_values(row));
+      XUPD_ASSIGN_OR_RETURN(Row built, build_row(row));
+      auto rowid = table->Insert(std::move(built));
+      if (!rowid.ok()) return rowid.status();
+      ++db_->stats_.rows_inserted;
     }
     return ResultSet{};
   }
@@ -932,6 +940,10 @@ Result<ResultSet> Executor::RunInsert(const sql::InsertStmt& stmt) {
   EvalContext ctx;
   ctx.old_row = trigger_old_row_;
   ctx.old_schema = trigger_old_schema_;
+  // Evaluate and coerce every VALUES row before inserting any, so a bad row
+  // leaves the table untouched (multi-row INSERT is atomic).
+  std::vector<Row> built_rows;
+  built_rows.reserve(stmt.rows.size());
   for (const auto& exprs : stmt.rows) {
     std::vector<Value> values;
     values.reserve(exprs.size());
@@ -940,8 +952,15 @@ Result<ResultSet> Executor::RunInsert(const sql::InsertStmt& stmt) {
       if (!v.ok()) return v.status();
       values.push_back(std::move(v).value());
     }
-    XUPD_RETURN_IF_ERROR(insert_values(values));
+    XUPD_ASSIGN_OR_RETURN(Row built, build_row(values));
+    built_rows.push_back(std::move(built));
   }
+  for (Row& row : built_rows) {
+    auto rowid = table->Insert(std::move(row));
+    if (!rowid.ok()) return rowid.status();
+    ++db_->stats_.rows_inserted;
+  }
+  if (stmt.rows.size() > 1) db_->stats_.batched_rows += stmt.rows.size();
   return ResultSet{};
 }
 

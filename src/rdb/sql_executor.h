@@ -23,7 +23,10 @@ namespace xupd::rdb {
 
 class Executor {
  public:
-  explicit Executor(Database* db) : db_(db) {}
+  /// `params` (optional) are the values bound to the statement's ?
+  /// placeholders, positionally; they must outlive the Run call.
+  explicit Executor(Database* db, const std::vector<Value>* params = nullptr)
+      : db_(db), params_(params) {}
 
   /// Executes any statement; SELECTs return their ResultSet, DML returns an
   /// empty set.
@@ -86,6 +89,8 @@ class Executor {
   const std::unordered_set<Value, ValueHash>* SubquerySet(const sql::Expr& e);
 
   Database* db_;
+  /// Parameter values for ? placeholders (null = none bound).
+  const std::vector<Value>* params_ = nullptr;
   /// CTEs visible while executing the current SELECT (name -> result).
   std::map<std::string, std::unique_ptr<ResultSet>, std::less<>> ctes_;
   /// Memoized IN-subquery sets, keyed by Expr identity.

@@ -28,6 +28,7 @@ enum class Tok {
   kMinus,
   kSlash,
   kSemicolon,
+  kQuestion,
 };
 
 struct Token {
@@ -117,6 +118,10 @@ class SqlLexer {
       case ';':
         ++pos_;
         t.type = Tok::kSemicolon;
+        return t;
+      case '?':
+        ++pos_;
+        t.type = Tok::kQuestion;
         return t;
       case '+':
         ++pos_;
@@ -282,6 +287,7 @@ class Parser {
     if (lex_.Peek().type != Tok::kEnd) {
       return lex_.Error("trailing input after statement");
     }
+    stmt.param_count = param_count_;
     return stmt;
   }
 
@@ -833,6 +839,12 @@ class Parser {
       e.literal = Value::Str(lex_.Next().text);
       return e;
     }
+    if (t.type == Tok::kQuestion) {
+      lex_.Next();
+      e.kind = Expr::Kind::kParam;
+      e.param_index = param_count_++;
+      return e;
+    }
     if (t.type == Tok::kMinus) {
       lex_.Next();
       auto inner = ParseTerm();
@@ -909,6 +921,8 @@ class Parser {
   }
 
   SqlLexer lex_;
+  /// ? placeholders seen so far; their 0-based ordinal is the bind position.
+  int param_count_ = 0;
 };
 
 }  // namespace

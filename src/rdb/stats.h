@@ -10,8 +10,25 @@
 namespace xupd::rdb {
 
 struct Stats {
-  /// SQL statements issued through Database::Execute / ExecuteQuery.
+  /// SQL statements issued through Database::Execute / ExecuteQuery /
+  /// ExecutePrepared (each pays the simulated round-trip latency once).
   uint64_t statements = 0;
+  /// Full ParseSql invocations: every Execute/ExecuteQuery call plus every
+  /// prepared-cache miss. Statement reuse shows up as this counter growing
+  /// slower than `statements`.
+  uint64_t sql_parses = 0;
+  /// Prepared-statement cache hits: Database::Prepare (or the ExecuteBound
+  /// convenience wrappers) found the SQL text already parsed and skipped
+  /// ParseSql entirely.
+  uint64_t prepared_hits = 0;
+  /// Prepared-statement cache misses: Prepare had to parse. misses == the
+  /// number of distinct statement shapes seen (modulo LRU eviction and DDL
+  /// invalidation).
+  uint64_t prepared_misses = 0;
+  /// Rows inserted through multi-row INSERT ... VALUES (...), (...) ...
+  /// statements (only statements carrying more than one row count). The
+  /// batched bulk-load path drives this.
+  uint64_t batched_rows = 0;
   /// Statements executed inside trigger bodies.
   uint64_t trigger_statements = 0;
   /// Trigger firings (row triggers: per row; statement triggers: per stmt).
@@ -29,6 +46,10 @@ struct Stats {
   Stats Delta(const Stats& earlier) const {
     Stats d;
     d.statements = statements - earlier.statements;
+    d.sql_parses = sql_parses - earlier.sql_parses;
+    d.prepared_hits = prepared_hits - earlier.prepared_hits;
+    d.prepared_misses = prepared_misses - earlier.prepared_misses;
+    d.batched_rows = batched_rows - earlier.batched_rows;
     d.trigger_statements = trigger_statements - earlier.trigger_statements;
     d.trigger_firings = trigger_firings - earlier.trigger_firings;
     d.rows_scanned = rows_scanned - earlier.rows_scanned;
@@ -41,6 +62,10 @@ struct Stats {
 
   std::string ToString() const {
     return "stmts=" + std::to_string(statements) +
+           " parses=" + std::to_string(sql_parses) +
+           " prep_hits=" + std::to_string(prepared_hits) +
+           " prep_miss=" + std::to_string(prepared_misses) +
+           " batched=" + std::to_string(batched_rows) +
            " trig_stmts=" + std::to_string(trigger_statements) +
            " trig_fires=" + std::to_string(trigger_firings) +
            " scanned=" + std::to_string(rows_scanned) +

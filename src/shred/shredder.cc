@@ -1,5 +1,6 @@
 #include "shred/shredder.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "common/str_util.h"
@@ -116,6 +117,47 @@ std::string Shredder::InsertSql(const ShreddedTuple& tuple) {
   return sql;
 }
 
+Status Shredder::InsertTuplesSql(const std::vector<ShreddedTuple>& tuples) {
+  if (sql_batch_size_ == 1) {
+    // The paper's original regime on every path: one literal single-row
+    // INSERT statement per tuple, parsed on every execution.
+    for (const ShreddedTuple& t : tuples) {
+      XUPD_RETURN_IF_ERROR(db_->Execute(InsertSql(t)));
+    }
+    return Status::OK();
+  }
+  // Group per table, preserving first-seen table order and arrival order
+  // within a table (parent ids are pre-assigned, so cross-table statement
+  // order does not matter for correctness).
+  std::vector<std::pair<const TableMapping*, std::vector<const ShreddedTuple*>>>
+      groups;
+  for (const ShreddedTuple& t : tuples) {
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == t.table; });
+    if (it == groups.end()) {
+      groups.push_back({t.table, {&t}});
+    } else {
+      it->second.push_back(&t);
+    }
+  }
+  const size_t batch = static_cast<size_t>(sql_batch_size_);
+  for (const auto& [tm, group] : groups) {
+    const size_t cols = 2 + tm->fields.size();
+    for (size_t start = 0; start < group.size(); start += batch) {
+      size_t n = std::min(batch, group.size() - start);
+      std::string sql = rdb::MultiRowInsertSql(tm->table, cols, n);
+      std::vector<Value> params;
+      params.reserve(cols * n);
+      for (size_t i = 0; i < n; ++i) {
+        const rdb::Row& row = group[start + i]->row;
+        params.insert(params.end(), row.begin(), row.end());
+      }
+      XUPD_RETURN_IF_ERROR(db_->ExecuteBound(sql, params));
+    }
+  }
+  return Status::OK();
+}
+
 Result<int64_t> Shredder::LoadDocument(const xml::Document& doc, bool via_sql) {
   if (doc.root() == nullptr) {
     return Status::InvalidArgument("document has no root");
@@ -129,9 +171,7 @@ Result<int64_t> Shredder::LoadDocument(const xml::Document& doc, bool via_sql) {
   if (!tuples.ok()) return tuples.status();
   int64_t root_id = tuples->front().id;
   if (via_sql) {
-    for (const ShreddedTuple& t : *tuples) {
-      XUPD_RETURN_IF_ERROR(db_->Execute(InsertSql(t)));
-    }
+    XUPD_RETURN_IF_ERROR(InsertTuplesSql(*tuples));
   } else {
     for (ShreddedTuple& t : *tuples) {
       rdb::Table* table = db_->FindTable(t.table->table);

@@ -24,8 +24,14 @@ struct ShreddedTuple {
 
 class Shredder {
  public:
-  Shredder(const Mapping* mapping, rdb::Database* db)
-      : mapping_(mapping), db_(db) {}
+  /// `sql_batch_size` caps the number of rows per multi-row INSERT when
+  /// loading through SQL (1 = one single-row INSERT per tuple, the paper's
+  /// original per-statement regime).
+  Shredder(const Mapping* mapping, rdb::Database* db, int sql_batch_size = 64)
+      : mapping_(mapping), db_(db),
+        sql_batch_size_(sql_batch_size < 1 ? 1 : sql_batch_size) {}
+
+  int sql_batch_size() const { return sql_batch_size_; }
 
   /// Creates all tables and id/parentId indexes (always through SQL DDL).
   Status CreateSchema();
@@ -40,8 +46,15 @@ class Shredder {
   Result<std::vector<ShreddedTuple>> ShredSubtree(const xml::Element& element,
                                                   int64_t parent_id);
 
-  /// Renders an INSERT statement for a shredded tuple.
+  /// Renders an INSERT statement for a shredded tuple (literal SQL text,
+  /// parsed on every execution — the pre-prepared-statement path).
   static std::string InsertSql(const ShreddedTuple& tuple);
+
+  /// Inserts shredded tuples through SQL using cached prepared statements:
+  /// tuples are grouped per table and issued as multi-row INSERTs of at most
+  /// sql_batch_size rows, with all values bound as parameters. Every batch
+  /// of the same (table, batch size) shape reuses one parsed statement.
+  Status InsertTuplesSql(const std::vector<ShreddedTuple>& tuples);
 
  private:
   Status FillFields(const xml::Element& element, const TableMapping* tm,
@@ -51,6 +64,7 @@ class Shredder {
 
   const Mapping* mapping_;
   rdb::Database* db_;
+  int sql_batch_size_ = 64;
 };
 
 }  // namespace xupd::shred

@@ -137,6 +137,24 @@ TEST(DeleteShapeTest, PerStatementTriggerScansChildRelations) {
   EXPECT_GE(delta.trigger_firings, 2u);
 }
 
+TEST(DeleteShapeTest, DeleteByIdsReusesOnePreparedPlan) {
+  auto store = MakeStore(DeleteStrategy::kPerTupleTrigger, InsertStrategy::kTable);
+  auto ids = store->SelectIds("Customer", "");
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 3u);
+  rdb::Stats before = store->stats();
+  ASSERT_TRUE(store->DeleteByIds("Customer", *ids).ok());
+  rdb::Stats delta = store->stats().Delta(before);
+  // One DELETE statement per id (the §7.3 random workload shape), but a
+  // single parse: the handle is prepared once and reused directly.
+  EXPECT_EQ(delta.statements, 3u);
+  EXPECT_EQ(delta.prepared_misses, 1u);
+  EXPECT_EQ(delta.prepared_hits, 0u);
+  EXPECT_EQ(delta.sql_parses, 1u);
+  EXPECT_EQ(Count(store.get(), "Customer"), 0);
+  EXPECT_EQ(Count(store.get(), "OrderLine"), 0);
+}
+
 // ---------------------------------------------------------------------------
 // Insert strategies.
 
@@ -210,14 +228,69 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, InsertStrategyTest,
                                       : "Asr";
                          });
 
-TEST(InsertShapeTest, TupleInsertIssuesOneStatementPerTuple) {
+std::unique_ptr<RelationalStore> MakeStoreWithBatch(DeleteStrategy del,
+                                                    InsertStrategy ins,
+                                                    int batch_size) {
+  auto dtd = xupd::testing::MustParseDtd(xupd::testing::kCustomerDtd);
+  RelationalStore::Options options;
+  options.delete_strategy = del;
+  options.insert_strategy = ins;
+  options.insert_batch_size = batch_size;
+  auto store = RelationalStore::Create(dtd, options);
+  EXPECT_TRUE(store.ok()) << store.status();
+  auto doc = xupd::testing::MustParse(xupd::testing::kCustomerXml);
+  Status s = store.value()->Load(*doc);
+  EXPECT_TRUE(s.ok()) << s;
+  return std::move(store).value();
+}
+
+TEST(InsertShapeTest, TupleInsertBatchSizeOneIssuesOneStatementPerTuple) {
+  // insert_batch_size = 1 restores the paper's §6.2.1 regime exactly: one
+  // literal INSERT statement per tuple, parsed every time.
+  auto store = MakeStoreWithBatch(DeleteStrategy::kPerTupleTrigger,
+                                  InsertStrategy::kTuple, 1);
+  auto ids = store->SelectIds("Customer", "Name = 'Mary'");
+  ASSERT_TRUE(ids.ok());
+  rdb::Stats before = store->stats();
+  ASSERT_TRUE(store->CopySubtree("Customer", ids->front(), store->root_id()).ok());
+  rdb::Stats delta = store->stats().Delta(before);
+  // Mary's subtree: 1 customer + 1 order + 1 line = 3 INSERTs + 1 query.
+  EXPECT_EQ(delta.statements, 4u);
+  EXPECT_EQ(delta.sql_parses, 4u);  // every statement parses
+  EXPECT_EQ(delta.prepared_hits, 0u);
+  EXPECT_EQ(delta.prepared_misses, 0u);
+  EXPECT_EQ(store->stats().batched_rows, 0u);
+}
+
+TEST(InsertShapeTest, TupleInsertBatchesMultiRowInsertsPerTable) {
+  // Default batching: tuples of the same table ride in one multi-row INSERT,
+  // so the statement count depends on the number of tables, not tuples.
+  auto store = MakeStore(DeleteStrategy::kPerTupleTrigger, InsertStrategy::kTuple);
+  auto john = store->SelectIds("Customer", "Address_City = 'Seattle'");
+  ASSERT_TRUE(john.ok());
+  rdb::Stats before = store->stats();
+  // Seattle John's subtree: 1 customer + 2 orders + 3 lines = 6 tuples.
+  ASSERT_TRUE(store->CopySubtree("Customer", john->front(), store->root_id()).ok());
+  rdb::Stats delta = store->stats().Delta(before);
+  // 1 outer-union query + 3 per-table INSERTs (Customer, Order, OrderLine).
+  EXPECT_EQ(delta.statements, 4u);
+  EXPECT_EQ(delta.rows_inserted, 6u);
+  // Order (2 rows) and OrderLine (3 rows) went in as multi-row statements.
+  EXPECT_EQ(delta.batched_rows, 5u);
+}
+
+TEST(InsertShapeTest, RepeatedTupleCopiesReuseThePreparedPlan) {
+  // Default batching: a second copy of the same subtree issues the same
+  // batched INSERT shapes, so every insert is a cache hit.
   auto store = MakeStore(DeleteStrategy::kPerTupleTrigger, InsertStrategy::kTuple);
   auto ids = store->SelectIds("Customer", "Name = 'Mary'");
   ASSERT_TRUE(ids.ok());
-  uint64_t before = store->stats().statements;
   ASSERT_TRUE(store->CopySubtree("Customer", ids->front(), store->root_id()).ok());
-  // Mary's subtree: 1 customer + 1 order + 1 line = 3 INSERTs + 1 query.
-  EXPECT_EQ(store->stats().statements - before, 4u);
+  rdb::Stats before = store->stats();
+  ASSERT_TRUE(store->CopySubtree("Customer", ids->front(), store->root_id()).ok());
+  rdb::Stats delta = store->stats().Delta(before);
+  EXPECT_EQ(delta.prepared_misses, 0u);
+  EXPECT_GE(delta.prepared_hits, 3u);
 }
 
 TEST(InsertShapeTest, TableInsertStatementsIndependentOfTupleCount) {

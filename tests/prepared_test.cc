@@ -1,0 +1,302 @@
+// Tests for the prepared-statement subsystem: LRU cache hit/miss accounting,
+// invalidation on DDL, positional ? parameter binding for every Value type
+// (including NULL), and multi-row VALUES parsing + execution.
+#include <gtest/gtest.h>
+
+#include "engine/store.h"
+#include "rdb/database.h"
+#include "rdb/sql_parser.h"
+#include "test_util.h"
+
+namespace xupd::rdb {
+namespace {
+
+class PreparedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE t (id INTEGER, name VARCHAR)").ok());
+  }
+
+  int64_t CountRows() {
+    auto r = db_.ExecuteQuery("SELECT COUNT(*) FROM t");
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? r->rows[0][0].AsInt() : -1;
+  }
+
+  Database db_;
+};
+
+// ---------------------------------------------------------------------------
+// Cache accounting.
+
+TEST_F(PreparedTest, RepeatedPrepareHitsTheCache) {
+  const char kSql[] = "INSERT INTO t VALUES (?, ?)";
+  Stats before = db_.stats();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        db_.ExecuteBound(kSql, {Value::Int(i), Value::Str("row")}).ok());
+  }
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.prepared_misses, 1u);
+  EXPECT_EQ(delta.prepared_hits, 9u);
+  EXPECT_EQ(delta.sql_parses, 1u);  // one parse serves all ten statements
+  EXPECT_EQ(delta.statements, 10u);
+  EXPECT_EQ(CountRows(), 10);
+}
+
+TEST_F(PreparedTest, HandleReuseSkipsTheCacheLookup) {
+  auto handle = db_.Prepare("INSERT INTO t VALUES (?, ?)");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  Stats before = db_.stats();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db_.ExecutePrepared(handle.value(),
+                                    {Value::Int(i), Value::Str("h")})
+                    .ok());
+  }
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.sql_parses, 0u);
+  EXPECT_EQ(delta.statements, 5u);
+  EXPECT_EQ(CountRows(), 5);
+}
+
+TEST_F(PreparedTest, DistinctTextsAreDistinctEntries) {
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t").ok());
+  ASSERT_TRUE(db_.Prepare("SELECT name FROM t").ok());
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t").ok());  // hit
+  EXPECT_EQ(db_.prepared_cache_size(), 2u);
+  EXPECT_EQ(db_.stats().prepared_misses, 2u);
+  EXPECT_EQ(db_.stats().prepared_hits, 1u);
+}
+
+TEST_F(PreparedTest, LruEvictsLeastRecentlyUsed) {
+  db_.set_prepared_cache_capacity(2);
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t").ok());
+  ASSERT_TRUE(db_.Prepare("SELECT name FROM t").ok());
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t").ok());        // refresh id
+  ASSERT_TRUE(db_.Prepare("SELECT id, name FROM t").ok());  // evicts name
+  EXPECT_EQ(db_.prepared_cache_size(), 2u);
+  uint64_t misses = db_.stats().prepared_misses;
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t").ok());  // still cached
+  EXPECT_EQ(db_.stats().prepared_misses, misses);
+  ASSERT_TRUE(db_.Prepare("SELECT name FROM t").ok());  // evicted -> miss
+  EXPECT_EQ(db_.stats().prepared_misses, misses + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation.
+
+TEST_F(PreparedTest, DropInvalidatesCache) {
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t").ok());
+  EXPECT_EQ(db_.prepared_cache_size(), 1u);
+  ASSERT_TRUE(db_.Execute("DROP TABLE t").ok());
+  EXPECT_EQ(db_.prepared_cache_size(), 0u);
+  uint64_t misses = db_.stats().prepared_misses;
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t").ok());  // re-parse
+  EXPECT_EQ(db_.stats().prepared_misses, misses + 1);
+}
+
+TEST_F(PreparedTest, CreateInvalidatesCache) {
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t").ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE u (id INTEGER)").ok());
+  EXPECT_EQ(db_.prepared_cache_size(), 0u);
+  ASSERT_TRUE(db_.Execute("CREATE INDEX t_id ON t (id)").ok());
+  EXPECT_EQ(db_.prepared_cache_size(), 0u);
+}
+
+TEST_F(PreparedTest, HandleSurvivesInvalidation) {
+  auto handle = db_.Prepare("INSERT INTO t VALUES (?, ?)");
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE u (id INTEGER)").ok());
+  // The cache is empty, but the outstanding handle still executes (name
+  // resolution happens at run time).
+  ASSERT_TRUE(db_.ExecutePrepared(handle.value(),
+                                  {Value::Int(1), Value::Str("x")})
+                  .ok());
+  EXPECT_EQ(CountRows(), 1);
+}
+
+TEST_F(PreparedTest, DdlIsNotCached) {
+  ASSERT_TRUE(db_.Prepare("CREATE TABLE v (id INTEGER)").ok());
+  EXPECT_EQ(db_.prepared_cache_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Parameter binding.
+
+TEST_F(PreparedTest, BindsAllValueTypes) {
+  ASSERT_TRUE(db_.ExecuteBound("INSERT INTO t VALUES (?, ?)",
+                               {Value::Int(7), Value::Str("seven")})
+                  .ok());
+  ASSERT_TRUE(db_.ExecuteBound("INSERT INTO t VALUES (?, ?)",
+                               {Value::Int(8), Value::Null()})
+                  .ok());
+  auto r = db_.ExecuteQueryBound("SELECT name FROM t WHERE id = ?",
+                                 {Value::Int(7)});
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "seven");
+  auto null_row = db_.ExecuteQuery("SELECT id FROM t WHERE name IS NULL");
+  ASSERT_TRUE(null_row.ok());
+  ASSERT_EQ(null_row->rows.size(), 1u);
+  EXPECT_EQ(null_row->rows[0][0].AsInt(), 8);
+}
+
+TEST_F(PreparedTest, NullParamInComparisonMatchesNothing) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 'a')").ok());
+  auto r = db_.ExecuteQueryBound("SELECT id FROM t WHERE name = ?",
+                                 {Value::Null()});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_F(PreparedTest, ParamsWorkInUpdateAndDelete) {
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 'a')").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (2, 'b')").ok());
+  ASSERT_TRUE(db_.ExecuteBound("UPDATE t SET name = ? WHERE id = ?",
+                               {Value::Str("z"), Value::Int(1)})
+                  .ok());
+  auto r = db_.ExecuteQueryBound("SELECT name FROM t WHERE id = ?",
+                                 {Value::Int(1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsString(), "z");
+  ASSERT_TRUE(db_.ExecuteBound("DELETE FROM t WHERE id = ?", {Value::Int(2)})
+                  .ok());
+  EXPECT_EQ(CountRows(), 1);
+}
+
+TEST_F(PreparedTest, ParamProbeUsesIndex) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX t_id ON t (id)").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db_.ExecuteBound("INSERT INTO t VALUES (?, ?)",
+                                 {Value::Int(i), Value::Str("r")})
+                    .ok());
+  }
+  Stats before = db_.stats();
+  auto r = db_.ExecuteQueryBound("SELECT name FROM t WHERE id = ?",
+                                 {Value::Int(11)});
+  ASSERT_TRUE(r.ok());
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_GT(delta.index_probes, 0u);
+  EXPECT_EQ(delta.rows_scanned, 0u);
+}
+
+TEST_F(PreparedTest, ArityMismatchIsAnError) {
+  auto handle = db_.Prepare("INSERT INTO t VALUES (?, ?)");
+  ASSERT_TRUE(handle.ok());
+  Status s = db_.ExecutePrepared(handle.value(), {Value::Int(1)});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  Status s2 = db_.ExecutePrepared(
+      handle.value(), {Value::Int(1), Value::Str("a"), Value::Int(2)});
+  EXPECT_EQ(s2.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PreparedTest, UnboundParamViaExecuteIsAnError) {
+  // Plain Execute never binds parameters; evaluating ? must fail cleanly.
+  Status s = db_.Execute("INSERT INTO t VALUES (?, 'x')");
+  EXPECT_FALSE(s.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-row VALUES.
+
+TEST_F(PreparedTest, MultiRowValuesParses) {
+  auto stmt = sql::ParseSql("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt.value().insert.rows.size(), 3u);
+}
+
+TEST_F(PreparedTest, MultiRowValuesExecutesAndCounts) {
+  Stats before = db_.stats();
+  ASSERT_TRUE(
+      db_.Execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')").ok());
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.rows_inserted, 3u);
+  EXPECT_EQ(delta.batched_rows, 3u);
+  EXPECT_EQ(delta.statements, 1u);
+  EXPECT_EQ(CountRows(), 3);
+}
+
+TEST_F(PreparedTest, SingleRowInsertIsNotCountedAsBatched) {
+  Stats before = db_.stats();
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 'a')").ok());
+  EXPECT_EQ(db_.stats().Delta(before).batched_rows, 0u);
+}
+
+TEST_F(PreparedTest, MultiRowInsertSqlHelperRoundTrips) {
+  EXPECT_EQ(MultiRowInsertSql("t", 2, 2), "INSERT INTO t VALUES (?, ?), (?, ?)");
+  std::string sql = MultiRowInsertSql("t", 2, 3);
+  ASSERT_TRUE(db_.ExecuteBound(sql, {Value::Int(1), Value::Str("a"),
+                                     Value::Int(2), Value::Null(),
+                                     Value::Int(3), Value::Str("c")})
+                  .ok());
+  EXPECT_EQ(CountRows(), 3);
+  EXPECT_EQ(db_.stats().batched_rows, 3u);
+}
+
+TEST_F(PreparedTest, MultiRowArityMismatchRejected) {
+  Status s = db_.Execute("INSERT INTO t VALUES (1, 'a'), (2)");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(PreparedTest, MultiRowInsertIsAtomic) {
+  // A bad row anywhere in the VALUES list must leave the table untouched
+  // and must not inflate batched_rows.
+  Status s = db_.Execute("INSERT INTO t VALUES (1, 'a'), (nosuchcol, 'b')");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(CountRows(), 0);
+  EXPECT_EQ(db_.stats().batched_rows, 0u);
+  EXPECT_EQ(db_.stats().rows_inserted, 0u);
+}
+
+TEST_F(PreparedTest, OneShotTextsStayOutOfTheCache) {
+  ASSERT_TRUE(db_.ExecuteBound("INSERT INTO t VALUES (?, ?)",
+                               {Value::Int(1), Value::Str("a")},
+                               /*cacheable=*/false)
+                  .ok());
+  EXPECT_EQ(db_.prepared_cache_size(), 0u);
+  // But an uncacheable Prepare still reuses an existing entry.
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t").ok());
+  uint64_t hits = db_.stats().prepared_hits;
+  ASSERT_TRUE(db_.Prepare("SELECT id FROM t", /*cacheable=*/false).ok());
+  EXPECT_EQ(db_.stats().prepared_hits, hits + 1);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the store: batched SQL load.
+
+TEST(PreparedStoreTest, SqlLoadBatchesAndSkipsReparse) {
+  auto dtd = xupd::testing::MustParseDtd(xupd::testing::kCustomerDtd);
+  engine::RelationalStore::Options options;
+  options.load_via_sql = true;
+  options.insert_batch_size = 64;
+  auto store = engine::RelationalStore::Create(dtd, options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto doc = xupd::testing::MustParse(xupd::testing::kCustomerXml);
+  Stats before = store.value()->stats();
+  ASSERT_TRUE(store.value()->Load(*doc).ok());
+  Stats delta = store.value()->stats().Delta(before);
+  // 11 tuples over 4 tables: one multi-row INSERT per table with >1 row
+  // (Customer 3 + Order 3 + OrderLine 4 = 10 batched rows).
+  EXPECT_EQ(delta.rows_inserted, 11u);
+  EXPECT_EQ(delta.batched_rows, 10u);
+  EXPECT_EQ(delta.statements, 4u);
+}
+
+TEST(PreparedStoreTest, BatchSizeOneLoadMatchesPaperRegime) {
+  auto dtd = xupd::testing::MustParseDtd(xupd::testing::kCustomerDtd);
+  engine::RelationalStore::Options options;
+  options.load_via_sql = true;
+  options.insert_batch_size = 1;
+  auto store = engine::RelationalStore::Create(dtd, options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto doc = xupd::testing::MustParse(xupd::testing::kCustomerXml);
+  Stats before = store.value()->stats();
+  ASSERT_TRUE(store.value()->Load(*doc).ok());
+  Stats delta = store.value()->stats().Delta(before);
+  EXPECT_EQ(delta.statements, 11u);  // one statement per tuple
+  EXPECT_EQ(delta.sql_parses, 11u);  // literal SQL, parsed every time
+  EXPECT_EQ(delta.batched_rows, 0u);
+}
+
+}  // namespace
+}  // namespace xupd::rdb

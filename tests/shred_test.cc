@@ -159,8 +159,12 @@ TEST_F(ShredLoadTest, LoadViaSqlMatchesBulk) {
   auto r = db_.ExecuteQuery("SELECT COUNT(*) FROM OrderLine");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows[0][0].AsInt(), 4);
-  // 11 tuples inserted through 11 INSERT statements (plus schema DDL).
-  EXPECT_GE(db_.stats().statements, 11u);
+  // 11 tuples batched into one multi-row INSERT per table (4 tables), after
+  // the schema DDL statements.
+  EXPECT_GE(db_.stats().statements, 4u);
+  EXPECT_EQ(db_.stats().rows_inserted, 11u);
+  // Customer 3 + Order 3 + OrderLine 4 rows went in multi-row statements.
+  EXPECT_EQ(db_.stats().batched_rows, 10u);
 }
 
 TEST_F(ShredLoadTest, InlinedValuesStored) {
