@@ -43,5 +43,36 @@ int main(int argc, char** argv) {
       bench::PrintPoint(ToString(method), depth, t);
     }
   }
+
+  // insert_batch_size sweep (ROADMAP open item): the tuple strategy is the
+  // batching-sensitive path; sweep it at a representative depth and emit one
+  // JSON row per setting so the default can be picked from data.
+  {
+    int depth = max_depth < 4 ? max_depth : 4;
+    workload::SyntheticSpec spec;
+    spec.scaling_factor = 100;
+    spec.depth = depth;
+    spec.fanout = 4;
+    auto gen = workload::GenerateFixedSynthetic(spec, 42);
+    if (!gen.ok()) return 1;
+    for (int batch : {1, 16, 64, 256}) {
+      engine::RelationalStore::Options options;
+      options.delete_strategy = DeleteStrategy::kCascade;
+      options.insert_strategy = InsertStrategy::kTuple;
+      options.insert_batch_size = batch;
+      double t = bench::MeasureOnFreshStores(
+          *gen, options,
+          [](engine::RelationalStore* store) {
+            Status s = store->CopySubtreesWhere("n1", "", store->root_id());
+            if (!s.ok()) std::abort();
+          },
+          {runs});
+      std::printf(
+          "{\"bench\":\"fig10_insert_bulk_depth\",\"sweep\":"
+          "\"insert_batch_size\",\"batch\":%d,\"depth\":%d,\"sf\":100,"
+          "\"seconds\":%.6f}\n",
+          batch, depth, t);
+    }
+  }
   return 0;
 }

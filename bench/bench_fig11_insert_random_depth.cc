@@ -50,5 +50,46 @@ int main(int argc, char** argv) {
       bench::PrintPoint(ToString(method), depth, t);
     }
   }
+
+  // insert_batch_size sweep (ROADMAP open item): random workload flavor —
+  // 10 separate subtree copies per run, tuple strategy, one JSON row per
+  // setting.
+  {
+    int depth = max_depth < 4 ? max_depth : 4;
+    workload::SyntheticSpec spec;
+    spec.scaling_factor = 100;
+    spec.depth = depth;
+    spec.fanout = 4;
+    auto gen = workload::GenerateFixedSynthetic(spec, 42);
+    if (!gen.ok()) return 1;
+    std::vector<int64_t> picked;
+    {
+      auto scratch = bench::FreshStore(*gen, DeleteStrategy::kCascade,
+                                       InsertStrategy::kTuple);
+      auto ids = scratch->SelectIds("n1", "");
+      if (!ids.ok()) return 1;
+      picked = bench::PickRandomIds(*ids, 10, 7);
+    }
+    for (int batch : {1, 16, 64, 256}) {
+      engine::RelationalStore::Options options;
+      options.delete_strategy = DeleteStrategy::kCascade;
+      options.insert_strategy = InsertStrategy::kTuple;
+      options.insert_batch_size = batch;
+      double t = bench::MeasureOnFreshStores(
+          *gen, options,
+          [&picked](engine::RelationalStore* store) {
+            for (int64_t id : picked) {
+              Status s = store->CopySubtree("n1", id, store->root_id());
+              if (!s.ok()) std::abort();
+            }
+          },
+          {runs});
+      std::printf(
+          "{\"bench\":\"fig11_insert_random_depth\",\"sweep\":"
+          "\"insert_batch_size\",\"batch\":%d,\"depth\":%d,\"sf\":100,"
+          "\"seconds\":%.6f}\n",
+          batch, depth, t);
+    }
+  }
   return 0;
 }

@@ -21,13 +21,10 @@ struct HarnessOptions {
   int runs = 5;  ///< total runs; first discarded.
 };
 
-/// Builds a fresh store of the given strategies over `gen` and loads it.
+/// Builds a fresh store with explicit options over `gen` and loads it.
 inline std::unique_ptr<engine::RelationalStore> FreshStore(
-    const workload::GeneratedDoc& gen, engine::DeleteStrategy del,
-    engine::InsertStrategy ins) {
-  engine::RelationalStore::Options options;
-  options.delete_strategy = del;
-  options.insert_strategy = ins;
+    const workload::GeneratedDoc& gen,
+    const engine::RelationalStore::Options& options) {
   auto store = engine::RelationalStore::Create(gen.dtd, options);
   if (!store.ok()) {
     std::fprintf(stderr, "store create failed: %s\n",
@@ -42,17 +39,27 @@ inline std::unique_ptr<engine::RelationalStore> FreshStore(
   return std::move(store).value();
 }
 
-/// Measures `op` on fresh stores: runs+1 executions, first discarded,
-/// returns the average seconds.
-inline double MeasureOnFreshStores(
+/// Builds a fresh store of the given strategies over `gen` and loads it.
+inline std::unique_ptr<engine::RelationalStore> FreshStore(
     const workload::GeneratedDoc& gen, engine::DeleteStrategy del,
-    engine::InsertStrategy ins,
+    engine::InsertStrategy ins) {
+  engine::RelationalStore::Options options;
+  options.delete_strategy = del;
+  options.insert_strategy = ins;
+  return FreshStore(gen, options);
+}
+
+/// Measures `op` on fresh stores built with explicit options: runs+1
+/// executions, first discarded, returns the average seconds.
+inline double MeasureOnFreshStores(
+    const workload::GeneratedDoc& gen,
+    const engine::RelationalStore::Options& store_options,
     const std::function<void(engine::RelationalStore*)>& op,
     const HarnessOptions& options = {}) {
   double total = 0;
   int counted = 0;
   for (int r = 0; r < options.runs; ++r) {
-    auto store = FreshStore(gen, del, ins);
+    auto store = FreshStore(gen, store_options);
     Stopwatch sw;
     op(store.get());
     double t = sw.ElapsedSeconds();
@@ -62,6 +69,19 @@ inline double MeasureOnFreshStores(
     }
   }
   return counted > 0 ? total / counted : 0.0;
+}
+
+/// Measures `op` on fresh stores: runs+1 executions, first discarded,
+/// returns the average seconds.
+inline double MeasureOnFreshStores(
+    const workload::GeneratedDoc& gen, engine::DeleteStrategy del,
+    engine::InsertStrategy ins,
+    const std::function<void(engine::RelationalStore*)>& op,
+    const HarnessOptions& options = {}) {
+  engine::RelationalStore::Options store_options;
+  store_options.delete_strategy = del;
+  store_options.insert_strategy = ins;
+  return MeasureOnFreshStores(gen, store_options, op, options);
 }
 
 /// Prints one series point in a gnuplot-friendly layout.

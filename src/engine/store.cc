@@ -114,6 +114,21 @@ Status RelationalStore::Load(const xml::Document& doc) {
 }
 
 // ---------------------------------------------------------------------------
+// Transactions
+
+Status RelationalStore::RunInTxn(const std::function<Status()>& fn) {
+  if (!options_.transactional) return fn();
+  XUPD_RETURN_IF_ERROR(db_.Begin());
+  Status s = fn();
+  if (!s.ok()) {
+    // Propagate fn's error; Rollback of an open scope cannot fail here.
+    (void)db_.Rollback();
+    return s;
+  }
+  return db_.Commit();
+}
+
+// ---------------------------------------------------------------------------
 // Deletes (§6.1)
 
 Status RelationalStore::DeleteWhere(const std::string& element,
@@ -123,7 +138,7 @@ Status RelationalStore::DeleteWhere(const std::string& element,
     return Status::InvalidArgument("element <" + element +
                                    "> is not table-mapped");
   }
-  return DeleteSubtreesImpl(tm, predicate);
+  return RunInTxn([&] { return DeleteSubtreesImpl(tm, predicate); });
 }
 
 Status RelationalStore::DeleteByIds(const std::string& element,
@@ -133,25 +148,29 @@ Status RelationalStore::DeleteByIds(const std::string& element,
     return Status::InvalidArgument("element <" + element +
                                    "> is not table-mapped");
   }
-  if (options_.delete_strategy == DeleteStrategy::kPerTupleTrigger ||
-      options_.delete_strategy == DeleteStrategy::kPerStatementTrigger) {
-    // The random workload issues one DELETE per subtree (§7.3); with the
-    // trigger strategies the statement text is identical across ids, so one
-    // prepared plan serves the whole loop — each delete still pays its
-    // round trip, but only the first pays the parse.
-    auto handle = db_.Prepare("DELETE FROM " + tm->table + " WHERE id = ?");
-    if (!handle.ok()) return handle.status();
+  // One entry point = one transaction: the id batch lands or rolls back as a
+  // unit (each id's delete still issues its own statements, §7.3).
+  return RunInTxn([&]() -> Status {
+    if (options_.delete_strategy == DeleteStrategy::kPerTupleTrigger ||
+        options_.delete_strategy == DeleteStrategy::kPerStatementTrigger) {
+      // The random workload issues one DELETE per subtree (§7.3); with the
+      // trigger strategies the statement text is identical across ids, so one
+      // prepared plan serves the whole loop — each delete still pays its
+      // round trip, but only the first pays the parse.
+      auto handle = db_.Prepare("DELETE FROM " + tm->table + " WHERE id = ?");
+      if (!handle.ok()) return handle.status();
+      for (int64_t id : ids) {
+        XUPD_RETURN_IF_ERROR(
+            db_.ExecutePrepared(handle.value(), {Value::Int(id)}));
+      }
+      return Status::OK();
+    }
     for (int64_t id : ids) {
       XUPD_RETURN_IF_ERROR(
-          db_.ExecutePrepared(handle.value(), {Value::Int(id)}));
+          DeleteSubtreesImpl(tm, "id = " + std::to_string(id)));
     }
     return Status::OK();
-  }
-  for (int64_t id : ids) {
-    XUPD_RETURN_IF_ERROR(
-        DeleteSubtreesImpl(tm, "id = " + std::to_string(id)));
-  }
-  return Status::OK();
+  });
 }
 
 Status RelationalStore::DeleteSubtreesImpl(const TableMapping* tm,
@@ -315,11 +334,12 @@ Status RelationalStore::CopySubtreesWhere(const std::string& element,
   }
   switch (options_.insert_strategy) {
     case InsertStrategy::kTuple:
-      return TupleInsert(tm, predicate, dest_parent_id);
+      return RunInTxn([&] { return TupleInsert(tm, predicate, dest_parent_id); });
     case InsertStrategy::kTable:
+      // Manages its own scope: the temp-table DDL must stay outside it.
       return TableInsert(tm, predicate, dest_parent_id);
     case InsertStrategy::kAsr:
-      return AsrInsert(tm, predicate, dest_parent_id);
+      return RunInTxn([&] { return AsrInsert(tm, predicate, dest_parent_id); });
   }
   return Status::Internal("unknown insert strategy");
 }
@@ -405,17 +425,47 @@ Status RelationalStore::TableInsert(const TableMapping* tm,
                                     const std::string& predicate,
                                     int64_t dest_parent_id) {
   // 6.2.2: stage the source subtrees in temp tables, remap all ids with one
-  // offset (nextId - minId), and insert en masse per relation.
+  // offset (nextId - minId), and insert en masse per relation. The staging
+  // tables are created/dropped through the direct catalog API: DDL is barred
+  // inside transactions, and scratch tables are not transactional state —
+  // DropTableDirect purges their undo records, so only the real-table writes
+  // remain in the enclosing scope's log.
   std::vector<const TableMapping*> region = mapping_->SubtreeTables(tm);
+  auto tmp_name = [](const TableMapping* t) { return "tmp_" + t->table; };
+
+  Status s = Status::OK();
+  size_t created = 0;
+  for (const TableMapping* t : region) {
+    std::vector<rdb::ColumnDef> cols{{"id", rdb::ColumnType::kInteger},
+                                     {"parentId", rdb::ColumnType::kInteger}};
+    for (const auto& f : t->fields) {
+      cols.push_back({f.column, rdb::ColumnType::kVarchar});
+    }
+    auto table = db_.CreateTableDirect(rdb::TableSchema(tmp_name(t), cols));
+    if (!table.ok()) {
+      s = table.status();
+      break;
+    }
+    ++created;
+  }
+  if (s.ok()) {
+    s = RunInTxn(
+        [&] { return TableInsertDml(region, tm, predicate, dest_parent_id); });
+  }
+  for (size_t i = 0; i < created; ++i) {
+    Status drop = db_.DropTableDirect(tmp_name(region[i]));
+    if (s.ok() && !drop.ok()) s = drop;
+  }
+  return s;
+}
+
+Status RelationalStore::TableInsertDml(
+    const std::vector<const TableMapping*>& region, const TableMapping* tm,
+    const std::string& predicate, int64_t dest_parent_id) {
   auto tmp_name = [](const TableMapping* t) { return "tmp_" + t->table; };
 
   for (size_t i = 0; i < region.size(); ++i) {
     const TableMapping* t = region[i];
-    std::string create = "CREATE TABLE " + tmp_name(t) +
-                         " (id INTEGER, parentId INTEGER";
-    for (const auto& f : t->fields) create += ", " + f.column + " VARCHAR";
-    create += ")";
-    XUPD_RETURN_IF_ERROR(db_.Execute(create));
     if (i == 0) {
       std::string sql =
           "INSERT INTO " + tmp_name(t) + " SELECT * FROM " + t->table;
@@ -458,15 +508,10 @@ Status RelationalStore::TableInsert(const TableMapping* tm,
                                      cols + " FROM " + tmp_name(t)));
   }
   // The copied region roots point at their new parent.
-  XUPD_RETURN_IF_ERROR(db_.Execute(
-      "UPDATE " + tm->table +
-      " SET parentId = " + std::to_string(dest_parent_id) +
-      " WHERE id IN (SELECT id + " + std::to_string(offset) + " FROM " +
-      tmp_name(tm) + ")"));
-  for (const TableMapping* t : region) {
-    XUPD_RETURN_IF_ERROR(db_.Execute("DROP TABLE " + tmp_name(t)));
-  }
-  return Status::OK();
+  return db_.Execute("UPDATE " + tm->table +
+                     " SET parentId = " + std::to_string(dest_parent_id) +
+                     " WHERE id IN (SELECT id + " + std::to_string(offset) +
+                     " FROM " + tmp_name(tm) + ")");
 }
 
 Status RelationalStore::AsrInsert(const TableMapping* tm,
@@ -576,6 +621,12 @@ Status RelationalStore::AsrInsert(const TableMapping* tm,
 
 Status RelationalStore::InsertConstructed(const xml::Element& content,
                                           int64_t dest_parent_id) {
+  return RunInTxn(
+      [&] { return InsertConstructedImpl(content, dest_parent_id); });
+}
+
+Status RelationalStore::InsertConstructedImpl(const xml::Element& content,
+                                              int64_t dest_parent_id) {
   auto tuples = shredder_->ShredSubtree(content, dest_parent_id);
   if (!tuples.ok()) return tuples.status();
   XUPD_RETURN_IF_ERROR(shredder_->InsertTuplesSql(*tuples));
@@ -617,6 +668,48 @@ Status RelationalStore::InsertConstructed(const xml::Element& content,
     XUPD_RETURN_IF_ERROR(walk(&tuples->front()));
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Id-list staging (shared scratch table for the translator's IN predicates)
+
+namespace {
+constexpr const char* kIdListTable = "xupd_idlist";
+}  // namespace
+
+Result<std::string> RelationalStore::IdListPredicate(
+    const std::string& column, const std::vector<int64_t>& ids) {
+  rdb::Table* scratch = db_.FindTable(kIdListTable);
+  if (scratch == nullptr) {
+    // Unwired from the undo log: id staging is engine scratch, not
+    // transactional state — rolling a statement back must not waste time
+    // reviving rows the next staging would clobber anyway.
+    auto table = db_.CreateTableDirect(
+        rdb::TableSchema(kIdListTable, {{"id", rdb::ColumnType::kInteger}}),
+        /*transactional=*/false);
+    if (!table.ok()) return table.status();
+    scratch = table.value();
+  }
+  // Truncate rather than DELETE FROM: a SQL delete only tombstones, which
+  // would grow the slot array (and every later scan over it) without bound
+  // across statements.
+  scratch->Clear();
+  // Constant statement texts for the staging INSERTs: each batch shape
+  // parses once and then serves every staged id set from the plan cache.
+  size_t i = 0;
+  // Descending chunk sizes bound the number of distinct INSERT shapes to 4
+  // while keeping the statement count ~ids/64.
+  for (size_t chunk : {size_t{64}, size_t{16}, size_t{4}, size_t{1}}) {
+    while (ids.size() - i >= chunk) {
+      std::vector<Value> params;
+      params.reserve(chunk);
+      for (size_t k = 0; k < chunk; ++k) params.push_back(Value::Int(ids[i++]));
+      XUPD_RETURN_IF_ERROR(
+          db_.ExecuteBound(rdb::MultiRowInsertSql(kIdListTable, 1, chunk),
+                           params));
+    }
+  }
+  return column + " IN (SELECT id FROM " + kIdListTable + ")";
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #ifndef XUPD_ENGINE_STORE_H_
 #define XUPD_ENGINE_STORE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -54,6 +55,13 @@ class RelationalStore {
     /// parsed per tuple (§6.2.1); larger values batch tuples of the same
     /// table into one prepared multi-row statement.
     int insert_batch_size = 64;
+    /// Wrap every update entry point (DeleteWhere/DeleteByIds/CopySubtree*/
+    /// InsertConstructed/ExecuteXQueryUpdate) in a transaction, so a
+    /// mid-operation failure rolls element tables, hash indexes and the ASR
+    /// back to the pre-operation state. Nested sub-updates become
+    /// savepoints. false = the paper's raw autocommit regime (each SQL
+    /// statement lands individually; a failure leaves partial effects).
+    bool transactional = true;
   };
 
   /// Creates the store for a DTD: derives the mapping, creates the schema,
@@ -121,12 +129,25 @@ class RelationalStore {
   Result<std::unique_ptr<xml::Document>> Reconstruct();
 
   /// Executes an XQuery update statement against the store (translated to
-  /// SQL; see engine/translator.cc for the supported subset).
+  /// SQL; see engine/translator.cc for the supported subset). The whole
+  /// statement executes in one transaction: any error leaves the store
+  /// exactly as it was (Options::transactional).
   Status ExecuteXQueryUpdate(std::string_view query);
+
+  /// Stages `ids` in the shared scratch table `xupd_idlist` (created lazily
+  /// through the direct catalog API) and returns the predicate
+  /// "<column> IN (SELECT id FROM xupd_idlist)". Unlike a literal
+  /// "<column> IN (1, 2, ...)" list, the statement texts this produces are
+  /// constant across calls, so the predicates the XQuery translator emits
+  /// reuse cached plans no matter which ids are bound.
+  Result<std::string> IdListPredicate(const std::string& column,
+                                      const std::vector<int64_t>& ids);
 
   // --- accessors -----------------------------------------------------------
 
   rdb::Database* db() { return &db_; }
+  /// The ASR manager, or null when the store was built without an ASR.
+  const asr::AsrManager* asr() const { return asr_.get(); }
   const shred::Mapping& mapping() const { return *mapping_; }
   const Options& options() const { return options_; }
   int64_t root_id() const { return root_id_; }
@@ -136,6 +157,11 @@ class RelationalStore {
  private:
   RelationalStore() = default;
 
+  /// Runs `fn` inside a transaction scope (a savepoint when one is already
+  /// open): Begin, fn, Commit — or Rollback when fn fails, propagating fn's
+  /// error. With Options::transactional off it just runs fn.
+  Status RunInTxn(const std::function<Status()>& fn);
+
   Status InstallTriggers();
   Status DeleteSubtreesImpl(const shred::TableMapping* tm,
                             const std::string& predicate);
@@ -144,8 +170,16 @@ class RelationalStore {
   Status AsrDelete(const shred::TableMapping* tm, const std::string& predicate);
   Status TupleInsert(const shred::TableMapping* tm,
                      const std::string& predicate, int64_t dest_parent_id);
+  /// Phase wrapper: creates the temp staging tables through the direct
+  /// catalog API (DDL is barred inside transactions), runs the DML phase in
+  /// a transaction scope, and always drops the staging tables.
   Status TableInsert(const shred::TableMapping* tm,
                      const std::string& predicate, int64_t dest_parent_id);
+  Status TableInsertDml(const std::vector<const shred::TableMapping*>& region,
+                        const shred::TableMapping* tm,
+                        const std::string& predicate, int64_t dest_parent_id);
+  Status InsertConstructedImpl(const xml::Element& content,
+                               int64_t dest_parent_id);
   Status AsrInsert(const shred::TableMapping* tm, const std::string& predicate,
                    int64_t dest_parent_id);
   /// (table, id) chain from the mapping root down to `id`'s parent — used to

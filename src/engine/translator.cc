@@ -17,7 +17,11 @@
 //
 // Predicates over inlined content become SQL over the owning table's
 // columns; predicates over a child table's content become
-// `id IN (SELECT parentId FROM child WHERE ...)`.
+// `id IN (SELECT parentId FROM child WHERE ...)`. Bound id sets are staged
+// in the shared `xupd_idlist` scratch table and referenced as
+// `id IN (SELECT id FROM xupd_idlist)` (RelationalStore::IdListPredicate),
+// so every statement the translator emits has a constant text and reuses a
+// cached plan regardless of which ids are bound.
 //
 // Documented deviations: inserting "over" an inlined single-occurrence
 // element overwrites it (the paper would emit a warning, §6.2); RENAME of a
@@ -46,15 +50,6 @@ using xquery::SubOp;
 using xquery::UpdateOp;
 
 namespace {
-
-std::string IdList(const std::vector<int64_t>& ids) {
-  std::string out;
-  for (size_t i = 0; i < ids.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += std::to_string(ids[i]);
-  }
-  return out;
-}
 
 /// A variable binding resolved against the relational store.
 struct Binding {
@@ -167,8 +162,9 @@ class Translator {
           if (child->element == step.name) {
             XUPD_ASSIGN_OR_RETURN(std::string pred,
                                   PredicatesToSql(step.predicates, child));
-            std::string full = "parentId IN (" + IdList(current->ids) + ")";
-            if (current->ids.empty()) full = "parentId IN (0)";
+            XUPD_ASSIGN_OR_RETURN(
+                std::string full,
+                store_->IdListPredicate("parentId", current->ids));
             if (!pred.empty()) full += " AND (" + pred + ")";
             Binding next;
             next.table = child;
@@ -224,7 +220,8 @@ class Translator {
           return Status::Internal("inconsistent table chain");
         }
         chain.erase(chain.begin(), it);
-        std::string constraint = "id IN (" + IdList(current->ids) + ")";
+        XUPD_ASSIGN_OR_RETURN(std::string constraint,
+                              store_->IdListPredicate("id", current->ids));
         for (size_t i = 1; i < chain.size(); ++i) {
           constraint = "parentId IN (SELECT id FROM " + chain[i - 1]->table +
                        " WHERE " + constraint + ")";
@@ -259,7 +256,8 @@ class Translator {
     if (step.predicates.empty()) return Status::OK();
     XUPD_ASSIGN_OR_RETURN(std::string pred,
                           PredicatesToSql(step.predicates, current->table));
-    std::string full = "id IN (" + IdList(current->ids) + ")";
+    XUPD_ASSIGN_OR_RETURN(std::string full,
+                          store_->IdListPredicate("id", current->ids));
     if (!pred.empty()) full += " AND (" + pred + ")";
     XUPD_ASSIGN_OR_RETURN(current->ids,
                           store_->SelectIds(current->table->element, full));
@@ -404,7 +402,9 @@ class Translator {
       relative.path.head = PathExpr::Head::kContext;
       relative.path.variable.clear();
       XUPD_ASSIGN_OR_RETURN(std::string sql, PredicateToSql(relative, b.table));
-      std::string full = "id IN (" + IdList(b.ids) + ") AND (" + sql + ")";
+      XUPD_ASSIGN_OR_RETURN(std::string staged,
+                            store_->IdListPredicate("id", b.ids));
+      std::string full = staged + " AND (" + sql + ")";
       XUPD_ASSIGN_OR_RETURN(b.ids, store_->SelectIds(b.table->element, full));
       return Status::OK();
     }
@@ -509,13 +509,16 @@ class Translator {
         return Status::NotFound("no mapped columns for inlined delete");
       }
       if (child.ids.empty()) return Status::OK();
-      return store_->db()->Execute("UPDATE " + child.table->table + " SET " +
-                                   sets + " WHERE id IN (" +
-                                   IdList(child.ids) + ")");
+      XUPD_ASSIGN_OR_RETURN(std::string where,
+                            store_->IdListPredicate("id", child.ids));
+      return store_->db()->ExecuteBound(
+          "UPDATE " + child.table->table + " SET " + sets + " WHERE " + where,
+          {});
     }
     if (child.ids.empty()) return Status::OK();
-    return store_->DeleteWhere(child.table->element,
-                               "id IN (" + IdList(child.ids) + ")");
+    XUPD_ASSIGN_OR_RETURN(std::string where,
+                          store_->IdListPredicate("id", child.ids));
+    return store_->DeleteWhere(child.table->element, where);
   }
 
   Status ExecuteInsertInlined(const PlannedOp& op, const Binding& where) {
@@ -564,13 +567,14 @@ class Translator {
         sets += ", " + pf.column + " = '1'";
       }
     }
-    // The id list is inlined, so the text is effectively one-shot — bind the
-    // value but keep the statement out of the LRU (cacheable = false) so it
-    // cannot evict genuinely reusable plans.
+    // The ids ride in the staged id-list table, so the statement text is
+    // constant per (table, column set) shape: bind the content value and let
+    // repeated ops share one cached plan.
+    XUPD_ASSIGN_OR_RETURN(std::string id_pred,
+                          store_->IdListPredicate("id", where.ids));
     return store_->db()->ExecuteBound(
-        "UPDATE " + tm->table + " SET " + sets + " WHERE id IN (" +
-            IdList(where.ids) + ")",
-        {rdb::Value::Str(value)}, /*cacheable=*/false);
+        "UPDATE " + tm->table + " SET " + sets + " WHERE " + id_pred,
+        {rdb::Value::Str(value)});
   }
 
   Status ExecuteInsert(const PlannedOp& op) {
@@ -643,10 +647,12 @@ class Translator {
     }
     if (child.ids.empty()) return Status::OK();
     // §6.3: movement but no creation of data; one UPDATE on the top level.
-    return store_->db()->Execute(
+    XUPD_ASSIGN_OR_RETURN(std::string where,
+                          store_->IdListPredicate("id", child.ids));
+    return store_->db()->ExecuteBound(
         "UPDATE " + child.table->table + " SET " + to->column + " = " +
-        from->column + ", " + from->column + " = NULL WHERE id IN (" +
-        IdList(child.ids) + ")");
+            from->column + ", " + from->column + " = NULL WHERE " + where,
+        {});
   }
 
   static PlannedOp ClonePlannedShallow(const PlannedOp& op) {
@@ -671,8 +677,13 @@ class Translator {
 Status RelationalStore::ExecuteXQueryUpdate(std::string_view query) {
   auto stmt = xquery::ParseStatement(query);
   if (!stmt.ok()) return stmt.status();
-  Translator translator(this);
-  return translator.Execute(stmt.value());
+  // Whole-statement atomicity (§6): bind + every sub-operation commit or
+  // roll back together; the sub-operations' own entry-point transactions
+  // nest as savepoints inside this scope.
+  return RunInTxn([&]() -> Status {
+    Translator translator(this);
+    return translator.Execute(stmt.value());
+  });
 }
 
 }  // namespace xupd::engine

@@ -1,5 +1,7 @@
 #include "rdb/database.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "rdb/sql_executor.h"
@@ -51,6 +53,39 @@ bool Database::IsDdl(const sql::Statement& stmt) {
 void Database::InvalidateStatementCache() {
   cache_index_.clear();
   cache_lru_.clear();
+}
+
+Status Database::Begin() {
+  txn_.Begin(next_id_);
+  return Status::OK();
+}
+
+Status Database::Commit() { return txn_.Commit(); }
+
+Status Database::Rollback() {
+  auto next_id = txn_.Rollback();
+  if (!next_id.ok()) return next_id.status();
+  next_id_ = next_id.value();
+  return Status::OK();
+}
+
+Status Database::ConsumeFailpoint() {
+  if (fail_after_statements_ < 0) return Status::OK();
+  if (fail_after_statements_ == 0) {
+    fail_after_statements_ = -1;
+    return Status::Internal("injected failure");
+  }
+  --fail_after_statements_;
+  return Status::OK();
+}
+
+Status Database::CheckDdlBarrier(const sql::Statement& stmt) const {
+  if (txn_.active() && IsDdl(stmt)) {
+    return Status::InvalidArgument(
+        "DDL is not allowed inside a transaction (catalog changes are not "
+        "undoable; commit or roll back first)");
+  }
+  return Status::OK();
 }
 
 void Database::set_prepared_cache_capacity(size_t capacity) {
@@ -155,15 +190,33 @@ Result<ResultSet> Database::ExecuteQueryBound(std::string_view sql,
   return ExecuteQueryPrepared(handle.value(), params);
 }
 
-Result<Table*> Database::CreateTableDirect(TableSchema schema) {
+Result<Table*> Database::CreateTableDirect(TableSchema schema,
+                                           bool transactional) {
   if (tables_.count(schema.name()) > 0) {
     return Status::AlreadyExists("table '" + schema.name() + "' already exists");
   }
   std::string key = schema.name();
-  auto table = std::make_unique<Table>(std::move(schema));
+  auto table = std::make_unique<Table>(std::move(schema),
+                                       transactional ? &txn_ : nullptr);
   Table* raw = table.get();
   tables_.emplace(std::move(key), std::move(table));
   return raw;
+}
+
+Status Database::DropTableDirect(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + std::string(name) + "' not found");
+  }
+  txn_.PurgeTable(it->second.get());
+  std::string dropped = it->second->schema().name();
+  tables_.erase(it);
+  triggers_.erase(std::remove_if(triggers_.begin(), triggers_.end(),
+                                 [&](const TriggerDef& t) {
+                                   return EqualsIgnoreCase(t.table, dropped);
+                                 }),
+                 triggers_.end());
+  return Status::OK();
 }
 
 Status Database::InsertDirect(Table* table, Row row) {

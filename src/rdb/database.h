@@ -5,7 +5,9 @@
 // model the JDBC PreparedStatement path: the text is parsed once, kept in an
 // LRU cache keyed by SQL text, and later executions only bind parameter
 // values (they still pay the simulated round-trip latency, but not the
-// parse).
+// parse). Begin/Commit/Rollback expose the transaction subsystem (rdb/txn.h)
+// that gives multi-statement XML update operations the all-or-nothing
+// semantics the paper inherits from the relational engine (§6).
 #ifndef XUPD_RDB_DATABASE_H_
 #define XUPD_RDB_DATABASE_H_
 
@@ -23,6 +25,7 @@
 #include "rdb/sql_ast.h"
 #include "rdb/stats.h"
 #include "rdb/table.h"
+#include "rdb/txn.h"
 
 namespace xupd::rdb {
 
@@ -48,6 +51,10 @@ std::string MultiRowInsertSql(std::string_view table, size_t columns,
 class Database {
  public:
   Database() = default;
+  /// The TransactionManager and every undo record hold pointers into this
+  /// object (stats, tables), so it is pinned in place.
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
 
   /// Parses and executes a DDL/DML statement.
   Status Execute(std::string_view sql);
@@ -77,6 +84,46 @@ class Database {
                                       const std::vector<Value>& params,
                                       bool cacheable = true);
 
+  // --- transactions --------------------------------------------------------
+  //
+  // Begin/Commit/Rollback control an in-memory logical undo log (rdb/txn.h).
+  // Nested Begin opens a savepoint scope: an inner Rollback undoes only that
+  // scope's writes, an inner Commit merges them into the enclosing scope.
+  // Rollback restores row liveness (tombstones), hash-index entries, updated
+  // column values, and the next-id counter to their state at the matching
+  // Begin. Trigger-issued writes log into the enclosing transaction like any
+  // other write. These calls run inside the engine (no simulated statement
+  // latency); the SQL statements BEGIN/COMMIT/ROLLBACK map onto them and pay
+  // the usual per-statement cost.
+  //
+  // DDL-in-transaction policy: SQL DDL (CREATE/DROP of tables, indexes and
+  // triggers) inside an active transaction is REJECTED with InvalidArgument
+  // — catalog changes are not undoable, and silently auto-committing would
+  // break the atomicity the engine layers rely on. The direct catalog APIs
+  // below are exempt: they exist for engine-internal scratch tables (temp
+  // staging for the §6.2.2 table insert, id-list probes), which are not
+  // transactional state; DropTableDirect purges the dropped table's undo
+  // records so the log never dangles. Direct catalog changes do not flush
+  // the prepared-statement cache — plans resolve names at execution time.
+
+  /// Opens a transaction scope (a savepoint when one is already active).
+  Status Begin();
+  /// Commits the innermost scope; the outermost commit discards the log.
+  Status Commit();
+  /// Rolls back the innermost scope's writes in reverse order.
+  Status Rollback();
+  bool in_transaction() const { return txn_.active(); }
+  size_t transaction_depth() const { return txn_.depth(); }
+  /// Undo records currently held for open scopes (tests/benches).
+  size_t undo_log_size() const { return txn_.undo_size(); }
+
+  /// Failure injection (tests/benches): after `statements` further statement
+  /// executions — counting trigger-body and nested statements — the next one
+  /// fails with an Internal error, and the hook disarms. Negative cancels.
+  void InjectFailureAfterStatements(int64_t statements) {
+    fail_after_statements_ = statements;
+  }
+
   /// Prepared-statement cache introspection (tests/benches).
   size_t prepared_cache_size() const { return cache_lru_.size(); }
   size_t prepared_cache_capacity() const { return cache_capacity_; }
@@ -84,8 +131,16 @@ class Database {
 
   /// Direct bulk-load API (bypasses SQL): used by the shredder to load
   /// documents quickly; benchmark updates always go through Execute().
-  Result<Table*> CreateTableDirect(TableSchema schema);
+  /// `transactional = false` leaves the table unwired from the undo log —
+  /// for engine scratch tables whose contents are not transactional state
+  /// (writes to them are never undone and never logged).
+  Result<Table*> CreateTableDirect(TableSchema schema,
+                                   bool transactional = true);
   Status InsertDirect(Table* table, Row row);
+  /// Drops a table from the catalog without SQL (exempt from the DDL txn
+  /// barrier; see above). Also removes triggers on the table and purges its
+  /// undo records.
+  Status DropTableDirect(std::string_view name);
 
   Table* FindTable(std::string_view name);
   const Table* FindTable(std::string_view name) const;
@@ -131,14 +186,22 @@ class Database {
   void InvalidateStatementCache();
   static bool IsDdl(const sql::Statement& stmt);
 
+  /// Returns the injected error when the failpoint counter runs out.
+  Status ConsumeFailpoint();
+  /// The DDL-in-transaction barrier (see the policy comment above).
+  Status CheckDdlBarrier(const sql::Statement& stmt) const;
+
   /// Tables keyed by their original name, compared case-insensitively; the
   /// transparent comparator keeps FindTable allocation-free on the hot path.
   std::map<std::string, std::unique_ptr<Table>, AsciiCaseInsensitiveLess>
       tables_;
   std::vector<TriggerDef> triggers_;
   Stats stats_;
+  TransactionManager txn_{&stats_};
   int64_t next_id_ = 1;
   double statement_latency_us_ = 0;
+  /// Failpoint countdown; negative = disarmed.
+  int64_t fail_after_statements_ = -1;
 
   /// LRU prepared-statement cache: list front = most recently used; the
   /// index maps SQL text to its list node (transparent lookup, no copy).

@@ -1,7 +1,8 @@
 // AST for the SQL dialect. The dialect covers exactly what the paper's
 // translation layer emits (§5.2 Fig. 5, §6): CREATE TABLE/INDEX/TRIGGER,
 // INSERT (VALUES and SELECT), DELETE, UPDATE, SELECT with multi-way joins,
-// IN/NOT IN subqueries, scalar aggregates, WITH CTEs, UNION ALL, ORDER BY.
+// IN/NOT IN subqueries, scalar aggregates, WITH CTEs, UNION ALL, ORDER BY,
+// plus transaction control (BEGIN/COMMIT/ROLLBACK).
 #ifndef XUPD_RDB_SQL_AST_H_
 #define XUPD_RDB_SQL_AST_H_
 
@@ -156,6 +157,9 @@ struct Statement {
     kInsert,
     kDelete,
     kUpdate,
+    kBegin,     ///< BEGIN [TRANSACTION|WORK] — opens a txn / savepoint scope.
+    kCommit,    ///< COMMIT [TRANSACTION|WORK].
+    kRollback,  ///< ROLLBACK [TRANSACTION|WORK].
   };
   Kind kind = Kind::kSelect;
   /// Number of ? placeholders in the statement text; values must be bound

@@ -31,6 +31,11 @@ std::string Executor::Relation::ColumnName(size_t i) const {
 // Entry point
 
 Result<ResultSet> Executor::Run(const sql::Statement& stmt) {
+  // Both hooks see every statement execution, including trigger-body and
+  // nested statements: the failpoint can land mid-cascade, and the DDL
+  // barrier cannot be bypassed from inside a trigger.
+  XUPD_RETURN_IF_ERROR(db_->ConsumeFailpoint());
+  XUPD_RETURN_IF_ERROR(db_->CheckDdlBarrier(stmt));
   switch (stmt.kind) {
     case sql::Statement::Kind::kSelect:
       return RunSelect(stmt.select);
@@ -48,6 +53,15 @@ Result<ResultSet> Executor::Run(const sql::Statement& stmt) {
       return RunDelete(stmt.del);
     case sql::Statement::Kind::kUpdate:
       return RunUpdate(stmt.update);
+    case sql::Statement::Kind::kBegin:
+      XUPD_RETURN_IF_ERROR(db_->Begin());
+      return ResultSet{};
+    case sql::Statement::Kind::kCommit:
+      XUPD_RETURN_IF_ERROR(db_->Commit());
+      return ResultSet{};
+    case sql::Statement::Kind::kRollback:
+      XUPD_RETURN_IF_ERROR(db_->Rollback());
+      return ResultSet{};
   }
   return Status::Internal("unknown statement kind");
 }

@@ -280,6 +280,15 @@ class Parser {
       auto upd = ParseUpdate();
       if (!upd.ok()) return upd.status();
       stmt.update = std::move(upd).value();
+    } else if (lex_.ConsumeKw("begin")) {
+      stmt.kind = Statement::Kind::kBegin;
+      ConsumeTxnNoiseWord();
+    } else if (lex_.ConsumeKw("commit")) {
+      stmt.kind = Statement::Kind::kCommit;
+      ConsumeTxnNoiseWord();
+    } else if (lex_.ConsumeKw("rollback")) {
+      stmt.kind = Statement::Kind::kRollback;
+      ConsumeTxnNoiseWord();
     } else {
       return lex_.Error("expected a SQL statement");
     }
@@ -323,6 +332,11 @@ class Parser {
   SqlLexer& lex() { return lex_; }
 
  private:
+  /// The optional TRANSACTION / WORK after BEGIN, COMMIT and ROLLBACK.
+  void ConsumeTxnNoiseWord() {
+    if (!lex_.ConsumeKw("transaction")) (void)lex_.ConsumeKw("work");
+  }
+
   Result<std::string> ExpectIdent(const char* what) {
     if (lex_.Peek().type != Tok::kIdent) {
       return lex_.Error(std::string("expected ") + what);

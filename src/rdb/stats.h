@@ -40,6 +40,15 @@ struct Stats {
   uint64_t rows_inserted = 0;
   uint64_t rows_deleted = 0;
   uint64_t rows_updated = 0;
+  /// Transaction scopes opened (nested Begin = savepoint counts too).
+  uint64_t txn_begins = 0;
+  /// Scopes committed (outermost commit makes the changes durable).
+  uint64_t txn_commits = 0;
+  /// Scopes rolled back (each undoes that scope's records LIFO).
+  uint64_t txn_rollbacks = 0;
+  /// Undo records logged (one per row insert/delete/column update executed
+  /// while a transaction was active) — the txn write-amplification signal.
+  uint64_t undo_records = 0;
 
   void Reset() { *this = Stats{}; }
 
@@ -57,6 +66,10 @@ struct Stats {
     d.rows_inserted = rows_inserted - earlier.rows_inserted;
     d.rows_deleted = rows_deleted - earlier.rows_deleted;
     d.rows_updated = rows_updated - earlier.rows_updated;
+    d.txn_begins = txn_begins - earlier.txn_begins;
+    d.txn_commits = txn_commits - earlier.txn_commits;
+    d.txn_rollbacks = txn_rollbacks - earlier.txn_rollbacks;
+    d.undo_records = undo_records - earlier.undo_records;
     return d;
   }
 
@@ -72,7 +85,11 @@ struct Stats {
            " probes=" + std::to_string(index_probes) +
            " ins=" + std::to_string(rows_inserted) +
            " del=" + std::to_string(rows_deleted) +
-           " upd=" + std::to_string(rows_updated);
+           " upd=" + std::to_string(rows_updated) +
+           " txn_begin=" + std::to_string(txn_begins) +
+           " txn_commit=" + std::to_string(txn_commits) +
+           " txn_rollback=" + std::to_string(txn_rollbacks) +
+           " undo=" + std::to_string(undo_records);
   }
 };
 

@@ -1,5 +1,7 @@
 #include "rdb/table.h"
 
+#include "rdb/txn.h"
+
 namespace xupd::rdb {
 
 Result<size_t> Table::Insert(Row row) {
@@ -15,6 +17,7 @@ Result<size_t> Table::Insert(Row row) {
   rows_.push_back(std::move(row));
   live_.push_back(true);
   ++live_count_;
+  if (txn_ != nullptr) txn_->LogInsert(this, rowid);
   return rowid;
 }
 
@@ -27,12 +30,17 @@ Status Table::Delete(size_t rowid) {
   }
   live_[rowid] = false;
   --live_count_;
+  if (txn_ != nullptr) txn_->LogDelete(this, rowid);
   return Status::OK();
 }
 
 Status Table::SetColumn(size_t rowid, int column, Value v) {
   if (rowid >= rows_.size() || !live_[rowid]) {
     return Status::NotFound("row deleted or out of range");
+  }
+  if (txn_ != nullptr) {
+    txn_->LogUpdate(this, rowid, column,
+                    rows_[rowid][static_cast<size_t>(column)]);
   }
   for (const auto& index : indexes_) {
     if (index->column() == column) {
@@ -42,6 +50,46 @@ Status Table::SetColumn(size_t rowid, int column, Value v) {
   }
   rows_[rowid][static_cast<size_t>(column)] = std::move(v);
   return Status::OK();
+}
+
+void Table::Clear() {
+  rows_.clear();
+  live_.clear();
+  live_count_ = 0;
+  for (const auto& index : indexes_) index->Clear();
+}
+
+void Table::UndoInsert(size_t rowid) {
+  if (rowid >= rows_.size() || !live_[rowid]) return;
+  for (const auto& index : indexes_) {
+    index->Erase(rows_[rowid][static_cast<size_t>(index->column())], rowid);
+  }
+  live_[rowid] = false;
+  --live_count_;
+  if (rowid + 1 == rows_.size()) {
+    rows_.pop_back();
+    live_.pop_back();
+  }
+}
+
+void Table::UndoDelete(size_t rowid) {
+  if (rowid >= rows_.size() || live_[rowid]) return;
+  live_[rowid] = true;
+  ++live_count_;
+  for (const auto& index : indexes_) {
+    index->Insert(rows_[rowid][static_cast<size_t>(index->column())], rowid);
+  }
+}
+
+void Table::UndoSetColumn(size_t rowid, int column, const Value& v) {
+  if (rowid >= rows_.size()) return;
+  for (const auto& index : indexes_) {
+    if (index->column() == column) {
+      index->Erase(rows_[rowid][static_cast<size_t>(column)], rowid);
+      index->Insert(v, rowid);
+    }
+  }
+  rows_[rowid][static_cast<size_t>(column)] = v;
 }
 
 Status Table::CreateIndex(const std::string& index_name, int column) {

@@ -15,6 +15,8 @@
 
 namespace xupd::rdb {
 
+class TransactionManager;
+
 /// Hash index over one column: value -> set of row ids. Per-key hash sets
 /// keep Erase O(1) even for low-cardinality keys (e.g. a parentId shared by
 /// thousands of children, or an ASR column holding the single root id).
@@ -28,6 +30,10 @@ class HashIndex {
   void Insert(const Value& v, size_t rowid) {
     map_[v].insert(rowid);
     ++size_;
+  }
+  void Clear() {
+    map_.clear();
+    size_ = 0;
   }
   void Erase(const Value& v, size_t rowid) {
     auto it = map_.find(v);
@@ -52,7 +58,11 @@ class HashIndex {
 
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  /// `txn` (optional) is the undo log every mutation reports to while a
+  /// transaction is active; tables created through the Database catalog are
+  /// always wired to its TransactionManager.
+  explicit Table(TableSchema schema, TransactionManager* txn = nullptr)
+      : schema_(std::move(schema)), txn_(txn) {}
 
   const TableSchema& schema() const { return schema_; }
 
@@ -69,6 +79,12 @@ class Table {
   /// Tombstones a row; index entries are removed.
   Status Delete(size_t rowid);
 
+  /// Truncates the table: every row slot (live and tombstoned) and all index
+  /// entries are discarded, resetting capacity() to 0. NOT transactional —
+  /// no undo is logged and any undo records already held for this table
+  /// become no-ops (their rowids fall out of range). For scratch tables.
+  void Clear();
+
   /// Sets one column; index entries are maintained.
   Status SetColumn(size_t rowid, int column, Value v);
 
@@ -81,8 +97,21 @@ class Table {
   const HashIndex* FindIndexOnColumn(int column) const;
   const HashIndex* FindIndexByName(const std::string& name) const;
 
+  // --- rollback hooks (TransactionManager only; none of these log) --------
+
+  /// Reverts an Insert: removes index entries and kills the row. When the
+  /// row is still the newest slot (always true under LIFO undo) the slot is
+  /// popped, restoring capacity() too.
+  void UndoInsert(size_t rowid);
+  /// Reverts a Delete: revives the tombstoned row (its data is still in the
+  /// slot) and re-adds its index entries.
+  void UndoDelete(size_t rowid);
+  /// Reverts a SetColumn: writes the old value back, index-maintaining.
+  void UndoSetColumn(size_t rowid, int column, const Value& v);
+
  private:
   TableSchema schema_;
+  TransactionManager* txn_ = nullptr;
   std::vector<Row> rows_;
   std::vector<bool> live_;
   size_t live_count_ = 0;

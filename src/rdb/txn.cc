@@ -1,0 +1,96 @@
+#include "rdb/txn.h"
+
+#include <algorithm>
+
+#include "rdb/table.h"
+
+namespace xupd::rdb {
+
+void TransactionManager::Begin(int64_t next_id) {
+  scopes_.push_back({log_.size(), next_id});
+  // First-use reservation (96 KiB): typical per-operation logs fit without a
+  // single reallocation, and clear() keeps the capacity for later
+  // transactions, so steady-state appends never copy.
+  if (log_.capacity() == 0) log_.reserve(4096);
+  ++stats_->txn_begins;
+}
+
+Status TransactionManager::Commit() {
+  if (scopes_.empty()) {
+    return Status::InvalidArgument("COMMIT without an active transaction");
+  }
+  scopes_.pop_back();
+  // Outermost commit: the changes are durable, the log is dead weight.
+  if (scopes_.empty()) {
+    log_.clear();
+    old_values_.clear();
+  }
+  ++stats_->txn_commits;
+  return Status::OK();
+}
+
+Result<int64_t> TransactionManager::Rollback() {
+  if (scopes_.empty()) {
+    return Status::InvalidArgument("ROLLBACK without an active transaction");
+  }
+  const Scope scope = scopes_.back();
+  scopes_.pop_back();
+  while (log_.size() > scope.undo_start) {
+    const UndoRecord& rec = log_.back();
+    switch (rec.kind) {
+      case UndoRecord::Kind::kInsert:
+        rec.table->UndoInsert(rec.rowid);
+        break;
+      case UndoRecord::Kind::kDelete:
+        rec.table->UndoDelete(rec.rowid);
+        break;
+      case UndoRecord::Kind::kUpdate:
+        rec.table->UndoSetColumn(rec.rowid, rec.column, old_values_.back());
+        old_values_.pop_back();
+        break;
+    }
+    log_.pop_back();
+  }
+  ++stats_->txn_rollbacks;
+  return scope.next_id;
+}
+
+void TransactionManager::PurgeTable(const Table* table) {
+  if (log_.empty()) return;
+  // Removing records shifts positions; every scope boundary must be remapped
+  // to the count of surviving records that preceded it. The old-value vector
+  // is compacted in step with the surviving kUpdate records (entries pair up
+  // with kUpdate records in log order).
+  std::vector<size_t> survivors_before(scopes_.size(), 0);
+  size_t kept = 0;
+  size_t next_value = 0;
+  std::vector<UndoRecord> filtered;
+  filtered.reserve(log_.size());
+  std::vector<Value> filtered_values;
+  filtered_values.reserve(old_values_.size());
+  for (size_t i = 0; i < log_.size(); ++i) {
+    for (size_t s = 0; s < scopes_.size(); ++s) {
+      if (scopes_[s].undo_start == i) survivors_before[s] = kept;
+    }
+    bool is_update = log_[i].kind == UndoRecord::Kind::kUpdate;
+    if (log_[i].table != table) {
+      if (is_update) {
+        filtered_values.push_back(std::move(old_values_[next_value]));
+      }
+      filtered.push_back(log_[i]);
+      ++kept;
+    }
+    if (is_update) ++next_value;
+  }
+  for (size_t s = 0; s < scopes_.size(); ++s) {
+    if (scopes_[s].undo_start >= log_.size()) {
+      scopes_[s].undo_start = kept;
+    } else {
+      scopes_[s].undo_start = survivors_before[s];
+    }
+  }
+  log_ = std::move(filtered);
+  old_values_ = std::move(filtered_values);
+}
+
+}  // namespace xupd::rdb

@@ -1,0 +1,104 @@
+// TransactionManager: an in-memory logical undo log over Table mutations.
+//
+// Every Table insert/delete/update logs one undo record while a transaction
+// is active (the Table holds a pointer back to the manager, so every write
+// path — SQL DML, trigger bodies, the direct bulk API — logs into the
+// enclosing transaction automatically). Scopes nest: a Begin() while a
+// transaction is active opens a savepoint; Rollback() undoes only the
+// records of the innermost scope, Commit() merges them into the parent.
+// Undo is applied strictly LIFO, which keeps the records logical and small:
+//   insert  -> re-kill the inserted rowid (and pop it when it is still the
+//              newest slot, restoring table capacity too)
+//   delete  -> revive the tombstoned rowid (the row data is still in place)
+//              and re-add its hash-index entries
+//   update  -> write the old value back (index-maintaining)
+// DDL is NOT undoable; the Database rejects SQL DDL inside a transaction
+// (see database.h for the policy) and the direct catalog APIs purge a
+// dropped table's records so the log never dangles.
+#ifndef XUPD_RDB_TXN_H_
+#define XUPD_RDB_TXN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "rdb/stats.h"
+#include "rdb/value.h"
+
+namespace xupd::rdb {
+
+class Table;
+
+/// One logical undo record. Kept trivially copyable and small (the hot
+/// delete/insert paths append one per row): kUpdate's old value lives in a
+/// parallel side vector whose entries correspond to the kUpdate records in
+/// log order — LIFO undo always consumes the vector from the back, so no
+/// index needs to be stored.
+struct UndoRecord {
+  enum class Kind : uint8_t { kInsert, kDelete, kUpdate };
+  Kind kind = Kind::kInsert;
+  int column = 0;  ///< kUpdate only.
+  Table* table = nullptr;
+  size_t rowid = 0;
+};
+
+class TransactionManager {
+ public:
+  explicit TransactionManager(Stats* stats) : stats_(stats) {}
+
+  bool active() const { return !scopes_.empty(); }
+  size_t depth() const { return scopes_.size(); }
+  size_t undo_size() const { return log_.size(); }
+
+  /// Opens a scope (a savepoint when one is already active). `next_id` is
+  /// the Database id counter to restore if this scope rolls back.
+  void Begin(int64_t next_id);
+
+  /// Pops the innermost scope, keeping its records for the parent; clears
+  /// the log when the outermost scope commits.
+  Status Commit();
+
+  /// Undoes the innermost scope's records in reverse order and returns the
+  /// id-counter snapshot taken at its Begin.
+  Result<int64_t> Rollback();
+
+  /// Record hooks (no-ops unless a transaction is active). Inline: they sit
+  /// on the per-row hot path of every Table mutation.
+  void LogInsert(Table* table, size_t rowid) {
+    if (scopes_.empty()) return;
+    log_.push_back({UndoRecord::Kind::kInsert, 0, table, rowid});
+    ++stats_->undo_records;
+  }
+  void LogDelete(Table* table, size_t rowid) {
+    if (scopes_.empty()) return;
+    log_.push_back({UndoRecord::Kind::kDelete, 0, table, rowid});
+    ++stats_->undo_records;
+  }
+  void LogUpdate(Table* table, size_t rowid, int column, Value old_value) {
+    if (scopes_.empty()) return;
+    log_.push_back({UndoRecord::Kind::kUpdate, column, table, rowid});
+    old_values_.push_back(std::move(old_value));
+    ++stats_->undo_records;
+  }
+
+  /// Drops every record referencing `table` (called when a table is dropped
+  /// through the direct catalog API while a transaction is active — the drop
+  /// itself is not undoable, so its rows' undo records are moot).
+  void PurgeTable(const Table* table);
+
+ private:
+  struct Scope {
+    size_t undo_start = 0;     ///< log_ size at Begin.
+    int64_t next_id = 0;       ///< Database id counter at Begin.
+  };
+
+  Stats* stats_;
+  std::vector<UndoRecord> log_;
+  /// Old values of kUpdate records, appended in log order (log_ indexes in).
+  std::vector<Value> old_values_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_TXN_H_
