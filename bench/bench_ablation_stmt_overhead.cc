@@ -4,8 +4,9 @@
 // separate SQL statements incurs overhead" — and how much of that overhead
 // the prepared-statement cache and multi-row batching recover:
 //
-//   parse-per-call    one literal INSERT per row, parsed every time
-//   cached-prepared   one INSERT per row, ? params, parsed once (LRU cache)
+//   parse-per-call    one literal INSERT per row, parsed + planned each call
+//   cached-prepared   one INSERT per row, ? params, parsed + planned once
+//                     (LRU statement cache; the plan rides on the handle)
 //   batched-insert    multi-row prepared INSERTs of `batch` rows
 //   insert-select     set-oriented INSERT ... SELECT (one statement)
 //   direct-bulk-api   no SQL at all (floor)
@@ -61,13 +62,16 @@ void Report(const char* mode, int n, double latency_us, const ModeResult& r) {
       "{\"bench\":\"ablation_stmt_overhead\",\"mode\":\"%s\",\"rows\":%d,"
       "\"latency_us\":%.1f,\"seconds\":%.6f,\"us_per_row\":%.3f,"
       "\"statements\":%llu,\"sql_parses\":%llu,\"prepared_hits\":%llu,"
-      "\"prepared_misses\":%llu,\"batched_rows\":%llu}\n",
+      "\"prepared_misses\":%llu,\"batched_rows\":%llu,"
+      "\"plans_built\":%llu,\"plan_cache_hits\":%llu}\n",
       mode, n, latency_us, r.seconds, us_per_row,
       static_cast<unsigned long long>(r.stats.statements),
       static_cast<unsigned long long>(r.stats.sql_parses),
       static_cast<unsigned long long>(r.stats.prepared_hits),
       static_cast<unsigned long long>(r.stats.prepared_misses),
-      static_cast<unsigned long long>(r.stats.batched_rows));
+      static_cast<unsigned long long>(r.stats.batched_rows),
+      static_cast<unsigned long long>(r.stats.plans_built),
+      static_cast<unsigned long long>(r.stats.plan_cache_hits));
 }
 
 std::string Payload(int i) { return "payload-" + std::to_string(i); }

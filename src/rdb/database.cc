@@ -53,6 +53,12 @@ bool Database::IsDdl(const sql::Statement& stmt) {
 void Database::InvalidateStatementCache() {
   cache_index_.clear();
   cache_lru_.clear();
+  BumpCatalogVersion();
+}
+
+void Database::BumpCatalogVersion() {
+  ++catalog_version_;
+  trigger_plans_.clear();
 }
 
 Status Database::Begin() {
@@ -67,6 +73,26 @@ Status Database::Rollback() {
   if (!next_id.ok()) return next_id.status();
   next_id_ = next_id.value();
   return Status::OK();
+}
+
+Status Database::Savepoint(const std::string& name) {
+  if (!txn_.active()) {
+    return Status::InvalidArgument(
+        "SAVEPOINT requires an active transaction");
+  }
+  txn_.Begin(next_id_, name);
+  return Status::OK();
+}
+
+Status Database::RollbackTo(const std::string& name) {
+  auto next_id = txn_.RollbackTo(name);
+  if (!next_id.ok()) return next_id.status();
+  next_id_ = next_id.value();
+  return Status::OK();
+}
+
+Status Database::Release(const std::string& name) {
+  return txn_.Release(name);
 }
 
 Status Database::ConsumeFailpoint() {
@@ -102,10 +128,11 @@ Status Database::Execute(std::string_view sql_text) {
   ++stats_.sql_parses;
   auto stmt = sql::ParseSql(sql_text);
   if (!stmt.ok()) return stmt.status();
+  // DDL invalidation happens inside the Executor, the choke point shared
+  // with ExecuteQuery and the prepared paths.
   Executor exec(this);
   auto result = exec.Run(stmt.value());
   if (!result.ok()) return result.status();
-  if (IsDdl(stmt.value())) InvalidateStatementCache();
   return Status::OK();
 }
 
@@ -168,10 +195,7 @@ Result<ResultSet> Database::ExecuteQueryPrepared(
   ++stats_.statements;
   SpinFor(statement_latency_us_);
   Executor exec(this, &params);
-  auto result = exec.Run(handle->stmt);
-  if (!result.ok()) return result.status();
-  if (IsDdl(handle->stmt)) InvalidateStatementCache();
-  return result;
+  return exec.Run(handle->stmt, &handle->plan_slot);
 }
 
 Status Database::ExecuteBound(std::string_view sql,
@@ -208,6 +232,8 @@ Status Database::DropTableDirect(std::string_view name) {
   if (it == tables_.end()) {
     return Status::NotFound("table '" + std::string(name) + "' not found");
   }
+  // Cached plans may hold this Table*; force a re-plan before any reuse.
+  BumpCatalogVersion();
   txn_.PurgeTable(it->second.get());
   std::string dropped = it->second->schema().name();
   tables_.erase(it);

@@ -21,6 +21,7 @@
 
 #include "common/result.h"
 #include "common/str_util.h"
+#include "rdb/planner.h"
 #include "rdb/result.h"
 #include "rdb/sql_ast.h"
 #include "rdb/stats.h"
@@ -30,13 +31,17 @@
 namespace xupd::rdb {
 
 /// An immutable parsed statement. Handles stay valid after cache eviction or
-/// invalidation (they are shared_ptrs); name resolution happens at execution
-/// time, so a handle held across DDL simply re-resolves against the new
-/// catalog.
+/// invalidation (they are shared_ptrs); name resolution happens at plan
+/// time, so a handle held across DDL simply re-plans against the new
+/// catalog (the per-handle plan slot is version-guarded).
 struct PreparedStatement {
   std::string sql;     ///< original text (also the cache key).
   sql::Statement stmt; ///< parsed form.
   int param_count = 0; ///< number of ? placeholders to bind.
+  /// Cached plan for this statement (the plan cache hangs off the handle, so
+  /// ExecutePrepared/ExecuteBound reuse it across calls and only bind
+  /// parameters). Mutable: handles are shared as pointers-to-const.
+  mutable PlanCacheSlot plan_slot;
 };
 
 using StatementHandle = std::shared_ptr<const PreparedStatement>;
@@ -104,7 +109,8 @@ class Database {
   // staging for the §6.2.2 table insert, id-list probes), which are not
   // transactional state; DropTableDirect purges the dropped table's undo
   // records so the log never dangles. Direct catalog changes do not flush
-  // the prepared-statement cache — plans resolve names at execution time.
+  // the prepared-statement (parse) cache, but DropTableDirect bumps the
+  // catalog version so cached plans holding the dropped Table re-plan.
 
   /// Opens a transaction scope (a savepoint when one is already active).
   Status Begin();
@@ -112,6 +118,15 @@ class Database {
   Status Commit();
   /// Rolls back the innermost scope's writes in reverse order.
   Status Rollback();
+  /// Opens a NAMED savepoint scope (SQL: SAVEPOINT name). Requires an
+  /// active transaction — savepoints mark positions inside one.
+  Status Savepoint(const std::string& name);
+  /// Undoes every write since the innermost savepoint named `name` and
+  /// keeps the savepoint open (SQL: ROLLBACK TO [SAVEPOINT] name).
+  Status RollbackTo(const std::string& name);
+  /// Merges the named savepoint (and scopes nested inside it) into its
+  /// parent scope (SQL: RELEASE [SAVEPOINT] name).
+  Status Release(const std::string& name);
   bool in_transaction() const { return txn_.active(); }
   size_t transaction_depth() const { return txn_.depth(); }
   /// Undo records currently held for open scopes (tests/benches).
@@ -128,6 +143,23 @@ class Database {
   size_t prepared_cache_size() const { return cache_lru_.size(); }
   size_t prepared_cache_capacity() const { return cache_capacity_; }
   void set_prepared_cache_capacity(size_t capacity);
+
+  /// Catalog snapshot version guarding cached plans. Bumped by every SQL
+  /// DDL statement (including CREATE INDEX / DROP INDEX — plans capture
+  /// index choices) and by DropTableDirect (plans capture Table pointers);
+  /// a cached plan built under an older version is rebuilt before use.
+  uint64_t catalog_version() const { return catalog_version_; }
+
+  /// Planner knob (tests): when false, every plan uses full scans — the
+  /// parity harness compares probed vs scanned execution. Toggling
+  /// invalidates cached plans.
+  bool planner_index_probes_enabled() const {
+    return planner_index_probes_enabled_;
+  }
+  void set_planner_index_probes_enabled(bool enabled) {
+    if (planner_index_probes_enabled_ != enabled) BumpCatalogVersion();
+    planner_index_probes_enabled_ = enabled;
+  }
 
   /// Direct bulk-load API (bypasses SQL): used by the shredder to load
   /// documents quickly; benchmark updates always go through Execute().
@@ -181,10 +213,21 @@ class Database {
  private:
   friend class Executor;
 
-  /// CREATE/DROP of any catalog object drops every cached plan (outstanding
-  /// handles survive; re-Prepare of the same text is a miss).
+  /// CREATE/DROP of any catalog object drops every cached parse (outstanding
+  /// handles survive; re-Prepare of the same text is a miss) and bumps the
+  /// catalog version, invalidating every cached plan.
   void InvalidateStatementCache();
+  /// Invalidates cached plans only (catalog shape changed without SQL DDL,
+  /// or the planner knob flipped). Clears the trigger-body plan map so its
+  /// statement-pointer keys can never dangle across a version change.
+  void BumpCatalogVersion();
   static bool IsDdl(const sql::Statement& stmt);
+
+  /// Plan slot for a trigger-body statement (keyed by the shared Statement's
+  /// identity; trigger bodies are stable shared_ptrs held by triggers_).
+  PlanCacheSlot* TriggerPlanSlot(const sql::Statement* stmt) {
+    return &trigger_plans_[stmt];
+  }
 
   /// Returns the injected error when the failpoint counter runs out.
   Status ConsumeFailpoint();
@@ -211,6 +254,14 @@ class Database {
            std::less<>>
       cache_index_;
   size_t cache_capacity_ = 128;
+
+  /// Plan-cache guard (see catalog_version()). Starts at 1 so a
+  /// default-constructed PlanCacheSlot (version 0) never validates.
+  uint64_t catalog_version_ = 1;
+  bool planner_index_probes_enabled_ = true;
+  /// Cached plans for trigger-body statements. Entries are version-guarded
+  /// like handle slots and the map is cleared on every version bump.
+  std::map<const sql::Statement*, PlanCacheSlot> trigger_plans_;
 };
 
 }  // namespace xupd::rdb

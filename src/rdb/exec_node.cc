@@ -1,0 +1,591 @@
+#include "rdb/exec_node.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "rdb/database.h"
+
+namespace xupd::rdb {
+
+using sql::Expr;
+
+// ---------------------------------------------------------------------------
+// Value helpers
+
+Result<Value> CoerceValue(Value v, ColumnType type) {
+  if (v.is_null()) return v;
+  if (type == ColumnType::kInteger) {
+    if (v.type() == ValueType::kInt) return v;
+    int64_t parsed;
+    if (ParseInt64(v.AsString(), &parsed)) return Value::Int(parsed);
+    return Status::InvalidArgument("cannot coerce '" + v.AsString() +
+                                   "' to INTEGER");
+  }
+  if (v.type() == ValueType::kString) return v;
+  return Value::Str(v.ToString());
+}
+
+namespace {
+
+// Truthiness of a value with NULL == not-true.
+bool Truthy(const Value& v) {
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt) return v.AsInt() != 0;
+  return !v.AsString().empty();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bound-expression evaluation
+
+Result<const std::unordered_set<Value, ValueHash>*> SubquerySet(
+    const PlannedSelect& sub, ExecContext& ctx) {
+  auto it = ctx.subquery_memo->find(&sub);
+  if (it != ctx.subquery_memo->end()) return it->second.get();
+  XUPD_ASSIGN_OR_RETURN(ResultSet result, ExecutePlannedSelect(sub, ctx));
+  auto set = std::make_unique<std::unordered_set<Value, ValueHash>>();
+  for (const Row& row : result.rows) {
+    if (!row.empty() && !row[0].is_null()) set->insert(row[0]);
+  }
+  const auto* raw = set.get();
+  ctx.subquery_memo->emplace(&sub, std::move(set));
+  return raw;
+}
+
+Result<Value> EvalBound(const BoundExpr& expr,
+                        const std::vector<const Row*>& slots,
+                        ExecContext& ctx) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kParam: {
+      if (ctx.params == nullptr ||
+          expr.param_index >= static_cast<int>(ctx.params->size()) ||
+          expr.param_index < 0) {
+        return Status::InvalidArgument(
+            "parameter ?" + std::to_string(expr.param_index + 1) +
+            " is not bound");
+      }
+      return (*ctx.params)[static_cast<size_t>(expr.param_index)];
+    }
+    case Expr::Kind::kColumn:
+      return (*slots[expr.rel])[expr.col];
+    case Expr::Kind::kOldColumn: {
+      if (ctx.old_row == nullptr) {
+        return Status::InvalidArgument("OLD.* outside a row trigger");
+      }
+      return (*ctx.old_row)[expr.col];
+    }
+    case Expr::Kind::kUnary: {
+      XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(expr.children[0], slots, ctx));
+      if (expr.op == Expr::Op::kNot) {
+        if (v.is_null()) return Value::Null();
+        return Value::Int(Truthy(v) ? 0 : 1);
+      }
+      if (expr.op == Expr::Op::kNeg) {
+        if (v.is_null()) return Value::Null();
+        XUPD_ASSIGN_OR_RETURN(Value i, CoerceValue(v, ColumnType::kInteger));
+        return Value::Int(-i.AsInt());
+      }
+      return Status::Internal("unknown unary op");
+    }
+    case Expr::Kind::kBinary: {
+      if (expr.op == Expr::Op::kAnd) {
+        XUPD_ASSIGN_OR_RETURN(Value l, EvalBound(expr.children[0], slots, ctx));
+        if (!l.is_null() && !Truthy(l)) return Value::Int(0);
+        XUPD_ASSIGN_OR_RETURN(Value r, EvalBound(expr.children[1], slots, ctx));
+        if (!r.is_null() && !Truthy(r)) return Value::Int(0);
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Value::Int(1);
+      }
+      if (expr.op == Expr::Op::kOr) {
+        XUPD_ASSIGN_OR_RETURN(Value l, EvalBound(expr.children[0], slots, ctx));
+        if (!l.is_null() && Truthy(l)) return Value::Int(1);
+        XUPD_ASSIGN_OR_RETURN(Value r, EvalBound(expr.children[1], slots, ctx));
+        if (!r.is_null() && Truthy(r)) return Value::Int(1);
+        if (l.is_null() || r.is_null()) return Value::Null();
+        return Value::Int(0);
+      }
+      XUPD_ASSIGN_OR_RETURN(Value l, EvalBound(expr.children[0], slots, ctx));
+      XUPD_ASSIGN_OR_RETURN(Value r, EvalBound(expr.children[1], slots, ctx));
+      switch (expr.op) {
+        case Expr::Op::kAdd:
+        case Expr::Op::kSub:
+        case Expr::Op::kMul:
+        case Expr::Op::kDiv: {
+          if (l.is_null() || r.is_null()) return Value::Null();
+          XUPD_ASSIGN_OR_RETURN(Value li, CoerceValue(l, ColumnType::kInteger));
+          XUPD_ASSIGN_OR_RETURN(Value ri, CoerceValue(r, ColumnType::kInteger));
+          int64_t a = li.AsInt(), b = ri.AsInt();
+          switch (expr.op) {
+            case Expr::Op::kAdd:
+              return Value::Int(a + b);
+            case Expr::Op::kSub:
+              return Value::Int(a - b);
+            case Expr::Op::kMul:
+              return Value::Int(a * b);
+            default:
+              if (b == 0) return Status::InvalidArgument("division by zero");
+              return Value::Int(a / b);
+          }
+        }
+        default: {
+          if (l.is_null() || r.is_null()) return Value::Null();
+          int cmp = l.Compare(r);
+          bool result = false;
+          switch (expr.op) {
+            case Expr::Op::kEq:
+              result = cmp == 0;
+              break;
+            case Expr::Op::kNe:
+              result = cmp != 0;
+              break;
+            case Expr::Op::kLt:
+              result = cmp < 0;
+              break;
+            case Expr::Op::kLe:
+              result = cmp <= 0;
+              break;
+            case Expr::Op::kGt:
+              result = cmp > 0;
+              break;
+            case Expr::Op::kGe:
+              result = cmp >= 0;
+              break;
+            default:
+              return Status::Internal("unknown binary op");
+          }
+          return Value::Int(result ? 1 : 0);
+        }
+      }
+    }
+    case Expr::Kind::kIsNull: {
+      XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(expr.children[0], slots, ctx));
+      bool is_null = v.is_null();
+      return Value::Int((is_null != expr.negated) ? 1 : 0);
+    }
+    case Expr::Kind::kInList: {
+      XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(expr.children[0], slots, ctx));
+      if (v.is_null()) return Value::Null();
+      for (const BoundExpr& item : expr.in_list) {
+        XUPD_ASSIGN_OR_RETURN(Value candidate, EvalBound(item, slots, ctx));
+        if (v.SqlEquals(candidate)) {
+          return Value::Int(expr.negated ? 0 : 1);
+        }
+      }
+      return Value::Int(expr.negated ? 1 : 0);
+    }
+    case Expr::Kind::kInSubquery: {
+      XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(expr.children[0], slots, ctx));
+      if (v.is_null()) return Value::Null();
+      XUPD_ASSIGN_OR_RETURN(const auto* set, SubquerySet(*expr.subquery, ctx));
+      bool found = set->count(v) > 0;
+      return Value::Int((found != expr.negated) ? 1 : 0);
+    }
+    case Expr::Kind::kAggregate:
+      return Status::InvalidArgument("aggregate outside select list");
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> EvalBoolBound(const BoundExpr& expr,
+                           const std::vector<const Row*>& slots,
+                           ExecContext& ctx) {
+  XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(expr, slots, ctx));
+  return Truthy(v);
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+
+namespace {
+
+/// Gathers candidate rowids for an index-driven access path (one Lookup per
+/// probe value; counts each as an index probe).
+Status GatherCandidates(const AccessPath& path,
+                        const std::vector<const Row*>& slots, ExecContext& ctx,
+                        std::vector<size_t>* out) {
+  switch (path.kind) {
+    case AccessPath::Kind::kScan:
+      return Status::Internal("scan path has no candidates");
+    case AccessPath::Kind::kIndexEq: {
+      XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(path.probe, slots, ctx));
+      path.index->Lookup(v, out);
+      ++ctx.db->stats().index_probes;
+      return Status::OK();
+    }
+    case AccessPath::Kind::kIndexIn: {
+      for (const BoundExpr& item : path.probe_list) {
+        XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(item, slots, ctx));
+        path.index->Lookup(v, out);
+        ++ctx.db->stats().index_probes;
+      }
+      return Status::OK();
+    }
+    case AccessPath::Kind::kIndexInSubquery: {
+      XUPD_ASSIGN_OR_RETURN(const auto* set,
+                            SubquerySet(*path.probe_subquery, ctx));
+      for (const Value& v : *set) {
+        path.index->Lookup(v, out);
+        ++ctx.db->stats().index_probes;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown access path kind");
+}
+
+void SortUnique(std::vector<size_t>* rowids) {
+  std::sort(rowids->begin(), rowids->end());
+  rowids->erase(std::unique(rowids->begin(), rowids->end()), rowids->end());
+}
+
+/// Emits exactly one empty tuple (SELECT with no FROM clause).
+class OneRowNode : public ExecNode {
+ public:
+  Status Open(ExecContext&) override {
+    emitted_ = false;
+    return Status::OK();
+  }
+  Result<bool> Next(ExecContext&) override {
+    if (emitted_) return false;
+    emitted_ = true;
+    return true;
+  }
+
+ private:
+  bool emitted_ = false;
+};
+
+/// Full scan over a catalog table or a materialized CTE.
+class ScanNode : public ExecNode {
+ public:
+  ScanNode(const PlannedRelation* rel, size_t k,
+           std::vector<const Row*>* slots)
+      : rel_(rel), k_(k), slots_(slots) {}
+
+  Status Open(ExecContext& ctx) override {
+    pos_ = 0;
+    mat_ = rel_->cte_slot >= 0
+               ? (*ctx.cte_values)[static_cast<size_t>(rel_->cte_slot)].get()
+               : nullptr;
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext& ctx) override {
+    if (rel_->table != nullptr) {
+      const Table* table = rel_->table;
+      while (pos_ < table->capacity()) {
+        size_t rowid = pos_++;
+        if (!table->is_live(rowid)) continue;
+        ++ctx.db->stats().rows_scanned;
+        (*slots_)[k_] = &table->row(rowid);
+        return true;
+      }
+      return false;
+    }
+    if (pos_ < mat_->rows.size()) {
+      ++ctx.db->stats().rows_scanned;
+      (*slots_)[k_] = &mat_->rows[pos_++];
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const PlannedRelation* rel_;
+  size_t k_;
+  std::vector<const Row*>* slots_;
+  size_t pos_ = 0;
+  const ResultSet* mat_ = nullptr;
+};
+
+/// Hash-index probe: gathers candidate rowids at Open (probe values may
+/// reference earlier relations' current tuples) and streams the live ones.
+class IndexProbeNode : public ExecNode {
+ public:
+  IndexProbeNode(const PlannedRelation* rel, const AccessPath* path, size_t k,
+                 std::vector<const Row*>* slots)
+      : rel_(rel), path_(path), k_(k), slots_(slots) {}
+
+  Status Open(ExecContext& ctx) override {
+    rowids_.clear();
+    pos_ = 0;
+    XUPD_RETURN_IF_ERROR(GatherCandidates(*path_, *slots_, ctx, &rowids_));
+    // Multi-probe paths can surface a rowid twice; dedupe (ascending order
+    // == scan order, keeping output order stable vs a filtered scan).
+    if (path_->kind != AccessPath::Kind::kIndexEq) SortUnique(&rowids_);
+    return Status::OK();
+  }
+
+  Result<bool> Next(ExecContext&) override {
+    while (pos_ < rowids_.size()) {
+      size_t rowid = rowids_[pos_++];
+      if (!rel_->table->is_live(rowid)) continue;
+      (*slots_)[k_] = &rel_->table->row(rowid);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const PlannedRelation* rel_;
+  const AccessPath* path_;
+  size_t k_;
+  std::vector<const Row*>* slots_;
+  std::vector<size_t> rowids_;
+  size_t pos_ = 0;
+};
+
+/// Passes through child tuples that satisfy every conjunct.
+class FilterNode : public ExecNode {
+ public:
+  FilterNode(std::unique_ptr<ExecNode> child,
+             const std::vector<BoundExpr>* filters,
+             std::vector<const Row*>* slots)
+      : child_(std::move(child)), filters_(filters), slots_(slots) {}
+
+  Status Open(ExecContext& ctx) override { return child_->Open(ctx); }
+
+  Result<bool> Next(ExecContext& ctx) override {
+    while (true) {
+      XUPD_ASSIGN_OR_RETURN(bool more, child_->Next(ctx));
+      if (!more) return false;
+      bool pass = true;
+      for (const BoundExpr& f : *filters_) {
+        XUPD_ASSIGN_OR_RETURN(bool ok, EvalBoolBound(f, *slots_, ctx));
+        if (!ok) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  const std::vector<BoundExpr>* filters_;
+  std::vector<const Row*>* slots_;
+};
+
+/// Nested-loop join: for each outer tuple, re-opens the inner side (whose
+/// probe expressions see the outer tuple through the shared slots).
+class NestedLoopJoinNode : public ExecNode {
+ public:
+  NestedLoopJoinNode(std::unique_ptr<ExecNode> outer,
+                     std::unique_ptr<ExecNode> inner)
+      : outer_(std::move(outer)), inner_(std::move(inner)) {}
+
+  Status Open(ExecContext& ctx) override {
+    inner_open_ = false;
+    return outer_->Open(ctx);
+  }
+
+  Result<bool> Next(ExecContext& ctx) override {
+    while (true) {
+      if (!inner_open_) {
+        XUPD_ASSIGN_OR_RETURN(bool more, outer_->Next(ctx));
+        if (!more) return false;
+        XUPD_RETURN_IF_ERROR(inner_->Open(ctx));
+        inner_open_ = true;
+      }
+      XUPD_ASSIGN_OR_RETURN(bool more, inner_->Next(ctx));
+      if (more) return true;
+      inner_open_ = false;
+    }
+  }
+
+ private:
+  std::unique_ptr<ExecNode> outer_;
+  std::unique_ptr<ExecNode> inner_;
+  bool inner_open_ = false;
+};
+
+std::unique_ptr<ExecNode> MakeAccessNode(const PlannedCore& core, size_t k,
+                                         std::vector<const Row*>* slots) {
+  std::unique_ptr<ExecNode> node;
+  if (core.paths[k].kind == AccessPath::Kind::kScan) {
+    node = std::make_unique<ScanNode>(&core.relations[k], k, slots);
+  } else {
+    node = std::make_unique<IndexProbeNode>(&core.relations[k], &core.paths[k],
+                                            k, slots);
+  }
+  if (!core.filters[k].empty()) {
+    node = std::make_unique<FilterNode>(std::move(node), &core.filters[k],
+                                        slots);
+  }
+  return node;
+}
+
+}  // namespace
+
+std::unique_ptr<ExecNode> BuildCorePipeline(const PlannedCore& core,
+                                            std::vector<const Row*>* slots) {
+  if (core.relations.empty()) {
+    std::unique_ptr<ExecNode> node = std::make_unique<OneRowNode>();
+    if (!core.const_filters.empty()) {
+      node = std::make_unique<FilterNode>(std::move(node), &core.const_filters,
+                                          slots);
+    }
+    return node;
+  }
+  std::unique_ptr<ExecNode> node = MakeAccessNode(core, 0, slots);
+  for (size_t k = 1; k < core.relations.size(); ++k) {
+    node = std::make_unique<NestedLoopJoinNode>(std::move(node),
+                                                MakeAccessNode(core, k, slots));
+  }
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Core / statement execution
+
+namespace {
+
+Result<ResultSet> ExecutePlannedCore(const PlannedCore& core,
+                                     ExecContext& ctx) {
+  std::vector<const Row*> slots(core.relations.size(), nullptr);
+  std::unique_ptr<ExecNode> root = BuildCorePipeline(core, &slots);
+  XUPD_RETURN_IF_ERROR(root->Open(ctx));
+
+  ResultSet out;
+  out.columns = core.out_columns;
+
+  if (core.has_aggregate) {
+    struct Accumulator {
+      int64_t count = 0;
+      Value acc;
+    };
+    std::vector<Accumulator> accs(core.outputs.size());
+    while (true) {
+      XUPD_ASSIGN_OR_RETURN(bool more, root->Next(ctx));
+      if (!more) break;
+      for (size_t i = 0; i < core.outputs.size(); ++i) {
+        const BoundExpr& e = core.outputs[i];
+        Value v =
+            e.count_star ? Value::Int(1) : (*slots[e.rel])[e.col];
+        if (v.is_null()) continue;
+        Accumulator& a = accs[i];
+        ++a.count;
+        switch (e.agg) {
+          case Expr::Agg::kCount:
+            break;
+          case Expr::Agg::kMin:
+            if (a.acc.is_null() || v.Compare(a.acc) < 0) a.acc = v;
+            break;
+          case Expr::Agg::kMax:
+            if (a.acc.is_null() || v.Compare(a.acc) > 0) a.acc = v;
+            break;
+          case Expr::Agg::kSum: {
+            XUPD_ASSIGN_OR_RETURN(Value vi,
+                                  CoerceValue(v, ColumnType::kInteger));
+            a.acc = Value::Int((a.acc.is_null() ? 0 : a.acc.AsInt()) +
+                               vi.AsInt());
+            break;
+          }
+        }
+      }
+    }
+    Row row;
+    row.reserve(core.outputs.size());
+    for (size_t i = 0; i < core.outputs.size(); ++i) {
+      if (core.outputs[i].agg == Expr::Agg::kCount) {
+        row.push_back(Value::Int(accs[i].count));
+      } else {
+        row.push_back(accs[i].acc);
+      }
+    }
+    out.rows.push_back(std::move(row));
+    return out;
+  }
+
+  while (true) {
+    XUPD_ASSIGN_OR_RETURN(bool more, root->Next(ctx));
+    if (!more) break;
+    Row row;
+    row.reserve(core.outputs.size());
+    for (const BoundExpr& e : core.outputs) {
+      XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(e, slots, ctx));
+      row.push_back(std::move(v));
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ResultSet> ExecutePlannedSelect(const PlannedSelect& plan,
+                                       ExecContext& ctx) {
+  for (const PlannedSelect::Cte& cte : plan.ctes) {
+    XUPD_ASSIGN_OR_RETURN(ResultSet result,
+                          ExecutePlannedSelect(*cte.query, ctx));
+    auto mat = std::make_unique<ResultSet>(std::move(result));
+    mat->columns = cte.columns;
+    (*ctx.cte_values)[static_cast<size_t>(cte.slot)] = std::move(mat);
+  }
+
+  ResultSet out;
+  for (size_t i = 0; i < plan.cores.size(); ++i) {
+    XUPD_ASSIGN_OR_RETURN(ResultSet core,
+                          ExecutePlannedCore(plan.cores[i], ctx));
+    if (i == 0) {
+      out = std::move(core);
+    } else {
+      for (Row& row : core.rows) out.rows.push_back(std::move(row));
+    }
+  }
+
+  if (!plan.order_by.empty()) {
+    std::stable_sort(out.rows.begin(), out.rows.end(),
+                     [&plan](const Row& a, const Row& b) {
+                       for (const auto& [col, desc] : plan.order_by) {
+                         int cmp = a[static_cast<size_t>(col)].Compare(
+                             b[static_cast<size_t>(col)]);
+                         if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+                       }
+                       return false;
+                     });
+  }
+  return out;
+}
+
+Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
+                                                  ExecContext& ctx) {
+  std::vector<size_t> out;
+  std::vector<const Row*> slots(1, nullptr);
+
+  auto matches = [&](size_t rowid) -> Result<bool> {
+    slots[0] = &m.table->row(rowid);
+    for (const BoundExpr& f : m.filters) {
+      XUPD_ASSIGN_OR_RETURN(bool ok, EvalBoolBound(f, slots, ctx));
+      if (!ok) return false;
+    }
+    return true;
+  };
+
+  if (m.path.kind == AccessPath::Kind::kScan) {
+    for (size_t rowid = 0; rowid < m.table->capacity(); ++rowid) {
+      if (!m.table->is_live(rowid)) continue;
+      ++ctx.db->stats().rows_scanned;
+      XUPD_ASSIGN_OR_RETURN(bool ok, matches(rowid));
+      if (ok) out.push_back(rowid);
+    }
+    return out;
+  }
+
+  std::vector<size_t> candidates;
+  std::vector<const Row*> no_slots;
+  XUPD_RETURN_IF_ERROR(GatherCandidates(m.path, no_slots, ctx, &candidates));
+  SortUnique(&candidates);
+  for (size_t rowid : candidates) {
+    if (!m.table->is_live(rowid)) continue;
+    XUPD_ASSIGN_OR_RETURN(bool ok, matches(rowid));
+    if (ok) out.push_back(rowid);
+  }
+  return out;
+}
+
+}  // namespace xupd::rdb

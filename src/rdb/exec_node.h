@@ -1,0 +1,92 @@
+// Physical operators: pull-based (Volcano-style) iterator nodes over a
+// PlannedCore. The join pipeline streams row pointers through a shared slot
+// array — one slot per relation — instead of materializing the joined
+// cross-product, and every predicate evaluates over plan-time-resolved
+// ordinals. Nodes are built fresh per execution (they are tiny); the plan
+// itself stays immutable and shareable.
+#ifndef XUPD_RDB_EXEC_NODE_H_
+#define XUPD_RDB_EXEC_NODE_H_
+
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "rdb/planner.h"
+#include "rdb/result.h"
+
+namespace xupd::rdb {
+
+class Database;
+
+/// Per-statement execution context threaded through every operator.
+struct ExecContext {
+  /// Memoized IN-subquery result sets, keyed by planned-subquery identity.
+  /// Owned by the Executor so the memo spans a whole top-level statement
+  /// (including its trigger cascade), matching the seed interpreter.
+  using SubqueryMemo =
+      std::map<const PlannedSelect*,
+               std::unique_ptr<std::unordered_set<Value, ValueHash>>>;
+
+  Database* db = nullptr;
+  /// Values bound to ? placeholders (null = none bound).
+  const std::vector<Value>* params = nullptr;
+  /// Trigger OLD row (null outside a row-trigger body).
+  const Row* old_row = nullptr;
+  /// Materialized CTE values for the executing planned statement, indexed
+  /// by plan slot. Sized from PlannedStatement::cte_slot_count.
+  std::vector<std::unique_ptr<ResultSet>>* cte_values = nullptr;
+  SubqueryMemo* subquery_memo = nullptr;
+};
+
+/// Pull-based operator: Open resets state, Next advances to the next tuple
+/// (writing row pointers into the shared slot array) and reports whether one
+/// is available.
+class ExecNode {
+ public:
+  virtual ~ExecNode() = default;
+  virtual Status Open(ExecContext& ctx) = 0;
+  virtual Result<bool> Next(ExecContext& ctx) = 0;
+};
+
+/// Evaluates a bound expression against the current tuple. `slots` holds
+/// the per-relation row pointers (empty for row-free expressions).
+Result<Value> EvalBound(const BoundExpr& expr,
+                        const std::vector<const Row*>& slots,
+                        ExecContext& ctx);
+/// Boolean evaluation with SQL three-valued logic collapsed to true /
+/// not-true (NULL counts as not-true).
+Result<bool> EvalBoolBound(const BoundExpr& expr,
+                           const std::vector<const Row*>& slots,
+                           ExecContext& ctx);
+
+/// Coerces `v` to a column type (INTEGER parse or textual rendering).
+Result<Value> CoerceValue(Value v, ColumnType type);
+
+/// Builds the iterator tree for one core; current-tuple pointers stream
+/// through `slots` (must be sized to the relation count and outlive the
+/// tree). Exposed for tests; most callers want ExecutePlannedSelect.
+std::unique_ptr<ExecNode> BuildCorePipeline(const PlannedCore& core,
+                                            std::vector<const Row*>* slots);
+
+/// Runs a planned SELECT to completion: materializes CTEs into their
+/// context slots, streams each core through its pipeline (project or
+/// aggregate), concatenates UNION ALL cores, and applies ORDER BY.
+Result<ResultSet> ExecutePlannedSelect(const PlannedSelect& plan,
+                                       ExecContext& ctx);
+
+/// Evaluates (and memoizes) the hash set of first-column values a planned
+/// IN-subquery produces.
+Result<const std::unordered_set<Value, ValueHash>*> SubquerySet(
+    const PlannedSelect& sub, ExecContext& ctx);
+
+/// Rowids of the mutation's target table matching its access path +
+/// residual filters, in ascending rowid order (the order DELETE/UPDATE
+/// apply their changes in).
+Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
+                                                  ExecContext& ctx);
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_EXEC_NODE_H_

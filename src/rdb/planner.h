@@ -1,0 +1,212 @@
+// Logical planner: turns parsed SELECT/INSERT/DELETE/UPDATE statements into
+// immutable plan trees. Planning resolves every column reference to a
+// (relation ordinal, column ordinal) pair, chooses index access paths, and
+// pushes WHERE conjuncts down to the earliest join step that can evaluate
+// them — all ONCE per plan instead of once per row, which is what lets the
+// physical operators (rdb/exec_node.h) run over pre-resolved ordinals.
+//
+// Plans capture raw Table* / HashIndex* pointers from the catalog snapshot
+// they were built against; Database::catalog_version() guards every cached
+// reuse (any DDL — including CREATE INDEX / DROP INDEX — and the direct
+// DropTableDirect bump the version, so a stale plan is rebuilt, never
+// dereferenced). Plans are immutable after construction and hold no
+// execution state, so one cached plan can be executed reentrantly (e.g. a
+// recursive trigger body).
+#ifndef XUPD_RDB_PLANNER_H_
+#define XUPD_RDB_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "rdb/sql_ast.h"
+#include "rdb/table.h"
+
+namespace xupd::rdb {
+
+class Database;
+struct PlannedSelect;
+
+/// A bound expression: sql::Expr with every column reference resolved to
+/// ordinals (kColumn -> relation/column, kOldColumn -> trigger-schema column)
+/// and IN-subqueries planned. `name` keeps the source identifier for EXPLAIN.
+struct BoundExpr {
+  sql::Expr::Kind kind = sql::Expr::Kind::kLiteral;
+  Value literal;
+  int param_index = 0;   ///< kParam: 0-based placeholder ordinal.
+  size_t rel = 0;        ///< kColumn: relation ordinal within the plan.
+  size_t col = 0;        ///< kColumn / kOldColumn / kAggregate argument.
+  std::string name;      ///< source identifier (display only).
+  sql::Expr::Op op = sql::Expr::Op::kNone;
+  std::vector<BoundExpr> children;
+  std::vector<BoundExpr> in_list;
+  std::shared_ptr<const PlannedSelect> subquery;  ///< kInSubquery.
+  bool negated = false;
+  sql::Expr::Agg agg = sql::Expr::Agg::kCount;
+  bool count_star = false;
+  /// Highest relation ordinal referenced by this subtree (-1 = none).
+  /// Subqueries are independent (the dialect has no correlation) and do not
+  /// contribute.
+  int max_rel = -1;
+};
+
+/// One FROM entry, resolved: a catalog table or a materialized CTE slot.
+struct PlannedRelation {
+  std::string alias;
+  std::string name;               ///< table / CTE name (display).
+  const Table* table = nullptr;   ///< catalog table (null for a CTE).
+  int cte_slot = -1;              ///< >= 0: slot in the execution's CTE store.
+  std::vector<std::string> columns;  ///< column names, for * expansion.
+};
+
+/// How one relation is accessed: full scan, or a hash-index probe driven by
+/// an equality conjunct, an IN value list, or an IN (SELECT ...) set.
+struct AccessPath {
+  enum class Kind { kScan, kIndexEq, kIndexIn, kIndexInSubquery };
+  Kind kind = Kind::kScan;
+  const HashIndex* index = nullptr;
+  std::string index_name;   ///< display only.
+  std::string column_name;  ///< indexed column, display only.
+  /// kIndexEq: probe value over strictly-earlier relations (or no columns).
+  BoundExpr probe;
+  /// kIndexIn: the column-free IN-list values.
+  std::vector<BoundExpr> probe_list;
+  /// kIndexInSubquery: the planned set-producing subquery (shared with the
+  /// bound conjunct, so the execution-time memo covers both uses).
+  std::shared_ptr<const PlannedSelect> probe_subquery;
+};
+
+/// One planned SELECT core: a left-to-right nested-loop join pipeline with
+/// per-step access paths and pushed-down filters, then project or aggregate.
+struct PlannedCore {
+  std::vector<PlannedRelation> relations;
+  std::vector<AccessPath> paths;                ///< one per relation.
+  std::vector<std::vector<BoundExpr>> filters;  ///< conjuncts per join step.
+  std::vector<BoundExpr> const_filters;         ///< WHERE with no FROM.
+  bool has_aggregate = false;
+  /// Output expressions ('*' pre-expanded into kColumn refs at plan time;
+  /// kAggregate items when has_aggregate).
+  std::vector<BoundExpr> outputs;
+  std::vector<std::string> out_columns;
+};
+
+/// A planned SELECT statement: CTEs (materialized into per-execution slots),
+/// UNION ALL cores, and ORDER BY resolved to output ordinals.
+struct PlannedSelect {
+  struct Cte {
+    std::string name;
+    int slot = 0;
+    std::shared_ptr<const PlannedSelect> query;
+    std::vector<std::string> columns;
+  };
+  std::vector<Cte> ctes;
+  std::vector<PlannedCore> cores;
+  std::vector<std::pair<int, bool>> order_by;  ///< (output ordinal, desc).
+  std::vector<std::string> out_columns;
+};
+
+/// A planned DELETE or UPDATE: single-table access path + residual filters.
+struct PlannedMutation {
+  Table* table = nullptr;
+  std::string table_name;
+  AccessPath path;
+  std::vector<BoundExpr> filters;  ///< conjuncts not consumed by the path.
+  struct Set {
+    int col = 0;
+    ColumnType type = ColumnType::kVarchar;
+    BoundExpr expr;
+  };
+  std::vector<Set> sets;  ///< UPDATE only.
+};
+
+/// A planned INSERT: resolved column map + bound VALUES rows or a planned
+/// source SELECT.
+struct PlannedInsert {
+  Table* table = nullptr;
+  std::string table_name;
+  std::vector<int> column_map;            ///< statement position -> column.
+  std::vector<ColumnType> column_types;   ///< per column_map entry.
+  std::vector<std::vector<BoundExpr>> rows;
+  std::shared_ptr<const PlannedSelect> select;
+};
+
+struct PlannedStatement {
+  sql::Statement::Kind kind = sql::Statement::Kind::kSelect;
+  std::shared_ptr<const PlannedSelect> select;
+  PlannedMutation mutation;
+  PlannedInsert insert;
+  /// Total CTE slots across the statement (including nested subqueries);
+  /// sizes the per-execution CTE store.
+  int cte_slot_count = 0;
+};
+
+/// One cached plan: hangs off a StatementHandle (prepared statements) or the
+/// Database's trigger-body map. `version`/`db` guard reuse against catalog
+/// changes and cross-database handle misuse.
+struct PlanCacheSlot {
+  std::shared_ptr<const PlannedStatement> plan;
+  uint64_t version = 0;
+  const void* db = nullptr;
+};
+
+class Planner {
+ public:
+  /// `old_schema` (optional) resolves OLD.column references — the schema of
+  /// the table whose row trigger is being planned.
+  Planner(Database* db, const TableSchema* old_schema)
+      : db_(db), old_schema_(old_schema) {}
+
+  /// Plans a SELECT/INSERT/DELETE/UPDATE statement. Other kinds are not
+  /// plannable and return InvalidArgument.
+  Result<std::shared_ptr<const PlannedStatement>> Plan(
+      const sql::Statement& stmt);
+
+ private:
+  struct CteScope {
+    std::string name;
+    int slot = 0;
+    std::vector<std::string> columns;
+  };
+
+  Result<std::shared_ptr<const PlannedSelect>> PlanSelect(
+      const sql::SelectStmt& stmt);
+  Result<PlannedCore> PlanCore(const sql::SelectCore& core);
+  Result<PlannedMutation> PlanDelete(const sql::DeleteStmt& stmt);
+  Result<PlannedMutation> PlanUpdate(const sql::UpdateStmt& stmt);
+  Result<PlannedInsert> PlanInsert(const sql::InsertStmt& stmt);
+
+  /// Resolves [alias.]column against `rels` (all of them; ambiguity and
+  /// not-found reproduce the interpreter's messages).
+  Result<std::pair<size_t, size_t>> ResolveColumn(
+      const std::vector<PlannedRelation>& rels, const std::string& table,
+      const std::string& column) const;
+
+  /// Binds `e` against `rels`. `values_context` switches the no-columns
+  /// error message (INSERT VALUES rows reject column references outright).
+  Result<BoundExpr> Bind(const sql::Expr& e,
+                         const std::vector<PlannedRelation>& rels,
+                         bool values_context = false);
+
+  /// Picks an index access path for relation `k` from the conjuncts placed
+  /// at step `k`. For k == 0 equality, IN-list and IN-subquery probes are
+  /// considered (first usable conjunct in order wins); for k > 0 only
+  /// equality probes over earlier relations. Returns the index of the
+  /// consumed conjunct in `conjuncts` (-1 = scan).
+  int ChooseAccessPath(const std::vector<PlannedRelation>& rels, size_t k,
+                       const std::vector<BoundExpr*>& conjuncts,
+                       AccessPath* path) const;
+
+  Database* db_;
+  const TableSchema* old_schema_;
+  /// CTE scopes visible while planning (innermost last).
+  std::vector<CteScope> cte_stack_;
+  int next_cte_slot_ = 0;
+};
+
+/// Renders a plan tree, one node per line (the EXPLAIN output).
+std::string PlanToString(const PlannedStatement& plan);
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_PLANNER_H_

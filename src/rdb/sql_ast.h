@@ -2,7 +2,8 @@
 // translation layer emits (§5.2 Fig. 5, §6): CREATE TABLE/INDEX/TRIGGER,
 // INSERT (VALUES and SELECT), DELETE, UPDATE, SELECT with multi-way joins,
 // IN/NOT IN subqueries, scalar aggregates, WITH CTEs, UNION ALL, ORDER BY,
-// plus transaction control (BEGIN/COMMIT/ROLLBACK).
+// plus transaction control (BEGIN/COMMIT/ROLLBACK, SAVEPOINT/ROLLBACK TO/
+// RELEASE) and EXPLAIN.
 #ifndef XUPD_RDB_SQL_AST_H_
 #define XUPD_RDB_SQL_AST_H_
 
@@ -157,9 +158,12 @@ struct Statement {
     kInsert,
     kDelete,
     kUpdate,
-    kBegin,     ///< BEGIN [TRANSACTION|WORK] — opens a txn / savepoint scope.
-    kCommit,    ///< COMMIT [TRANSACTION|WORK].
-    kRollback,  ///< ROLLBACK [TRANSACTION|WORK].
+    kBegin,      ///< BEGIN [TRANSACTION|WORK] — opens a txn / savepoint scope.
+    kCommit,     ///< COMMIT [TRANSACTION|WORK].
+    kRollback,   ///< ROLLBACK [TRANSACTION|WORK] [TO [SAVEPOINT] name].
+    kSavepoint,  ///< SAVEPOINT name — a named nested scope.
+    kRelease,    ///< RELEASE [SAVEPOINT] name.
+    kExplain,    ///< EXPLAIN <stmt> — plans without executing.
   };
   Kind kind = Kind::kSelect;
   /// Number of ? placeholders in the statement text; values must be bound
@@ -173,6 +177,11 @@ struct Statement {
   InsertStmt insert;
   DeleteStmt del;
   UpdateStmt update;
+  /// kSavepoint / kRelease / kRollback: savepoint name (empty = plain
+  /// ROLLBACK of the innermost scope).
+  std::string txn_name;
+  /// kExplain: the statement being explained (shared: Statement copies).
+  std::shared_ptr<Statement> explain;
 };
 
 }  // namespace xupd::rdb::sql

@@ -10,27 +10,10 @@ namespace xupd::rdb {
 using sql::Expr;
 
 // ---------------------------------------------------------------------------
-// Relation helpers
-
-size_t Executor::Relation::NumColumns() const {
-  return table != nullptr ? table->schema().column_count()
-                          : mat->columns.size();
-}
-
-int Executor::Relation::ColumnIndex(std::string_view name) const {
-  return table != nullptr ? table->schema().ColumnIndex(name)
-                          : mat->ColumnIndex(name);
-}
-
-std::string Executor::Relation::ColumnName(size_t i) const {
-  return table != nullptr ? table->schema().columns()[i].name
-                          : mat->columns[i];
-}
-
-// ---------------------------------------------------------------------------
 // Entry point
 
-Result<ResultSet> Executor::Run(const sql::Statement& stmt) {
+Result<ResultSet> Executor::Run(const sql::Statement& stmt,
+                                PlanCacheSlot* slot) {
   // Both hooks see every statement execution, including trigger-body and
   // nested statements: the failpoint can land mid-cascade, and the DDL
   // barrier cannot be bypassed from inside a trigger.
@@ -38,21 +21,37 @@ Result<ResultSet> Executor::Run(const sql::Statement& stmt) {
   XUPD_RETURN_IF_ERROR(db_->CheckDdlBarrier(stmt));
   switch (stmt.kind) {
     case sql::Statement::Kind::kSelect:
-      return RunSelect(stmt.select);
-    case sql::Statement::Kind::kCreateTable:
-      return RunCreateTable(stmt.create_table);
-    case sql::Statement::Kind::kCreateIndex:
-      return RunCreateIndex(stmt.create_index);
-    case sql::Statement::Kind::kCreateTrigger:
-      return RunCreateTrigger(stmt.create_trigger);
-    case sql::Statement::Kind::kDrop:
-      return RunDrop(stmt.drop);
     case sql::Statement::Kind::kInsert:
-      return RunInsert(stmt.insert);
     case sql::Statement::Kind::kDelete:
-      return RunDelete(stmt.del);
-    case sql::Statement::Kind::kUpdate:
-      return RunUpdate(stmt.update);
+    case sql::Statement::Kind::kUpdate: {
+      XUPD_ASSIGN_OR_RETURN(auto plan, GetPlan(stmt, slot));
+      return RunPlanned(*plan);
+    }
+    case sql::Statement::Kind::kExplain:
+      return RunExplain(*stmt.explain, slot);
+    // DDL invalidates here — the single choke point every entry path
+    // (Execute, ExecuteQuery, ExecutePrepared) funnels through — so cached
+    // parses are flushed and cached plans version out before any reuse.
+    case sql::Statement::Kind::kCreateTable: {
+      auto r = RunCreateTable(stmt.create_table);
+      if (r.ok()) db_->InvalidateStatementCache();
+      return r;
+    }
+    case sql::Statement::Kind::kCreateIndex: {
+      auto r = RunCreateIndex(stmt.create_index);
+      if (r.ok()) db_->InvalidateStatementCache();
+      return r;
+    }
+    case sql::Statement::Kind::kCreateTrigger: {
+      auto r = RunCreateTrigger(stmt.create_trigger);
+      if (r.ok()) db_->InvalidateStatementCache();
+      return r;
+    }
+    case sql::Statement::Kind::kDrop: {
+      auto r = RunDrop(stmt.drop);
+      if (r.ok()) db_->InvalidateStatementCache();
+      return r;
+    }
     case sql::Statement::Kind::kBegin:
       XUPD_RETURN_IF_ERROR(db_->Begin());
       return ResultSet{};
@@ -60,10 +59,90 @@ Result<ResultSet> Executor::Run(const sql::Statement& stmt) {
       XUPD_RETURN_IF_ERROR(db_->Commit());
       return ResultSet{};
     case sql::Statement::Kind::kRollback:
-      XUPD_RETURN_IF_ERROR(db_->Rollback());
+      if (stmt.txn_name.empty()) {
+        XUPD_RETURN_IF_ERROR(db_->Rollback());
+      } else {
+        XUPD_RETURN_IF_ERROR(db_->RollbackTo(stmt.txn_name));
+      }
+      return ResultSet{};
+    case sql::Statement::Kind::kSavepoint:
+      XUPD_RETURN_IF_ERROR(db_->Savepoint(stmt.txn_name));
+      return ResultSet{};
+    case sql::Statement::Kind::kRelease:
+      XUPD_RETURN_IF_ERROR(db_->Release(stmt.txn_name));
       return ResultSet{};
   }
   return Status::Internal("unknown statement kind");
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+
+Result<std::shared_ptr<const PlannedStatement>> Executor::GetPlan(
+    const sql::Statement& stmt, PlanCacheSlot* slot) {
+  if (slot != nullptr && slot->plan != nullptr && slot->db == db_ &&
+      slot->version == db_->catalog_version()) {
+    ++db_->stats_.plan_cache_hits;
+    return slot->plan;
+  }
+  Planner planner(db_, trigger_old_schema_);
+  XUPD_ASSIGN_OR_RETURN(auto plan, planner.Plan(stmt));
+  ++db_->stats_.plans_built;
+  if (slot != nullptr) {
+    slot->plan = plan;
+    slot->version = db_->catalog_version();
+    slot->db = db_;
+  }
+  return plan;
+}
+
+ExecContext Executor::MakeContext(
+    std::vector<std::unique_ptr<ResultSet>>* cte_store) {
+  ExecContext ctx;
+  ctx.db = db_;
+  ctx.params = params_;
+  ctx.old_row = trigger_old_row_;
+  ctx.cte_values = cte_store;
+  ctx.subquery_memo = &subquery_memo_;
+  return ctx;
+}
+
+Result<ResultSet> Executor::RunPlanned(const PlannedStatement& plan) {
+  switch (plan.kind) {
+    case sql::Statement::Kind::kSelect:
+      return RunPlannedSelect(plan);
+    case sql::Statement::Kind::kInsert:
+      return RunPlannedInsert(plan);
+    case sql::Statement::Kind::kDelete:
+      return RunPlannedDelete(plan);
+    case sql::Statement::Kind::kUpdate:
+      return RunPlannedUpdate(plan);
+    default:
+      return Status::Internal("unplanned statement kind");
+  }
+}
+
+Result<ResultSet> Executor::RunExplain(const sql::Statement& stmt,
+                                       PlanCacheSlot* slot) {
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect:
+    case sql::Statement::Kind::kInsert:
+    case sql::Statement::Kind::kDelete:
+    case sql::Statement::Kind::kUpdate:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "EXPLAIN supports only SELECT, INSERT, DELETE and UPDATE");
+  }
+  // The handle's slot caches the inner statement's plan, so a prepared
+  // EXPLAIN re-renders without re-planning.
+  XUPD_ASSIGN_OR_RETURN(auto plan, GetPlan(stmt, slot));
+  ResultSet out;
+  out.columns = {"plan"};
+  for (const std::string& line : SplitChar(PlanToString(*plan), '\n')) {
+    out.rows.push_back({Value::Str(line)});
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -132,11 +211,9 @@ Result<ResultSet> Executor::RunDrop(const sql::DropStmt& stmt) {
         XUPD_RETURN_IF_ERROR(table->DropIndex(stmt.name));
         return ResultSet{};
       }
+      // Owning table unknown: one pass over the catalog, one scan per table.
       for (auto& [name, table] : db_->tables_) {
-        if (table->FindIndexByName(stmt.name) != nullptr) {
-          XUPD_RETURN_IF_ERROR(table->DropIndex(stmt.name));
-          return ResultSet{};
-        }
+        if (table->TryDropIndex(stmt.name)) return ResultSet{};
       }
       return Status::NotFound("index '" + stmt.name + "' not found");
     }
@@ -158,849 +235,122 @@ Result<ResultSet> Executor::RunDrop(const sql::DropStmt& stmt) {
 }
 
 // ---------------------------------------------------------------------------
-// Expression evaluation
+// Planned SELECT
 
-namespace {
-
-Result<Value> CoerceValue(Value v, ColumnType type) {
-  if (v.is_null()) return v;
-  if (type == ColumnType::kInteger) {
-    if (v.type() == ValueType::kInt) return v;
-    int64_t parsed;
-    if (ParseInt64(v.AsString(), &parsed)) return Value::Int(parsed);
-    return Status::InvalidArgument("cannot coerce '" + v.AsString() +
-                                   "' to INTEGER");
-  }
-  if (v.type() == ValueType::kString) return v;
-  return Value::Str(v.ToString());
-}
-
-// Truthiness of a value with NULL == not-true.
-bool Truthy(const Value& v) {
-  if (v.is_null()) return false;
-  if (v.type() == ValueType::kInt) return v.AsInt() != 0;
-  return !v.AsString().empty();
-}
-
-}  // namespace
-
-Result<std::pair<size_t, size_t>> Executor::ResolveColumn(
-    const std::vector<Relation>& relations, size_t bound,
-    const std::string& table, const std::string& column) const {
-  if (!table.empty()) {
-    for (size_t i = 0; i < bound; ++i) {
-      if (EqualsIgnoreCase(relations[i].alias, table)) {
-        int col = relations[i].ColumnIndex(column);
-        if (col < 0) {
-          return Status::NotFound("column '" + table + "." + column +
-                                  "' not found");
-        }
-        return std::make_pair(i, static_cast<size_t>(col));
-      }
-    }
-    return Status::NotFound("unknown table alias '" + table + "'");
-  }
-  int found_rel = -1;
-  int found_col = -1;
-  for (size_t i = 0; i < bound; ++i) {
-    int col = relations[i].ColumnIndex(column);
-    if (col >= 0) {
-      if (found_rel >= 0) {
-        return Status::InvalidArgument("ambiguous column '" + column + "'");
-      }
-      found_rel = static_cast<int>(i);
-      found_col = col;
-    }
-  }
-  if (found_rel < 0) {
-    return Status::NotFound("column '" + column + "' not found");
-  }
-  return std::make_pair(static_cast<size_t>(found_rel),
-                        static_cast<size_t>(found_col));
-}
-
-const std::unordered_set<Value, ValueHash>* Executor::SubquerySet(
-    const sql::Expr& e) {
-  auto it = subquery_sets_.find(&e);
-  if (it != subquery_sets_.end()) return it->second.get();
-  auto result = RunSelect(*e.subquery);
-  if (!result.ok()) return nullptr;
-  auto set = std::make_unique<std::unordered_set<Value, ValueHash>>();
-  for (const Row& row : result->rows) {
-    if (!row.empty() && !row[0].is_null()) set->insert(row[0]);
-  }
-  auto* raw = set.get();
-  subquery_sets_.emplace(&e, std::move(set));
-  return raw;
-}
-
-Result<Value> Executor::Eval(const Expr& expr, const EvalContext& ctx) {
-  switch (expr.kind) {
-    case Expr::Kind::kLiteral:
-      return expr.literal;
-    case Expr::Kind::kParam: {
-      if (params_ == nullptr ||
-          expr.param_index >= static_cast<int>(params_->size()) ||
-          expr.param_index < 0) {
-        return Status::InvalidArgument(
-            "parameter ?" + std::to_string(expr.param_index + 1) +
-            " is not bound");
-      }
-      return (*params_)[static_cast<size_t>(expr.param_index)];
-    }
-    case Expr::Kind::kColumn: {
-      if (ctx.relations == nullptr) {
-        return Status::InvalidArgument("column reference outside a query");
-      }
-      auto rc = ResolveColumn(*ctx.relations, ctx.bound, expr.table,
-                              expr.column);
-      if (!rc.ok()) return rc.status();
-      const Row* row = (*ctx.row)[rc.value().first];
-      return (*row)[rc.value().second];
-    }
-    case Expr::Kind::kOldColumn: {
-      if (ctx.old_row == nullptr || ctx.old_schema == nullptr) {
-        return Status::InvalidArgument("OLD.* outside a row trigger");
-      }
-      int col = ctx.old_schema->ColumnIndex(expr.column);
-      if (col < 0) {
-        return Status::NotFound("OLD." + expr.column + " not found");
-      }
-      return (*ctx.old_row)[static_cast<size_t>(col)];
-    }
-    case Expr::Kind::kUnary: {
-      XUPD_ASSIGN_OR_RETURN(Value v, Eval(expr.children[0], ctx));
-      if (expr.op == Expr::Op::kNot) {
-        if (v.is_null()) return Value::Null();
-        return Value::Int(Truthy(v) ? 0 : 1);
-      }
-      if (expr.op == Expr::Op::kNeg) {
-        if (v.is_null()) return Value::Null();
-        XUPD_ASSIGN_OR_RETURN(Value i, CoerceValue(v, ColumnType::kInteger));
-        return Value::Int(-i.AsInt());
-      }
-      return Status::Internal("unknown unary op");
-    }
-    case Expr::Kind::kBinary: {
-      if (expr.op == Expr::Op::kAnd) {
-        XUPD_ASSIGN_OR_RETURN(Value l, Eval(expr.children[0], ctx));
-        if (!l.is_null() && !Truthy(l)) return Value::Int(0);
-        XUPD_ASSIGN_OR_RETURN(Value r, Eval(expr.children[1], ctx));
-        if (!r.is_null() && !Truthy(r)) return Value::Int(0);
-        if (l.is_null() || r.is_null()) return Value::Null();
-        return Value::Int(1);
-      }
-      if (expr.op == Expr::Op::kOr) {
-        XUPD_ASSIGN_OR_RETURN(Value l, Eval(expr.children[0], ctx));
-        if (!l.is_null() && Truthy(l)) return Value::Int(1);
-        XUPD_ASSIGN_OR_RETURN(Value r, Eval(expr.children[1], ctx));
-        if (!r.is_null() && Truthy(r)) return Value::Int(1);
-        if (l.is_null() || r.is_null()) return Value::Null();
-        return Value::Int(0);
-      }
-      XUPD_ASSIGN_OR_RETURN(Value l, Eval(expr.children[0], ctx));
-      XUPD_ASSIGN_OR_RETURN(Value r, Eval(expr.children[1], ctx));
-      switch (expr.op) {
-        case Expr::Op::kAdd:
-        case Expr::Op::kSub:
-        case Expr::Op::kMul:
-        case Expr::Op::kDiv: {
-          if (l.is_null() || r.is_null()) return Value::Null();
-          XUPD_ASSIGN_OR_RETURN(Value li, CoerceValue(l, ColumnType::kInteger));
-          XUPD_ASSIGN_OR_RETURN(Value ri, CoerceValue(r, ColumnType::kInteger));
-          int64_t a = li.AsInt(), b = ri.AsInt();
-          switch (expr.op) {
-            case Expr::Op::kAdd:
-              return Value::Int(a + b);
-            case Expr::Op::kSub:
-              return Value::Int(a - b);
-            case Expr::Op::kMul:
-              return Value::Int(a * b);
-            default:
-              if (b == 0) return Status::InvalidArgument("division by zero");
-              return Value::Int(a / b);
-          }
-        }
-        default: {
-          if (l.is_null() || r.is_null()) return Value::Null();
-          int cmp = l.Compare(r);
-          bool result = false;
-          switch (expr.op) {
-            case Expr::Op::kEq:
-              result = cmp == 0;
-              break;
-            case Expr::Op::kNe:
-              result = cmp != 0;
-              break;
-            case Expr::Op::kLt:
-              result = cmp < 0;
-              break;
-            case Expr::Op::kLe:
-              result = cmp <= 0;
-              break;
-            case Expr::Op::kGt:
-              result = cmp > 0;
-              break;
-            case Expr::Op::kGe:
-              result = cmp >= 0;
-              break;
-            default:
-              return Status::Internal("unknown binary op");
-          }
-          return Value::Int(result ? 1 : 0);
-        }
-      }
-    }
-    case Expr::Kind::kIsNull: {
-      XUPD_ASSIGN_OR_RETURN(Value v, Eval(expr.children[0], ctx));
-      bool is_null = v.is_null();
-      return Value::Int((is_null != expr.negated) ? 1 : 0);
-    }
-    case Expr::Kind::kInList: {
-      XUPD_ASSIGN_OR_RETURN(Value v, Eval(expr.children[0], ctx));
-      if (v.is_null()) return Value::Null();
-      for (const Expr& item : expr.in_list) {
-        XUPD_ASSIGN_OR_RETURN(Value candidate, Eval(item, ctx));
-        if (v.SqlEquals(candidate)) {
-          return Value::Int(expr.negated ? 0 : 1);
-        }
-      }
-      return Value::Int(expr.negated ? 1 : 0);
-    }
-    case Expr::Kind::kInSubquery: {
-      XUPD_ASSIGN_OR_RETURN(Value v, Eval(expr.children[0], ctx));
-      if (v.is_null()) return Value::Null();
-      const auto* set = SubquerySet(expr);
-      if (set == nullptr) {
-        return Status::Internal("IN subquery evaluation failed");
-      }
-      bool found = set->count(v) > 0;
-      return Value::Int((found != expr.negated) ? 1 : 0);
-    }
-    case Expr::Kind::kAggregate:
-      return Status::InvalidArgument("aggregate outside select list");
-  }
-  return Status::Internal("unknown expression kind");
-}
-
-Result<bool> Executor::EvalBool(const Expr& expr, const EvalContext& ctx) {
-  XUPD_ASSIGN_OR_RETURN(Value v, Eval(expr, ctx));
-  return Truthy(v);
+Result<ResultSet> Executor::RunPlannedSelect(const PlannedStatement& plan) {
+  std::vector<std::unique_ptr<ResultSet>> cte_store(
+      static_cast<size_t>(plan.cte_slot_count));
+  ExecContext ctx = MakeContext(&cte_store);
+  return ExecutePlannedSelect(*plan.select, ctx);
 }
 
 // ---------------------------------------------------------------------------
-// SELECT
+// Planned DML
 
-namespace {
-
-void FlattenConjuncts(const Expr& e, std::vector<const Expr*>* out) {
-  if (e.kind == Expr::Kind::kBinary && e.op == Expr::Op::kAnd) {
-    FlattenConjuncts(e.children[0], out);
-    FlattenConjuncts(e.children[1], out);
-    return;
-  }
-  out->push_back(&e);
-}
-
-}  // namespace
-
-Result<Executor::Relation> Executor::LookupRelation(
-    const std::string& name, const std::string& alias) const {
-  Relation rel;
-  rel.alias = alias;
-  auto cte = ctes_.find(AsciiToLower(name));
-  if (cte != ctes_.end()) {
-    rel.mat = cte->second.get();
-    return rel;
-  }
-  const Table* table = db_->FindTable(name);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + name + "' not found");
-  }
-  rel.table = table;
-  return rel;
-}
-
-Result<ResultSet> Executor::RunSelect(const sql::SelectStmt& stmt) {
-  // Materialize CTEs in order (later CTEs may reference earlier ones).
-  std::vector<std::string> cte_names;  // for cleanup
-  for (const auto& cte : stmt.ctes) {
-    auto result = RunSelect(*cte.query);
-    if (!result.ok()) return result.status();
-    auto mat = std::make_unique<ResultSet>(std::move(result).value());
-    if (!cte.columns.empty()) {
-      if (cte.columns.size() != mat->columns.size()) {
-        return Status::InvalidArgument("CTE '" + cte.name +
-                                       "' column count mismatch");
-      }
-      mat->columns = cte.columns;
-    }
-    std::string key = AsciiToLower(cte.name);
-    ctes_[key] = std::move(mat);
-    cte_names.push_back(key);
-  }
-
-  ResultSet out;
-  for (size_t i = 0; i < stmt.cores.size(); ++i) {
-    auto core = RunSelectCore(stmt.cores[i]);
-    if (!core.ok()) return core.status();
-    if (i == 0) {
-      out = std::move(core).value();
-    } else {
-      if (core->columns.size() != out.columns.size()) {
-        return Status::InvalidArgument("UNION ALL arity mismatch");
-      }
-      for (Row& row : core->rows) out.rows.push_back(std::move(row));
-    }
-  }
-
-  if (!stmt.order_by.empty()) {
-    std::vector<std::pair<int, bool>> keys;
-    for (const auto& item : stmt.order_by) {
-      int col = out.ColumnIndex(item.column);
-      if (col < 0) {
-        return Status::NotFound("ORDER BY column '" + item.column +
-                                "' not in result");
-      }
-      keys.emplace_back(col, item.desc);
-    }
-    std::stable_sort(out.rows.begin(), out.rows.end(),
-                     [&keys](const Row& a, const Row& b) {
-                       for (const auto& [col, desc] : keys) {
-                         int cmp = a[static_cast<size_t>(col)].Compare(
-                             b[static_cast<size_t>(col)]);
-                         if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
-                       }
-                       return false;
-                     });
-  }
-
-  for (const std::string& key : cte_names) ctes_.erase(key);
-  return out;
-}
-
-Result<ResultSet> Executor::RunSelectCore(const sql::SelectCore& core) {
-  // Bind FROM relations.
-  std::vector<Relation> relations;
-  for (const sql::TableRef& ref : core.from) {
-    auto rel = LookupRelation(ref.table, ref.alias);
-    if (!rel.ok()) return rel.status();
-    relations.push_back(std::move(rel).value());
-  }
-
-  // Up-front name resolution: column references must bind even when tables
-  // are empty (lazy per-row evaluation would silently accept them).
-  std::function<Status(const Expr&)> validate = [&](const Expr& x) -> Status {
-    if (x.kind == Expr::Kind::kColumn) {
-      auto rc = ResolveColumn(relations, relations.size(), x.table, x.column);
-      if (!rc.ok()) return rc.status();
-    }
-    if (x.kind == Expr::Kind::kOldColumn && trigger_old_schema_ == nullptr) {
-      return Status::InvalidArgument("OLD.* outside a row trigger");
-    }
-    if (x.kind == Expr::Kind::kAggregate && !x.count_star) {
-      auto rc = ResolveColumn(relations, relations.size(), x.table, x.column);
-      if (!rc.ok()) return rc.status();
-    }
-    for (const Expr& c : x.children) XUPD_RETURN_IF_ERROR(validate(c));
-    for (const Expr& c : x.in_list) XUPD_RETURN_IF_ERROR(validate(c));
-    return Status::OK();
-  };
-  for (const sql::SelectItem& item : core.items) {
-    if (!item.star) XUPD_RETURN_IF_ERROR(validate(item.expr));
-  }
-  if (core.where.has_value()) XUPD_RETURN_IF_ERROR(validate(*core.where));
-
-  std::vector<const Expr*> conjuncts;
-  if (core.where.has_value()) FlattenConjuncts(*core.where, &conjuncts);
-
-  // Highest relation ordinal an expression references (-1 = none). Returns
-  // relations.size() for expressions we cannot place (evaluated at the end).
-  auto max_ordinal = [&](const Expr* e) -> size_t {
-    size_t max_ord = 0;
-    bool any = false;
-    bool unknown = false;
-    std::function<void(const Expr&)> walk = [&](const Expr& x) {
-      if (x.kind == Expr::Kind::kColumn) {
-        auto rc = ResolveColumn(relations, relations.size(), x.table, x.column);
-        if (!rc.ok()) {
-          unknown = true;
-          return;
-        }
-        any = true;
-        max_ord = std::max(max_ord, rc.value().first);
-      }
-      if (x.kind == Expr::Kind::kInSubquery || x.kind == Expr::Kind::kInList ||
-          x.kind == Expr::Kind::kIsNull || x.kind == Expr::Kind::kUnary ||
-          x.kind == Expr::Kind::kBinary) {
-        for (const Expr& c : x.children) walk(c);
-        for (const Expr& c : x.in_list) walk(c);
-      }
-    };
-    walk(*e);
-    if (unknown) return relations.size();
-    return any ? max_ord : 0;
-  };
-
-  struct PlacedConjunct {
-    const Expr* expr;
-    size_t at;  // relation ordinal after which it can be evaluated
-  };
-  std::vector<PlacedConjunct> placed;
-  placed.reserve(conjuncts.size());
-  for (const Expr* c : conjuncts) {
-    size_t at = relations.empty() ? 0 : std::min(max_ordinal(c),
-                                                 relations.size() - 1);
-    placed.push_back({c, at});
-  }
-
-  // Iterative join.
-  std::vector<JoinedRow> current;
-  current.push_back(JoinedRow(relations.size(), nullptr));
-  for (size_t k = 0; k < relations.size(); ++k) {
-    const Relation& rel = relations[k];
-    // Find an equi-join conjunct usable for an index lookup on rel.
-    const Expr* probe_val_expr = nullptr;  // expression over earlier relations
-    const HashIndex* index = nullptr;
-    if (rel.table != nullptr) {
-      for (const PlacedConjunct& pc : placed) {
-        if (pc.at != k) continue;
-        const Expr& e = *pc.expr;
-        if (e.kind != Expr::Kind::kBinary || e.op != Expr::Op::kEq) continue;
-        for (int side = 0; side < 2; ++side) {
-          const Expr& lhs = e.children[static_cast<size_t>(side)];
-          const Expr& rhs = e.children[static_cast<size_t>(1 - side)];
-          if (lhs.kind != Expr::Kind::kColumn) continue;
-          auto rc =
-              ResolveColumn(relations, relations.size(), lhs.table, lhs.column);
-          if (!rc.ok() || rc.value().first != k) continue;
-          // rhs must not reference relation k or later.
-          size_t rhs_ord = max_ordinal(&rhs);
-          bool rhs_has_cols = false;
-          std::function<void(const Expr&)> has_cols = [&](const Expr& x) {
-            if (x.kind == Expr::Kind::kColumn) rhs_has_cols = true;
-            for (const Expr& c : x.children) has_cols(c);
-          };
-          has_cols(rhs);
-          if (rhs_has_cols && rhs_ord >= k) continue;
-          const HashIndex* idx =
-              rel.table->FindIndexOnColumn(static_cast<int>(rc.value().second));
-          if (idx != nullptr) {
-            probe_val_expr = &rhs;
-            index = idx;
-            break;
-          }
-        }
-        if (index != nullptr) break;
-      }
-    }
-
-    std::vector<JoinedRow> next;
-    for (JoinedRow& partial : current) {
-      EvalContext ctx;
-      ctx.relations = &relations;
-      ctx.row = &partial;
-      ctx.bound = k;  // relations before k are bound
-      ctx.old_row = trigger_old_row_;
-      ctx.old_schema = trigger_old_schema_;
-
-      auto consider_row = [&](const Row* row) -> Status {
-        partial[k] = row;
-        EvalContext row_ctx = ctx;
-        row_ctx.bound = k + 1;
-        for (const PlacedConjunct& pc : placed) {
-          if (pc.at != k) continue;
-          auto ok = EvalBool(*pc.expr, row_ctx);
-          if (!ok.ok()) return ok.status();
-          if (!ok.value()) return Status::OK();  // filtered out
-        }
-        next.push_back(partial);
-        return Status::OK();
-      };
-
-      if (index != nullptr) {
-        auto v = Eval(*probe_val_expr, ctx);
-        if (!v.ok()) return v.status();
-        std::vector<size_t> rowids;
-        index->Lookup(v.value(), &rowids);
-        ++db_->stats_.index_probes;
-        for (size_t rowid : rowids) {
-          if (!rel.table->is_live(rowid)) continue;
-          XUPD_RETURN_IF_ERROR(consider_row(&rel.table->row(rowid)));
-        }
-      } else if (rel.table != nullptr) {
-        for (size_t rowid = 0; rowid < rel.table->capacity(); ++rowid) {
-          if (!rel.table->is_live(rowid)) continue;
-          ++db_->stats_.rows_scanned;
-          XUPD_RETURN_IF_ERROR(consider_row(&rel.table->row(rowid)));
-        }
-      } else {
-        for (const Row& row : rel.mat->rows) {
-          ++db_->stats_.rows_scanned;
-          XUPD_RETURN_IF_ERROR(consider_row(&row));
-        }
-      }
-      partial[k] = nullptr;
-    }
-    current = std::move(next);
-    if (current.empty() && k + 1 < relations.size()) {
-      current.clear();
-      break;
-    }
-  }
-
-  // With no FROM clause, `current` holds one empty tuple; apply WHERE.
-  if (relations.empty() && core.where.has_value()) {
-    EvalContext ctx;
-    ctx.old_row = trigger_old_row_;
-    ctx.old_schema = trigger_old_schema_;
-    auto ok = EvalBool(*core.where, ctx);
-    if (!ok.ok()) return ok.status();
-    if (!ok.value()) current.clear();
-  }
-
-  // Output schema.
-  ResultSet out;
-  bool has_aggregate = false;
-  for (const sql::SelectItem& item : core.items) {
-    if (!item.star && item.expr.kind == Expr::Kind::kAggregate) {
-      has_aggregate = true;
-    }
-  }
-  size_t anon = 0;
-  for (const sql::SelectItem& item : core.items) {
-    if (item.star) {
-      for (const Relation& rel : relations) {
-        for (size_t c = 0; c < rel.NumColumns(); ++c) {
-          out.columns.push_back(rel.ColumnName(c));
-        }
-      }
-    } else if (!item.alias.empty()) {
-      out.columns.push_back(item.alias);
-    } else if (item.expr.kind == Expr::Kind::kColumn) {
-      out.columns.push_back(item.expr.column);
-    } else {
-      out.columns.push_back("expr" + std::to_string(++anon));
-    }
-  }
-
-  if (has_aggregate) {
-    // Scalar aggregation over all joined rows (no GROUP BY in the dialect).
-    Row agg_row;
-    for (const sql::SelectItem& item : core.items) {
-      if (item.star) {
-        return Status::InvalidArgument("'*' mixed with aggregates");
-      }
-      const Expr& e = item.expr;
-      if (e.kind != Expr::Kind::kAggregate) {
-        return Status::InvalidArgument(
-            "non-aggregate select item without GROUP BY");
-      }
-      int64_t count = 0;
-      Value acc;
-      for (const JoinedRow& jr : current) {
-        EvalContext ctx;
-        ctx.relations = &relations;
-        ctx.row = &jr;
-        ctx.bound = relations.size();
-        ctx.old_row = trigger_old_row_;
-        ctx.old_schema = trigger_old_schema_;
-        Value v;
-        if (e.count_star) {
-          v = Value::Int(1);
-        } else {
-          Expr col;
-          col.kind = Expr::Kind::kColumn;
-          col.table = e.table;
-          col.column = e.column;
-          auto r = Eval(col, ctx);
-          if (!r.ok()) return r.status();
-          v = std::move(r).value();
-        }
-        if (v.is_null()) continue;
-        ++count;
-        switch (e.agg) {
-          case Expr::Agg::kCount:
-            break;
-          case Expr::Agg::kMin:
-            if (acc.is_null() || v.Compare(acc) < 0) acc = v;
-            break;
-          case Expr::Agg::kMax:
-            if (acc.is_null() || v.Compare(acc) > 0) acc = v;
-            break;
-          case Expr::Agg::kSum: {
-            auto vi = CoerceValue(v, ColumnType::kInteger);
-            if (!vi.ok()) return vi.status();
-            acc = Value::Int((acc.is_null() ? 0 : acc.AsInt()) +
-                             vi.value().AsInt());
-            break;
-          }
-        }
-      }
-      if (e.agg == Expr::Agg::kCount) {
-        agg_row.push_back(Value::Int(count));
-      } else {
-        agg_row.push_back(acc);
-      }
-    }
-    out.rows.push_back(std::move(agg_row));
-    return out;
-  }
-
-  // Projection.
-  for (const JoinedRow& jr : current) {
-    EvalContext ctx;
-    ctx.relations = &relations;
-    ctx.row = &jr;
-    ctx.bound = relations.size();
-    ctx.old_row = trigger_old_row_;
-    ctx.old_schema = trigger_old_schema_;
-    Row row;
-    row.reserve(out.columns.size());
-    for (const sql::SelectItem& item : core.items) {
-      if (item.star) {
-        for (size_t r = 0; r < relations.size(); ++r) {
-          const Row* src = jr[r];
-          for (size_t c = 0; c < relations[r].NumColumns(); ++c) {
-            row.push_back((*src)[c]);
-          }
-        }
-      } else {
-        auto v = Eval(item.expr, ctx);
-        if (!v.ok()) return v.status();
-        row.push_back(std::move(v).value());
-      }
-    }
-    out.rows.push_back(std::move(row));
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// DML
-
-Result<std::vector<size_t>> Executor::SelectRowids(const Table* table,
-                                                   const sql::Expr* where,
-                                                   const EvalContext& outer) {
-  std::vector<size_t> out;
-  std::vector<Relation> relations(1);
-  relations[0].alias = table->schema().name();
-  relations[0].table = table;
-
-  std::vector<const Expr*> conjuncts;
-  if (where != nullptr) FlattenConjuncts(*where, &conjuncts);
-
-  // Index-assisted path: col = <bound expr> or col IN (list of literals).
-  const HashIndex* index = nullptr;
-  std::vector<Value> probe_values;
-  const Expr* index_conjunct = nullptr;
-  for (const Expr* c : conjuncts) {
-    if (c->kind == Expr::Kind::kBinary && c->op == Expr::Op::kEq) {
-      for (int side = 0; side < 2; ++side) {
-        const Expr& lhs = c->children[static_cast<size_t>(side)];
-        const Expr& rhs = c->children[static_cast<size_t>(1 - side)];
-        if (lhs.kind != Expr::Kind::kColumn) continue;
-        int col = table->schema().ColumnIndex(lhs.column);
-        if (col < 0) continue;
-        bool rhs_has_cols = false;
-        std::function<void(const Expr&)> walk = [&](const Expr& x) {
-          if (x.kind == Expr::Kind::kColumn) rhs_has_cols = true;
-          for (const Expr& ch : x.children) walk(ch);
-        };
-        walk(rhs);
-        if (rhs_has_cols) continue;
-        const HashIndex* idx = table->FindIndexOnColumn(col);
-        if (idx == nullptr) continue;
-        EvalContext ctx = outer;
-        ctx.relations = nullptr;
-        ctx.row = nullptr;
-        ctx.bound = 0;
-        auto v = Eval(rhs, ctx);
-        if (!v.ok()) return v.status();
-        index = idx;
-        probe_values.push_back(std::move(v).value());
-        index_conjunct = c;
-        break;
-      }
-    } else if (c->kind == Expr::Kind::kInList && !c->negated &&
-               c->children[0].kind == Expr::Kind::kColumn) {
-      int col = table->schema().ColumnIndex(c->children[0].column);
-      if (col < 0) continue;
-      const HashIndex* idx = table->FindIndexOnColumn(col);
-      if (idx == nullptr) continue;
-      EvalContext ctx = outer;
-      std::vector<Value> values;
-      bool all_const = true;
-      for (const Expr& item : c->in_list) {
-        auto v = Eval(item, ctx);
-        if (!v.ok()) {
-          all_const = false;
-          break;
-        }
-        values.push_back(std::move(v).value());
-      }
-      if (!all_const) continue;
-      index = idx;
-      probe_values = std::move(values);
-      index_conjunct = c;
-    } else if (c->kind == Expr::Kind::kInSubquery && !c->negated &&
-               c->children[0].kind == Expr::Kind::kColumn) {
-      // col IN (SELECT ...): evaluate the subquery once and probe the index
-      // per distinct value (semijoin) instead of scanning the table.
-      int col = table->schema().ColumnIndex(c->children[0].column);
-      if (col < 0) continue;
-      const HashIndex* idx = table->FindIndexOnColumn(col);
-      if (idx == nullptr) continue;
-      const auto* set = SubquerySet(*c);
-      if (set == nullptr) continue;
-      index = idx;
-      probe_values.assign(set->begin(), set->end());
-      index_conjunct = c;
-    }
-    if (index != nullptr) break;
-  }
-
-  auto matches = [&](size_t rowid) -> Result<bool> {
-    JoinedRow jr{&table->row(rowid)};
-    EvalContext ctx = outer;
-    ctx.relations = &relations;
-    ctx.row = &jr;
-    ctx.bound = 1;
-    for (const Expr* c : conjuncts) {
-      if (c == index_conjunct) continue;
-      auto ok = EvalBool(*c, ctx);
-      if (!ok.ok()) return ok.status();
-      if (!ok.value()) return false;
-    }
-    return true;
-  };
-
-  if (index != nullptr) {
-    std::vector<size_t> candidates;
-    for (const Value& v : probe_values) {
-      index->Lookup(v, &candidates);
-      ++db_->stats_.index_probes;
-    }
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-    for (size_t rowid : candidates) {
-      if (!table->is_live(rowid)) continue;
-      auto ok = matches(rowid);
-      if (!ok.ok()) return ok.status();
-      if (ok.value()) out.push_back(rowid);
-    }
-    return out;
-  }
-
-  for (size_t rowid = 0; rowid < table->capacity(); ++rowid) {
-    if (!table->is_live(rowid)) continue;
-    ++db_->stats_.rows_scanned;
-    auto ok = matches(rowid);
-    if (!ok.ok()) return ok.status();
-    if (ok.value()) out.push_back(rowid);
-  }
-  return out;
-}
-
-Result<ResultSet> Executor::RunInsert(const sql::InsertStmt& stmt) {
-  Table* table = db_->FindTable(stmt.table);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + stmt.table + "' not found");
-  }
-  const TableSchema& schema = table->schema();
-  std::vector<int> column_map;  // position in statement -> schema column
-  if (stmt.columns.empty()) {
-    for (size_t i = 0; i < schema.column_count(); ++i) {
-      column_map.push_back(static_cast<int>(i));
-    }
-  } else {
-    for (const std::string& name : stmt.columns) {
-      int col = schema.ColumnIndex(name);
-      if (col < 0) {
-        return Status::NotFound("column '" + name + "' not found in '" +
-                                stmt.table + "'");
-      }
-      column_map.push_back(col);
-    }
-  }
+Result<ResultSet> Executor::RunPlannedInsert(const PlannedStatement& plan) {
+  const PlannedInsert& ins = plan.insert;
+  std::vector<std::unique_ptr<ResultSet>> cte_store(
+      static_cast<size_t>(plan.cte_slot_count));
+  ExecContext ctx = MakeContext(&cte_store);
 
   auto build_row = [&](const std::vector<Value>& values) -> Result<Row> {
-    if (values.size() != column_map.size()) {
+    if (values.size() != ins.column_map.size()) {
       return Status::InvalidArgument("INSERT arity mismatch");
     }
-    Row row(schema.column_count(), Value::Null());
+    Row row(ins.table->schema().column_count(), Value::Null());
     for (size_t i = 0; i < values.size(); ++i) {
-      auto coerced = CoerceValue(
-          values[i], schema.columns()[static_cast<size_t>(column_map[i])].type);
-      if (!coerced.ok()) return coerced.status();
-      row[static_cast<size_t>(column_map[i])] = std::move(coerced).value();
+      XUPD_ASSIGN_OR_RETURN(Value coerced,
+                            CoerceValue(values[i], ins.column_types[i]));
+      row[static_cast<size_t>(ins.column_map[i])] = std::move(coerced);
     }
     return row;
   };
 
-  if (stmt.select != nullptr) {
-    auto result = RunSelect(*stmt.select);
-    if (!result.ok()) return result.status();
-    for (const Row& row : result->rows) {
+  if (ins.select != nullptr) {
+    XUPD_ASSIGN_OR_RETURN(ResultSet result,
+                          ExecutePlannedSelect(*ins.select, ctx));
+    for (const Row& row : result.rows) {
       XUPD_ASSIGN_OR_RETURN(Row built, build_row(row));
-      auto rowid = table->Insert(std::move(built));
-      if (!rowid.ok()) return rowid.status();
+      XUPD_ASSIGN_OR_RETURN(size_t rowid, ins.table->Insert(std::move(built)));
+      (void)rowid;
       ++db_->stats_.rows_inserted;
     }
     return ResultSet{};
   }
 
-  EvalContext ctx;
-  ctx.old_row = trigger_old_row_;
-  ctx.old_schema = trigger_old_schema_;
   // Evaluate and coerce every VALUES row before inserting any, so a bad row
   // leaves the table untouched (multi-row INSERT is atomic).
+  std::vector<const Row*> no_slots;
   std::vector<Row> built_rows;
-  built_rows.reserve(stmt.rows.size());
-  for (const auto& exprs : stmt.rows) {
+  built_rows.reserve(ins.rows.size());
+  for (const auto& exprs : ins.rows) {
     std::vector<Value> values;
     values.reserve(exprs.size());
-    for (const Expr& e : exprs) {
-      auto v = Eval(e, ctx);
-      if (!v.ok()) return v.status();
-      values.push_back(std::move(v).value());
+    for (const BoundExpr& e : exprs) {
+      XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(e, no_slots, ctx));
+      values.push_back(std::move(v));
     }
     XUPD_ASSIGN_OR_RETURN(Row built, build_row(values));
     built_rows.push_back(std::move(built));
   }
   for (Row& row : built_rows) {
-    auto rowid = table->Insert(std::move(row));
-    if (!rowid.ok()) return rowid.status();
+    XUPD_ASSIGN_OR_RETURN(size_t rowid, ins.table->Insert(std::move(row)));
+    (void)rowid;
     ++db_->stats_.rows_inserted;
   }
-  if (stmt.rows.size() > 1) db_->stats_.batched_rows += stmt.rows.size();
+  if (ins.rows.size() > 1) db_->stats_.batched_rows += ins.rows.size();
   return ResultSet{};
 }
 
-Result<ResultSet> Executor::RunDelete(const sql::DeleteStmt& stmt) {
-  Table* table = db_->FindTable(stmt.table);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + stmt.table + "' not found");
-  }
-  EvalContext outer;
-  outer.old_row = trigger_old_row_;
-  outer.old_schema = trigger_old_schema_;
-  auto rowids = SelectRowids(table, stmt.where.has_value() ? &*stmt.where
-                                                           : nullptr,
-                             outer);
-  if (!rowids.ok()) return rowids.status();
+Result<ResultSet> Executor::RunPlannedDelete(const PlannedStatement& plan) {
+  const PlannedMutation& m = plan.mutation;
+  std::vector<std::unique_ptr<ResultSet>> cte_store(
+      static_cast<size_t>(plan.cte_slot_count));
+  ExecContext ctx = MakeContext(&cte_store);
+  XUPD_ASSIGN_OR_RETURN(std::vector<size_t> rowids,
+                        CollectMatchingRowids(m, ctx));
 
   std::vector<Row> deleted_rows;
-  deleted_rows.reserve(rowids->size());
-  for (size_t rowid : *rowids) {
-    deleted_rows.push_back(table->row(rowid));
-    XUPD_RETURN_IF_ERROR(table->Delete(rowid));
+  deleted_rows.reserve(rowids.size());
+  for (size_t rowid : rowids) {
+    deleted_rows.push_back(m.table->row(rowid));
+    XUPD_RETURN_IF_ERROR(m.table->Delete(rowid));
     ++db_->stats_.rows_deleted;
   }
-  XUPD_RETURN_IF_ERROR(FireDeleteTriggers(table, deleted_rows));
+  XUPD_RETURN_IF_ERROR(FireDeleteTriggers(m.table, deleted_rows));
   return ResultSet{};
 }
+
+Result<ResultSet> Executor::RunPlannedUpdate(const PlannedStatement& plan) {
+  const PlannedMutation& m = plan.mutation;
+  std::vector<std::unique_ptr<ResultSet>> cte_store(
+      static_cast<size_t>(plan.cte_slot_count));
+  ExecContext ctx = MakeContext(&cte_store);
+  XUPD_ASSIGN_OR_RETURN(std::vector<size_t> rowids,
+                        CollectMatchingRowids(m, ctx));
+
+  std::vector<const Row*> slots(1, nullptr);
+  for (size_t rowid : rowids) {
+    // Evaluate all SET expressions against the pre-update row.
+    Row snapshot = m.table->row(rowid);
+    slots[0] = &snapshot;
+    std::vector<std::pair<int, Value>> new_values;
+    new_values.reserve(m.sets.size());
+    for (const PlannedMutation::Set& set : m.sets) {
+      XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(set.expr, slots, ctx));
+      XUPD_ASSIGN_OR_RETURN(Value coerced, CoerceValue(std::move(v), set.type));
+      new_values.emplace_back(set.col, std::move(coerced));
+    }
+    for (auto& [col, value] : new_values) {
+      XUPD_RETURN_IF_ERROR(m.table->SetColumn(rowid, col, std::move(value)));
+    }
+    ++db_->stats_.rows_updated;
+  }
+  return ResultSet{};
+}
+
+// ---------------------------------------------------------------------------
+// Triggers
 
 Status Executor::FireDeleteTriggers(const Table* table,
                                     const std::vector<Row>& deleted_rows) {
@@ -1026,7 +376,7 @@ Status Executor::FireDeleteTriggers(const Table* table,
         trigger_old_schema_ = &table->schema();
         for (const auto& body_stmt : def.body) {
           ++db_->stats_.trigger_statements;
-          auto r = Run(*body_stmt);
+          auto r = Run(*body_stmt, db_->TriggerPlanSlot(body_stmt.get()));
           if (!r.ok()) {
             trigger_old_row_ = saved_row;
             trigger_old_schema_ = saved_schema;
@@ -1045,7 +395,7 @@ Status Executor::FireDeleteTriggers(const Table* table,
       trigger_old_schema_ = nullptr;
       for (const auto& body_stmt : def.body) {
         ++db_->stats_.trigger_statements;
-        auto r = Run(*body_stmt);
+        auto r = Run(*body_stmt, db_->TriggerPlanSlot(body_stmt.get()));
         if (!r.ok()) {
           trigger_old_row_ = saved_row;
           trigger_old_schema_ = saved_schema;
@@ -1059,57 +409,6 @@ Status Executor::FireDeleteTriggers(const Table* table,
   }
   --trigger_depth_;
   return Status::OK();
-}
-
-Result<ResultSet> Executor::RunUpdate(const sql::UpdateStmt& stmt) {
-  Table* table = db_->FindTable(stmt.table);
-  if (table == nullptr) {
-    return Status::NotFound("table '" + stmt.table + "' not found");
-  }
-  EvalContext outer;
-  outer.old_row = trigger_old_row_;
-  outer.old_schema = trigger_old_schema_;
-  auto rowids = SelectRowids(table, stmt.where.has_value() ? &*stmt.where
-                                                           : nullptr,
-                             outer);
-  if (!rowids.ok()) return rowids.status();
-
-  std::vector<Relation> relations(1);
-  relations[0].alias = table->schema().name();
-  relations[0].table = table;
-
-  std::vector<std::pair<int, Expr const*>> sets;
-  for (const auto& [name, expr] : stmt.sets) {
-    int col = table->schema().ColumnIndex(name);
-    if (col < 0) {
-      return Status::NotFound("column '" + name + "' not found");
-    }
-    sets.emplace_back(col, &expr);
-  }
-
-  for (size_t rowid : *rowids) {
-    // Evaluate all SET expressions against the pre-update row.
-    Row snapshot = table->row(rowid);
-    JoinedRow jr{&snapshot};
-    EvalContext ctx = outer;
-    ctx.relations = &relations;
-    ctx.row = &jr;
-    ctx.bound = 1;
-    std::vector<std::pair<int, Value>> new_values;
-    for (const auto& [col, expr] : sets) {
-      auto v = Eval(*expr, ctx);
-      if (!v.ok()) return v.status();
-      auto coerced = CoerceValue(std::move(v).value(),
-                                 table->schema().columns()[static_cast<size_t>(col)].type);
-      if (!coerced.ok()) return coerced.status();
-      new_values.emplace_back(col, std::move(coerced).value());
-    }
-    for (auto& [col, value] : new_values) {
-      XUPD_RETURN_IF_ERROR(table->SetColumn(rowid, col, std::move(value)));
-    }
-    ++db_->stats_.rows_updated;
-  }
-  return ResultSet{};
 }
 
 }  // namespace xupd::rdb

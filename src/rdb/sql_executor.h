@@ -1,21 +1,24 @@
 // SQL execution engine. One Executor instance runs one top-level statement
 // (plus any trigger cascade it sets off).
 //
-// Join strategy: FROM tables bind left to right; each new table is joined by
-// hash-index lookup when an equi-join conjunct with an indexed column is
-// available, else by filtered scan. IN (SELECT ...) subqueries are evaluated
-// once per statement and memoized as hash sets.
+// SELECT/INSERT/DELETE/UPDATE run through plan trees: the logical planner
+// (rdb/planner.h) resolves names and chooses access paths once, the physical
+// operators (rdb/exec_node.h) stream tuples through pull-based iterators.
+// Plans are cached per prepared-statement handle and per trigger-body
+// statement, guarded by Database::catalog_version(). DDL and transaction
+// control execute directly; EXPLAIN plans without executing and returns the
+// plan tree as rows.
 #ifndef XUPD_RDB_SQL_EXECUTOR_H_
 #define XUPD_RDB_SQL_EXECUTOR_H_
 
-#include <map>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "rdb/database.h"
+#include "rdb/exec_node.h"
+#include "rdb/planner.h"
 #include "rdb/result.h"
 #include "rdb/sql_ast.h"
 
@@ -29,73 +32,44 @@ class Executor {
       : db_(db), params_(params) {}
 
   /// Executes any statement; SELECTs return their ResultSet, DML returns an
-  /// empty set.
-  Result<ResultSet> Run(const sql::Statement& stmt);
+  /// empty set. `slot` (optional) caches the plan across calls — pass the
+  /// slot of a prepared-statement handle; ad-hoc execution plans fresh.
+  Result<ResultSet> Run(const sql::Statement& stmt,
+                        PlanCacheSlot* slot = nullptr);
 
  private:
-  struct Relation {
-    std::string alias;
-    const Table* table = nullptr;        // catalog table
-    const ResultSet* mat = nullptr;      // materialized CTE
-    size_t NumColumns() const;
-    int ColumnIndex(std::string_view name) const;
-    std::string ColumnName(size_t i) const;
-  };
-
-  /// A tuple in an intermediate join result: one row pointer per relation.
-  using JoinedRow = std::vector<const Row*>;
-
-  struct EvalContext {
-    const std::vector<Relation>* relations = nullptr;
-    const JoinedRow* row = nullptr;      // size = #bound relations
-    size_t bound = 0;                    // how many relations are bound
-    const Row* old_row = nullptr;        // trigger OLD row
-    const TableSchema* old_schema = nullptr;
-  };
-
-  Result<ResultSet> RunSelect(const sql::SelectStmt& stmt);
-  Result<ResultSet> RunSelectCore(const sql::SelectCore& core);
   Result<ResultSet> RunCreateTable(const sql::CreateTableStmt& stmt);
   Result<ResultSet> RunCreateIndex(const sql::CreateIndexStmt& stmt);
   Result<ResultSet> RunCreateTrigger(const sql::CreateTriggerStmt& stmt);
   Result<ResultSet> RunDrop(const sql::DropStmt& stmt);
-  Result<ResultSet> RunInsert(const sql::InsertStmt& stmt);
-  Result<ResultSet> RunDelete(const sql::DeleteStmt& stmt);
-  Result<ResultSet> RunUpdate(const sql::UpdateStmt& stmt);
+  Result<ResultSet> RunExplain(const sql::Statement& stmt,
+                               PlanCacheSlot* slot);
+
+  Result<ResultSet> RunPlanned(const PlannedStatement& plan);
+  Result<ResultSet> RunPlannedSelect(const PlannedStatement& plan);
+  Result<ResultSet> RunPlannedInsert(const PlannedStatement& plan);
+  Result<ResultSet> RunPlannedDelete(const PlannedStatement& plan);
+  Result<ResultSet> RunPlannedUpdate(const PlannedStatement& plan);
+
+  /// Returns the cached plan when `slot` holds one valid for the current
+  /// catalog version, else builds (and caches) a fresh plan.
+  Result<std::shared_ptr<const PlannedStatement>> GetPlan(
+      const sql::Statement& stmt, PlanCacheSlot* slot);
+
+  /// Execution context for one planned statement: CTE store sized to the
+  /// plan, subquery memo shared across the whole top-level statement.
+  ExecContext MakeContext(std::vector<std::unique_ptr<ResultSet>>* cte_store);
 
   /// Fires AFTER DELETE triggers for `table` given the deleted rows.
   Status FireDeleteTriggers(const Table* table,
                             const std::vector<Row>& deleted_rows);
 
-  Result<Value> Eval(const sql::Expr& expr, const EvalContext& ctx);
-  /// Boolean evaluation with SQL three-valued logic collapsed to
-  /// true / not-true (NULL counts as not-true).
-  Result<bool> EvalBool(const sql::Expr& expr, const EvalContext& ctx);
-
-  /// Finds rowids of `table` matching `where` (index-assisted), with
-  /// OLD-row context for trigger bodies.
-  Result<std::vector<size_t>> SelectRowids(const Table* table,
-                                           const sql::Expr* where,
-                                           const EvalContext& outer);
-
-  /// Resolves [alias.]column to (relation ordinal, column ordinal).
-  Result<std::pair<size_t, size_t>> ResolveColumn(
-      const std::vector<Relation>& relations, size_t bound,
-      const std::string& table, const std::string& column) const;
-
-  Result<Relation> LookupRelation(const std::string& name,
-                                  const std::string& alias) const;
-
-  const std::unordered_set<Value, ValueHash>* SubquerySet(const sql::Expr& e);
-
   Database* db_;
   /// Parameter values for ? placeholders (null = none bound).
   const std::vector<Value>* params_ = nullptr;
-  /// CTEs visible while executing the current SELECT (name -> result).
-  std::map<std::string, std::unique_ptr<ResultSet>, std::less<>> ctes_;
-  /// Memoized IN-subquery sets, keyed by Expr identity.
-  std::map<const sql::Expr*, std::unique_ptr<std::unordered_set<Value, ValueHash>>>
-      subquery_sets_;
+  /// Memoized IN-subquery sets, keyed by planned-subquery identity; spans
+  /// the statement and its trigger cascade (seed-interpreter semantics).
+  ExecContext::SubqueryMemo subquery_memo_;
   /// OLD-row context while running trigger bodies.
   const Row* trigger_old_row_ = nullptr;
   const TableSchema* trigger_old_schema_ = nullptr;

@@ -235,6 +235,24 @@ class Parser {
   explicit Parser(std::string_view text) : lex_(text) {}
 
   Result<Statement> ParseStatement() {
+    bool explain = lex_.ConsumeKw("explain");
+    XUPD_ASSIGN_OR_RETURN(Statement stmt, ParseBareStatement());
+    while (lex_.Peek().type == Tok::kSemicolon) lex_.Next();
+    if (lex_.Peek().type != Tok::kEnd) {
+      return lex_.Error("trailing input after statement");
+    }
+    if (explain) {
+      Statement wrapper;
+      wrapper.kind = Statement::Kind::kExplain;
+      wrapper.explain = std::make_shared<Statement>(std::move(stmt));
+      wrapper.param_count = param_count_;
+      return wrapper;
+    }
+    stmt.param_count = param_count_;
+    return stmt;
+  }
+
+  Result<Statement> ParseBareStatement() {
     Statement stmt;
     if (lex_.PeekKw("select") || lex_.PeekKw("with")) {
       stmt.kind = Statement::Kind::kSelect;
@@ -289,14 +307,20 @@ class Parser {
     } else if (lex_.ConsumeKw("rollback")) {
       stmt.kind = Statement::Kind::kRollback;
       ConsumeTxnNoiseWord();
+      if (lex_.ConsumeKw("to")) {
+        (void)lex_.ConsumeKw("savepoint");
+        XUPD_ASSIGN_OR_RETURN(stmt.txn_name, ExpectIdent("savepoint name"));
+      }
+    } else if (lex_.ConsumeKw("savepoint")) {
+      stmt.kind = Statement::Kind::kSavepoint;
+      XUPD_ASSIGN_OR_RETURN(stmt.txn_name, ExpectIdent("savepoint name"));
+    } else if (lex_.ConsumeKw("release")) {
+      stmt.kind = Statement::Kind::kRelease;
+      (void)lex_.ConsumeKw("savepoint");
+      XUPD_ASSIGN_OR_RETURN(stmt.txn_name, ExpectIdent("savepoint name"));
     } else {
       return lex_.Error("expected a SQL statement");
     }
-    while (lex_.Peek().type == Tok::kSemicolon) lex_.Next();
-    if (lex_.Peek().type != Tok::kEnd) {
-      return lex_.Error("trailing input after statement");
-    }
-    stmt.param_count = param_count_;
     return stmt;
   }
 

@@ -29,6 +29,13 @@ struct Stats {
   /// statements (only statements carrying more than one row count). The
   /// batched bulk-load path drives this.
   uint64_t batched_rows = 0;
+  /// Plans built by the logical planner: every ad-hoc Execute/ExecuteQuery
+  /// of a plannable statement, every plan-cache miss, and every EXPLAIN.
+  uint64_t plans_built = 0;
+  /// Cached-plan reuses: ExecutePrepared/ExecuteBound (or a trigger body
+  /// re-firing) found a plan still valid for the current catalog version
+  /// and skipped name resolution + access-path selection entirely.
+  uint64_t plan_cache_hits = 0;
   /// Statements executed inside trigger bodies.
   uint64_t trigger_statements = 0;
   /// Trigger firings (row triggers: per row; statement triggers: per stmt).
@@ -59,6 +66,8 @@ struct Stats {
     d.prepared_hits = prepared_hits - earlier.prepared_hits;
     d.prepared_misses = prepared_misses - earlier.prepared_misses;
     d.batched_rows = batched_rows - earlier.batched_rows;
+    d.plans_built = plans_built - earlier.plans_built;
+    d.plan_cache_hits = plan_cache_hits - earlier.plan_cache_hits;
     d.trigger_statements = trigger_statements - earlier.trigger_statements;
     d.trigger_firings = trigger_firings - earlier.trigger_firings;
     d.rows_scanned = rows_scanned - earlier.rows_scanned;
@@ -79,6 +88,8 @@ struct Stats {
            " prep_hits=" + std::to_string(prepared_hits) +
            " prep_miss=" + std::to_string(prepared_misses) +
            " batched=" + std::to_string(batched_rows) +
+           " plans=" + std::to_string(plans_built) +
+           " plan_hits=" + std::to_string(plan_cache_hits) +
            " trig_stmts=" + std::to_string(trigger_statements) +
            " trig_fires=" + std::to_string(trigger_firings) +
            " scanned=" + std::to_string(rows_scanned) +

@@ -109,13 +109,18 @@ Status Table::CreateIndex(const std::string& index_name, int column) {
   return Status::OK();
 }
 
-Status Table::DropIndex(const std::string& index_name) {
+bool Table::TryDropIndex(std::string_view index_name) {
   for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
     if (EqualsIgnoreCase((*it)->name(), index_name)) {
       indexes_.erase(it);
-      return Status::OK();
+      return true;
     }
   }
+  return false;
+}
+
+Status Table::DropIndex(const std::string& index_name) {
+  if (TryDropIndex(index_name)) return Status::OK();
   return Status::NotFound("index '" + index_name + "' not found");
 }
 

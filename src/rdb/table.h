@@ -92,6 +92,10 @@ class Table {
   /// rows. Fails if an index of this name exists.
   Status CreateIndex(const std::string& index_name, int column);
   Status DropIndex(const std::string& index_name);
+  /// Drops the index if this table owns one of that name; returns whether it
+  /// did. Single scan — lets DROP INDEX's owning-table search avoid the
+  /// find-then-drop double lookup.
+  bool TryDropIndex(std::string_view index_name);
 
   /// Index over `column`, or null.
   const HashIndex* FindIndexOnColumn(int column) const;

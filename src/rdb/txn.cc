@@ -2,16 +2,13 @@
 
 #include <algorithm>
 
+#include "common/str_util.h"
 #include "rdb/table.h"
 
 namespace xupd::rdb {
 
-void TransactionManager::Begin(int64_t next_id) {
-  scopes_.push_back({log_.size(), next_id});
-  // First-use reservation (96 KiB): typical per-operation logs fit without a
-  // single reallocation, and clear() keeps the capacity for later
-  // transactions, so steady-state appends never copy.
-  if (log_.capacity() == 0) log_.reserve(4096);
+void TransactionManager::Begin(int64_t next_id, std::string name) {
+  scopes_.push_back({log_.size(), next_id, std::move(name)});
   ++stats_->txn_begins;
 }
 
@@ -20,7 +17,8 @@ Status TransactionManager::Commit() {
     return Status::InvalidArgument("COMMIT without an active transaction");
   }
   scopes_.pop_back();
-  // Outermost commit: the changes are durable, the log is dead weight.
+  // Outermost commit: the changes are durable, the log is dead weight. The
+  // log keeps its chunks; only the old-value side vector frees memory.
   if (scopes_.empty()) {
     log_.clear();
     old_values_.clear();
@@ -29,13 +27,8 @@ Status TransactionManager::Commit() {
   return Status::OK();
 }
 
-Result<int64_t> TransactionManager::Rollback() {
-  if (scopes_.empty()) {
-    return Status::InvalidArgument("ROLLBACK without an active transaction");
-  }
-  const Scope scope = scopes_.back();
-  scopes_.pop_back();
-  while (log_.size() > scope.undo_start) {
+void TransactionManager::UndoDownTo(size_t undo_start) {
+  while (log_.size() > undo_start) {
     const UndoRecord& rec = log_.back();
     switch (rec.kind) {
       case UndoRecord::Kind::kInsert:
@@ -51,8 +44,53 @@ Result<int64_t> TransactionManager::Rollback() {
     }
     log_.pop_back();
   }
+}
+
+Result<int64_t> TransactionManager::Rollback() {
+  if (scopes_.empty()) {
+    return Status::InvalidArgument("ROLLBACK without an active transaction");
+  }
+  const Scope scope = scopes_.back();
+  scopes_.pop_back();
+  UndoDownTo(scope.undo_start);
   ++stats_->txn_rollbacks;
   return scope.next_id;
+}
+
+int TransactionManager::FindScope(std::string_view name) const {
+  for (size_t i = scopes_.size(); i-- > 0;) {
+    if (EqualsIgnoreCase(scopes_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int64_t> TransactionManager::RollbackTo(std::string_view name) {
+  int i = FindScope(name);
+  if (i < 0) {
+    return Status::InvalidArgument("no savepoint named '" + std::string(name) +
+                                   "'");
+  }
+  UndoDownTo(scopes_[static_cast<size_t>(i)].undo_start);
+  // The named scope stays open (SQL keeps the savepoint after ROLLBACK TO);
+  // scopes nested inside it are gone.
+  scopes_.resize(static_cast<size_t>(i) + 1);
+  ++stats_->txn_rollbacks;
+  return scopes_[static_cast<size_t>(i)].next_id;
+}
+
+Status TransactionManager::Release(std::string_view name) {
+  int i = FindScope(name);
+  if (i < 0) {
+    return Status::InvalidArgument("no savepoint named '" + std::string(name) +
+                                   "'");
+  }
+  scopes_.resize(static_cast<size_t>(i));
+  if (scopes_.empty()) {
+    log_.clear();
+    old_values_.clear();
+  }
+  ++stats_->txn_commits;
+  return Status::OK();
 }
 
 void TransactionManager::PurgeTable(const Table* table) {
@@ -60,37 +98,39 @@ void TransactionManager::PurgeTable(const Table* table) {
   // Removing records shifts positions; every scope boundary must be remapped
   // to the count of surviving records that preceded it. The old-value vector
   // is compacted in step with the surviving kUpdate records (entries pair up
-  // with kUpdate records in log order).
+  // with kUpdate records in log order). Compaction is in place: the write
+  // cursor never passes the read cursor, so records move only backwards
+  // within the chunked log.
+  const size_t old_size = log_.size();
   std::vector<size_t> survivors_before(scopes_.size(), 0);
   size_t kept = 0;
   size_t next_value = 0;
-  std::vector<UndoRecord> filtered;
-  filtered.reserve(log_.size());
-  std::vector<Value> filtered_values;
-  filtered_values.reserve(old_values_.size());
-  for (size_t i = 0; i < log_.size(); ++i) {
+  size_t kept_values = 0;
+  for (size_t i = 0; i < old_size; ++i) {
     for (size_t s = 0; s < scopes_.size(); ++s) {
       if (scopes_[s].undo_start == i) survivors_before[s] = kept;
     }
-    bool is_update = log_[i].kind == UndoRecord::Kind::kUpdate;
-    if (log_[i].table != table) {
-      if (is_update) {
-        filtered_values.push_back(std::move(old_values_[next_value]));
+    const UndoRecord rec = log_.at(i);
+    bool is_update = rec.kind == UndoRecord::Kind::kUpdate;
+    if (rec.table != table) {
+      if (is_update && kept_values != next_value) {
+        old_values_[kept_values] = std::move(old_values_[next_value]);
       }
-      filtered.push_back(log_[i]);
+      if (is_update) ++kept_values;
+      if (kept != i) log_.at(kept) = rec;
       ++kept;
     }
     if (is_update) ++next_value;
   }
   for (size_t s = 0; s < scopes_.size(); ++s) {
-    if (scopes_[s].undo_start >= log_.size()) {
+    if (scopes_[s].undo_start >= old_size) {
       scopes_[s].undo_start = kept;
     } else {
       scopes_[s].undo_start = survivors_before[s];
     }
   }
-  log_ = std::move(filtered);
-  old_values_ = std::move(filtered_values);
+  log_.resize_down(kept);
+  old_values_.resize(kept_values);
 }
 
 }  // namespace xupd::rdb

@@ -6,6 +6,9 @@
 // enclosing transaction automatically). Scopes nest: a Begin() while a
 // transaction is active opens a savepoint; Rollback() undoes only the
 // records of the innermost scope, Commit() merges them into the parent.
+// Scopes may carry a name (the SQL SAVEPOINT surface): RollbackTo() undoes
+// every record back to the named scope and keeps it open, Release() merges
+// it (and any scopes nested inside it) into its parent.
 // Undo is applied strictly LIFO, which keeps the records logical and small:
 //   insert  -> re-kill the inserted rowid (and pop it when it is still the
 //              newest slot, restoring table capacity too)
@@ -15,10 +18,19 @@
 // DDL is NOT undoable; the Database rejects SQL DDL inside a transaction
 // (see database.h for the policy) and the direct catalog APIs purge a
 // dropped table's records so the log never dangles.
+//
+// The record log is region-allocated: fixed 4096-record chunks (~96 KiB)
+// that are allocated once, never copied on growth (unlike vector
+// reallocation, appending the N+1th chunk leaves existing records in
+// place), and retained across transactions, so steady-state logging of any
+// size never touches the allocator.
 #ifndef XUPD_RDB_TXN_H_
 #define XUPD_RDB_TXN_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -42,6 +54,44 @@ struct UndoRecord {
   size_t rowid = 0;
 };
 
+/// Chunked region log of UndoRecords. Appends never relocate existing
+/// records; chunks are retained on clear() for reuse.
+class UndoLog {
+ public:
+  /// 4096 records/chunk * 24 bytes = one ~96 KiB region per chunk.
+  static constexpr size_t kChunkBits = 12;
+  static constexpr size_t kChunkRecords = size_t{1} << kChunkBits;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Append(const UndoRecord& rec) {
+    if (size_ == chunks_.size() * kChunkRecords) {
+      chunks_.push_back(std::make_unique<UndoRecord[]>(kChunkRecords));
+    }
+    chunks_[size_ >> kChunkBits][size_ & (kChunkRecords - 1)] = rec;
+    ++size_;
+  }
+
+  const UndoRecord& at(size_t i) const {
+    return chunks_[i >> kChunkBits][i & (kChunkRecords - 1)];
+  }
+  UndoRecord& at(size_t i) {
+    return chunks_[i >> kChunkBits][i & (kChunkRecords - 1)];
+  }
+  const UndoRecord& back() const { return at(size_ - 1); }
+
+  void pop_back() { --size_; }
+  /// Keeps the chunks for the next transaction.
+  void clear() { size_ = 0; }
+  /// Drops records at and above `new_size` (scope rollback).
+  void resize_down(size_t new_size) { size_ = new_size; }
+
+ private:
+  std::vector<std::unique_ptr<UndoRecord[]>> chunks_;
+  size_t size_ = 0;
+};
+
 class TransactionManager {
  public:
   explicit TransactionManager(Stats* stats) : stats_(stats) {}
@@ -51,8 +101,9 @@ class TransactionManager {
   size_t undo_size() const { return log_.size(); }
 
   /// Opens a scope (a savepoint when one is already active). `next_id` is
-  /// the Database id counter to restore if this scope rolls back.
-  void Begin(int64_t next_id);
+  /// the Database id counter to restore if this scope rolls back. `name`
+  /// (optional) makes the scope addressable by RollbackTo/Release.
+  void Begin(int64_t next_id, std::string name = {});
 
   /// Pops the innermost scope, keeping its records for the parent; clears
   /// the log when the outermost scope commits.
@@ -62,21 +113,31 @@ class TransactionManager {
   /// id-counter snapshot taken at its Begin.
   Result<int64_t> Rollback();
 
+  /// Undoes every record logged since the innermost scope named `name`
+  /// (scopes nested inside it are discarded); the named scope itself stays
+  /// open, per SQL ROLLBACK TO semantics. Returns its id-counter snapshot.
+  Result<int64_t> RollbackTo(std::string_view name);
+
+  /// Merges the innermost scope named `name` — and any scopes nested inside
+  /// it — into its parent (SQL RELEASE semantics: the records are kept and
+  /// commit or roll back with the enclosing scope).
+  Status Release(std::string_view name);
+
   /// Record hooks (no-ops unless a transaction is active). Inline: they sit
   /// on the per-row hot path of every Table mutation.
   void LogInsert(Table* table, size_t rowid) {
     if (scopes_.empty()) return;
-    log_.push_back({UndoRecord::Kind::kInsert, 0, table, rowid});
+    log_.Append({UndoRecord::Kind::kInsert, 0, table, rowid});
     ++stats_->undo_records;
   }
   void LogDelete(Table* table, size_t rowid) {
     if (scopes_.empty()) return;
-    log_.push_back({UndoRecord::Kind::kDelete, 0, table, rowid});
+    log_.Append({UndoRecord::Kind::kDelete, 0, table, rowid});
     ++stats_->undo_records;
   }
   void LogUpdate(Table* table, size_t rowid, int column, Value old_value) {
     if (scopes_.empty()) return;
-    log_.push_back({UndoRecord::Kind::kUpdate, column, table, rowid});
+    log_.Append({UndoRecord::Kind::kUpdate, column, table, rowid});
     old_values_.push_back(std::move(old_value));
     ++stats_->undo_records;
   }
@@ -88,12 +149,18 @@ class TransactionManager {
 
  private:
   struct Scope {
-    size_t undo_start = 0;     ///< log_ size at Begin.
-    int64_t next_id = 0;       ///< Database id counter at Begin.
+    size_t undo_start = 0;  ///< log_ size at Begin.
+    int64_t next_id = 0;    ///< Database id counter at Begin.
+    std::string name;       ///< SAVEPOINT name (empty for plain Begin).
   };
 
+  /// Undoes log records down to `undo_start` (LIFO).
+  void UndoDownTo(size_t undo_start);
+  /// Innermost scope index with a case-insensitive name match, or -1.
+  int FindScope(std::string_view name) const;
+
   Stats* stats_;
-  std::vector<UndoRecord> log_;
+  UndoLog log_;
   /// Old values of kUpdate records, appended in log order (log_ indexes in).
   std::vector<Value> old_values_;
   std::vector<Scope> scopes_;

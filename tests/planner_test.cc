@@ -1,0 +1,609 @@
+// Tests for the plan-based query execution layer: index selection (probe vs
+// scan), join-conjunct pushdown, plan caching + invalidation on DDL, EXPLAIN
+// output shape, and parity between probed and forced-scan execution on the
+// fig. 6-11 workload query shapes (through the engine's update strategies).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "engine/store.h"
+#include "rdb/database.h"
+#include "test_util.h"
+#include "xml/serializer.h"
+
+namespace xupd::rdb {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void Must(const std::string& sql) {
+    Status s = db_.Execute(sql);
+    ASSERT_TRUE(s.ok()) << sql << "\n  -> " << s;
+  }
+  ResultSet Query(const std::string& sql) {
+    auto r = db_.ExecuteQuery(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n  -> " << r.status();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+  /// EXPLAIN output joined back into one string for substring assertions.
+  std::string Explain(const std::string& sql) {
+    ResultSet r = Query("EXPLAIN " + sql);
+    std::string out;
+    for (const Row& row : r.rows) {
+      out += row[0].AsString();
+      out += '\n';
+    }
+    return out;
+  }
+
+  void CreateEmpDept(bool indexed) {
+    Must("CREATE TABLE Emp (id INTEGER, deptId INTEGER, name VARCHAR)");
+    Must("CREATE TABLE Dept (id INTEGER, name VARCHAR)");
+    if (indexed) {
+      Must("CREATE INDEX emp_dept ON Emp (deptId)");
+      Must("CREATE INDEX dept_id ON Dept (id)");
+    }
+    Must("INSERT INTO Dept VALUES (1, 'eng'), (2, 'ops'), (3, 'hr')");
+    Must("INSERT INTO Emp VALUES (10, 1, 'ann'), (11, 1, 'bob'), "
+         "(12, 2, 'cat'), (13, 3, 'dan')");
+  }
+
+  Database db_;
+};
+
+// ---------------------------------------------------------------------------
+// Index selection: probe vs scan.
+
+TEST_F(PlannerTest, PointQueryUsesIndexProbe) {
+  CreateEmpDept(/*indexed=*/true);
+  Stats before = db_.stats();
+  ResultSet r = Query("SELECT name FROM Emp WHERE deptId = 1");
+  EXPECT_EQ(r.rows.size(), 2u);
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_GT(delta.index_probes, 0u);
+  EXPECT_EQ(delta.rows_scanned, 0u);  // no scan of Emp
+  EXPECT_NE(Explain("SELECT name FROM Emp WHERE deptId = 1")
+                .find("IndexProbe Emp via emp_dept"),
+            std::string::npos);
+}
+
+TEST_F(PlannerTest, UnindexedPredicateFallsBackToScan) {
+  CreateEmpDept(/*indexed=*/false);
+  Stats before = db_.stats();
+  ResultSet r = Query("SELECT name FROM Emp WHERE deptId = 1");
+  EXPECT_EQ(r.rows.size(), 2u);
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.index_probes, 0u);
+  EXPECT_GT(delta.rows_scanned, 0u);
+  std::string plan = Explain("SELECT name FROM Emp WHERE deptId = 1");
+  EXPECT_NE(plan.find("Scan Emp"), std::string::npos);
+  EXPECT_EQ(plan.find("IndexProbe"), std::string::npos);
+}
+
+TEST_F(PlannerTest, InListProbesTheIndexPerValue) {
+  CreateEmpDept(/*indexed=*/true);
+  Stats before = db_.stats();
+  ResultSet r = Query("SELECT name FROM Emp WHERE deptId IN (1, 3)");
+  EXPECT_EQ(r.rows.size(), 3u);
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.index_probes, 2u);  // one probe per IN value
+  EXPECT_EQ(delta.rows_scanned, 0u);
+}
+
+TEST_F(PlannerTest, InSubqueryProbesTheIndex) {
+  CreateEmpDept(/*indexed=*/true);
+  Stats before = db_.stats();
+  ResultSet r = Query(
+      "SELECT name FROM Emp WHERE deptId IN (SELECT id FROM Dept "
+      "WHERE name = 'eng')");
+  EXPECT_EQ(r.rows.size(), 2u);
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_GT(delta.index_probes, 0u);
+  // Only the subquery's Dept scan touches rows; Emp is probed.
+  EXPECT_EQ(delta.rows_scanned, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Join-conjunct pushdown.
+
+TEST_F(PlannerTest, JoinConjunctDrivesInnerIndexProbe) {
+  CreateEmpDept(/*indexed=*/true);
+  Stats before = db_.stats();
+  ResultSet r = Query(
+      "SELECT Emp.name, Dept.name FROM Emp, Dept "
+      "WHERE Emp.deptId = Dept.id AND Emp.id = 10");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "eng");
+  Stats delta = db_.stats().Delta(before);
+  // Emp is scanned (no index on Emp.id) but Dept is probed per Emp row —
+  // never scanned — because the equi-join conjunct was pushed down.
+  EXPECT_EQ(delta.rows_scanned, 4u);  // Emp only
+  EXPECT_GT(delta.index_probes, 0u);
+  std::string plan = Explain(
+      "SELECT Emp.name, Dept.name FROM Emp, Dept "
+      "WHERE Emp.deptId = Dept.id AND Emp.id = 10");
+  EXPECT_NE(plan.find("NestedLoopJoin"), std::string::npos);
+  EXPECT_NE(plan.find("IndexProbe Dept via dept_id"), std::string::npos);
+}
+
+TEST_F(PlannerTest, SingleRelationFilterIsAppliedBeforeTheJoin) {
+  CreateEmpDept(/*indexed=*/false);
+  Stats before = db_.stats();
+  ResultSet r = Query(
+      "SELECT Emp.name FROM Emp, Dept "
+      "WHERE Emp.deptId = Dept.id AND Dept.name = 'hr'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "dan");
+  // Emp (4 rows) scanned once; Dept (3 rows) rescanned per Emp row. Without
+  // pushdown the cross product would join first and filter 12 tuples later;
+  // the filter placement keeps the inner loop's emitted tuples at 4.
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.rows_scanned, 4u + 4u * 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache: reuse and invalidation.
+
+TEST_F(PlannerTest, ExecuteBoundReusesThePlan) {
+  CreateEmpDept(/*indexed=*/true);
+  Stats before = db_.stats();
+  for (int i = 0; i < 5; ++i) {
+    auto r = db_.ExecuteQueryBound("SELECT name FROM Emp WHERE deptId = ?",
+                                   {Value::Int(1)});
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->rows.size(), 2u);
+  }
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.plans_built, 1u);
+  EXPECT_EQ(delta.plan_cache_hits, 4u);
+}
+
+TEST_F(PlannerTest, CreateIndexInvalidatesCachedPlans) {
+  CreateEmpDept(/*indexed=*/false);
+  const char kSql[] = "SELECT name FROM Emp WHERE deptId = ?";
+  ASSERT_TRUE(db_.ExecuteQueryBound(kSql, {Value::Int(1)}).ok());
+  Stats before = db_.stats();
+  ASSERT_TRUE(db_.ExecuteQueryBound(kSql, {Value::Int(1)}).ok());
+  EXPECT_EQ(db_.stats().Delta(before).plan_cache_hits, 1u);
+
+  // The new index must be picked up: the cached scan plan is stale.
+  Must("CREATE INDEX emp_dept ON Emp (deptId)");
+  before = db_.stats();
+  auto r = db_.ExecuteQueryBound(kSql, {Value::Int(1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.plan_cache_hits, 0u);
+  EXPECT_GE(delta.plans_built, 1u);
+  EXPECT_GT(delta.index_probes, 0u);
+  EXPECT_EQ(delta.rows_scanned, 0u);
+}
+
+TEST_F(PlannerTest, DropIndexInvalidatesCachedPlans) {
+  CreateEmpDept(/*indexed=*/true);
+  const char kSql[] = "SELECT name FROM Emp WHERE deptId = ?";
+  ASSERT_TRUE(db_.ExecuteQueryBound(kSql, {Value::Int(1)}).ok());
+  Must("DROP INDEX emp_dept");  // owning table resolved by catalog search
+  Stats before = db_.stats();
+  auto r = db_.ExecuteQueryBound(kSql, {Value::Int(1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.plan_cache_hits, 0u);  // stale probe plan was rebuilt
+  EXPECT_EQ(delta.index_probes, 0u);
+  EXPECT_GT(delta.rows_scanned, 0u);
+}
+
+TEST_F(PlannerTest, DropTableInvalidatesCachedPlans) {
+  CreateEmpDept(/*indexed=*/true);
+  const char kSql[] = "SELECT name FROM Emp WHERE deptId = ?";
+  ASSERT_TRUE(db_.ExecuteQueryBound(kSql, {Value::Int(1)}).ok());
+  Must("DROP TABLE Emp");
+  // The stale plan holds a dead Table*; the version check forces a re-plan,
+  // which reports the missing table instead of dereferencing it.
+  auto r = db_.ExecuteQueryBound(kSql, {Value::Int(1)});
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  // Recreating the table makes the same handle usable again.
+  Must("CREATE TABLE Emp (id INTEGER, deptId INTEGER, name VARCHAR)");
+  auto r2 = db_.ExecuteQueryBound(kSql, {Value::Int(1)});
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->rows.size(), 0u);
+}
+
+TEST_F(PlannerTest, DdlThroughEveryEntryPointInvalidatesPlans) {
+  // Regression: DDL issued via ExecuteQuery (not just Execute /
+  // ExecutePrepared) must version out cached plans — a stale plan holds the
+  // dropped Table* and would otherwise be dereferenced after free.
+  CreateEmpDept(/*indexed=*/true);
+  const char kSql[] = "SELECT name FROM Emp WHERE deptId = ?";
+  auto handle = db_.Prepare(kSql);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(db_.ExecuteQueryPrepared(handle.value(), {Value::Int(1)}).ok());
+  ASSERT_TRUE(db_.ExecuteQuery("DROP TABLE Emp").ok());
+  auto r = db_.ExecuteQueryPrepared(handle.value(), {Value::Int(1)});
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PlannerTest, PreparedExplainReusesThePlan) {
+  CreateEmpDept(/*indexed=*/true);
+  Stats before = db_.stats();
+  for (int i = 0; i < 3; ++i) {
+    auto r = db_.ExecuteQueryBound("EXPLAIN SELECT name FROM Emp WHERE "
+                                   "deptId = ?",
+                                   {Value::Int(1)});
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_FALSE(r->rows.empty());
+  }
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.plans_built, 1u);
+  EXPECT_EQ(delta.plan_cache_hits, 2u);
+}
+
+TEST_F(PlannerTest, TriggerBodyPlansAreCachedAcrossRows) {
+  Must("CREATE TABLE parent (id INTEGER)");
+  Must("CREATE TABLE child (id INTEGER, parentId INTEGER)");
+  Must("CREATE INDEX child_pid ON child (parentId)");
+  Must("CREATE TRIGGER cascade_del AFTER DELETE ON parent FOR EACH ROW "
+       "BEGIN DELETE FROM child WHERE parentId = OLD.id; END");
+  Must("INSERT INTO parent VALUES (1), (2), (3), (4)");
+  Must("INSERT INTO child VALUES (10, 1), (11, 2), (12, 3), (13, 4)");
+  Stats before = db_.stats();
+  Must("DELETE FROM parent");
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.trigger_firings, 4u);
+  // One plan for the DELETE itself + one for the body; the body's remaining
+  // three firings reuse the cached plan.
+  EXPECT_EQ(delta.plans_built, 2u);
+  EXPECT_EQ(delta.plan_cache_hits, 3u);
+  ResultSet r = Query("SELECT COUNT(*) FROM child");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN output shape.
+
+TEST_F(PlannerTest, ExplainSelectShowsProjectAndAccessPath) {
+  CreateEmpDept(/*indexed=*/true);
+  std::string plan = Explain("SELECT name FROM Emp WHERE deptId = 1");
+  EXPECT_NE(plan.find("Project [name]"), std::string::npos);
+  EXPECT_NE(plan.find("IndexProbe Emp via emp_dept (deptId = 1)"),
+            std::string::npos);
+}
+
+TEST_F(PlannerTest, ExplainShowsSortUnionAndAggregate) {
+  CreateEmpDept(/*indexed=*/false);
+  std::string plan = Explain(
+      "SELECT id FROM Emp UNION ALL SELECT id FROM Dept ORDER BY id DESC");
+  EXPECT_NE(plan.find("Sort [id DESC]"), std::string::npos);
+  EXPECT_NE(plan.find("UnionAll"), std::string::npos);
+  std::string agg = Explain("SELECT COUNT(*), MIN(id) FROM Emp");
+  EXPECT_NE(agg.find("Aggregate [COUNT(*), MIN(id)]"), std::string::npos);
+}
+
+TEST_F(PlannerTest, ExplainDeleteAndUpdateShowTargetAndPath) {
+  CreateEmpDept(/*indexed=*/true);
+  std::string del = Explain("DELETE FROM Emp WHERE deptId = 2");
+  EXPECT_NE(del.find("Delete Emp"), std::string::npos);
+  EXPECT_NE(del.find("IndexProbe Emp via emp_dept"), std::string::npos);
+  std::string upd = Explain("UPDATE Emp SET name = 'x' WHERE id = 10");
+  EXPECT_NE(upd.find("Update Emp [set name]"), std::string::npos);
+  EXPECT_NE(upd.find("Scan Emp (filter: (id = 10))"), std::string::npos);
+}
+
+TEST_F(PlannerTest, ExplainDoesNotExecute) {
+  CreateEmpDept(/*indexed=*/false);
+  ASSERT_TRUE(db_.Execute("EXPLAIN DELETE FROM Emp").ok());
+  ResultSet r = Query("SELECT COUNT(*) FROM Emp");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(PlannerTest, ExplainRejectsNonPlannableStatements) {
+  EXPECT_EQ(db_.Execute("EXPLAIN BEGIN").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db_.Execute("EXPLAIN CREATE TABLE t (a INTEGER)").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlannerTest, ExplainErrorsOnUnknownNames) {
+  EXPECT_EQ(db_.ExecuteQuery("EXPLAIN SELECT * FROM nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Planner name-resolution errors surface even on empty tables (the seed
+// interpreter validated up front; the planner must too).
+
+TEST_F(PlannerTest, UnknownColumnsFailOnEmptyTables) {
+  Must("CREATE TABLE t (a INTEGER)");
+  EXPECT_EQ(db_.ExecuteQuery("SELECT nope FROM t").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.ExecuteQuery("SELECT a FROM t WHERE nope = 1").status().code(),
+            StatusCode::kNotFound);
+  Must("CREATE TABLE u (a INTEGER)");
+  EXPECT_EQ(
+      db_.ExecuteQuery("SELECT a FROM t, u").status().code(),
+      StatusCode::kInvalidArgument);  // ambiguous
+}
+
+// ---------------------------------------------------------------------------
+// Parity: probed and forced-scan execution return identical results on the
+// workload query shapes (point/join/IN-subquery/aggregate/outer-union).
+
+class ParityTest : public PlannerTest {
+ protected:
+  /// Customer/Order/OrderLine fixture: 8 customers x 3 orders x 2 lines.
+  static void LoadParityData(Database* db, bool indexed) {
+    auto must = [db](const std::string& sql) {
+      Status s = db->Execute(sql);
+      ASSERT_TRUE(s.ok()) << sql << "\n  -> " << s;
+    };
+    must("CREATE TABLE CustDB (id INTEGER)");
+    must("CREATE TABLE Customer (id INTEGER, parentId INTEGER, "
+         "Name VARCHAR, City VARCHAR)");
+    must("CREATE TABLE Ord (id INTEGER, parentId INTEGER, Status VARCHAR)");
+    must("CREATE TABLE OrderLine (id INTEGER, parentId INTEGER, "
+         "ItemName VARCHAR, Qty INTEGER)");
+    if (indexed) {
+      for (const char* idx :
+           {"cust_id ON Customer (id)", "cust_pid ON Customer (parentId)",
+            "ord_id ON Ord (id)", "ord_pid ON Ord (parentId)",
+            "ol_id ON OrderLine (id)", "ol_pid ON OrderLine (parentId)"}) {
+        must(std::string("CREATE INDEX ") + idx);
+      }
+    }
+    must("INSERT INTO CustDB VALUES (1)");
+    for (int c = 0; c < 8; ++c) {
+      int cid = 100 + c;
+      must("INSERT INTO Customer VALUES (" + std::to_string(cid) + ", 1, "
+           "'cust" + std::to_string(c % 3) + "', 'city" +
+           std::to_string(c % 2) + "')");
+      for (int o = 0; o < 3; ++o) {
+        int oid = 1000 + c * 10 + o;
+        must("INSERT INTO Ord VALUES (" + std::to_string(oid) + ", " +
+             std::to_string(cid) + ", 'st" + std::to_string(o) + "')");
+        for (int l = 0; l < 2; ++l) {
+          must("INSERT INTO OrderLine VALUES (" +
+               std::to_string(10000 + oid * 10 + l) + ", " +
+               std::to_string(oid) + ", 'item" + std::to_string(l) + "', " +
+               std::to_string(l + c) + ")");
+        }
+      }
+    }
+  }
+
+  void SetUp() override { LoadParityData(&db_, /*indexed=*/true); }
+
+  /// Runs `sql` with index probes on and off and asserts identical results.
+  void ExpectParity(const std::string& sql) {
+    db_.set_planner_index_probes_enabled(true);
+    auto probed = db_.ExecuteQuery(sql);
+    ASSERT_TRUE(probed.ok()) << sql << "\n  -> " << probed.status();
+    db_.set_planner_index_probes_enabled(false);
+    auto scanned = db_.ExecuteQuery(sql);
+    ASSERT_TRUE(scanned.ok()) << sql << "\n  -> " << scanned.status();
+    db_.set_planner_index_probes_enabled(true);
+    EXPECT_EQ(probed->columns, scanned->columns) << sql;
+    // Row order can legitimately differ between access paths (hash-set
+    // iteration vs scan order); compare as sorted multisets.
+    auto normalize = [](const ResultSet& r) {
+      std::vector<std::string> rows;
+      for (const Row& row : r.rows) {
+        std::string s;
+        for (const Value& v : row) s += v.ToSqlLiteral() + "|";
+        rows.push_back(std::move(s));
+      }
+      std::sort(rows.begin(), rows.end());
+      return rows;
+    };
+    EXPECT_EQ(normalize(*probed), normalize(*scanned)) << sql;
+  }
+};
+
+TEST_F(ParityTest, WorkloadQueryShapesMatch) {
+  // Point and range predicates (fig. 6/8 subtree-root selection).
+  ExpectParity("SELECT id FROM Customer WHERE Name = 'cust1'");
+  ExpectParity("SELECT id FROM Ord WHERE parentId = 103");
+  ExpectParity("SELECT id FROM OrderLine WHERE Qty > 3");
+  // Parent/child join chains (§7.2 path queries).
+  ExpectParity(
+      "SELECT OrderLine.id FROM Customer, Ord, OrderLine "
+      "WHERE Ord.parentId = Customer.id AND OrderLine.parentId = Ord.id "
+      "AND Customer.Name = 'cust0'");
+  // IN-subquery semijoins (the translator's xupd_idlist shape).
+  ExpectParity(
+      "SELECT id FROM Ord WHERE parentId IN "
+      "(SELECT id FROM Customer WHERE City = 'city1')");
+  // Aggregates over joins (fig. 7/9 bookkeeping queries).
+  ExpectParity(
+      "SELECT COUNT(*), MIN(OrderLine.id), MAX(OrderLine.Qty) "
+      "FROM Ord, OrderLine WHERE OrderLine.parentId = Ord.id");
+  // Outer-union style UNION ALL + ORDER BY (§5.2 sorted outer union).
+  ExpectParity(
+      "SELECT id, parentId FROM Ord WHERE parentId = 101 UNION ALL "
+      "SELECT id, parentId FROM OrderLine WHERE parentId = 1010 "
+      "ORDER BY id");
+  // CTE staging (the compound-select machinery).
+  ExpectParity(
+      "WITH eng (cid) AS (SELECT id FROM Customer WHERE Name = 'cust2') "
+      "SELECT Ord.id FROM Ord, eng WHERE Ord.parentId = eng.cid "
+      "ORDER BY id DESC");
+}
+
+TEST_F(ParityTest, MutationsMatchUnderBothAccessPaths) {
+  // Apply the same delete+update sequence on probed and scanned plans and
+  // compare the full surviving contents.
+  auto run_sequence = [&](Database* db) {
+    ASSERT_TRUE(db->Execute("DELETE FROM OrderLine WHERE parentId IN "
+                            "(SELECT id FROM Ord WHERE Status = 'st1')")
+                    .ok());
+    ASSERT_TRUE(db->Execute("UPDATE Ord SET Status = 'gone' "
+                            "WHERE id IN (SELECT parentId FROM OrderLine "
+                            "WHERE Qty = 4)")
+                    .ok());
+    ASSERT_TRUE(
+        db->Execute("DELETE FROM Customer WHERE Name = 'cust0'").ok());
+  };
+  auto dump = [&](Database* db) {
+    std::vector<std::string> rows;
+    for (const char* sql :
+         {"SELECT * FROM Customer", "SELECT * FROM Ord",
+          "SELECT * FROM OrderLine"}) {
+      auto r = db->ExecuteQuery(sql);
+      EXPECT_TRUE(r.ok()) << r.status();
+      for (const Row& row : r->rows) {
+        std::string s;
+        for (const Value& v : row) s += v.ToSqlLiteral() + "|";
+        rows.push_back(std::move(s));
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+
+  db_.set_planner_index_probes_enabled(true);
+  run_sequence(&db_);
+  auto probed = dump(&db_);
+
+  // Fresh database, same schema + data (no indexes), scans forced.
+  Database scan_db;
+  LoadParityData(&scan_db, /*indexed=*/false);
+  scan_db.set_planner_index_probes_enabled(false);
+  run_sequence(&scan_db);
+  auto scanned = dump(&scan_db);
+  EXPECT_EQ(probed, scanned);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: the fig. 6 bulk-delete workload runs fully planned, and the
+// engine's hot paths (store/translator) reuse cached plans.
+
+TEST(PlannerEngineTest, EngineWorkloadReconstructsIdenticallyUnderForcedScans) {
+  auto dtd = xupd::testing::MustParseDtd(xupd::testing::kCustomerDtd);
+  engine::RelationalStore::Options options;
+  options.delete_strategy = engine::DeleteStrategy::kPerTupleTrigger;
+
+  std::string probed_xml, scanned_xml;
+  for (bool probes : {true, false}) {
+    auto store = engine::RelationalStore::Create(dtd, options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    auto doc = xupd::testing::MustParse(xupd::testing::kCustomerXml);
+    ASSERT_TRUE(store.value()->Load(*doc).ok());
+    store.value()->db()->set_planner_index_probes_enabled(probes);
+    ASSERT_TRUE(store.value()->DeleteWhere("Customer", "Name = 'John'").ok());
+    ASSERT_TRUE(store.value()
+                    ->ExecuteXQueryUpdate(R"(
+      FOR $d IN document("custdb.xml"), $c IN $d/Customer[Name="Mary"]
+      UPDATE $d { DELETE $c })")
+                    .ok());
+    auto rebuilt = store.value()->Reconstruct();
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+    (probes ? probed_xml : scanned_xml) = xml::Serialize(*rebuilt.value());
+  }
+  EXPECT_EQ(probed_xml, scanned_xml);
+}
+
+TEST(PlannerEngineTest, EngineUpdatePathsHitThePlanCache) {
+  auto dtd = xupd::testing::MustParseDtd(xupd::testing::kCustomerDtd);
+  engine::RelationalStore::Options options;
+  options.delete_strategy = engine::DeleteStrategy::kPerTupleTrigger;
+  auto store = engine::RelationalStore::Create(dtd, options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto doc = xupd::testing::MustParse(xupd::testing::kCustomerXml);
+  ASSERT_TRUE(store.value()->Load(*doc).ok());
+
+  // The bulk delete cascades through per-row triggers: after the first row,
+  // every body statement runs on a cached plan, so the engine's hottest
+  // delete path executes fully planned with reuse.
+  uint64_t before = store.value()->stats().plan_cache_hits;
+  ASSERT_TRUE(store.value()->DeleteWhere("Customer", "").ok());
+  EXPECT_GT(store.value()->stats().plan_cache_hits, before);
+}
+
+// ---------------------------------------------------------------------------
+// Savepoint SQL surface (mapped onto nested transaction scopes).
+
+class SavepointTest : public PlannerTest {
+ protected:
+  void SetUp() override {
+    Must("CREATE TABLE t (id INTEGER, v VARCHAR)");
+    Must("CREATE INDEX t_id ON t (id)");
+    Must("INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+  }
+  int64_t CountRows() {
+    ResultSet r = Query("SELECT COUNT(*) FROM t");
+    return r.rows[0][0].AsInt();
+  }
+};
+
+TEST_F(SavepointTest, RollbackToUndoesOnlyThePostSavepointWrites) {
+  Must("BEGIN");
+  Must("INSERT INTO t VALUES (3, 'c')");
+  Must("SAVEPOINT sp1");
+  Must("INSERT INTO t VALUES (4, 'd')");
+  Must("UPDATE t SET v = 'z' WHERE id = 1");
+  EXPECT_EQ(CountRows(), 4);
+  Must("ROLLBACK TO sp1");
+  EXPECT_EQ(CountRows(), 3);  // (4,'d') undone, (3,'c') kept
+  ResultSet r = Query("SELECT v FROM t WHERE id = 1");
+  EXPECT_EQ(r.rows[0][0].AsString(), "a");  // update undone
+  // The savepoint survives ROLLBACK TO: it can be rolled back to again.
+  Must("INSERT INTO t VALUES (5, 'e')");
+  Must("ROLLBACK TO SAVEPOINT sp1");
+  EXPECT_EQ(CountRows(), 3);
+  // The savepoint is a nested scope: COMMIT merges it into the outer
+  // transaction, which a second COMMIT then makes durable.
+  Must("COMMIT");
+  EXPECT_EQ(db_.transaction_depth(), 1u);
+  Must("COMMIT");
+  EXPECT_EQ(CountRows(), 3);
+  EXPECT_FALSE(db_.in_transaction());
+}
+
+TEST_F(SavepointTest, ReleaseMergesIntoTheParentScope) {
+  Must("BEGIN");
+  Must("SAVEPOINT sp1");
+  Must("INSERT INTO t VALUES (3, 'c')");
+  Must("RELEASE sp1");
+  EXPECT_EQ(db_.transaction_depth(), 1u);
+  // The released writes roll back with the outer transaction.
+  Must("ROLLBACK");
+  EXPECT_EQ(CountRows(), 2);
+}
+
+TEST_F(SavepointTest, RollbackToDiscardsNestedSavepoints) {
+  Must("BEGIN");
+  Must("SAVEPOINT outer_sp");
+  Must("INSERT INTO t VALUES (3, 'c')");
+  Must("SAVEPOINT inner_sp");
+  Must("INSERT INTO t VALUES (4, 'd')");
+  Must("ROLLBACK TO outer_sp");
+  EXPECT_EQ(CountRows(), 2);
+  // inner_sp is gone with its enclosing rollback.
+  EXPECT_EQ(db_.Execute("ROLLBACK TO inner_sp").code(),
+            StatusCode::kInvalidArgument);
+  Must("COMMIT");
+}
+
+TEST_F(SavepointTest, SavepointRequiresActiveTransaction) {
+  EXPECT_EQ(db_.Execute("SAVEPOINT sp1").code(),
+            StatusCode::kInvalidArgument);
+  Must("BEGIN");
+  EXPECT_EQ(db_.Execute("ROLLBACK TO nope").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db_.Execute("RELEASE nope").code(), StatusCode::kInvalidArgument);
+  Must("COMMIT");
+}
+
+TEST_F(SavepointTest, SavepointNamesAreCaseInsensitive) {
+  Must("BEGIN");
+  Must("SAVEPOINT MySp");
+  Must("INSERT INTO t VALUES (3, 'c')");
+  Must("ROLLBACK TO mysp");
+  EXPECT_EQ(CountRows(), 2);
+  Must("RELEASE MYSP");
+  Must("COMMIT");
+}
+
+}  // namespace
+}  // namespace xupd::rdb
