@@ -15,6 +15,29 @@ using shred::Mapping;
 using shred::ShreddedTuple;
 using shred::TableMapping;
 
+namespace {
+/// Shared scratch table the engine stages bound id sets in (see
+/// IdListPredicate). Predicates that reference it have constant SQL text.
+constexpr const char* kIdListTable = "xupd_idlist";
+
+/// One-row marker created as the LAST step of store setup. Durable-store
+/// creation commits each schema DDL as its own WAL unit (DDL cannot ride
+/// in a transaction), so a crash mid-setup leaves a partial catalog that
+/// recovery would otherwise present as a complete store — with cascade
+/// triggers or element tables silently missing. Reopen requires the
+/// marker; its absence is reported as an incomplete creation.
+constexpr const char* kSetupMarkerTable = "xupd_setup";
+
+/// True when a predicate produces constant statement text across calls:
+/// empty, or routed through the xupd_idlist scratch table. Statements built
+/// from such predicates are worth caching; literal one-shot predicates
+/// (e.g. "id = 42") would only evict reusable plans.
+bool ConstantPredicateText(const std::string& predicate) {
+  return predicate.empty() ||
+         predicate.find(kIdListTable) != std::string::npos;
+}
+}  // namespace
+
 const char* ToString(DeleteStrategy s) {
   switch (s) {
     case DeleteStrategy::kPerTupleTrigger:
@@ -54,15 +77,59 @@ Result<std::unique_ptr<RelationalStore>> RelationalStore::Create(
   store->mapping_ = std::make_unique<Mapping>(std::move(mapping).value());
   store->shredder_ = std::make_unique<shred::Shredder>(
       store->mapping_.get(), &store->db_, options.insert_batch_size);
-  XUPD_RETURN_IF_ERROR(store->shredder_->CreateSchema());
+  if (store->options_.durability) {
+    rdb::DurabilityOptions dopts;
+    dopts.sync_mode = store->options_.sync_mode;
+    XUPD_RETURN_IF_ERROR(store->db_.Open(store->options_.data_dir, dopts));
+  }
   if (store->options_.build_asr) {
     store->asr_ =
         std::make_unique<AsrManager>(store->mapping_.get(), &store->db_);
+  }
+  if (store->db_.recovered()) {
+    // The schema, indexes, triggers, ASR and all rows came back from the
+    // snapshot + WAL. The setup marker is written LAST during creation, so
+    // its absence means the original process crashed mid-setup — the
+    // partial catalog must not masquerade as a complete store (it may be
+    // missing element tables or the cascade triggers).
+    const rdb::Table* marker = store->db_.FindTable(kSetupMarkerTable);
+    if (marker == nullptr || marker->live_count() == 0) {
+      return Status::Internal(
+          "data directory '" + store->options_.data_dir +
+          "' holds an incomplete store creation (the process crashed "
+          "mid-setup before the schema was fully committed); remove the "
+          "directory and create the store again");
+    }
+    // Re-derive the engine's root id from the stored root tuple (the
+    // shredder attaches the document root to parent 0).
+    const TableMapping* root = store->mapping_->root();
+    if (store->db_.FindTable(root->table) == nullptr) {
+      return Status::Internal("recovered store is missing root table '" +
+                              root->table + "' (DTD mismatch?)");
+    }
+    auto root_row = store->db_.ExecuteQuery(
+        "SELECT id FROM " + root->table + " WHERE parentId = 0 ORDER BY id");
+    if (!root_row.ok()) return root_row.status();
+    if (!root_row->rows.empty()) {
+      store->root_id_ = root_row->rows[0][0].AsInt();
+    }
+    return store;
+  }
+  XUPD_RETURN_IF_ERROR(store->shredder_->CreateSchema());
+  if (store->options_.build_asr) {
     XUPD_RETURN_IF_ERROR(store->asr_->CreateSchema());
   }
   XUPD_RETURN_IF_ERROR(store->InstallTriggers());
+  // Setup-complete marker, created last (and in non-durable stores too, so
+  // durable and in-memory state dumps stay comparable).
+  XUPD_RETURN_IF_ERROR(store->db_.Execute(
+      std::string("CREATE TABLE ") + kSetupMarkerTable + " (completed INTEGER)"));
+  XUPD_RETURN_IF_ERROR(store->db_.Execute(
+      std::string("INSERT INTO ") + kSetupMarkerTable + " VALUES (1)"));
   return store;
 }
+
+Status RelationalStore::Checkpoint() { return db_.Checkpoint(); }
 
 Status RelationalStore::InstallTriggers() {
   if (options_.delete_strategy != DeleteStrategy::kPerTupleTrigger &&
@@ -105,12 +172,15 @@ Status RelationalStore::Load(const xml::Document& doc) {
         XUPD_RETURN_IF_ERROR(db_.InsertDirect(table, t.row));
       }
     }
-    return asr_->BuildFromTuples(*tuples);
+    XUPD_RETURN_IF_ERROR(asr_->BuildFromTuples(*tuples));
+    // Direct bulk-API writes do not cross a statement boundary; flush them
+    // as one committed WAL unit so the load survives a crash.
+    return db_.WalFlush();
   }
   auto root_id = shredder_->LoadDocument(doc, options_.load_via_sql);
   if (!root_id.ok()) return root_id.status();
   root_id_ = root_id.value();
-  return Status::OK();
+  return db_.WalFlush();
 }
 
 // ---------------------------------------------------------------------------
@@ -354,7 +424,13 @@ Status RelationalStore::TupleInsert(const TableMapping* tm,
   // one literal INSERT statement per tuple, parsed every time.
   shred::OuterUnionQuery query =
       shred::BuildOuterUnion(*mapping_, tm, predicate);
-  auto result = db_.ExecuteQuery(query.sql);
+  // When the root predicate rides in the xupd_idlist scratch table (or is
+  // empty) the outer-union text is constant across calls, so the big SELECT
+  // reuses one cached plan no matter which ids are staged; literal
+  // predicates stay on the parse-per-call path rather than churn the cache.
+  auto result = ConstantPredicateText(predicate)
+                    ? db_.ExecuteQueryBound(query.sql, {})
+                    : db_.ExecuteQuery(query.sql);
   if (!result.ok()) return result.status();
   const size_t batch = options_.insert_batch_size < 1
                            ? 1
@@ -672,10 +748,6 @@ Status RelationalStore::InsertConstructedImpl(const xml::Element& content,
 
 // ---------------------------------------------------------------------------
 // Id-list staging (shared scratch table for the translator's IN predicates)
-
-namespace {
-constexpr const char* kIdListTable = "xupd_idlist";
-}  // namespace
 
 Result<std::string> RelationalStore::IdListPredicate(
     const std::string& column, const std::vector<int64_t>& ids) {

@@ -62,6 +62,18 @@ class RelationalStore {
     /// savepoints. false = the paper's raw autocommit regime (each SQL
     /// statement lands individually; a failure leaves partial effects).
     bool transactional = true;
+    /// Durability (rdb/wal.h): when true the store's Database opens a WAL +
+    /// snapshot pair under `data_dir` before creating any schema. If the
+    /// directory already holds durable state, Create() RECOVERS it instead
+    /// of re-creating the schema: element tables, hash indexes, the ASR,
+    /// triggers, tombstones and the next-id counter come back exactly as
+    /// last committed, and root_id() is re-derived from the stored root
+    /// tuple. Reopen with the same strategy options the store was created
+    /// with (recovered triggers must match the delete strategy).
+    bool durability = false;
+    std::string data_dir;
+    /// WAL fsync policy (none / commit / batched group commit).
+    rdb::SyncMode sync_mode = rdb::SyncMode::kCommit;
   };
 
   /// Creates the store for a DTD: derives the mapping, creates the schema,
@@ -133,6 +145,14 @@ class RelationalStore {
   /// statement executes in one transaction: any error leaves the store
   /// exactly as it was (Options::transactional).
   Status ExecuteXQueryUpdate(std::string_view query);
+
+  /// Durability: serializes the full store state to a fresh snapshot and
+  /// truncates the WAL (Database::Checkpoint). Requires Options::durability.
+  Status Checkpoint();
+
+  /// True when Create() recovered existing durable state from
+  /// Options::data_dir instead of building a fresh store.
+  bool recovered() const { return db_.recovered(); }
 
   /// Stages `ids` in the shared scratch table `xupd_idlist` (created lazily
   /// through the direct catalog API) and returns the predicate

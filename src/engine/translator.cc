@@ -611,11 +611,19 @@ class Translator {
         if (src.table == nullptr || src.inlined) {
           return Status::Unimplemented("copying a non-table-mapped source");
         }
+        if (src.ids.empty()) return Status::OK();
+        // Stage the bound source ids in xupd_idlist and copy them in one
+        // strategy pass per destination: the outer-union SELECT (and the
+        // table/ASR strategies' marking statements) then carry the constant
+        // "id IN (SELECT id FROM xupd_idlist)" root predicate instead of a
+        // per-source literal id, so every copy reuses cached plans. The
+        // copies themselves get fresh ids, so the staged set stays valid
+        // across destinations.
+        XUPD_ASSIGN_OR_RETURN(std::string pred,
+                              store_->IdListPredicate("id", src.ids));
         for (int64_t dst : target.ids) {
-          for (int64_t s : src.ids) {
-            XUPD_RETURN_IF_ERROR(
-                store_->CopySubtree(src.table->element, s, dst));
-          }
+          XUPD_RETURN_IF_ERROR(
+              store_->CopySubtreesWhere(src.table->element, pred, dst));
         }
         return Status::OK();
       }

@@ -1,9 +1,16 @@
 #include "rdb/database.h"
 
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 
 #include "common/stopwatch.h"
 #include "common/str_util.h"
+#include "rdb/snapshot.h"
 #include "rdb/sql_executor.h"
 #include "rdb/sql_parser.h"
 
@@ -17,6 +24,19 @@ void SpinFor(double us) {
   Stopwatch sw;
   while (sw.ElapsedSeconds() * 1e6 < us) {
   }
+}
+
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.xupd";
+}
+std::string SnapshotTmpPath(const std::string& dir) {
+  return dir + "/snapshot.tmp";
+}
+std::string WalPath(const std::string& dir) { return dir + "/wal.xupd"; }
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
 }
 
 }  // namespace
@@ -61,12 +81,189 @@ void Database::BumpCatalogVersion() {
   trigger_plans_.clear();
 }
 
+std::shared_ptr<const uint64_t> Database::table_version(
+    std::string_view name) {
+  auto it = table_versions_.find(name);
+  if (it == table_versions_.end()) {
+    it = table_versions_.emplace(std::string(name),
+                                 std::make_shared<uint64_t>(0)).first;
+  }
+  return it->second;
+}
+
+void Database::BumpTableVersion(std::string_view name) {
+  auto it = table_versions_.find(name);
+  if (it != table_versions_.end()) ++*it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Durability
+
+Database::~Database() {
+  if (wal_ != nullptr) {
+    // Clean shutdown persists pending direct-API writes; an open
+    // transaction's pending redo is uncommitted and must not.
+    if (!txn_.active()) (void)WalCommitUnit();
+    (void)wal_->Close();
+  }
+  // Releases the directory flock.
+  if (lock_fd_ >= 0) ::close(lock_fd_);
+}
+
+Status Database::Open(const std::string& dir,
+                      const DurabilityOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("durability is already open");
+  }
+  if (!tables_.empty() || txn_.active()) {
+    return Status::InvalidArgument(
+        "Open requires a fresh Database (no tables, no open transaction)");
+  }
+  if (::mkdir(dir.c_str(), 0755) == 0) {
+    // Make the new directory's own entry durable (see WalWriter::Open for
+    // the file-level counterpart); without this a power loss could lose
+    // the whole directory even though its files were fsynced.
+    if (options.sync_mode != SyncMode::kNone) {
+      XUPD_RETURN_IF_ERROR(SyncParentDir(dir));
+    }
+  } else if (errno != EEXIST) {
+    return Status::Internal("cannot create data directory '" + dir +
+                            "': " + std::strerror(errno));
+  }
+  data_dir_ = dir;
+  durability_options_ = options;
+
+  // Exclusive directory lock: two writers on one WAL would truncate and
+  // overwrite each other's committed frames with no error until the next
+  // recovery hits a CRC mismatch. flock conflicts across processes AND
+  // across two Database instances in one process; released in ~Database.
+  std::string lock_path = dir + "/LOCK";
+  int lock_fd = ::open(lock_path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (lock_fd < 0) {
+    return Status::Internal("cannot open lock file '" + lock_path +
+                            "': " + std::strerror(errno));
+  }
+  if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(lock_fd);
+    return Status::InvalidArgument(
+        "data directory '" + dir +
+        "' is already in use by another Database (lock held)");
+  }
+  lock_fd_ = lock_fd;
+  // Restore the documented fresh-Database precondition on any failure: a
+  // half-loaded snapshot or half-replayed WAL must not linger as a partial
+  // catalog the caller could mistake for usable in-memory state.
+  auto fail = [&](Status s) {
+    tables_.clear();
+    triggers_.clear();
+    trigger_plans_.clear();
+    table_versions_.clear();
+    next_id_ = 1;
+    data_dir_.clear();
+    recovered_ = false;
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    return s;
+  };
+
+  uint64_t epoch = 1;
+  bool have_snapshot = false;
+  if (FileExists(SnapshotPath(dir))) {
+    auto loaded = LoadSnapshot(this, SnapshotPath(dir));
+    if (!loaded.ok()) return fail(loaded.status());
+    epoch = loaded.value();
+    have_snapshot = true;
+  }
+  WalReplayResult replay;
+  if (FileExists(WalPath(dir))) {
+    auto replayed = ReplayWal(this, WalPath(dir), epoch);
+    if (!replayed.ok()) return fail(replayed.status());
+    replay = replayed.value();
+  }
+  stats_.recovery_replayed += replay.applied_records;
+  recovered_ = have_snapshot || replay.applied_records > 0;
+
+  auto writer = WalWriter::Open(WalPath(dir), epoch, replay.valid_bytes,
+                                durability_options_, &stats_);
+  if (!writer.ok()) return fail(writer.status());
+  wal_ = std::move(writer).value();
+  txn_.AttachWal(wal_.get());
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("durability is not open");
+  }
+  if (txn_.active()) {
+    return Status::InvalidArgument(
+        "cannot checkpoint inside a transaction (the snapshot must not "
+        "contain uncommitted effects)");
+  }
+  XUPD_RETURN_IF_ERROR(WalCommitUnit());
+  const uint64_t new_epoch = wal_->epoch() + 1;
+  bool renamed = false;
+  Status snap = WriteSnapshot(*this, SnapshotPath(data_dir_),
+                              SnapshotTmpPath(data_dir_), new_epoch,
+                              &renamed);
+  if (!snap.ok()) {
+    // Fail-stop only when the new-epoch snapshot is already visible (the
+    // failure hit the post-rename directory fsync): the still-open
+    // old-epoch writer would otherwise accept commits that the next
+    // recovery silently ignores. A pre-rename failure (e.g. transient
+    // ENOSPC on the temp file) leaves old snapshot + WAL fully consistent,
+    // so the writer keeps going and the checkpoint can simply be retried.
+    if (renamed) wal_->MarkBroken();
+    return snap;
+  }
+  // The snapshot now contains every WAL record; reset the log to the new
+  // epoch. A crash between the rename above and this reset leaves an
+  // old-epoch WAL that recovery recognizes as contained and ignores.
+  Status closed = wal_->Close();
+  auto reopened = closed.ok()
+                      ? WalWriter::Open(WalPath(data_dir_), new_epoch, 0,
+                                        durability_options_, &stats_)
+                      : Result<std::unique_ptr<WalWriter>>(closed);
+  if (!reopened.ok()) {
+    // Same fail-stop: the snapshot is durable up to this point, but the
+    // log cannot accept new units. The (closed) writer stays attached in
+    // its broken state so mutations still pend and every later durable
+    // COMMIT fails loudly at its unit boundary.
+    wal_->MarkBroken();
+    return reopened.status();
+  }
+  wal_ = std::move(reopened).value();
+  txn_.AttachWal(wal_.get());
+  ++stats_.checkpoints;
+  return Status::OK();
+}
+
+Status Database::WalFlush() {
+  if (txn_.active()) return Status::OK();
+  return WalCommitUnit();
+}
+
+Status Database::WalCommitUnit() {
+  if (wal_ == nullptr || wal_->pending_empty()) return Status::OK();
+  return wal_->CommitPending(next_id_);
+}
+
+void Database::WalLogDdl(std::string_view sql_text) {
+  if (wal_ == nullptr || sql_text.empty()) return;
+  wal_->PendDdl(sql_text);
+}
+
 Status Database::Begin() {
   txn_.Begin(next_id_);
   return Status::OK();
 }
 
-Status Database::Commit() { return txn_.Commit(); }
+Status Database::Commit() {
+  XUPD_RETURN_IF_ERROR(txn_.Commit());
+  // The outermost commit makes the unit durable: flush its redo records.
+  if (!txn_.active()) return WalCommitUnit();
+  return Status::OK();
+}
 
 Status Database::Rollback() {
   auto next_id = txn_.Rollback();
@@ -92,7 +289,9 @@ Status Database::RollbackTo(const std::string& name) {
 }
 
 Status Database::Release(const std::string& name) {
-  return txn_.Release(name);
+  XUPD_RETURN_IF_ERROR(txn_.Release(name));
+  if (!txn_.active()) return WalCommitUnit();
+  return Status::OK();
 }
 
 Status Database::ConsumeFailpoint() {
@@ -122,16 +321,27 @@ void Database::set_prepared_cache_capacity(size_t capacity) {
   }
 }
 
+Result<ResultSet> Database::RunStatement(const sql::Statement& stmt,
+                                         const std::vector<Value>* params,
+                                         std::string_view sql_text,
+                                         PlanCacheSlot* slot) {
+  // DDL invalidation happens inside the Executor, the choke point shared
+  // by all entry paths.
+  Executor exec(this, params, sql_text);
+  auto result = exec.Run(stmt, slot);
+  Status wal = WalFlush();
+  if (!result.ok()) return result;
+  if (!wal.ok()) return wal;
+  return result;
+}
+
 Status Database::Execute(std::string_view sql_text) {
   ++stats_.statements;
   SpinFor(statement_latency_us_);
   ++stats_.sql_parses;
   auto stmt = sql::ParseSql(sql_text);
   if (!stmt.ok()) return stmt.status();
-  // DDL invalidation happens inside the Executor, the choke point shared
-  // with ExecuteQuery and the prepared paths.
-  Executor exec(this);
-  auto result = exec.Run(stmt.value());
+  auto result = RunStatement(stmt.value(), nullptr, sql_text, nullptr);
   if (!result.ok()) return result.status();
   return Status::OK();
 }
@@ -142,8 +352,7 @@ Result<ResultSet> Database::ExecuteQuery(std::string_view sql_text) {
   ++stats_.sql_parses;
   auto stmt = sql::ParseSql(sql_text);
   if (!stmt.ok()) return stmt.status();
-  Executor exec(this);
-  return exec.Run(stmt.value());
+  return RunStatement(stmt.value(), nullptr, sql_text, nullptr);
 }
 
 Result<StatementHandle> Database::Prepare(std::string_view sql_text,
@@ -194,8 +403,8 @@ Result<ResultSet> Database::ExecuteQueryPrepared(
   }
   ++stats_.statements;
   SpinFor(statement_latency_us_);
-  Executor exec(this, &params);
-  return exec.Run(handle->stmt, &handle->plan_slot);
+  return RunStatement(handle->stmt, &params, handle->sql,
+                      &handle->plan_slot);
 }
 
 Status Database::ExecuteBound(std::string_view sql,
@@ -215,13 +424,14 @@ Result<ResultSet> Database::ExecuteQueryBound(std::string_view sql,
 }
 
 Result<Table*> Database::CreateTableDirect(TableSchema schema,
-                                           bool transactional) {
+                                           bool transactional, bool durable) {
   if (tables_.count(schema.name()) > 0) {
     return Status::AlreadyExists("table '" + schema.name() + "' already exists");
   }
   std::string key = schema.name();
   auto table = std::make_unique<Table>(std::move(schema),
                                        transactional ? &txn_ : nullptr);
+  table->set_durable(durable);
   Table* raw = table.get();
   tables_.emplace(std::move(key), std::move(table));
   return raw;
@@ -232,16 +442,41 @@ Status Database::DropTableDirect(std::string_view name) {
   if (it == tables_.end()) {
     return Status::NotFound("table '" + std::string(name) + "' not found");
   }
-  // Cached plans may hold this Table*; force a re-plan before any reuse.
-  BumpCatalogVersion();
+  if (it->second->durable() && wal_ != nullptr && txn_.active()) {
+    return Status::InvalidArgument(
+        "cannot drop durable table '" + std::string(name) +
+        "' inside a transaction while the WAL is open (the drop could not "
+        "roll back with the enclosing scope)");
+  }
+  // Cached plans may hold this Table*; their per-table dependency makes
+  // them re-plan before any reuse. Plans over other tables stay valid — no
+  // global version bump (that is the point of per-table dependencies: the
+  // §6.2.2 staging churn leaves unrelated cached plans hot).
+  BumpTableVersion(name);
   txn_.PurgeTable(it->second.get());
   std::string dropped = it->second->schema().name();
+  bool was_durable = it->second->durable();
+  if (was_durable) {
+    // Redo for the drop: pending records over this table (already
+    // serialized) replay first, then the DROP removes it, like in memory.
+    WalLogDdl("DROP TABLE " + dropped);
+  }
   tables_.erase(it);
-  triggers_.erase(std::remove_if(triggers_.begin(), triggers_.end(),
-                                 [&](const TriggerDef& t) {
-                                   return EqualsIgnoreCase(t.table, dropped);
-                                 }),
-                 triggers_.end());
+  for (auto t = triggers_.begin(); t != triggers_.end();) {
+    if (EqualsIgnoreCase(t->table, dropped)) {
+      // The trigger-plan map is keyed by these statements' identities;
+      // erase them before the shared_ptrs can die.
+      for (const auto& stmt : t->body) trigger_plans_.erase(stmt.get());
+      t = triggers_.erase(t);
+    } else {
+      ++t;
+    }
+  }
+  // A durable drop is a catalog change like SQL DDL: flush it (and any
+  // pending direct writes that preceded it) as one committed unit now — it
+  // happens outside a transaction (rejected above otherwise), so there is
+  // no later commit to ride on.
+  if (was_durable) return WalFlush();
   return Status::OK();
 }
 

@@ -27,6 +27,7 @@
 #include "rdb/stats.h"
 #include "rdb/table.h"
 #include "rdb/txn.h"
+#include "rdb/wal.h"
 
 namespace xupd::rdb {
 
@@ -56,10 +57,50 @@ std::string MultiRowInsertSql(std::string_view table, size_t columns,
 class Database {
  public:
   Database() = default;
+  /// Flushes and closes the WAL when durability is open (pending records of
+  /// an open transaction are discarded — only committed units persist).
+  ~Database();
   /// The TransactionManager and every undo record hold pointers into this
   /// object (stats, tables), so it is pinned in place.
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // --- durability (rdb/wal.h, rdb/snapshot.h) ------------------------------
+  //
+  // Open(dir) turns the database durable: if `dir` holds a snapshot and/or
+  // WAL from an earlier run, the snapshot is loaded and the WAL's committed
+  // prefix replayed (a torn or uncommitted tail is discarded), otherwise the
+  // directory is initialized fresh. From then on every committed unit of
+  // work on *durable* tables — an outermost transaction commit, or each
+  // top-level statement outside a transaction — is appended to the WAL as
+  // logical redo records framed with length + CRC32 and a commit marker
+  // carrying the next-id counter. Durable tables are those created through
+  // SQL DDL (or recovered); engine scratch tables made through the direct
+  // catalog API are ephemeral and bypass both WAL and snapshot. SQL DDL is
+  // logged as its statement text and replayed by re-execution.
+
+  /// Opens durability under `dir` (created if missing), recovering any
+  /// existing state. Must be called on a fresh Database (no tables, no open
+  /// transaction) and at most once.
+  Status Open(const std::string& dir, const DurabilityOptions& options = {});
+  /// True when the last Open found existing durable state (snapshot or
+  /// committed WAL records).
+  bool recovered() const { return recovered_; }
+  bool durability_open() const { return wal_ != nullptr; }
+
+  /// Serializes the full durable state (catalog, rows, tombstones, index
+  /// and trigger definitions, next-id) to a fresh versioned snapshot and
+  /// truncates the WAL. Rejected inside a transaction: a snapshot must not
+  /// contain uncommitted effects.
+  Status Checkpoint();
+
+  /// Flushes pending redo as one committed unit when no transaction is
+  /// open. The statement entry points call it at every top-level boundary
+  /// (autocommit statements and their trigger cascades persist as one unit
+  /// each); call it directly after direct bulk-API writes, which cross no
+  /// statement boundary of their own. No-op when durability is off or a
+  /// transaction is open.
+  Status WalFlush();
 
   /// Parses and executes a DDL/DML statement.
   Status Execute(std::string_view sql);
@@ -109,8 +150,10 @@ class Database {
   // staging for the §6.2.2 table insert, id-list probes), which are not
   // transactional state; DropTableDirect purges the dropped table's undo
   // records so the log never dangles. Direct catalog changes do not flush
-  // the prepared-statement (parse) cache, but DropTableDirect bumps the
-  // catalog version so cached plans holding the dropped Table re-plan.
+  // the prepared-statement (parse) cache and do not bump the global catalog
+  // version: DropTableDirect bumps the dropped table's per-table plan
+  // version instead, so cached plans holding the dropped Table re-plan
+  // while plans over other tables stay hot.
 
   /// Opens a transaction scope (a savepoint when one is already active).
   Status Begin();
@@ -144,11 +187,22 @@ class Database {
   size_t prepared_cache_capacity() const { return cache_capacity_; }
   void set_prepared_cache_capacity(size_t capacity);
 
-  /// Catalog snapshot version guarding cached plans. Bumped by every SQL
-  /// DDL statement (including CREATE INDEX / DROP INDEX — plans capture
-  /// index choices) and by DropTableDirect (plans capture Table pointers);
-  /// a cached plan built under an older version is rebuilt before use.
+  /// Global catalog snapshot version guarding cached plans, bumped by every
+  /// SQL DDL statement (including CREATE INDEX / DROP INDEX — plans capture
+  /// index choices). A cached plan built under an older version is rebuilt
+  /// before use. Direct catalog changes (DropTableDirect) no longer bump
+  /// it: plans additionally carry per-table dependencies (see
+  /// table_version), so §6.2.2 staging churn only invalidates plans that
+  /// reference the dropped table.
   uint64_t catalog_version() const { return catalog_version_; }
+
+  /// Per-table plan-dependency counter, keyed by (case-insensitive) table
+  /// name and persistent across drop/recreate of that name. The planner
+  /// snapshots the counters of every table a plan touches; DropTableDirect
+  /// bumps only the dropped table's counter, so cached plans over other
+  /// tables stay hot. The handle stays valid after the table is gone —
+  /// validation never dereferences a Table.
+  std::shared_ptr<const uint64_t> table_version(std::string_view name);
 
   /// Planner knob (tests): when false, every plan uses full scans — the
   /// parity harness compares probed vs scanned execution. Toggling
@@ -165,13 +219,20 @@ class Database {
   /// documents quickly; benchmark updates always go through Execute().
   /// `transactional = false` leaves the table unwired from the undo log —
   /// for engine scratch tables whose contents are not transactional state
-  /// (writes to them are never undone and never logged).
+  /// (writes to them are never undone and never logged). `durable = true`
+  /// includes the table in WAL logging and snapshots (set by SQL CREATE
+  /// TABLE and the snapshot loader; direct scratch tables stay ephemeral).
   Result<Table*> CreateTableDirect(TableSchema schema,
-                                   bool transactional = true);
+                                   bool transactional = true,
+                                   bool durable = false);
   Status InsertDirect(Table* table, Row row);
   /// Drops a table from the catalog without SQL (exempt from the DDL txn
-  /// barrier; see above). Also removes triggers on the table and purges its
-  /// undo records.
+  /// barrier; see above). Also removes triggers on the table, purges its
+  /// undo records, and bumps its per-table plan version (the global catalog
+  /// version is untouched, so unrelated cached plans survive). Dropping a
+  /// DURABLE table this way while both the WAL and a transaction are open
+  /// is rejected — the drop is not undoable, so its WAL record could not
+  /// roll back with the enclosing scope.
   Status DropTableDirect(std::string_view name);
 
   Table* FindTable(std::string_view name);
@@ -207,6 +268,8 @@ class Database {
     std::string table;
     sql::TriggerGranularity granularity = sql::TriggerGranularity::kRow;
     std::vector<std::shared_ptr<sql::Statement>> body;
+    /// Original CREATE TRIGGER text — how snapshots persist the trigger.
+    std::string sql;
   };
   const std::vector<TriggerDef>& triggers() const { return triggers_; }
 
@@ -233,6 +296,25 @@ class Database {
   Status ConsumeFailpoint();
   /// The DDL-in-transaction barrier (see the policy comment above).
   Status CheckDdlBarrier(const sql::Statement& stmt) const;
+
+  /// Flushes the WAL's pending redo as one committed unit (carrying the
+  /// current next-id). No-op when durability is off or nothing is pending.
+  Status WalCommitUnit();
+  /// Pends the text of a successfully executed DDL statement (called by the
+  /// Executor; the unit is flushed at the statement boundary since DDL is
+  /// barred inside transactions).
+  void WalLogDdl(std::string_view sql_text);
+  /// Shared tail of every statement entry point: runs the statement, then
+  /// flushes the WAL at the top-level boundary (even on statement failure —
+  /// without a transaction the partial effects stay in memory too). A
+  /// statement error outranks a flush error; a flush error surfaces on an
+  /// otherwise successful statement.
+  Result<ResultSet> RunStatement(const sql::Statement& stmt,
+                                 const std::vector<Value>* params,
+                                 std::string_view sql_text,
+                                 PlanCacheSlot* slot);
+  /// Bumps the per-table plan-dependency counter for `name`.
+  void BumpTableVersion(std::string_view name);
 
   /// Tables keyed by their original name, compared case-insensitively; the
   /// transparent comparator keeps FindTable allocation-free on the hot path.
@@ -262,6 +344,19 @@ class Database {
   /// Cached plans for trigger-body statements. Entries are version-guarded
   /// like handle slots and the map is cleared on every version bump.
   std::map<const sql::Statement*, PlanCacheSlot> trigger_plans_;
+  /// Per-table plan-dependency counters (see table_version()). Entries
+  /// outlive their tables so drop/recreate of a name keeps counting up.
+  std::map<std::string, std::shared_ptr<uint64_t>, AsciiCaseInsensitiveLess>
+      table_versions_;
+
+  // --- durability ----------------------------------------------------------
+  std::string data_dir_;
+  DurabilityOptions durability_options_;
+  std::unique_ptr<WalWriter> wal_;
+  bool recovered_ = false;
+  /// flock'd <data_dir>/LOCK file guarding against two Databases sharing
+  /// one WAL; -1 when durability is off. Released by ~Database.
+  int lock_fd_ = -1;
 };
 
 }  // namespace xupd::rdb

@@ -1,0 +1,178 @@
+#include "rdb/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "rdb/database.h"
+#include "rdb/table.h"
+#include "rdb/wal.h"
+
+namespace xupd::rdb {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'X', 'U', 'P', 'D', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kSnapshotFormatVersion = 1;
+
+Status WriteFileDurably(const std::string& path, const std::string& data) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("cannot create snapshot", path);
+  Status write_status = WriteFully(fd, data.data(), data.size(),
+                                   "cannot write snapshot", path);
+  if (!write_status.ok()) {
+    ::close(fd);
+    return write_status;
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return ErrnoStatus("cannot fsync snapshot", path);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSnapshot(const Database& db, const std::string& path,
+                     const std::string& tmp_path, uint64_t epoch,
+                     bool* renamed) {
+  if (renamed != nullptr) *renamed = false;
+  std::string out(kSnapshotMagic, sizeof(kSnapshotMagic));
+  binio::PutU32(&out, kSnapshotFormatVersion);
+  binio::PutU64(&out, epoch);
+  binio::PutI64(&out, db.next_id());
+
+  std::vector<const Table*> tables;
+  for (const std::string& name : db.TableNames()) {
+    const Table* t = db.FindTable(name);
+    if (t != nullptr && t->durable()) tables.push_back(t);
+  }
+  binio::PutU32(&out, static_cast<uint32_t>(tables.size()));
+  for (const Table* t : tables) {
+    const TableSchema& schema = t->schema();
+    binio::PutString(&out, schema.name());
+    binio::PutU32(&out, static_cast<uint32_t>(schema.column_count()));
+    for (const ColumnDef& c : schema.columns()) {
+      binio::PutString(&out, c.name);
+      binio::PutU8(&out, static_cast<uint8_t>(c.type));
+    }
+    // Every slot, live or tombstoned: row ids are physical addresses the
+    // WAL's redo records point at, so dead slots must keep their positions.
+    binio::PutU64(&out, t->capacity());
+    for (size_t rowid = 0; rowid < t->capacity(); ++rowid) {
+      binio::PutU8(&out, t->is_live(rowid) ? 1 : 0);
+      for (const Value& v : t->row(rowid)) binio::PutValue(&out, v);
+    }
+    binio::PutU32(&out, static_cast<uint32_t>(t->indexes().size()));
+    for (const auto& index : t->indexes()) {
+      binio::PutString(&out, index->name());
+      binio::PutU32(&out, static_cast<uint32_t>(index->column()));
+    }
+  }
+
+  const auto& triggers = db.triggers();
+  binio::PutU32(&out, static_cast<uint32_t>(triggers.size()));
+  for (const auto& trigger : triggers) {
+    if (trigger.sql.empty()) {
+      return Status::Internal("trigger '" + trigger.name +
+                              "' has no CREATE TRIGGER text to checkpoint");
+    }
+    binio::PutString(&out, trigger.sql);
+  }
+
+  binio::PutU32(&out, binio::Crc32(out.data(), out.size()));
+
+  XUPD_RETURN_IF_ERROR(WriteFileDurably(tmp_path, out));
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return ErrnoStatus("cannot rename snapshot into place", path);
+  }
+  if (renamed != nullptr) *renamed = true;
+  return SyncParentDir(path);
+}
+
+Result<uint64_t> LoadSnapshot(Database* db, const std::string& path) {
+  XUPD_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+  if (data.size() < sizeof(kSnapshotMagic) + 4 + 4 ||
+      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Internal("'" + path + "' is not a snapshot file");
+  }
+  {
+    binio::Reader v(data.data() + sizeof(kSnapshotMagic), 4);
+    uint32_t version = v.U32();
+    if (version != kSnapshotFormatVersion) {
+      return Status::Internal(
+          "snapshot format version mismatch: file has " +
+          std::to_string(version) + ", this build reads " +
+          std::to_string(kSnapshotFormatVersion));
+    }
+  }
+  {
+    binio::Reader c(data.data() + data.size() - 4, 4);
+    uint32_t stored = c.U32();
+    uint32_t actual = binio::Crc32(data.data(), data.size() - 4);
+    if (stored != actual) {
+      return Status::Internal("snapshot '" + path +
+                              "' failed its CRC check (truncated or corrupt)");
+    }
+  }
+
+  binio::Reader r(data.data() + sizeof(kSnapshotMagic) + 4,
+                  data.size() - sizeof(kSnapshotMagic) - 4 - 4);
+  uint64_t epoch = r.U64();
+  int64_t next_id = r.I64();
+  uint32_t table_count = r.U32();
+  for (uint32_t ti = 0; r.ok() && ti < table_count; ++ti) {
+    std::string name = r.String();
+    uint32_t ncols = r.U32();
+    std::vector<ColumnDef> cols;
+    for (uint32_t ci = 0; r.ok() && ci < ncols; ++ci) {
+      ColumnDef def;
+      def.name = r.String();
+      def.type = static_cast<ColumnType>(r.U8());
+      cols.push_back(std::move(def));
+    }
+    if (!r.ok()) break;
+    auto table = db->CreateTableDirect(TableSchema(name, std::move(cols)),
+                                       /*transactional=*/true,
+                                       /*durable=*/true);
+    if (!table.ok()) return table.status();
+    uint64_t slots = r.U64();
+    for (uint64_t s = 0; r.ok() && s < slots; ++s) {
+      bool live = r.U8() != 0;
+      Row row;
+      row.reserve(ncols);
+      for (uint32_t ci = 0; r.ok() && ci < ncols; ++ci) {
+        row.push_back(r.ReadValue());
+      }
+      if (!r.ok()) break;
+      table.value()->LoadSlot(std::move(row), live);
+    }
+    uint32_t index_count = r.U32();
+    for (uint32_t ii = 0; r.ok() && ii < index_count; ++ii) {
+      std::string index_name = r.String();
+      uint32_t column = r.U32();
+      if (!r.ok()) break;
+      XUPD_RETURN_IF_ERROR(
+          table.value()->CreateIndex(index_name, static_cast<int>(column)));
+    }
+  }
+  uint32_t trigger_count = r.U32();
+  for (uint32_t ti = 0; r.ok() && ti < trigger_count; ++ti) {
+    std::string sql = r.String();
+    if (!r.ok()) break;
+    XUPD_RETURN_IF_ERROR(db->Execute(sql));
+  }
+  if (!r.ok()) {
+    return Status::Internal("snapshot '" + path + "' is malformed");
+  }
+  db->set_next_id(next_id);
+  return epoch;
+}
+
+}  // namespace xupd::rdb

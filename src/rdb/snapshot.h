@@ -1,0 +1,55 @@
+// Snapshot checkpoints: the full durable state of a Database serialized to
+// one versioned binary file.
+//
+// A snapshot captures everything WAL replay needs a base for: the catalog of
+// durable tables (schemas, every row slot including tombstones — row ids are
+// physical WAL addresses, so dead slots keep their positions), hash-index
+// definitions (contents are rebuilt from live rows on load), trigger
+// definitions (as their original CREATE TRIGGER text), and the next-id
+// counter. Ephemeral tables (engine scratch created through the direct
+// catalog API) are excluded, exactly like they are excluded from the WAL.
+//
+// File format (little-endian):
+//   "XUPDSNAP" (8 bytes) | u32 format version | payload | u32 CRC32
+// where the CRC covers magic + version + payload, and the payload is
+//   u64 epoch | i64 next_id
+//   u32 table count | per table:
+//     str name | u32 column count | per column: str name, u8 type
+//     u64 slot count | per slot: u8 live, one value per column
+//     u32 index count | per index: str name, u32 column ordinal
+//   u32 trigger count | per trigger: str CREATE TRIGGER sql
+//
+// Checkpoint atomicity: the snapshot is written to a temp file, fsynced,
+// renamed over the previous snapshot, and the directory is fsynced — a crash
+// leaves either the old or the new snapshot, never a torn one. Any mismatch
+// on load (magic, version, CRC, truncation) is a clean Status error; a
+// half-state is never installed.
+#ifndef XUPD_RDB_SNAPSHOT_H_
+#define XUPD_RDB_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace xupd::rdb {
+
+class Database;
+
+/// Serializes `db`'s durable state with the given epoch, atomically
+/// replacing whatever snapshot `path` held (via `tmp_path` + rename).
+/// `*renamed` (optional) reports whether the rename went through — on
+/// failure it tells the caller whether the new-epoch snapshot is already
+/// visible (the caller must then fail-stop its old-epoch WAL) or the old
+/// state is still fully intact (safe to retry later).
+Status WriteSnapshot(const Database& db, const std::string& path,
+                     const std::string& tmp_path, uint64_t epoch,
+                     bool* renamed = nullptr);
+
+/// Loads a snapshot into `db` (which must be freshly constructed: no tables,
+/// no open transaction) and returns its epoch.
+Result<uint64_t> LoadSnapshot(Database* db, const std::string& path);
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_SNAPSHOT_H_

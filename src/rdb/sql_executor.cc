@@ -32,24 +32,39 @@ Result<ResultSet> Executor::Run(const sql::Statement& stmt,
     // DDL invalidates here — the single choke point every entry path
     // (Execute, ExecuteQuery, ExecutePrepared) funnels through — so cached
     // parses are flushed and cached plans version out before any reuse.
+    // Successful DDL is also pended to the WAL as its statement text (the
+    // Database flushes it at the statement boundary); trigger-body DDL has
+    // no text of its own and is not persisted.
     case sql::Statement::Kind::kCreateTable: {
       auto r = RunCreateTable(stmt.create_table);
-      if (r.ok()) db_->InvalidateStatementCache();
+      if (r.ok()) {
+        db_->InvalidateStatementCache();
+        if (trigger_depth_ == 0) db_->WalLogDdl(sql_text_);
+      }
       return r;
     }
     case sql::Statement::Kind::kCreateIndex: {
       auto r = RunCreateIndex(stmt.create_index);
-      if (r.ok()) db_->InvalidateStatementCache();
+      if (r.ok()) {
+        db_->InvalidateStatementCache();
+        if (trigger_depth_ == 0) db_->WalLogDdl(sql_text_);
+      }
       return r;
     }
     case sql::Statement::Kind::kCreateTrigger: {
       auto r = RunCreateTrigger(stmt.create_trigger);
-      if (r.ok()) db_->InvalidateStatementCache();
+      if (r.ok()) {
+        db_->InvalidateStatementCache();
+        if (trigger_depth_ == 0) db_->WalLogDdl(sql_text_);
+      }
       return r;
     }
     case sql::Statement::Kind::kDrop: {
       auto r = RunDrop(stmt.drop);
-      if (r.ok()) db_->InvalidateStatementCache();
+      if (r.ok()) {
+        db_->InvalidateStatementCache();
+        if (trigger_depth_ == 0) db_->WalLogDdl(sql_text_);
+      }
       return r;
     }
     case sql::Statement::Kind::kBegin:
@@ -82,8 +97,20 @@ Result<std::shared_ptr<const PlannedStatement>> Executor::GetPlan(
     const sql::Statement& stmt, PlanCacheSlot* slot) {
   if (slot != nullptr && slot->plan != nullptr && slot->db == db_ &&
       slot->version == db_->catalog_version()) {
-    ++db_->stats_.plan_cache_hits;
-    return slot->plan;
+    // The global version covers SQL DDL; the per-table dependencies cover
+    // direct catalog changes (DropTableDirect bumps only the dropped
+    // table's counter, so plans over other tables pass this check).
+    bool deps_current = true;
+    for (const PlanTableDep& dep : slot->plan->table_deps) {
+      if (*dep.version != dep.snapshot) {
+        deps_current = false;
+        break;
+      }
+    }
+    if (deps_current) {
+      ++db_->stats_.plan_cache_hits;
+      return slot->plan;
+    }
   }
   Planner planner(db_, trigger_old_schema_);
   XUPD_ASSIGN_OR_RETURN(auto plan, planner.Plan(stmt));
@@ -149,8 +176,12 @@ Result<ResultSet> Executor::RunExplain(const sql::Statement& stmt,
 // DDL
 
 Result<ResultSet> Executor::RunCreateTable(const sql::CreateTableStmt& stmt) {
-  XUPD_ASSIGN_OR_RETURN(Table * ignored,
-                        db_->CreateTableDirect(TableSchema(stmt.name, stmt.columns)));
+  // SQL-created tables are durable: they participate in WAL logging and
+  // snapshots (direct-API scratch tables do not).
+  XUPD_ASSIGN_OR_RETURN(
+      Table * ignored,
+      db_->CreateTableDirect(TableSchema(stmt.name, stmt.columns),
+                             /*transactional=*/true, /*durable=*/true));
   (void)ignored;
   return ResultSet{};
 }
@@ -182,6 +213,9 @@ Result<ResultSet> Executor::RunCreateTrigger(const sql::CreateTriggerStmt& stmt)
   def.table = stmt.table;
   def.granularity = stmt.granularity;
   def.body = stmt.body;
+  // Keep the original text only for top-level creates — it is how snapshots
+  // persist the trigger (trigger-body DDL would capture the wrong text).
+  if (trigger_depth_ == 0) def.sql = std::string(sql_text_);
   db_->triggers_.push_back(std::move(def));
   return ResultSet{};
 }

@@ -27,9 +27,13 @@ namespace xupd::rdb {
 class Executor {
  public:
   /// `params` (optional) are the values bound to the statement's ?
-  /// placeholders, positionally; they must outlive the Run call.
-  explicit Executor(Database* db, const std::vector<Value>* params = nullptr)
-      : db_(db), params_(params) {}
+  /// placeholders, positionally; they must outlive the Run call. `sql_text`
+  /// (optional) is the statement's original text, used to persist DDL — the
+  /// WAL logs DDL as its SQL, and CREATE TRIGGER keeps its text for
+  /// snapshots; both must outlive the Run call.
+  explicit Executor(Database* db, const std::vector<Value>* params = nullptr,
+                    std::string_view sql_text = {})
+      : db_(db), params_(params), sql_text_(sql_text) {}
 
   /// Executes any statement; SELECTs return their ResultSet, DML returns an
   /// empty set. `slot` (optional) caches the plan across calls — pass the
@@ -67,6 +71,9 @@ class Executor {
   Database* db_;
   /// Parameter values for ? placeholders (null = none bound).
   const std::vector<Value>* params_ = nullptr;
+  /// Original statement text of the top-level statement (empty when unknown;
+  /// trigger-body statements never see their own text).
+  std::string_view sql_text_;
   /// Memoized IN-subquery sets, keyed by planned-subquery identity; spans
   /// the statement and its trigger cascade (seed-interpreter semantics).
   ExecContext::SubqueryMemo subquery_memo_;

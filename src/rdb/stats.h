@@ -56,6 +56,20 @@ struct Stats {
   /// Undo records logged (one per row insert/delete/column update executed
   /// while a transaction was active) — the txn write-amplification signal.
   uint64_t undo_records = 0;
+  /// Redo records written to the WAL file (data records, DDL records and
+  /// commit markers) — the durability write-amplification signal. Pending
+  /// records of rolled-back scopes never count.
+  uint64_t wal_appends = 0;
+  /// Bytes written to the WAL file (frames + commit markers; excludes the
+  /// file header).
+  uint64_t wal_bytes = 0;
+  /// fsync calls issued by the WAL (per commit unit in `commit` mode, every
+  /// group_commit_interval units in `batched`, zero in `none`).
+  uint64_t wal_fsyncs = 0;
+  /// Snapshot checkpoints taken (each truncates the WAL).
+  uint64_t checkpoints = 0;
+  /// Redo records replayed from the WAL by the last Database::Open.
+  uint64_t recovery_replayed = 0;
 
   void Reset() { *this = Stats{}; }
 
@@ -79,6 +93,11 @@ struct Stats {
     d.txn_commits = txn_commits - earlier.txn_commits;
     d.txn_rollbacks = txn_rollbacks - earlier.txn_rollbacks;
     d.undo_records = undo_records - earlier.undo_records;
+    d.wal_appends = wal_appends - earlier.wal_appends;
+    d.wal_bytes = wal_bytes - earlier.wal_bytes;
+    d.wal_fsyncs = wal_fsyncs - earlier.wal_fsyncs;
+    d.checkpoints = checkpoints - earlier.checkpoints;
+    d.recovery_replayed = recovery_replayed - earlier.recovery_replayed;
     return d;
   }
 
@@ -100,7 +119,12 @@ struct Stats {
            " txn_begin=" + std::to_string(txn_begins) +
            " txn_commit=" + std::to_string(txn_commits) +
            " txn_rollback=" + std::to_string(txn_rollbacks) +
-           " undo=" + std::to_string(undo_records);
+           " undo=" + std::to_string(undo_records) +
+           " wal_appends=" + std::to_string(wal_appends) +
+           " wal_bytes=" + std::to_string(wal_bytes) +
+           " wal_fsyncs=" + std::to_string(wal_fsyncs) +
+           " checkpoints=" + std::to_string(checkpoints) +
+           " replayed=" + std::to_string(recovery_replayed);
   }
 };
 

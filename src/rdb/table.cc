@@ -21,6 +21,12 @@ Result<size_t> Table::Insert(Row row) {
   return rowid;
 }
 
+void Table::LoadSlot(Row row, bool live) {
+  rows_.push_back(std::move(row));
+  live_.push_back(live);
+  if (live) ++live_count_;
+}
+
 Status Table::Delete(size_t rowid) {
   if (rowid >= rows_.size() || !live_[rowid]) {
     return Status::NotFound("row already deleted or out of range");
@@ -40,7 +46,7 @@ Status Table::SetColumn(size_t rowid, int column, Value v) {
   }
   if (txn_ != nullptr) {
     txn_->LogUpdate(this, rowid, column,
-                    rows_[rowid][static_cast<size_t>(column)]);
+                    rows_[rowid][static_cast<size_t>(column)], v);
   }
   for (const auto& index : indexes_) {
     if (index->column() == column) {

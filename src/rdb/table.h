@@ -66,6 +66,13 @@ class Table {
 
   const TableSchema& schema() const { return schema_; }
 
+  /// Durable tables participate in write-ahead logging and snapshots
+  /// (rdb/wal.h): tables created through SQL DDL or recovered from a
+  /// snapshot are durable; engine scratch tables created through the direct
+  /// catalog API are not — their contents are rebuilt, not recovered.
+  bool durable() const { return durable_; }
+  void set_durable(bool durable) { durable_ = durable; }
+
   /// Number of row slots (live + tombstoned). Scans iterate this range.
   size_t capacity() const { return rows_.size(); }
   size_t live_count() const { return live_count_; }
@@ -75,6 +82,12 @@ class Table {
 
   /// Appends a row (arity must match the schema). Returns its rowid.
   Result<size_t> Insert(Row row);
+
+  /// Snapshot-restore append (rdb/snapshot.cc): places `row` in the next
+  /// slot with the given liveness, without undo/WAL logging or index
+  /// maintenance — tombstoned slots keep their positions (row ids are
+  /// physical WAL addresses) and indexes are created after all slots load.
+  void LoadSlot(Row row, bool live);
 
   /// Tombstones a row; index entries are removed.
   Status Delete(size_t rowid);
@@ -100,6 +113,10 @@ class Table {
   /// Index over `column`, or null.
   const HashIndex* FindIndexOnColumn(int column) const;
   const HashIndex* FindIndexByName(const std::string& name) const;
+  /// All indexes, for snapshot serialization.
+  const std::vector<std::unique_ptr<HashIndex>>& indexes() const {
+    return indexes_;
+  }
 
   // --- rollback hooks (TransactionManager only; none of these log) --------
 
@@ -116,6 +133,7 @@ class Table {
  private:
   TableSchema schema_;
   TransactionManager* txn_ = nullptr;
+  bool durable_ = false;
   std::vector<Row> rows_;
   std::vector<bool> live_;
   size_t live_count_ = 0;

@@ -8,8 +8,22 @@
 namespace xupd::rdb {
 
 void TransactionManager::Begin(int64_t next_id, std::string name) {
-  scopes_.push_back({log_.size(), next_id, std::move(name)});
+  scopes_.push_back({log_.size(), next_id, std::move(name),
+                     wal_ != nullptr ? wal_->mark() : WalWriter::Mark{}});
   ++stats_->txn_begins;
+}
+
+void TransactionManager::WalInsert(Table* table, size_t rowid) {
+  if (table->durable()) wal_->PendInsert(*table, rowid);
+}
+
+void TransactionManager::WalDelete(Table* table, size_t rowid) {
+  if (table->durable()) wal_->PendDelete(*table, rowid);
+}
+
+void TransactionManager::WalUpdate(Table* table, size_t rowid, int column,
+                                   const Value& new_value) {
+  if (table->durable()) wal_->PendUpdate(*table, rowid, column, new_value);
 }
 
 Status TransactionManager::Commit() {
@@ -53,6 +67,7 @@ Result<int64_t> TransactionManager::Rollback() {
   const Scope scope = scopes_.back();
   scopes_.pop_back();
   UndoDownTo(scope.undo_start);
+  if (wal_ != nullptr) wal_->TruncatePending(scope.wal_mark);
   ++stats_->txn_rollbacks;
   return scope.next_id;
 }
@@ -71,6 +86,9 @@ Result<int64_t> TransactionManager::RollbackTo(std::string_view name) {
                                    "'");
   }
   UndoDownTo(scopes_[static_cast<size_t>(i)].undo_start);
+  if (wal_ != nullptr) {
+    wal_->TruncatePending(scopes_[static_cast<size_t>(i)].wal_mark);
+  }
   // The named scope stays open (SQL keeps the savepoint after ROLLBACK TO);
   // scopes nested inside it are gone.
   scopes_.resize(static_cast<size_t>(i) + 1);

@@ -19,6 +19,12 @@
 // (see database.h for the policy) and the direct catalog APIs purge a
 // dropped table's records so the log never dangles.
 //
+// When a WAL is attached (rdb/wal.h), the same hooks also serialize one
+// logical REDO record per mutation of a durable table into the WAL's
+// pending buffer — rollback truncates that buffer in lockstep with the
+// undo log (each scope carries both positions), so only committed work is
+// ever written to the file.
+//
 // The record log is region-allocated: fixed 4096-record chunks (~96 KiB)
 // that are allocated once, never copied on growth (unlike vector
 // reallocation, appending the N+1th chunk leaves existing records in
@@ -36,6 +42,7 @@
 #include "common/result.h"
 #include "rdb/stats.h"
 #include "rdb/value.h"
+#include "rdb/wal.h"
 
 namespace xupd::rdb {
 
@@ -123,19 +130,30 @@ class TransactionManager {
   /// commit or roll back with the enclosing scope).
   Status Release(std::string_view name);
 
-  /// Record hooks (no-ops unless a transaction is active). Inline: they sit
-  /// on the per-row hot path of every Table mutation.
+  /// Attaches the write-ahead log (rdb/wal.h): from then on every mutation
+  /// hook also pends a redo record for durable tables — inside a
+  /// transaction (truncated again if the scope rolls back) or not (the
+  /// Database flushes autocommit units at statement boundaries).
+  void AttachWal(WalWriter* wal) { wal_ = wal; }
+
+  /// Record hooks (no-ops unless a transaction is active or a WAL is
+  /// attached). Inline: they sit on the per-row hot path of every Table
+  /// mutation.
   void LogInsert(Table* table, size_t rowid) {
+    if (wal_ != nullptr) WalInsert(table, rowid);
     if (scopes_.empty()) return;
     log_.Append({UndoRecord::Kind::kInsert, 0, table, rowid});
     ++stats_->undo_records;
   }
   void LogDelete(Table* table, size_t rowid) {
+    if (wal_ != nullptr) WalDelete(table, rowid);
     if (scopes_.empty()) return;
     log_.Append({UndoRecord::Kind::kDelete, 0, table, rowid});
     ++stats_->undo_records;
   }
-  void LogUpdate(Table* table, size_t rowid, int column, Value old_value) {
+  void LogUpdate(Table* table, size_t rowid, int column, Value old_value,
+                 const Value& new_value) {
+    if (wal_ != nullptr) WalUpdate(table, rowid, column, new_value);
     if (scopes_.empty()) return;
     log_.Append({UndoRecord::Kind::kUpdate, column, table, rowid});
     old_values_.push_back(std::move(old_value));
@@ -152,6 +170,9 @@ class TransactionManager {
     size_t undo_start = 0;  ///< log_ size at Begin.
     int64_t next_id = 0;    ///< Database id counter at Begin.
     std::string name;       ///< SAVEPOINT name (empty for plain Begin).
+    /// WAL pending position at Begin; rollback truncates the redo buffer
+    /// back to it in lockstep with the undo log.
+    WalWriter::Mark wal_mark;
   };
 
   /// Undoes log records down to `undo_start` (LIFO).
@@ -159,7 +180,15 @@ class TransactionManager {
   /// Innermost scope index with a case-insensitive name match, or -1.
   int FindScope(std::string_view name) const;
 
+  // Out-of-line redo pends (they need the complete Table type to check
+  // durability; the inline hooks above only test the wal_ pointer).
+  void WalInsert(Table* table, size_t rowid);
+  void WalDelete(Table* table, size_t rowid);
+  void WalUpdate(Table* table, size_t rowid, int column,
+                 const Value& new_value);
+
   Stats* stats_;
+  WalWriter* wal_ = nullptr;
   UndoLog log_;
   /// Old values of kUpdate records, appended in log order (log_ indexes in).
   std::vector<Value> old_values_;

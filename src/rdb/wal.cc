@@ -1,0 +1,665 @@
+#include "rdb/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "rdb/database.h"
+#include "rdb/table.h"
+
+namespace xupd::rdb {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'X', 'U', 'P', 'D', 'W', 'A', 'L', '1'};
+constexpr uint32_t kWalFormatVersion = 1;
+/// magic + u32 version + u64 epoch.
+constexpr size_t kWalHeaderSize = 8 + 4 + 8;
+/// A frame length beyond this is treated as garbage (torn tail), not an
+/// allocation request.
+constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+enum class RecordKind : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  kUpdate = 3,
+  kDdl = 4,
+  kCommit = 5,
+};
+
+}  // namespace
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+Status WriteFully(int fd, const char* data, size_t size,
+                  const std::string& what, const std::string& path) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus(what, path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: '" + path + "'");
+    }
+    return ErrnoStatus("cannot open", path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("cannot read", path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("cannot open directory", dir);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return ErrnoStatus("cannot fsync directory", dir);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+const char* ToString(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kNone:
+      return "none";
+    case SyncMode::kCommit:
+      return "commit";
+    case SyncMode::kBatched:
+      return "batched";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// binio
+
+namespace binio {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) {
+    b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+  out->append(b, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void PutValue(std::string* out, const Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      PutI64(out, v.AsInt());
+      break;
+    case ValueType::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+bool Reader::Need(size_t n) {
+  if (!ok_ || remaining() < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Reader::U8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(*p_++);
+}
+
+uint32_t Reader::U32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(*p_++)) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Reader::U64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(*p_++)) << (8 * i);
+  }
+  return v;
+}
+
+int64_t Reader::I64() { return static_cast<int64_t>(U64()); }
+
+std::string Reader::String() {
+  uint32_t len = U32();
+  if (!Need(len)) return {};
+  std::string s(p_, len);
+  p_ += len;
+  return s;
+}
+
+Value Reader::ReadValue() {
+  switch (U8()) {
+    case static_cast<uint8_t>(ValueType::kNull):
+      return Value::Null();
+    case static_cast<uint8_t>(ValueType::kInt):
+      return Value::Int(I64());
+    case static_cast<uint8_t>(ValueType::kString):
+      return Value::Str(String());
+    default:
+      ok_ = false;
+      return Value::Null();
+  }
+}
+
+}  // namespace binio
+
+// ---------------------------------------------------------------------------
+// WalWriter
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& path, uint64_t epoch, uint64_t resume_offset,
+    const DurabilityOptions& options, Stats* stats) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("cannot open WAL", path);
+  if (::ftruncate(fd, static_cast<off_t>(resume_offset)) != 0) {
+    ::close(fd);
+    return ErrnoStatus("cannot truncate WAL", path);
+  }
+  std::unique_ptr<WalWriter> w(new WalWriter());
+  w->fd_ = fd;
+  w->path_ = path;
+  w->epoch_ = epoch;
+  w->options_ = options;
+  w->stats_ = stats;
+  if (resume_offset == 0) {
+    std::string header(kWalMagic, sizeof(kWalMagic));
+    binio::PutU32(&header, kWalFormatVersion);
+    binio::PutU64(&header, epoch);
+    XUPD_RETURN_IF_ERROR(WriteFully(fd, header.data(), header.size(),
+                                    "cannot write WAL header", path));
+    // The file's directory entry must be durable before any commit unit
+    // can claim to be: fsyncing the file alone does not persist a freshly
+    // created name. kNone makes no power-loss promise, so it skips this.
+    if (options.sync_mode != SyncMode::kNone) {
+      XUPD_RETURN_IF_ERROR(SyncParentDir(path));
+    }
+    w->file_size_ = kWalHeaderSize;
+    w->dirty_ = true;
+  } else {
+    if (::lseek(fd, static_cast<off_t>(resume_offset), SEEK_SET) < 0) {
+      return ErrnoStatus("cannot seek WAL", path);
+    }
+    w->file_size_ = resume_offset;
+    w->dirty_ = true;
+  }
+  // The reset itself (truncation of the old log + the fresh header) must be
+  // durable before any commit unit can claim to be: power loss after an
+  // unsynced checkpoint reset could persist the new-epoch header over the
+  // old file while stale frames survive behind it, and replay would apply
+  // pre-checkpoint records on top of the new snapshot. kNone makes no
+  // power-loss promise and skips the fsync.
+  if (options.sync_mode != SyncMode::kNone) {
+    XUPD_RETURN_IF_ERROR(w->Sync());
+  }
+  return w;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WalWriter::TruncatePending(const Mark& m) {
+  if (m.bytes <= pending_.size()) {
+    pending_.resize(m.bytes);
+    pending_records_ = m.records;
+  }
+}
+
+// Records serialize straight into pending_ (this sits on the per-row
+// mutation hot path — no per-record temporary buffers): FrameBegin reserves
+// the 8-byte length+CRC header, the payload appends in place, FrameEnd
+// patches the header over the written region.
+size_t WalWriter::FrameBegin() {
+  size_t header_at = pending_.size();
+  pending_.append(8, '\0');
+  return header_at;
+}
+
+void WalWriter::FrameEnd(size_t header_at) {
+  const size_t payload_start = header_at + 8;
+  const uint32_t len = static_cast<uint32_t>(pending_.size() - payload_start);
+  const uint32_t crc = binio::Crc32(pending_.data() + payload_start, len);
+  for (int i = 0; i < 4; ++i) {
+    pending_[header_at + static_cast<size_t>(i)] =
+        static_cast<char>((len >> (8 * i)) & 0xFFu);
+    pending_[header_at + 4 + static_cast<size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFFu);
+  }
+  ++pending_records_;
+}
+
+namespace {
+
+/// Raw little-endian writer over a stack buffer — the delete/update fast
+/// path assembles its whole frame (header included) in one cache-hot
+/// buffer and lands it in the pending buffer with a single append.
+struct BufWriter {
+  explicit BufWriter(char* begin) : p(begin), begin_(begin) {}
+  void U8(uint8_t v) { *p++ = static_cast<char>(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      *p++ = static_cast<char>((v >> (8 * i)) & 0xFFu);
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      *p++ = static_cast<char>((v >> (8 * i)) & 0xFFu);
+    }
+  }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    std::memcpy(p, s.data(), s.size());
+    p += s.size();
+  }
+  size_t size() const { return static_cast<size_t>(p - begin_); }
+
+  char* p;
+  char* begin_;
+};
+
+/// Longest table name the stack fast path handles; longer names (and
+/// variable-size row data) take the in-place pending_ path.
+constexpr size_t kFastPathNameMax = 96;
+
+}  // namespace
+
+void WalWriter::AppendFixedFrame(const char* buf, size_t payload_size) {
+  char header[8];
+  BufWriter h(header);
+  h.U32(static_cast<uint32_t>(payload_size));
+  h.U32(binio::Crc32(buf + 8, payload_size));
+  std::memcpy(const_cast<char*>(buf), header, 8);
+  pending_.append(buf, 8 + payload_size);
+  ++pending_records_;
+}
+
+void WalWriter::PendInsert(const Table& table, size_t rowid) {
+  size_t frame = FrameBegin();
+  binio::PutU8(&pending_, static_cast<uint8_t>(RecordKind::kInsert));
+  binio::PutString(&pending_, table.schema().name());
+  binio::PutU64(&pending_, rowid);
+  const Row& row = table.row(rowid);
+  binio::PutU32(&pending_, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) binio::PutValue(&pending_, v);
+  FrameEnd(frame);
+}
+
+void WalWriter::PendDelete(const Table& table, size_t rowid) {
+  const std::string& name = table.schema().name();
+  if (name.size() <= kFastPathNameMax) {
+    char buf[8 + 1 + 4 + kFastPathNameMax + 8];
+    BufWriter w(buf + 8);
+    w.U8(static_cast<uint8_t>(RecordKind::kDelete));
+    w.Str(name);
+    w.U64(rowid);
+    AppendFixedFrame(buf, w.size());
+    return;
+  }
+  size_t frame = FrameBegin();
+  binio::PutU8(&pending_, static_cast<uint8_t>(RecordKind::kDelete));
+  binio::PutString(&pending_, name);
+  binio::PutU64(&pending_, rowid);
+  FrameEnd(frame);
+}
+
+void WalWriter::PendUpdate(const Table& table, size_t rowid, int column,
+                           const Value& new_value) {
+  const std::string& name = table.schema().name();
+  if (name.size() <= kFastPathNameMax &&
+      (new_value.type() != ValueType::kString ||
+       new_value.AsString().size() <= 128)) {
+    char buf[8 + 1 + 4 + kFastPathNameMax + 8 + 4 + 1 + 4 + 128 + 8];
+    BufWriter w(buf + 8);
+    w.U8(static_cast<uint8_t>(RecordKind::kUpdate));
+    w.Str(name);
+    w.U64(rowid);
+    w.U32(static_cast<uint32_t>(column));
+    w.U8(static_cast<uint8_t>(new_value.type()));
+    if (new_value.type() == ValueType::kInt) {
+      w.U64(static_cast<uint64_t>(new_value.AsInt()));
+    } else if (new_value.type() == ValueType::kString) {
+      w.Str(new_value.AsString());
+    }
+    AppendFixedFrame(buf, w.size());
+    return;
+  }
+  size_t frame = FrameBegin();
+  binio::PutU8(&pending_, static_cast<uint8_t>(RecordKind::kUpdate));
+  binio::PutString(&pending_, name);
+  binio::PutU64(&pending_, rowid);
+  binio::PutU32(&pending_, static_cast<uint32_t>(column));
+  binio::PutValue(&pending_, new_value);
+  FrameEnd(frame);
+}
+
+void WalWriter::PendDdl(std::string_view sql) {
+  size_t frame = FrameBegin();
+  binio::PutU8(&pending_, static_cast<uint8_t>(RecordKind::kDdl));
+  binio::PutString(&pending_, sql);
+  FrameEnd(frame);
+}
+
+Status WalWriter::CommitPending(int64_t next_id) {
+  if (pending_.empty()) return Status::OK();
+  if (broken_) {
+    return Status::Internal(
+        "WAL writer is fail-stopped (an append or fsync failed, or the "
+        "log could not be reset after a checkpoint); the on-disk log ends "
+        "at the last fully persisted unit — reopen the database to resume");
+  }
+  size_t frame = FrameBegin();
+  binio::PutU8(&pending_, static_cast<uint8_t>(RecordKind::kCommit));
+  binio::PutI64(&pending_, next_id);
+  FrameEnd(frame);
+
+  Status write_status = WriteFully(fd_, pending_.data(), pending_.size(),
+                                   "cannot append to WAL", path_);
+  if (!write_status.ok()) {
+    // Fail-stop: a partial write left a torn frame in the file. Truncate
+    // back to the last unit boundary (best effort) and refuse further
+    // appends — if garbage stayed mid-file, replay would end there and
+    // silently drop every unit written after it.
+    (void)::ftruncate(fd_, static_cast<off_t>(file_size_));
+    (void)::lseek(fd_, static_cast<off_t>(file_size_), SEEK_SET);
+    broken_ = true;
+    pending_.clear();
+    pending_records_ = 0;
+    return write_status;
+  }
+  file_size_ += pending_.size();
+  stats_->wal_appends += pending_records_;
+  stats_->wal_bytes += pending_.size();
+  pending_.clear();
+  pending_records_ = 0;
+  dirty_ = true;
+
+  switch (options_.sync_mode) {
+    case SyncMode::kNone:
+      break;
+    case SyncMode::kCommit:
+      XUPD_RETURN_IF_ERROR(Sync());
+      break;
+    case SyncMode::kBatched:
+      if (++commits_since_sync_ >=
+          static_cast<uint64_t>(
+              options_.group_commit_interval < 1 ? 1
+                                                 : options_.group_commit_interval)) {
+        XUPD_RETURN_IF_ERROR(Sync());
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (!dirty_) return Status::OK();
+  if (::fsync(fd_) != 0) {
+    // Fail-stop on fsync failure too: the kernel may have DROPPED the dirty
+    // pages (fsync-gate semantics), so a unit that reported a commit error
+    // may be missing from disk — letting later units commit "successfully"
+    // behind the hole would break the committed-prefix recovery guarantee.
+    broken_ = true;
+    return ErrnoStatus("cannot fsync WAL", path_);
+  }
+  dirty_ = false;
+  commits_since_sync_ = 0;
+  ++stats_->wal_fsyncs;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status s = Sync();
+  ::close(fd_);
+  fd_ = -1;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+
+namespace {
+
+/// One decoded data record held until its unit's commit frame arrives.
+struct PendingRecord {
+  RecordKind kind = RecordKind::kInsert;
+  std::string table;
+  uint64_t rowid = 0;
+  uint32_t column = 0;
+  Row values;    ///< kInsert row / kUpdate single value at [0].
+  std::string sql;  ///< kDdl.
+};
+
+Status ApplyRecord(Database* db, const PendingRecord& rec) {
+  if (rec.kind == RecordKind::kDdl) {
+    return db->Execute(rec.sql);
+  }
+  Table* table = db->FindTable(rec.table);
+  if (table == nullptr) {
+    return Status::Internal("WAL replay: table '" + rec.table +
+                            "' not in catalog");
+  }
+  switch (rec.kind) {
+    case RecordKind::kInsert: {
+      if (rec.rowid != table->capacity()) {
+        return Status::Internal(
+            "WAL replay: insert row id " + std::to_string(rec.rowid) +
+            " does not line up with table '" + rec.table + "' (capacity " +
+            std::to_string(table->capacity()) + ")");
+      }
+      auto rowid = table->Insert(rec.values);
+      if (!rowid.ok()) return rowid.status();
+      return Status::OK();
+    }
+    case RecordKind::kDelete:
+      return table->Delete(rec.rowid);
+    case RecordKind::kUpdate:
+      return table->SetColumn(rec.rowid, static_cast<int>(rec.column),
+                              rec.values.empty() ? Value::Null()
+                                                 : rec.values[0]);
+    default:
+      return Status::Internal("WAL replay: unexpected record kind");
+  }
+}
+
+}  // namespace
+
+Result<WalReplayResult> ReplayWal(Database* db, const std::string& path,
+                                  uint64_t snapshot_epoch) {
+  // Read the whole file (WALs are truncated at every checkpoint; between
+  // checkpoints they are bounded by the update volume since the last one).
+  auto read = ReadWholeFile(path);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return WalReplayResult{};  // no WAL: start fresh.
+    }
+    return read.status();
+  }
+  const std::string& data = read.value();
+  if (data.empty()) return WalReplayResult{};  // created but never written.
+  if (std::memcmp(data.data(), kWalMagic,
+                  std::min(data.size(), sizeof(kWalMagic))) != 0) {
+    return Status::Internal("'" + path + "' is not a WAL file");
+  }
+  if (data.size() < kWalHeaderSize) {
+    // A crash tore the header write itself: nothing was ever committed
+    // through this file, so reset it.
+    return WalReplayResult{};
+  }
+  binio::Reader header(data.data() + sizeof(kWalMagic),
+                       kWalHeaderSize - sizeof(kWalMagic));
+  uint32_t version = header.U32();
+  uint64_t epoch = header.U64();
+  if (version != kWalFormatVersion) {
+    return Status::Internal("WAL format version mismatch: file has " +
+                            std::to_string(version) + ", this build reads " +
+                            std::to_string(kWalFormatVersion));
+  }
+  if (epoch < snapshot_epoch) {
+    // Pre-checkpoint WAL that a crash kept around: every record in it is
+    // already contained in the snapshot. Reset it.
+    return WalReplayResult{};
+  }
+  if (epoch > snapshot_epoch) {
+    return Status::Internal(
+        "WAL epoch " + std::to_string(epoch) + " is ahead of snapshot epoch " +
+        std::to_string(snapshot_epoch) + " (snapshot file lost?)");
+  }
+
+  WalReplayResult out;
+  out.valid_bytes = kWalHeaderSize;
+  std::vector<PendingRecord> unit;
+  size_t pos = kWalHeaderSize;
+  while (pos + 8 <= data.size()) {
+    binio::Reader frame(data.data() + pos, 8);
+    uint32_t len = frame.U32();
+    uint32_t crc = frame.U32();
+    if (len > kMaxFramePayload || pos + 8 + len > data.size()) break;  // torn.
+    const char* payload = data.data() + pos + 8;
+    if (binio::Crc32(payload, len) != crc) break;  // corrupt: end of log.
+    binio::Reader r(payload, len);
+    PendingRecord rec;
+    rec.kind = static_cast<RecordKind>(r.U8());
+    bool end_of_log = false;
+    int64_t commit_next_id = 0;
+    switch (rec.kind) {
+      case RecordKind::kInsert: {
+        rec.table = r.String();
+        rec.rowid = r.U64();
+        uint32_t n = r.U32();
+        for (uint32_t i = 0; r.ok() && i < n; ++i) {
+          rec.values.push_back(r.ReadValue());
+        }
+        break;
+      }
+      case RecordKind::kDelete:
+        rec.table = r.String();
+        rec.rowid = r.U64();
+        break;
+      case RecordKind::kUpdate:
+        rec.table = r.String();
+        rec.rowid = r.U64();
+        rec.column = r.U32();
+        rec.values.push_back(r.ReadValue());
+        break;
+      case RecordKind::kDdl:
+        rec.sql = r.String();
+        break;
+      case RecordKind::kCommit:
+        commit_next_id = r.I64();
+        break;
+      default:
+        end_of_log = true;  // unknown kind: treat like a torn frame.
+        break;
+    }
+    if (end_of_log || !r.ok()) break;
+    pos += 8 + len;
+    if (rec.kind == RecordKind::kCommit) {
+      for (const PendingRecord& pending : unit) {
+        XUPD_RETURN_IF_ERROR(ApplyRecord(db, pending));
+        ++out.applied_records;
+      }
+      unit.clear();
+      db->set_next_id(commit_next_id);
+      out.valid_bytes = pos;
+    } else {
+      unit.push_back(std::move(rec));
+    }
+  }
+  // Records after the last commit frame (an uncommitted or torn unit) are
+  // discarded; the caller truncates the file back to valid_bytes.
+  return out;
+}
+
+}  // namespace xupd::rdb

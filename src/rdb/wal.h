@@ -1,0 +1,229 @@
+// Write-ahead log: logical redo records for committed work on durable
+// tables, appended to one file per database directory.
+//
+// Redo is the missing half of the logging the transaction subsystem already
+// does: rdb/txn.h logs one logical UNDO record per row mutation so an open
+// transaction can roll back; the WAL captures the matching REDO image (table
+// name + row id + values) so committed work survives a crash. Records are
+// serialized at mutation time into an in-memory pending buffer (the row data
+// may be gone by commit — e.g. a staged table dropped mid-unit), truncated
+// on scope rollback in lockstep with the undo log, and written to the file
+// as ONE unit — data frames followed by a commit frame carrying the next-id
+// counter — when the outermost transaction commits (or, outside a
+// transaction, when a top-level statement finishes, so autocommit writes and
+// the bulk-load API persist too). Only whole units ever reach the file: a
+// crash can tear the tail of the last write(), never interleave units.
+//
+// File format (little-endian):
+//   header:  "XUPDWAL1" (8 bytes) | u32 format version | u64 epoch
+//   frame:   u32 payload length | u32 CRC32(payload) | payload
+//   payload: u8 kind | kind-specific fields (see wal.cc)
+//
+// The epoch pairs the WAL with its snapshot (rdb/snapshot.h): Checkpoint
+// writes a snapshot with epoch N+1 and then resets the WAL to epoch N+1, so
+// a crash between the two steps leaves an epoch-N WAL that recovery
+// recognizes as already contained in the snapshot and ignores.
+//
+// Recovery (ReplayWal) buffers decoded records and applies them only when
+// their commit frame arrives; a torn or corrupt frame ends the log — the
+// committed prefix is kept, everything at and after the bad frame is
+// discarded (the file is truncated back to the last commit boundary before
+// new writes append). A bad header (wrong magic / unsupported version) is a
+// hard error: that file is not a WAL we can interpret.
+#ifndef XUPD_RDB_WAL_H_
+#define XUPD_RDB_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "rdb/stats.h"
+#include "rdb/value.h"
+
+namespace xupd::rdb {
+
+class Database;
+class Table;
+
+/// When the WAL fsyncs.
+enum class SyncMode {
+  kNone,     ///< never fsync; the OS flushes eventually (survives process
+             ///< crash, not power loss).
+  kCommit,   ///< fsync once per commit unit (classic durable commit).
+  kBatched,  ///< group commit: fsync every `group_commit_interval` units
+             ///< (and on checkpoint/close).
+};
+
+const char* ToString(SyncMode mode);
+
+struct DurabilityOptions {
+  SyncMode sync_mode = SyncMode::kCommit;
+  /// kBatched: commit units between fsyncs.
+  int group_commit_interval = 32;
+};
+
+// --- binary encoding helpers (shared with rdb/snapshot.cc) -----------------
+
+namespace binio {
+
+uint32_t Crc32(const void* data, size_t size);
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutString(std::string* out, std::string_view s);  ///< u32 len + bytes.
+void PutValue(std::string* out, const Value& v);
+
+/// Sequential decoder; any out-of-bounds read sets ok() false and every
+/// later read returns a zero value, so callers check once at the end.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : p_(data), end_(data + size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64();
+  std::string String();
+  Value ReadValue();
+
+ private:
+  bool Need(size_t n);
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace binio
+
+// --- writer ----------------------------------------------------------------
+
+class WalWriter {
+ public:
+  /// Opens (creating if needed) the WAL at `path` for appending. The file is
+  /// truncated to `resume_offset` first — recovery passes the end of the last
+  /// committed unit so a torn tail never precedes fresh records; 0 resets the
+  /// file and writes a fresh header with `epoch`.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t epoch,
+                                                 uint64_t resume_offset,
+                                                 const DurabilityOptions& options,
+                                                 Stats* stats);
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  uint64_t epoch() const { return epoch_; }
+
+  /// A position in the pending buffer; taken at transaction-scope Begin and
+  /// restored on rollback (mirrors the undo log's scope boundaries).
+  struct Mark {
+    size_t bytes = 0;
+    uint64_t records = 0;
+  };
+  Mark mark() const { return {pending_.size(), pending_records_}; }
+  void TruncatePending(const Mark& m);
+  bool pending_empty() const { return pending_.empty(); }
+
+  // Record appends. Insert/update serialize the row data NOW (the values or
+  // even the Table may be gone by commit time); all stay in memory until
+  // CommitPending.
+  void PendInsert(const Table& table, size_t rowid);
+  void PendDelete(const Table& table, size_t rowid);
+  void PendUpdate(const Table& table, size_t rowid, int column,
+                  const Value& new_value);
+  void PendDdl(std::string_view sql);
+
+  /// Appends the commit frame (carrying the database's next-id counter),
+  /// writes the whole unit to the file with one write, and fsyncs according
+  /// to the sync mode. No-op when nothing is pending. (Rollback — outermost
+  /// or savepoint — discards pending records via TruncatePending; only
+  /// committed units ever reach this call.)
+  Status CommitPending(int64_t next_id);
+
+  /// Fail-stop this writer: every later CommitPending of a non-empty unit
+  /// returns an error (reads — which never have pending redo — are
+  /// unaffected). Used when the WAL file could not be reset after a
+  /// checkpoint, so durable writes fail loudly instead of silently
+  /// diverging from disk.
+  void MarkBroken() { broken_ = true; }
+
+  /// fsync now if anything written is unsynced.
+  Status Sync();
+  /// Sync + close the file descriptor. Pending (uncommitted) records are
+  /// discarded — only committed units ever persist.
+  Status Close();
+
+ private:
+  WalWriter() = default;
+  /// In-place framing: reserves the 8-byte length+CRC header in pending_,
+  /// returns its offset; FrameEnd patches it over the bytes appended since.
+  size_t FrameBegin();
+  void FrameEnd(size_t header_at);
+  /// Fast path: `buf` holds 8 reserved header bytes + `payload_size` payload
+  /// bytes on the caller's stack; fills the header and appends the whole
+  /// frame with one copy.
+  void AppendFixedFrame(const char* buf, size_t payload_size);
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t epoch_ = 0;
+  DurabilityOptions options_;
+  Stats* stats_ = nullptr;
+  std::string pending_;
+  uint64_t pending_records_ = 0;
+  uint64_t commits_since_sync_ = 0;
+  bool dirty_ = false;  ///< written bytes not yet fsynced.
+  /// File length after the last fully written unit — where a failed append
+  /// truncates back to before the writer fail-stops.
+  uint64_t file_size_ = 0;
+  /// Set when an append failed mid-write: the writer refuses further
+  /// commits so the on-disk log always ends at a unit boundary.
+  bool broken_ = false;
+};
+
+// --- recovery --------------------------------------------------------------
+
+struct WalReplayResult {
+  /// Byte offset just past the last applied commit frame (== header size when
+  /// nothing was committed). 0 means the file should be reset from scratch
+  /// (missing, empty, or from an epoch older than the snapshot's).
+  uint64_t valid_bytes = 0;
+  uint64_t applied_records = 0;
+};
+
+// --- shared file helpers (wal.cc, snapshot.cc) -----------------------------
+
+/// "<what> '<path>': <strerror(errno)>" as an Internal status.
+Status ErrnoStatus(const std::string& what, const std::string& path);
+
+/// write(2) with the EINTR/short-write retry loop.
+Status WriteFully(int fd, const char* data, size_t size,
+                  const std::string& what, const std::string& path);
+
+/// Reads the whole file into a string. A missing file is NotFound (callers
+/// distinguish "no log yet" from real I/O errors); other failures Internal.
+Result<std::string> ReadWholeFile(const std::string& path);
+
+/// fsyncs the directory containing `path`, making its directory entries
+/// (file creations, renames, truncations) durable. Shared by the WAL
+/// writer (fresh-file creation) and the snapshot rename.
+Status SyncParentDir(const std::string& path);
+
+/// Replays the committed prefix of the WAL at `path` into `db` (which must
+/// already hold the snapshot state of `snapshot_epoch`). Torn or corrupt
+/// frames end the log silently (crash semantics); a WAL whose epoch predates
+/// the snapshot is ignored; a bad header or a record that cannot be applied
+/// (e.g. an insert whose row id does not line up) is a hard error.
+Result<WalReplayResult> ReplayWal(Database* db, const std::string& path,
+                                  uint64_t snapshot_epoch);
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_WAL_H_
