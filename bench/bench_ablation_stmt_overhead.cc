@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "harness.h"
 #include "rdb/database.h"
 
 using namespace xupd;
@@ -63,7 +64,8 @@ void Report(const char* mode, int n, double latency_us, const ModeResult& r) {
       "\"latency_us\":%.1f,\"seconds\":%.6f,\"us_per_row\":%.3f,"
       "\"statements\":%llu,\"sql_parses\":%llu,\"prepared_hits\":%llu,"
       "\"prepared_misses\":%llu,\"batched_rows\":%llu,"
-      "\"plans_built\":%llu,\"plan_cache_hits\":%llu}\n",
+      "\"plans_built\":%llu,\"plan_cache_hits\":%llu,"
+      "\"sizeof_value\":%zu,\"peak_rss_kb\":%ld}\n",
       mode, n, latency_us, r.seconds, us_per_row,
       static_cast<unsigned long long>(r.stats.statements),
       static_cast<unsigned long long>(r.stats.sql_parses),
@@ -71,7 +73,8 @@ void Report(const char* mode, int n, double latency_us, const ModeResult& r) {
       static_cast<unsigned long long>(r.stats.prepared_misses),
       static_cast<unsigned long long>(r.stats.batched_rows),
       static_cast<unsigned long long>(r.stats.plans_built),
-      static_cast<unsigned long long>(r.stats.plan_cache_hits));
+      static_cast<unsigned long long>(r.stats.plan_cache_hits),
+      sizeof(rdb::Value), bench::PeakRssKb());
 }
 
 std::string Payload(int i) { return "payload-" + std::to_string(i); }

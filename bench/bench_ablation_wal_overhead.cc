@@ -162,12 +162,19 @@ void Report(const char* strategy, const char* mode, const ModeResult& r,
       "{\"bench\":\"ablation_wal_overhead\",\"strategy\":\"%s\","
       "\"mode\":\"%s\",\"seconds\":%.6f,\"overhead_pct\":%.2f,"
       "\"recovery_seconds\":%.6f,\"wal_appends\":%llu,\"wal_bytes\":%llu,"
-      "\"wal_fsyncs\":%llu,\"recovery_replayed\":%llu}\n",
+      "\"wal_fsyncs\":%llu,\"recovery_replayed\":%llu,"
+      "\"wal_bytes_per_record\":%.1f,\"sizeof_value\":%zu,"
+      "\"peak_rss_kb\":%ld}\n",
       strategy, mode, r.seconds, overhead_pct, r.recovery_seconds,
       static_cast<unsigned long long>(r.stats.wal_appends),
       static_cast<unsigned long long>(r.stats.wal_bytes),
       static_cast<unsigned long long>(r.stats.wal_fsyncs),
-      static_cast<unsigned long long>(r.replayed));
+      static_cast<unsigned long long>(r.replayed),
+      r.stats.wal_appends > 0
+          ? static_cast<double>(r.stats.wal_bytes) /
+                static_cast<double>(r.stats.wal_appends)
+          : 0.0,
+      sizeof(rdb::Value), bench::PeakRssKb());
 }
 
 }  // namespace

@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"fig10_insert_bulk_depth\",\"sweep\":"
           "\"insert_batch_size\",\"batch\":%d,\"depth\":%d,\"sf\":100,"
-          "\"seconds\":%.6f}\n",
-          batch, depth, t);
+          "\"seconds\":%.6f,\"sizeof_value\":%zu,\"peak_rss_kb\":%ld}\n",
+          batch, depth, t, sizeof(rdb::Value), bench::PeakRssKb());
     }
   }
   return 0;

@@ -40,6 +40,11 @@ int main(int argc, char** argv) {
           },
           {runs});
       bench::PrintPoint(ToString(method), sf, t);
+      std::printf(
+          "{\"bench\":\"fig6_delete_bulk_sf\",\"method\":\"%s\","
+          "\"sf\":%d,\"seconds\":%.6f,\"sizeof_value\":%zu,"
+          "\"peak_rss_kb\":%ld}\n",
+          ToString(method), sf, t, sizeof(rdb::Value), bench::PeakRssKb());
     }
   }
   return 0;

@@ -15,7 +15,7 @@ size_t ApproxBytes(engine::RelationalStore* store) {
     const rdb::Table* t = store->db()->FindTable(name);
     for (size_t r = 0; r < t->capacity(); ++r) {
       if (!t->is_live(r)) continue;
-      for (const rdb::Value& v : t->row(r)) {
+      for (const rdb::Value& v : t->row_span(r)) {
         bytes += v.type() == rdb::ValueType::kString ? v.AsString().size() + 8
                                                      : 8;
       }

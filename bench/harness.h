@@ -4,6 +4,8 @@
 #ifndef XUPD_BENCH_HARNESS_H_
 #define XUPD_BENCH_HARNESS_H_
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -20,6 +22,15 @@ namespace xupd::bench {
 struct HarnessOptions {
   int runs = 5;  ///< total runs; first discarded.
 };
+
+/// Peak resident set size of this process so far, in KiB (ru_maxrss is KiB
+/// on Linux). Emitted into bench JSON rows so memory regressions of the
+/// storage layer are as visible as time regressions.
+inline long PeakRssKb() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_maxrss;
+}
 
 /// Builds a fresh store with explicit options over `gen` and loads it.
 inline std::unique_ptr<engine::RelationalStore> FreshStore(

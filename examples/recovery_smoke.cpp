@@ -125,7 +125,7 @@ std::string DumpDurableState(const rdb::Database& db) {
     out += "table " + t->schema().name() + "\n";
     for (size_t rowid = 0; rowid < t->capacity(); ++rowid) {
       out += t->is_live(rowid) ? "  live " : "  dead ";
-      for (const rdb::Value& v : t->row(rowid)) out += v.ToString() + "|";
+      for (const rdb::Value& v : t->row_span(rowid)) out += v.ToString() + "|";
       out += "\n";
     }
   }

@@ -28,6 +28,15 @@ constexpr const char* kIdListTable = "xupd_idlist";
 /// marker; its absence is reported as an incomplete creation.
 constexpr const char* kSetupMarkerTable = "xupd_setup";
 
+/// Durable key/value table persisting the strategy Options the store was
+/// created with. Reopen verifies the caller's Options against it: a store
+/// created with cascade triggers and reopened expecting ASR maintenance
+/// (or vice versa) would silently corrupt on the first update — the
+/// recovered triggers/ASR would not match the code paths the strategies
+/// take. Riding in a durable SQL table keeps it inside the existing WAL +
+/// snapshot formats.
+constexpr const char* kMetaTable = "xupd_meta";
+
 /// True when a predicate produces constant statement text across calls:
 /// empty, or routed through the xupd_idlist scratch table. Statements built
 /// from such predicates are worth caching; literal one-shot predicates
@@ -100,6 +109,9 @@ Result<std::unique_ptr<RelationalStore>> RelationalStore::Create(
           "mid-setup before the schema was fully committed); remove the "
           "directory and create the store again");
     }
+    // The stored strategy options must match the caller's: a mismatched
+    // reopen is a clean error, not silent corruption.
+    XUPD_RETURN_IF_ERROR(store->VerifyStoredOptions());
     // Re-derive the engine's root id from the stored root tuple (the
     // shredder attaches the document root to parent 0).
     const TableMapping* root = store->mapping_->root();
@@ -120,6 +132,7 @@ Result<std::unique_ptr<RelationalStore>> RelationalStore::Create(
     XUPD_RETURN_IF_ERROR(store->asr_->CreateSchema());
   }
   XUPD_RETURN_IF_ERROR(store->InstallTriggers());
+  XUPD_RETURN_IF_ERROR(store->PersistOptions());
   // Setup-complete marker, created last (and in non-durable stores too, so
   // durable and in-memory state dumps stay comparable).
   XUPD_RETURN_IF_ERROR(store->db_.Execute(
@@ -130,6 +143,57 @@ Result<std::unique_ptr<RelationalStore>> RelationalStore::Create(
 }
 
 Status RelationalStore::Checkpoint() { return db_.Checkpoint(); }
+
+Status RelationalStore::PersistOptions() {
+  XUPD_RETURN_IF_ERROR(db_.Execute(std::string("CREATE TABLE ") + kMetaTable +
+                                   " (k VARCHAR, v VARCHAR)"));
+  // One row per statement: multi-row INSERT would count into the
+  // batched_rows stat the §6.2.1 shape tests pin to the workload's own
+  // statements.
+  for (const auto& [key, value] : StrategyFields()) {
+    XUPD_RETURN_IF_ERROR(db_.Execute(std::string("INSERT INTO ") + kMetaTable +
+                                     " VALUES ('" + key + "', '" + value +
+                                     "')"));
+  }
+  return Status::OK();
+}
+
+Status RelationalStore::VerifyStoredOptions() {
+  if (db_.FindTable(kMetaTable) == nullptr) {
+    return Status::Internal(
+        "recovered store has no '" + std::string(kMetaTable) +
+        "' table; it was created by a build that did not persist its "
+        "strategy options");
+  }
+  auto rows = db_.ExecuteQuery(std::string("SELECT k, v FROM ") + kMetaTable);
+  if (!rows.ok()) return rows.status();
+  std::map<std::string, std::string> stored;
+  for (const auto& row : rows->rows) {
+    stored[std::string(row[0].AsString())] = std::string(row[1].AsString());
+  }
+  for (const auto& [key, expected] : StrategyFields()) {
+    auto it = stored.find(key);
+    const std::string& on_disk = it == stored.end() ? std::string("<absent>")
+                                                    : it->second;
+    if (on_disk != expected) {
+      return Status::InvalidArgument(
+          "data directory '" + options_.data_dir + "' was created with " +
+          key + "='" + on_disk + "' but is being reopened with '" + expected +
+          "'; reopen with the original strategy options (a mismatched "
+          "reopen would corrupt the store on the first update)");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>>
+RelationalStore::StrategyFields() const {
+  return {
+      {"delete_strategy", ToString(options_.delete_strategy)},
+      {"insert_strategy", ToString(options_.insert_strategy)},
+      {"build_asr", options_.build_asr ? "1" : "0"},
+  };
+}
 
 Status RelationalStore::InstallTriggers() {
   if (options_.delete_strategy != DeleteStrategy::kPerTupleTrigger &&

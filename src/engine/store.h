@@ -6,6 +6,7 @@
 #define XUPD_ENGINE_STORE_H_
 
 #include <functional>
+#include <utility>
 #include <map>
 #include <memory>
 #include <string>
@@ -183,6 +184,12 @@ class RelationalStore {
   Status RunInTxn(const std::function<Status()>& fn);
 
   Status InstallTriggers();
+  /// Writes the strategy Options into the durable xupd_meta table (store
+  /// creation) / verifies the caller's Options against it (reopen) — a
+  /// mismatched reopen is a clean error, not silent corruption.
+  Status PersistOptions();
+  Status VerifyStoredOptions();
+  std::vector<std::pair<std::string, std::string>> StrategyFields() const;
   Status DeleteSubtreesImpl(const shred::TableMapping* tm,
                             const std::string& predicate);
   Status CascadeDelete(const shred::TableMapping* tm,

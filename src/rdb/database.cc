@@ -184,7 +184,8 @@ Status Database::Open(const std::string& dir,
   recovered_ = have_snapshot || replay.applied_records > 0;
 
   auto writer = WalWriter::Open(WalPath(dir), epoch, replay.valid_bytes,
-                                durability_options_, &stats_);
+                                durability_options_, &stats_,
+                                &replay.table_ids);
   if (!writer.ok()) return fail(writer.status());
   wal_ = std::move(writer).value();
   txn_.AttachWal(wal_.get());
@@ -432,6 +433,7 @@ Result<Table*> Database::CreateTableDirect(TableSchema schema,
   auto table = std::make_unique<Table>(std::move(schema),
                                        transactional ? &txn_ : nullptr);
   table->set_durable(durable);
+  table->set_interner(&interner_);
   Table* raw = table.get();
   tables_.emplace(std::move(key), std::move(table));
   return raw;

@@ -242,6 +242,11 @@ class Database {
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
+  /// The per-Database string arena: long string values stored into any
+  /// catalog table are deduplicated against it (rdb/value.h). Exposed for
+  /// tests and memory introspection.
+  StringInterner& interner() { return interner_; }
+
   /// Simulated per-statement issue latency (microseconds), applied to every
   /// Execute/ExecuteQuery/ExecutePrepared call — models the client/server
   /// round trip a 2001-era JDBC/DB2 stack pays per statement (trigger
@@ -316,6 +321,10 @@ class Database {
   /// Bumps the per-table plan-dependency counter for `name`.
   void BumpTableVersion(std::string_view name);
 
+  /// String arena every table dedups long values against. Safe in any
+  /// destruction order relative to tables_: interned Values carry their own
+  /// references, so blocks outlive whichever of table or arena dies first.
+  StringInterner interner_;
   /// Tables keyed by their original name, compared case-insensitively; the
   /// transparent comparator keeps FindTable allocation-free on the hot path.
   std::map<std::string, std::unique_ptr<Table>, AsciiCaseInsensitiveLess>

@@ -18,8 +18,8 @@ Result<Value> CoerceValue(Value v, ColumnType type) {
     if (v.type() == ValueType::kInt) return v;
     int64_t parsed;
     if (ParseInt64(v.AsString(), &parsed)) return Value::Int(parsed);
-    return Status::InvalidArgument("cannot coerce '" + v.AsString() +
-                                   "' to INTEGER");
+    return Status::InvalidArgument("cannot coerce '" +
+                                   std::string(v.AsString()) + "' to INTEGER");
   }
   if (v.type() == ValueType::kString) return v;
   return Value::Str(v.ToString());
@@ -54,7 +54,7 @@ Result<const std::unordered_set<Value, ValueHash>*> SubquerySet(
 }
 
 Result<Value> EvalBound(const BoundExpr& expr,
-                        const std::vector<const Row*>& slots,
+                        const std::vector<const Value*>& slots,
                         ExecContext& ctx) {
   switch (expr.kind) {
     case Expr::Kind::kLiteral:
@@ -70,7 +70,7 @@ Result<Value> EvalBound(const BoundExpr& expr,
       return (*ctx.params)[static_cast<size_t>(expr.param_index)];
     }
     case Expr::Kind::kColumn:
-      return (*slots[expr.rel])[expr.col];
+      return slots[expr.rel][expr.col];
     case Expr::Kind::kOldColumn: {
       if (ctx.old_row == nullptr) {
         return Status::InvalidArgument("OLD.* outside a row trigger");
@@ -190,7 +190,7 @@ Result<Value> EvalBound(const BoundExpr& expr,
 }
 
 Result<bool> EvalBoolBound(const BoundExpr& expr,
-                           const std::vector<const Row*>& slots,
+                           const std::vector<const Value*>& slots,
                            ExecContext& ctx) {
   XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(expr, slots, ctx));
   return Truthy(v);
@@ -204,8 +204,8 @@ namespace {
 /// Gathers candidate rowids for an index-driven access path (one Lookup per
 /// probe value; counts each as an index probe).
 Status GatherCandidates(const AccessPath& path,
-                        const std::vector<const Row*>& slots, ExecContext& ctx,
-                        std::vector<size_t>* out) {
+                        const std::vector<const Value*>& slots,
+                        ExecContext& ctx, std::vector<size_t>* out) {
   switch (path.kind) {
     case AccessPath::Kind::kScan:
       return Status::Internal("scan path has no candidates");
@@ -262,7 +262,7 @@ class OneRowNode : public ExecNode {
 class ScanNode : public ExecNode {
  public:
   ScanNode(const PlannedRelation* rel, size_t k,
-           std::vector<const Row*>* slots)
+           std::vector<const Value*>* slots)
       : rel_(rel), k_(k), slots_(slots) {}
 
   Status Open(ExecContext& ctx) override {
@@ -280,14 +280,14 @@ class ScanNode : public ExecNode {
         size_t rowid = pos_++;
         if (!table->is_live(rowid)) continue;
         ++ctx.db->stats().rows_scanned;
-        (*slots_)[k_] = &table->row(rowid);
+        (*slots_)[k_] = table->row(rowid);
         return true;
       }
       return false;
     }
     if (pos_ < mat_->rows.size()) {
       ++ctx.db->stats().rows_scanned;
-      (*slots_)[k_] = &mat_->rows[pos_++];
+      (*slots_)[k_] = mat_->rows[pos_++].data();
       return true;
     }
     return false;
@@ -296,7 +296,7 @@ class ScanNode : public ExecNode {
  private:
   const PlannedRelation* rel_;
   size_t k_;
-  std::vector<const Row*>* slots_;
+  std::vector<const Value*>* slots_;
   size_t pos_ = 0;
   const ResultSet* mat_ = nullptr;
 };
@@ -306,16 +306,26 @@ class ScanNode : public ExecNode {
 class IndexProbeNode : public ExecNode {
  public:
   IndexProbeNode(const PlannedRelation* rel, const AccessPath* path, size_t k,
-                 std::vector<const Row*>* slots)
+                 std::vector<const Value*>* slots)
       : rel_(rel), path_(path), k_(k), slots_(slots) {}
 
   Status Open(ExecContext& ctx) override {
-    rowids_.clear();
     pos_ = 0;
+    // IN-list / IN-subquery probe values are row-free by construction, so
+    // at an inner join step the candidate set is identical for every outer
+    // row: gather it once per execution and replay it on later re-Opens
+    // (liveness is still checked per Next, and mutations never interleave
+    // with an executing pipeline).
+    if (gathered_ && path_->kind != AccessPath::Kind::kIndexEq) {
+      return Status::OK();
+    }
+    rowids_.clear();
     XUPD_RETURN_IF_ERROR(GatherCandidates(*path_, *slots_, ctx, &rowids_));
-    // Multi-probe paths can surface a rowid twice; dedupe (ascending order
-    // == scan order, keeping output order stable vs a filtered scan).
-    if (path_->kind != AccessPath::Kind::kIndexEq) SortUnique(&rowids_);
+    // Multi-probe paths can surface a rowid twice; dedupe. Sorting puts
+    // every probe kind in ascending rowid order == scan order, keeping
+    // output order stable vs a filtered scan.
+    SortUnique(&rowids_);
+    gathered_ = true;
     return Status::OK();
   }
 
@@ -323,7 +333,7 @@ class IndexProbeNode : public ExecNode {
     while (pos_ < rowids_.size()) {
       size_t rowid = rowids_[pos_++];
       if (!rel_->table->is_live(rowid)) continue;
-      (*slots_)[k_] = &rel_->table->row(rowid);
+      (*slots_)[k_] = rel_->table->row(rowid);
       return true;
     }
     return false;
@@ -333,9 +343,10 @@ class IndexProbeNode : public ExecNode {
   const PlannedRelation* rel_;
   const AccessPath* path_;
   size_t k_;
-  std::vector<const Row*>* slots_;
+  std::vector<const Value*>* slots_;
   std::vector<size_t> rowids_;
   size_t pos_ = 0;
+  bool gathered_ = false;
 };
 
 /// Passes through child tuples that satisfy every conjunct.
@@ -343,7 +354,7 @@ class FilterNode : public ExecNode {
  public:
   FilterNode(std::unique_ptr<ExecNode> child,
              const std::vector<BoundExpr>* filters,
-             std::vector<const Row*>* slots)
+             std::vector<const Value*>* slots)
       : child_(std::move(child)), filters_(filters), slots_(slots) {}
 
   Status Open(ExecContext& ctx) override { return child_->Open(ctx); }
@@ -367,7 +378,7 @@ class FilterNode : public ExecNode {
  private:
   std::unique_ptr<ExecNode> child_;
   const std::vector<BoundExpr>* filters_;
-  std::vector<const Row*>* slots_;
+  std::vector<const Value*>* slots_;
 };
 
 /// Nested-loop join: for each outer tuple, re-opens the inner side (whose
@@ -404,7 +415,7 @@ class NestedLoopJoinNode : public ExecNode {
 };
 
 std::unique_ptr<ExecNode> MakeAccessNode(const PlannedCore& core, size_t k,
-                                         std::vector<const Row*>* slots) {
+                                         std::vector<const Value*>* slots) {
   std::unique_ptr<ExecNode> node;
   if (core.paths[k].kind == AccessPath::Kind::kScan) {
     node = std::make_unique<ScanNode>(&core.relations[k], k, slots);
@@ -422,7 +433,7 @@ std::unique_ptr<ExecNode> MakeAccessNode(const PlannedCore& core, size_t k,
 }  // namespace
 
 std::unique_ptr<ExecNode> BuildCorePipeline(const PlannedCore& core,
-                                            std::vector<const Row*>* slots) {
+                                            std::vector<const Value*>* slots) {
   if (core.relations.empty()) {
     std::unique_ptr<ExecNode> node = std::make_unique<OneRowNode>();
     if (!core.const_filters.empty()) {
@@ -446,7 +457,7 @@ namespace {
 
 Result<ResultSet> ExecutePlannedCore(const PlannedCore& core,
                                      ExecContext& ctx) {
-  std::vector<const Row*> slots(core.relations.size(), nullptr);
+  std::vector<const Value*> slots(core.relations.size(), nullptr);
   std::unique_ptr<ExecNode> root = BuildCorePipeline(core, &slots);
   XUPD_RETURN_IF_ERROR(root->Open(ctx));
 
@@ -465,7 +476,7 @@ Result<ResultSet> ExecutePlannedCore(const PlannedCore& core,
       for (size_t i = 0; i < core.outputs.size(); ++i) {
         const BoundExpr& e = core.outputs[i];
         Value v =
-            e.count_star ? Value::Int(1) : (*slots[e.rel])[e.col];
+            e.count_star ? Value::Int(1) : slots[e.rel][e.col];
         if (v.is_null()) continue;
         Accumulator& a = accs[i];
         ++a.count;
@@ -555,10 +566,10 @@ Result<ResultSet> ExecutePlannedSelect(const PlannedSelect& plan,
 Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
                                                   ExecContext& ctx) {
   std::vector<size_t> out;
-  std::vector<const Row*> slots(1, nullptr);
+  std::vector<const Value*> slots(1, nullptr);
 
   auto matches = [&](size_t rowid) -> Result<bool> {
-    slots[0] = &m.table->row(rowid);
+    slots[0] = m.table->row(rowid);
     for (const BoundExpr& f : m.filters) {
       XUPD_ASSIGN_OR_RETURN(bool ok, EvalBoolBound(f, slots, ctx));
       if (!ok) return false;
@@ -577,7 +588,7 @@ Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
   }
 
   std::vector<size_t> candidates;
-  std::vector<const Row*> no_slots;
+  std::vector<const Value*> no_slots;
   XUPD_RETURN_IF_ERROR(GatherCandidates(m.path, no_slots, ctx, &candidates));
   SortUnique(&candidates);
   for (size_t rowid : candidates) {

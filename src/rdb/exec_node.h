@@ -51,14 +51,16 @@ class ExecNode {
 };
 
 /// Evaluates a bound expression against the current tuple. `slots` holds
-/// the per-relation row pointers (empty for row-free expressions).
+/// one pointer per relation to the current row's first column — rows are
+/// contiguous Value slots in the table slab (empty for row-free
+/// expressions).
 Result<Value> EvalBound(const BoundExpr& expr,
-                        const std::vector<const Row*>& slots,
+                        const std::vector<const Value*>& slots,
                         ExecContext& ctx);
 /// Boolean evaluation with SQL three-valued logic collapsed to true /
 /// not-true (NULL counts as not-true).
 Result<bool> EvalBoolBound(const BoundExpr& expr,
-                           const std::vector<const Row*>& slots,
+                           const std::vector<const Value*>& slots,
                            ExecContext& ctx);
 
 /// Coerces `v` to a column type (INTEGER parse or textual rendering).
@@ -68,7 +70,7 @@ Result<Value> CoerceValue(Value v, ColumnType type);
 /// through `slots` (must be sized to the relation count and outlive the
 /// tree). Exposed for tests; most callers want ExecutePlannedSelect.
 std::unique_ptr<ExecNode> BuildCorePipeline(const PlannedCore& core,
-                                            std::vector<const Row*>* slots);
+                                            std::vector<const Value*>* slots);
 
 /// Runs a planned SELECT to completion: materializes CTEs into their
 /// context slots, streams each core through its pipeline (project or

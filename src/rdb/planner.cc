@@ -188,9 +188,9 @@ int Planner::ChooseAccessPath(const std::vector<PlannedRelation>& rels,
         path->probe = rhs;
         return static_cast<int>(ci);
       }
-    } else if (k == 0 && c.kind == Expr::Kind::kInList && !c.negated &&
+    } else if (c.kind == Expr::Kind::kInList && !c.negated &&
                c.children[0].kind == Expr::Kind::kColumn &&
-               c.children[0].rel == 0) {
+               c.children[0].rel == k) {
       bool all_row_free = true;
       for (const BoundExpr& item : c.in_list) {
         if (item.max_rel >= 0) {
@@ -208,9 +208,9 @@ int Planner::ChooseAccessPath(const std::vector<PlannedRelation>& rels,
       path->column_name = c.children[0].name;
       path->probe_list = c.in_list;
       return static_cast<int>(ci);
-    } else if (k == 0 && c.kind == Expr::Kind::kInSubquery && !c.negated &&
+    } else if (c.kind == Expr::Kind::kInSubquery && !c.negated &&
                c.children[0].kind == Expr::Kind::kColumn &&
-               c.children[0].rel == 0) {
+               c.children[0].rel == k) {
       const HashIndex* idx =
           table->FindIndexOnColumn(static_cast<int>(c.children[0].col));
       if (idx == nullptr) continue;

@@ -206,10 +206,13 @@ class Planner {
                          bool values_context = false);
 
   /// Picks an index access path for relation `k` from the conjuncts placed
-  /// at step `k`. For k == 0 equality, IN-list and IN-subquery probes are
-  /// considered (first usable conjunct in order wins); for k > 0 only
-  /// equality probes over earlier relations. Returns the index of the
-  /// consumed conjunct in `conjuncts` (-1 = scan).
+  /// at step `k` (first usable conjunct in order wins). Equality probes may
+  /// reference strictly-earlier relations; IN-list and IN-subquery probes
+  /// are row-free by construction (the dialect has no correlation) and are
+  /// considered at EVERY join position — at inner steps the executor
+  /// gathers their candidate set once per execution and replays it for each
+  /// outer row. Returns the index of the consumed conjunct in `conjuncts`
+  /// (-1 = scan).
   int ChooseAccessPath(const std::vector<PlannedRelation>& rels, size_t k,
                        const std::vector<BoundExpr*>& conjuncts,
                        AccessPath* path) const;

@@ -67,7 +67,7 @@ Status WriteSnapshot(const Database& db, const std::string& path,
     binio::PutU64(&out, t->capacity());
     for (size_t rowid = 0; rowid < t->capacity(); ++rowid) {
       binio::PutU8(&out, t->is_live(rowid) ? 1 : 0);
-      for (const Value& v : t->row(rowid)) binio::PutValue(&out, v);
+      for (const Value& v : t->row_span(rowid)) binio::PutValue(&out, v);
     }
     binio::PutU32(&out, static_cast<uint32_t>(t->indexes().size()));
     for (const auto& index : t->indexes()) {

@@ -314,7 +314,7 @@ Result<ResultSet> Executor::RunPlannedInsert(const PlannedStatement& plan) {
 
   // Evaluate and coerce every VALUES row before inserting any, so a bad row
   // leaves the table untouched (multi-row INSERT is atomic).
-  std::vector<const Row*> no_slots;
+  std::vector<const Value*> no_slots;
   std::vector<Row> built_rows;
   built_rows.reserve(ins.rows.size());
   for (const auto& exprs : ins.rows) {
@@ -347,7 +347,7 @@ Result<ResultSet> Executor::RunPlannedDelete(const PlannedStatement& plan) {
   std::vector<Row> deleted_rows;
   deleted_rows.reserve(rowids.size());
   for (size_t rowid : rowids) {
-    deleted_rows.push_back(m.table->row(rowid));
+    deleted_rows.push_back(m.table->CopyRow(rowid));
     XUPD_RETURN_IF_ERROR(m.table->Delete(rowid));
     ++db_->stats_.rows_deleted;
   }
@@ -363,11 +363,11 @@ Result<ResultSet> Executor::RunPlannedUpdate(const PlannedStatement& plan) {
   XUPD_ASSIGN_OR_RETURN(std::vector<size_t> rowids,
                         CollectMatchingRowids(m, ctx));
 
-  std::vector<const Row*> slots(1, nullptr);
+  std::vector<const Value*> slots(1, nullptr);
   for (size_t rowid : rowids) {
     // Evaluate all SET expressions against the pre-update row.
-    Row snapshot = m.table->row(rowid);
-    slots[0] = &snapshot;
+    Row snapshot = m.table->CopyRow(rowid);
+    slots[0] = snapshot.data();
     std::vector<std::pair<int, Value>> new_values;
     new_values.reserve(m.sets.size());
     for (const PlannedMutation::Set& set : m.sets) {

@@ -4,17 +4,197 @@
 
 namespace xupd::rdb {
 
+// ---------------------------------------------------------------------------
+// HashIndex: flat open-addressing (value, rowid) pair table + chain heads.
+
+namespace {
+constexpr uint8_t kEmpty = 0;
+constexpr uint8_t kOccupied = 1;
+constexpr uint8_t kTombstone = 2;
+constexpr int32_t kHeadEmpty = -1;
+constexpr int32_t kHeadTombstone = -2;
+constexpr size_t kInitialCap = 16;
+}  // namespace
+
+int32_t HashIndex::FindPair(uint64_t vhash, const Value& v,
+                            size_t rowid) const {
+  if (slots_.empty()) return -1;
+  const size_t mask = slots_.size() - 1;
+  size_t pos = PairHash(vhash, rowid) & mask;
+  for (;;) {
+    const Slot& s = slots_[pos];
+    if (s.state == kEmpty) return -1;
+    if (s.state == kOccupied && s.rowid == rowid && s.vhash == vhash &&
+        s.value == v) {
+      return static_cast<int32_t>(pos);
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+int32_t HashIndex::FindHead(uint64_t vhash, const Value& v) const {
+  if (heads_.empty()) return -1;
+  const size_t mask = heads_.size() - 1;
+  size_t pos = HeadHash(vhash) & mask;
+  for (;;) {
+    int32_t head = heads_[pos];
+    if (head == kHeadEmpty) return -1;
+    if (head != kHeadTombstone) {
+      const Slot& s = slots_[static_cast<size_t>(head)];
+      if (s.vhash == vhash && s.value == v) return static_cast<int32_t>(pos);
+    }
+    pos = (pos + 1) & mask;
+  }
+}
+
+void HashIndex::Rehash(size_t new_cap) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.clear();
+  slots_.resize(new_cap);
+  heads_.assign(new_cap, kHeadEmpty);
+  slots_used_ = 0;
+  heads_used_ = 0;
+  size_ = 0;
+  for (Slot& s : old) {
+    if (s.state == kOccupied) InsertEntry(s.vhash, s.value, s.rowid);
+  }
+}
+
+void HashIndex::Insert(const Value& v, size_t rowid) {
+  // Grow at 3/4 load of the entry table (tombstones count — they lengthen
+  // probe runs just like live entries).
+  if (slots_.empty()) {
+    Rehash(kInitialCap);
+  } else if ((slots_used_ + 1) * 4 > slots_.size() * 3 ||
+             (heads_used_ + 1) * 4 > heads_.size() * 3) {
+    Rehash(slots_.size() * 2);
+  }
+  InsertEntry(v.Hash(), v, rowid);
+}
+
+void HashIndex::InsertEntry(uint64_t vhash, const Value& v, size_t rowid) {
+  const size_t mask = slots_.size() - 1;
+
+  // One probe pass finds an existing exact pair (duplicate insert = no-op,
+  // matching the old map-of-sets semantics) or the insertion slot.
+  size_t pos = PairHash(vhash, rowid) & mask;
+  int32_t insert_at = -1;
+  for (;;) {
+    const Slot& s = slots_[pos];
+    if (s.state == kEmpty) {
+      if (insert_at < 0) insert_at = static_cast<int32_t>(pos);
+      break;
+    }
+    if (s.state == kTombstone) {
+      if (insert_at < 0) insert_at = static_cast<int32_t>(pos);
+    } else if (s.rowid == rowid && s.vhash == vhash && s.value == v) {
+      return;  // exact pair already present
+    }
+    pos = (pos + 1) & mask;
+  }
+
+  Slot& dst = slots_[static_cast<size_t>(insert_at)];
+  const bool was_empty = dst.state == kEmpty;
+  dst.vhash = vhash;
+  dst.rowid = rowid;
+  dst.value = v;
+  dst.prev = -1;
+  dst.next = -1;
+  dst.state = kOccupied;
+  if (was_empty) ++slots_used_;
+  ++size_;
+
+  // Link at the head of the key's chain.
+  const size_t hmask = heads_.size() - 1;
+  size_t hpos = HeadHash(vhash) & hmask;
+  int32_t hinsert = -1;
+  for (;;) {
+    int32_t head = heads_[hpos];
+    if (head == kHeadEmpty) {
+      if (hinsert < 0) {
+        hinsert = static_cast<int32_t>(hpos);
+        ++heads_used_;
+      }
+      heads_[static_cast<size_t>(hinsert)] = insert_at;
+      return;
+    }
+    if (head == kHeadTombstone) {
+      if (hinsert < 0) hinsert = static_cast<int32_t>(hpos);
+    } else {
+      Slot& h = slots_[static_cast<size_t>(head)];
+      if (h.vhash == vhash && h.value == v) {
+        dst.next = head;
+        h.prev = insert_at;
+        heads_[hpos] = insert_at;
+        return;
+      }
+    }
+    hpos = (hpos + 1) & hmask;
+  }
+}
+
+void HashIndex::Erase(const Value& v, size_t rowid) {
+  const uint64_t vhash = v.Hash();
+  int32_t at = FindPair(vhash, v, rowid);
+  if (at < 0) return;
+  Slot& s = slots_[static_cast<size_t>(at)];
+  if (s.prev >= 0) {
+    slots_[static_cast<size_t>(s.prev)].next = s.next;
+    if (s.next >= 0) slots_[static_cast<size_t>(s.next)].prev = s.prev;
+  } else {
+    // Chain head: repoint (or tombstone) its heads_ entry.
+    int32_t hpos = FindHead(vhash, v);
+    if (hpos >= 0) {
+      if (s.next >= 0) {
+        heads_[static_cast<size_t>(hpos)] = s.next;
+        slots_[static_cast<size_t>(s.next)].prev = -1;
+      } else {
+        heads_[static_cast<size_t>(hpos)] = kHeadTombstone;
+      }
+    }
+  }
+  s.state = kTombstone;
+  s.value = Value();  // release a heap string's reference
+  s.prev = -1;
+  s.next = -1;
+  --size_;
+}
+
+void HashIndex::Lookup(const Value& v, std::vector<size_t>* out) const {
+  int32_t hpos = FindHead(v.Hash(), v);
+  if (hpos < 0) return;
+  for (int32_t at = heads_[static_cast<size_t>(hpos)]; at >= 0;
+       at = slots_[static_cast<size_t>(at)].next) {
+    out->push_back(slots_[static_cast<size_t>(at)].rowid);
+  }
+}
+
+void HashIndex::Clear() {
+  for (Slot& s : slots_) s = Slot();
+  heads_.assign(heads_.size(), kHeadEmpty);
+  size_ = 0;
+  slots_used_ = 0;
+  heads_used_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Table
+
 Result<size_t> Table::Insert(Row row) {
-  if (row.size() != schema_.column_count()) {
+  if (row.size() != arity_) {
     return Status::InvalidArgument(
         "row arity " + std::to_string(row.size()) + " does not match table '" +
-        schema_.name() + "' (" + std::to_string(schema_.column_count()) + ")");
+        schema_.name() + "' (" + std::to_string(arity_) + ")");
   }
-  size_t rowid = rows_.size();
+  size_t rowid = live_.size();
+  if (interner_ != nullptr) {
+    for (Value& v : row) interner_->InternInPlace(&v);
+  }
   for (const auto& index : indexes_) {
     index->Insert(row[static_cast<size_t>(index->column())], rowid);
   }
-  rows_.push_back(std::move(row));
+  slab_.insert(slab_.end(), std::make_move_iterator(row.begin()),
+               std::make_move_iterator(row.end()));
   live_.push_back(true);
   ++live_count_;
   if (txn_ != nullptr) txn_->LogInsert(this, rowid);
@@ -22,17 +202,22 @@ Result<size_t> Table::Insert(Row row) {
 }
 
 void Table::LoadSlot(Row row, bool live) {
-  rows_.push_back(std::move(row));
+  if (interner_ != nullptr) {
+    for (Value& v : row) interner_->InternInPlace(&v);
+  }
+  slab_.insert(slab_.end(), std::make_move_iterator(row.begin()),
+               std::make_move_iterator(row.end()));
   live_.push_back(live);
   if (live) ++live_count_;
 }
 
 Status Table::Delete(size_t rowid) {
-  if (rowid >= rows_.size() || !live_[rowid]) {
+  if (rowid >= live_.size() || !live_[rowid]) {
     return Status::NotFound("row already deleted or out of range");
   }
+  const Value* r = row(rowid);
   for (const auto& index : indexes_) {
-    index->Erase(rows_[rowid][static_cast<size_t>(index->column())], rowid);
+    index->Erase(r[static_cast<size_t>(index->column())], rowid);
   }
   live_[rowid] = false;
   --live_count_;
@@ -41,74 +226,78 @@ Status Table::Delete(size_t rowid) {
 }
 
 Status Table::SetColumn(size_t rowid, int column, Value v) {
-  if (rowid >= rows_.size() || !live_[rowid]) {
+  if (rowid >= live_.size() || !live_[rowid]) {
     return Status::NotFound("row deleted or out of range");
   }
+  if (interner_ != nullptr) interner_->InternInPlace(&v);
+  Value& cell = mutable_row(rowid)[static_cast<size_t>(column)];
   if (txn_ != nullptr) {
-    txn_->LogUpdate(this, rowid, column,
-                    rows_[rowid][static_cast<size_t>(column)], v);
+    txn_->LogUpdate(this, rowid, column, cell, v);
   }
   for (const auto& index : indexes_) {
     if (index->column() == column) {
-      index->Erase(rows_[rowid][static_cast<size_t>(column)], rowid);
+      index->Erase(cell, rowid);
       index->Insert(v, rowid);
     }
   }
-  rows_[rowid][static_cast<size_t>(column)] = std::move(v);
+  cell = std::move(v);
   return Status::OK();
 }
 
 void Table::Clear() {
-  rows_.clear();
+  slab_.clear();
   live_.clear();
   live_count_ = 0;
   for (const auto& index : indexes_) index->Clear();
 }
 
 void Table::UndoInsert(size_t rowid) {
-  if (rowid >= rows_.size() || !live_[rowid]) return;
+  if (rowid >= live_.size() || !live_[rowid]) return;
+  const Value* r = row(rowid);
   for (const auto& index : indexes_) {
-    index->Erase(rows_[rowid][static_cast<size_t>(index->column())], rowid);
+    index->Erase(r[static_cast<size_t>(index->column())], rowid);
   }
   live_[rowid] = false;
   --live_count_;
-  if (rowid + 1 == rows_.size()) {
-    rows_.pop_back();
+  if (rowid + 1 == live_.size()) {
+    slab_.resize(slab_.size() - arity_);
     live_.pop_back();
   }
 }
 
 void Table::UndoDelete(size_t rowid) {
-  if (rowid >= rows_.size() || live_[rowid]) return;
+  if (rowid >= live_.size() || live_[rowid]) return;
   live_[rowid] = true;
   ++live_count_;
+  const Value* r = row(rowid);
   for (const auto& index : indexes_) {
-    index->Insert(rows_[rowid][static_cast<size_t>(index->column())], rowid);
+    index->Insert(r[static_cast<size_t>(index->column())], rowid);
   }
 }
 
 void Table::UndoSetColumn(size_t rowid, int column, const Value& v) {
-  if (rowid >= rows_.size()) return;
+  if (rowid >= live_.size()) return;
+  Value& cell = mutable_row(rowid)[static_cast<size_t>(column)];
   for (const auto& index : indexes_) {
     if (index->column() == column) {
-      index->Erase(rows_[rowid][static_cast<size_t>(column)], rowid);
+      index->Erase(cell, rowid);
       index->Insert(v, rowid);
     }
   }
-  rows_[rowid][static_cast<size_t>(column)] = v;
+  cell = v;
 }
 
 Status Table::CreateIndex(const std::string& index_name, int column) {
   if (FindIndexByName(index_name) != nullptr) {
     return Status::AlreadyExists("index '" + index_name + "' already exists");
   }
-  if (column < 0 || static_cast<size_t>(column) >= schema_.column_count()) {
+  if (column < 0 || static_cast<size_t>(column) >= arity_) {
     return Status::InvalidArgument("bad index column");
   }
   auto index = std::make_unique<HashIndex>(index_name, column);
-  for (size_t rowid = 0; rowid < rows_.size(); ++rowid) {
+  for (size_t rowid = 0; rowid < live_.size(); ++rowid) {
     if (live_[rowid]) {
-      index->Insert(rows_[rowid][static_cast<size_t>(column)], rowid);
+      index->Insert(row(rowid)[static_cast<size_t>(column)], rowid);
     }
   }
   indexes_.push_back(std::move(index));

@@ -1,11 +1,25 @@
 // Heap table with tombstone deletes and hash indexes.
+//
+// Storage layout (the scan/probe hot path of every fig. 6-11 workload):
+//
+//  * Rows live in ONE contiguous slab per table — `arity * 16` bytes per row
+//    slot (16-byte compact Values, rdb/value.h), appended in rowid order —
+//    instead of a vector of per-row heap vectors. Scan/IndexProbe/Filter
+//    stream over cache-line-friendly memory and a row is addressed by one
+//    multiply (`slab + rowid * arity`), not a double indirection.
+//
+//  * HashIndex is a flat open-addressing table whose entries hold
+//    (hash, value, rowid) inline — no per-key map node, no per-entry set
+//    node. Entries of equal key are threaded through a doubly-linked chain
+//    (indexes into the entry array) whose head is found through a second
+//    flat table keyed by value, so Lookup walks a chain and Erase of an
+//    exact (value, rowid) pair is O(1): the pair itself is open-addressed.
 #ifndef XUPD_RDB_TABLE_H_
 #define XUPD_RDB_TABLE_H_
 
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -17,43 +31,78 @@ namespace xupd::rdb {
 
 class TransactionManager;
 
-/// Hash index over one column: value -> set of row ids. Per-key hash sets
-/// keep Erase O(1) even for low-cardinality keys (e.g. a parentId shared by
-/// thousands of children, or an ASR column holding the single root id).
+/// Hash index over one column: value -> set of row ids. Erase of an exact
+/// (value, rowid) pair stays O(1) even for low-cardinality keys (e.g. a
+/// parentId shared by thousands of children, or an ASR column holding the
+/// single root id) because the pair table is open-addressed on
+/// (value, rowid), not on the value alone.
 class HashIndex {
  public:
-  HashIndex(std::string name, int column) : name_(std::move(name)), column_(column) {}
+  HashIndex(std::string name, int column)
+      : name_(std::move(name)), column_(column) {}
 
   const std::string& name() const { return name_; }
   int column() const { return column_; }
 
-  void Insert(const Value& v, size_t rowid) {
-    map_[v].insert(rowid);
-    ++size_;
-  }
-  void Clear() {
-    map_.clear();
-    size_ = 0;
-  }
-  void Erase(const Value& v, size_t rowid) {
-    auto it = map_.find(v);
-    if (it == map_.end()) return;
-    if (it->second.erase(rowid) > 0) --size_;
-    if (it->second.empty()) map_.erase(it);
-  }
-  /// Appends matching row ids to *out.
-  void Lookup(const Value& v, std::vector<size_t>* out) const {
-    auto it = map_.find(v);
-    if (it == map_.end()) return;
-    out->insert(out->end(), it->second.begin(), it->second.end());
-  }
+  /// Adds (v, rowid); a duplicate exact pair is a no-op (set semantics).
+  void Insert(const Value& v, size_t rowid);
+  /// Removes (v, rowid); absent pairs are a no-op.
+  void Erase(const Value& v, size_t rowid);
+  /// Appends matching row ids to *out (chain order — callers that need a
+  /// deterministic order sort; multi-probe callers dedupe too).
+  void Lookup(const Value& v, std::vector<size_t>* out) const;
+  void Clear();
   size_t size() const { return size_; }
 
  private:
+  /// One entry: the key's hash, the key, the rowid, and the doubly-linked
+  /// same-key chain threaded through the entry array.
+  struct Slot {
+    uint64_t vhash = 0;
+    uint64_t rowid = 0;
+    Value value;
+    int32_t prev = -1;  ///< chain: previous entry index, -1 = chain head.
+    int32_t next = -1;  ///< chain: next entry index, -1 = chain tail.
+    uint8_t state = 0;  ///< 0 empty, 1 occupied, 2 tombstone.
+  };
+
+  /// Entry index of (v, rowid) in slots_, or -1.
+  int32_t FindPair(uint64_t vhash, const Value& v, size_t rowid) const;
+  /// Insert with a precomputed value hash (Rehash relinks without
+  /// recomputing Value::Hash, which re-parses numeric-looking strings).
+  void InsertEntry(uint64_t vhash, const Value& v, size_t rowid);
+  /// heads_ position whose chain head carries key `v`, or -1.
+  int32_t FindHead(uint64_t vhash, const Value& v) const;
+  /// Grows (or initializes) both flat tables and relinks every chain.
+  void Rehash(size_t new_cap);
+  /// Finalizing bit mixer (murmur3 fmix64). Value::Hash of an integer is
+  /// the identity (libstdc++ std::hash<int64_t>), and the engine's keys and
+  /// rowids are dense sequential ints — feeding them to linear probing
+  /// unmixed coalesces the table into one giant probe run (O(n) inserts).
+  static uint64_t Mix(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+  static uint64_t PairHash(uint64_t vhash, uint64_t rowid) {
+    return Mix(vhash ^ (rowid + 0x9e3779b97f4a7c15ULL));
+  }
+  static uint64_t HeadHash(uint64_t vhash) { return Mix(vhash); }
+
   std::string name_;
   int column_;
-  std::unordered_map<Value, std::unordered_set<size_t>, ValueHash> map_;
-  size_t size_ = 0;
+  /// Flat entry array, open-addressed on PairHash(value, rowid).
+  /// Power-of-two capacity; linear probing; tombstoned on erase.
+  std::vector<Slot> slots_;
+  /// Chain heads, open-addressed on the value hash alone: -1 empty,
+  /// -2 tombstone, else the entry index of the key's chain head.
+  std::vector<int32_t> heads_;
+  size_t size_ = 0;        ///< live entries.
+  size_t slots_used_ = 0;  ///< occupied + tombstoned entry slots.
+  size_t heads_used_ = 0;  ///< occupied + tombstoned head slots.
 };
 
 class Table {
@@ -62,7 +111,9 @@ class Table {
   /// transaction is active; tables created through the Database catalog are
   /// always wired to its TransactionManager.
   explicit Table(TableSchema schema, TransactionManager* txn = nullptr)
-      : schema_(std::move(schema)), txn_(txn) {}
+      : schema_(std::move(schema)),
+        arity_(schema_.column_count()),
+        txn_(txn) {}
 
   const TableSchema& schema() const { return schema_; }
 
@@ -73,12 +124,29 @@ class Table {
   bool durable() const { return durable_; }
   void set_durable(bool durable) { durable_ = durable; }
 
+  /// Wires the per-Database string interner: long string values are
+  /// canonicalized on their way into the slab, so repeated names/paths
+  /// across millions of rows share one heap block.
+  void set_interner(StringInterner* interner) { interner_ = interner; }
+
   /// Number of row slots (live + tombstoned). Scans iterate this range.
-  size_t capacity() const { return rows_.size(); }
+  size_t capacity() const { return live_.size(); }
   size_t live_count() const { return live_count_; }
 
   bool is_live(size_t rowid) const { return live_[rowid]; }
-  const Row& row(size_t rowid) const { return rows_[rowid]; }
+  /// The row's columns, contiguous in the table slab. Valid until the next
+  /// insert into this table (slab growth may relocate it) — the same
+  /// lifetime the old vector-of-rows layout gave.
+  const Value* row(size_t rowid) const { return slab_.data() + rowid * arity_; }
+  /// Range-for friendly view of one row.
+  std::span<const Value> row_span(size_t rowid) const {
+    return {row(rowid), arity_};
+  }
+  /// Copies one row out (callers that must survive later mutations).
+  Row CopyRow(size_t rowid) const {
+    const Value* r = row(rowid);
+    return Row(r, r + arity_);
+  }
 
   /// Appends a row (arity must match the schema). Returns its rowid.
   Result<size_t> Insert(Row row);
@@ -131,10 +199,15 @@ class Table {
   void UndoSetColumn(size_t rowid, int column, const Value& v);
 
  private:
+  Value* mutable_row(size_t rowid) { return slab_.data() + rowid * arity_; }
+
   TableSchema schema_;
+  size_t arity_;
   TransactionManager* txn_ = nullptr;
+  StringInterner* interner_ = nullptr;
   bool durable_ = false;
-  std::vector<Row> rows_;
+  /// Row slots back to back: slot i occupies [i*arity_, (i+1)*arity_).
+  std::vector<Value> slab_;
   std::vector<bool> live_;
   size_t live_count_ = 0;
   std::vector<std::unique_ptr<HashIndex>> indexes_;

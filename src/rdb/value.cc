@@ -1,27 +1,41 @@
 #include "rdb/value.h"
 
+#include <new>
+
 #include "common/str_util.h"
 
 namespace xupd::rdb {
+
+StrRep* StrRep::New(std::string_view s) {
+  auto* rep = static_cast<StrRep*>(::operator new(sizeof(StrRep) + s.size()));
+  rep->refs = 1;
+  rep->len = static_cast<uint32_t>(s.size());
+  std::memcpy(rep->data(), s.data(), s.size());
+  return rep;
+}
 
 int Value::Compare(const Value& other) const {
   if (is_null() && other.is_null()) return 0;
   if (is_null()) return -1;  // NULLs sort first (outer-union ORDER BY relies
   if (other.is_null()) return 1;  // on parent rows preceding child rows).
-  if (type_ == ValueType::kInt && other.type_ == ValueType::kInt) {
-    return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
+  ValueType t = type(), ot = other.type();
+  if (t == ValueType::kInt && ot == ValueType::kInt) {
+    int64_t a = AsInt(), b = other.AsInt();
+    return a < b ? -1 : (a > b ? 1 : 0);
   }
-  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
-    int c = str_.compare(other.str_);
+  if (t == ValueType::kString && ot == ValueType::kString) {
+    int c = AsString().compare(other.AsString());
     return c < 0 ? -1 : (c > 0 ? 1 : 0);
   }
   // Mixed: try numeric coercion of the string side.
   int64_t coerced;
-  if (type_ == ValueType::kString && ParseInt64(str_, &coerced)) {
-    return coerced < other.int_ ? -1 : (coerced > other.int_ ? 1 : 0);
+  if (t == ValueType::kString && ParseInt64(AsString(), &coerced)) {
+    int64_t b = other.AsInt();
+    return coerced < b ? -1 : (coerced > b ? 1 : 0);
   }
-  if (other.type_ == ValueType::kString && ParseInt64(other.str_, &coerced)) {
-    return int_ < coerced ? -1 : (int_ > coerced ? 1 : 0);
+  if (ot == ValueType::kString && ParseInt64(other.AsString(), &coerced)) {
+    int64_t a = AsInt();
+    return a < coerced ? -1 : (a > coerced ? 1 : 0);
   }
   std::string lhs = ToString();
   std::string rhs = other.ToString();
@@ -30,42 +44,43 @@ int Value::Compare(const Value& other) const {
 }
 
 size_t Value::Hash() const {
-  switch (type_) {
+  switch (type()) {
     case ValueType::kNull:
       return 0x9e3779b97f4a7c15ULL;
     case ValueType::kInt:
-      return std::hash<int64_t>{}(int_);
+      return std::hash<int64_t>{}(AsInt());
     case ValueType::kString: {
       // Hash strings that look like integers identically to the integer so
       // mixed-type joins work with hash indexes.
+      std::string_view s = AsString();
       int64_t coerced;
-      if (ParseInt64(str_, &coerced)) return std::hash<int64_t>{}(coerced);
-      return std::hash<std::string>{}(str_);
+      if (ParseInt64(s, &coerced)) return std::hash<int64_t>{}(coerced);
+      return std::hash<std::string_view>{}(s);
     }
   }
   return 0;
 }
 
 std::string Value::ToString() const {
-  switch (type_) {
+  switch (type()) {
     case ValueType::kNull:
       return "NULL";
     case ValueType::kInt:
-      return std::to_string(int_);
+      return std::to_string(AsInt());
     case ValueType::kString:
-      return str_;
+      return std::string(AsString());
   }
   return "";
 }
 
 std::string Value::ToSqlLiteral() const {
-  switch (type_) {
+  switch (type()) {
     case ValueType::kNull:
       return "NULL";
     case ValueType::kInt:
-      return std::to_string(int_);
+      return std::to_string(AsInt());
     case ValueType::kString:
-      return SqlQuote(str_);
+      return SqlQuote(AsString());
   }
   return "NULL";
 }

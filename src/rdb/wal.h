@@ -19,6 +19,14 @@
 //   frame:   u32 payload length | u32 CRC32(payload) | payload
 //   payload: u8 kind | kind-specific fields (see wal.cc)
 //
+// Since format version 2 each WAL file carries a table-name dictionary:
+// the first data record naming a durable table is preceded by a table-def
+// frame (u16 id | name) and every insert/delete/update frame references
+// the u16 id instead of repeating the name — ~30% fewer wal_bytes on
+// narrow tables. The dictionary restarts with each file (checkpoints reset
+// it); recovery reconstructs the committed prefix's dictionary and seeds
+// the resuming writer with it.
+//
 // The epoch pairs the WAL with its snapshot (rdb/snapshot.h): Checkpoint
 // writes a snapshot with epoch N+1 and then resets the WAL to epoch N+1, so
 // a crash between the two steps leaves an epoch-N WAL that recovery
@@ -37,6 +45,10 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "rdb/stats.h"
@@ -71,6 +83,7 @@ namespace binio {
 uint32_t Crc32(const void* data, size_t size);
 
 void PutU8(std::string* out, uint8_t v);
+void PutU16(std::string* out, uint16_t v);
 void PutU32(std::string* out, uint32_t v);
 void PutU64(std::string* out, uint64_t v);
 void PutI64(std::string* out, int64_t v);
@@ -87,6 +100,7 @@ class Reader {
   size_t remaining() const { return static_cast<size_t>(end_ - p_); }
 
   uint8_t U8();
+  uint16_t U16();
   uint32_t U32();
   uint64_t U64();
   int64_t I64();
@@ -110,11 +124,16 @@ class WalWriter {
   /// truncated to `resume_offset` first — recovery passes the end of the last
   /// committed unit so a torn tail never precedes fresh records; 0 resets the
   /// file and writes a fresh header with `epoch`.
-  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
-                                                 uint64_t epoch,
-                                                 uint64_t resume_offset,
-                                                 const DurabilityOptions& options,
-                                                 Stats* stats);
+  /// `table_ids` (optional) seeds the per-file table-name dictionary when
+  /// resuming an existing log (`resume_offset > 0`): the kept prefix
+  /// already carries table-def records for those names, so the writer must
+  /// not re-emit them under fresh ids. A reset (`resume_offset == 0`)
+  /// starts with an empty dictionary.
+  static Result<std::unique_ptr<WalWriter>> Open(
+      const std::string& path, uint64_t epoch, uint64_t resume_offset,
+      const DurabilityOptions& options, Stats* stats,
+      const std::vector<std::pair<std::string, uint16_t>>* table_ids =
+          nullptr);
   ~WalWriter();
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
@@ -123,6 +142,8 @@ class WalWriter {
 
   /// A position in the pending buffer; taken at transaction-scope Begin and
   /// restored on rollback (mirrors the undo log's scope boundaries).
+  /// Table-def records pended after the mark are rolled back with it (their
+  /// ids were never written, so they are handed back to the counter).
   struct Mark {
     size_t bytes = 0;
     uint64_t records = 0;
@@ -171,6 +192,12 @@ class WalWriter {
   /// frame with one copy.
   void AppendFixedFrame(const char* buf, size_t payload_size);
 
+  /// Interns `name` into the per-file table-id dictionary, pending a
+  /// table-def record on first sight. Each WAL file carries each durable
+  /// table name at most once; every data record then spends 2 bytes on the
+  /// id instead of 4 + len on the name.
+  uint16_t TableId(const std::string& name);
+
   int fd_ = -1;
   std::string path_;
   uint64_t epoch_ = 0;
@@ -178,6 +205,12 @@ class WalWriter {
   Stats* stats_ = nullptr;
   std::string pending_;
   uint64_t pending_records_ = 0;
+  /// Per-file table-name dictionary (see TableId).
+  std::unordered_map<std::string, uint16_t> table_ids_;
+  uint16_t next_table_id_ = 0;
+  /// Defs pended but not yet committed: (name, id, frame offset in
+  /// pending_), offset-ascending — TruncatePending drops a suffix.
+  std::vector<std::tuple<std::string, uint16_t, size_t>> pending_defs_;
   uint64_t commits_since_sync_ = 0;
   bool dirty_ = false;  ///< written bytes not yet fsynced.
   /// File length after the last fully written unit — where a failed append
@@ -196,6 +229,9 @@ struct WalReplayResult {
   /// (missing, empty, or from an epoch older than the snapshot's).
   uint64_t valid_bytes = 0;
   uint64_t applied_records = 0;
+  /// Table-name dictionary accumulated by the committed prefix, in def
+  /// order — seeds WalWriter::Open when it resumes this file.
+  std::vector<std::pair<std::string, uint16_t>> table_ids;
 };
 
 // --- shared file helpers (wal.cc, snapshot.cc) -----------------------------

@@ -700,5 +700,68 @@ TEST_F(SavepointTest, SavepointNamesAreCaseInsensitive) {
   Must("COMMIT");
 }
 
+// ---------------------------------------------------------------------------
+// IN-list / IN-subquery probes at inner join steps: the probe values are
+// row-free by construction, so the executor gathers the candidate set once
+// per execution and replays it for every outer row.
+
+TEST_F(PlannerTest, InnerJoinStepUsesInListProbe) {
+  CreateEmpDept(/*indexed=*/true);
+  std::string plan = Explain(
+      "SELECT Emp.name FROM Dept, Emp "
+      "WHERE Emp.deptId IN (1, 2) AND Dept.id = 1");
+  // The IN conjunct binds only Emp (the inner relation) and must drive an
+  // index probe there, not a per-outer-row scan.
+  EXPECT_NE(plan.find("IndexProbe Emp via emp_dept (Emp.deptId IN [2 values])"),
+            std::string::npos)
+      << plan;
+
+  Stats before = db_.stats();
+  ResultSet r = Query(
+      "SELECT Emp.name FROM Dept, Emp "
+      "WHERE Emp.deptId IN (1, 2) AND Dept.id = 1 ORDER BY name");
+  ASSERT_EQ(r.rows.size(), 3u);  // ann, bob (dept 1) + cat (dept 2)
+  Stats delta = db_.stats().Delta(before);
+  EXPECT_EQ(delta.rows_scanned, 0u);  // both steps probe, nothing scans
+  // One gather for the single qualifying outer row; re-Opens replay it.
+  EXPECT_GT(delta.index_probes, 0u);
+}
+
+TEST_F(PlannerTest, InnerJoinStepUsesInSubqueryProbe) {
+  CreateEmpDept(/*indexed=*/true);
+  std::string plan = Explain(
+      "SELECT Emp.name FROM Dept, Emp "
+      "WHERE Emp.deptId IN (SELECT id FROM Dept WHERE name = 'eng')");
+  EXPECT_NE(plan.find("IndexProbe Emp via emp_dept (Emp.deptId IN (subquery))"),
+            std::string::npos)
+      << plan;
+  // Parity with the forced-scan plan on the same query.
+  ResultSet probed = Query(
+      "SELECT Emp.name FROM Dept, Emp WHERE Emp.deptId IN "
+      "(SELECT id FROM Dept WHERE name = 'eng') ORDER BY name");
+  db_.set_planner_index_probes_enabled(false);
+  ResultSet scanned = Query(
+      "SELECT Emp.name FROM Dept, Emp WHERE Emp.deptId IN "
+      "(SELECT id FROM Dept WHERE name = 'eng') ORDER BY name");
+  db_.set_planner_index_probes_enabled(true);
+  ASSERT_EQ(probed.rows.size(), scanned.rows.size());
+  for (size_t i = 0; i < probed.rows.size(); ++i) {
+    EXPECT_EQ(probed.rows[i][0].AsString(), scanned.rows[i][0].AsString());
+  }
+  // 3 Dept outer rows x 2 eng Emps each.
+  EXPECT_EQ(probed.rows.size(), 6u);
+}
+
+TEST_F(PlannerTest, InnerInProbeGathersOncePerExecution) {
+  CreateEmpDept(/*indexed=*/true);
+  Stats before = db_.stats();
+  ResultSet r = Query(
+      "SELECT Emp.name FROM Dept, Emp WHERE Emp.deptId IN (1, 2)");
+  EXPECT_EQ(r.rows.size(), 9u);  // 3 Dept rows x 3 matching Emps
+  Stats delta = db_.stats().Delta(before);
+  // One Lookup per IN value, once — NOT once per outer Dept row.
+  EXPECT_EQ(delta.index_probes, 2u);
+}
+
 }  // namespace
 }  // namespace xupd::rdb

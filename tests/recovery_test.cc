@@ -87,7 +87,7 @@ std::string DumpDurableState(const rdb::Database& db) {
     out += ")\n";
     for (size_t rowid = 0; rowid < t->capacity(); ++rowid) {
       out += t->is_live(rowid) ? "  live " : "  dead ";
-      for (const rdb::Value& v : t->row(rowid)) out += v.ToString() + "|";
+      for (const rdb::Value& v : t->row_span(rowid)) out += v.ToString() + "|";
       out += "\n";
     }
     for (const auto& index : t->indexes()) {
@@ -720,6 +720,51 @@ TEST(EngineRecoveryTest, CheckpointThenMutateThenRecover) {
   ASSERT_NE(reopened, nullptr);
   ASSERT_TRUE(reopened->recovered());
   EXPECT_EQ(DumpDurableState(*reopened->db()), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Strategy options are persisted in the durable state (the xupd_meta
+// table) and verified on reopen: a mismatched reopen is a clean error.
+
+TEST(OptionsPersistenceTest, MismatchedReopenIsCleanError) {
+  TempDir dir;
+  auto gen = MakeDoc();
+  {
+    auto store = MakeDurableStore(gen, dir.path(),
+                                  DeleteStrategy::kPerTupleTrigger,
+                                  InsertStrategy::kTable, true);
+    ASSERT_NE(store, nullptr);
+  }
+  // Different delete strategy: must refuse, naming the field.
+  RelationalStore::Options options;
+  options.delete_strategy = DeleteStrategy::kCascade;
+  options.insert_strategy = InsertStrategy::kTable;
+  options.durability = true;
+  options.data_dir = dir.path();
+  options.sync_mode = rdb::SyncMode::kNone;
+  auto mismatched = RelationalStore::Create(gen.dtd, options);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatched.status().ToString().find("delete_strategy"),
+            std::string::npos)
+      << mismatched.status();
+
+  // ASR maintenance mismatch is caught too (build_asr differs even when
+  // the delete strategy field matches).
+  options.delete_strategy = DeleteStrategy::kPerTupleTrigger;
+  options.build_asr = true;
+  auto asr_mismatch = RelationalStore::Create(gen.dtd, options);
+  ASSERT_FALSE(asr_mismatch.ok());
+  EXPECT_NE(asr_mismatch.status().ToString().find("build_asr"),
+            std::string::npos)
+      << asr_mismatch.status();
+
+  // The original options still reopen fine.
+  auto reopened = MakeDurableStore(gen, dir.path(),
+                                   DeleteStrategy::kPerTupleTrigger,
+                                   InsertStrategy::kTable, false);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_TRUE(reopened->recovered());
 }
 
 }  // namespace
