@@ -217,6 +217,37 @@ int main(int argc, char** argv) {
           base > 0 ? 100.0 * (results[m].seconds - base) / base : 0.0;
       Report(ToString(method), modes[m].name, results[m], overhead);
     }
+    // scrub: the online integrity scrub (CHECK INTEGRITY + VerifyStore) over
+    // the loaded durable store — what an inter-operation health check costs
+    // relative to the bulk-delete op itself.
+    {
+      ScratchDir sdir;
+      RelationalStore::Options so = options;
+      so.durability = true;
+      so.sync_mode = rdb::SyncMode::kNone;
+      so.data_dir = sdir.path();
+      auto store = bench::FreshStore(*gen, so);
+      ModeResult r{};
+      int counted = 0;
+      for (int i = 0; i < runs; ++i) {
+        Stopwatch sw;
+        size_t v = store->db()->VerifyIntegrity().size() +
+                   store->VerifyStore().size();
+        double t = sw.ElapsedSeconds();
+        if (v != 0) {
+          std::fprintf(stderr, "scrub found %zu violations\n", v);
+          std::abort();
+        }
+        if (i > 0) {
+          r.seconds += t;
+          ++counted;
+        }
+      }
+      if (counted > 0) r.seconds /= counted;
+      double overhead =
+          base > 0 ? 100.0 * (r.seconds - base) / base : 0.0;
+      Report(ToString(method), "scrub", r, overhead);
+    }
   }
   return 0;
 }

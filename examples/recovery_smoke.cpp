@@ -5,6 +5,15 @@
 //   recovery_smoke write <dir> [max_ops]   run the workload (checkpointing
 //                                          every 25 ops) until killed or
 //                                          max_ops committed
+//   recovery_smoke write-enospc <dir> [max_ops]
+//                                          same workload, but a FaultVfs
+//                                          injects ENOSPC into the second
+//                                          checkpoint's snapshot write; the
+//                                          checkpoint must fail cleanly
+//                                          (retryable, no read-only
+//                                          degradation), both scrub layers
+//                                          must pass, and the run completes
+//                                          after the fault clears
 //   recovery_smoke verify <dir>            recover, read how many ops
 //                                          committed, replay that many ops
 //                                          on a fresh in-memory store, and
@@ -23,6 +32,7 @@
 #include <string>
 
 #include "engine/store.h"
+#include "rdb/vfs.h"
 #include "workload/synthetic.h"
 #include "xml/parser.h"
 
@@ -132,9 +142,12 @@ std::string DumpDurableState(const rdb::Database& db) {
   return out;
 }
 
-int RunWriter(const std::string& dir, int64_t max_ops) {
+int RunWriter(const std::string& dir, int64_t max_ops, bool enospc) {
   workload::GeneratedDoc gen = MakeDoc();
-  auto store = RelationalStore::Create(gen.dtd, StoreOptions(dir));
+  rdb::FaultVfs fault(rdb::Vfs::Default());
+  RelationalStore::Options options = StoreOptions(dir);
+  if (enospc) options.vfs = &fault;
+  auto store = RelationalStore::Create(gen.dtd, options);
   if (!store.ok()) {
     std::fprintf(stderr, "create failed: %s\n",
                  store.status().ToString().c_str());
@@ -156,6 +169,7 @@ int RunWriter(const std::string& dir, int64_t max_ops) {
   }
   std::printf("writer: loaded, running ops...\n");
   std::fflush(stdout);
+  bool fault_hit = false;
   for (int64_t i = 1; max_ops <= 0 || i <= max_ops; ++i) {
     s = CommitOp(store.value().get(), i);
     if (!s.ok()) {
@@ -166,11 +180,54 @@ int RunWriter(const std::string& dir, int64_t max_ops) {
     if (i % 25 == 0) {
       s = store.value()->Checkpoint();
       if (!s.ok()) {
-        std::fprintf(stderr, "checkpoint failed: %s\n",
-                     s.ToString().c_str());
-        return 2;
+        // In enospc mode exactly one checkpoint is expected to fail: the
+        // one whose snapshot tmp write hit the injected fault. The failure
+        // must be retryable — the previous snapshot + WAL are intact, so
+        // no read-only degradation and a clean scrub on both layers.
+        if (!enospc || fault_hit) {
+          std::fprintf(stderr, "checkpoint failed: %s\n",
+                       s.ToString().c_str());
+          return 2;
+        }
+        fault_hit = true;
+        std::printf("writer: checkpoint hit injected fault: %s\n",
+                    s.ToString().c_str());
+        rdb::Database* db = store.value()->db();
+        if (db->read_only()) {
+          std::fprintf(stderr,
+                       "tmp-write failure must not degrade to read-only\n");
+          return 2;
+        }
+        auto iv = db->VerifyIntegrity();
+        if (!iv.empty()) {
+          std::fprintf(stderr, "CHECK INTEGRITY after fault: %s\n",
+                       iv[0].c_str());
+          return 2;
+        }
+        auto sv = store.value()->VerifyStore();
+        if (!sv.empty()) {
+          std::fprintf(stderr, "VerifyStore after fault: %s\n",
+                       sv[0].c_str());
+          return 2;
+        }
+        fault.ClearFault();
+        s = store.value()->Checkpoint();
+        if (!s.ok()) {
+          std::fprintf(stderr, "checkpoint retry failed: %s\n",
+                       s.ToString().c_str());
+          return 2;
+        }
+        std::printf("writer: scrub clean, checkpoint retry succeeded\n");
+      } else if (enospc && !fault_hit && !fault.fired()) {
+        // First checkpoint done: arm ENOSPC for the next snapshot write —
+        // the second checkpoint fails deterministically mid-tmp-write.
+        fault.ArmFault(rdb::FaultVfs::FaultKind::kEnospc, 1, "snapshot");
       }
     }
+  }
+  if (enospc && !fault_hit) {
+    std::fprintf(stderr, "injected fault never fired\n");
+    return 2;
   }
   std::printf("writer: completed %lld ops\n",
               static_cast<long long>(max_ops));
@@ -235,15 +292,16 @@ int RunVerifier(const std::string& dir) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s write <dir> [max_ops] | %s verify <dir>\n",
+                 "usage: %s write|write-enospc <dir> [max_ops] | "
+                 "%s verify <dir>\n",
                  argv[0], argv[0]);
     return 2;
   }
   std::string mode = argv[1];
   std::string dir = argv[2];
-  if (mode == "write") {
+  if (mode == "write" || mode == "write-enospc") {
     int64_t max_ops = argc > 3 ? std::atoll(argv[3]) : 0;
-    return RunWriter(dir, max_ops);
+    return RunWriter(dir, max_ops, mode == "write-enospc");
   }
   if (mode == "verify") return RunVerifier(dir);
   std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());

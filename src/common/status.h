@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kConstraintViolation = 6,  ///< Schema or update-semantics violations.
   kUnimplemented = 7,
   kInternal = 8,
+  kUnavailable = 9,  ///< Degraded mode: retry later (e.g. store read-only).
 };
 
 /// Returns a stable human-readable name for a code ("ParseError", ...).
@@ -64,6 +65,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

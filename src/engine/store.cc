@@ -89,6 +89,7 @@ Result<std::unique_ptr<RelationalStore>> RelationalStore::Create(
   if (store->options_.durability) {
     rdb::DurabilityOptions dopts;
     dopts.sync_mode = store->options_.sync_mode;
+    dopts.vfs = store->options_.vfs;
     XUPD_RETURN_IF_ERROR(store->db_.Open(store->options_.data_dir, dopts));
   }
   if (store->options_.build_asr) {

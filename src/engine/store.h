@@ -75,6 +75,9 @@ class RelationalStore {
     std::string data_dir;
     /// WAL fsync policy (none / commit / batched group commit).
     rdb::SyncMode sync_mode = rdb::SyncMode::kCommit;
+    /// Filesystem interface for all durable I/O; null means the real one
+    /// (rdb::Vfs::Default()). Fault-injection tests interpose a FaultVfs.
+    rdb::Vfs* vfs = nullptr;
   };
 
   /// Creates the store for a DTD: derives the mapping, creates the schema,
@@ -154,6 +157,12 @@ class RelationalStore {
   /// True when Create() recovered existing durable state from
   /// Options::data_dir instead of building a fresh store.
   bool recovered() const { return db_.recovered(); }
+
+  /// Engine-level integrity scrub (engine/verify.cc): every element tuple's
+  /// parent chain reaches the stored root without cycles, and the ASR (when
+  /// built) agrees with the element tables. Read-only; complements
+  /// Database::VerifyIntegrity, which checks the relational layer below.
+  std::vector<std::string> VerifyStore();
 
   /// Stages `ids` in the shared scratch table `xupd_idlist` (created lazily
   /// through the direct catalog API) and returns the predicate

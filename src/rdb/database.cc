@@ -1,18 +1,15 @@
 #include "rdb/database.h"
 
-#include <sys/file.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
+#include <chrono>
+#include <thread>
 
 #include "common/stopwatch.h"
 #include "common/str_util.h"
 #include "rdb/snapshot.h"
 #include "rdb/sql_executor.h"
 #include "rdb/sql_parser.h"
+#include "rdb/vfs.h"
 
 namespace xupd::rdb {
 
@@ -33,11 +30,6 @@ std::string SnapshotTmpPath(const std::string& dir) {
   return dir + "/snapshot.tmp";
 }
 std::string WalPath(const std::string& dir) { return dir + "/wal.xupd"; }
-
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
-}
 
 }  // namespace
 
@@ -106,8 +98,7 @@ Database::~Database() {
     if (!txn_.active()) (void)WalCommitUnit();
     (void)wal_->Close();
   }
-  // Releases the directory flock.
-  if (lock_fd_ >= 0) ::close(lock_fd_);
+  // lock_file_'s destructor releases the directory flock.
 }
 
 Status Database::Open(const std::string& dir,
@@ -119,16 +110,19 @@ Status Database::Open(const std::string& dir,
     return Status::InvalidArgument(
         "Open requires a fresh Database (no tables, no open transaction)");
   }
-  if (::mkdir(dir.c_str(), 0755) == 0) {
+  vfs_ = options.vfs != nullptr ? options.vfs : Vfs::Default();
+  int err = vfs_->Mkdir(dir);
+  if (err == 0) {
     // Make the new directory's own entry durable (see WalWriter::Open for
     // the file-level counterpart); without this a power loss could lose
     // the whole directory even though its files were fsynced.
     if (options.sync_mode != SyncMode::kNone) {
-      XUPD_RETURN_IF_ERROR(SyncParentDir(dir));
+      if ((err = vfs_->SyncDir(dir)) != 0) {
+        return ErrnoStatus("cannot fsync parent of data directory", dir, err);
+      }
     }
-  } else if (errno != EEXIST) {
-    return Status::Internal("cannot create data directory '" + dir +
-                            "': " + std::strerror(errno));
+  } else if (err != EEXIST) {
+    return ErrnoStatus("cannot create data directory", dir, err);
   }
   data_dir_ = dir;
   durability_options_ = options;
@@ -138,18 +132,17 @@ Status Database::Open(const std::string& dir,
   // recovery hits a CRC mismatch. flock conflicts across processes AND
   // across two Database instances in one process; released in ~Database.
   std::string lock_path = dir + "/LOCK";
-  int lock_fd = ::open(lock_path.c_str(), O_WRONLY | O_CREAT, 0644);
-  if (lock_fd < 0) {
-    return Status::Internal("cannot open lock file '" + lock_path +
-                            "': " + std::strerror(errno));
+  std::unique_ptr<VfsFile> lock =
+      vfs_->Open(lock_path, Vfs::OpenMode::kWrite, &err);
+  if (lock == nullptr) {
+    return ErrnoStatus("cannot open lock file", lock_path, err);
   }
-  if (::flock(lock_fd, LOCK_EX | LOCK_NB) != 0) {
-    ::close(lock_fd);
+  if (lock->TryLockExclusive() != 0) {
     return Status::InvalidArgument(
         "data directory '" + dir +
         "' is already in use by another Database (lock held)");
   }
-  lock_fd_ = lock_fd;
+  lock_file_ = std::move(lock);
   // Restore the documented fresh-Database precondition on any failure: a
   // half-loaded snapshot or half-replayed WAL must not linger as a partial
   // catalog the caller could mistake for usable in-memory state.
@@ -161,32 +154,44 @@ Status Database::Open(const std::string& dir,
     next_id_ = 1;
     data_dir_.clear();
     recovered_ = false;
-    ::close(lock_fd_);
-    lock_fd_ = -1;
+    lock_file_ = nullptr;
     return s;
   };
 
+  // A crash (or ENOSPC) between a checkpoint's temp-file write and its
+  // rename leaves an orphan temp snapshot; clean it up here so it cannot
+  // accumulate in the data dir forever.
+  if (vfs_->Exists(SnapshotTmpPath(dir))) {
+    (void)vfs_->Remove(SnapshotTmpPath(dir));
+  }
+
+  Status recovered = RecoverFromDir();
+  if (!recovered.ok()) return fail(recovered);
+  return Status::OK();
+}
+
+Status Database::RecoverFromDir() {
   uint64_t epoch = 1;
   bool have_snapshot = false;
-  if (FileExists(SnapshotPath(dir))) {
-    auto loaded = LoadSnapshot(this, SnapshotPath(dir));
-    if (!loaded.ok()) return fail(loaded.status());
+  if (vfs_->Exists(SnapshotPath(data_dir_))) {
+    auto loaded = LoadSnapshot(this, vfs_, SnapshotPath(data_dir_));
+    if (!loaded.ok()) return loaded.status();
     epoch = loaded.value();
     have_snapshot = true;
   }
   WalReplayResult replay;
-  if (FileExists(WalPath(dir))) {
-    auto replayed = ReplayWal(this, WalPath(dir), epoch);
-    if (!replayed.ok()) return fail(replayed.status());
+  if (vfs_->Exists(WalPath(data_dir_))) {
+    auto replayed = ReplayWal(this, vfs_, WalPath(data_dir_), epoch);
+    if (!replayed.ok()) return replayed.status();
     replay = replayed.value();
   }
   stats_.recovery_replayed += replay.applied_records;
   recovered_ = have_snapshot || replay.applied_records > 0;
 
-  auto writer = WalWriter::Open(WalPath(dir), epoch, replay.valid_bytes,
-                                durability_options_, &stats_,
-                                &replay.table_ids);
-  if (!writer.ok()) return fail(writer.status());
+  auto writer = WalWriter::Open(vfs_, WalPath(data_dir_), epoch,
+                                replay.valid_bytes, durability_options_,
+                                &stats_, &replay.table_ids);
+  if (!writer.ok()) return writer.status();
   wal_ = std::move(writer).value();
   txn_.AttachWal(wal_.get());
   return Status::OK();
@@ -196,15 +201,20 @@ Status Database::Checkpoint() {
   if (wal_ == nullptr) {
     return Status::InvalidArgument("durability is not open");
   }
+  if (read_only_) return ReadOnlyError("checkpoint");
   if (txn_.active()) {
     return Status::InvalidArgument(
         "cannot checkpoint inside a transaction (the snapshot must not "
         "contain uncommitted effects)");
   }
-  XUPD_RETURN_IF_ERROR(WalCommitUnit());
+  Status unit = WalCommitUnit();
+  if (!unit.ok()) {
+    if (wal_->broken()) EnterReadOnly(unit);
+    return unit;
+  }
   const uint64_t new_epoch = wal_->epoch() + 1;
   bool renamed = false;
-  Status snap = WriteSnapshot(*this, SnapshotPath(data_dir_),
+  Status snap = WriteSnapshot(*this, vfs_, SnapshotPath(data_dir_),
                               SnapshotTmpPath(data_dir_), new_epoch,
                               &renamed);
   if (!snap.ok()) {
@@ -214,7 +224,11 @@ Status Database::Checkpoint() {
     // recovery silently ignores. A pre-rename failure (e.g. transient
     // ENOSPC on the temp file) leaves old snapshot + WAL fully consistent,
     // so the writer keeps going and the checkpoint can simply be retried.
-    if (renamed) wal_->MarkBroken();
+    if (renamed) {
+      wal_->MarkBroken("checkpoint failed after the new snapshot became "
+                       "visible: " + snap.message());
+      EnterReadOnly(snap);
+    }
     return snap;
   }
   // The snapshot now contains every WAL record; reset the log to the new
@@ -222,7 +236,7 @@ Status Database::Checkpoint() {
   // old-epoch WAL that recovery recognizes as contained and ignores.
   Status closed = wal_->Close();
   auto reopened = closed.ok()
-                      ? WalWriter::Open(WalPath(data_dir_), new_epoch, 0,
+                      ? WalWriter::Open(vfs_, WalPath(data_dir_), new_epoch, 0,
                                         durability_options_, &stats_)
                       : Result<std::unique_ptr<WalWriter>>(closed);
   if (!reopened.ok()) {
@@ -230,7 +244,9 @@ Status Database::Checkpoint() {
     // log cannot accept new units. The (closed) writer stays attached in
     // its broken state so mutations still pend and every later durable
     // COMMIT fails loudly at its unit boundary.
-    wal_->MarkBroken();
+    wal_->MarkBroken("cannot reset WAL after checkpoint: " +
+                     reopened.status().message());
+    EnterReadOnly(reopened.status());
     return reopened.status();
   }
   wal_ = std::move(reopened).value();
@@ -246,12 +262,147 @@ Status Database::WalFlush() {
 
 Status Database::WalCommitUnit() {
   if (wal_ == nullptr || wal_->pending_empty()) return Status::OK();
-  return wal_->CommitPending(next_id_);
+  Status s = wal_->CommitPending(next_id_);
+  // A fail-stopped writer can never accept another unit: flip the whole
+  // Database into read-only mode so later statements are rejected up front
+  // with a clean kUnavailable instead of each discovering the broken log.
+  if (!s.ok() && wal_->broken()) EnterReadOnly(s);
+  return s;
 }
 
 void Database::WalLogDdl(std::string_view sql_text) {
   if (wal_ == nullptr || sql_text.empty()) return;
   wal_->PendDdl(sql_text);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation
+
+void Database::EnterReadOnly(const Status& cause) {
+  if (read_only_) return;  // keep the first (root) cause
+  read_only_ = true;
+  read_only_cause_ = cause.message();
+}
+
+Status Database::ReadOnlyError(const std::string& action) const {
+  return Status::Unavailable(
+      action + " rejected: database is in read-only mode after a storage "
+      "fault (" + read_only_cause_ + "); retry after TryHeal()");
+}
+
+Status Database::CheckWritable(const sql::Statement& stmt) const {
+  if (!read_only_) return Status::OK();
+  const char* action = nullptr;
+  switch (stmt.kind) {
+    // DDL always goes through the WAL when durability is open.
+    case sql::Statement::Kind::kCreateTable:
+      action = "CREATE TABLE";
+      break;
+    case sql::Statement::Kind::kCreateIndex:
+      action = "CREATE INDEX";
+      break;
+    case sql::Statement::Kind::kCreateTrigger:
+      action = "CREATE TRIGGER";
+      break;
+    case sql::Statement::Kind::kDrop:
+      action = "DROP";
+      break;
+    // DML is rejected only against durable tables: engine scratch tables
+    // (idlists, setup markers) bypass the WAL and must keep working so
+    // reads — which stage intermediate ids — still run in degraded mode.
+    case sql::Statement::Kind::kInsert: {
+      const Table* t = FindTable(stmt.insert.table);
+      if (t == nullptr || t->durable()) action = "INSERT";
+      break;
+    }
+    case sql::Statement::Kind::kDelete: {
+      const Table* t = FindTable(stmt.del.table);
+      if (t == nullptr || t->durable()) action = "DELETE";
+      break;
+    }
+    case sql::Statement::Kind::kUpdate: {
+      const Table* t = FindTable(stmt.update.table);
+      if (t == nullptr || t->durable()) action = "UPDATE";
+      break;
+    }
+    // SELECT, EXPLAIN, CHECK INTEGRITY, and transaction control stay
+    // available (a txn holding only scratch-table writes is legitimate).
+    default:
+      break;
+  }
+  if (action == nullptr) return Status::OK();
+  return ReadOnlyError(action);
+}
+
+Status Database::ReopenFromDisk() {
+  // Probe first: recover the on-disk state into a scratch Database. Free
+  // functions only (no Open), so the scratch never touches our flock. If
+  // the fault is still active this fails without disturbing our readable
+  // in-memory catalog.
+  {
+    Database probe;
+    probe.data_dir_ = data_dir_;
+    probe.durability_options_ = durability_options_;
+    probe.vfs_ = vfs_;
+    Status probed = probe.RecoverFromDir();
+    // The probe opened its own writer on our WAL path; close it before we
+    // reopen ours so the header/truncate below is the only writer.
+    if (probe.wal_ != nullptr) {
+      (void)probe.wal_->Close();
+      probe.wal_ = nullptr;
+      probe.txn_.AttachWal(nullptr);
+    }
+    probe.data_dir_.clear();
+    if (!probed.ok()) return probed;
+  }
+
+  // The disk state recovers cleanly — rebuild this Database from it.
+  // Dropping the catalog invalidates every cached plan via per-table
+  // versions plus the global catalog version.
+  wal_ = nullptr;
+  txn_.AttachWal(nullptr);
+  for (auto& [name, version] : table_versions_) ++*version;
+  tables_.clear();
+  triggers_.clear();
+  trigger_plans_.clear();
+  next_id_ = 1;
+  recovered_ = false;
+  InvalidateStatementCache();
+  // Clear the gate BEFORE replaying: snapshot load re-executes CREATE
+  // TRIGGER text through the Executor, which checks CheckWritable.
+  read_only_ = false;
+  read_only_cause_.clear();
+  Status s = RecoverFromDir();
+  if (!s.ok()) {
+    // Half-recovered catalog: stay degraded with the new cause. Reads over
+    // whatever loaded still work; writes stay rejected.
+    EnterReadOnly(s);
+    return s;
+  }
+  return Status::OK();
+}
+
+Status Database::TryHeal(int max_attempts) {
+  if (data_dir_.empty()) {
+    return Status::InvalidArgument("durability is not open");
+  }
+  if (!read_only_) return Status::OK();
+  if (txn_.active()) {
+    return Status::InvalidArgument(
+        "cannot heal inside a transaction (roll back first)");
+  }
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+    }
+    ++stats_.heal_attempts;
+    last = ReopenFromDisk();
+    if (last.ok()) return Status::OK();
+  }
+  return Status::Unavailable(
+      "heal failed after " + std::to_string(max_attempts) +
+      " attempts, database remains read-only (" + last.message() + ")");
 }
 
 Status Database::Begin() {
@@ -426,6 +577,7 @@ Result<ResultSet> Database::ExecuteQueryBound(std::string_view sql,
 
 Result<Table*> Database::CreateTableDirect(TableSchema schema,
                                            bool transactional, bool durable) {
+  if (read_only_ && durable) return ReadOnlyError("CREATE TABLE");
   if (tables_.count(schema.name()) > 0) {
     return Status::AlreadyExists("table '" + schema.name() + "' already exists");
   }
@@ -444,6 +596,7 @@ Status Database::DropTableDirect(std::string_view name) {
   if (it == tables_.end()) {
     return Status::NotFound("table '" + std::string(name) + "' not found");
   }
+  if (read_only_ && it->second->durable()) return ReadOnlyError("DROP TABLE");
   if (it->second->durable() && wal_ != nullptr && txn_.active()) {
     return Status::InvalidArgument(
         "cannot drop durable table '" + std::string(name) +
@@ -483,6 +636,7 @@ Status Database::DropTableDirect(std::string_view name) {
 }
 
 Status Database::InsertDirect(Table* table, Row row) {
+  if (read_only_ && table->durable()) return ReadOnlyError("INSERT");
   auto rowid = table->Insert(std::move(row));
   if (!rowid.ok()) return rowid.status();
   ++stats_.rows_inserted;

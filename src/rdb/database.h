@@ -27,6 +27,7 @@
 #include "rdb/stats.h"
 #include "rdb/table.h"
 #include "rdb/txn.h"
+#include "rdb/vfs.h"
 #include "rdb/wal.h"
 
 namespace xupd::rdb {
@@ -101,6 +102,39 @@ class Database {
   /// statement boundary of their own. No-op when durability is off or a
   /// transaction is open.
   Status WalFlush();
+
+  // --- graceful degradation ------------------------------------------------
+  //
+  // When the WAL writer fail-stops (append, fsync, or post-checkpoint reset
+  // failure), the Database enters an explicit READ-ONLY mode instead of
+  // surfacing opaque Internal errors forever: SELECT and EXPLAIN keep
+  // serving the in-memory state, while DML/DDL against durable tables (and
+  // the direct write APIs) return kUnavailable naming the original errno and
+  // failed operation. Ephemeral scratch tables bypass the WAL and stay
+  // writable. TryHeal() re-opens the data directory — discarding in-memory
+  // effects that were never durable (they already surfaced as statement
+  // errors) and rebuilding from the snapshot + committed WAL prefix — to
+  // return to read-write once the underlying fault clears.
+
+  struct Health {
+    bool read_only = false;
+    std::string cause;  ///< First failure (op + path + errno); "" if healthy.
+  };
+  Health health() const { return {read_only_, read_only_cause_}; }
+  bool read_only() const { return read_only_; }
+
+  /// Attempts to return a read-only database to read-write: re-runs recovery
+  /// from disk, retrying up to `max_attempts` times with exponential backoff.
+  /// No-op when not read-only; rejected inside a transaction. On success the
+  /// in-memory state equals the last committed-on-disk unit boundary.
+  Status TryHeal(int max_attempts = 5);
+
+  /// Online integrity scrub (SQL: CHECK INTEGRITY). Walks every table
+  /// checking slab liveness against hash-index entries in both directions,
+  /// id columns against the next-id counter, that the undo log is empty
+  /// outside transactions, and re-walks the WAL and snapshot files' CRCs.
+  /// Returns human-readable violations; empty means the database is clean.
+  std::vector<std::string> VerifyIntegrity();
 
   /// Parses and executes a DDL/DML statement.
   Status Execute(std::string_view sql);
@@ -301,6 +335,23 @@ class Database {
   Status ConsumeFailpoint();
   /// The DDL-in-transaction barrier (see the policy comment above).
   Status CheckDdlBarrier(const sql::Statement& stmt) const;
+  /// The read-only gate: rejects DML/DDL against durable state with
+  /// kUnavailable while degraded (SELECT, EXPLAIN, transaction control, and
+  /// writes to ephemeral scratch tables pass).
+  Status CheckWritable(const sql::Statement& stmt) const;
+  /// kUnavailable naming the original fault, for rejected write paths.
+  Status ReadOnlyError(const std::string& action) const;
+  /// Flips into read-only mode recording the first cause (preferring the
+  /// WAL writer's own broken-cause, which names op + path + errno).
+  void EnterReadOnly(const Status& cause);
+  /// Loads the snapshot, replays the WAL's committed prefix, and opens the
+  /// writer under data_dir_. Requires an empty catalog; on failure partial
+  /// state may linger (callers reset or stay read-only).
+  Status RecoverFromDir();
+  /// One TryHeal attempt: probe-recover into a scratch Database first (so an
+  /// active fault cannot wreck the read-serving state), then rebuild this
+  /// one from disk and reopen the WAL writer.
+  Status ReopenFromDisk();
 
   /// Flushes the WAL's pending redo as one committed unit (carrying the
   /// current next-id). No-op when durability is off or nothing is pending.
@@ -361,11 +412,16 @@ class Database {
   // --- durability ----------------------------------------------------------
   std::string data_dir_;
   DurabilityOptions durability_options_;
+  /// All durable file I/O goes through this (never null once Open ran).
+  Vfs* vfs_ = nullptr;
   std::unique_ptr<WalWriter> wal_;
   bool recovered_ = false;
   /// flock'd <data_dir>/LOCK file guarding against two Databases sharing
-  /// one WAL; -1 when durability is off. Released by ~Database.
-  int lock_fd_ = -1;
+  /// one WAL; null when durability is off. Released by ~Database.
+  std::unique_ptr<VfsFile> lock_file_;
+  /// Degraded mode (see health()).
+  bool read_only_ = false;
+  std::string read_only_cause_;
 };
 
 }  // namespace xupd::rdb

@@ -1,16 +1,11 @@
 #include "rdb/snapshot.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
 #include <cstring>
 #include <vector>
 
 #include "rdb/database.h"
 #include "rdb/table.h"
+#include "rdb/vfs.h"
 #include "rdb/wal.h"
 
 namespace xupd::rdb {
@@ -20,26 +15,26 @@ namespace {
 constexpr char kSnapshotMagic[8] = {'X', 'U', 'P', 'D', 'S', 'N', 'A', 'P'};
 constexpr uint32_t kSnapshotFormatVersion = 1;
 
-Status WriteFileDurably(const std::string& path, const std::string& data) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return ErrnoStatus("cannot create snapshot", path);
-  Status write_status = WriteFully(fd, data.data(), data.size(),
-                                   "cannot write snapshot", path);
-  if (!write_status.ok()) {
-    ::close(fd);
-    return write_status;
+Status WriteFileDurably(Vfs* vfs, const std::string& path,
+                        const std::string& data) {
+  int err = 0;
+  std::unique_ptr<VfsFile> file =
+      vfs->Open(path, Vfs::OpenMode::kTruncate, &err);
+  if (file == nullptr) return ErrnoStatus("cannot create snapshot", path, err);
+  XUPD_RETURN_IF_ERROR(WriteFully(file.get(), data.data(), data.size(),
+                                  "cannot write snapshot", path));
+  if ((err = file->Sync()) != 0) {
+    return ErrnoStatus("cannot fsync snapshot", path, err);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return ErrnoStatus("cannot fsync snapshot", path);
+  if ((err = file->Close()) != 0) {
+    return ErrnoStatus("cannot close snapshot", path, err);
   }
-  ::close(fd);
   return Status::OK();
 }
 
 }  // namespace
 
-Status WriteSnapshot(const Database& db, const std::string& path,
+Status WriteSnapshot(const Database& db, Vfs* vfs, const std::string& path,
                      const std::string& tmp_path, uint64_t epoch,
                      bool* renamed) {
   if (renamed != nullptr) *renamed = false;
@@ -88,16 +83,20 @@ Status WriteSnapshot(const Database& db, const std::string& path,
 
   binio::PutU32(&out, binio::Crc32(out.data(), out.size()));
 
-  XUPD_RETURN_IF_ERROR(WriteFileDurably(tmp_path, out));
-  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    return ErrnoStatus("cannot rename snapshot into place", path);
+  XUPD_RETURN_IF_ERROR(WriteFileDurably(vfs, tmp_path, out));
+  if (int err = vfs->Rename(tmp_path, path); err != 0) {
+    return ErrnoStatus("cannot rename snapshot into place", path, err);
   }
   if (renamed != nullptr) *renamed = true;
-  return SyncParentDir(path);
+  if (int err = vfs->SyncDir(path); err != 0) {
+    return ErrnoStatus("cannot fsync snapshot directory", path, err);
+  }
+  return Status::OK();
 }
 
-Result<uint64_t> LoadSnapshot(Database* db, const std::string& path) {
-  XUPD_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path));
+Result<uint64_t> LoadSnapshot(Database* db, Vfs* vfs,
+                              const std::string& path) {
+  XUPD_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(vfs, path));
   if (data.size() < sizeof(kSnapshotMagic) + 4 + 4 ||
       std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
     return Status::Internal("'" + path + "' is not a snapshot file");
@@ -173,6 +172,49 @@ Result<uint64_t> LoadSnapshot(Database* db, const std::string& path) {
   }
   db->set_next_id(next_id);
   return epoch;
+}
+
+std::vector<std::string> VerifySnapshotFile(Vfs* vfs,
+                                            const std::string& path) {
+  std::vector<std::string> violations;
+  auto read = ReadWholeFile(vfs, path);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) return violations;
+    violations.push_back("snapshot unreadable: " + read.status().message());
+    return violations;
+  }
+  const std::string& data = read.value();
+  if (data.size() < sizeof(kSnapshotMagic) + 4 + 4 ||
+      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    violations.push_back("snapshot header corrupt: '" + path + "'");
+    return violations;
+  }
+  binio::Reader v(data.data() + sizeof(kSnapshotMagic), 4);
+  uint32_t version = v.U32();
+  if (version != kSnapshotFormatVersion) {
+    violations.push_back("snapshot version mismatch: file has " +
+                         std::to_string(version));
+  }
+  binio::Reader c(data.data() + data.size() - 4, 4);
+  uint32_t stored = c.U32();
+  uint32_t actual = binio::Crc32(data.data(), data.size() - 4);
+  if (stored != actual) {
+    violations.push_back("snapshot CRC mismatch: '" + path + "'");
+  }
+  return violations;
+}
+
+uint64_t SnapshotEpochOnDisk(Vfs* vfs, const std::string& path) {
+  auto read = ReadWholeFile(vfs, path);
+  if (!read.ok()) return 0;
+  const std::string& data = read.value();
+  size_t header = sizeof(kSnapshotMagic) + 4;
+  if (data.size() < header + 8 ||
+      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return 0;
+  }
+  binio::Reader r(data.data() + header, 8);
+  return r.U64();
 }
 
 }  // namespace xupd::rdb

@@ -29,8 +29,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "rdb/vfs.h"
 
 namespace xupd::rdb {
 
@@ -42,13 +44,24 @@ class Database;
 /// failure it tells the caller whether the new-epoch snapshot is already
 /// visible (the caller must then fail-stop its old-epoch WAL) or the old
 /// state is still fully intact (safe to retry later).
-Status WriteSnapshot(const Database& db, const std::string& path,
+Status WriteSnapshot(const Database& db, Vfs* vfs, const std::string& path,
                      const std::string& tmp_path, uint64_t epoch,
                      bool* renamed = nullptr);
 
 /// Loads a snapshot into `db` (which must be freshly constructed: no tables,
 /// no open transaction) and returns its epoch.
-Result<uint64_t> LoadSnapshot(Database* db, const std::string& path);
+Result<uint64_t> LoadSnapshot(Database* db, Vfs* vfs, const std::string& path);
+
+/// Integrity scrub: re-checks the on-disk snapshot's magic, version, and
+/// whole-file CRC without installing anything. Returns human-readable
+/// violations (empty = clean); a missing file is clean (fresh database).
+std::vector<std::string> VerifySnapshotFile(Vfs* vfs, const std::string& path);
+
+/// The epoch recorded in the on-disk snapshot header, or 0 when the file is
+/// missing or too short to carry one. Scrub helper (no CRC verification):
+/// the WAL epoch check must accept a WAL already reset to the epoch of a
+/// checkpoint whose old writer then fail-stopped.
+uint64_t SnapshotEpochOnDisk(Vfs* vfs, const std::string& path);
 
 }  // namespace xupd::rdb
 

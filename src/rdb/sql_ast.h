@@ -164,6 +164,7 @@ struct Statement {
     kSavepoint,  ///< SAVEPOINT name — a named nested scope.
     kRelease,    ///< RELEASE [SAVEPOINT] name.
     kExplain,    ///< EXPLAIN <stmt> — plans without executing.
+    kCheckIntegrity,  ///< CHECK INTEGRITY — online scrub, returns violations.
   };
   Kind kind = Kind::kSelect;
   /// Number of ? placeholders in the statement text; values must be bound

@@ -19,6 +19,7 @@ Result<ResultSet> Executor::Run(const sql::Statement& stmt,
   // barrier cannot be bypassed from inside a trigger.
   XUPD_RETURN_IF_ERROR(db_->ConsumeFailpoint());
   XUPD_RETURN_IF_ERROR(db_->CheckDdlBarrier(stmt));
+  XUPD_RETURN_IF_ERROR(db_->CheckWritable(stmt));
   switch (stmt.kind) {
     case sql::Statement::Kind::kSelect:
     case sql::Statement::Kind::kInsert:
@@ -86,6 +87,17 @@ Result<ResultSet> Executor::Run(const sql::Statement& stmt,
     case sql::Statement::Kind::kRelease:
       XUPD_RETURN_IF_ERROR(db_->Release(stmt.txn_name));
       return ResultSet{};
+    case sql::Statement::Kind::kCheckIntegrity: {
+      // Online scrub: read-only over in-memory structures and on-disk
+      // files, so it stays available in degraded mode.
+      ResultSet out;
+      out.columns = {"violation"};
+      for (std::string& v : db_->VerifyIntegrity()) {
+        out.rows.push_back({Value::Str(std::move(v))});
+      }
+      if (out.rows.empty()) out.rows.push_back({Value::Str("ok")});
+      return out;
+    }
   }
   return Status::Internal("unknown statement kind");
 }

@@ -318,6 +318,11 @@ class Parser {
       stmt.kind = Statement::Kind::kRelease;
       (void)lex_.ConsumeKw("savepoint");
       XUPD_ASSIGN_OR_RETURN(stmt.txn_name, ExpectIdent("savepoint name"));
+    } else if (lex_.ConsumeKw("check")) {
+      if (!lex_.ConsumeKw("integrity")) {
+        return lex_.Error("expected INTEGRITY after CHECK");
+      }
+      stmt.kind = Statement::Kind::kCheckIntegrity;
     } else {
       return lex_.Error("expected a SQL statement");
     }

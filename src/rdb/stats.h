@@ -70,6 +70,10 @@ struct Stats {
   uint64_t checkpoints = 0;
   /// Redo records replayed from the WAL by the last Database::Open.
   uint64_t recovery_replayed = 0;
+  /// VerifyIntegrity runs (SQL CHECK INTEGRITY counts too).
+  uint64_t integrity_checks = 0;
+  /// TryHeal attempts (each re-opens the data directory; successful or not).
+  uint64_t heal_attempts = 0;
 
   void Reset() { *this = Stats{}; }
 
@@ -98,6 +102,8 @@ struct Stats {
     d.wal_fsyncs = wal_fsyncs - earlier.wal_fsyncs;
     d.checkpoints = checkpoints - earlier.checkpoints;
     d.recovery_replayed = recovery_replayed - earlier.recovery_replayed;
+    d.integrity_checks = integrity_checks - earlier.integrity_checks;
+    d.heal_attempts = heal_attempts - earlier.heal_attempts;
     return d;
   }
 
@@ -124,7 +130,9 @@ struct Stats {
            " wal_bytes=" + std::to_string(wal_bytes) +
            " wal_fsyncs=" + std::to_string(wal_fsyncs) +
            " checkpoints=" + std::to_string(checkpoints) +
-           " replayed=" + std::to_string(recovery_replayed);
+           " replayed=" + std::to_string(recovery_replayed) +
+           " scrubs=" + std::to_string(integrity_checks) +
+           " heals=" + std::to_string(heal_attempts);
   }
 };
 

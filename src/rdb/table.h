@@ -54,6 +54,15 @@ class HashIndex {
   void Clear();
   size_t size() const { return size_; }
 
+  /// Scrub hook (rdb/integrity.cc): calls fn(value, rowid) for every live
+  /// entry, in slot order.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.state == 1) fn(s.value, static_cast<size_t>(s.rowid));
+    }
+  }
+
  private:
   /// One entry: the key's hash, the key, the rowid, and the doubly-linked
   /// same-key chain threaded through the entry array.

@@ -1,0 +1,526 @@
+#include "rdb/vfs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/status.h"
+
+namespace xupd::rdb {
+
+namespace {
+
+/// Transient-errno retry bound: a signal storm should not loop forever, but
+/// a handful of EINTR wakeups must never fail-stop the WAL writer.
+constexpr int kMaxTransientRetries = 100;
+
+class PosixFile : public VfsFile {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override { Close(); }
+
+  VfsIoResult Read(void* buf, size_t size) override {
+    ssize_t n = ::read(fd_, buf, size);
+    if (n < 0) return {0, errno};
+    return {n, 0};
+  }
+  VfsIoResult Write(const void* buf, size_t size) override {
+    ssize_t n = ::write(fd_, buf, size);
+    if (n < 0) return {0, errno};
+    return {n, 0};
+  }
+  int Sync() override { return ::fsync(fd_) != 0 ? errno : 0; }
+  int Truncate(uint64_t size) override {
+    return ::ftruncate(fd_, static_cast<off_t>(size)) != 0 ? errno : 0;
+  }
+  int Seek(uint64_t offset) override {
+    return ::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0 ? errno : 0;
+  }
+  int TryLockExclusive() override {
+    return ::flock(fd_, LOCK_EX | LOCK_NB) != 0 ? errno : 0;
+  }
+  int Close() override {
+    if (fd_ < 0) return 0;
+    int fd = fd_;
+    fd_ = -1;
+    return ::close(fd) != 0 ? errno : 0;
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixVfs : public Vfs {
+ public:
+  std::unique_ptr<VfsFile> Open(const std::string& path, OpenMode mode,
+                                int* err) override {
+    int flags = 0;
+    switch (mode) {
+      case OpenMode::kRead:
+        flags = O_RDONLY;
+        break;
+      case OpenMode::kWrite:
+        flags = O_WRONLY | O_CREAT;
+        break;
+      case OpenMode::kTruncate:
+        flags = O_WRONLY | O_CREAT | O_TRUNC;
+        break;
+    }
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      *err = errno;
+      return nullptr;
+    }
+    *err = 0;
+    return std::make_unique<PosixFile>(fd);
+  }
+
+  int Mkdir(const std::string& dir) override {
+    return ::mkdir(dir.c_str(), 0755) != 0 ? errno : 0;
+  }
+  int Rename(const std::string& from, const std::string& to) override {
+    return ::rename(from.c_str(), to.c_str()) != 0 ? errno : 0;
+  }
+  int Remove(const std::string& path) override {
+    return ::unlink(path.c_str()) != 0 ? errno : 0;
+  }
+  bool Exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+  int SyncDir(const std::string& path_in_dir) override {
+    size_t slash = path_in_dir.find_last_of('/');
+    std::string dir = slash == std::string::npos ? std::string(".")
+                                                 : path_in_dir.substr(0, slash);
+    if (dir.empty()) dir = "/";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return errno;
+    int result = ::fsync(fd) != 0 ? errno : 0;
+    ::close(fd);
+    return result;
+  }
+};
+
+}  // namespace
+
+Vfs* Vfs::Default() {
+  static PosixVfs posix;
+  return &posix;
+}
+
+const char* ErrnoName(int err) {
+  switch (err) {
+    case EIO: return "EIO";
+    case ENOSPC: return "ENOSPC";
+    case EINTR: return "EINTR";
+    case ENOENT: return "ENOENT";
+    case EEXIST: return "EEXIST";
+    case EACCES: return "EACCES";
+    case EPERM: return "EPERM";
+    case EBADF: return "EBADF";
+    case EINVAL: return "EINVAL";
+    case ENOTDIR: return "ENOTDIR";
+    case EISDIR: return "EISDIR";
+    case EMFILE: return "EMFILE";
+    case ENFILE: return "ENFILE";
+    case EFBIG: return "EFBIG";
+    case EROFS: return "EROFS";
+    case EAGAIN: return "EAGAIN";
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK: return "EWOULDBLOCK";
+#endif
+#if defined(EDQUOT)
+    case EDQUOT: return "EDQUOT";
+#endif
+    default: {
+      thread_local char buf[32];
+      std::snprintf(buf, sizeof(buf), "errno %d", err);
+      return buf;
+    }
+  }
+}
+
+Status ErrnoStatus(const std::string& what, const std::string& path, int err) {
+  return Status::Internal(what + " '" + path + "': " + ErrnoName(err) + " (" +
+                          std::strerror(err) + ")");
+}
+
+Status WriteFully(VfsFile* file, const char* data, size_t size,
+                  const std::string& what, const std::string& path) {
+  size_t done = 0;
+  int transient = 0;
+  while (done < size) {
+    VfsIoResult r = file->Write(data + done, size - done);
+    if (r.err != 0) {
+      if ((r.err == EINTR || r.err == EAGAIN) &&
+          ++transient <= kMaxTransientRetries) {
+        continue;
+      }
+      return ErrnoStatus(what, path, r.err);
+    }
+    if (r.n <= 0) {
+      return Status::Internal(what + " '" + path + "': wrote 0 bytes");
+    }
+    done += static_cast<size_t>(r.n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(Vfs* vfs, const std::string& path) {
+  int err = 0;
+  std::unique_ptr<VfsFile> file = vfs->Open(path, Vfs::OpenMode::kRead, &err);
+  if (file == nullptr) {
+    if (err == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoStatus("open", path, err);
+  }
+  std::string out;
+  char buf[64 << 10];
+  int transient = 0;
+  for (;;) {
+    VfsIoResult r = file->Read(buf, sizeof(buf));
+    if (r.err != 0) {
+      if ((r.err == EINTR || r.err == EAGAIN) &&
+          ++transient <= kMaxTransientRetries) {
+        continue;
+      }
+      return ErrnoStatus("read", path, r.err);
+    }
+    if (r.n == 0) break;
+    out.append(buf, static_cast<size_t>(r.n));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+
+/// Handle wrapper: mirrors the logical offset so writes can be applied to the
+/// shadow image at the right position, and goes dead (EIO) after power loss.
+class FaultFile : public VfsFile {
+ public:
+  FaultFile(FaultVfs* owner, std::string path, std::unique_ptr<VfsFile> base)
+      : owner_(owner), path_(std::move(path)), base_(std::move(base)) {}
+  ~FaultFile() override {
+    Close();
+  }
+
+  VfsIoResult Read(void* buf, size_t size) override {
+    if (dead_) return {0, EIO};
+    VfsIoResult r = base_->Read(buf, size);
+    if (r.err == 0) offset_ += static_cast<size_t>(r.n);
+    return r;
+  }
+
+  VfsIoResult Write(const void* buf, size_t size) override {
+    if (dead_) return {0, EIO};
+    FaultVfs::FaultKind one_shot = FaultVfs::FaultKind::kNone;
+    int err = owner_->CheckFault(path_, /*is_write=*/true, &one_shot);
+    if (err == EINTR) return {0, EINTR};
+    if (dead_) return {0, EIO};  // the op itself was the power-loss trigger
+    if (err != 0 && one_shot != FaultVfs::FaultKind::kEnospc) return {0, err};
+    size_t allowed = size;
+    if (one_shot == FaultVfs::FaultKind::kEnospc ||
+        one_shot == FaultVfs::FaultKind::kShortWrite) {
+      allowed = size / 2;  // the device accepts half, then gives out
+    }
+    VfsIoResult r = allowed == 0 ? VfsIoResult{0, 0}
+                                 : base_->Write(buf, allowed);
+    if (r.err != 0) return r;
+    owner_->RecordWrite(path_, offset_, static_cast<const char*>(buf),
+                        static_cast<size_t>(r.n));
+    offset_ += static_cast<size_t>(r.n);
+    if (one_shot == FaultVfs::FaultKind::kEnospc) return {0, ENOSPC};
+    return r;  // full or injected-short count
+  }
+
+  int Sync() override {
+    if (dead_) return EIO;
+    FaultVfs::FaultKind one_shot = FaultVfs::FaultKind::kNone;
+    int err = owner_->CheckFault(path_, /*is_write=*/false, &one_shot);
+    if (dead_) return EIO;
+    if (err != 0) return err;
+    err = base_->Sync();
+    if (err == 0) owner_->RecordSync(path_);
+    return err;
+  }
+
+  int Truncate(uint64_t size) override {
+    if (dead_) return EIO;
+    FaultVfs::FaultKind one_shot = FaultVfs::FaultKind::kNone;
+    int err = owner_->CheckFault(path_, /*is_write=*/false, &one_shot);
+    if (dead_) return EIO;
+    if (err != 0) return err;
+    err = base_->Truncate(size);
+    if (err == 0) owner_->RecordTruncate(path_, size);
+    return err;
+  }
+
+  int Seek(uint64_t offset) override {
+    if (dead_) return EIO;
+    int err = base_->Seek(offset);
+    if (err == 0) offset_ = offset;
+    return err;
+  }
+
+  int TryLockExclusive() override {
+    if (dead_) return EIO;
+    return base_->TryLockExclusive();
+  }
+
+  int Close() override {
+    if (closed_) return 0;
+    closed_ = true;
+    owner_->ForgetFile(this);
+    return base_->Close();
+  }
+
+  void MarkDead() { dead_ = true; }
+  const std::string& path() const { return path_; }
+
+ private:
+  FaultVfs* owner_;
+  std::string path_;
+  std::unique_ptr<VfsFile> base_;
+  size_t offset_ = 0;
+  bool dead_ = false;
+  bool closed_ = false;
+};
+
+void FaultVfs::ArmFault(FaultKind kind, int fail_at, std::string path_filter) {
+  armed_ = kind;
+  fail_at_ = fail_at;
+  path_filter_ = std::move(path_filter);
+  fired_ = false;
+  op_count_ = 0;
+  active_ = FaultKind::kNone;
+}
+
+void FaultVfs::ClearFault() {
+  armed_ = FaultKind::kNone;
+  active_ = FaultKind::kNone;
+  fired_ = false;
+  path_filter_.clear();
+}
+
+int FaultVfs::CheckFault(const std::string& path, bool is_write,
+                         FaultKind* one_shot) {
+  *one_shot = FaultKind::kNone;
+  if (active_ == FaultKind::kEio) return EIO;
+  if (active_ == FaultKind::kEnospc && is_write) return ENOSPC;
+  bool match = path_filter_.empty() ||
+               path.find(path_filter_) != std::string::npos;
+  if (!match) return 0;
+  ++op_count_;
+  if (armed_ == FaultKind::kNone || fired_ || op_count_ < fail_at_) return 0;
+  fired_ = true;
+  switch (armed_) {
+    case FaultKind::kEio:
+      active_ = FaultKind::kEio;
+      return EIO;
+    case FaultKind::kEnospc:
+      active_ = FaultKind::kEnospc;
+      if (is_write) {
+        *one_shot = FaultKind::kEnospc;  // caller lands half, then ENOSPC
+        return ENOSPC;
+      }
+      return ENOSPC;
+    case FaultKind::kShortWrite:
+      // Short counts only exist for writes; stay armed until one comes by.
+      if (!is_write) {
+        fired_ = false;
+        return 0;
+      }
+      armed_ = FaultKind::kNone;
+      *one_shot = FaultKind::kShortWrite;
+      return 0;
+    case FaultKind::kEintr:
+      // Modeled on a signal interrupting write(2) — the retry loop under
+      // test lives in WriteFully, so fire on the next write.
+      if (!is_write) {
+        fired_ = false;
+        return 0;
+      }
+      armed_ = FaultKind::kNone;
+      return EINTR;
+    case FaultKind::kPowerLoss:
+      SimulatePowerLoss();
+      return EIO;
+    case FaultKind::kNone:
+      break;
+  }
+  return 0;
+}
+
+std::string FaultVfs::DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+FaultVfs::Shadow& FaultVfs::TouchShadow(const std::string& path) {
+  auto it = shadows_.find(path);
+  if (it != shadows_.end()) return it->second;
+  Shadow& s = shadows_[path];
+  if (base_->Exists(path)) {
+    // A file that predates the FaultVfs is assumed fully durable.
+    auto content = ReadWholeFile(base_, path);
+    if (content.ok()) {
+      s.synced = s.current = std::move(content).value();
+      s.exists_synced = s.exists_current = true;
+    }
+  }
+  return s;
+}
+
+std::unique_ptr<VfsFile> FaultVfs::Open(const std::string& path, OpenMode mode,
+                                        int* err) {
+  std::unique_ptr<VfsFile> base = base_->Open(path, mode, err);
+  if (base == nullptr) return nullptr;
+  if (mode != OpenMode::kRead) {
+    Shadow& s = TouchShadow(path);
+    bool pre_existing = s.exists_current;
+    if (mode == OpenMode::kTruncate) s.current.clear();
+    s.exists_current = true;
+    // A newly created directory entry is not durable until SyncDir.
+    if (!pre_existing) s.exists_synced = false;
+  }
+  auto file = std::make_unique<FaultFile>(this, path, std::move(base));
+  open_files_.push_back(file.get());
+  return file;
+}
+
+int FaultVfs::Rename(const std::string& from, const std::string& to) {
+  FaultKind one_shot = FaultKind::kNone;
+  int err = CheckFault(from + "|" + to, /*is_write=*/false, &one_shot);
+  if (err != 0 && err != EINTR) return err;
+  if (err == EINTR) return EINTR;
+  err = base_->Rename(from, to);
+  if (err != 0) return err;
+  Shadow moved = TouchShadow(from);
+  PendingRename pr;
+  pr.dir = DirOf(to);
+  pr.from = from;
+  pr.to = to;
+  pr.old_from = moved;
+  auto old_to = shadows_.find(to);
+  pr.to_existed = old_to != shadows_.end();
+  if (pr.to_existed) pr.old_to = old_to->second;
+  pending_renames_.push_back(std::move(pr));
+  shadows_.erase(from);
+  Shadow& t = shadows_[to];
+  t.current = std::move(moved.current);
+  t.synced = std::move(moved.synced);  // inode content durability travels
+  t.exists_current = true;
+  t.exists_synced = false;  // the new directory entry needs SyncDir
+  return 0;
+}
+
+int FaultVfs::Remove(const std::string& path) {
+  FaultKind one_shot = FaultKind::kNone;
+  int err = CheckFault(path, /*is_write=*/false, &one_shot);
+  if (err != 0) return err;
+  err = base_->Remove(path);
+  if (err != 0) return err;
+  Shadow& s = TouchShadow(path);
+  s.exists_current = false;
+  s.current.clear();
+  return 0;
+}
+
+int FaultVfs::SyncDir(const std::string& path_in_dir) {
+  FaultKind one_shot = FaultKind::kNone;
+  int err = CheckFault(path_in_dir, /*is_write=*/false, &one_shot);
+  if (err != 0) return err;
+  err = base_->SyncDir(path_in_dir);
+  if (err != 0) return err;
+  std::string dir = DirOf(path_in_dir);
+  for (auto& [path, shadow] : shadows_) {
+    if (DirOf(path) == dir) shadow.exists_synced = shadow.exists_current;
+  }
+  pending_renames_.erase(
+      std::remove_if(pending_renames_.begin(), pending_renames_.end(),
+                     [&dir](const PendingRename& pr) { return pr.dir == dir; }),
+      pending_renames_.end());
+  return 0;
+}
+
+void FaultVfs::RecordWrite(const std::string& path, size_t offset,
+                           const char* data, size_t n) {
+  if (n == 0) return;
+  Shadow& s = TouchShadow(path);
+  if (s.current.size() < offset + n) s.current.resize(offset + n, '\0');
+  s.current.replace(offset, n, data, n);
+  last_written_path_ = path;
+}
+
+void FaultVfs::RecordSync(const std::string& path) {
+  Shadow& s = TouchShadow(path);
+  s.synced = s.current;
+  if (last_written_path_ == path) last_written_path_.clear();
+}
+
+void FaultVfs::RecordTruncate(const std::string& path, uint64_t size) {
+  Shadow& s = TouchShadow(path);
+  s.current.resize(static_cast<size_t>(size), '\0');
+}
+
+void FaultVfs::ForgetFile(FaultFile* file) {
+  open_files_.erase(std::remove(open_files_.begin(), open_files_.end(), file),
+                    open_files_.end());
+}
+
+void FaultVfs::SimulatePowerLoss() {
+  // Open handles survive as objects but every further op fails: the process
+  // conceptually kept running while its storage rebooted underneath it.
+  for (FaultFile* f : open_files_) f->MarkDead();
+
+  // Un-synced renames never happened.
+  for (auto it = pending_renames_.rbegin(); it != pending_renames_.rend();
+       ++it) {
+    shadows_[it->from] = it->old_from;
+    if (it->to_existed) {
+      shadows_[it->to] = it->old_to;
+    } else {
+      shadows_.erase(it->to);
+    }
+  }
+  pending_renames_.clear();
+
+  for (auto& [path, s] : shadows_) {
+    if (!s.exists_synced) {
+      (void)base_->Remove(path);
+      s.exists_current = false;
+      s.current.clear();
+      s.synced.clear();
+      continue;
+    }
+    // Last-synced image, plus a torn prefix of the unsynced tail of the most
+    // recently written file (models a partially persisted sector).
+    std::string image = s.synced;
+    if (path == last_written_path_ && torn_tail_bytes_ > 0 &&
+        s.current.size() > s.synced.size()) {
+      size_t keep = std::min(s.current.size(),
+                             s.synced.size() + torn_tail_bytes_);
+      image = s.current.substr(0, keep);
+    }
+    int err = 0;
+    auto f = base_->Open(path, OpenMode::kTruncate, &err);
+    if (f != nullptr) {
+      (void)WriteFully(f.get(), image.data(), image.size(), "restore", path);
+      (void)f->Sync();
+      (void)f->Close();
+    }
+    s.current = s.synced = std::move(image);
+    s.exists_current = s.exists_synced = true;
+  }
+  last_written_path_.clear();
+  armed_ = FaultKind::kNone;
+  active_ = FaultKind::kNone;
+}
+
+}  // namespace xupd::rdb

@@ -1,0 +1,200 @@
+// Pluggable virtual filesystem for the durability layer.
+//
+// Every file operation the WAL and snapshot code performs goes through a Vfs
+// so that tests can interpose a FaultVfs: a write-through wrapper that injects
+// EIO / ENOSPC / short writes / EINTR at the Nth mutating operation and can
+// simulate power loss by reverting every file to its last-fsynced image
+// (optionally keeping a torn prefix of the unsynced tail). The default
+// implementation, PosixVfs, is a thin shim over open/read/write/fsync.
+//
+// Error reporting is deliberately C-flavored (errno ints and byte counts)
+// rather than Status: the retry policy (bounded EINTR/EAGAIN loops) and the
+// message formatting (symbolic errno names) live in the helpers below, so an
+// injected fault travels through the exact same code path a real one would.
+#ifndef XUPD_RDB_VFS_H_
+#define XUPD_RDB_VFS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "common/result.h"
+
+namespace xupd::rdb {
+
+/// Outcome of one raw read or write: `n` bytes transferred when `err` is 0
+/// (short counts are legal, as with the underlying syscalls), otherwise an
+/// errno value and `n` == 0.
+struct VfsIoResult {
+  ssize_t n = 0;
+  int err = 0;
+};
+
+/// An open file handle. All methods return 0 / a VfsIoResult with err == 0 on
+/// success, or an errno value. Close() is idempotent and implied by the
+/// destructor.
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+
+  virtual VfsIoResult Read(void* buf, size_t size) = 0;
+  virtual VfsIoResult Write(const void* buf, size_t size) = 0;
+  virtual int Sync() = 0;
+  virtual int Truncate(uint64_t size) = 0;
+  /// Repositions the file offset (absolute).
+  virtual int Seek(uint64_t offset) = 0;
+  /// flock(LOCK_EX | LOCK_NB); EWOULDBLOCK when another process holds it.
+  virtual int TryLockExclusive() = 0;
+  virtual int Close() = 0;
+};
+
+class Vfs {
+ public:
+  enum class OpenMode {
+    kRead,      ///< O_RDONLY; the file must exist.
+    kWrite,     ///< O_WRONLY | O_CREAT, existing content kept.
+    kTruncate,  ///< O_WRONLY | O_CREAT | O_TRUNC.
+  };
+
+  virtual ~Vfs() = default;
+
+  /// Null on failure with *err set to the errno.
+  virtual std::unique_ptr<VfsFile> Open(const std::string& path, OpenMode mode,
+                                        int* err) = 0;
+  virtual int Mkdir(const std::string& dir) = 0;  ///< EEXIST passed through.
+  virtual int Rename(const std::string& from, const std::string& to) = 0;
+  virtual int Remove(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  /// fsyncs the directory containing `path_in_dir`, making renames and file
+  /// creations in it durable.
+  virtual int SyncDir(const std::string& path_in_dir) = 0;
+
+  /// Process-wide PosixVfs singleton.
+  static Vfs* Default();
+};
+
+/// Stable symbolic name for an errno value ("ENOSPC", ...), or "errno <n>".
+const char* ErrnoName(int err);
+
+/// Internal-status "<what> '<path>': <ENAME> (<strerror>)".
+Status ErrnoStatus(const std::string& what, const std::string& path, int err);
+
+/// Writes all of [data, data+size), retrying short writes and a bounded
+/// number of EINTR/EAGAIN interruptions (transient signal wakeups must not
+/// fail-stop the WAL writer).
+Status WriteFully(VfsFile* file, const char* data, size_t size,
+                  const std::string& what, const std::string& path);
+
+/// Reads a whole file into a string. NotFound when the file does not exist.
+Result<std::string> ReadWholeFile(Vfs* vfs, const std::string& path);
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+
+/// A write-through fault-injection wrapper (single-threaded, test-only).
+///
+/// Every mutating operation (write, fsync, truncate, rename, dir-sync) on a
+/// path matching the armed filter increments an op counter; when it reaches
+/// `fail_at` the armed fault fires. Reads and opens are never counted, so a
+/// clean run's op count is a stable schedule for a fault matrix.
+///
+/// Besides injecting errors, FaultVfs shadows file contents: `synced` is what
+/// is guaranteed to survive power loss, `current` is what the OS would show
+/// now. Operations pass through to the base Vfs (so other processes see the
+/// real files), and SimulatePowerLoss() rewrites the real files from the
+/// synced images — dropping never-synced writes, un-doing un-synced renames
+/// and truncations, and removing files whose directory entry was never made
+/// durable with SyncDir.
+class FaultVfs : public Vfs {
+ public:
+  enum class FaultKind {
+    kNone,
+    kEio,        ///< Every later mutating op fails EIO until ClearFault().
+    kEnospc,     ///< Half the bytes land, then ENOSPC; writes keep failing.
+    kShortWrite, ///< One short count (no error) — exercises the retry loop.
+    kEintr,      ///< One EINTR — must be absorbed by the retry loop.
+    kPowerLoss,  ///< SimulatePowerLoss() fires; open handles go dead (EIO).
+  };
+
+  explicit FaultVfs(Vfs* base) : base_(base) {}
+
+  /// Arms `kind` to fire on the `fail_at`-th (1-based) mutating op whose path
+  /// contains `path_filter` (empty matches all).
+  void ArmFault(FaultKind kind, int fail_at, std::string path_filter = "");
+  void ClearFault();
+
+  /// Bytes of the most recently written unsynced tail to keep when power is
+  /// lost (models a torn sector write).
+  void set_torn_tail_bytes(size_t n) { torn_tail_bytes_ = n; }
+
+  /// Reverts the real filesystem to the last-synced state.
+  void SimulatePowerLoss();
+
+  int mutating_ops() const { return op_count_; }
+  bool fired() const { return fired_; }
+
+  std::unique_ptr<VfsFile> Open(const std::string& path, OpenMode mode,
+                                int* err) override;
+  int Mkdir(const std::string& dir) override { return base_->Mkdir(dir); }
+  int Rename(const std::string& from, const std::string& to) override;
+  int Remove(const std::string& path) override;
+  bool Exists(const std::string& path) override { return base_->Exists(path); }
+  int SyncDir(const std::string& path_in_dir) override;
+
+ private:
+  friend class FaultFile;
+
+  struct Shadow {
+    std::string synced;
+    std::string current;
+    bool exists_synced = false;   ///< Directory entry survives power loss.
+    bool exists_current = false;
+  };
+
+  /// A rename whose directory entry has not been made durable with SyncDir
+  /// yet; power loss reverts it.
+  struct PendingRename {
+    std::string dir;
+    std::string from;
+    std::string to;
+    Shadow old_from;
+    Shadow old_to;
+    bool to_existed = false;
+  };
+
+  /// Counts one mutating op on `path`; returns the errno to inject (0 = let
+  /// the op proceed). kShortWrite/kEnospc half-writes are signaled via
+  /// *one_shot so the write path can land partial bytes first.
+  int CheckFault(const std::string& path, bool is_write, FaultKind* one_shot);
+  Shadow& TouchShadow(const std::string& path);
+  void RecordWrite(const std::string& path, size_t offset, const char* data,
+                   size_t n);
+  void RecordSync(const std::string& path);
+  void RecordTruncate(const std::string& path, uint64_t size);
+  void ForgetFile(class FaultFile* file);
+  static std::string DirOf(const std::string& path);
+
+  Vfs* base_;
+  std::map<std::string, Shadow> shadows_;
+  std::vector<class FaultFile*> open_files_;
+  std::vector<PendingRename> pending_renames_;
+
+  FaultKind armed_ = FaultKind::kNone;
+  std::string path_filter_;
+  int fail_at_ = 0;
+  int op_count_ = 0;
+  bool fired_ = false;
+  /// Persistent-failure mode entered when kEio/kEnospc fires.
+  FaultKind active_ = FaultKind::kNone;
+  size_t torn_tail_bytes_ = 0;
+  /// Path of the last un-synced write (the torn tail lives at its end).
+  std::string last_written_path_;
+};
+
+}  // namespace xupd::rdb
+
+#endif  // XUPD_RDB_VFS_H_

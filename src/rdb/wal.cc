@@ -1,18 +1,14 @@
 #include "rdb/wal.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <array>
-#include <cerrno>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
 
 #include "rdb/database.h"
 #include "rdb/table.h"
+#include "rdb/vfs.h"
 
 namespace xupd::rdb {
 
@@ -40,62 +36,6 @@ enum class RecordKind : uint8_t {
 };
 
 }  // namespace
-
-Status ErrnoStatus(const std::string& what, const std::string& path) {
-  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
-}
-
-Status WriteFully(int fd, const char* data, size_t size,
-                  const std::string& what, const std::string& path) {
-  size_t off = 0;
-  while (off < size) {
-    ssize_t n = ::write(fd, data + off, size - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus(what, path);
-    }
-    off += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-Result<std::string> ReadWholeFile(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) {
-      return Status::NotFound("no such file: '" + path + "'");
-    }
-    return ErrnoStatus("cannot open", path);
-  }
-  std::string data;
-  char buf[1 << 16];
-  for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return ErrnoStatus("cannot read", path);
-    }
-    if (n == 0) break;
-    data.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return data;
-}
-
-Status SyncParentDir(const std::string& path) {
-  size_t slash = path.find_last_of('/');
-  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return ErrnoStatus("cannot open directory", dir);
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return ErrnoStatus("cannot fsync directory", dir);
-  }
-  ::close(fd);
-  return Status::OK();
-}
 
 const char* ToString(SyncMode mode) {
   switch (mode) {
@@ -257,17 +197,17 @@ Value Reader::ReadValue() {
 // WalWriter
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(
-    const std::string& path, uint64_t epoch, uint64_t resume_offset,
+    Vfs* vfs, const std::string& path, uint64_t epoch, uint64_t resume_offset,
     const DurabilityOptions& options, Stats* stats,
     const std::vector<std::pair<std::string, uint16_t>>* table_ids) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
-  if (fd < 0) return ErrnoStatus("cannot open WAL", path);
-  if (::ftruncate(fd, static_cast<off_t>(resume_offset)) != 0) {
-    ::close(fd);
-    return ErrnoStatus("cannot truncate WAL", path);
+  int err = 0;
+  std::unique_ptr<VfsFile> file = vfs->Open(path, Vfs::OpenMode::kWrite, &err);
+  if (file == nullptr) return ErrnoStatus("cannot open WAL", path, err);
+  if ((err = file->Truncate(resume_offset)) != 0) {
+    return ErrnoStatus("cannot truncate WAL", path, err);
   }
   std::unique_ptr<WalWriter> w(new WalWriter());
-  w->fd_ = fd;
+  w->file_ = std::move(file);
   w->path_ = path;
   w->epoch_ = epoch;
   w->options_ = options;
@@ -284,19 +224,22 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
     std::string header(kWalMagic, sizeof(kWalMagic));
     binio::PutU32(&header, kWalFormatVersion);
     binio::PutU64(&header, epoch);
-    XUPD_RETURN_IF_ERROR(WriteFully(fd, header.data(), header.size(),
-                                    "cannot write WAL header", path));
+    XUPD_RETURN_IF_ERROR(WriteFully(w->file_.get(), header.data(),
+                                    header.size(), "cannot write WAL header",
+                                    path));
     // The file's directory entry must be durable before any commit unit
     // can claim to be: fsyncing the file alone does not persist a freshly
     // created name. kNone makes no power-loss promise, so it skips this.
     if (options.sync_mode != SyncMode::kNone) {
-      XUPD_RETURN_IF_ERROR(SyncParentDir(path));
+      if ((err = vfs->SyncDir(path)) != 0) {
+        return ErrnoStatus("cannot fsync WAL directory", path, err);
+      }
     }
     w->file_size_ = kWalHeaderSize;
     w->dirty_ = true;
   } else {
-    if (::lseek(fd, static_cast<off_t>(resume_offset), SEEK_SET) < 0) {
-      return ErrnoStatus("cannot seek WAL", path);
+    if ((err = w->file_->Seek(resume_offset)) != 0) {
+      return ErrnoStatus("cannot seek WAL", path, err);
     }
     w->file_size_ = resume_offset;
     w->dirty_ = true;
@@ -310,11 +253,14 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
   if (options.sync_mode != SyncMode::kNone) {
     XUPD_RETURN_IF_ERROR(w->Sync());
   }
+  // The prefix up to here was either just fsynced or (kNone) validated by
+  // replay; either way it is the newest boundary known to be on disk.
+  w->synced_size_ = w->file_size_;
   return w;
 }
 
 WalWriter::~WalWriter() {
-  if (fd_ >= 0) ::close(fd_);
+  if (file_ != nullptr) (void)file_->Close();
 }
 
 void WalWriter::TruncatePending(const Mark& m) {
@@ -409,7 +355,7 @@ uint16_t WalWriter::TableId(const std::string& name) {
     // wrapped id would alias an earlier table and corrupt replay silently.
     // CommitPending surfaces the error at the next unit boundary;
     // checkpointing opens a fresh file with an empty dictionary.
-    broken_ = true;
+    MarkBroken("per-file table-id space exhausted");
     return 0xFFFF;
   }
   uint16_t id = next_table_id_++;
@@ -485,26 +431,27 @@ Status WalWriter::CommitPending(int64_t next_id) {
   if (pending_.empty()) return Status::OK();
   if (broken_) {
     return Status::Internal(
-        "WAL writer is fail-stopped (an append or fsync failed, the log "
-        "could not be reset after a checkpoint, or the per-file table-id "
-        "space was exhausted); the on-disk log ends at the last fully "
-        "persisted unit — reopen or checkpoint the database to resume");
+        "WAL writer is fail-stopped (" +
+        (broken_cause_.empty() ? std::string("unknown cause") : broken_cause_) +
+        "); the on-disk log ends at the last fully persisted unit — reopen "
+        "or heal the database to resume");
   }
   size_t frame = FrameBegin();
   binio::PutU8(&pending_, static_cast<uint8_t>(RecordKind::kCommit));
   binio::PutI64(&pending_, next_id);
   FrameEnd(frame);
 
-  Status write_status = WriteFully(fd_, pending_.data(), pending_.size(),
-                                   "cannot append to WAL", path_);
+  Status write_status = WriteFully(file_.get(), pending_.data(),
+                                   pending_.size(), "cannot append to WAL",
+                                   path_);
   if (!write_status.ok()) {
     // Fail-stop: a partial write left a torn frame in the file. Truncate
     // back to the last unit boundary (best effort) and refuse further
     // appends — if garbage stayed mid-file, replay would end there and
     // silently drop every unit written after it.
-    (void)::ftruncate(fd_, static_cast<off_t>(file_size_));
-    (void)::lseek(fd_, static_cast<off_t>(file_size_), SEEK_SET);
-    broken_ = true;
+    (void)file_->Truncate(file_size_);
+    (void)file_->Seek(file_size_);
+    MarkBroken(write_status.message());
     pending_.clear();
     pending_records_ = 0;
     for (const auto& [name, id, offset] : pending_defs_) {
@@ -541,25 +488,27 @@ Status WalWriter::CommitPending(int64_t next_id) {
 
 Status WalWriter::Sync() {
   if (!dirty_) return Status::OK();
-  if (::fsync(fd_) != 0) {
+  if (int err = file_->Sync(); err != 0) {
     // Fail-stop on fsync failure too: the kernel may have DROPPED the dirty
     // pages (fsync-gate semantics), so a unit that reported a commit error
     // may be missing from disk — letting later units commit "successfully"
     // behind the hole would break the committed-prefix recovery guarantee.
-    broken_ = true;
-    return ErrnoStatus("cannot fsync WAL", path_);
+    Status s = ErrnoStatus("cannot fsync WAL", path_, err);
+    MarkBroken(s.message());
+    return s;
   }
   dirty_ = false;
   commits_since_sync_ = 0;
+  synced_size_ = file_size_;
   ++stats_->wal_fsyncs;
   return Status::OK();
 }
 
 Status WalWriter::Close() {
-  if (fd_ < 0) return Status::OK();
+  if (file_ == nullptr) return Status::OK();
   Status s = Sync();
-  ::close(fd_);
-  fd_ = -1;
+  (void)file_->Close();
+  file_ = nullptr;
   return s;
 }
 
@@ -612,11 +561,12 @@ Status ApplyRecord(Database* db, const PendingRecord& rec) {
 
 }  // namespace
 
-Result<WalReplayResult> ReplayWal(Database* db, const std::string& path,
+Result<WalReplayResult> ReplayWal(Database* db, Vfs* vfs,
+                                  const std::string& path,
                                   uint64_t snapshot_epoch) {
   // Read the whole file (WALs are truncated at every checkpoint; between
   // checkpoints they are bounded by the update volume since the last one).
-  auto read = ReadWholeFile(path);
+  auto read = ReadWholeFile(vfs, path);
   if (!read.ok()) {
     if (read.status().code() == StatusCode::kNotFound) {
       return WalReplayResult{};  // no WAL: start fresh.
@@ -761,6 +711,88 @@ Result<WalReplayResult> ReplayWal(Database* db, const std::string& path,
   // Records after the last commit frame (an uncommitted or torn unit) are
   // discarded; the caller truncates the file back to valid_bytes.
   return out;
+}
+
+std::vector<std::string> VerifyWalFile(Vfs* vfs, const std::string& path,
+                                       uint64_t expected_epoch,
+                                       uint64_t writer_epoch,
+                                       uint64_t writer_bytes) {
+  std::vector<std::string> violations;
+  auto read = ReadWholeFile(vfs, path);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      if (expected_epoch != 0) {
+        violations.push_back("WAL file missing: '" + path + "'");
+      }
+      return violations;
+    }
+    violations.push_back("WAL unreadable: " + read.status().message());
+    return violations;
+  }
+  const std::string& data = read.value();
+  if (data.empty()) return violations;  // created but never written: clean.
+  if (std::memcmp(data.data(), kWalMagic,
+                  std::min(data.size(), sizeof(kWalMagic))) != 0) {
+    violations.push_back("WAL header corrupt: '" + path + "'");
+    return violations;
+  }
+  if (data.size() < kWalHeaderSize) {
+    // A torn header write — ReplayWal resets such a file, so it is clean.
+    return violations;
+  }
+  binio::Reader header(data.data() + sizeof(kWalMagic),
+                       kWalHeaderSize - sizeof(kWalMagic));
+  uint32_t version = header.U32();
+  uint64_t epoch = header.U64();
+  if (version != kWalFormatVersion) {
+    violations.push_back("WAL version mismatch: file has " +
+                         std::to_string(version));
+  }
+  // A file epoch BEHIND the expected one is a stale pre-checkpoint log that
+  // recovery ignores (and a failed post-checkpoint reset legitimately leaves
+  // the file one epoch ahead of the broken old writer — the caller folds the
+  // snapshot's epoch into expected_epoch). Only a file ahead of everything
+  // durable is inconsistent: replay would have no snapshot to anchor it.
+  if (expected_epoch != 0 && epoch > expected_epoch) {
+    violations.push_back("WAL epoch " + std::to_string(epoch) +
+                         " is ahead of the expected epoch " +
+                         std::to_string(expected_epoch));
+  }
+  size_t pos = kWalHeaderSize;
+  size_t last_boundary = kWalHeaderSize;
+  while (pos < data.size()) {
+    // Any tear — a partial frame header, a frame running past EOF, a CRC
+    // mismatch — ends the log exactly as it ends it for ReplayWal: the
+    // bytes beyond the last commit boundary are a discardable crash
+    // artifact (e.g. the torn tail a power loss leaves when the writer's
+    // fail-stop truncate could no longer run), not corruption of anything
+    // committed. Lost committed data is caught below instead.
+    if (pos + 8 > data.size()) break;
+    binio::Reader frame(data.data() + pos, 8);
+    uint32_t len = frame.U32();
+    uint32_t crc = frame.U32();
+    if (len > kMaxFramePayload || pos + 8 + len > data.size()) break;
+    const char* payload = data.data() + pos + 8;
+    if (binio::Crc32(payload, len) != crc) break;
+    if (len > 0 &&
+        static_cast<RecordKind>(static_cast<uint8_t>(payload[0])) ==
+            RecordKind::kCommit) {
+      last_boundary = pos + 8 + len;
+    }
+    pos += 8 + len;
+  }
+  // The open writer knows how many bytes it durably committed; a replay of
+  // this file ending short of that loses committed units. Only meaningful
+  // when the file belongs to that writer's epoch (a failed post-checkpoint
+  // reset leaves a fresh next-epoch file the old writer's count predates).
+  if (writer_epoch != 0 && epoch == writer_epoch && writer_bytes != 0 &&
+      last_boundary < writer_bytes) {
+    violations.push_back(
+        "WAL lost committed data: last commit boundary at " +
+        std::to_string(last_boundary) + ", writer committed " +
+        std::to_string(writer_bytes) + " bytes");
+  }
+  return violations;
 }
 
 }  // namespace xupd::rdb

@@ -53,6 +53,7 @@
 #include "common/result.h"
 #include "rdb/stats.h"
 #include "rdb/value.h"
+#include "rdb/vfs.h"
 
 namespace xupd::rdb {
 
@@ -74,6 +75,9 @@ struct DurabilityOptions {
   SyncMode sync_mode = SyncMode::kCommit;
   /// kBatched: commit units between fsyncs.
   int group_commit_interval = 32;
+  /// Filesystem to run all durable I/O through; null means Vfs::Default().
+  /// Tests interpose a FaultVfs here (rdb/vfs.h).
+  Vfs* vfs = nullptr;
 };
 
 // --- binary encoding helpers (shared with rdb/snapshot.cc) -----------------
@@ -130,7 +134,7 @@ class WalWriter {
   /// not re-emit them under fresh ids. A reset (`resume_offset == 0`)
   /// starts with an empty dictionary.
   static Result<std::unique_ptr<WalWriter>> Open(
-      const std::string& path, uint64_t epoch, uint64_t resume_offset,
+      Vfs* vfs, const std::string& path, uint64_t epoch, uint64_t resume_offset,
       const DurabilityOptions& options, Stats* stats,
       const std::vector<std::pair<std::string, uint16_t>>* table_ids =
           nullptr);
@@ -139,6 +143,12 @@ class WalWriter {
   WalWriter& operator=(const WalWriter&) = delete;
 
   uint64_t epoch() const { return epoch_; }
+  /// Bytes (header included) up to the last successfully fsynced commit
+  /// boundary — the on-disk file must hold at least this committed prefix
+  /// even across a power loss (scrub anchor; anything beyond it is
+  /// acknowledged-but-unsynced work or discardable tail). Units acked under
+  /// kNone/kBatched before their group sync are intentionally not counted.
+  uint64_t committed_bytes() const { return synced_size_; }
 
   /// A position in the pending buffer; taken at transaction-scope Begin and
   /// restored on rollback (mirrors the undo log's scope boundaries).
@@ -172,8 +182,16 @@ class WalWriter {
   /// returns an error (reads — which never have pending redo — are
   /// unaffected). Used when the WAL file could not be reset after a
   /// checkpoint, so durable writes fail loudly instead of silently
-  /// diverging from disk.
-  void MarkBroken() { broken_ = true; }
+  /// diverging from disk. The first cause is kept for diagnostics (the
+  /// Database surfaces it in read-only mode).
+  void MarkBroken(std::string cause) {
+    broken_ = true;
+    if (broken_cause_.empty()) broken_cause_ = std::move(cause);
+  }
+  bool broken() const { return broken_; }
+  /// Human-readable description of the first failure that fail-stopped this
+  /// writer (operation + path + symbolic errno); empty when not broken.
+  const std::string& broken_cause() const { return broken_cause_; }
 
   /// fsync now if anything written is unsynced.
   Status Sync();
@@ -198,7 +216,7 @@ class WalWriter {
   /// id instead of 4 + len on the name.
   uint16_t TableId(const std::string& name);
 
-  int fd_ = -1;
+  std::unique_ptr<VfsFile> file_;
   std::string path_;
   uint64_t epoch_ = 0;
   DurabilityOptions options_;
@@ -216,9 +234,13 @@ class WalWriter {
   /// File length after the last fully written unit — where a failed append
   /// truncates back to before the writer fail-stops.
   uint64_t file_size_ = 0;
+  /// file_size_ as of the last successful fsync: the newest boundary the
+  /// disk is guaranteed to retain across power loss (committed_bytes()).
+  uint64_t synced_size_ = 0;
   /// Set when an append failed mid-write: the writer refuses further
   /// commits so the on-disk log always ends at a unit boundary.
   bool broken_ = false;
+  std::string broken_cause_;
 };
 
 // --- recovery --------------------------------------------------------------
@@ -234,31 +256,28 @@ struct WalReplayResult {
   std::vector<std::pair<std::string, uint16_t>> table_ids;
 };
 
-// --- shared file helpers (wal.cc, snapshot.cc) -----------------------------
-
-/// "<what> '<path>': <strerror(errno)>" as an Internal status.
-Status ErrnoStatus(const std::string& what, const std::string& path);
-
-/// write(2) with the EINTR/short-write retry loop.
-Status WriteFully(int fd, const char* data, size_t size,
-                  const std::string& what, const std::string& path);
-
-/// Reads the whole file into a string. A missing file is NotFound (callers
-/// distinguish "no log yet" from real I/O errors); other failures Internal.
-Result<std::string> ReadWholeFile(const std::string& path);
-
-/// fsyncs the directory containing `path`, making its directory entries
-/// (file creations, renames, truncations) durable. Shared by the WAL
-/// writer (fresh-file creation) and the snapshot rename.
-Status SyncParentDir(const std::string& path);
-
 /// Replays the committed prefix of the WAL at `path` into `db` (which must
 /// already hold the snapshot state of `snapshot_epoch`). Torn or corrupt
 /// frames end the log silently (crash semantics); a WAL whose epoch predates
 /// the snapshot is ignored; a bad header or a record that cannot be applied
 /// (e.g. an insert whose row id does not line up) is a hard error.
-Result<WalReplayResult> ReplayWal(Database* db, const std::string& path,
+Result<WalReplayResult> ReplayWal(Database* db, Vfs* vfs,
+                                  const std::string& path,
                                   uint64_t snapshot_epoch);
+
+/// Integrity scrub: re-walks the WAL file's header and frame CRCs with the
+/// same tolerance as ReplayWal — a torn or CRC-failing tail is a crash
+/// artifact recovery discards, not a violation. What IS flagged: a corrupt
+/// header, a version mismatch, a file epoch ahead of `expected_epoch`
+/// (nothing durable could anchor it), and — when `writer_epoch`/
+/// `writer_bytes` describe the open writer and the file is that writer's
+/// epoch — a last commit boundary short of `writer_bytes`, meaning committed
+/// data was lost. Returns human-readable violations (empty = clean). A
+/// missing file is clean when `expected_epoch` is 0 (no writer open).
+std::vector<std::string> VerifyWalFile(Vfs* vfs, const std::string& path,
+                                       uint64_t expected_epoch,
+                                       uint64_t writer_epoch = 0,
+                                       uint64_t writer_bytes = 0);
 
 }  // namespace xupd::rdb
 

@@ -423,6 +423,78 @@ TEST_F(WalCorruptionTest, BadCrcFrameEndsTheLogAtTheLastGoodCommit) {
   EXPECT_LT(which, states.size() - 1);  // the tail after the flip is gone
 }
 
+TEST_F(WalCorruptionTest, WalBitFlipSweepRecoversAPrefixOrFailsCleanly) {
+  // Exhaustive corruption sweep: flip one byte at EVERY offset of the WAL.
+  // Whatever the flip hits — magic, version, epoch, frame length, CRC,
+  // payload — recovery must either land on a committed prefix state (with
+  // the integrity scrub passing) or fail with a clean, described error.
+  // Garbage states and crashes are the only unacceptable outcomes.
+  std::vector<std::string> states = BuildUnits(4);
+  std::string wal = ReadFile(dir_.path() + "/wal.xupd");
+  ASSERT_GT(wal.size(), 20u);
+  for (size_t at = 0; at < wal.size(); ++at) {
+    std::string corrupted = wal;
+    corrupted[at] = static_cast<char>(corrupted[at] ^ 0x5A);
+    WriteFile(dir_.path() + "/wal.xupd", corrupted);
+    rdb::Database db;
+    Status s = db.Open(dir_.path());
+    if (s.ok()) {
+      std::string got = DumpDurableState(db);
+      bool is_prefix_state = false;
+      for (const std::string& state : states) {
+        if (got == state) {
+          is_prefix_state = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(is_prefix_state)
+          << "flip at byte " << at << " produced a non-prefix state";
+      std::vector<std::string> v = db.VerifyIntegrity();
+      EXPECT_TRUE(v.empty()) << "flip at byte " << at << ": " << v[0];
+    } else {
+      EXPECT_FALSE(s.message().empty()) << "flip at byte " << at;
+    }
+    // The writer truncated the torn tail; put the full log back.
+    WriteFile(dir_.path() + "/wal.xupd", wal);
+  }
+}
+
+TEST_F(WalCorruptionTest, SnapshotBitFlipSweepNeverRecoversGarbage) {
+  BuildUnits(2);
+  std::string at_checkpoint;
+  std::string final_state;
+  {
+    rdb::Database db;
+    ASSERT_TRUE(db.Open(dir_.path()).ok());
+    ASSERT_TRUE(db.Checkpoint().ok());
+    at_checkpoint = DumpDurableState(db);
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (100, 'post')").ok());
+    final_state = DumpDurableState(db);
+  }
+  std::string snap = ReadFile(dir_.path() + "/snapshot.xupd");
+  std::string wal = ReadFile(dir_.path() + "/wal.xupd");
+  ASSERT_FALSE(snap.empty());
+  for (size_t at = 0; at < snap.size(); ++at) {
+    std::string corrupted = snap;
+    corrupted[at] = static_cast<char>(corrupted[at] ^ 0x5A);
+    WriteFile(dir_.path() + "/snapshot.xupd", corrupted);
+    rdb::Database db;
+    Status s = db.Open(dir_.path());
+    if (s.ok()) {
+      // A flip the CRC does not cover (e.g. the epoch field) may demote the
+      // WAL to stale; the only legal outcomes are the exact checkpoint or
+      // final states — never a mixture.
+      std::string got = DumpDurableState(db);
+      EXPECT_TRUE(got == final_state || got == at_checkpoint)
+          << "flip at byte " << at << " produced a garbage state";
+    } else {
+      EXPECT_FALSE(s.message().empty()) << "flip at byte " << at;
+    }
+    WriteFile(dir_.path() + "/snapshot.xupd", snap);
+    WriteFile(dir_.path() + "/wal.xupd", wal);
+  }
+}
+
 TEST_F(WalCorruptionTest, WalVersionMismatchIsACleanError) {
   BuildUnits(2);
   std::string wal = ReadFile(dir_.path() + "/wal.xupd");
@@ -591,6 +663,12 @@ TEST(EngineRecoveryTest, ReopenedStoreIsIdenticalAcrossAllStrategies) {
     // trigger-maintained child tables all come back bit-for-bit.
     EXPECT_EQ(DumpDurableState(*reopened->db()), expected_state);
     EXPECT_EQ(SerializeStore(reopened.get()), expected_xml);
+    // Both scrub layers must find a recovered store indistinguishable from
+    // a freshly built one.
+    std::vector<std::string> iv = reopened->db()->VerifyIntegrity();
+    EXPECT_TRUE(iv.empty()) << iv[0];
+    std::vector<std::string> sv = reopened->VerifyStore();
+    EXPECT_TRUE(sv.empty()) << sv[0];
   }
 }
 
@@ -720,6 +798,8 @@ TEST(EngineRecoveryTest, CheckpointThenMutateThenRecover) {
   ASSERT_NE(reopened, nullptr);
   ASSERT_TRUE(reopened->recovered());
   EXPECT_EQ(DumpDurableState(*reopened->db()), expected);
+  EXPECT_TRUE(reopened->db()->VerifyIntegrity().empty());
+  EXPECT_TRUE(reopened->VerifyStore().empty());
 }
 
 // ---------------------------------------------------------------------------
