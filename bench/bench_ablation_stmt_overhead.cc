@@ -31,6 +31,9 @@ namespace {
 struct ModeResult {
   double seconds = 0;
   rdb::Stats stats;
+  /// Per-INSERT-statement latency percentiles (the stmt.insert histogram the
+  /// Database records always-on), scoped to the timed body.
+  bench::LatencySummary stmt;
 };
 
 ModeResult RunMode(int n, double latency_us,
@@ -42,11 +45,13 @@ ModeResult RunMode(int n, double latency_us,
   if (setup) setup(db);  // untimed, latency off: staging is not the workload
   db.set_statement_latency_us(latency_us);
   rdb::Stats before = db.stats();
+  db.metrics().GetHistogram("stmt.insert")->Reset();
   Stopwatch sw;
   body(db);
   ModeResult out;
   out.seconds = sw.ElapsedSeconds();
   out.stats = db.stats().Delta(before);
+  out.stmt = bench::Summarize(*db.metrics().GetHistogram("stmt.insert"));
   auto count = db.ExecuteQuery("SELECT COUNT(*) FROM t");
   if (!count.ok() || count->rows[0][0].AsInt() != n) {
     std::fprintf(stderr, "row count mismatch\n");
@@ -62,11 +67,14 @@ void Report(const char* mode, int n, double latency_us, const ModeResult& r) {
   std::printf(
       "{\"bench\":\"ablation_stmt_overhead\",\"mode\":\"%s\",\"rows\":%d,"
       "\"latency_us\":%.1f,\"seconds\":%.6f,\"us_per_row\":%.3f,"
+      "\"stmt_p50_us\":%.3f,\"stmt_p99_us\":%.3f,\"stmt_count\":%llu,"
       "\"statements\":%llu,\"sql_parses\":%llu,\"prepared_hits\":%llu,"
       "\"prepared_misses\":%llu,\"batched_rows\":%llu,"
       "\"plans_built\":%llu,\"plan_cache_hits\":%llu,"
       "\"sizeof_value\":%zu,\"peak_rss_kb\":%ld}\n",
       mode, n, latency_us, r.seconds, us_per_row,
+      r.stmt.p50_us, r.stmt.p99_us,
+      static_cast<unsigned long long>(r.stmt.count),
       static_cast<unsigned long long>(r.stats.statements),
       static_cast<unsigned long long>(r.stats.sql_parses),
       static_cast<unsigned long long>(r.stats.prepared_hits),

@@ -29,8 +29,9 @@ using engine::RelationalStore;
 namespace {
 
 struct ModeResult {
-  double seconds = 0;
+  double seconds = 0;  ///< median of counted runs (histogram-backed).
   rdb::Stats stats;
+  Histogram run_ns;  ///< one sample per counted run.
 };
 
 using Op = std::function<Status(RelationalStore*)>;
@@ -64,7 +65,6 @@ std::array<ModeResult, N> MeasureInterleaved(
     const workload::GeneratedDoc& gen, RelationalStore::Options options,
     const Op& op, int runs, const std::array<ModeSpec, N>& modes) {
   std::array<ModeResult, N> out{};
-  int counted = 0;
   for (int r = 0; r < runs; ++r) {
     for (size_t m = 0; m < N; ++m) {
       options.transactional = modes[m].transactional;
@@ -83,14 +83,15 @@ std::array<ModeResult, N> MeasureInterleaved(
         std::abort();
       }
       if (r > 0) {
-        out[m].seconds += t;
+        out[m].run_ns.Record(static_cast<uint64_t>(t * 1e9));
         out[m].stats = store->stats().Delta(before);
       }
     }
-    if (r > 0) ++counted;
   }
+  // Histogram-backed medians: one outlier run no longer skews the mode
+  // comparison the overhead_pct gate rides on.
   for (size_t m = 0; m < N; ++m) {
-    if (counted > 0) out[m].seconds /= counted;
+    out[m].seconds = out[m].run_ns.Percentile(50) / 1e9;
   }
   return out;
 }
@@ -102,10 +103,12 @@ void Report(const char* op_name, const char* strategy, const char* mode,
   std::printf(
       "{\"bench\":\"ablation_txn_overhead\",\"op\":\"%s\",\"strategy\":\"%s\","
       "\"mode\":\"%s\",\"seconds\":%.6f,\"overhead_pct\":%.2f,"
+      "\"run_p50_us\":%.1f,\"run_p99_us\":%.1f,"
       "\"statements\":%llu,\"trigger_statements\":%llu,"
       "\"txn_begins\":%llu,\"txn_commits\":%llu,\"txn_rollbacks\":%llu,"
       "\"undo_records\":%llu}\n",
       op_name, strategy, mode, r.seconds, overhead_pct,
+      r.run_ns.Percentile(50) / 1e3, r.run_ns.Percentile(99) / 1e3,
       static_cast<unsigned long long>(r.stats.statements),
       static_cast<unsigned long long>(r.stats.trigger_statements),
       static_cast<unsigned long long>(r.stats.txn_begins),

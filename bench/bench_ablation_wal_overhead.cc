@@ -83,6 +83,12 @@ struct ModeResult {
   double recovery_seconds = 0;
   rdb::Stats stats;
   uint64_t replayed = 0;
+  /// Per-run op wall times (ns) — the JSON row's run_p50_us comes from here
+  /// instead of the noise-prone single average.
+  Histogram run_ns;
+  /// wal.commit_unit samples merged across every counted run's store (the
+  /// load's commit units are included — same sync mode, more samples).
+  Histogram commit_ns;
 };
 
 using Op = std::function<Status(RelationalStore*)>;
@@ -141,6 +147,10 @@ std::array<ModeResult, N> MeasureInterleaved(
         out[m].recovery_seconds += recovery_seconds;
         out[m].stats = store->stats().Delta(before);
         out[m].replayed = replayed;
+        out[m].run_ns.Record(static_cast<uint64_t>(t * 1e9));
+        const Histogram* commit =
+            store->db()->metrics().FindHistogram("wal.commit_unit");
+        if (commit != nullptr) out[m].commit_ns.Merge(*commit);
       }
     }
     if (r > 0) ++counted;
@@ -161,11 +171,17 @@ void Report(const char* strategy, const char* mode, const ModeResult& r,
   std::printf(
       "{\"bench\":\"ablation_wal_overhead\",\"strategy\":\"%s\","
       "\"mode\":\"%s\",\"seconds\":%.6f,\"overhead_pct\":%.2f,"
+      "\"run_p50_us\":%.1f,\"commit_p50_us\":%.3f,\"commit_p99_us\":%.3f,"
+      "\"commit_units\":%llu,"
       "\"recovery_seconds\":%.6f,\"wal_appends\":%llu,\"wal_bytes\":%llu,"
       "\"wal_fsyncs\":%llu,\"recovery_replayed\":%llu,"
       "\"wal_bytes_per_record\":%.1f,\"sizeof_value\":%zu,"
       "\"peak_rss_kb\":%ld}\n",
-      strategy, mode, r.seconds, overhead_pct, r.recovery_seconds,
+      strategy, mode, r.seconds, overhead_pct,
+      r.run_ns.Percentile(50) / 1e3, r.commit_ns.Percentile(50) / 1e3,
+      r.commit_ns.Percentile(99) / 1e3,
+      static_cast<unsigned long long>(r.commit_ns.count()),
+      r.recovery_seconds,
       static_cast<unsigned long long>(r.stats.wal_appends),
       static_cast<unsigned long long>(r.stats.wal_bytes),
       static_cast<unsigned long long>(r.stats.wal_fsyncs),
@@ -228,7 +244,6 @@ int main(int argc, char** argv) {
       so.data_dir = sdir.path();
       auto store = bench::FreshStore(*gen, so);
       ModeResult r{};
-      int counted = 0;
       for (int i = 0; i < runs; ++i) {
         Stopwatch sw;
         size_t v = store->db()->VerifyIntegrity().size() +
@@ -238,12 +253,14 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "scrub found %zu violations\n", v);
           std::abort();
         }
-        if (i > 0) {
-          r.seconds += t;
-          ++counted;
-        }
+        if (i > 0) r.run_ns.Record(static_cast<uint64_t>(t * 1e9));
       }
-      if (counted > 0) r.seconds /= counted;
+      // Histogram-backed median: one outlier run (page cache miss, CI
+      // neighbor) no longer drags the reported scrub cost.
+      r.seconds = r.run_ns.Percentile(50) / 1e9;
+      const Histogram* commit =
+          store->db()->metrics().FindHistogram("wal.commit_unit");
+      if (commit != nullptr) r.commit_ns.Merge(*commit);
       double overhead =
           base > 0 ? 100.0 * (r.seconds - base) / base : 0.0;
       Report(ToString(method), "scrub", r, overhead);

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
       options.delete_strategy = DeleteStrategy::kCascade;
       options.insert_strategy = InsertStrategy::kTuple;
       options.insert_batch_size = batch;
-      double t = bench::MeasureOnFreshStores(
+      bench::MeasuredRuns t = bench::MeasureOnFreshStores(
           *gen, options,
           [](engine::RelationalStore* store) {
             Status s = store->CopySubtreesWhere("n1", "", store->root_id());
@@ -70,8 +70,11 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"fig10_insert_bulk_depth\",\"sweep\":"
           "\"insert_batch_size\",\"batch\":%d,\"depth\":%d,\"sf\":100,"
-          "\"seconds\":%.6f,\"sizeof_value\":%zu,\"peak_rss_kb\":%ld}\n",
-          batch, depth, t, sizeof(rdb::Value), bench::PeakRssKb());
+          "\"seconds\":%.6f,\"run_p50_us\":%.1f,\"run_p99_us\":%.1f,"
+          "\"sizeof_value\":%zu,\"peak_rss_kb\":%ld}\n",
+          batch, depth, t.avg_seconds, t.run_ns.Percentile(50) / 1e3,
+          t.run_ns.Percentile(99) / 1e3, sizeof(rdb::Value),
+          bench::PeakRssKb());
     }
   }
   return 0;

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
       options.delete_strategy = DeleteStrategy::kCascade;
       options.insert_strategy = InsertStrategy::kTuple;
       options.insert_batch_size = batch;
-      double t = bench::MeasureOnFreshStores(
+      bench::MeasuredRuns t = bench::MeasureOnFreshStores(
           *gen, options,
           [&picked](engine::RelationalStore* store) {
             for (int64_t id : picked) {
@@ -87,8 +87,9 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"fig11_insert_random_depth\",\"sweep\":"
           "\"insert_batch_size\",\"batch\":%d,\"depth\":%d,\"sf\":100,"
-          "\"seconds\":%.6f}\n",
-          batch, depth, t);
+          "\"seconds\":%.6f,\"run_p50_us\":%.1f,\"run_p99_us\":%.1f}\n",
+          batch, depth, t.avg_seconds, t.run_ns.Percentile(50) / 1e3,
+          t.run_ns.Percentile(99) / 1e3);
     }
   }
   return 0;

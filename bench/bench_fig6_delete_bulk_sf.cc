@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     for (DeleteStrategy method : methods) {
-      double t = MeasureOnFreshStores(
+      bench::MeasuredRuns t = MeasureOnFreshStores(
           *gen, method, InsertStrategy::kTable,
           [](engine::RelationalStore* store) {
             Status s = store->DeleteWhere("n1", "");
@@ -42,9 +42,12 @@ int main(int argc, char** argv) {
       bench::PrintPoint(ToString(method), sf, t);
       std::printf(
           "{\"bench\":\"fig6_delete_bulk_sf\",\"method\":\"%s\","
-          "\"sf\":%d,\"seconds\":%.6f,\"sizeof_value\":%zu,"
+          "\"sf\":%d,\"seconds\":%.6f,\"run_p50_us\":%.1f,"
+          "\"run_p99_us\":%.1f,\"sizeof_value\":%zu,"
           "\"peak_rss_kb\":%ld}\n",
-          ToString(method), sf, t, sizeof(rdb::Value), bench::PeakRssKb());
+          ToString(method), sf, t.avg_seconds, t.run_ns.Percentile(50) / 1e3,
+          t.run_ns.Percentile(99) / 1e3, sizeof(rdb::Value),
+          bench::PeakRssKb());
     }
   }
   return 0;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "engine/store.h"
@@ -21,6 +22,39 @@ namespace xupd::bench {
 
 struct HarnessOptions {
   int runs = 5;  ///< total runs; first discarded.
+};
+
+/// Percentile summary of an engine latency histogram (samples are
+/// nanoseconds; reported in microseconds for bench JSON rows).
+struct LatencySummary {
+  uint64_t count = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+inline LatencySummary Summarize(const Histogram& h) {
+  LatencySummary s;
+  s.count = h.count();
+  s.p50_us = h.Percentile(50) / 1000.0;
+  s.p95_us = h.Percentile(95) / 1000.0;
+  s.p99_us = h.Percentile(99) / 1000.0;
+  s.max_us = static_cast<double>(h.max()) / 1000.0;
+  return s;
+}
+
+/// Per-point measurement: the paper-protocol average plus percentiles of
+/// the counted runs' wall times (a Histogram over per-run ns), so JSON rows
+/// can carry median/tail columns instead of a single noise-prone average.
+/// Converts to double as the average — the paper-figure series stay as
+/// before; new columns read the percentiles explicitly.
+struct MeasuredRuns {
+  double avg_seconds = 0;
+  Histogram run_ns;  ///< one sample per counted run.
+  operator double() const { return avg_seconds; }
+  double median_seconds() const { return run_ns.Percentile(50) / 1e9; }
+  double p99_seconds() const { return run_ns.Percentile(99) / 1e9; }
 };
 
 /// Peak resident set size of this process so far, in KiB (ru_maxrss is KiB
@@ -61,12 +95,14 @@ inline std::unique_ptr<engine::RelationalStore> FreshStore(
 }
 
 /// Measures `op` on fresh stores built with explicit options: runs+1
-/// executions, first discarded, returns the average seconds.
-inline double MeasureOnFreshStores(
+/// executions, first discarded, returns the average seconds plus a per-run
+/// latency histogram (see MeasuredRuns).
+inline MeasuredRuns MeasureOnFreshStores(
     const workload::GeneratedDoc& gen,
     const engine::RelationalStore::Options& store_options,
     const std::function<void(engine::RelationalStore*)>& op,
     const HarnessOptions& options = {}) {
+  MeasuredRuns out;
   double total = 0;
   int counted = 0;
   for (int r = 0; r < options.runs; ++r) {
@@ -77,14 +113,16 @@ inline double MeasureOnFreshStores(
     if (r > 0) {
       total += t;
       ++counted;
+      out.run_ns.Record(static_cast<uint64_t>(t * 1e9));
     }
   }
-  return counted > 0 ? total / counted : 0.0;
+  out.avg_seconds = counted > 0 ? total / counted : 0.0;
+  return out;
 }
 
 /// Measures `op` on fresh stores: runs+1 executions, first discarded,
-/// returns the average seconds.
-inline double MeasureOnFreshStores(
+/// returns the average seconds plus a per-run latency histogram.
+inline MeasuredRuns MeasureOnFreshStores(
     const workload::GeneratedDoc& gen, engine::DeleteStrategy del,
     engine::InsertStrategy ins,
     const std::function<void(engine::RelationalStore*)>& op,

@@ -1,10 +1,13 @@
 // Quickstart: parse the paper's bio-lab document (Figure 1), run two update
-// statements from §4 against the native tree, and print the results.
+// statements from §4 against the native tree, and print the results — then a
+// short tour of the relational engine's observability surfaces (EXPLAIN
+// ANALYZE and the metrics snapshot).
 //
 //   $ ./quickstart
 #include <cstdio>
 #include <string>
 
+#include "rdb/database.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xquery/executor.h"
@@ -80,5 +83,33 @@ int main() {
   }
   std::printf("After Example 2 (biologist smith1 extended):\n%s\n",
               xml::Serialize(*doc->FindById("smith1")).c_str());
+
+  // 4. Observability tour: the relational engine under the XML store keeps
+  //    always-on latency histograms and can annotate any plan with actual
+  //    per-operator rows and times.
+  rdb::Database db;
+  (void)db.Execute("CREATE TABLE paper (id INT, parentId INT)");
+  (void)db.Execute("CREATE TABLE title (id INT, parentId INT)");
+  (void)db.Execute("CREATE INDEX title_parent ON title (parentId)");
+  for (int i = 0; i < 8; ++i) {
+    (void)db.Execute("INSERT INTO paper VALUES (" + std::to_string(i) +
+                     ", 0)");
+    (void)db.Execute("INSERT INTO title VALUES (" + std::to_string(100 + i) +
+                     ", " + std::to_string(i) + ")");
+  }
+  auto analyzed = db.ExecuteQuery(
+      "EXPLAIN ANALYZE SELECT title.id FROM paper, title "
+      "WHERE title.parentId = paper.id");
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "explain analyze error: %s\n",
+                 analyzed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("EXPLAIN ANALYZE of a parent/child join:\n");
+  for (const rdb::Row& row : analyzed->rows) {
+    std::printf("  %s\n", row[0].ToString().c_str());
+  }
+  std::printf("\nMetrics snapshot (statement histograms and counters):\n%s",
+              db.metrics().ExportText().c_str());
   return 0;
 }

@@ -1,0 +1,187 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace xupd {
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return static_cast<double>(min());
+  if (p >= 100) return static_cast<double>(max_);
+  // Rank of the target sample, 1-based; ceil so p=50 over 2 samples picks
+  // the first.
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const uint64_t n = buckets_[static_cast<size_t>(i)];
+    if (n == 0) continue;
+    if (static_cast<double>(seen + n) >= rank) {
+      // Interpolate linearly inside the bucket by how far the rank sits
+      // among its samples.
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(n);
+      const double v = static_cast<double>(BucketLowerBound(i)) +
+                       frac * static_cast<double>(BucketWidth(i));
+      return std::clamp(v, static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+    seen += n;
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+const char* ToString(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kStatement: return "statement";
+    case TraceEvent::Kind::kTxn: return "txn";
+    case TraceEvent::Kind::kWalUnit: return "wal_unit";
+    case TraceEvent::Kind::kFsync: return "fsync";
+    case TraceEvent::Kind::kCheckpoint: return "checkpoint";
+    case TraceEvent::Kind::kRecovery: return "recovery";
+    case TraceEvent::Kind::kScrub: return "scrub";
+    case TraceEvent::Kind::kEngineOp: return "engine_op";
+  }
+  return "unknown";
+}
+
+std::vector<TraceEvent> EventLog::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<std::string> EventLog::ToJsonLines() const {
+  std::vector<std::string> out;
+  out.reserve(size_);
+  char buf[256];
+  for (const TraceEvent& e : Events()) {
+    int n = std::snprintf(
+        buf, sizeof buf,
+        "{\"kind\":\"%s\",\"start_ns\":%" PRIu64 ",\"duration_ns\":%" PRIu64
+        ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 "%s%s%s}",
+        ToString(e.kind), e.start_ns, e.duration_ns, e.a, e.b,
+        e.detail != nullptr ? ",\"detail\":\"" : "",
+        e.detail != nullptr ? e.detail : "", e.detail != nullptr ? "\"" : "");
+    out.emplace_back(buf, static_cast<size_t>(std::max(n, 0)));
+  }
+  return out;
+}
+
+std::string EventLog::DumpJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (std::string& line : ToJsonLines()) {
+    if (!first) out += ',';
+    first = false;
+    out += line;
+  }
+  out += ']';
+  return out;
+}
+
+uint64_t* MetricsRegistry::Counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return &it->second;
+}
+
+int64_t* MetricsRegistry::Gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0).first;
+  }
+  return &it->second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.get() : nullptr;
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof buf, "%s %" PRIu64 "\n", name.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges_) {
+    std::snprintf(buf, sizeof buf, "%s %" PRId64 "\n", name.c_str(), value);
+    out += buf;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot s = hist->Snapshot();
+    std::snprintf(buf, sizeof buf,
+                  "%s.count %" PRIu64 "\n%s.p50 %.0f\n%s.p95 %.0f\n"
+                  "%s.p99 %.0f\n%s.max %" PRIu64 "\n%s.sum %" PRIu64 "\n",
+                  name.c_str(), s.count, name.c_str(), s.p50, name.c_str(),
+                  s.p95, name.c_str(), s.p99, name.c_str(), s.max,
+                  name.c_str(), s.sum);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[200];
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRIu64, first ? "" : ",",
+                  name.c_str(), value);
+    out += buf;
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRId64, first ? "" : ",",
+                  name.c_str(), value);
+    out += buf;
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot s = hist->Snapshot();
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"min\":%" PRIu64 ",\"max\":%" PRIu64
+                  ",\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}",
+                  first ? "" : ",", name.c_str(), s.count, s.sum, s.min, s.max,
+                  s.p50, s.p95, s.p99);
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace xupd

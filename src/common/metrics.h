@@ -1,0 +1,248 @@
+// Engine-wide observability primitives: a monotonic clock, log-bucketed
+// latency histograms, a registry of named counters/gauges/histograms, and a
+// fixed-size ring buffer of structured trace events.
+//
+// The paper's argument is experimental — figs. 6-11 attribute update cost
+// to strategy choices — so the engine must be able to say *where time went*,
+// not just how often things happened (that is rdb/stats.h's job). Everything
+// here is built to be always-on: recording a histogram sample is one clock
+// read plus one bucket increment, and recording a trace event is a struct
+// copy into a preallocated ring. Nothing allocates on the hot path.
+#ifndef XUPD_COMMON_METRICS_H_
+#define XUPD_COMMON_METRICS_H_
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xupd {
+
+/// Nanoseconds on the monotonic clock. All histogram samples and event
+/// timestamps use this time base; it is not wall time.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Point-in-time summary of a Histogram. Percentiles are interpolated
+/// within the matching bucket and clamped to the observed [min, max].
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Log-linear latency histogram (HdrHistogram-style): values below 16 get
+/// exact unit buckets; above that, each power-of-two octave is split into
+/// 16 linear sub-buckets, so relative error is bounded at ~6% across the
+/// full uint64 range. Record() is one std::bit_width plus one increment.
+///
+/// Samples are dimensionless; engine call sites record nanoseconds.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 4;                       // 16 sub-buckets
+  static constexpr int kSubCount = 1 << kSubBits;          // per octave
+  static constexpr int kFirstOctave = kSubBits;            // values >= 16
+  static constexpr int kLastOctave = 63;
+  static constexpr int kBucketCount =
+      kSubCount + (kLastOctave - kFirstOctave + 1) * kSubCount;
+
+  /// Bucket index for a value. Deterministic and exposed for tests:
+  /// BucketIndex(v) == v for v < 16; BucketIndex(32) starts a new octave.
+  static int BucketIndex(uint64_t value) {
+    if (value < kSubCount) return static_cast<int>(value);
+    const int octave = std::bit_width(value) - 1;  // >= kFirstOctave
+    const int shift = octave - kSubBits;
+    const int sub = static_cast<int>((value >> shift) - kSubCount);
+    return kSubCount + (octave - kFirstOctave) * kSubCount + sub;
+  }
+
+  /// Smallest value mapping to bucket `index`.
+  static uint64_t BucketLowerBound(int index) {
+    if (index < kSubCount) return static_cast<uint64_t>(index);
+    const int rel = index - kSubCount;
+    const int octave = rel / kSubCount + kFirstOctave;
+    const int sub = rel % kSubCount;
+    const int shift = octave - kSubBits;
+    return static_cast<uint64_t>(kSubCount + sub) << shift;
+  }
+
+  /// Width of bucket `index` (1 for the exact range).
+  static uint64_t BucketWidth(int index) {
+    if (index < kSubCount) return 1;
+    const int octave = (index - kSubCount) / kSubCount + kFirstOctave;
+    return uint64_t{1} << (octave - kSubBits);
+  }
+
+  void Record(uint64_t value) {
+    ++buckets_[static_cast<size_t>(BucketIndex(value))];
+    ++count_;
+    sum_ += value;
+    if (count_ == 1 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  uint64_t max() const { return max_; }
+
+  /// Value at percentile `p` in [0, 100]: linear interpolation inside the
+  /// bucket holding the p-th sample, clamped to [min, max] so single-sample
+  /// and narrow distributions report exact observed values. Returns 0 when
+  /// empty.
+  double Percentile(double p) const;
+
+  /// Adds every bucket (and count/sum/min/max) of `other` into this.
+  void Merge(const Histogram& other);
+
+  void Reset() { *this = Histogram{}; }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot s;
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min();
+    s.max = max_;
+    s.p50 = Percentile(50);
+    s.p95 = Percentile(95);
+    s.p99 = Percentile(99);
+    return s;
+  }
+
+ private:
+  std::array<uint64_t, kBucketCount> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// One structured trace event: a timestamped span with two numeric payload
+/// slots whose meaning depends on the kind (see the kind comments).
+/// `detail` must point at a string literal or other static storage — the
+/// ring never copies it, which keeps Record() allocation-free.
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    kStatement,   ///< one SQL statement; a = sql::Statement::Kind.
+    kTxn,         ///< outermost BEGIN..COMMIT/ROLLBACK; a = 1 if committed.
+    kWalUnit,     ///< one WAL commit unit; a = records, b = bytes.
+    kFsync,       ///< one WAL fsync.
+    kCheckpoint,  ///< snapshot + WAL truncation (snapshot.write histogram
+                  ///< holds the write alone).
+    kRecovery,    ///< startup replay; a = records replayed.
+    kScrub,       ///< integrity scrub; a = violations found.
+    kEngineOp,    ///< one engine/store.cc operation; a = SQL exec ns,
+                  ///< b = trigger-cascade ns; detail = op name.
+  };
+  Kind kind = Kind::kStatement;
+  uint64_t start_ns = 0;     ///< MonotonicNanos() at span start.
+  uint64_t duration_ns = 0;  ///< span length.
+  uint64_t a = 0;            ///< kind-specific payload.
+  uint64_t b = 0;            ///< kind-specific payload.
+  const char* detail = nullptr;  ///< static string or nullptr.
+};
+
+const char* ToString(TraceEvent::Kind kind);
+
+/// Fixed-capacity ring of TraceEvents. When full, the oldest event is
+/// overwritten and `dropped()` counts it; the engine can therefore trace
+/// forever with bounded memory and no branch-heavy bookkeeping.
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 1024) : ring_(capacity) {}
+
+  void Record(const TraceEvent& e) {
+    if (ring_.empty()) return;
+    if (size_ == ring_.size()) {
+      ring_[head_] = e;
+      head_ = (head_ + 1) % ring_.size();
+      ++dropped_;
+    } else {
+      ring_[(head_ + size_) % ring_.size()] = e;
+      ++size_;
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  void Clear() { size_ = head_ = 0; dropped_ = 0; }
+
+  /// Events oldest-first.
+  std::vector<TraceEvent> Events() const;
+
+  /// One JSON object per event, oldest-first.
+  std::vector<std::string> ToJsonLines() const;
+
+  /// The whole ring as a JSON array.
+  std::string DumpJson() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// Named counters, gauges, and histograms. Counter()/Gauge()/GetHistogram()
+/// are get-or-create and return pointers that stay valid for the registry's
+/// lifetime, so call sites resolve names once and then touch plain memory.
+/// Iteration and export are name-sorted for deterministic output.
+class MetricsRegistry {
+ public:
+  /// Monotonically increasing counter (caller increments through the
+  /// returned pointer).
+  uint64_t* Counter(std::string_view name);
+
+  /// Point-in-time gauge (caller assigns through the returned pointer).
+  int64_t* Gauge(std::string_view name);
+
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Existing histogram or nullptr (does not create).
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  template <typename Fn>  // fn(const std::string&, uint64_t)
+  void ForEachCounter(Fn&& fn) const {
+    for (const auto& [name, value] : counters_) fn(name, value);
+  }
+
+  template <typename Fn>  // fn(const std::string&, int64_t)
+  void ForEachGauge(Fn&& fn) const {
+    for (const auto& [name, value] : gauges_) fn(name, value);
+  }
+
+  template <typename Fn>  // fn(const std::string&, const Histogram&)
+  void ForEachHistogram(Fn&& fn) const {
+    for (const auto& [name, hist] : histograms_) fn(name, *hist);
+  }
+
+  /// "name value" per line; histograms expand to name.count / name.p50 /
+  /// name.p95 / name.p99 / name.max / name.sum.
+  std::string ExportText() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{snapshot...}}}.
+  std::string ExportJson() const;
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, int64_t, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace xupd
+
+#endif  // XUPD_COMMON_METRICS_H_

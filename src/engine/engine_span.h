@@ -1,0 +1,68 @@
+// RAII observability spans for engine/store.cc operations (internal).
+//
+// The paper's figures attribute whole-operation cost (fig. 6/10: seconds per
+// delete/insert strategy); the engine decomposes that further — how much of
+// an operation was SQL statement execution, and how much of THAT was trigger
+// cascade — by diffing the Database's db.exec_ns / db.trigger_ns registry
+// counters across the span. Each finished span records an engine.<op>
+// histogram sample plus one kEngineOp trace event.
+#ifndef XUPD_ENGINE_ENGINE_SPAN_H_
+#define XUPD_ENGINE_ENGINE_SPAN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/metrics.h"
+#include "rdb/database.h"
+
+namespace xupd::engine {
+
+/// Spans one public store operation. `op` must be a string literal: the
+/// trace ring keeps the pointer (see TraceEvent::detail).
+class EngineSpan {
+ public:
+  EngineSpan(rdb::Database* db, const char* op)
+      : db_(db),
+        op_(op),
+        exec_ns_(db->metrics().Counter("db.exec_ns")),
+        trigger_ns_(db->metrics().Counter("db.trigger_ns")),
+        t0_(MonotonicNanos()),
+        exec0_(*exec_ns_),
+        trigger0_(*trigger_ns_) {}
+  EngineSpan(const EngineSpan&) = delete;
+  EngineSpan& operator=(const EngineSpan&) = delete;
+  ~EngineSpan() {
+    const uint64_t dur = MonotonicNanos() - t0_;
+    db_->metrics().GetHistogram(std::string("engine.") + op_)->Record(dur);
+    db_->events().Record({TraceEvent::Kind::kEngineOp, t0_, dur,
+                          *exec_ns_ - exec0_, *trigger_ns_ - trigger0_, op_});
+  }
+
+ private:
+  rdb::Database* db_;
+  const char* op_;
+  uint64_t* exec_ns_;
+  uint64_t* trigger_ns_;
+  uint64_t t0_;
+  uint64_t exec0_;
+  uint64_t trigger0_;
+};
+
+/// Accumulates a scope's wall time into a registry counter — used to charge
+/// ASR maintenance (engine.asr_ns) inside whatever operation runs it.
+class ScopedNsCounter {
+ public:
+  explicit ScopedNsCounter(uint64_t* counter)
+      : counter_(counter), t0_(MonotonicNanos()) {}
+  ScopedNsCounter(const ScopedNsCounter&) = delete;
+  ScopedNsCounter& operator=(const ScopedNsCounter&) = delete;
+  ~ScopedNsCounter() { *counter_ += MonotonicNanos() - t0_; }
+
+ private:
+  uint64_t* counter_;
+  uint64_t t0_;
+};
+
+}  // namespace xupd::engine
+
+#endif  // XUPD_ENGINE_ENGINE_SPAN_H_

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "engine/engine_span.h"
 
 namespace xupd::engine {
 
@@ -224,6 +225,7 @@ Status RelationalStore::InstallTriggers() {
 }
 
 Status RelationalStore::Load(const xml::Document& doc) {
+  EngineSpan span(&db_, "load");
   if (options_.build_asr) {
     // Shred once; feed both the tables and the ASR.
     auto tuples = shredder_->ShredSubtree(*doc.root(), 0);
@@ -273,6 +275,7 @@ Status RelationalStore::DeleteWhere(const std::string& element,
     return Status::InvalidArgument("element <" + element +
                                    "> is not table-mapped");
   }
+  EngineSpan span(&db_, "delete_where");
   return RunInTxn([&] { return DeleteSubtreesImpl(tm, predicate); });
 }
 
@@ -285,6 +288,7 @@ Status RelationalStore::DeleteByIds(const std::string& element,
   }
   // One entry point = one transaction: the id batch lands or rolls back as a
   // unit (each id's delete still issues its own statements, §7.3).
+  EngineSpan span(&db_, "delete_by_ids");
   return RunInTxn([&]() -> Status {
     if (options_.delete_strategy == DeleteStrategy::kPerTupleTrigger ||
         options_.delete_strategy == DeleteStrategy::kPerStatementTrigger) {
@@ -358,6 +362,7 @@ Status RelationalStore::AsrDelete(const TableMapping* tm,
                                   const std::string& predicate) {
   // 6.1.3: mark ASR rows through the targets, delete descendants by id sets
   // from the ASR, delete the targets, repair left-completeness, unmark.
+  ScopedNsCounter asr_ns(db_.metrics().Counter("engine.asr_ns"));
   const std::string id_col = AsrManager::IdColumn(tm);
   std::string mark = std::string("UPDATE ") + AsrManager::kTableName +
                      " SET marked = 1 WHERE " + id_col + " IN (SELECT id FROM " +
@@ -467,6 +472,7 @@ Status RelationalStore::CopySubtreesWhere(const std::string& element,
     return Status::InvalidArgument("element <" + element +
                                    "> is not table-mapped");
   }
+  EngineSpan span(&db_, "copy_subtrees");
   switch (options_.insert_strategy) {
     case InsertStrategy::kTuple:
       return RunInTxn([&] { return TupleInsert(tm, predicate, dest_parent_id); });
@@ -661,6 +667,7 @@ Status RelationalStore::AsrInsert(const TableMapping* tm,
   // 6.2.3: mark ASR paths through the sources, compute the offset from the
   // ASR (no temp tables, no outer union), replicate per relation, add the
   // new ASR paths, unmark.
+  ScopedNsCounter asr_ns(db_.metrics().Counter("engine.asr_ns"));
   const std::string asr = AsrManager::kTableName;
   std::string mark = "UPDATE " + asr + " SET marked = 1 WHERE " +
                      AsrManager::IdColumn(tm) + " IN (SELECT id FROM " +
@@ -762,6 +769,7 @@ Status RelationalStore::AsrInsert(const TableMapping* tm,
 
 Status RelationalStore::InsertConstructed(const xml::Element& content,
                                           int64_t dest_parent_id) {
+  EngineSpan span(&db_, "insert_constructed");
   return RunInTxn(
       [&] { return InsertConstructedImpl(content, dest_parent_id); });
 }

@@ -31,6 +31,7 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "engine/engine_span.h"
 #include "engine/store.h"
 #include "xml/parser.h"
 #include "xpath/ast.h"
@@ -683,6 +684,7 @@ class Translator {
 }  // namespace
 
 Status RelationalStore::ExecuteXQueryUpdate(std::string_view query) {
+  EngineSpan span(db(), "xquery_update");
   auto stmt = xquery::ParseStatement(query);
   if (!stmt.ok()) return stmt.status();
   // Whole-statement atomicity (§6): bind + every sub-operation commit or

@@ -50,6 +50,48 @@ std::string MultiRowInsertSql(std::string_view table, size_t columns,
   return sql;
 }
 
+Database::Database() { InitMetrics(); }
+
+void Database::InitMetrics() {
+  static constexpr const char* kStmtHistNames[kStmtKindSlots] = {
+      "stmt.select", "stmt.insert", "stmt.delete", "stmt.update",
+      "stmt.ddl",    "stmt.txn",    "stmt.explain", "stmt.other",
+  };
+  for (size_t i = 0; i < kStmtKindSlots; ++i) {
+    stmt_hists_[i] = metrics_.GetHistogram(kStmtHistNames[i]);
+  }
+  exec_ns_ = metrics_.Counter("db.exec_ns");
+  trigger_ns_ = metrics_.Counter("db.trigger_ns");
+}
+
+size_t Database::StmtKindSlot(sql::Statement::Kind kind) {
+  switch (kind) {
+    case sql::Statement::Kind::kSelect:
+      return 0;
+    case sql::Statement::Kind::kInsert:
+      return 1;
+    case sql::Statement::Kind::kDelete:
+      return 2;
+    case sql::Statement::Kind::kUpdate:
+      return 3;
+    case sql::Statement::Kind::kCreateTable:
+    case sql::Statement::Kind::kCreateIndex:
+    case sql::Statement::Kind::kCreateTrigger:
+    case sql::Statement::Kind::kDrop:
+      return 4;
+    case sql::Statement::Kind::kBegin:
+    case sql::Statement::Kind::kCommit:
+    case sql::Statement::Kind::kRollback:
+    case sql::Statement::Kind::kSavepoint:
+    case sql::Statement::Kind::kRelease:
+      return 5;
+    case sql::Statement::Kind::kExplain:
+      return 6;
+    default:  // kCheckIntegrity, kShow
+      return 7;
+  }
+}
+
 bool Database::IsDdl(const sql::Statement& stmt) {
   switch (stmt.kind) {
     case sql::Statement::Kind::kCreateTable:
@@ -171,6 +213,7 @@ Status Database::Open(const std::string& dir,
 }
 
 Status Database::RecoverFromDir() {
+  const uint64_t t0 = MonotonicNanos();
   uint64_t epoch = 1;
   bool have_snapshot = false;
   if (vfs_->Exists(SnapshotPath(data_dir_))) {
@@ -193,7 +236,13 @@ Status Database::RecoverFromDir() {
                                 &stats_, &replay.table_ids);
   if (!writer.ok()) return writer.status();
   wal_ = std::move(writer).value();
+  wal_->AttachMetrics(metrics_.GetHistogram("wal.commit_unit"),
+                      metrics_.GetHistogram("wal.fsync"), &events_);
   txn_.AttachWal(wal_.get());
+  const uint64_t dur = MonotonicNanos() - t0;
+  metrics_.GetHistogram("db.recovery")->Record(dur);
+  events_.Record({TraceEvent::Kind::kRecovery, t0, dur,
+                  replay.applied_records, 0, nullptr});
   return Status::OK();
 }
 
@@ -212,6 +261,7 @@ Status Database::Checkpoint() {
     if (wal_->broken()) EnterReadOnly(unit);
     return unit;
   }
+  const uint64_t t0 = MonotonicNanos();
   const uint64_t new_epoch = wal_->epoch() + 1;
   bool renamed = false;
   Status snap = WriteSnapshot(*this, vfs_, SnapshotPath(data_dir_),
@@ -250,8 +300,13 @@ Status Database::Checkpoint() {
     return reopened.status();
   }
   wal_ = std::move(reopened).value();
+  wal_->AttachMetrics(metrics_.GetHistogram("wal.commit_unit"),
+                      metrics_.GetHistogram("wal.fsync"), &events_);
   txn_.AttachWal(wal_.get());
   ++stats_.checkpoints;
+  const uint64_t dur = MonotonicNanos() - t0;
+  metrics_.GetHistogram("db.checkpoint")->Record(dur);
+  events_.Record({TraceEvent::Kind::kCheckpoint, t0, dur, 0, 0, nullptr});
   return Status::OK();
 }
 
@@ -406,6 +461,7 @@ Status Database::TryHeal(int max_attempts) {
 }
 
 Status Database::Begin() {
+  if (!txn_.active()) txn_start_ns_ = MonotonicNanos();
   txn_.Begin(next_id_);
   return Status::OK();
 }
@@ -413,7 +469,14 @@ Status Database::Begin() {
 Status Database::Commit() {
   XUPD_RETURN_IF_ERROR(txn_.Commit());
   // The outermost commit makes the unit durable: flush its redo records.
-  if (!txn_.active()) return WalCommitUnit();
+  if (!txn_.active()) {
+    Status unit = WalCommitUnit();
+    const uint64_t dur = MonotonicNanos() - txn_start_ns_;
+    metrics_.GetHistogram("db.txn")->Record(dur);
+    events_.Record({TraceEvent::Kind::kTxn, txn_start_ns_, dur, 1, 0,
+                    nullptr});
+    return unit;
+  }
   return Status::OK();
 }
 
@@ -421,6 +484,12 @@ Status Database::Rollback() {
   auto next_id = txn_.Rollback();
   if (!next_id.ok()) return next_id.status();
   next_id_ = next_id.value();
+  if (!txn_.active()) {
+    const uint64_t dur = MonotonicNanos() - txn_start_ns_;
+    metrics_.GetHistogram("db.txn")->Record(dur);
+    events_.Record({TraceEvent::Kind::kTxn, txn_start_ns_, dur, 0, 0,
+                    nullptr});
+  }
   return Status::OK();
 }
 
@@ -479,9 +548,30 @@ Result<ResultSet> Database::RunStatement(const sql::Statement& stmt,
                                          PlanCacheSlot* slot) {
   // DDL invalidation happens inside the Executor, the choke point shared
   // by all entry paths.
+  const bool slow_enabled = slow_statement_threshold_us_ >= 0;
+  Stats before;
+  if (slow_enabled) before = stats_;
+  const uint64_t t0 = MonotonicNanos();
   Executor exec(this, params, sql_text);
   auto result = exec.Run(stmt, slot);
   Status wal = WalFlush();
+  const uint64_t dur = MonotonicNanos() - t0;
+  stmt_hists_[StmtKindSlot(stmt.kind)]->Record(dur);
+  *exec_ns_ += dur;
+  events_.Record({TraceEvent::Kind::kStatement, t0, dur,
+                  static_cast<uint64_t>(stmt.kind), 0, nullptr});
+  if (slow_enabled && dur >= slow_statement_threshold_us_ * 1000.0) {
+    SlowStatement slow;
+    slow.sql = std::string(sql_text);
+    slow.duration_ns = dur;
+    slow.delta = stats_.Delta(before);
+    if (exec.last_plan() != nullptr) slow.plan = PlanToString(*exec.last_plan());
+    if (slow_log_.size() >= slow_log_capacity_) {
+      slow_log_.erase(slow_log_.begin());
+    }
+    slow_log_.push_back(std::move(slow));
+    ++stats_.slow_statements;
+  }
   if (!result.ok()) return result;
   if (!wal.ok()) return wal;
   return result;

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/str_util.h"
 #include "rdb/planner.h"
@@ -57,7 +58,7 @@ std::string MultiRowInsertSql(std::string_view table, size_t columns,
 
 class Database {
  public:
-  Database() = default;
+  Database();
   /// Flushes and closes the WAL when durability is open (pending records of
   /// an open transaction are discarded — only committed units persist).
   ~Database();
@@ -276,6 +277,69 @@ class Database {
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
+  // --- observability (common/metrics.h) ------------------------------------
+  //
+  // Always-on latency attribution next to the Stats event counts. Four
+  // surfaces, cheapest first:
+  //
+  //  * Histograms + counters: every statement records its wall time into a
+  //    per-kind histogram (stmt.select / stmt.insert / stmt.delete /
+  //    stmt.update / stmt.ddl / stmt.txn / stmt.explain / stmt.other, in
+  //    nanoseconds); the WAL records wal.commit_unit and wal.fsync; the
+  //    checkpoint/recovery/scrub paths record db.checkpoint, snapshot.write,
+  //    db.recovery and db.scrub; outermost transactions record db.txn; and
+  //    engine/store.cc operations record engine.<op> spans. SQL
+  //    `SHOW METRICS` returns all of it — stats.* fields, registry counters
+  //    (db.exec_ns, db.trigger_ns, engine.asr_ns), and <hist>.count/.p50_ns/
+  //    .p95_ns/.p99_ns/.max_ns/.sum_ns rows — and `SHOW HEALTH` wraps
+  //    health(). Per-statement overhead is two clock reads and a bucket
+  //    increment; the cached-prepared CI budget holds with it on.
+  //
+  //  * EXPLAIN ANALYZE <stmt>: executes the statement and returns the plan
+  //    annotated with per-operator actual rows / loops / time_us plus a
+  //    final "Execution: rows=N time_us=T" summary. Trigger cascades run but
+  //    are reported in db.trigger_ns, not in plan operators.
+  //
+  //  * Slow-statement log: set_slow_statement_threshold_us(t) captures every
+  //    top-level statement at or above t microseconds — SQL text, Stats
+  //    delta (including its cascade), and plan when one was built — into a
+  //    bounded ring readable via slow_statements() or SQL `SHOW SLOW`.
+  //    Threshold < 0 (default) disables capture entirely.
+  //
+  //  * Structured events: events() is a fixed-size ring of TraceEvent spans
+  //    (statement / txn / WAL unit / fsync / checkpoint / recovery / scrub /
+  //    engine op) with kind-specific payloads; `SHOW EVENTS` or
+  //    events().DumpJson() exports it. bench/harness.h turns the histograms
+  //    into the p50/p99 columns of bench JSON rows (e.g. commit_p50_us /
+  //    commit_p99_us in the WAL ablation): medians of per-run samples, so
+  //    single-run noise stays out of checked-in numbers.
+
+  /// Mutable even on const Database: observability is not logical state
+  /// (read-only paths like snapshot writing record their own timings).
+  MetricsRegistry& metrics() const { return metrics_; }
+  EventLog& events() const { return events_; }
+
+  /// One captured slow statement (see the observability comment).
+  struct SlowStatement {
+    std::string sql;           ///< original text ("" for unseen text).
+    uint64_t duration_ns = 0;  ///< wall time including trigger cascade.
+    Stats delta;               ///< stats delta over the statement.
+    std::string plan;          ///< rendered plan ("" when none was built).
+  };
+  /// Capture threshold in microseconds; negative (default) disables the
+  /// slow log and its per-statement stats snapshot.
+  void set_slow_statement_threshold_us(double us) {
+    slow_statement_threshold_us_ = us;
+  }
+  double slow_statement_threshold_us() const {
+    return slow_statement_threshold_us_;
+  }
+  /// Captured entries, oldest first (bounded; oldest evicted).
+  const std::vector<SlowStatement>& slow_statements() const {
+    return slow_log_;
+  }
+  void clear_slow_statements() { slow_log_.clear(); }
+
   /// The per-Database string arena: long string values stored into any
   /// catalog table are deduplicated against it (rdb/value.h). Exposed for
   /// tests and memory introspection.
@@ -372,6 +436,14 @@ class Database {
   /// Bumps the per-table plan-dependency counter for `name`.
   void BumpTableVersion(std::string_view name);
 
+  /// Resolves the statement-kind histograms and hot counters once (ctor).
+  void InitMetrics();
+  /// Histogram slot for a statement kind (see kStmtHistNames).
+  static size_t StmtKindSlot(sql::Statement::Kind kind);
+  /// Charges a finished trigger cascade's wall time (Executor calls this at
+  /// cascade root; engine spans read the counter to decompose op cost).
+  void AddTriggerNs(uint64_t ns) { *trigger_ns_ += ns; }
+
   /// String arena every table dedups long values against. Safe in any
   /// destruction order relative to tables_: interned Values carry their own
   /// references, so blocks outlive whichever of table or arena dies first.
@@ -383,6 +455,22 @@ class Database {
   std::vector<TriggerDef> triggers_;
   Stats stats_;
   TransactionManager txn_{&stats_};
+  /// Observability state (see metrics()). Mutable: const read paths record
+  /// timings too.
+  mutable MetricsRegistry metrics_;
+  mutable EventLog events_{1024};
+  /// Per-statement-kind histograms, resolved once in InitMetrics.
+  static constexpr size_t kStmtKindSlots = 8;
+  Histogram* stmt_hists_[kStmtKindSlots] = {};
+  /// Cumulative ns spent executing statements / trigger cascades (registry
+  /// counters db.exec_ns / db.trigger_ns; engine spans diff them).
+  uint64_t* exec_ns_ = nullptr;
+  uint64_t* trigger_ns_ = nullptr;
+  double slow_statement_threshold_us_ = -1;
+  size_t slow_log_capacity_ = 32;
+  std::vector<SlowStatement> slow_log_;
+  /// Start of the outermost open transaction (db.txn span).
+  uint64_t txn_start_ns_ = 0;
   int64_t next_id_ = 1;
   double statement_latency_us_ = 0;
   /// Failpoint countdown; negative = disarmed.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
 #include "rdb/database.h"
 
@@ -414,8 +415,38 @@ class NestedLoopJoinNode : public ExecNode {
   bool inner_open_ = false;
 };
 
+/// EXPLAIN ANALYZE wrapper: charges wall time spent in the wrapped subtree's
+/// Open()/Next() and counts emitted rows. Only built when a statement is
+/// being analyzed — normal execution never sees it.
+class TimedNode : public ExecNode {
+ public:
+  TimedNode(std::unique_ptr<ExecNode> child, OpStats* stats)
+      : child_(std::move(child)), stats_(stats) {}
+
+  Status Open(ExecContext& ctx) override {
+    ++stats_->opens;
+    const uint64_t t0 = MonotonicNanos();
+    Status s = child_->Open(ctx);
+    stats_->time_ns += MonotonicNanos() - t0;
+    return s;
+  }
+
+  Result<bool> Next(ExecContext& ctx) override {
+    const uint64_t t0 = MonotonicNanos();
+    Result<bool> r = child_->Next(ctx);
+    stats_->time_ns += MonotonicNanos() - t0;
+    if (r.ok() && r.value()) ++stats_->rows;
+    return r;
+  }
+
+ private:
+  std::unique_ptr<ExecNode> child_;
+  OpStats* stats_;
+};
+
 std::unique_ptr<ExecNode> MakeAccessNode(const PlannedCore& core, size_t k,
-                                         std::vector<const Value*>* slots) {
+                                         std::vector<const Value*>* slots,
+                                         OpStats* stats) {
   std::unique_ptr<ExecNode> node;
   if (core.paths[k].kind == AccessPath::Kind::kScan) {
     node = std::make_unique<ScanNode>(&core.relations[k], k, slots);
@@ -427,13 +458,22 @@ std::unique_ptr<ExecNode> MakeAccessNode(const PlannedCore& core, size_t k,
     node = std::make_unique<FilterNode>(std::move(node), &core.filters[k],
                                         slots);
   }
+  if (stats != nullptr) {
+    node = std::make_unique<TimedNode>(std::move(node), stats);
+  }
   return node;
 }
 
 }  // namespace
 
 std::unique_ptr<ExecNode> BuildCorePipeline(const PlannedCore& core,
-                                            std::vector<const Value*>* slots) {
+                                            std::vector<const Value*>* slots,
+                                            AnalyzeStats::Core* core_stats) {
+  auto rel_stats = [core_stats](size_t k) -> OpStats* {
+    return core_stats != nullptr && k < core_stats->rels.size()
+               ? &core_stats->rels[k]
+               : nullptr;
+  };
   if (core.relations.empty()) {
     std::unique_ptr<ExecNode> node = std::make_unique<OneRowNode>();
     if (!core.const_filters.empty()) {
@@ -442,10 +482,11 @@ std::unique_ptr<ExecNode> BuildCorePipeline(const PlannedCore& core,
     }
     return node;
   }
-  std::unique_ptr<ExecNode> node = MakeAccessNode(core, 0, slots);
+  std::unique_ptr<ExecNode> node = MakeAccessNode(core, 0, slots,
+                                                  rel_stats(0));
   for (size_t k = 1; k < core.relations.size(); ++k) {
-    node = std::make_unique<NestedLoopJoinNode>(std::move(node),
-                                                MakeAccessNode(core, k, slots));
+    node = std::make_unique<NestedLoopJoinNode>(
+        std::move(node), MakeAccessNode(core, k, slots, rel_stats(k)));
   }
   return node;
 }
@@ -456,9 +497,10 @@ std::unique_ptr<ExecNode> BuildCorePipeline(const PlannedCore& core,
 namespace {
 
 Result<ResultSet> ExecutePlannedCore(const PlannedCore& core,
-                                     ExecContext& ctx) {
+                                     ExecContext& ctx,
+                                     AnalyzeStats::Core* cs = nullptr) {
   std::vector<const Value*> slots(core.relations.size(), nullptr);
-  std::unique_ptr<ExecNode> root = BuildCorePipeline(core, &slots);
+  std::unique_ptr<ExecNode> root = BuildCorePipeline(core, &slots, cs);
   XUPD_RETURN_IF_ERROR(root->Open(ctx));
 
   ResultSet out;
@@ -538,10 +580,26 @@ Result<ResultSet> ExecutePlannedSelect(const PlannedSelect& plan,
     (*ctx.cte_values)[static_cast<size_t>(cte.slot)] = std::move(mat);
   }
 
+  // EXPLAIN ANALYZE instruments only the root select (compared by identity)
+  // so CTE bodies and IN-subqueries recursing through here stay plain.
+  AnalyzeStats* an =
+      ctx.analyze != nullptr &&
+              ctx.analyze_select == static_cast<const void*>(&plan)
+          ? ctx.analyze
+          : nullptr;
+
   ResultSet out;
   for (size_t i = 0; i < plan.cores.size(); ++i) {
+    AnalyzeStats::Core* cs =
+        an != nullptr && i < an->cores.size() ? &an->cores[i] : nullptr;
+    const uint64_t t0 = cs != nullptr ? MonotonicNanos() : 0;
     XUPD_ASSIGN_OR_RETURN(ResultSet core,
-                          ExecutePlannedCore(plan.cores[i], ctx));
+                          ExecutePlannedCore(plan.cores[i], ctx, cs));
+    if (cs != nullptr) {
+      ++cs->total.opens;
+      cs->total.time_ns += MonotonicNanos() - t0;
+      cs->total.rows += core.rows.size();
+    }
     if (i == 0) {
       out = std::move(core);
     } else {
@@ -565,6 +623,23 @@ Result<ResultSet> ExecutePlannedSelect(const PlannedSelect& plan,
 
 Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
                                                   ExecContext& ctx) {
+  // EXPLAIN ANALYZE: the whole collection (index gather or scan plus
+  // residual filters, including any IN-subquery evaluation) is the
+  // mutation's access step.
+  struct MutationTimer {
+    OpStats* os;
+    uint64_t t0;
+    explicit MutationTimer(AnalyzeStats* an)
+        : os(an != nullptr ? &an->mutation : nullptr),
+          t0(os != nullptr ? MonotonicNanos() : 0) {}
+    ~MutationTimer() {
+      if (os != nullptr) {
+        ++os->opens;
+        os->time_ns += MonotonicNanos() - t0;
+      }
+    }
+  } timer(ctx.analyze);
+
   std::vector<size_t> out;
   std::vector<const Value*> slots(1, nullptr);
 
@@ -584,6 +659,7 @@ Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
       XUPD_ASSIGN_OR_RETURN(bool ok, matches(rowid));
       if (ok) out.push_back(rowid);
     }
+    if (timer.os != nullptr) timer.os->rows = out.size();
     return out;
   }
 
@@ -596,6 +672,7 @@ Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
     XUPD_ASSIGN_OR_RETURN(bool ok, matches(rowid));
     if (ok) out.push_back(rowid);
   }
+  if (timer.os != nullptr) timer.os->rows = out.size();
   return out;
 }
 

@@ -38,6 +38,13 @@ struct ExecContext {
   /// by plan slot. Sized from PlannedStatement::cte_slot_count.
   std::vector<std::unique_ptr<ResultSet>>* cte_values = nullptr;
   SubqueryMemo* subquery_memo = nullptr;
+  /// EXPLAIN ANALYZE sink (null in normal execution — the hot path pays one
+  /// pointer test). Filled by the pipeline for the select identified by
+  /// `analyze_select`, and by CollectMatchingRowids for mutations.
+  AnalyzeStats* analyze = nullptr;
+  /// Identity of the root PlannedSelect being analyzed; CTE bodies and
+  /// IN-subqueries execute other PlannedSelects and stay uninstrumented.
+  const void* analyze_select = nullptr;
 };
 
 /// Pull-based operator: Open resets state, Next advances to the next tuple
@@ -68,9 +75,12 @@ Result<Value> CoerceValue(Value v, ColumnType type);
 
 /// Builds the iterator tree for one core; current-tuple pointers stream
 /// through `slots` (must be sized to the relation count and outlive the
-/// tree). Exposed for tests; most callers want ExecutePlannedSelect.
-std::unique_ptr<ExecNode> BuildCorePipeline(const PlannedCore& core,
-                                            std::vector<const Value*>* slots);
+/// tree). With `core_stats` (EXPLAIN ANALYZE), each access step is wrapped
+/// in a timing node filling core_stats->rels. Exposed for tests; most
+/// callers want ExecutePlannedSelect.
+std::unique_ptr<ExecNode> BuildCorePipeline(
+    const PlannedCore& core, std::vector<const Value*>* slots,
+    AnalyzeStats::Core* core_stats = nullptr);
 
 /// Runs a planned SELECT to completion: materializes CTEs into their
 /// context slots, streams each core through its pipeline (project or

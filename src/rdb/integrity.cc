@@ -95,6 +95,7 @@ void VerifyTableIndexes(const Table& t, std::vector<std::string>* out) {
 
 std::vector<std::string> Database::VerifyIntegrity() {
   ++stats_.integrity_checks;
+  const uint64_t t0 = MonotonicNanos();
   std::vector<std::string> violations;
 
   // In-memory: slab liveness vs hash indexes, both directions.
@@ -148,6 +149,10 @@ std::vector<std::string> Database::VerifyIntegrity() {
       violations.push_back(std::move(v));
     }
   }
+  const uint64_t dur = MonotonicNanos() - t0;
+  metrics_.GetHistogram("db.scrub")->Record(dur);
+  events_.Record({TraceEvent::Kind::kScrub, t0, dur, violations.size(), 0,
+                  nullptr});
   return violations;
 }
 

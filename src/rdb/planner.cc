@@ -1,6 +1,7 @@
 #include "rdb/planner.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/str_util.h"
 #include "rdb/database.h"
@@ -649,8 +650,29 @@ std::string RelationLabel(const PlannedRelation& rel) {
   return label;
 }
 
+/// EXPLAIN ANALYZE annotation for one operator line; empty when `os` is
+/// null (plain EXPLAIN). `loops` adds the Open() count — meaningful on a
+/// join inner side, noise on a statement head.
+std::string ActualSuffix(const OpStats* os, bool loops) {
+  if (os == nullptr) return "";
+  char buf[96];
+  if (loops) {
+    std::snprintf(buf, sizeof buf,
+                  " (actual rows=%llu loops=%llu time_us=%.3f)",
+                  static_cast<unsigned long long>(os->rows),
+                  static_cast<unsigned long long>(os->opens),
+                  static_cast<double>(os->time_ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, " (actual rows=%llu time_us=%.3f)",
+                  static_cast<unsigned long long>(os->rows),
+                  static_cast<double>(os->time_ns) / 1e3);
+  }
+  return buf;
+}
+
 void AccessNode(std::string* out, int depth, const PlannedRelation& rel,
-                const AccessPath& path, const std::vector<BoundExpr>& filters) {
+                const AccessPath& path, const std::vector<BoundExpr>& filters,
+                const OpStats* os = nullptr) {
   std::string text;
   switch (path.kind) {
     case AccessPath::Kind::kScan:
@@ -670,38 +692,50 @@ void AccessNode(std::string* out, int depth, const PlannedRelation& rel,
              " (" + path.column_name + " IN (subquery))";
       break;
   }
-  Line(out, depth, text + FilterSuffix(filters));
+  Line(out, depth, text + FilterSuffix(filters) +
+                       ActualSuffix(os, /*loops=*/true));
 }
 
-void JoinTree(std::string* out, int depth, const PlannedCore& core, size_t k) {
+void JoinTree(std::string* out, int depth, const PlannedCore& core, size_t k,
+              const AnalyzeStats::Core* cs) {
+  const OpStats* rel_stats = [&](size_t i) -> const OpStats* {
+    return cs != nullptr && i < cs->rels.size() ? &cs->rels[i] : nullptr;
+  }(k);
   if (k == 0) {
-    AccessNode(out, depth, core.relations[0], core.paths[0], core.filters[0]);
+    AccessNode(out, depth, core.relations[0], core.paths[0], core.filters[0],
+               rel_stats);
     return;
   }
   Line(out, depth, "NestedLoopJoin");
-  JoinTree(out, depth + 1, core, k - 1);
+  JoinTree(out, depth + 1, core, k - 1, cs);
   AccessNode(out, depth + 1, core.relations[k], core.paths[k],
-             core.filters[k]);
+             core.filters[k], rel_stats);
 }
 
-void CoreToString(std::string* out, int depth, const PlannedCore& core) {
+void CoreToString(std::string* out, int depth, const PlannedCore& core,
+                  const AnalyzeStats::Core* cs) {
   std::string head = core.has_aggregate ? "Aggregate [" : "Project [";
   for (size_t i = 0; i < core.outputs.size(); ++i) {
     if (i > 0) head += ", ";
     head += core.has_aggregate ? ExprStr(core.outputs[i])
                                : core.out_columns[i];
   }
-  Line(out, depth, head + "]");
+  Line(out, depth,
+       head + "]" + ActualSuffix(cs != nullptr ? &cs->total : nullptr,
+                                 /*loops=*/false));
   if (core.relations.empty()) {
     Line(out, depth + 1, "OneRow" + FilterSuffix(core.const_filters));
     return;
   }
-  JoinTree(out, depth + 1, core, core.relations.size() - 1);
+  JoinTree(out, depth + 1, core, core.relations.size() - 1, cs);
 }
 
-void SelectToString(std::string* out, int depth, const PlannedSelect& sel) {
+void SelectToString(std::string* out, int depth, const PlannedSelect& sel,
+                    const AnalyzeStats* an = nullptr) {
   for (const auto& cte : sel.ctes) {
     Line(out, depth, "Cte " + cte.name);
+    // CTE bodies (like subqueries) are not instrumented; their cost lands in
+    // the consuming core's access steps.
     SelectToString(out, depth + 1, *cte.query);
   }
   if (!sel.order_by.empty()) {
@@ -718,27 +752,34 @@ void SelectToString(std::string* out, int depth, const PlannedSelect& sel) {
     Line(out, depth, "UnionAll");
     ++depth;
   }
-  for (const PlannedCore& core : sel.cores) CoreToString(out, depth, core);
+  for (size_t i = 0; i < sel.cores.size(); ++i) {
+    CoreToString(out, depth, sel.cores[i],
+                 an != nullptr && i < an->cores.size() ? &an->cores[i]
+                                                       : nullptr);
+  }
 }
 
-void MutationAccess(std::string* out, int depth, const PlannedMutation& m) {
+void MutationAccess(std::string* out, int depth, const PlannedMutation& m,
+                    const OpStats* os = nullptr) {
   PlannedRelation rel;
   rel.alias = m.table_name;
   rel.name = m.table_name;
-  AccessNode(out, depth, rel, m.path, m.filters);
+  AccessNode(out, depth, rel, m.path, m.filters, os);
 }
 
-}  // namespace
-
-std::string PlanToString(const PlannedStatement& plan) {
+std::string PlanToStringImpl(const PlannedStatement& plan,
+                             const AnalyzeStats* an) {
   std::string out;
+  const OpStats* root = an != nullptr ? &an->root : nullptr;
+  const OpStats* mut = an != nullptr ? &an->mutation : nullptr;
   switch (plan.kind) {
     case sql::Statement::Kind::kSelect:
-      SelectToString(&out, 0, *plan.select);
+      SelectToString(&out, 0, *plan.select, an);
       break;
     case sql::Statement::Kind::kDelete:
-      Line(&out, 0, "Delete " + plan.mutation.table_name);
-      MutationAccess(&out, 1, plan.mutation);
+      Line(&out, 0, "Delete " + plan.mutation.table_name +
+                        ActualSuffix(root, /*loops=*/false));
+      MutationAccess(&out, 1, plan.mutation, mut);
       break;
     case sql::Statement::Kind::kUpdate: {
       std::string sets;
@@ -749,16 +790,16 @@ std::string PlanToString(const PlannedStatement& plan) {
                     .name;
       }
       Line(&out, 0, "Update " + plan.mutation.table_name + " [set " + sets +
-                        "]");
-      MutationAccess(&out, 1, plan.mutation);
+                        "]" + ActualSuffix(root, /*loops=*/false));
+      MutationAccess(&out, 1, plan.mutation, mut);
       break;
     }
     case sql::Statement::Kind::kInsert: {
       Line(&out, 0, "Insert " + plan.insert.table_name + " [" +
                         std::to_string(plan.insert.column_map.size()) +
-                        " columns]");
+                        " columns]" + ActualSuffix(root, /*loops=*/false));
       if (plan.insert.select != nullptr) {
-        SelectToString(&out, 1, *plan.insert.select);
+        SelectToString(&out, 1, *plan.insert.select, an);
       } else {
         Line(&out, 1,
              "Values [" + std::to_string(plan.insert.rows.size()) + " rows]");
@@ -770,6 +811,23 @@ std::string PlanToString(const PlannedStatement& plan) {
       break;
   }
   if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+std::string PlanToString(const PlannedStatement& plan) {
+  return PlanToStringImpl(plan, nullptr);
+}
+
+std::string PlanToStringAnalyzed(const PlannedStatement& plan,
+                                 const AnalyzeStats& stats) {
+  std::string out = PlanToStringImpl(plan, &stats);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\nExecution: rows=%llu time_us=%.3f",
+                static_cast<unsigned long long>(stats.root.rows),
+                static_cast<double>(stats.root.time_ns) / 1e3);
+  out += buf;
   return out;
 }
 

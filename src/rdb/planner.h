@@ -19,6 +19,7 @@
 #ifndef XUPD_RDB_PLANNER_H_
 #define XUPD_RDB_PLANNER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -229,8 +230,34 @@ class Planner {
   std::vector<PlanTableDep> table_deps_;
 };
 
+/// Actual-execution counters for one plan operator, filled by EXPLAIN
+/// ANALYZE (see exec_node.cc's TimedNode).
+struct OpStats {
+  uint64_t opens = 0;    ///< Open() calls — "loops" for a join inner side.
+  uint64_t rows = 0;     ///< tuples emitted.
+  uint64_t time_ns = 0;  ///< inclusive wall time spent in Open()/Next().
+};
+
+/// Per-operator actuals for one EXPLAIN ANALYZE execution, shaped like the
+/// plan: one entry per (core, relation access step) plus a per-core total
+/// (pipeline + project/aggregate) and the statement root.
+struct AnalyzeStats {
+  struct Core {
+    OpStats total;              ///< the whole core, inclusive.
+    std::vector<OpStats> rels;  ///< one per relation access step.
+  };
+  std::vector<Core> cores;  ///< top-level SELECT cores (or INSERT..SELECT).
+  OpStats mutation;         ///< DELETE/UPDATE row-collection step.
+  OpStats root;             ///< the whole statement (rows = result/affected).
+};
+
 /// Renders a plan tree, one node per line (the EXPLAIN output).
 std::string PlanToString(const PlannedStatement& plan);
+
+/// Renders the plan annotated with per-operator actuals plus a trailing
+/// "Execution: ..." summary line (the EXPLAIN ANALYZE output).
+std::string PlanToStringAnalyzed(const PlannedStatement& plan,
+                                 const AnalyzeStats& stats);
 
 }  // namespace xupd::rdb
 

@@ -37,6 +37,7 @@ Status WriteFileDurably(Vfs* vfs, const std::string& path,
 Status WriteSnapshot(const Database& db, Vfs* vfs, const std::string& path,
                      const std::string& tmp_path, uint64_t epoch,
                      bool* renamed) {
+  const uint64_t t0 = MonotonicNanos();
   if (renamed != nullptr) *renamed = false;
   std::string out(kSnapshotMagic, sizeof(kSnapshotMagic));
   binio::PutU32(&out, kSnapshotFormatVersion);
@@ -91,6 +92,7 @@ Status WriteSnapshot(const Database& db, Vfs* vfs, const std::string& path,
   if (int err = vfs->SyncDir(path); err != 0) {
     return ErrnoStatus("cannot fsync snapshot directory", path, err);
   }
+  db.metrics().GetHistogram("snapshot.write")->Record(MonotonicNanos() - t0);
   return Status::OK();
 }
 

@@ -163,8 +163,16 @@ struct Statement {
     kRollback,   ///< ROLLBACK [TRANSACTION|WORK] [TO [SAVEPOINT] name].
     kSavepoint,  ///< SAVEPOINT name — a named nested scope.
     kRelease,    ///< RELEASE [SAVEPOINT] name.
-    kExplain,    ///< EXPLAIN <stmt> — plans without executing.
+    kExplain,    ///< EXPLAIN [ANALYZE] <stmt> — plans (ANALYZE: executes).
     kCheckIntegrity,  ///< CHECK INTEGRITY — online scrub, returns violations.
+    kShow,       ///< SHOW METRICS/HEALTH/SLOW/EVENTS — observability views.
+  };
+  /// kShow: which observability view to return.
+  enum class ShowWhat {
+    kMetrics,  ///< SHOW METRICS — counters, stats fields, histogram summary.
+    kHealth,   ///< SHOW HEALTH — Database::health() as rows.
+    kSlow,     ///< SHOW SLOW [STATEMENTS] — the slow-statement log.
+    kEvents,   ///< SHOW EVENTS — the structured trace ring as JSON rows.
   };
   Kind kind = Kind::kSelect;
   /// Number of ? placeholders in the statement text; values must be bound
@@ -183,6 +191,11 @@ struct Statement {
   std::string txn_name;
   /// kExplain: the statement being explained (shared: Statement copies).
   std::shared_ptr<Statement> explain;
+  /// kExplain: EXPLAIN ANALYZE — execute the statement and annotate the
+  /// plan with per-operator actual rows / loops / time.
+  bool explain_analyze = false;
+  /// kShow: which observability view.
+  ShowWhat show = ShowWhat::kMetrics;
 };
 
 }  // namespace xupd::rdb::sql

@@ -29,7 +29,9 @@ Result<ResultSet> Executor::Run(const sql::Statement& stmt,
       return RunPlanned(*plan);
     }
     case sql::Statement::Kind::kExplain:
-      return RunExplain(*stmt.explain, slot);
+      return RunExplain(*stmt.explain, slot, stmt.explain_analyze);
+    case sql::Statement::Kind::kShow:
+      return RunShow(stmt);
     // DDL invalidates here — the single choke point every entry path
     // (Execute, ExecuteQuery, ExecutePrepared) funnels through — so cached
     // parses are flushed and cached plans version out before any reuse.
@@ -121,6 +123,9 @@ Result<std::shared_ptr<const PlannedStatement>> Executor::GetPlan(
     }
     if (deps_current) {
       ++db_->stats_.plan_cache_hits;
+      if (db_->slow_statement_threshold_us_ >= 0 && trigger_depth_ == 0) {
+        last_plan_ = slot->plan;
+      }
       return slot->plan;
     }
   }
@@ -131,6 +136,11 @@ Result<std::shared_ptr<const PlannedStatement>> Executor::GetPlan(
     slot->plan = plan;
     slot->version = db_->catalog_version();
     slot->db = db_;
+  }
+  // Keep the top-level plan alive for the slow-statement log (one shared_ptr
+  // copy, and only while the log is enabled — the hot path skips this).
+  if (db_->slow_statement_threshold_us_ >= 0 && trigger_depth_ == 0) {
+    last_plan_ = plan;
   }
   return plan;
 }
@@ -143,6 +153,8 @@ ExecContext Executor::MakeContext(
   ctx.old_row = trigger_old_row_;
   ctx.cte_values = cte_store;
   ctx.subquery_memo = &subquery_memo_;
+  ctx.analyze = analyze_;
+  ctx.analyze_select = analyze_select_;
   return ctx;
 }
 
@@ -162,7 +174,7 @@ Result<ResultSet> Executor::RunPlanned(const PlannedStatement& plan) {
 }
 
 Result<ResultSet> Executor::RunExplain(const sql::Statement& stmt,
-                                       PlanCacheSlot* slot) {
+                                       PlanCacheSlot* slot, bool analyze) {
   switch (stmt.kind) {
     case sql::Statement::Kind::kSelect:
     case sql::Statement::Kind::kInsert:
@@ -176,12 +188,122 @@ Result<ResultSet> Executor::RunExplain(const sql::Statement& stmt,
   // The handle's slot caches the inner statement's plan, so a prepared
   // EXPLAIN re-renders without re-planning.
   XUPD_ASSIGN_OR_RETURN(auto plan, GetPlan(stmt, slot));
+
   ResultSet out;
   out.columns = {"plan"};
-  for (const std::string& line : SplitChar(PlanToString(*plan), '\n')) {
+  if (!analyze) {
+    for (const std::string& line : SplitChar(PlanToString(*plan), '\n')) {
+      out.rows.push_back({Value::Str(line)});
+    }
+    return out;
+  }
+
+  // EXPLAIN ANALYZE executes the statement for real, so the inner statement
+  // must pass the same read-only gate it would face unwrapped.
+  XUPD_RETURN_IF_ERROR(db_->CheckWritable(stmt));
+
+  // Size the actuals to the plan shape, then run with the sink installed.
+  AnalyzeStats actuals;
+  const PlannedSelect* root_select =
+      plan->kind == sql::Statement::Kind::kInsert ? plan->insert.select.get()
+                                                  : plan->select.get();
+  if (root_select != nullptr) {
+    actuals.cores.resize(root_select->cores.size());
+    for (size_t i = 0; i < root_select->cores.size(); ++i) {
+      actuals.cores[i].rels.resize(root_select->cores[i].relations.size());
+    }
+  }
+  analyze_ = &actuals;
+  analyze_select_ = root_select;
+  const uint64_t t0 = MonotonicNanos();
+  auto result = RunPlanned(*plan);
+  actuals.root.time_ns = MonotonicNanos() - t0;
+  analyze_ = nullptr;
+  analyze_select_ = nullptr;
+  if (!result.ok()) return result.status();
+  ++actuals.root.opens;
+  switch (plan->kind) {
+    case sql::Statement::Kind::kSelect:
+      actuals.root.rows = result.value().rows.size();
+      break;
+    case sql::Statement::Kind::kDelete:
+    case sql::Statement::Kind::kUpdate:
+      actuals.root.rows = actuals.mutation.rows;
+      break;
+    default:
+      break;  // kInsert fills root.rows during execution.
+  }
+  ++db_->stats_.explain_analyzes;
+
+  for (const std::string& line :
+       SplitChar(PlanToStringAnalyzed(*plan, actuals), '\n')) {
     out.rows.push_back({Value::Str(line)});
   }
   return out;
+}
+
+Result<ResultSet> Executor::RunShow(const sql::Statement& stmt) {
+  ResultSet out;
+  switch (stmt.show) {
+    case sql::Statement::ShowWhat::kMetrics: {
+      out.columns = {"metric", "value"};
+      auto add = [&out](std::string name, uint64_t v) {
+        out.rows.push_back(
+            {Value::Str(std::move(name)), Value::Int(static_cast<int64_t>(v))});
+      };
+      // The Stats cost model first (declaration order), then registry
+      // counters/gauges and histogram summaries (name-sorted).
+      db_->stats_.ForEachField(
+          [&](const char* name, uint64_t v) { add(std::string("stats.") + name, v); });
+      db_->metrics().ForEachCounter(
+          [&](const std::string& name, uint64_t v) { add(name, v); });
+      db_->metrics().ForEachGauge([&](const std::string& name, int64_t v) {
+        add(name, static_cast<uint64_t>(v));
+      });
+      db_->metrics().ForEachHistogram(
+          [&](const std::string& name, const Histogram& h) {
+            const HistogramSnapshot s = h.Snapshot();
+            add(name + ".count", s.count);
+            if (s.count == 0) return;
+            add(name + ".p50_ns", static_cast<uint64_t>(s.p50));
+            add(name + ".p95_ns", static_cast<uint64_t>(s.p95));
+            add(name + ".p99_ns", static_cast<uint64_t>(s.p99));
+            add(name + ".max_ns", s.max);
+            add(name + ".sum_ns", s.sum);
+          });
+      return out;
+    }
+    case sql::Statement::ShowWhat::kHealth: {
+      out.columns = {"field", "value"};
+      auto add = [&out](const char* field, std::string value) {
+        out.rows.push_back({Value::Str(field), Value::Str(std::move(value))});
+      };
+      const Database::Health h = db_->health();
+      add("read_only", h.read_only ? "1" : "0");
+      add("cause", h.cause);
+      add("durability_open", db_->durability_open() ? "1" : "0");
+      add("recovered", db_->recovered() ? "1" : "0");
+      return out;
+    }
+    case sql::Statement::ShowWhat::kSlow: {
+      out.columns = {"time_us", "sql", "stats", "plan"};
+      for (const Database::SlowStatement& s : db_->slow_statements()) {
+        out.rows.push_back(
+            {Value::Int(static_cast<int64_t>(s.duration_ns / 1000)),
+             Value::Str(s.sql), Value::Str(s.delta.ToString()),
+             Value::Str(s.plan)});
+      }
+      return out;
+    }
+    case sql::Statement::ShowWhat::kEvents: {
+      out.columns = {"event"};
+      for (std::string& line : db_->events().ToJsonLines()) {
+        out.rows.push_back({Value::Str(std::move(line))});
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown SHOW kind");
 }
 
 // ---------------------------------------------------------------------------
@@ -321,6 +443,7 @@ Result<ResultSet> Executor::RunPlannedInsert(const PlannedStatement& plan) {
       (void)rowid;
       ++db_->stats_.rows_inserted;
     }
+    if (analyze_ != nullptr) analyze_->root.rows += result.rows.size();
     return ResultSet{};
   }
 
@@ -345,6 +468,7 @@ Result<ResultSet> Executor::RunPlannedInsert(const PlannedStatement& plan) {
     ++db_->stats_.rows_inserted;
   }
   if (ins.rows.size() > 1) db_->stats_.batched_rows += ins.rows.size();
+  if (analyze_ != nullptr) analyze_->root.rows += built_rows.size();
   return ResultSet{};
 }
 
@@ -404,6 +528,31 @@ Status Executor::FireDeleteTriggers(const Table* table,
   if (trigger_depth_ > 100) {
     return Status::Internal("trigger recursion limit exceeded");
   }
+  // A trigger cascade is the statement's side effect, not part of its plan:
+  // suspend any EXPLAIN ANALYZE sink for the body statements, and at the
+  // cascade root charge the whole cascade to the Database's trigger-time
+  // counter (engine/store.cc spans read it to decompose operation cost).
+  struct CascadeScope {
+    Executor* e;
+    AnalyzeStats* saved_analyze;
+    const void* saved_select;
+    uint64_t t0 = 0;
+    bool root;
+    explicit CascadeScope(Executor* ex)
+        : e(ex),
+          saved_analyze(ex->analyze_),
+          saved_select(ex->analyze_select_),
+          root(ex->trigger_depth_ == 0) {
+      e->analyze_ = nullptr;
+      e->analyze_select_ = nullptr;
+      if (root) t0 = MonotonicNanos();
+    }
+    ~CascadeScope() {
+      e->analyze_ = saved_analyze;
+      e->analyze_select_ = saved_select;
+      if (root) e->db_->AddTriggerNs(MonotonicNanos() - t0);
+    }
+  } cascade_scope(this);
   ++trigger_depth_;
   const std::string& table_name = table->schema().name();
   // Snapshot the trigger list: bodies may not add triggers, but the vector

@@ -41,13 +41,19 @@ class Executor {
   Result<ResultSet> Run(const sql::Statement& stmt,
                         PlanCacheSlot* slot = nullptr);
 
+  /// Plan of the last GetPlan call, captured only while the Database's
+  /// slow-statement log is enabled (so the log can render the plan without
+  /// re-planning). Null otherwise.
+  const PlannedStatement* last_plan() const { return last_plan_.get(); }
+
  private:
   Result<ResultSet> RunCreateTable(const sql::CreateTableStmt& stmt);
   Result<ResultSet> RunCreateIndex(const sql::CreateIndexStmt& stmt);
   Result<ResultSet> RunCreateTrigger(const sql::CreateTriggerStmt& stmt);
   Result<ResultSet> RunDrop(const sql::DropStmt& stmt);
   Result<ResultSet> RunExplain(const sql::Statement& stmt,
-                               PlanCacheSlot* slot);
+                               PlanCacheSlot* slot, bool analyze);
+  Result<ResultSet> RunShow(const sql::Statement& stmt);
 
   Result<ResultSet> RunPlanned(const PlannedStatement& plan);
   Result<ResultSet> RunPlannedSelect(const PlannedStatement& plan);
@@ -81,6 +87,13 @@ class Executor {
   const Row* trigger_old_row_ = nullptr;
   const TableSchema* trigger_old_schema_ = nullptr;
   int trigger_depth_ = 0;
+  /// EXPLAIN ANALYZE sink + root-select identity while the analyzed
+  /// statement runs (cleared for trigger bodies, which are the statement's
+  /// side effects, not its plan).
+  AnalyzeStats* analyze_ = nullptr;
+  const void* analyze_select_ = nullptr;
+  /// See last_plan().
+  std::shared_ptr<const PlannedStatement> last_plan_;
 };
 
 }  // namespace xupd::rdb

@@ -236,6 +236,7 @@ class Parser {
 
   Result<Statement> ParseStatement() {
     bool explain = lex_.ConsumeKw("explain");
+    bool analyze = explain && lex_.ConsumeKw("analyze");
     XUPD_ASSIGN_OR_RETURN(Statement stmt, ParseBareStatement());
     while (lex_.Peek().type == Tok::kSemicolon) lex_.Next();
     if (lex_.Peek().type != Tok::kEnd) {
@@ -245,6 +246,7 @@ class Parser {
       Statement wrapper;
       wrapper.kind = Statement::Kind::kExplain;
       wrapper.explain = std::make_shared<Statement>(std::move(stmt));
+      wrapper.explain_analyze = analyze;
       wrapper.param_count = param_count_;
       return wrapper;
     }
@@ -323,6 +325,20 @@ class Parser {
         return lex_.Error("expected INTEGRITY after CHECK");
       }
       stmt.kind = Statement::Kind::kCheckIntegrity;
+    } else if (lex_.ConsumeKw("show")) {
+      stmt.kind = Statement::Kind::kShow;
+      if (lex_.ConsumeKw("metrics")) {
+        stmt.show = Statement::ShowWhat::kMetrics;
+      } else if (lex_.ConsumeKw("health")) {
+        stmt.show = Statement::ShowWhat::kHealth;
+      } else if (lex_.ConsumeKw("slow")) {
+        (void)lex_.ConsumeKw("statements");
+        stmt.show = Statement::ShowWhat::kSlow;
+      } else if (lex_.ConsumeKw("events")) {
+        stmt.show = Statement::ShowWhat::kEvents;
+      } else {
+        return lex_.Error("expected METRICS, HEALTH, SLOW or EVENTS after SHOW");
+      }
     } else {
       return lex_.Error("expected a SQL statement");
     }

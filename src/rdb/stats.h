@@ -1,6 +1,12 @@
 // Execution statistics — the observable cost model of the engine. Tests and
 // benches assert on these (e.g. tuple-based insert issues O(#tuples)
 // statements; per-statement triggers scan whole child relations).
+//
+// Fields are declared once, in the XUPD_RDB_STATS_FIELDS X-macro: each
+// X(field, label) entry generates the counter itself, its Delta() line, its
+// ToString() key and its ForEachField() visit, so a new counter cannot be
+// half-wired (the old hand-written Delta/ToString silently dropped fields
+// that were added in only one place).
 #ifndef XUPD_RDB_STATS_H_
 #define XUPD_RDB_STATS_H_
 
@@ -9,130 +15,112 @@
 
 namespace xupd::rdb {
 
+// X(field, label): `field` is the struct member, `label` the short key used
+// by ToString() — bench logs and tests grep these, keep them stable.
+#define XUPD_RDB_STATS_FIELDS(X)                                             \
+  /* SQL statements issued through Database::Execute / ExecuteQuery /        \
+     ExecutePrepared (each pays the simulated round-trip latency once). */   \
+  X(statements, "stmts")                                                     \
+  /* Full ParseSql invocations: every Execute/ExecuteQuery call plus every   \
+     prepared-cache miss. Statement reuse shows up as this counter growing   \
+     slower than `statements`. */                                            \
+  X(sql_parses, "parses")                                                    \
+  /* Prepared-statement cache hits: Database::Prepare (or the ExecuteBound   \
+     convenience wrappers) found the SQL text already parsed and skipped     \
+     ParseSql entirely. */                                                   \
+  X(prepared_hits, "prep_hits")                                              \
+  /* Prepared-statement cache misses: Prepare had to parse. misses == the    \
+     number of distinct statement shapes seen (modulo LRU eviction and DDL   \
+     invalidation). */                                                       \
+  X(prepared_misses, "prep_miss")                                            \
+  /* Rows inserted through multi-row INSERT ... VALUES (...), (...) ...      \
+     statements (only statements carrying more than one row count). The     \
+     batched bulk-load path drives this. */                                  \
+  X(batched_rows, "batched")                                                 \
+  /* Plans built by the logical planner: every ad-hoc Execute/ExecuteQuery   \
+     of a plannable statement, every plan-cache miss, and every EXPLAIN. */  \
+  X(plans_built, "plans")                                                    \
+  /* Cached-plan reuses: ExecutePrepared/ExecuteBound (or a trigger body     \
+     re-firing) found a plan still valid for the current catalog version     \
+     and skipped name resolution + access-path selection entirely. */        \
+  X(plan_cache_hits, "plan_hits")                                            \
+  /* Statements executed inside trigger bodies. */                           \
+  X(trigger_statements, "trig_stmts")                                        \
+  /* Trigger firings (row triggers: per row; stmt triggers: per stmt). */    \
+  X(trigger_firings, "trig_fires")                                           \
+  /* Rows visited by table scans. */                                         \
+  X(rows_scanned, "scanned")                                                 \
+  /* Index probes (hash lookups). */                                         \
+  X(index_probes, "probes")                                                  \
+  X(rows_inserted, "ins")                                                    \
+  X(rows_deleted, "del")                                                     \
+  X(rows_updated, "upd")                                                     \
+  /* Transaction scopes opened (nested Begin = savepoint counts too). */     \
+  X(txn_begins, "txn_begin")                                                 \
+  /* Scopes committed (outermost commit makes the changes durable). */       \
+  X(txn_commits, "txn_commit")                                               \
+  /* Scopes rolled back (each undoes that scope's records LIFO). */          \
+  X(txn_rollbacks, "txn_rollback")                                           \
+  /* Undo records logged (one per row insert/delete/column update executed   \
+     while a transaction was active) — the txn write-amplification           \
+     signal. */                                                              \
+  X(undo_records, "undo")                                                    \
+  /* Redo records written to the WAL file (data records, DDL records and     \
+     commit markers) — the durability write-amplification signal. Pending    \
+     records of rolled-back scopes never count. */                           \
+  X(wal_appends, "wal_appends")                                              \
+  /* Bytes written to the WAL file (frames + commit markers; excludes the    \
+     file header). */                                                        \
+  X(wal_bytes, "wal_bytes")                                                  \
+  /* fsync calls issued by the WAL (per commit unit in `commit` mode, every  \
+     group_commit_interval units in `batched`, zero in `none`). */           \
+  X(wal_fsyncs, "wal_fsyncs")                                                \
+  /* Snapshot checkpoints taken (each truncates the WAL). */                 \
+  X(checkpoints, "checkpoints")                                              \
+  /* Redo records replayed from the WAL by the last Database::Open. */       \
+  X(recovery_replayed, "replayed")                                           \
+  /* VerifyIntegrity runs (SQL CHECK INTEGRITY counts too). */               \
+  X(integrity_checks, "scrubs")                                              \
+  /* TryHeal attempts (each re-opens the data dir; successful or not). */    \
+  X(heal_attempts, "heals")                                                  \
+  /* Statements captured by the slow-statement log (threshold exceeded). */  \
+  X(slow_statements, "slow")                                                 \
+  /* EXPLAIN ANALYZE executions (the wrapped statement runs for real). */    \
+  X(explain_analyzes, "analyzed")
+
 struct Stats {
-  /// SQL statements issued through Database::Execute / ExecuteQuery /
-  /// ExecutePrepared (each pays the simulated round-trip latency once).
-  uint64_t statements = 0;
-  /// Full ParseSql invocations: every Execute/ExecuteQuery call plus every
-  /// prepared-cache miss. Statement reuse shows up as this counter growing
-  /// slower than `statements`.
-  uint64_t sql_parses = 0;
-  /// Prepared-statement cache hits: Database::Prepare (or the ExecuteBound
-  /// convenience wrappers) found the SQL text already parsed and skipped
-  /// ParseSql entirely.
-  uint64_t prepared_hits = 0;
-  /// Prepared-statement cache misses: Prepare had to parse. misses == the
-  /// number of distinct statement shapes seen (modulo LRU eviction and DDL
-  /// invalidation).
-  uint64_t prepared_misses = 0;
-  /// Rows inserted through multi-row INSERT ... VALUES (...), (...) ...
-  /// statements (only statements carrying more than one row count). The
-  /// batched bulk-load path drives this.
-  uint64_t batched_rows = 0;
-  /// Plans built by the logical planner: every ad-hoc Execute/ExecuteQuery
-  /// of a plannable statement, every plan-cache miss, and every EXPLAIN.
-  uint64_t plans_built = 0;
-  /// Cached-plan reuses: ExecutePrepared/ExecuteBound (or a trigger body
-  /// re-firing) found a plan still valid for the current catalog version
-  /// and skipped name resolution + access-path selection entirely.
-  uint64_t plan_cache_hits = 0;
-  /// Statements executed inside trigger bodies.
-  uint64_t trigger_statements = 0;
-  /// Trigger firings (row triggers: per row; statement triggers: per stmt).
-  uint64_t trigger_firings = 0;
-  /// Rows visited by table scans.
-  uint64_t rows_scanned = 0;
-  /// Index probes (hash lookups).
-  uint64_t index_probes = 0;
-  uint64_t rows_inserted = 0;
-  uint64_t rows_deleted = 0;
-  uint64_t rows_updated = 0;
-  /// Transaction scopes opened (nested Begin = savepoint counts too).
-  uint64_t txn_begins = 0;
-  /// Scopes committed (outermost commit makes the changes durable).
-  uint64_t txn_commits = 0;
-  /// Scopes rolled back (each undoes that scope's records LIFO).
-  uint64_t txn_rollbacks = 0;
-  /// Undo records logged (one per row insert/delete/column update executed
-  /// while a transaction was active) — the txn write-amplification signal.
-  uint64_t undo_records = 0;
-  /// Redo records written to the WAL file (data records, DDL records and
-  /// commit markers) — the durability write-amplification signal. Pending
-  /// records of rolled-back scopes never count.
-  uint64_t wal_appends = 0;
-  /// Bytes written to the WAL file (frames + commit markers; excludes the
-  /// file header).
-  uint64_t wal_bytes = 0;
-  /// fsync calls issued by the WAL (per commit unit in `commit` mode, every
-  /// group_commit_interval units in `batched`, zero in `none`).
-  uint64_t wal_fsyncs = 0;
-  /// Snapshot checkpoints taken (each truncates the WAL).
-  uint64_t checkpoints = 0;
-  /// Redo records replayed from the WAL by the last Database::Open.
-  uint64_t recovery_replayed = 0;
-  /// VerifyIntegrity runs (SQL CHECK INTEGRITY counts too).
-  uint64_t integrity_checks = 0;
-  /// TryHeal attempts (each re-opens the data directory; successful or not).
-  uint64_t heal_attempts = 0;
+#define XUPD_RDB_STATS_DECLARE(field, label) uint64_t field = 0;
+  XUPD_RDB_STATS_FIELDS(XUPD_RDB_STATS_DECLARE)
+#undef XUPD_RDB_STATS_DECLARE
 
   void Reset() { *this = Stats{}; }
 
   Stats Delta(const Stats& earlier) const {
     Stats d;
-    d.statements = statements - earlier.statements;
-    d.sql_parses = sql_parses - earlier.sql_parses;
-    d.prepared_hits = prepared_hits - earlier.prepared_hits;
-    d.prepared_misses = prepared_misses - earlier.prepared_misses;
-    d.batched_rows = batched_rows - earlier.batched_rows;
-    d.plans_built = plans_built - earlier.plans_built;
-    d.plan_cache_hits = plan_cache_hits - earlier.plan_cache_hits;
-    d.trigger_statements = trigger_statements - earlier.trigger_statements;
-    d.trigger_firings = trigger_firings - earlier.trigger_firings;
-    d.rows_scanned = rows_scanned - earlier.rows_scanned;
-    d.index_probes = index_probes - earlier.index_probes;
-    d.rows_inserted = rows_inserted - earlier.rows_inserted;
-    d.rows_deleted = rows_deleted - earlier.rows_deleted;
-    d.rows_updated = rows_updated - earlier.rows_updated;
-    d.txn_begins = txn_begins - earlier.txn_begins;
-    d.txn_commits = txn_commits - earlier.txn_commits;
-    d.txn_rollbacks = txn_rollbacks - earlier.txn_rollbacks;
-    d.undo_records = undo_records - earlier.undo_records;
-    d.wal_appends = wal_appends - earlier.wal_appends;
-    d.wal_bytes = wal_bytes - earlier.wal_bytes;
-    d.wal_fsyncs = wal_fsyncs - earlier.wal_fsyncs;
-    d.checkpoints = checkpoints - earlier.checkpoints;
-    d.recovery_replayed = recovery_replayed - earlier.recovery_replayed;
-    d.integrity_checks = integrity_checks - earlier.integrity_checks;
-    d.heal_attempts = heal_attempts - earlier.heal_attempts;
+#define XUPD_RDB_STATS_DELTA(field, label) d.field = field - earlier.field;
+    XUPD_RDB_STATS_FIELDS(XUPD_RDB_STATS_DELTA)
+#undef XUPD_RDB_STATS_DELTA
     return d;
   }
 
   std::string ToString() const {
-    return "stmts=" + std::to_string(statements) +
-           " parses=" + std::to_string(sql_parses) +
-           " prep_hits=" + std::to_string(prepared_hits) +
-           " prep_miss=" + std::to_string(prepared_misses) +
-           " batched=" + std::to_string(batched_rows) +
-           " plans=" + std::to_string(plans_built) +
-           " plan_hits=" + std::to_string(plan_cache_hits) +
-           " trig_stmts=" + std::to_string(trigger_statements) +
-           " trig_fires=" + std::to_string(trigger_firings) +
-           " scanned=" + std::to_string(rows_scanned) +
-           " probes=" + std::to_string(index_probes) +
-           " ins=" + std::to_string(rows_inserted) +
-           " del=" + std::to_string(rows_deleted) +
-           " upd=" + std::to_string(rows_updated) +
-           " txn_begin=" + std::to_string(txn_begins) +
-           " txn_commit=" + std::to_string(txn_commits) +
-           " txn_rollback=" + std::to_string(txn_rollbacks) +
-           " undo=" + std::to_string(undo_records) +
-           " wal_appends=" + std::to_string(wal_appends) +
-           " wal_bytes=" + std::to_string(wal_bytes) +
-           " wal_fsyncs=" + std::to_string(wal_fsyncs) +
-           " checkpoints=" + std::to_string(checkpoints) +
-           " replayed=" + std::to_string(recovery_replayed) +
-           " scrubs=" + std::to_string(integrity_checks) +
-           " heals=" + std::to_string(heal_attempts);
+    std::string out;
+#define XUPD_RDB_STATS_TOSTRING(field, label) \
+  if (!out.empty()) out += ' ';               \
+  out += label "=";                           \
+  out += std::to_string(field);
+    XUPD_RDB_STATS_FIELDS(XUPD_RDB_STATS_TOSTRING)
+#undef XUPD_RDB_STATS_TOSTRING
+    return out;
+  }
+
+  /// Visits every counter as fn(field_name, value) in declaration order —
+  /// SHOW METRICS enumerates the full cost model through this.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define XUPD_RDB_STATS_VISIT(field, label) fn(#field, field);
+    XUPD_RDB_STATS_FIELDS(XUPD_RDB_STATS_VISIT)
+#undef XUPD_RDB_STATS_VISIT
   }
 };
 

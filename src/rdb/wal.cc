@@ -436,10 +436,13 @@ Status WalWriter::CommitPending(int64_t next_id) {
         "); the on-disk log ends at the last fully persisted unit — reopen "
         "or heal the database to resume");
   }
+  const uint64_t t0 = commit_hist_ != nullptr ? MonotonicNanos() : 0;
+  const uint64_t unit_records = pending_records_;
   size_t frame = FrameBegin();
   binio::PutU8(&pending_, static_cast<uint8_t>(RecordKind::kCommit));
   binio::PutI64(&pending_, next_id);
   FrameEnd(frame);
+  const uint64_t unit_bytes = pending_.size();
 
   Status write_status = WriteFully(file_.get(), pending_.data(),
                                    pending_.size(), "cannot append to WAL",
@@ -483,11 +486,20 @@ Status WalWriter::CommitPending(int64_t next_id) {
       }
       break;
   }
+  if (commit_hist_ != nullptr) {
+    const uint64_t dur = MonotonicNanos() - t0;
+    commit_hist_->Record(dur);
+    if (events_ != nullptr) {
+      events_->Record({TraceEvent::Kind::kWalUnit, t0, dur, unit_records,
+                       unit_bytes, nullptr});
+    }
+  }
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
   if (!dirty_) return Status::OK();
+  const uint64_t t0 = fsync_hist_ != nullptr ? MonotonicNanos() : 0;
   if (int err = file_->Sync(); err != 0) {
     // Fail-stop on fsync failure too: the kernel may have DROPPED the dirty
     // pages (fsync-gate semantics), so a unit that reported a commit error
@@ -501,6 +513,13 @@ Status WalWriter::Sync() {
   commits_since_sync_ = 0;
   synced_size_ = file_size_;
   ++stats_->wal_fsyncs;
+  if (fsync_hist_ != nullptr) {
+    const uint64_t dur = MonotonicNanos() - t0;
+    fsync_hist_->Record(dur);
+    if (events_ != nullptr) {
+      events_->Record({TraceEvent::Kind::kFsync, t0, dur, 0, 0, nullptr});
+    }
+  }
   return Status::OK();
 }
 

@@ -50,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "rdb/stats.h"
 #include "rdb/value.h"
@@ -193,6 +194,18 @@ class WalWriter {
   /// writer (operation + path + symbolic errno); empty when not broken.
   const std::string& broken_cause() const { return broken_cause_; }
 
+  /// Wires the owning Database's observability sinks in after Open (each
+  /// re-open after checkpoint re-attaches): CommitPending records its wall
+  /// time into `commit_hist` plus a kWalUnit event, Sync records fsync time
+  /// into `fsync_hist` plus a kFsync event. All three may be null (detached
+  /// writer, e.g. the TryHeal probe) — timing is skipped entirely then.
+  void AttachMetrics(Histogram* commit_hist, Histogram* fsync_hist,
+                     EventLog* events) {
+    commit_hist_ = commit_hist;
+    fsync_hist_ = fsync_hist;
+    events_ = events;
+  }
+
   /// fsync now if anything written is unsynced.
   Status Sync();
   /// Sync + close the file descriptor. Pending (uncommitted) records are
@@ -229,6 +242,10 @@ class WalWriter {
   /// Defs pended but not yet committed: (name, id, frame offset in
   /// pending_), offset-ascending — TruncatePending drops a suffix.
   std::vector<std::tuple<std::string, uint16_t, size_t>> pending_defs_;
+  /// Observability sinks (see AttachMetrics); null = detached.
+  Histogram* commit_hist_ = nullptr;
+  Histogram* fsync_hist_ = nullptr;
+  EventLog* events_ = nullptr;
   uint64_t commits_since_sync_ = 0;
   bool dirty_ = false;  ///< written bytes not yet fsynced.
   /// File length after the last fully written unit — where a failed append

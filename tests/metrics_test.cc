@@ -1,0 +1,213 @@
+// Tests for the metrics layer (common/metrics.h): log-linear histogram
+// bucket math, percentile interpolation, merge, the trace-event ring, and
+// registry export.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace xupd {
+namespace {
+
+// --- histogram bucket math --------------------------------------------------
+
+TEST(HistogramTest, SmallValuesGetExactBuckets) {
+  // Values below 2^kSubBits land in their own unit-width bucket.
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<int>(v)) << v;
+    EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketIndex(v)), v) << v;
+    EXPECT_EQ(Histogram::BucketWidth(Histogram::BucketIndex(v)), 1u) << v;
+  }
+}
+
+TEST(HistogramTest, OctaveBoundariesAreBucketStarts) {
+  // Each power-of-two boundary starts a fresh bucket whose lower bound is
+  // the boundary itself; widths double per octave.
+  const int b32 = Histogram::BucketIndex(32);
+  EXPECT_EQ(Histogram::BucketLowerBound(b32), 32u);
+  EXPECT_EQ(Histogram::BucketWidth(b32), 2u);
+  // 32 and 33 share a bucket (width 2); 34 is the next one.
+  EXPECT_EQ(Histogram::BucketIndex(33), b32);
+  EXPECT_EQ(Histogram::BucketIndex(34), b32 + 1);
+
+  const int b1024 = Histogram::BucketIndex(1024);
+  EXPECT_EQ(Histogram::BucketLowerBound(b1024), 1024u);
+  EXPECT_EQ(Histogram::BucketWidth(b1024), 64u);
+}
+
+TEST(HistogramTest, BucketIndexIsMonotonic) {
+  int prev = Histogram::BucketIndex(0);
+  for (uint64_t v = 1; v < 100000; v = v * 2 + 1) {
+    int b = Histogram::BucketIndex(v);
+    EXPECT_GE(b, prev) << v;
+    EXPECT_LE(Histogram::BucketLowerBound(b), v) << v;
+    EXPECT_GT(Histogram::BucketLowerBound(b) + Histogram::BucketWidth(b), v)
+        << v;
+    prev = b;
+  }
+}
+
+TEST(HistogramTest, HugeValuesSaturateInsteadOfOverflowing) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  // The percentile comes back from the top bucket without wrapping.
+  EXPECT_GT(h.Percentile(50), 0.0);
+}
+
+// --- recording and percentiles ----------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0u);
+}
+
+TEST(HistogramTest, SingleValueClampsAllPercentiles) {
+  Histogram h;
+  h.Record(777);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  // Interpolation inside the bucket is clamped to the observed range, so a
+  // single sample reports itself at every percentile.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 777.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 777.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 777.0);
+}
+
+TEST(HistogramTest, PercentilesOfUniformSmallRange) {
+  // 0..15 once each: every value has its own exact bucket, so percentiles
+  // are sharp up to intra-bucket interpolation.
+  Histogram h;
+  for (uint64_t v = 0; v <= 15; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.sum(), 120u);
+  double p50 = h.Percentile(50);
+  EXPECT_GE(p50, 7.0);
+  EXPECT_LE(p50, 9.0);
+  EXPECT_GE(h.Percentile(100), 15.0);
+  EXPECT_LE(h.Percentile(1), 1.0);
+}
+
+TEST(HistogramTest, PercentileOrderingHolds) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  double p50 = h.Percentile(50);
+  double p95 = h.Percentile(95);
+  double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-linear buckets bound the relative error: p50 of 1..10000 is near
+  // 5000, and a bucket at that magnitude is 512 wide.
+  EXPECT_NEAR(p50, 5000.0, 600.0);
+  EXPECT_NEAR(p99, 9900.0, 1200.0);
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndBounds) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(100000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 100000u);
+  EXPECT_EQ(a.sum(), 100030u);
+  EXPECT_GT(a.Percentile(99), 1000.0);  // the merged tail is visible
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(5);
+  h.Record(500);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SnapshotMatchesAccessors) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Record(v * 10);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, h.count());
+  EXPECT_EQ(s.sum, h.sum());
+  EXPECT_EQ(s.min, h.min());
+  EXPECT_EQ(s.max, h.max());
+  EXPECT_DOUBLE_EQ(s.p50, h.Percentile(50));
+  EXPECT_DOUBLE_EQ(s.p99, h.Percentile(99));
+}
+
+// --- trace-event ring -------------------------------------------------------
+
+TEST(EventLogTest, RingOverwritesOldestAndCountsDrops) {
+  EventLog log(4);
+  for (uint64_t i = 0; i < 6; ++i) {
+    log.Record({TraceEvent::Kind::kStatement, /*start_ns=*/i * 100,
+                /*duration_ns=*/i, /*a=*/i, /*b=*/0, /*detail=*/nullptr});
+  }
+  std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(log.dropped(), 2u);
+  // Oldest two (a=0, a=1) were overwritten; order is oldest-first.
+  EXPECT_EQ(events[0].a, 2u);
+  EXPECT_EQ(events[3].a, 5u);
+}
+
+TEST(EventLogTest, JsonLinesCarryKindAndTiming) {
+  EventLog log(8);
+  log.Record({TraceEvent::Kind::kFsync, 1000, 250, 1, 2, nullptr});
+  std::vector<std::string> lines = log.ToJsonLines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"kind\":\"fsync\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"duration_ns\":250"), std::string::npos);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersGaugesHistogramsRoundTrip) {
+  MetricsRegistry reg;
+  uint64_t* c = reg.Counter("test.counter");
+  *c += 41;
+  *reg.Counter("test.counter") += 1;  // same slot on re-lookup
+  EXPECT_EQ(*c, 42u);
+  int64_t* g = reg.Gauge("test.gauge");
+  *g = -7;
+  Histogram* h = reg.GetHistogram("test.hist");
+  h->Record(123);
+  EXPECT_EQ(reg.FindHistogram("test.hist"), h);
+  EXPECT_EQ(reg.FindHistogram("no.such"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ExportsContainRegisteredNames) {
+  MetricsRegistry reg;
+  *reg.Counter("export.counter") = 5;
+  reg.GetHistogram("export.hist")->Record(1000);
+  std::string text = reg.ExportText();
+  EXPECT_NE(text.find("export.counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("export.hist"), std::string::npos) << text;
+  std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("\"export.counter\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"export.hist\""), std::string::npos) << json;
+  // The JSON export is at least structurally balanced.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace xupd
