@@ -70,8 +70,7 @@ void Report(const char* mode, int n, double latency_us, const ModeResult& r) {
       "\"stmt_p50_us\":%.3f,\"stmt_p99_us\":%.3f,\"stmt_count\":%llu,"
       "\"statements\":%llu,\"sql_parses\":%llu,\"prepared_hits\":%llu,"
       "\"prepared_misses\":%llu,\"batched_rows\":%llu,"
-      "\"plans_built\":%llu,\"plan_cache_hits\":%llu,"
-      "\"sizeof_value\":%zu,\"peak_rss_kb\":%ld}\n",
+      "\"plans_built\":%llu,\"plan_cache_hits\":%llu,%s\n",
       mode, n, latency_us, r.seconds, us_per_row,
       r.stmt.p50_us, r.stmt.p99_us,
       static_cast<unsigned long long>(r.stmt.count),
@@ -82,7 +81,7 @@ void Report(const char* mode, int n, double latency_us, const ModeResult& r) {
       static_cast<unsigned long long>(r.stats.batched_rows),
       static_cast<unsigned long long>(r.stats.plans_built),
       static_cast<unsigned long long>(r.stats.plan_cache_hits),
-      sizeof(rdb::Value), bench::PeakRssKb());
+      bench::JsonTail().c_str());
 }
 
 std::string Payload(int i) { return "payload-" + std::to_string(i); }

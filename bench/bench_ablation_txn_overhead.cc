@@ -106,7 +106,7 @@ void Report(const char* op_name, const char* strategy, const char* mode,
       "\"run_p50_us\":%.1f,\"run_p99_us\":%.1f,"
       "\"statements\":%llu,\"trigger_statements\":%llu,"
       "\"txn_begins\":%llu,\"txn_commits\":%llu,\"txn_rollbacks\":%llu,"
-      "\"undo_records\":%llu}\n",
+      "\"undo_records\":%llu,%s\n",
       op_name, strategy, mode, r.seconds, overhead_pct,
       r.run_ns.Percentile(50) / 1e3, r.run_ns.Percentile(99) / 1e3,
       static_cast<unsigned long long>(r.stats.statements),
@@ -114,7 +114,8 @@ void Report(const char* op_name, const char* strategy, const char* mode,
       static_cast<unsigned long long>(r.stats.txn_begins),
       static_cast<unsigned long long>(r.stats.txn_commits),
       static_cast<unsigned long long>(r.stats.txn_rollbacks),
-      static_cast<unsigned long long>(r.stats.undo_records));
+      static_cast<unsigned long long>(r.stats.undo_records),
+      bench::JsonTail().c_str());
 }
 
 void RunModes(const workload::GeneratedDoc& gen, const char* op_name,

@@ -175,8 +175,7 @@ void Report(const char* strategy, const char* mode, const ModeResult& r,
       "\"commit_units\":%llu,"
       "\"recovery_seconds\":%.6f,\"wal_appends\":%llu,\"wal_bytes\":%llu,"
       "\"wal_fsyncs\":%llu,\"recovery_replayed\":%llu,"
-      "\"wal_bytes_per_record\":%.1f,\"sizeof_value\":%zu,"
-      "\"peak_rss_kb\":%ld}\n",
+      "\"wal_bytes_per_record\":%.1f,%s\n",
       strategy, mode, r.seconds, overhead_pct,
       r.run_ns.Percentile(50) / 1e3, r.commit_ns.Percentile(50) / 1e3,
       r.commit_ns.Percentile(99) / 1e3,
@@ -190,7 +189,7 @@ void Report(const char* strategy, const char* mode, const ModeResult& r,
           ? static_cast<double>(r.stats.wal_bytes) /
                 static_cast<double>(r.stats.wal_appends)
           : 0.0,
-      sizeof(rdb::Value), bench::PeakRssKb());
+      bench::JsonTail().c_str());
 }
 
 }  // namespace

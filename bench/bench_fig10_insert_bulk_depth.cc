@@ -70,11 +70,9 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"fig10_insert_bulk_depth\",\"sweep\":"
           "\"insert_batch_size\",\"batch\":%d,\"depth\":%d,\"sf\":100,"
-          "\"seconds\":%.6f,\"run_p50_us\":%.1f,\"run_p99_us\":%.1f,"
-          "\"sizeof_value\":%zu,\"peak_rss_kb\":%ld}\n",
+          "\"seconds\":%.6f,\"run_p50_us\":%.1f,\"run_p99_us\":%.1f,%s\n",
           batch, depth, t.avg_seconds, t.run_ns.Percentile(50) / 1e3,
-          t.run_ns.Percentile(99) / 1e3, sizeof(rdb::Value),
-          bench::PeakRssKb());
+          t.run_ns.Percentile(99) / 1e3, bench::JsonTail().c_str());
     }
   }
   return 0;

@@ -87,9 +87,9 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"fig11_insert_random_depth\",\"sweep\":"
           "\"insert_batch_size\",\"batch\":%d,\"depth\":%d,\"sf\":100,"
-          "\"seconds\":%.6f,\"run_p50_us\":%.1f,\"run_p99_us\":%.1f}\n",
+          "\"seconds\":%.6f,\"run_p50_us\":%.1f,\"run_p99_us\":%.1f,%s\n",
           batch, depth, t.avg_seconds, t.run_ns.Percentile(50) / 1e3,
-          t.run_ns.Percentile(99) / 1e3);
+          t.run_ns.Percentile(99) / 1e3, bench::JsonTail().c_str());
     }
   }
   return 0;

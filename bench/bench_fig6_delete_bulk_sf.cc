@@ -43,11 +43,9 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"fig6_delete_bulk_sf\",\"method\":\"%s\","
           "\"sf\":%d,\"seconds\":%.6f,\"run_p50_us\":%.1f,"
-          "\"run_p99_us\":%.1f,\"sizeof_value\":%zu,"
-          "\"peak_rss_kb\":%ld}\n",
+          "\"run_p99_us\":%.1f,%s\n",
           ToString(method), sf, t.avg_seconds, t.run_ns.Percentile(50) / 1e3,
-          t.run_ns.Percentile(99) / 1e3, sizeof(rdb::Value),
-          bench::PeakRssKb());
+          t.run_ns.Percentile(99) / 1e3, bench::JsonTail().c_str());
     }
   }
   return 0;

@@ -66,6 +66,18 @@ inline long PeakRssKb() {
   return ru.ru_maxrss;
 }
 
+/// Common trailing fields for bench JSON rows: the number of concurrently
+/// executing worker threads the row measured (1 = the paper's single-
+/// threaded protocol; concurrent-reader benches report their fan-out),
+/// the Value footprint, and peak RSS. Returns the closing "}" too.
+inline std::string JsonTail(int threads = 1) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\"threads\":%d,\"sizeof_value\":%zu,\"peak_rss_kb\":%ld}",
+                threads, sizeof(rdb::Value), PeakRssKb());
+  return buf;
+}
+
 /// Builds a fresh store with explicit options over `gen` and loads it.
 inline std::unique_ptr<engine::RelationalStore> FreshStore(
     const workload::GeneratedDoc& gen,

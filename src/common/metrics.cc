@@ -7,15 +7,17 @@
 namespace xupd {
 
 double Histogram::Percentile(double p) const {
-  if (count_ == 0) return 0;
+  const uint64_t total = count();
+  if (total == 0) return 0;
   if (p <= 0) return static_cast<double>(min());
-  if (p >= 100) return static_cast<double>(max_);
+  if (p >= 100) return static_cast<double>(max());
   // Rank of the target sample, 1-based; ceil so p=50 over 2 samples picks
   // the first.
-  const double rank = p / 100.0 * static_cast<double>(count_);
+  const double rank = p / 100.0 * static_cast<double>(total);
   uint64_t seen = 0;
   for (int i = 0; i < kBucketCount; ++i) {
-    const uint64_t n = buckets_[static_cast<size_t>(i)];
+    const uint64_t n =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
     if (n == 0) continue;
     if (static_cast<double>(seen + n) >= rank) {
       // Interpolate linearly inside the bucket by how far the rank sits
@@ -25,22 +27,32 @@ double Histogram::Percentile(double p) const {
       const double v = static_cast<double>(BucketLowerBound(i)) +
                        frac * static_cast<double>(BucketWidth(i));
       return std::clamp(v, static_cast<double>(min()),
-                        static_cast<double>(max_));
+                        static_cast<double>(max()));
     }
     seen += n;
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(max());
 }
 
 void Histogram::Merge(const Histogram& other) {
-  if (other.count_ == 0) return;
+  if (other.count() == 0) return;
   for (int i = 0; i < kBucketCount; ++i) {
-    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+    buckets_[static_cast<size_t>(i)].fetch_add(
+        other.buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
-  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
-  if (other.max_ > max_) max_ = other.max_;
-  count_ += other.count_;
-  sum_ += other.sum_;
+  const uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  while (omin < m &&
+         !min_.compare_exchange_weak(m, omin, std::memory_order_relaxed)) {
+  }
+  const uint64_t omax = other.max_.load(std::memory_order_relaxed);
+  m = max_.load(std::memory_order_relaxed);
+  while (omax > m &&
+         !max_.compare_exchange_weak(m, omax, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
 }
 
 const char* ToString(TraceEvent::Kind kind) {
@@ -58,6 +70,7 @@ const char* ToString(TraceEvent::Kind kind) {
 }
 
 std::vector<TraceEvent> EventLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(size_);
   for (size_t i = 0; i < size_; ++i) {
@@ -67,10 +80,11 @@ std::vector<TraceEvent> EventLog::Events() const {
 }
 
 std::vector<std::string> EventLog::ToJsonLines() const {
+  const std::vector<TraceEvent> events = Events();
   std::vector<std::string> out;
-  out.reserve(size_);
+  out.reserve(events.size());
   char buf[256];
-  for (const TraceEvent& e : Events()) {
+  for (const TraceEvent& e : events) {
     int n = std::snprintf(
         buf, sizeof buf,
         "{\"kind\":\"%s\",\"start_ns\":%" PRIu64 ",\"duration_ns\":%" PRIu64
@@ -95,23 +109,32 @@ std::string EventLog::DumpJson() const {
   return out;
 }
 
-uint64_t* MetricsRegistry::Counter(std::string_view name) {
+std::atomic<uint64_t>* MetricsRegistry::Counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), 0).first;
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<std::atomic<uint64_t>>(0))
+             .first;
   }
-  return &it->second;
+  return it->second.get();
 }
 
-int64_t* MetricsRegistry::Gauge(std::string_view name) {
+std::atomic<int64_t>* MetricsRegistry::Gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), 0).first;
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<std::atomic<int64_t>>(0))
+             .first;
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -121,19 +144,23 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it != histograms_.end() ? it->second.get() : nullptr;
 }
 
 std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char buf[160];
   for (const auto& [name, value] : counters_) {
-    std::snprintf(buf, sizeof buf, "%s %" PRIu64 "\n", name.c_str(), value);
+    std::snprintf(buf, sizeof buf, "%s %" PRIu64 "\n", name.c_str(),
+                  value->load(std::memory_order_relaxed));
     out += buf;
   }
   for (const auto& [name, value] : gauges_) {
-    std::snprintf(buf, sizeof buf, "%s %" PRId64 "\n", name.c_str(), value);
+    std::snprintf(buf, sizeof buf, "%s %" PRId64 "\n", name.c_str(),
+                  value->load(std::memory_order_relaxed));
     out += buf;
   }
   for (const auto& [name, hist] : histograms_) {
@@ -150,12 +177,13 @@ std::string MetricsRegistry::ExportText() const {
 }
 
 std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
   char buf[200];
   bool first = true;
   for (const auto& [name, value] : counters_) {
     std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRIu64, first ? "" : ",",
-                  name.c_str(), value);
+                  name.c_str(), value->load(std::memory_order_relaxed));
     out += buf;
     first = false;
   }
@@ -163,7 +191,7 @@ std::string MetricsRegistry::ExportJson() const {
   first = true;
   for (const auto& [name, value] : gauges_) {
     std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRId64, first ? "" : ",",
-                  name.c_str(), value);
+                  name.c_str(), value->load(std::memory_order_relaxed));
     out += buf;
     first = false;
   }

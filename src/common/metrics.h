@@ -8,15 +8,29 @@
 // here is built to be always-on: recording a histogram sample is one clock
 // read plus one bucket increment, and recording a trace event is a struct
 // copy into a preallocated ring. Nothing allocates on the hot path.
+//
+// Thread safety: the multi-threaded engine (epoch-snapshot readers, the
+// group-commit flusher, the background checkpointer) records into these
+// primitives from several threads at once. Histogram::Record and registry
+// counters/gauges are relaxed atomics — concurrent Record() calls never
+// tear, though a reader taking a snapshot mid-burst may observe a count
+// that is ahead of the matching bucket (monotonic, eventually consistent).
+// EventLog is mutex-guarded (Record is rare enough that a lock beats the
+// complexity of a lock-free ring). MetricsRegistry's get-or-create maps are
+// mutex-guarded; the returned pointers stay valid for the registry's
+// lifetime and are themselves atomic, so hot paths still touch plain
+// memory after a one-time lookup.
 #ifndef XUPD_COMMON_METRICS_H_
 #define XUPD_COMMON_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,7 +61,11 @@ struct HistogramSnapshot {
 /// Log-linear latency histogram (HdrHistogram-style): values below 16 get
 /// exact unit buckets; above that, each power-of-two octave is split into
 /// 16 linear sub-buckets, so relative error is bounded at ~6% across the
-/// full uint64 range. Record() is one std::bit_width plus one increment.
+/// full uint64 range. Record() is one std::bit_width plus one relaxed
+/// atomic increment, safe to call from any thread. Readers (Percentile,
+/// Snapshot, Merge, copy) take a racy-but-untorn view: each word is loaded
+/// atomically, so concurrent recording can skew a snapshot by at most the
+/// in-flight samples.
 ///
 /// Samples are dimensionless; engine call sites record nanoseconds.
 class Histogram {
@@ -58,6 +76,13 @@ class Histogram {
   static constexpr int kLastOctave = 63;
   static constexpr int kBucketCount =
       kSubCount + (kLastOctave - kFirstOctave + 1) * kSubCount;
+
+  Histogram() = default;
+  Histogram(const Histogram& other) { CopyFrom(other); }
+  Histogram& operator=(const Histogram& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
 
   /// Bucket index for a value. Deterministic and exposed for tests:
   /// BucketIndex(v) == v for v < 16; BucketIndex(32) starts a new octave.
@@ -87,17 +112,27 @@ class Histogram {
   }
 
   void Record(uint64_t value) {
-    ++buckets_[static_cast<size_t>(BucketIndex(value))];
-    ++count_;
-    sum_ += value;
-    if (count_ == 1 || value < min_) min_ = value;
-    if (value > max_) max_ = value;
+    buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t m = min_.load(std::memory_order_relaxed);
+    while (value < m &&
+           !min_.compare_exchange_weak(m, value, std::memory_order_relaxed)) {
+    }
+    m = max_.load(std::memory_order_relaxed);
+    while (value > m &&
+           !max_.compare_exchange_weak(m, value, std::memory_order_relaxed)) {
+    }
   }
 
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
-  uint64_t min() const { return count_ > 0 ? min_ : 0; }
-  uint64_t max() const { return max_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    const uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == kNoMin ? 0 : m;
+  }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
 
   /// Value at percentile `p` in [0, 100]: linear interpolation inside the
   /// bucket holding the p-th sample, clamped to [min, max] so single-sample
@@ -112,10 +147,10 @@ class Histogram {
 
   HistogramSnapshot Snapshot() const {
     HistogramSnapshot s;
-    s.count = count_;
-    s.sum = sum_;
+    s.count = count();
+    s.sum = sum();
     s.min = min();
-    s.max = max_;
+    s.max = max();
     s.p50 = Percentile(50);
     s.p95 = Percentile(95);
     s.p99 = Percentile(99);
@@ -123,11 +158,30 @@ class Histogram {
   }
 
  private:
-  std::array<uint64_t, kBucketCount> buckets_{};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
+  static constexpr uint64_t kNoMin = UINT64_MAX;  // min_ when empty.
+
+  void CopyFrom(const Histogram& other) {
+    for (int i = 0; i < kBucketCount; ++i) {
+      buckets_[static_cast<size_t>(i)].store(
+          other.buckets_[static_cast<size_t>(i)].load(
+              std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    count_.store(other.count_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    sum_.store(other.sum_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    min_.store(other.min_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    max_.store(other.max_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{kNoMin};
+  std::atomic<uint64_t> max_{0};
 };
 
 /// One structured trace event: a timestamped span with two numeric payload
@@ -159,12 +213,16 @@ const char* ToString(TraceEvent::Kind kind);
 
 /// Fixed-capacity ring of TraceEvents. When full, the oldest event is
 /// overwritten and `dropped()` counts it; the engine can therefore trace
-/// forever with bounded memory and no branch-heavy bookkeeping.
+/// forever with bounded memory and no branch-heavy bookkeeping. A mutex
+/// guards the ring — events are recorded at statement/fsync granularity
+/// (thousands per second, not millions), so contention is negligible and
+/// recording from the writer, flusher, and checkpoint threads is safe.
 class EventLog {
  public:
   explicit EventLog(size_t capacity = 1024) : ring_(capacity) {}
 
   void Record(const TraceEvent& e) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (ring_.empty()) return;
     if (size_ == ring_.size()) {
       ring_[head_] = e;
@@ -176,10 +234,20 @@ class EventLog {
     }
   }
 
-  size_t size() const { return size_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
   size_t capacity() const { return ring_.size(); }
-  uint64_t dropped() const { return dropped_; }
-  void Clear() { size_ = head_ = 0; dropped_ = 0; }
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_ = head_ = 0;
+    dropped_ = 0;
+  }
 
   /// Events oldest-first.
   std::vector<TraceEvent> Events() const;
@@ -191,7 +259,8 @@ class EventLog {
   std::string DumpJson() const;
 
  private:
-  std::vector<TraceEvent> ring_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // capacity fixed after construction.
   size_t head_ = 0;
   size_t size_ = 0;
   uint64_t dropped_ = 0;
@@ -200,15 +269,17 @@ class EventLog {
 /// Named counters, gauges, and histograms. Counter()/Gauge()/GetHistogram()
 /// are get-or-create and return pointers that stay valid for the registry's
 /// lifetime, so call sites resolve names once and then touch plain memory.
-/// Iteration and export are name-sorted for deterministic output.
+/// Counters and gauges are atomics (updated via the returned pointer from
+/// any thread); the name maps are mutex-guarded. Iteration and export are
+/// name-sorted for deterministic output.
 class MetricsRegistry {
  public:
   /// Monotonically increasing counter (caller increments through the
   /// returned pointer).
-  uint64_t* Counter(std::string_view name);
+  std::atomic<uint64_t>* Counter(std::string_view name);
 
   /// Point-in-time gauge (caller assigns through the returned pointer).
-  int64_t* Gauge(std::string_view name);
+  std::atomic<int64_t>* Gauge(std::string_view name);
 
   Histogram* GetHistogram(std::string_view name);
 
@@ -217,16 +288,23 @@ class MetricsRegistry {
 
   template <typename Fn>  // fn(const std::string&, uint64_t)
   void ForEachCounter(Fn&& fn) const {
-    for (const auto& [name, value] : counters_) fn(name, value);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, value] : counters_) {
+      fn(name, value->load(std::memory_order_relaxed));
+    }
   }
 
   template <typename Fn>  // fn(const std::string&, int64_t)
   void ForEachGauge(Fn&& fn) const {
-    for (const auto& [name, value] : gauges_) fn(name, value);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, value] : gauges_) {
+      fn(name, value->load(std::memory_order_relaxed));
+    }
   }
 
   template <typename Fn>  // fn(const std::string&, const Histogram&)
   void ForEachHistogram(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, hist] : histograms_) fn(name, *hist);
   }
 
@@ -238,8 +316,11 @@ class MetricsRegistry {
   std::string ExportJson() const;
 
  private:
-  std::map<std::string, uint64_t, std::less<>> counters_;
-  std::map<std::string, int64_t, std::less<>> gauges_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>, std::less<>>
+      counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<int64_t>>, std::less<>>
+      gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 

@@ -41,8 +41,8 @@ class EngineSpan {
  private:
   rdb::Database* db_;
   const char* op_;
-  uint64_t* exec_ns_;
-  uint64_t* trigger_ns_;
+  std::atomic<uint64_t>* exec_ns_;
+  std::atomic<uint64_t>* trigger_ns_;
   uint64_t t0_;
   uint64_t exec0_;
   uint64_t trigger0_;
@@ -52,14 +52,14 @@ class EngineSpan {
 /// ASR maintenance (engine.asr_ns) inside whatever operation runs it.
 class ScopedNsCounter {
  public:
-  explicit ScopedNsCounter(uint64_t* counter)
+  explicit ScopedNsCounter(std::atomic<uint64_t>* counter)
       : counter_(counter), t0_(MonotonicNanos()) {}
   ScopedNsCounter(const ScopedNsCounter&) = delete;
   ScopedNsCounter& operator=(const ScopedNsCounter&) = delete;
   ~ScopedNsCounter() { *counter_ += MonotonicNanos() - t0_; }
 
  private:
-  uint64_t* counter_;
+  std::atomic<uint64_t>* counter_;
   uint64_t t0_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "common/str_util.h"
+#include "rdb/exec_node.h"
 #include "rdb/snapshot.h"
 #include "rdb/sql_executor.h"
 #include "rdb/sql_parser.h"
@@ -62,6 +63,7 @@ void Database::InitMetrics() {
   }
   exec_ns_ = metrics_.Counter("db.exec_ns");
   trigger_ns_ = metrics_.Counter("db.trigger_ns");
+  epochs_.readers_gauge = metrics_.Gauge("readers.active");
 }
 
 size_t Database::StmtKindSlot(sql::Statement::Kind kind) {
@@ -111,12 +113,13 @@ void Database::InvalidateStatementCache() {
 }
 
 void Database::BumpCatalogVersion() {
-  ++catalog_version_;
+  catalog_version_.fetch_add(1, std::memory_order_acq_rel);
   trigger_plans_.clear();
 }
 
 std::shared_ptr<const uint64_t> Database::table_version(
     std::string_view name) {
+  std::lock_guard<std::mutex> lock(table_versions_mu_);
   auto it = table_versions_.find(name);
   if (it == table_versions_.end()) {
     it = table_versions_.emplace(std::string(name),
@@ -126,6 +129,7 @@ std::shared_ptr<const uint64_t> Database::table_version(
 }
 
 void Database::BumpTableVersion(std::string_view name) {
+  std::lock_guard<std::mutex> lock(table_versions_mu_);
   auto it = table_versions_.find(name);
   if (it != table_versions_.end()) ++*it->second;
 }
@@ -134,6 +138,10 @@ void Database::BumpTableVersion(std::string_view name) {
 // Durability
 
 Database::~Database() {
+  // Background threads first: the checkpoint thread holds raw Table* /
+  // reader-slot state, the flusher dereferences wal_.
+  (void)CheckpointWait();
+  StopFlusher();
   if (wal_ != nullptr) {
     // Clean shutdown persists pending direct-API writes; an open
     // transaction's pending redo is uncommitted and must not.
@@ -209,24 +217,40 @@ Status Database::Open(const std::string& dir,
 
   Status recovered = RecoverFromDir();
   if (!recovered.ok()) return fail(recovered);
+  if (durability_options_.sync_mode == SyncMode::kBatched) StartFlusher();
   return Status::OK();
 }
 
 Status Database::RecoverFromDir() {
   const uint64_t t0 = MonotonicNanos();
   uint64_t epoch = 1;
+  uint64_t wal_offset = 0;
   bool have_snapshot = false;
   if (vfs_->Exists(SnapshotPath(data_dir_))) {
     auto loaded = LoadSnapshot(this, vfs_, SnapshotPath(data_dir_));
     if (!loaded.ok()) return loaded.status();
-    epoch = loaded.value();
+    epoch = loaded.value().epoch;
+    wal_offset = loaded.value().wal_offset;
     have_snapshot = true;
   }
   WalReplayResult replay;
   if (vfs_->Exists(WalPath(data_dir_))) {
-    auto replayed = ReplayWal(this, vfs_, WalPath(data_dir_), epoch);
+    auto replayed = ReplayWal(this, vfs_, WalPath(data_dir_), epoch,
+                              wal_offset);
     if (!replayed.ok()) return replayed.status();
     replay = replayed.value();
+  }
+  if (replay.valid_bytes < wal_offset) {
+    // The snapshot (written by a background checkpoint) contains every
+    // commit up to wal_offset, but the WAL's valid prefix ends short of
+    // that — a synced region was lost or corrupted. Resuming appends at
+    // valid_bytes would alias NEW commits into the byte range the next
+    // recovery skips as snapshot-covered, silently dropping them; fail
+    // loudly instead.
+    return Status::Internal(
+        "WAL valid prefix (" + std::to_string(replay.valid_bytes) +
+        " bytes) ends before the snapshot's recorded offset (" +
+        std::to_string(wal_offset) + "): a synced WAL region was lost");
   }
   stats_.recovery_replayed += replay.applied_records;
   recovered_ = have_snapshot || replay.applied_records > 0;
@@ -237,8 +261,12 @@ Status Database::RecoverFromDir() {
   if (!writer.ok()) return writer.status();
   wal_ = std::move(writer).value();
   wal_->AttachMetrics(metrics_.GetHistogram("wal.commit_unit"),
-                      metrics_.GetHistogram("wal.fsync"), &events_);
+                      metrics_.GetHistogram("wal.fsync"),
+                      metrics_.GetHistogram("wal.batch_commits"), &events_);
   txn_.AttachWal(wal_.get());
+  // Everything loaded so far belongs to the pre-boundary epoch; publish the
+  // first post-recovery boundary so reader pins see the recovered state.
+  epochs_.Advance();
   const uint64_t dur = MonotonicNanos() - t0;
   metrics_.GetHistogram("db.recovery")->Record(dur);
   events_.Record({TraceEvent::Kind::kRecovery, t0, dur,
@@ -256,6 +284,11 @@ Status Database::Checkpoint() {
         "cannot checkpoint inside a transaction (the snapshot must not "
         "contain uncommitted effects)");
   }
+  // A background checkpoint holds raw Table* and WAL-offset assumptions
+  // this full checkpoint would invalidate (it truncates the WAL). Its own
+  // failure is benign (old snapshot + full WAL stay consistent), so it
+  // does not block this full checkpoint.
+  (void)CheckpointWait();
   Status unit = WalCommitUnit();
   if (!unit.ok()) {
     if (wal_->broken()) EnterReadOnly(unit);
@@ -266,7 +299,7 @@ Status Database::Checkpoint() {
   bool renamed = false;
   Status snap = WriteSnapshot(*this, vfs_, SnapshotPath(data_dir_),
                               SnapshotTmpPath(data_dir_), new_epoch,
-                              &renamed);
+                              /*wal_offset=*/0, &renamed);
   if (!snap.ok()) {
     // Fail-stop only when the new-epoch snapshot is already visible (the
     // failure hit the post-rename directory fsync): the still-open
@@ -284,6 +317,8 @@ Status Database::Checkpoint() {
   // The snapshot now contains every WAL record; reset the log to the new
   // epoch. A crash between the rename above and this reset leaves an
   // old-epoch WAL that recovery recognizes as contained and ignores.
+  // flusher_mu_ keeps the group-commit flusher off wal_ across the swap.
+  std::unique_lock<std::mutex> flusher_lock(flusher_mu_);
   Status closed = wal_->Close();
   auto reopened = closed.ok()
                       ? WalWriter::Open(vfs_, WalPath(data_dir_), new_epoch, 0,
@@ -296,13 +331,16 @@ Status Database::Checkpoint() {
     // COMMIT fails loudly at its unit boundary.
     wal_->MarkBroken("cannot reset WAL after checkpoint: " +
                      reopened.status().message());
+    flusher_lock.unlock();
     EnterReadOnly(reopened.status());
     return reopened.status();
   }
   wal_ = std::move(reopened).value();
   wal_->AttachMetrics(metrics_.GetHistogram("wal.commit_unit"),
-                      metrics_.GetHistogram("wal.fsync"), &events_);
+                      metrics_.GetHistogram("wal.fsync"),
+                      metrics_.GetHistogram("wal.batch_commits"), &events_);
   txn_.AttachWal(wal_.get());
+  flusher_lock.unlock();
   ++stats_.checkpoints;
   const uint64_t dur = MonotonicNanos() - t0;
   metrics_.GetHistogram("db.checkpoint")->Record(dur);
@@ -312,7 +350,24 @@ Status Database::Checkpoint() {
 
 Status Database::WalFlush() {
   if (txn_.active()) return Status::OK();
-  return WalCommitUnit();
+  Status unit = WalCommitUnit();
+  // Every top-level boundary publishes an epoch — also on statement failure
+  // (outside a transaction partial effects stay visible, matching the
+  // documented single-thread semantics) and on non-durable Databases.
+  AdvanceEpochBoundary();
+  return unit;
+}
+
+void Database::AdvanceEpochBoundary() {
+  epochs_.Advance();
+  // Fast path: nothing retired and no version-buffer images → the boundary
+  // cost is the single atomic increment above.
+  if (!epochs_.has_retired() && epochs_.version_entries == 0) return;
+  const uint64_t min_pinned = epochs_.MinPinned();
+  epochs_.ReclaimBefore(min_pinned);
+  if (epochs_.version_entries > 0) {
+    for (auto& [name, table] : tables_) table->GcVersions(min_pinned);
+  }
 }
 
 Status Database::WalCommitUnit() {
@@ -390,6 +445,9 @@ Status Database::CheckWritable(const sql::Statement& stmt) const {
 }
 
 Status Database::ReopenFromDisk() {
+  // No background work may straddle the rebuild: the checkpoint thread
+  // holds raw Table*, the flusher dereferences wal_.
+  (void)CheckpointWait();
   // Probe first: recover the on-disk state into a scratch Database. Free
   // functions only (no Open), so the scratch never touches our flock. If
   // the fault is still active this fails without disturbing our readable
@@ -413,16 +471,29 @@ Status Database::ReopenFromDisk() {
 
   // The disk state recovers cleanly — rebuild this Database from it.
   // Dropping the catalog invalidates every cached plan via per-table
-  // versions plus the global catalog version.
-  wal_ = nullptr;
+  // versions plus the global catalog version. The exclusive catalog lock
+  // covers only the teardown (holding it across RecoverFromDir would
+  // deadlock with CreateTableDirect's own exclusive acquisition): reader
+  // statements racing the rebuild may see a partial catalog — a documented
+  // heal-window anomaly.
+  {
+    std::lock_guard<std::mutex> flusher_lock(flusher_mu_);
+    wal_ = nullptr;
+  }
   txn_.AttachWal(nullptr);
-  for (auto& [name, version] : table_versions_) ++*version;
-  tables_.clear();
-  triggers_.clear();
-  trigger_plans_.clear();
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    {
+      std::lock_guard<std::mutex> vlock(table_versions_mu_);
+      for (auto& [name, version] : table_versions_) ++*version;
+    }
+    tables_.clear();
+    triggers_.clear();
+    trigger_plans_.clear();
+    InvalidateStatementCache();
+  }
   next_id_ = 1;
   recovered_ = false;
-  InvalidateStatementCache();
   // Clear the gate BEFORE replaying: snapshot load re-executes CREATE
   // TRIGGER text through the Executor, which checks CheckWritable.
   read_only_ = false;
@@ -471,6 +542,7 @@ Status Database::Commit() {
   // The outermost commit makes the unit durable: flush its redo records.
   if (!txn_.active()) {
     Status unit = WalCommitUnit();
+    AdvanceEpochBoundary();
     const uint64_t dur = MonotonicNanos() - txn_start_ns_;
     metrics_.GetHistogram("db.txn")->Record(dur);
     events_.Record({TraceEvent::Kind::kTxn, txn_start_ns_, dur, 1, 0,
@@ -485,6 +557,9 @@ Status Database::Rollback() {
   if (!next_id.ok()) return next_id.status();
   next_id_ = next_id.value();
   if (!txn_.active()) {
+    // Rolled-back state is a boundary too: rows un-deleted by undo carry
+    // their restored metadata and must become visible to new pins.
+    AdvanceEpochBoundary();
     const uint64_t dur = MonotonicNanos() - txn_start_ns_;
     metrics_.GetHistogram("db.txn")->Record(dur);
     events_.Record({TraceEvent::Kind::kTxn, txn_start_ns_, dur, 0, 0,
@@ -511,7 +586,9 @@ Status Database::RollbackTo(const std::string& name) {
 
 Status Database::Release(const std::string& name) {
   XUPD_RETURN_IF_ERROR(txn_.Release(name));
-  if (!txn_.active()) return WalCommitUnit();
+  // Releasing the outermost scope commits the unit — WalFlush also
+  // publishes the epoch boundary.
+  if (!txn_.active()) return WalFlush();
   return Status::OK();
 }
 
@@ -676,8 +753,12 @@ Result<Table*> Database::CreateTableDirect(TableSchema schema,
                                        transactional ? &txn_ : nullptr);
   table->set_durable(durable);
   table->set_interner(&interner_);
+  table->set_epoch_manager(&epochs_);
   Table* raw = table.get();
-  tables_.emplace(std::move(key), std::move(table));
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    tables_.emplace(std::move(key), std::move(table));
+  }
   return raw;
 }
 
@@ -693,11 +774,8 @@ Status Database::DropTableDirect(std::string_view name) {
         "' inside a transaction while the WAL is open (the drop could not "
         "roll back with the enclosing scope)");
   }
-  // Cached plans may hold this Table*; their per-table dependency makes
-  // them re-plan before any reuse. Plans over other tables stay valid — no
-  // global version bump (that is the point of per-table dependencies: the
-  // §6.2.2 staging churn leaves unrelated cached plans hot).
-  BumpTableVersion(name);
+  // An off-thread checkpoint may hold this raw Table*.
+  (void)CheckpointWait();
   txn_.PurgeTable(it->second.get());
   std::string dropped = it->second->schema().name();
   bool was_durable = it->second->durable();
@@ -706,15 +784,25 @@ Status Database::DropTableDirect(std::string_view name) {
     // serialized) replay first, then the DROP removes it, like in memory.
     WalLogDdl("DROP TABLE " + dropped);
   }
-  tables_.erase(it);
-  for (auto t = triggers_.begin(); t != triggers_.end();) {
-    if (EqualsIgnoreCase(t->table, dropped)) {
-      // The trigger-plan map is keyed by these statements' identities;
-      // erase them before the shared_ptrs can die.
-      for (const auto& stmt : t->body) trigger_plans_.erase(stmt.get());
-      t = triggers_.erase(t);
-    } else {
-      ++t;
+  {
+    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    // Cached plans may hold this Table*; their per-table dependency makes
+    // them re-plan before any reuse. Plans over other tables stay valid —
+    // no global version bump (that is the point of per-table dependencies:
+    // the §6.2.2 staging churn leaves unrelated cached plans hot). Bumped
+    // inside the exclusive section so no reader validates a stale plan
+    // against the mutated catalog.
+    BumpTableVersion(name);
+    tables_.erase(it);
+    for (auto t = triggers_.begin(); t != triggers_.end();) {
+      if (EqualsIgnoreCase(t->table, dropped)) {
+        // The trigger-plan map is keyed by these statements' identities;
+        // erase them before the shared_ptrs can die.
+        for (const auto& stmt : t->body) trigger_plans_.erase(stmt.get());
+        t = triggers_.erase(t);
+      } else {
+        ++t;
+      }
     }
   }
   // A durable drop is a catalog change like SQL DDL: flush it (and any
@@ -750,6 +838,309 @@ std::vector<std::string> Database::TableNames() const {
     out.push_back(table->schema().name());
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit flusher (kBatched durability)
+
+void Database::StartFlusher() {
+  if (flusher_.joinable()) return;
+  flusher_stop_ = false;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void Database::StopFlusher() {
+  if (!flusher_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(flusher_mu_);
+    flusher_stop_ = true;
+  }
+  flusher_cv_.notify_all();
+  flusher_.join();
+}
+
+void Database::FlusherLoop() {
+  const int window_us = durability_options_.group_commit_window_us > 0
+                            ? durability_options_.group_commit_window_us
+                            : 2000;
+  std::unique_lock<std::mutex> lock(flusher_mu_);
+  while (!flusher_stop_) {
+    flusher_cv_.wait_for(lock, std::chrono::microseconds(window_us));
+    if (flusher_stop_) break;
+    // flusher_mu_ (held) keeps wal_ stable across checkpoint/heal swaps;
+    // Sync itself no-ops when nothing is dirty. A sync failure is left for
+    // the writer to discover at its next commit (MarkBroken happened
+    // inside Sync); the flusher never flips the Database read-only from
+    // off-thread.
+    if (wal_ != nullptr && !wal_->broken()) (void)wal_->Sync();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Off-thread checkpoint
+
+Status Database::CheckpointBackground() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("durability is not open");
+  }
+  if (read_only_) return ReadOnlyError("checkpoint");
+  if (txn_.active()) {
+    return Status::InvalidArgument(
+        "cannot checkpoint inside a transaction (the snapshot must not "
+        "contain uncommitted effects)");
+  }
+  if (checkpoint_running_) {
+    return Status::InvalidArgument(
+        "a background checkpoint is already running");
+  }
+  Status unit = WalCommitUnit();
+  if (!unit.ok()) {
+    if (wal_->broken()) EnterReadOnly(unit);
+    return unit;
+  }
+  // Everything the snapshot will claim (bytes below wal_offset) must be
+  // power-loss durable before the offset is stamped: under kBatched there
+  // may be acknowledged-but-unsynced units.
+  Status synced = wal_->Sync();
+  if (!synced.ok()) {
+    if (wal_->broken()) EnterReadOnly(synced);
+    return synced;
+  }
+  // Publish the boundary the snapshot captures, then pin it like a reader:
+  // the writer keeps committing past it while the background thread reads
+  // the pinned epoch's view, and reclamation holds anything the pin can
+  // still reach.
+  AdvanceEpochBoundary();
+  const int slot = epochs_.AcquireSlot();
+  if (slot < 0) {
+    return Status::Unavailable(
+        "no epoch slot free for a background checkpoint (all reader "
+        "sessions in use)");
+  }
+  auto capture = std::make_shared<CheckpointCapture>();
+  capture->pin_epoch = epochs_.Pin(slot);
+  capture->next_id = next_id_;
+  capture->wal_offset = wal_->file_size();
+  capture->epoch = wal_->epoch();
+  for (const auto& [name, table] : tables_) {
+    if (!table->durable()) continue;
+    capture->tables.emplace_back(table.get(), table->SnapshotRowCount());
+  }
+  for (const auto& trigger : triggers_) {
+    capture->trigger_sql.push_back(trigger.sql);
+  }
+  checkpoint_slot_ = slot;
+  checkpoint_running_ = true;
+  checkpoint_status_ = Status::OK();
+  checkpoint_renamed_ = false;
+
+  // Handshake: the captured raw Table* are only safe while the background
+  // thread holds the shared catalog lock, but a shared_lock cannot be
+  // transferred across threads — so wait here until the spawned thread has
+  // acquired it. Only then can the writer run DDL again (it will block on
+  // the exclusive lock until the snapshot is written or CheckpointWait
+  // joined).
+  std::mutex ready_mu;
+  std::condition_variable ready_cv;
+  bool ready = false;
+  checkpoint_thread_ =
+      std::thread([this, capture, &ready_mu, &ready_cv, &ready] {
+        std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+        {
+          // Notify under the mutex: the waiter must re-acquire it to return
+          // from wait(), so it cannot destroy the stack-local cv while the
+          // signal call is still touching it.
+          std::lock_guard<std::mutex> lk(ready_mu);
+          ready = true;
+          ready_cv.notify_one();
+        }
+        // The stack locals above are dead after the unlock; everything
+        // below uses only owned/captured state.
+        const uint64_t t0 = MonotonicNanos();
+        bool renamed = false;
+        Status s =
+            WriteSnapshotAsOf(*this, vfs_, SnapshotPath(data_dir_),
+                              SnapshotTmpPath(data_dir_), *capture, &renamed);
+        checkpoint_status_ = s;
+        checkpoint_renamed_ = renamed;
+        if (s.ok()) {
+          const uint64_t dur = MonotonicNanos() - t0;
+          metrics_.GetHistogram("db.checkpoint")->Record(dur);
+          events_.Record(
+              {TraceEvent::Kind::kCheckpoint, t0, dur, 1, 0, nullptr});
+        }
+      });
+  {
+    std::unique_lock<std::mutex> lk(ready_mu);
+    ready_cv.wait(lk, [&] { return ready; });
+  }
+  return Status::OK();
+}
+
+Status Database::CheckpointWait() {
+  if (!checkpoint_running_) return Status::OK();
+  checkpoint_thread_.join();
+  checkpoint_running_ = false;
+  epochs_.Unpin(checkpoint_slot_);
+  epochs_.ReleaseSlot(checkpoint_slot_);
+  checkpoint_slot_ = -1;
+  // A background-checkpoint failure is benign — the WAL was not truncated
+  // and the previous snapshot (or none) plus the full WAL recover every
+  // committed unit; even a renamed-but-unsynced new snapshot is consistent
+  // because its wal_offset only skips records it already contains. No
+  // fail-stop: the caller may simply retry.
+  if (checkpoint_status_.ok()) ++stats_.checkpoints;
+  return checkpoint_status_;
+}
+
+// ---------------------------------------------------------------------------
+// Reader sessions
+
+Result<std::unique_ptr<ReaderSession>> Database::OpenReaderSession() {
+  const int slot = epochs_.AcquireSlot();
+  if (slot < 0) {
+    return Status::Unavailable(
+        "all " + std::to_string(EpochManager::kMaxReaders) +
+        " reader session slots are in use");
+  }
+  return std::unique_ptr<ReaderSession>(new ReaderSession(this, slot));
+}
+
+ReaderSession::~ReaderSession() {
+  Unpin();
+  db_->epochs_.ReleaseSlot(slot_);
+}
+
+uint64_t ReaderSession::PinSnapshot() {
+  if (explicit_pin_) return pin_epoch_;
+  pin_epoch_ = db_->epochs_.Pin(slot_);
+  explicit_pin_ = true;
+  if (db_->epochs_.readers_gauge != nullptr) {
+    db_->epochs_.readers_gauge->fetch_add(1, std::memory_order_relaxed);
+  }
+  return pin_epoch_;
+}
+
+void ReaderSession::Unpin() {
+  if (!explicit_pin_) return;
+  db_->epochs_.Unpin(slot_);
+  explicit_pin_ = false;
+  pin_epoch_ = 0;
+  if (db_->epochs_.readers_gauge != nullptr) {
+    db_->epochs_.readers_gauge->fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Result<ResultSet> ReaderSession::ExecuteQuery(std::string_view sql) {
+  return Run(sql, nullptr);
+}
+
+Result<ResultSet> ReaderSession::ExecuteQueryBound(
+    std::string_view sql, const std::vector<Value>& params) {
+  return Run(sql, &params);
+}
+
+Result<ResultSet> ReaderSession::Run(std::string_view sql_text,
+                                     const std::vector<Value>* params) {
+  ++stats_.statements;
+  // Parse, or reuse this session's cached parse of the same text.
+  auto it = plan_cache_.find(sql_text);
+  if (it == plan_cache_.end()) {
+    ++stats_.sql_parses;
+    auto parsed = sql::ParseSql(sql_text);
+    if (!parsed.ok()) return parsed.status();
+    CachedPlan entry;
+    entry.param_count = parsed.value().param_count;
+    entry.stmt = std::move(parsed).value();
+    it = plan_cache_.emplace(std::string(sql_text), std::move(entry)).first;
+  }
+  CachedPlan& cached = it->second;
+
+  // Only SELECT and plain EXPLAIN SELECT: everything else mutates, needs
+  // the writer's transaction machinery, or reports writer-private state.
+  const sql::Statement* target = &cached.stmt;
+  bool explain = false;
+  if (target->kind == sql::Statement::Kind::kExplain) {
+    if (target->explain_analyze ||
+        target->explain->kind != sql::Statement::Kind::kSelect) {
+      return Status::InvalidArgument(
+          "reader sessions accept only SELECT and EXPLAIN SELECT");
+    }
+    explain = true;
+    target = target->explain.get();
+  } else if (target->kind != sql::Statement::Kind::kSelect) {
+    return Status::InvalidArgument(
+        "reader sessions accept only SELECT and EXPLAIN SELECT");
+  }
+  const size_t bound = params != nullptr ? params->size() : 0;
+  if (static_cast<int>(bound) != cached.param_count) {
+    return Status::InvalidArgument(
+        "bound " + std::to_string(bound) + " parameters, statement has " +
+        std::to_string(cached.param_count));
+  }
+
+  // The shared catalog lock spans plan validation AND execution, so the
+  // catalog (and every Table* the plan holds) is stable for the whole
+  // statement; row-level consistency is the pinned epoch's job.
+  std::shared_lock<std::shared_mutex> catalog_lock(db_->catalog_mu_);
+  std::shared_ptr<const PlannedStatement> plan;
+  if (cached.plan != nullptr && cached.version == db_->catalog_version()) {
+    bool deps_current = true;
+    for (const PlanTableDep& dep : cached.plan->table_deps) {
+      if (*dep.version != dep.snapshot) {
+        deps_current = false;
+        break;
+      }
+    }
+    if (deps_current) {
+      ++stats_.plan_cache_hits;
+      plan = cached.plan;
+    }
+  }
+  if (plan == nullptr) {
+    Planner planner(db_, nullptr);
+    planner.set_allow_index_probes(false);
+    auto planned = planner.Plan(*target);
+    if (!planned.ok()) return planned.status();
+    ++stats_.plans_built;
+    plan = std::move(planned).value();
+    cached.plan = plan;
+    cached.version = db_->catalog_version();
+  }
+  if (explain) {
+    ResultSet out;
+    out.columns = {"plan"};
+    for (const std::string& line : SplitChar(PlanToString(*plan), '\n')) {
+      out.rows.push_back({Value::Str(line)});
+    }
+    return out;
+  }
+
+  // Pin for this statement unless an explicit snapshot pin is open.
+  const bool statement_pin = !explicit_pin_;
+  const uint64_t pin =
+      statement_pin ? db_->epochs_.Pin(slot_) : pin_epoch_;
+  if (statement_pin && db_->epochs_.readers_gauge != nullptr) {
+    db_->epochs_.readers_gauge->fetch_add(1, std::memory_order_relaxed);
+  }
+  std::vector<std::unique_ptr<ResultSet>> cte_store(
+      static_cast<size_t>(plan->cte_slot_count));
+  ExecContext::SubqueryMemo memo;
+  ExecContext ctx;
+  ctx.db = db_;
+  ctx.stats = &stats_;
+  ctx.read_epoch = pin;
+  ctx.params = params;
+  ctx.cte_values = &cte_store;
+  ctx.subquery_memo = &memo;
+  auto result = ExecutePlannedSelect(*plan->select, ctx);
+  if (statement_pin) {
+    db_->epochs_.Unpin(slot_);
+    if (db_->epochs_.readers_gauge != nullptr) {
+      db_->epochs_.readers_gauge->fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  return result;
 }
 
 std::string ResultSet::ToString(size_t max_rows) const {

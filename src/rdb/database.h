@@ -11,17 +11,23 @@
 #ifndef XUPD_RDB_DATABASE_H_
 #define XUPD_RDB_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/str_util.h"
+#include "rdb/epoch.h"
 #include "rdb/planner.h"
 #include "rdb/result.h"
 #include "rdb/sql_ast.h"
@@ -55,6 +61,59 @@ using StatementHandle = std::shared_ptr<const PreparedStatement>;
 /// batched loads of the same batch size hit the prepared cache.
 std::string MultiRowInsertSql(std::string_view table, size_t columns,
                               size_t rows);
+
+class ReaderSession;
+
+// ---------------------------------------------------------------------------
+// Threading model
+//
+// The engine is single-writer / multi-reader:
+//
+//  * Exactly ONE thread (the "writer thread") may call any mutating or
+//    transactional API — Execute*, Prepare, Begin/Commit/Rollback, the
+//    direct catalog/bulk APIs, Checkpoint, TryHeal, and the knob setters.
+//    Writer-side SELECTs also belong to the writer thread; they see the
+//    latest in-memory state including uncommitted changes, exactly as
+//    before.
+//
+//  * Any number of threads may each own a ReaderSession (OpenReaderSession,
+//    up to EpochManager::kMaxReaders concurrently). A session executes
+//    SELECT / EXPLAIN SELECT statements against an epoch snapshot: the
+//    writer publishes a new epoch at every outermost commit boundary (each
+//    top-level statement outside a transaction, or the outermost
+//    COMMIT/ROLLBACK), a session pins the current epoch for the duration of
+//    one statement (or explicitly via PinSnapshot/Unpin for a
+//    multi-statement snapshot), and sees exactly the rows whose
+//    [begin, end) epoch interval contains the pin — never an uncommitted or
+//    torn row. Storage the writer supersedes (slab growth, pre-update row
+//    images, cleared scratch slabs) is retired to the epoch manager and
+//    freed only once no reader pins an epoch that could reach it, so reader
+//    scans never take a lock on the data path.
+//
+//  * DDL is NOT snapshot-isolated: catalog changes (CREATE/DROP of tables,
+//    indexes, triggers) take an exclusive catalog lock that waits out
+//    in-flight reader statements; a pinned reader's NEXT statement sees the
+//    new catalog (e.g. "table not found" after a drop). Reader sessions plan
+//    with index probes disabled — hash indexes are writer-private — so
+//    snapshot reads always scan.
+//
+//  * Two background threads may exist: the group-commit flusher (kBatched
+//    durability; fsyncs the WAL every group_commit_window_us) and at most
+//    one off-thread checkpoint (CheckpointBackground; serializes a pinned
+//    epoch while the writer keeps committing). Both are managed internally
+//    and joined by ~Database.
+//
+// Durability loss bounds per SyncMode, as observed after a crash (what
+// ReplayWal recovers):
+//
+//  * kCommit  — an acknowledged commit is never lost (fsync before ack).
+//  * kBatched — at most the acknowledged units of ONE group-commit window
+//    (group_commit_window_us, default 2ms) are lost; a crash never yields a
+//    torn or reordered unit, only a clean prefix of acknowledged commits.
+//  * kNone    — acknowledged units survive process crashes (the OS page
+//    cache holds appended records) but an OS/power crash may lose anything
+//    since the last checkpoint or explicit Sync.
+// ---------------------------------------------------------------------------
 
 class Database {
  public:
@@ -93,8 +152,32 @@ class Database {
   /// Serializes the full durable state (catalog, rows, tombstones, index
   /// and trigger definitions, next-id) to a fresh versioned snapshot and
   /// truncates the WAL. Rejected inside a transaction: a snapshot must not
-  /// contain uncommitted effects.
+  /// contain uncommitted effects. Blocks the writer for the whole write.
   Status Checkpoint();
+
+  /// Off-thread checkpoint: captures the current commit boundary (pinning
+  /// its epoch and recording the synced WAL offset), then serializes the
+  /// snapshot on a background thread while the writer keeps committing. The
+  /// WAL is NOT truncated — recovery loads the snapshot and replays only
+  /// the WAL suffix past the recorded offset. Returns once the capture is
+  /// done (fast); CheckpointWait() joins the serialization and reports its
+  /// status. Rejected inside a transaction or while a background checkpoint
+  /// is already running. A background-checkpoint failure is benign: the
+  /// previous snapshot + full WAL still recover everything.
+  Status CheckpointBackground();
+  /// Joins an in-flight background checkpoint (no-op when none is running)
+  /// and returns its final status.
+  Status CheckpointWait();
+  bool checkpoint_running() const { return checkpoint_running_; }
+
+  /// Opens a concurrent read-only session (see the threading model above).
+  /// Fails with ResourceExhausted when all EpochManager::kMaxReaders reader
+  /// slots are taken. The session must not outlive the Database.
+  Result<std::unique_ptr<ReaderSession>> OpenReaderSession();
+
+  /// The epoch-based MVCC core (tests / benches: inspect the published
+  /// epoch, pinned readers, and deferred-reclamation queue).
+  EpochManager& epochs() { return epochs_; }
 
   /// Flushes pending redo as one committed unit when no transaction is
   /// open. The statement entry points call it at every top-level boundary
@@ -121,8 +204,10 @@ class Database {
     bool read_only = false;
     std::string cause;  ///< First failure (op + path + errno); "" if healthy.
   };
-  Health health() const { return {read_only_, read_only_cause_}; }
-  bool read_only() const { return read_only_; }
+  Health health() const {
+    return {read_only_.load(std::memory_order_acquire), read_only_cause_};
+  }
+  bool read_only() const { return read_only_.load(std::memory_order_acquire); }
 
   /// Attempts to return a read-only database to read-write: re-runs recovery
   /// from disk, retrying up to `max_attempts` times with exponential backoff.
@@ -229,7 +314,9 @@ class Database {
   /// it: plans additionally carry per-table dependencies (see
   /// table_version), so §6.2.2 staging churn only invalidates plans that
   /// reference the dropped table.
-  uint64_t catalog_version() const { return catalog_version_; }
+  uint64_t catalog_version() const {
+    return catalog_version_.load(std::memory_order_acquire);
+  }
 
   /// Per-table plan-dependency counter, keyed by (case-insensitive) table
   /// name and persistent across drop/recreate of that name. The planner
@@ -378,6 +465,7 @@ class Database {
 
  private:
   friend class Executor;
+  friend class ReaderSession;
 
   /// CREATE/DROP of any catalog object drops every cached parse (outstanding
   /// handles survive; re-Prepare of the same text is a miss) and bumps the
@@ -436,6 +524,16 @@ class Database {
   /// Bumps the per-table plan-dependency counter for `name`.
   void BumpTableVersion(std::string_view name);
 
+  /// Publishes a new epoch at an outermost commit boundary, then reclaims
+  /// retired storage / version-buffer images no pinned reader can reach.
+  /// The no-garbage fast path is one atomic increment.
+  void AdvanceEpochBoundary();
+
+  /// Group-commit flusher lifecycle (kBatched durability).
+  void StartFlusher();
+  void StopFlusher();
+  void FlusherLoop();
+
   /// Resolves the statement-kind histograms and hot counters once (ctor).
   void InitMetrics();
   /// Histogram slot for a statement kind (see kStmtHistNames).
@@ -448,6 +546,14 @@ class Database {
   /// destruction order relative to tables_: interned Values carry their own
   /// references, so blocks outlive whichever of table or arena dies first.
   StringInterner interner_;
+  /// Epoch-based MVCC core. Declared before tables_ so retired slab buffers
+  /// (freed by the manager's destructor) outlive every Table.
+  EpochManager epochs_;
+  /// Catalog-shape lock: reader sessions hold it shared across one whole
+  /// statement (plan + execute); catalog mutations (SQL DDL, direct
+  /// create/drop, heal's state reset) take it exclusively. The writer's DML
+  /// path never touches it — row visibility is MVCC's job.
+  mutable std::shared_mutex catalog_mu_;
   /// Tables keyed by their original name, compared case-insensitively; the
   /// transparent comparator keeps FindTable allocation-free on the hot path.
   std::map<std::string, std::unique_ptr<Table>, AsciiCaseInsensitiveLess>
@@ -464,8 +570,8 @@ class Database {
   Histogram* stmt_hists_[kStmtKindSlots] = {};
   /// Cumulative ns spent executing statements / trigger cascades (registry
   /// counters db.exec_ns / db.trigger_ns; engine spans diff them).
-  uint64_t* exec_ns_ = nullptr;
-  uint64_t* trigger_ns_ = nullptr;
+  std::atomic<uint64_t>* exec_ns_ = nullptr;
+  std::atomic<uint64_t>* trigger_ns_ = nullptr;
   double slow_statement_threshold_us_ = -1;
   size_t slow_log_capacity_ = 32;
   std::vector<SlowStatement> slow_log_;
@@ -486,16 +592,21 @@ class Database {
   size_t cache_capacity_ = 128;
 
   /// Plan-cache guard (see catalog_version()). Starts at 1 so a
-  /// default-constructed PlanCacheSlot (version 0) never validates.
-  uint64_t catalog_version_ = 1;
+  /// default-constructed PlanCacheSlot (version 0) never validates. Atomic:
+  /// reader sessions validate cached plans against it; bumps that
+  /// accompany a catalog mutation happen inside the exclusive section.
+  std::atomic<uint64_t> catalog_version_{1};
   bool planner_index_probes_enabled_ = true;
   /// Cached plans for trigger-body statements. Entries are version-guarded
   /// like handle slots and the map is cleared on every version bump.
   std::map<const sql::Statement*, PlanCacheSlot> trigger_plans_;
   /// Per-table plan-dependency counters (see table_version()). Entries
   /// outlive their tables so drop/recreate of a name keeps counting up.
+  /// Guarded by table_versions_mu_: reader-session planners insert entries
+  /// concurrently with the writer.
   std::map<std::string, std::shared_ptr<uint64_t>, AsciiCaseInsensitiveLess>
       table_versions_;
+  mutable std::mutex table_versions_mu_;
 
   // --- durability ----------------------------------------------------------
   std::string data_dir_;
@@ -507,9 +618,84 @@ class Database {
   /// flock'd <data_dir>/LOCK file guarding against two Databases sharing
   /// one WAL; null when durability is off. Released by ~Database.
   std::unique_ptr<VfsFile> lock_file_;
-  /// Degraded mode (see health()).
-  bool read_only_ = false;
+  /// Degraded mode (see health()). Atomic so the flag itself is readable
+  /// off-thread; the cause string is writer-thread state.
+  std::atomic<bool> read_only_{false};
   std::string read_only_cause_;
+
+  // --- background threads --------------------------------------------------
+  /// Group-commit flusher (kBatched): fsyncs the WAL every
+  /// group_commit_window_us. flusher_mu_ additionally guards wal_ pointer
+  /// swaps (Checkpoint / ReopenFromDisk) against the flusher dereference.
+  std::thread flusher_;
+  std::mutex flusher_mu_;
+  std::condition_variable flusher_cv_;
+  bool flusher_stop_ = false;
+
+  /// At most one background checkpoint (CheckpointBackground). The writer
+  /// thread owns this state; the spawned thread writes checkpoint_status_ /
+  /// checkpoint_renamed_ before exiting and they are read after join.
+  std::thread checkpoint_thread_;
+  Status checkpoint_status_;
+  bool checkpoint_renamed_ = false;
+  int checkpoint_slot_ = -1;
+  bool checkpoint_running_ = false;
+};
+
+/// A concurrent read-only SQL session over epoch snapshots (see the
+/// threading model in this header). Obtained from
+/// Database::OpenReaderSession; owned by exactly one thread; must not
+/// outlive the Database.
+///
+/// Each ExecuteQuery* call pins the current epoch for the duration of that
+/// statement, unless PinSnapshot() opened an explicit multi-statement
+/// snapshot (then every statement reads the same pinned epoch until
+/// Unpin()). Only SELECT and EXPLAIN SELECT are accepted. The session keeps
+/// its own Stats (rows_scanned etc.) and plan cache — nothing here touches
+/// the writer's counters.
+class ReaderSession {
+ public:
+  ~ReaderSession();
+  ReaderSession(const ReaderSession&) = delete;
+  ReaderSession& operator=(const ReaderSession&) = delete;
+
+  Result<ResultSet> ExecuteQuery(std::string_view sql);
+  Result<ResultSet> ExecuteQueryBound(std::string_view sql,
+                                      const std::vector<Value>& params);
+
+  /// Pins the current epoch until Unpin(): every subsequent statement reads
+  /// this one snapshot, and the writer retains superseded row versions the
+  /// snapshot can still reach. Returns the pinned epoch. No-op (returning
+  /// the existing pin) when already pinned.
+  uint64_t PinSnapshot();
+  void Unpin();
+  bool pinned() const { return explicit_pin_; }
+
+  /// This session's private event counters (rows_scanned, plans_built, ...).
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class Database;
+  ReaderSession(Database* db, int slot) : db_(db), slot_(slot) {}
+
+  /// Per-session cached plan keyed by SQL text (validated against the
+  /// catalog version and per-table dependency counters like writer-side
+  /// handle slots).
+  struct CachedPlan {
+    sql::Statement stmt;
+    int param_count = 0;
+    std::shared_ptr<const PlannedStatement> plan;
+    uint64_t version = 0;
+  };
+
+  Result<ResultSet> Run(std::string_view sql, const std::vector<Value>* params);
+
+  Database* db_;
+  int slot_;
+  Stats stats_;
+  uint64_t pin_epoch_ = 0;  ///< valid while explicit_pin_.
+  bool explicit_pin_ = false;
+  std::map<std::string, CachedPlan, std::less<>> plan_cache_;
 };
 
 }  // namespace xupd::rdb

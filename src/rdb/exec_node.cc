@@ -213,14 +213,14 @@ Status GatherCandidates(const AccessPath& path,
     case AccessPath::Kind::kIndexEq: {
       XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(path.probe, slots, ctx));
       path.index->Lookup(v, out);
-      ++ctx.db->stats().index_probes;
+      ++ctx.stats->index_probes;
       return Status::OK();
     }
     case AccessPath::Kind::kIndexIn: {
       for (const BoundExpr& item : path.probe_list) {
         XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(item, slots, ctx));
         path.index->Lookup(v, out);
-        ++ctx.db->stats().index_probes;
+        ++ctx.stats->index_probes;
       }
       return Status::OK();
     }
@@ -229,7 +229,7 @@ Status GatherCandidates(const AccessPath& path,
                             SubquerySet(*path.probe_subquery, ctx));
       for (const Value& v : *set) {
         path.index->Lookup(v, out);
-        ++ctx.db->stats().index_probes;
+        ++ctx.stats->index_probes;
       }
       return Status::OK();
     }
@@ -271,23 +271,46 @@ class ScanNode : public ExecNode {
     mat_ = rel_->cte_slot >= 0
                ? (*ctx.cte_values)[static_cast<size_t>(rel_->cte_slot)].get()
                : nullptr;
+    if (rel_->table != nullptr && ctx.read_epoch != kLatestEpoch) {
+      // Snapshot bound: slots appended after this point belong to epochs
+      // newer than the pin and would be invisible anyway.
+      snap_rows_ = rel_->table->SnapshotRowCount();
+    }
     return Status::OK();
   }
 
   Result<bool> Next(ExecContext& ctx) override {
     if (rel_->table != nullptr) {
       const Table* table = rel_->table;
+      if (ctx.read_epoch != kLatestEpoch) {
+        // Snapshot read (reader session): visibility comes from row epoch
+        // metadata, not the writer-private liveness bitmap, and cell values
+        // are materialized through the seqlock into this node's staging row
+        // (stable while inner join steps iterate — only this node's own
+        // Next overwrites it).
+        while (pos_ < snap_rows_) {
+          size_t rowid = pos_++;
+          staging_.clear();
+          if (!table->SnapshotReadRow(rowid, ctx.read_epoch, &staging_)) {
+            continue;
+          }
+          ++ctx.stats->rows_scanned;
+          (*slots_)[k_] = staging_.data();
+          return true;
+        }
+        return false;
+      }
       while (pos_ < table->capacity()) {
         size_t rowid = pos_++;
         if (!table->is_live(rowid)) continue;
-        ++ctx.db->stats().rows_scanned;
+        ++ctx.stats->rows_scanned;
         (*slots_)[k_] = table->row(rowid);
         return true;
       }
       return false;
     }
     if (pos_ < mat_->rows.size()) {
-      ++ctx.db->stats().rows_scanned;
+      ++ctx.stats->rows_scanned;
       (*slots_)[k_] = mat_->rows[pos_++].data();
       return true;
     }
@@ -299,6 +322,8 @@ class ScanNode : public ExecNode {
   size_t k_;
   std::vector<const Value*>* slots_;
   size_t pos_ = 0;
+  size_t snap_rows_ = 0;
+  Row staging_;  // snapshot reads materialize here (owned copies).
   const ResultSet* mat_ = nullptr;
 };
 
@@ -312,6 +337,12 @@ class IndexProbeNode : public ExecNode {
 
   Status Open(ExecContext& ctx) override {
     pos_ = 0;
+    if (ctx.read_epoch != kLatestEpoch) {
+      // Reader sessions plan with index probes disabled (hash indexes are
+      // writer-private, not epoch-versioned); reaching here means a plan
+      // leaked across the writer/reader boundary.
+      return Status::Internal("index probe reached in snapshot read");
+    }
     // IN-list / IN-subquery probe values are row-free by construction, so
     // at an inner join step the candidate set is identical for every outer
     // row: gather it once per execution and replay it on later re-Opens
@@ -655,7 +686,7 @@ Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
   if (m.path.kind == AccessPath::Kind::kScan) {
     for (size_t rowid = 0; rowid < m.table->capacity(); ++rowid) {
       if (!m.table->is_live(rowid)) continue;
-      ++ctx.db->stats().rows_scanned;
+      ++ctx.stats->rows_scanned;
       XUPD_ASSIGN_OR_RETURN(bool ok, matches(rowid));
       if (ok) out.push_back(rowid);
     }

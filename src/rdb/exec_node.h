@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "common/result.h"
+#include "rdb/epoch.h"
 #include "rdb/planner.h"
 #include "rdb/result.h"
+#include "rdb/stats.h"
 
 namespace xupd::rdb {
 
@@ -30,6 +32,16 @@ struct ExecContext {
                std::unique_ptr<std::unordered_set<Value, ValueHash>>>;
 
   Database* db = nullptr;
+  /// Event-count sink for this execution: &db->stats() on the writer
+  /// thread, the session's private Stats on a ReaderSession (the shared
+  /// Stats would otherwise be a cross-thread data race magnet and a
+  /// cache-line battleground).
+  Stats* stats = nullptr;
+  /// MVCC read epoch. kLatestEpoch (writer thread) scans the live in-memory
+  /// state via the liveness bitmap; a pinned epoch (reader sessions) routes
+  /// every table scan through Table::SnapshotReadRow for a consistent
+  /// point-in-time view.
+  uint64_t read_epoch = kLatestEpoch;
   /// Values bound to ? placeholders (null = none bound).
   const std::vector<Value>* params = nullptr;
   /// Trigger OLD row (null outside a row-trigger body).

@@ -180,6 +180,10 @@ class Planner {
   Result<std::shared_ptr<const PlannedStatement>> Plan(
       const sql::Statement& stmt);
 
+  /// Reader sessions plan with index probes disabled: hash indexes are
+  /// writer-private (not epoch-versioned), so snapshot reads always scan.
+  void set_allow_index_probes(bool allow) { allow_index_probes_ = allow; }
+
  private:
   struct CteScope {
     std::string name;
@@ -224,6 +228,7 @@ class Planner {
 
   Database* db_;
   const TableSchema* old_schema_;
+  bool allow_index_probes_ = true;
   /// CTE scopes visible while planning (innermost last).
   std::vector<CteScope> cte_stack_;
   int next_cte_slot_ = 0;

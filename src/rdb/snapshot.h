@@ -12,7 +12,7 @@
 // File format (little-endian):
 //   "XUPDSNAP" (8 bytes) | u32 format version | payload | u32 CRC32
 // where the CRC covers magic + version + payload, and the payload is
-//   u64 epoch | i64 next_id
+//   u64 epoch | i64 next_id | u64 wal_offset
 //   u32 table count | per table:
 //     str name | u32 column count | per column: str name, u8 type
 //     u64 slot count | per slot: u8 live, one value per column
@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -37,20 +38,60 @@
 namespace xupd::rdb {
 
 class Database;
+class Table;
 
 /// Serializes `db`'s durable state with the given epoch, atomically
 /// replacing whatever snapshot `path` held (via `tmp_path` + rename).
+/// `wal_offset` records how far into the (same-epoch) WAL the snapshot
+/// already incorporates: replay resumes applying after that byte offset.
+/// Synchronous checkpoints truncate the WAL and pass 0.
 /// `*renamed` (optional) reports whether the rename went through — on
 /// failure it tells the caller whether the new-epoch snapshot is already
 /// visible (the caller must then fail-stop its old-epoch WAL) or the old
 /// state is still fully intact (safe to retry later).
 Status WriteSnapshot(const Database& db, Vfs* vfs, const std::string& path,
                      const std::string& tmp_path, uint64_t epoch,
-                     bool* renamed = nullptr);
+                     uint64_t wal_offset = 0, bool* renamed = nullptr);
+
+/// Everything an off-thread checkpoint needs, captured by the writer at one
+/// commit boundary: the pinned epoch whose row images the background thread
+/// serializes, the matching next-id counter and committed WAL byte offset,
+/// the snapshot-file epoch to stamp, and the exact slot count per durable
+/// table at the capture instant. The writer keeps committing while the
+/// background thread walks rows through Table::SnapshotReadRow at
+/// `pin_epoch`; slots appended after the capture live past `wal_offset` in
+/// the WAL, so serializing exactly the captured counts keeps replay's
+/// append-only rowid invariant aligned.
+struct CheckpointCapture {
+  uint64_t pin_epoch = 0;
+  int64_t next_id = 0;
+  uint64_t wal_offset = 0;
+  uint64_t epoch = 0;  // snapshot-header epoch (unchanged: WAL is kept).
+  std::vector<std::pair<const Table*, size_t>> tables;  // (table, slot count)
+  std::vector<std::string> trigger_sql;
+};
+
+/// Off-thread variant of WriteSnapshot: serializes the state as of
+/// `capture` (a consistent MVCC snapshot at capture.pin_epoch) while the
+/// writer thread continues to commit. Slots not visible at the pinned epoch
+/// are written as tombstones with NULL cells — replay never reads a dead
+/// slot's values. The caller must keep the captured tables alive (shared
+/// catalog lock) and the pin held until this returns.
+Status WriteSnapshotAsOf(const Database& db, Vfs* vfs, const std::string& path,
+                         const std::string& tmp_path,
+                         const CheckpointCapture& capture,
+                         bool* renamed = nullptr);
+
+/// What LoadSnapshot recovered from the snapshot header.
+struct SnapshotLoadInfo {
+  uint64_t epoch = 0;
+  uint64_t wal_offset = 0;  // WAL bytes already folded into the snapshot.
+};
 
 /// Loads a snapshot into `db` (which must be freshly constructed: no tables,
-/// no open transaction) and returns its epoch.
-Result<uint64_t> LoadSnapshot(Database* db, Vfs* vfs, const std::string& path);
+/// no open transaction) and returns its header info.
+Result<SnapshotLoadInfo> LoadSnapshot(Database* db, Vfs* vfs,
+                                      const std::string& path);
 
 /// Integrity scrub: re-checks the on-disk snapshot's magic, version, and
 /// whole-file CRC without installing anything. Returns human-readable

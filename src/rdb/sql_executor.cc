@@ -1,6 +1,8 @@
 #include "rdb/sql_executor.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/str_util.h"
 #include "rdb/sql_parser.h"
@@ -149,6 +151,7 @@ ExecContext Executor::MakeContext(
     std::vector<std::unique_ptr<ResultSet>>* cte_store) {
   ExecContext ctx;
   ctx.db = db_;
+  ctx.stats = &db_->stats();
   ctx.params = params_;
   ctx.old_row = trigger_old_row_;
   ctx.cte_values = cte_store;
@@ -329,7 +332,12 @@ Result<ResultSet> Executor::RunCreateIndex(const sql::CreateIndexStmt& stmt) {
   if (col < 0) {
     return Status::NotFound("column '" + stmt.column + "' not found");
   }
-  XUPD_RETURN_IF_ERROR(table->CreateIndex(stmt.name, col));
+  {
+    // Index vectors are walked by reader-session planners under the shared
+    // catalog lock; mutate them exclusively.
+    std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
+    XUPD_RETURN_IF_ERROR(table->CreateIndex(stmt.name, col));
+  }
   return ResultSet{};
 }
 
@@ -350,7 +358,10 @@ Result<ResultSet> Executor::RunCreateTrigger(const sql::CreateTriggerStmt& stmt)
   // Keep the original text only for top-level creates — it is how snapshots
   // persist the trigger (trigger-body DDL would capture the wrong text).
   if (trigger_depth_ == 0) def.sql = std::string(sql_text_);
-  db_->triggers_.push_back(std::move(def));
+  {
+    std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
+    db_->triggers_.push_back(std::move(def));
+  }
   return ResultSet{};
 }
 
@@ -361,16 +372,30 @@ Result<ResultSet> Executor::RunDrop(const sql::DropStmt& stmt) {
       if (it == db_->tables_.end()) {
         return Status::NotFound("table '" + stmt.name + "' not found");
       }
-      db_->tables_.erase(it);
-      auto& trigs = db_->triggers_;
-      trigs.erase(std::remove_if(trigs.begin(), trigs.end(),
-                                 [&](const Database::TriggerDef& t) {
-                                   return EqualsIgnoreCase(t.table, stmt.name);
-                                 }),
-                  trigs.end());
+      // An off-thread checkpoint may hold a raw Table*; let it finish
+      // before the table is destroyed, then drop under the exclusive
+      // catalog lock so no reader-session planner resolves a dangling
+      // pointer. DDL is not snapshot-isolated: a pinned reader's next
+      // statement simply fails to find the table (documented anomaly).
+      db_->CheckpointWait();
+      {
+        std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
+        // Bump inside the exclusive section: a reader session validating a
+        // cached plan under the shared lock must never pass validation
+        // after the mutation but before the version change.
+        db_->catalog_version_.fetch_add(1, std::memory_order_acq_rel);
+        db_->tables_.erase(it);
+        auto& trigs = db_->triggers_;
+        trigs.erase(std::remove_if(trigs.begin(), trigs.end(),
+                                   [&](const Database::TriggerDef& t) {
+                                     return EqualsIgnoreCase(t.table, stmt.name);
+                                   }),
+                    trigs.end());
+      }
       return ResultSet{};
     }
     case sql::DropStmt::What::kIndex: {
+      std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
       if (!stmt.table.empty()) {
         Table* table = db_->FindTable(stmt.table);
         if (table == nullptr) {
@@ -386,6 +411,7 @@ Result<ResultSet> Executor::RunDrop(const sql::DropStmt& stmt) {
       return Status::NotFound("index '" + stmt.name + "' not found");
     }
     case sql::DropStmt::What::kTrigger: {
+      std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
       auto& trigs = db_->triggers_;
       size_t before = trigs.size();
       trigs.erase(std::remove_if(trigs.begin(), trigs.end(),

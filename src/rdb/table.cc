@@ -1,5 +1,8 @@
 #include "rdb/table.h"
 
+#include <cstring>
+#include <new>
+
 #include "rdb/txn.h"
 
 namespace xupd::rdb {
@@ -180,6 +183,67 @@ void HashIndex::Clear() {
 // ---------------------------------------------------------------------------
 // Table
 
+Table::~Table() {
+  Value* cells = cells_.load(std::memory_order_relaxed);
+  if (cells != nullptr) {
+    const size_t n = filled_.load(std::memory_order_relaxed) * stride_;
+    for (size_t i = 0; i < n; ++i) cells[i].~Value();
+    ::operator delete(cells);
+  }
+}
+
+Value* Table::ReserveRowSlot() {
+  Value* cells = cells_.load(std::memory_order_relaxed);
+  const size_t rows = filled_.load(std::memory_order_relaxed);
+  if (rows == cap_rows_) {
+    const size_t new_cap = cap_rows_ == 0 ? 8 : cap_rows_ * 2;
+    auto* grown =
+        static_cast<Value*>(::operator new(new_cap * stride_ * sizeof(Value)));
+    if (cells != nullptr) {
+      // Raw byte copy, NOT Value moves: the new buffer takes over every
+      // heap reference; the old buffer keeps ghost images that pinned
+      // readers may still be streaming, and is retired without running
+      // destructors.
+      std::memcpy(static_cast<void*>(grown), static_cast<const void*>(cells),
+                  rows * stride_ * sizeof(Value));
+    }
+    cells_.store(grown, std::memory_order_release);
+    cap_rows_ = new_cap;
+    if (cells != nullptr) RetireBuffer(cells, rows, /*destroy_values=*/false);
+    cells = grown;
+  }
+  return cells + rows * stride_;
+}
+
+void Table::RetireBuffer(Value* buf, size_t rows, bool destroy_values) {
+  const size_t cell_count = rows * stride_;
+  auto free_fn = [buf, cell_count, destroy_values] {
+    if (destroy_values) {
+      for (size_t i = 0; i < cell_count; ++i) buf[i].~Value();
+    }
+    ::operator delete(buf);
+  };
+  if (em_ != nullptr) {
+    em_->Retire(em_->current(), std::move(free_fn));
+  } else {
+    free_fn();
+  }
+}
+
+void Table::AppendRow(Row&& row, uint32_t begin, uint32_t end, uint64_t mod) {
+  Value* slot = ReserveRowSlot();
+  for (size_t c = 0; c < arity_; ++c) {
+    new (slot + c) Value(std::move(row[c]));
+  }
+  Value* meta_cell = new (slot + arity_) Value();
+  RowMetaRef m(meta_cell);
+  m.StoreBeginEnd(begin, end);
+  m.StoreMod(mod);
+  // Publish: the release pairs with readers' SnapshotRowCount acquire.
+  filled_.store(filled_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+}
+
 Result<size_t> Table::Insert(Row row) {
   if (row.size() != arity_) {
     return Status::InvalidArgument(
@@ -193,8 +257,8 @@ Result<size_t> Table::Insert(Row row) {
   for (const auto& index : indexes_) {
     index->Insert(row[static_cast<size_t>(index->column())], rowid);
   }
-  slab_.insert(slab_.end(), std::make_move_iterator(row.begin()),
-               std::make_move_iterator(row.end()));
+  const uint64_t w = WriteEpoch();
+  AppendRow(std::move(row), RowEpochClamp(w), kRowEpochInf, w);
   live_.push_back(true);
   ++live_count_;
   if (txn_ != nullptr) txn_->LogInsert(this, rowid);
@@ -205,8 +269,10 @@ void Table::LoadSlot(Row row, bool live) {
   if (interner_ != nullptr) {
     for (Value& v : row) interner_->InternInPlace(&v);
   }
-  slab_.insert(slab_.end(), std::make_move_iterator(row.begin()),
-               std::make_move_iterator(row.end()));
+  // Snapshot/recovery rows predate every possible pin: born at epoch 1.
+  // Dead slots get an empty [1, 1) interval — never visible, but their
+  // positions (and values) are preserved for WAL redo addressing.
+  AppendRow(std::move(row), 1, live ? kRowEpochInf : 1, 1);
   live_.push_back(live);
   if (live) ++live_count_;
 }
@@ -219,10 +285,34 @@ Status Table::Delete(size_t rowid) {
   for (const auto& index : indexes_) {
     index->Erase(r[static_cast<size_t>(index->column())], rowid);
   }
+  // Tombstone for readers: end = write epoch. Pins below it still see the
+  // row (its values stay in the slot); pins at or above it do not.
+  meta(rowid).StoreEnd(RowEpochClamp(WriteEpoch()));
   live_[rowid] = false;
   --live_count_;
   if (txn_ != nullptr) txn_->LogDelete(this, rowid);
   return Status::OK();
+}
+
+void Table::PrepareRowUpdate(size_t rowid) {
+  if (em_ == nullptr) return;
+  const uint64_t w = em_->write_epoch();
+  RowMetaRef m = meta(rowid);
+  if (m.mod() == w) return;  // window already open for this row
+  {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    OldVersion ov;
+    ov.end_valid = w;
+    ov.values = CopyRow(rowid);
+    versions_.emplace(rowid, std::move(ov));
+    ++em_->version_entries;
+  }
+  // Seqlock open: stamp the mod word, then fence, then (in the caller)
+  // word-atomic cell stores. A reader that observes any new cell bytes is
+  // therefore guaranteed to observe mod >= w on revalidation and divert
+  // to the parked pre-image.
+  m.StoreMod(w);
+  std::atomic_thread_fence(std::memory_order_release);
 }
 
 Status Table::SetColumn(size_t rowid, int column, Value v) {
@@ -230,6 +320,7 @@ Status Table::SetColumn(size_t rowid, int column, Value v) {
     return Status::NotFound("row deleted or out of range");
   }
   if (interner_ != nullptr) interner_->InternInPlace(&v);
+  PrepareRowUpdate(rowid);
   Value& cell = mutable_row(rowid)[static_cast<size_t>(column)];
   if (txn_ != nullptr) {
     txn_->LogUpdate(this, rowid, column, cell, v);
@@ -240,14 +331,23 @@ Status Table::SetColumn(size_t rowid, int column, Value v) {
       index->Insert(v, rowid);
     }
   }
-  cell = std::move(v);
+  std::move(v).RacyPublishTo(&cell);
   return Status::OK();
 }
 
 void Table::Clear() {
-  slab_.clear();
+  Value* cells = cells_.load(std::memory_order_relaxed);
+  const size_t rows = filled_.load(std::memory_order_relaxed);
+  // Readers re-load the row count and cell pointer per access, so after
+  // these stores they observe an empty table (Clear is not snapshot-
+  // isolated — it only serves writer-private scratch tables); the retired
+  // buffer keeps any in-flight row copies valid until their pins drop.
+  filled_.store(0, std::memory_order_release);
+  cells_.store(nullptr, std::memory_order_release);
+  cap_rows_ = 0;
   live_.clear();
   live_count_ = 0;
+  if (cells != nullptr) RetireBuffer(cells, rows, /*destroy_values=*/true);
   for (const auto& index : indexes_) index->Clear();
 }
 
@@ -260,13 +360,26 @@ void Table::UndoInsert(size_t rowid) {
   live_[rowid] = false;
   --live_count_;
   if (rowid + 1 == live_.size()) {
-    slab_.resize(slab_.size() - arity_);
+    // Pop the slot. Readers with a stale row count reject it by its begin
+    // epoch (> their pin) without touching the cells, so destroying the
+    // writer's references here is safe.
+    Value* cells = cells_.load(std::memory_order_relaxed);
+    filled_.store(rowid, std::memory_order_release);
+    for (size_t c = 0; c < stride_; ++c) {
+      cells[rowid * stride_ + c].~Value();
+    }
     live_.pop_back();
+  } else {
+    // Mid-undo of an interleaved multi-table scope: kill the row for every
+    // epoch (empty interval) but keep the slot.
+    const uint32_t w = RowEpochClamp(WriteEpoch());
+    meta(rowid).StoreBeginEnd(w, w);
   }
 }
 
 void Table::UndoDelete(size_t rowid) {
   if (rowid >= live_.size() || live_[rowid]) return;
+  meta(rowid).StoreEnd(kRowEpochInf);
   live_[rowid] = true;
   ++live_count_;
   const Value* r = row(rowid);
@@ -277,6 +390,9 @@ void Table::UndoDelete(size_t rowid) {
 
 void Table::UndoSetColumn(size_t rowid, int column, const Value& v) {
   if (rowid >= live_.size()) return;
+  // The row's seqlock window is already open (the forward SetColumn opened
+  // it), so readers of older epochs are diverted; still store word-
+  // atomically so a reader's optimistic copy attempt never tears.
   Value& cell = mutable_row(rowid)[static_cast<size_t>(column)];
   for (const auto& index : indexes_) {
     if (index->column() == column) {
@@ -284,7 +400,83 @@ void Table::UndoSetColumn(size_t rowid, int column, const Value& v) {
       index->Insert(v, rowid);
     }
   }
-  cell = v;
+  Value(v).RacyPublishTo(&cell);
+}
+
+bool Table::SnapshotReadRow(size_t rowid, uint64_t pin, Row* out) const {
+  out->clear();
+  for (int attempt = 0;; ++attempt) {
+    // Visibility first: the begin/end pair is one untorn word, and during
+    // slot reuse (pop + re-insert) every transient value of `begin`
+    // exceeds any pinned epoch, so an invisible row is rejected without
+    // ever touching its cells. Acquire on the buffer pointer: a grow
+    // publishes the memcpy'd rows via the release store of `cells_`, and
+    // this load may observe a buffer newer than the one `filled_`'s
+    // acquire synchronized with.
+    const Value* cells = cells_.load(std::memory_order_acquire);
+    const Value* slot = cells + rowid * stride_;
+    RowMetaRef m(slot + arity_);
+    if (!RowMetaRef::Visible(m.begin_end(), pin)) return false;
+    const uint64_t m1 = m.mod_acquire();
+    if (m1 <= pin) {
+      // Optimistic seqlock copy: raw word loads, fence, revalidate, and
+      // only then materialize owning Values (a torn heap pointer must
+      // never reach a refcount).
+      uint64_t stack_words[2 * 16];
+      std::vector<uint64_t> heap_words;
+      uint64_t* w = stack_words;
+      if (arity_ > 16) {
+        heap_words.resize(2 * arity_);
+        w = heap_words.data();
+      }
+      for (size_t c = 0; c < arity_; ++c) {
+        Value::RacyLoadWords(slot + c, w + 2 * c);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (m.mod() == m1) {
+        for (size_t c = 0; c < arity_; ++c) {
+          out->push_back(Value::FromSnapshotWords(w + 2 * c));
+        }
+        return true;
+      }
+      continue;  // writer opened the row's window mid-copy; retry
+    }
+    // The row was modified inside a window newer than our pin: fetch the
+    // matching parked pre-image — the entry with the smallest end_valid
+    // still above the pin holds the row as of our epoch.
+    {
+      std::lock_guard<std::mutex> lock(versions_mu_);
+      auto [it, end] = versions_.equal_range(rowid);
+      const OldVersion* best = nullptr;
+      for (; it != end; ++it) {
+        if (it->second.end_valid > pin &&
+            (best == nullptr || it->second.end_valid < best->end_valid)) {
+          best = &it->second;
+        }
+      }
+      if (best != nullptr) {
+        out->insert(out->end(), best->values.begin(), best->values.end());
+        return true;
+      }
+    }
+    // No entry can only mean the writer is between stamping `mod` and
+    // parking the pre-image becoming observable — retry resolves it. The
+    // attempt bound is sheer paranoia (treat the row as dead rather than
+    // spin forever on a logic bug).
+    if (attempt > 1000) return false;
+  }
+}
+
+void Table::GcVersions(uint64_t min_pinned) {
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  for (auto it = versions_.begin(); it != versions_.end();) {
+    if (it->second.end_valid <= min_pinned) {
+      it = versions_.erase(it);
+      if (em_ != nullptr) --em_->version_entries;
+    } else {
+      ++it;
+    }
+  }
 }
 
 Status Table::CreateIndex(const std::string& index_name, int column) {

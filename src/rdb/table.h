@@ -1,12 +1,12 @@
-// Heap table with tombstone deletes and hash indexes.
+// Heap table with tombstone deletes, hash indexes, and epoch-snapshot MVCC.
 //
 // Storage layout (the scan/probe hot path of every fig. 6-11 workload):
 //
-//  * Rows live in ONE contiguous slab per table — `arity * 16` bytes per row
-//    slot (16-byte compact Values, rdb/value.h), appended in rowid order —
-//    instead of a vector of per-row heap vectors. Scan/IndexProbe/Filter
-//    stream over cache-line-friendly memory and a row is addressed by one
-//    multiply (`slab + rowid * arity`), not a double indirection.
+//  * Rows live in ONE contiguous slab per table — `(arity + 1) * 16` bytes
+//    per row slot (16-byte compact Values, rdb/value.h, plus one trailing
+//    16-byte MVCC metadata slot), appended in rowid order. Scan/IndexProbe/
+//    Filter stream over cache-line-friendly memory and a row is addressed
+//    by one multiply (`slab + rowid * stride`), not a double indirection.
 //
 //  * HashIndex is a flat open-addressing table whose entries hold
 //    (hash, value, rowid) inline — no per-key map node, no per-entry set
@@ -14,16 +14,47 @@
 //    (indexes into the entry array) whose head is found through a second
 //    flat table keyed by value, so Lookup walks a chain and Erase of an
 //    exact (value, rowid) pair is O(1): the pair itself is open-addressed.
+//    Indexes are writer-private: snapshot readers always scan (their plans
+//    are built with index probes disabled), so index mutation needs no
+//    synchronization.
+//
+// MVCC (single writer, many pinned readers — see rdb/epoch.h):
+//
+//  * Each row's metadata slot packs word0 = (end_epoch << 32 | begin_epoch)
+//    and word1 = the epoch of the row's last in-place modification. A
+//    reader pinned at epoch P sees the row iff begin <= P < end. Insert
+//    stamps begin = write_epoch (invisible until the boundary publishes
+//    it); Delete stamps end = write_epoch (still visible to older pins —
+//    the tombstoned values stay in the slot); rollback restores the stamps.
+//
+//  * In-place column updates use a per-row seqlock: the first update of a
+//    row inside an epoch window parks a copy of the whole pre-image in the
+//    table's version buffer (keyed by rowid, tagged with the window), then
+//    stamps word1 = write_epoch and overwrites cells with word-atomic
+//    stores. A reader whose pin predates word1 — or whose optimistic
+//    word-copy fails revalidation — fetches the row from the version
+//    buffer instead. Version entries are garbage-collected once no reader
+//    pins an epoch they could serve.
+//
+//  * The slab itself is published through an atomic pointer + atomic row
+//    count: growth copies into a fresh buffer and retires the old one via
+//    the epoch manager (freed raw, without running Value destructors — the
+//    new buffer owns every reference; the old one holds ghost images that
+//    pinned readers may still be streaming).
 #ifndef XUPD_RDB_TABLE_H_
 #define XUPD_RDB_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "rdb/epoch.h"
 #include "rdb/schema.h"
 #include "rdb/value.h"
 
@@ -114,6 +145,55 @@ class HashIndex {
   size_t heads_used_ = 0;  ///< occupied + tombstoned head slots.
 };
 
+/// View over one row's 16-byte MVCC metadata slot (the trailing Value-sized
+/// cell of each row). Word 0 packs (end << 32 | begin) row epochs so the
+/// pair is always read/written in one untorn operation; word 1 holds the
+/// epoch of the row's last in-place modification (the seqlock word). All
+/// accesses are atomic: the writer stamps from its thread while pinned
+/// readers load concurrently. Stores keep byte 15 (the Value tag byte)
+/// zero — epochs stay far below 2^56 — so metadata slots destruct as NULL
+/// Values.
+class RowMetaRef {
+ public:
+  explicit RowMetaRef(const Value* slot)
+      : words_(reinterpret_cast<uint64_t*>(
+            const_cast<Value*>(slot))) {}
+
+  static uint32_t Begin(uint64_t w0) { return static_cast<uint32_t>(w0); }
+  static uint32_t End(uint64_t w0) { return static_cast<uint32_t>(w0 >> 32); }
+  static bool Visible(uint64_t w0, uint64_t pin) {
+    return Begin(w0) <= pin && pin < End(w0);
+  }
+
+  uint64_t begin_end() const {
+    return std::atomic_ref<uint64_t>(words_[0]).load(
+        std::memory_order_relaxed);
+  }
+  void StoreBeginEnd(uint32_t begin, uint32_t end) {
+    std::atomic_ref<uint64_t>(words_[0]).store(
+        (static_cast<uint64_t>(end) << 32) | begin,
+        std::memory_order_relaxed);
+  }
+  void StoreEnd(uint32_t end) {
+    StoreBeginEnd(Begin(begin_end()), end);
+  }
+
+  uint64_t mod() const {
+    return std::atomic_ref<uint64_t>(words_[1]).load(
+        std::memory_order_relaxed);
+  }
+  uint64_t mod_acquire() const {
+    return std::atomic_ref<uint64_t>(words_[1]).load(
+        std::memory_order_acquire);
+  }
+  void StoreMod(uint64_t m) {
+    std::atomic_ref<uint64_t>(words_[1]).store(m, std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t* words_;
+};
+
 class Table {
  public:
   /// `txn` (optional) is the undo log every mutation reports to while a
@@ -122,7 +202,11 @@ class Table {
   explicit Table(TableSchema schema, TransactionManager* txn = nullptr)
       : schema_(std::move(schema)),
         arity_(schema_.column_count()),
+        stride_(arity_ + 1),
         txn_(txn) {}
+  ~Table();
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
 
   const TableSchema& schema() const { return schema_; }
 
@@ -138,15 +222,25 @@ class Table {
   /// across millions of rows share one heap block.
   void set_interner(StringInterner* interner) { interner_ = interner; }
 
+  /// Wires the Database's epoch manager: row metadata is stamped with its
+  /// write epoch and superseded storage is retired through it. Tables
+  /// without a manager (unit tests) behave single-threaded — every row is
+  /// born at epoch 1 and storage is freed eagerly.
+  void set_epoch_manager(EpochManager* em) { em_ = em; }
+
   /// Number of row slots (live + tombstoned). Scans iterate this range.
+  /// Writer-thread view; readers use SnapshotRowCount().
   size_t capacity() const { return live_.size(); }
   size_t live_count() const { return live_count_; }
 
   bool is_live(size_t rowid) const { return live_[rowid]; }
   /// The row's columns, contiguous in the table slab. Valid until the next
   /// insert into this table (slab growth may relocate it) — the same
-  /// lifetime the old vector-of-rows layout gave.
-  const Value* row(size_t rowid) const { return slab_.data() + rowid * arity_; }
+  /// lifetime the old vector-of-rows layout gave. Writer thread only;
+  /// pinned readers go through SnapshotReadRow.
+  const Value* row(size_t rowid) const {
+    return cells_.load(std::memory_order_relaxed) + rowid * stride_;
+  }
   /// Range-for friendly view of one row.
   std::span<const Value> row_span(size_t rowid) const {
     return {row(rowid), arity_};
@@ -156,6 +250,29 @@ class Table {
     const Value* r = row(rowid);
     return Row(r, r + arity_);
   }
+
+  // --- pinned-reader snapshot API (any thread, under an epoch pin) --------
+
+  /// Row slots a reader pinned at some epoch may examine. The acquire load
+  /// pairs with the writer's release publication of each appended row, so
+  /// every slot below the returned count is fully initialized (possibly
+  /// with a begin epoch newer than the reader's pin, which the visibility
+  /// check rejects).
+  size_t SnapshotRowCount() const {
+    return filled_.load(std::memory_order_acquire);
+  }
+
+  /// Copies the version of row `rowid` visible at epoch `pin` into `out`
+  /// (exactly arity() values, appended). Returns false when no version of
+  /// the row is visible at that epoch. `rowid` must be < a prior
+  /// SnapshotRowCount() result. Thread-safe against every writer mutation.
+  bool SnapshotReadRow(size_t rowid, uint64_t pin, Row* out) const;
+
+  size_t arity() const { return arity_; }
+
+  /// Frees version-buffer entries no pinned reader can need anymore
+  /// (writer thread, at commit boundaries).
+  void GcVersions(uint64_t min_pinned);
 
   /// Appends a row (arity must match the schema). Returns its rowid.
   Result<size_t> Insert(Row row);
@@ -208,17 +325,62 @@ class Table {
   void UndoSetColumn(size_t rowid, int column, const Value& v);
 
  private:
-  Value* mutable_row(size_t rowid) { return slab_.data() + rowid * arity_; }
+  /// One parked pre-image: the row's contents before its first in-place
+  /// update inside epoch window `end_valid` — i.e. the version readers
+  /// pinned at P < end_valid must see when the slab cells have moved on.
+  struct OldVersion {
+    uint64_t end_valid = 0;
+    Row values;
+  };
+
+  Value* mutable_row(size_t rowid) {
+    return cells_.load(std::memory_order_relaxed) + rowid * stride_;
+  }
+  RowMetaRef meta(size_t rowid) const {
+    return RowMetaRef(cells_.load(std::memory_order_relaxed) +
+                      rowid * stride_ + arity_);
+  }
+  /// The epoch the writer's in-flight changes belong to (1 when no epoch
+  /// manager is attached — single-threaded mode).
+  uint64_t WriteEpoch() const { return em_ != nullptr ? em_->write_epoch() : 1; }
+
+  /// Ensures room for one more row, growing (and epoch-retiring the old
+  /// buffer) as needed. Returns the cell pointer for the new row slot.
+  Value* ReserveRowSlot();
+  /// Appends `row` (already interned) as the next slot with the given
+  /// MVCC stamps, publishing it to readers.
+  void AppendRow(Row&& row, uint32_t begin, uint32_t end, uint64_t mod);
+  /// Parks the row's pre-image for pinned readers and opens its seqlock
+  /// window, if this is the row's first in-place update in the current
+  /// epoch window.
+  void PrepareRowUpdate(size_t rowid);
+  /// Retires `buf` (holding `rows` row slots) through the epoch manager,
+  /// or frees it immediately when no reader can reference it.
+  /// `destroy_values` runs Value destructors at free time (Clear); growth
+  /// retires ghost images without them.
+  void RetireBuffer(Value* buf, size_t rows, bool destroy_values);
 
   TableSchema schema_;
   size_t arity_;
+  size_t stride_;  ///< arity_ + 1 (trailing MVCC metadata slot).
   TransactionManager* txn_ = nullptr;
   StringInterner* interner_ = nullptr;
+  EpochManager* em_ = nullptr;
   bool durable_ = false;
-  /// Row slots back to back: slot i occupies [i*arity_, (i+1)*arity_).
-  std::vector<Value> slab_;
-  std::vector<bool> live_;
+  /// Row slots back to back: slot i occupies cells_[i*stride_ ..
+  /// (i+1)*stride_). Published atomically so pinned readers can chase the
+  /// pointer while the writer grows or clears the slab; the buffer itself
+  /// is raw storage managed by ReserveRowSlot/RetireBuffer.
+  std::atomic<Value*> cells_{nullptr};
+  size_t cap_rows_ = 0;                ///< writer-only buffer capacity.
+  std::atomic<size_t> filled_{0};      ///< published (initialized) rows.
+  std::vector<bool> live_;             ///< writer-only liveness view.
   size_t live_count_ = 0;
+  /// Parked pre-images for rows updated in place while readers could be
+  /// pinned; guarded by versions_mu_ (writer emplaces/GCs, readers look
+  /// up on seqlock failure).
+  mutable std::mutex versions_mu_;
+  std::unordered_multimap<size_t, OldVersion> versions_;
   std::vector<std::unique_ptr<HashIndex>> indexes_;
 };
 

@@ -8,7 +8,7 @@ namespace xupd::rdb {
 
 StrRep* StrRep::New(std::string_view s) {
   auto* rep = static_cast<StrRep*>(::operator new(sizeof(StrRep) + s.size()));
-  rep->refs = 1;
+  new (&rep->refs) std::atomic<uint32_t>(1);
   rep->len = static_cast<uint32_t>(s.size());
   std::memcpy(rep->data(), s.data(), s.size());
   return rep;

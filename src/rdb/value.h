@@ -21,6 +21,7 @@
 #ifndef XUPD_RDB_VALUE_H_
 #define XUPD_RDB_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -34,18 +35,27 @@ namespace xupd::rdb {
 enum class ValueType { kNull, kInt, kString };
 
 /// Refcounted immutable heap block backing strings longer than the SSO
-/// limit: header + character data in one allocation.
+/// limit: header + character data in one allocation. The refcount is
+/// atomic: epoch-snapshot reader sessions copy Values (Ref) concurrently
+/// with the writer dropping its own references (Unref). Ref is relaxed —
+/// a new reference is always cloned from an existing owned one; Unref is
+/// acq_rel so the block's contents are fully visible to whichever thread
+/// performs the final release and frees it.
 struct StrRep {
-  uint32_t refs;
+  std::atomic<uint32_t> refs;
   uint32_t len;
   // Characters follow the header in the same allocation.
   char* data() { return reinterpret_cast<char*>(this + 1); }
   const char* data() const { return reinterpret_cast<const char*>(this + 1); }
 
   static StrRep* New(std::string_view s);
-  static void Ref(StrRep* rep) { ++rep->refs; }
+  static void Ref(StrRep* rep) {
+    rep->refs.fetch_add(1, std::memory_order_relaxed);
+  }
   static void Unref(StrRep* rep) {
-    if (--rep->refs == 0) ::operator delete(rep);
+    if (rep->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ::operator delete(rep);
+    }
   }
 };
 
@@ -182,6 +192,52 @@ class Value {
 
   /// Rendering as a SQL literal (quoted string / bare int / NULL).
   std::string ToSqlLiteral() const;
+
+  // ---- Concurrent-slab support (epoch-snapshot readers) ----
+  // Table slab cells may be overwritten in place by the writer while a
+  // pinned reader copies them under a per-row seqlock (see table.h). These
+  // helpers split a copy into (1) untorn word loads, (2) seqlock
+  // validation by the caller, (3) materialization with a refcount
+  // acquire — step 3 must only run on validated words, since bumping the
+  // refcount of a torn pointer would be undefined behavior.
+
+  /// Loads the 16 raw bytes of `src` as two relaxed-atomic words. The
+  /// result is only meaningful after the caller's seqlock validation.
+  static void RacyLoadWords(const Value* src, uint64_t out[2]) {
+    // atomic_ref<const T> arrives in C++26; the loads themselves never
+    // mutate.
+    auto* words = reinterpret_cast<uint64_t*>(const_cast<char*>(src->raw_));
+    out[0] =
+        std::atomic_ref<uint64_t>(words[0]).load(std::memory_order_relaxed);
+    out[1] =
+        std::atomic_ref<uint64_t>(words[1]).load(std::memory_order_relaxed);
+  }
+
+  /// Materializes an owning Value from seqlock-validated raw words,
+  /// acquiring a new heap reference when the words name a heap string.
+  /// The source row is guaranteed alive by the caller's epoch pin.
+  static Value FromSnapshotWords(const uint64_t w[2]) {
+    Value ghost;
+    std::memcpy(ghost.raw_, w, sizeof(ghost.raw_));
+    Value out = ghost;                  // copy ctor acquires the reference
+    ghost.raw_[kTagByte] = kTagNull;    // the ghost never owned one
+    return out;
+  }
+
+  /// Moves *this into `*dst` with word-atomic stores (so a racing reader's
+  /// RacyLoadWords never tears) and releases dst's previous reference.
+  /// Writer-thread only; readers are fenced off by the row seqlock.
+  void RacyPublishTo(Value* dst) && {
+    uint64_t w[2];
+    std::memcpy(w, raw_, sizeof(raw_));
+    Value old;
+    std::memcpy(old.raw_, dst->raw_, sizeof(old.raw_));  // adopt dst's ref
+    auto* words = reinterpret_cast<uint64_t*>(dst->raw_);
+    std::atomic_ref<uint64_t>(words[0]).store(w[0], std::memory_order_relaxed);
+    std::atomic_ref<uint64_t>(words[1]).store(w[1], std::memory_order_relaxed);
+    raw_[kTagByte] = kTagNull;  // our reference now lives in *dst
+    // `old` releases dst's previous reference on scope exit.
+  }
 
  private:
   static constexpr int kTagByte = 15;

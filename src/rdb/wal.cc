@@ -429,10 +429,11 @@ void WalWriter::PendDdl(std::string_view sql) {
 
 Status WalWriter::CommitPending(int64_t next_id) {
   if (pending_.empty()) return Status::OK();
-  if (broken_) {
+  if (broken()) {
+    std::string cause = broken_cause();
     return Status::Internal(
         "WAL writer is fail-stopped (" +
-        (broken_cause_.empty() ? std::string("unknown cause") : broken_cause_) +
+        (cause.empty() ? std::string("unknown cause") : cause) +
         "); the on-disk log ends at the last fully persisted unit — reopen "
         "or heal the database to resume");
   }
@@ -444,47 +445,51 @@ Status WalWriter::CommitPending(int64_t next_id) {
   FrameEnd(frame);
   const uint64_t unit_bytes = pending_.size();
 
-  Status write_status = WriteFully(file_.get(), pending_.data(),
-                                   pending_.size(), "cannot append to WAL",
-                                   path_);
-  if (!write_status.ok()) {
-    // Fail-stop: a partial write left a torn frame in the file. Truncate
-    // back to the last unit boundary (best effort) and refuse further
-    // appends — if garbage stayed mid-file, replay would end there and
-    // silently drop every unit written after it.
-    (void)file_->Truncate(file_size_);
-    (void)file_->Seek(file_size_);
-    MarkBroken(write_status.message());
+  // The file descriptor and its byte accounting are shared with the
+  // group-commit flusher thread; the pending buffer itself is writer-only
+  // and was framed outside the lock.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status write_status = WriteFully(file_.get(), pending_.data(),
+                                     pending_.size(), "cannot append to WAL",
+                                     path_);
+    if (!write_status.ok()) {
+      // Fail-stop: a partial write left a torn frame in the file. Truncate
+      // back to the last unit boundary (best effort) and refuse further
+      // appends — if garbage stayed mid-file, replay would end there and
+      // silently drop every unit written after it.
+      (void)file_->Truncate(file_size_);
+      (void)file_->Seek(file_size_);
+      MarkBroken(write_status.message());
+      pending_.clear();
+      pending_records_ = 0;
+      for (const auto& [name, id, offset] : pending_defs_) {
+        table_ids_.erase(name);
+      }
+      pending_defs_.clear();
+      return write_status;
+    }
+    file_size_ += pending_.size();
+    stats_->wal_appends += pending_records_;
+    stats_->wal_bytes += pending_.size();
     pending_.clear();
     pending_records_ = 0;
-    for (const auto& [name, id, offset] : pending_defs_) {
-      table_ids_.erase(name);
-    }
-    pending_defs_.clear();
-    return write_status;
-  }
-  file_size_ += pending_.size();
-  stats_->wal_appends += pending_records_;
-  stats_->wal_bytes += pending_.size();
-  pending_.clear();
-  pending_records_ = 0;
-  pending_defs_.clear();  // the defs (and their ids) are in the file now
-  dirty_ = true;
+    pending_defs_.clear();  // the defs (and their ids) are in the file now
+    dirty_ = true;
+    ++commits_since_sync_;
 
-  switch (options_.sync_mode) {
-    case SyncMode::kNone:
-      break;
-    case SyncMode::kCommit:
-      XUPD_RETURN_IF_ERROR(Sync());
-      break;
-    case SyncMode::kBatched:
-      if (++commits_since_sync_ >=
-          static_cast<uint64_t>(
-              options_.group_commit_interval < 1 ? 1
-                                                 : options_.group_commit_interval)) {
-        XUPD_RETURN_IF_ERROR(Sync());
-      }
-      break;
+    switch (options_.sync_mode) {
+      case SyncMode::kNone:
+        break;
+      case SyncMode::kCommit:
+        XUPD_RETURN_IF_ERROR(SyncLocked());
+        break;
+      case SyncMode::kBatched:
+        // Group commit: the background flusher fsyncs every
+        // group_commit_window_us; this unit is acknowledged now and
+        // becomes power-loss durable at the window's end.
+        break;
+    }
   }
   if (commit_hist_ != nullptr) {
     const uint64_t dur = MonotonicNanos() - t0;
@@ -498,8 +503,14 @@ Status WalWriter::CommitPending(int64_t next_id) {
 }
 
 Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SyncLocked();
+}
+
+Status WalWriter::SyncLocked() {
   if (!dirty_) return Status::OK();
   const uint64_t t0 = fsync_hist_ != nullptr ? MonotonicNanos() : 0;
+  const uint64_t batch = commits_since_sync_;
   if (int err = file_->Sync(); err != 0) {
     // Fail-stop on fsync failure too: the kernel may have DROPPED the dirty
     // pages (fsync-gate semantics), so a unit that reported a commit error
@@ -511,8 +522,9 @@ Status WalWriter::Sync() {
   }
   dirty_ = false;
   commits_since_sync_ = 0;
-  synced_size_ = file_size_;
+  synced_size_.store(file_size_, std::memory_order_release);
   ++stats_->wal_fsyncs;
+  if (batch_hist_ != nullptr && batch > 0) batch_hist_->Record(batch);
   if (fsync_hist_ != nullptr) {
     const uint64_t dur = MonotonicNanos() - t0;
     fsync_hist_->Record(dur);
@@ -524,8 +536,9 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::OK();
-  Status s = Sync();
+  Status s = SyncLocked();
   (void)file_->Close();
   file_ = nullptr;
   return s;
@@ -582,7 +595,8 @@ Status ApplyRecord(Database* db, const PendingRecord& rec) {
 
 Result<WalReplayResult> ReplayWal(Database* db, Vfs* vfs,
                                   const std::string& path,
-                                  uint64_t snapshot_epoch) {
+                                  uint64_t snapshot_epoch,
+                                  uint64_t start_offset) {
   // Read the whole file (WALs are truncated at every checkpoint; between
   // checkpoints they are bounded by the update volume since the last one).
   auto read = ReadWholeFile(vfs, path);
@@ -713,12 +727,19 @@ Result<WalReplayResult> ReplayWal(Database* db, Vfs* vfs,
     if (end_of_log || !r.ok()) break;
     pos += 8 + len;
     if (rec.kind == RecordKind::kCommit) {
-      for (const PendingRecord& pending : unit) {
-        XUPD_RETURN_IF_ERROR(ApplyRecord(db, pending));
-        ++out.applied_records;
+      if (pos <= start_offset) {
+        // This unit is already folded into the snapshot (off-thread
+        // checkpoint): keep the dictionary and the commit boundary but do
+        // not re-apply it — and leave next_id to the snapshot's value.
+        unit.clear();
+      } else {
+        for (const PendingRecord& pending : unit) {
+          XUPD_RETURN_IF_ERROR(ApplyRecord(db, pending));
+          ++out.applied_records;
+        }
+        unit.clear();
+        db->set_next_id(commit_next_id);
       }
-      unit.clear();
-      db->set_next_id(commit_next_id);
       out.valid_bytes = pos;
       committed_defs = defs.size();
     } else if (!is_def) {

@@ -30,7 +30,9 @@
 // The epoch pairs the WAL with its snapshot (rdb/snapshot.h): Checkpoint
 // writes a snapshot with epoch N+1 and then resets the WAL to epoch N+1, so
 // a crash between the two steps leaves an epoch-N WAL that recovery
-// recognizes as already contained in the snapshot and ignores.
+// recognizes as already contained in the snapshot and ignores. Off-thread
+// checkpoints instead keep the WAL (same epoch) and stamp the snapshot with
+// the byte offset it folds in; replay skips applying that prefix.
 //
 // Recovery (ReplayWal) buffers decoded records and applies them only when
 // their commit frame arrives; a torn or corrupt frame ends the log — the
@@ -41,8 +43,10 @@
 #ifndef XUPD_RDB_WAL_H_
 #define XUPD_RDB_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <tuple>
@@ -66,16 +70,21 @@ enum class SyncMode {
   kNone,     ///< never fsync; the OS flushes eventually (survives process
              ///< crash, not power loss).
   kCommit,   ///< fsync once per commit unit (classic durable commit).
-  kBatched,  ///< group commit: fsync every `group_commit_interval` units
-             ///< (and on checkpoint/close).
+  kBatched,  ///< group commit: a background flusher fsyncs every
+             ///< `group_commit_window_us` microseconds (and on
+             ///< checkpoint/close) — commits never fsync inline, so the
+             ///< loss bound on power loss is one time window of
+             ///< acknowledged units, not a unit count.
 };
 
 const char* ToString(SyncMode mode);
 
 struct DurabilityOptions {
   SyncMode sync_mode = SyncMode::kCommit;
-  /// kBatched: commit units between fsyncs.
-  int group_commit_interval = 32;
+  /// kBatched: the background group-commit flusher's fsync period in
+  /// microseconds. Power loss can drop at most the acknowledged commit
+  /// units of the last un-fsynced window (plus the one fsync in flight).
+  int group_commit_window_us = 2000;
   /// Filesystem to run all durable I/O through; null means Vfs::Default().
   /// Tests interpose a FaultVfs here (rdb/vfs.h).
   Vfs* vfs = nullptr;
@@ -149,7 +158,17 @@ class WalWriter {
   /// even across a power loss (scrub anchor; anything beyond it is
   /// acknowledged-but-unsynced work or discardable tail). Units acked under
   /// kNone/kBatched before their group sync are intentionally not counted.
-  uint64_t committed_bytes() const { return synced_size_; }
+  /// Safe from any thread.
+  uint64_t committed_bytes() const {
+    return synced_size_.load(std::memory_order_acquire);
+  }
+  /// Bytes (header included) up to the last fully appended commit unit —
+  /// the offset an off-thread checkpoint captures as "everything before
+  /// this is folded into the snapshot". Writer thread (commit boundary).
+  uint64_t file_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return file_size_;
+  }
 
   /// A position in the pending buffer; taken at transaction-scope Begin and
   /// restored on rollback (mirrors the undo log's scope boundaries).
@@ -184,29 +203,39 @@ class WalWriter {
   /// unaffected). Used when the WAL file could not be reset after a
   /// checkpoint, so durable writes fail loudly instead of silently
   /// diverging from disk. The first cause is kept for diagnostics (the
-  /// Database surfaces it in read-only mode).
+  /// Database surfaces it in read-only mode). Safe from any thread (the
+  /// group-commit flusher fail-stops on fsync failure; the writer
+  /// discovers it at its next commit boundary).
   void MarkBroken(std::string cause) {
-    broken_ = true;
+    std::lock_guard<std::mutex> lock(broken_mu_);
     if (broken_cause_.empty()) broken_cause_ = std::move(cause);
+    broken_.store(true, std::memory_order_release);
   }
-  bool broken() const { return broken_; }
+  bool broken() const { return broken_.load(std::memory_order_acquire); }
   /// Human-readable description of the first failure that fail-stopped this
   /// writer (operation + path + symbolic errno); empty when not broken.
-  const std::string& broken_cause() const { return broken_cause_; }
+  std::string broken_cause() const {
+    std::lock_guard<std::mutex> lock(broken_mu_);
+    return broken_cause_;
+  }
 
   /// Wires the owning Database's observability sinks in after Open (each
   /// re-open after checkpoint re-attaches): CommitPending records its wall
   /// time into `commit_hist` plus a kWalUnit event, Sync records fsync time
-  /// into `fsync_hist` plus a kFsync event. All three may be null (detached
-  /// writer, e.g. the TryHeal probe) — timing is skipped entirely then.
+  /// into `fsync_hist` plus a kFsync event and the number of commit units
+  /// the fsync covered into `batch_hist` (group-commit batch size). All may
+  /// be null (detached writer, e.g. the TryHeal probe) — timing is skipped
+  /// entirely then.
   void AttachMetrics(Histogram* commit_hist, Histogram* fsync_hist,
-                     EventLog* events) {
+                     Histogram* batch_hist, EventLog* events) {
     commit_hist_ = commit_hist;
     fsync_hist_ = fsync_hist;
+    batch_hist_ = batch_hist;
     events_ = events;
   }
 
-  /// fsync now if anything written is unsynced.
+  /// fsync now if anything written is unsynced. Safe from any thread —
+  /// this is the group-commit flusher's entry point.
   Status Sync();
   /// Sync + close the file descriptor. Pending (uncommitted) records are
   /// discarded — only committed units ever persist.
@@ -214,6 +243,8 @@ class WalWriter {
 
  private:
   WalWriter() = default;
+  /// Sync with mu_ already held (CommitPending's kCommit inline fsync).
+  Status SyncLocked();
   /// In-place framing: reserves the 8-byte length+CRC header in pending_,
   /// returns its offset; FrameEnd patches it over the bytes appended since.
   size_t FrameBegin();
@@ -245,19 +276,30 @@ class WalWriter {
   /// Observability sinks (see AttachMetrics); null = detached.
   Histogram* commit_hist_ = nullptr;
   Histogram* fsync_hist_ = nullptr;
+  Histogram* batch_hist_ = nullptr;
   EventLog* events_ = nullptr;
-  uint64_t commits_since_sync_ = 0;
-  bool dirty_ = false;  ///< written bytes not yet fsynced.
+  /// Guards the file descriptor and its byte-count state (file_size_,
+  /// dirty_, commits_since_sync_) against the group-commit flusher thread,
+  /// which calls Sync() concurrently with the writer's CommitPending.
+  /// The pending buffer and table-id dictionary stay writer-thread-only
+  /// and are touched outside the lock.
+  mutable std::mutex mu_;
+  uint64_t commits_since_sync_ = 0;  ///< guarded by mu_.
+  bool dirty_ = false;  ///< written bytes not yet fsynced; guarded by mu_.
   /// File length after the last fully written unit — where a failed append
-  /// truncates back to before the writer fail-stops.
+  /// truncates back to before the writer fail-stops. Guarded by mu_.
   uint64_t file_size_ = 0;
   /// file_size_ as of the last successful fsync: the newest boundary the
   /// disk is guaranteed to retain across power loss (committed_bytes()).
-  uint64_t synced_size_ = 0;
+  /// Atomic so scrub/status paths read it without the file lock.
+  std::atomic<uint64_t> synced_size_{0};
   /// Set when an append failed mid-write: the writer refuses further
-  /// commits so the on-disk log always ends at a unit boundary.
-  bool broken_ = false;
-  std::string broken_cause_;
+  /// commits so the on-disk log always ends at a unit boundary. The flag
+  /// is atomic (flusher sets it on fsync failure); the cause string has
+  /// its own lock.
+  std::atomic<bool> broken_{false};
+  mutable std::mutex broken_mu_;
+  std::string broken_cause_;  ///< guarded by broken_mu_.
 };
 
 // --- recovery --------------------------------------------------------------
@@ -278,9 +320,15 @@ struct WalReplayResult {
 /// frames end the log silently (crash semantics); a WAL whose epoch predates
 /// the snapshot is ignored; a bad header or a record that cannot be applied
 /// (e.g. an insert whose row id does not line up) is a hard error.
+/// `start_offset` (the snapshot's wal_offset, from an off-thread checkpoint
+/// that kept the WAL) marks the prefix already folded into the snapshot:
+/// frames before it are still decoded — the table-name dictionary and
+/// commit boundaries span the whole file — but their units are not applied
+/// and their commit frames do not move next_id.
 Result<WalReplayResult> ReplayWal(Database* db, Vfs* vfs,
                                   const std::string& path,
-                                  uint64_t snapshot_epoch);
+                                  uint64_t snapshot_epoch,
+                                  uint64_t start_offset = 0);
 
 /// Integrity scrub: re-walks the WAL file's header and frame CRCs with the
 /// same tolerance as ReplayWal — a torn or CRC-failing tail is a crash
