@@ -1,19 +1,23 @@
 // Concurrent-read throughput: epoch-snapshot reader sessions scanning a
 // shared table while the single writer churns rows. Reports read QPS at
-// 1/2/4/8 reader threads — the tentpole claim is that snapshot reads scale
-// near-linearly because readers take no locks on the scan path — plus the
-// commit-latency contrast between per-commit fsync (kCommit) and the
-// time-based group-commit window (kBatched).
+// 1/2/4/8/16 reader threads — the tentpole claim is that snapshot reads
+// scale near-linearly because readers take no locks on the scan path — plus
+// the commit-latency contrast between per-commit fsync (kCommit) and the
+// time-based group-commit window (kBatched). Each QPS row also carries the
+// MVCC telemetry the run produced (peak epoch lag, version-buffer
+// rows/bytes, GC/reclaim counters), so regressions in epoch GC show up in
+// the same archived JSON as throughput.
 //
 // Usage: bench_concurrent_read_qps [duration_ms] [threads]
 //   duration_ms  per-point measurement window (default 300)
-//   threads      run only this reader count (default: 1 2 4 8 sweep)
+//   threads      run only this reader count (default: 1 2 4 8 16 sweep)
 //
 // Exits nonzero if any measured point records zero completed queries, so CI
 // can use a short run as a liveness smoke test.
 #include <dirent.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -53,6 +57,9 @@ struct Point {
   int threads = 0;
   uint64_t queries = 0;
   double seconds = 0;
+  /// Peak epoch.lag sampled at the writer's commit boundaries: how far the
+  /// slowest pinned reader trailed the published epoch during the window.
+  int64_t epoch_lag_max = 0;
   double qps() const { return seconds > 0 ? queries / seconds : 0; }
 };
 
@@ -89,10 +96,15 @@ Point MeasureReaders(rdb::Database* db, int threads, int duration_ms) {
     });
   }
 
-  // Writer churn for the whole window: delete/re-insert pairs at commit
-  // boundaries, the fig. 6/10 update mix in miniature.
+  // Writer churn for the whole window, the fig. 6/10 replay mix in
+  // miniature: delete + re-insert of one subtree row plus an in-place
+  // update of another (the update parks a pre-image in the version buffer
+  // whenever a reader pin can still reach the old value). Each commit
+  // boundary samples the epoch-lag gauge the boundary just refreshed.
+  std::atomic<int64_t>* lag = db->metrics().Gauge("epoch.lag");
   const auto t0 = std::chrono::steady_clock::now();
   const auto deadline = t0 + std::chrono::milliseconds(duration_ms);
+  int64_t lag_max = 0;
   int cursor = 0;
   while (std::chrono::steady_clock::now() < deadline) {
     MustExec(db, "BEGIN");
@@ -100,7 +112,10 @@ Point MeasureReaders(rdb::Database* db, int threads, int duration_ms) {
     MustExec(db, "INSERT INTO r VALUES (" + std::to_string(cursor % 4096) +
                      ", " + std::to_string(cursor % 16) + ", " +
                      std::to_string(cursor % 97) + ")");
+    MustExec(db, "UPDATE r SET v = " + std::to_string((cursor + 1) % 97) +
+                     " WHERE id = " + std::to_string((cursor + 2048) % 4096));
     MustExec(db, "COMMIT");
+    lag_max = std::max(lag_max, lag->load(std::memory_order_relaxed));
     ++cursor;
   }
   stop.store(true, std::memory_order_release);
@@ -109,6 +124,7 @@ Point MeasureReaders(rdb::Database* db, int threads, int duration_ms) {
   Point p;
   p.threads = threads;
   p.queries = total.load();
+  p.epoch_lag_max = lag_max;
   p.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             t0)
                   .count();
@@ -190,19 +206,37 @@ int main(int argc, char** argv) {
   double qps1 = 0;
   std::vector<int> sweep =
       only_threads > 0 ? std::vector<int>{only_threads}
-                       : std::vector<int>{1, 2, 4, 8};
+                       : std::vector<int>{1, 2, 4, 8, 16};
   for (int threads : sweep) {
     Point p = MeasureReaders(&db, threads, duration_ms);
     if (p.queries == 0) zero_point = true;
     if (threads == 1) qps1 = p.qps();
-    std::printf("%-8d %12llu %12.0f\n", threads,
-                static_cast<unsigned long long>(p.queries), p.qps());
+    // MVCC telemetry at the point's end: the gauges hold the last commit
+    // boundary's view, the counters accumulate across the whole process.
+    const int64_t version_rows =
+        db.metrics().Gauge("mvcc.version_rows")->load();
+    const int64_t version_bytes =
+        db.metrics().Gauge("mvcc.version_bytes")->load();
+    const uint64_t gc_rows = db.metrics().Counter("mvcc.version_gc_rows")->load();
+    const uint64_t reclaims =
+        db.metrics().Counter("mvcc.slab_reclaims")->load();
+    std::printf("%-8d %12llu %12.0f   lag_max=%lld\n", threads,
+                static_cast<unsigned long long>(p.queries), p.qps(),
+                static_cast<long long>(p.epoch_lag_max));
     std::printf(
         "{\"bench\":\"concurrent_read_qps\",\"series\":\"read_qps\","
         "\"writer\":\"churn\",\"duration_ms\":%d,\"queries\":%llu,"
-        "\"qps\":%.0f,\"speedup_vs_1\":%.2f,%s\n",
+        "\"qps\":%.0f,\"speedup_vs_1\":%.2f,\"epoch_lag_max\":%lld,"
+        "\"version_rows\":%lld,\"version_bytes\":%lld,"
+        "\"version_gc_rows\":%llu,\"slab_reclaims\":%llu,%s\n",
         duration_ms, static_cast<unsigned long long>(p.queries), p.qps(),
-        qps1 > 0 ? p.qps() / qps1 : 0.0, bench::JsonTail(threads).c_str());
+        qps1 > 0 ? p.qps() / qps1 : 0.0,
+        static_cast<long long>(p.epoch_lag_max),
+        static_cast<long long>(version_rows),
+        static_cast<long long>(version_bytes),
+        static_cast<unsigned long long>(gc_rows),
+        static_cast<unsigned long long>(reclaims),
+        bench::JsonTail(threads).c_str());
   }
 
   MeasureCommitLatency(rdb::SyncMode::kCommit, "commit", 2000);

@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <array>
 #include <cinttypes>
 #include <cstdio>
 
@@ -55,6 +56,46 @@ void Histogram::Merge(const Histogram& other) {
   sum_.fetch_add(other.sum(), std::memory_order_relaxed);
 }
 
+namespace trace {
+namespace {
+
+// Dense thread ids start at 1; track names live in a fixed global table so
+// naming and lookup never allocate. Threads beyond the table stay unnamed
+// (they still trace, their track is just called "thread-<tid>").
+constexpr uint32_t kMaxNamedTids = 256;
+std::atomic<uint32_t> g_next_tid{1};
+std::atomic<uint64_t> g_next_span_id{1};
+std::array<std::atomic<const char*>, kMaxNamedTids> g_thread_names{};
+thread_local uint32_t t_tid = 0;
+thread_local Context t_context;
+
+}  // namespace
+
+uint32_t CurrentTid() {
+  if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
+
+void SetCurrentThreadName(const char* name) {
+  const uint32_t tid = CurrentTid();
+  if (tid < kMaxNamedTids) {
+    g_thread_names[tid].store(name, std::memory_order_release);
+  }
+}
+
+const char* ThreadName(uint32_t tid) {
+  if (tid >= kMaxNamedTids) return nullptr;
+  return g_thread_names[tid].load(std::memory_order_acquire);
+}
+
+uint64_t NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Context& CurrentContext() { return t_context; }
+
+}  // namespace trace
+
 const char* ToString(TraceEvent::Kind kind) {
   switch (kind) {
     case TraceEvent::Kind::kStatement: return "statement";
@@ -69,13 +110,48 @@ const char* ToString(TraceEvent::Kind kind) {
   return "unknown";
 }
 
-std::vector<TraceEvent> EventLog::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::vector<TraceEvent> out;
-  out.reserve(size_);
-  for (size_t i = 0; i < size_; ++i) {
-    out.push_back(ring_[(head_ + i) % ring_.size()]);
+void EventLog::Record(const TraceEvent& e) {
+  TraceEvent ev = e;
+  // The sequence is stamped atomically BEFORE taking the ring lock, so it
+  // reflects arrival order even when threads then race into slots; dumps
+  // sort by it.
+  ev.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (ev.tid == 0) ev.tid = trace::CurrentTid();
+  if (ev.span_id == 0) {
+    const trace::Context& ctx = trace::CurrentContext();
+    ev.span_id = trace::NextSpanId();
+    if (ev.parent_span_id == 0) ev.parent_span_id = ctx.span_id;
+    if (ev.trace_id == 0) {
+      ev.trace_id = ctx.trace_id != 0 ? ctx.trace_id : ev.span_id;
+    }
+  } else if (ev.trace_id == 0) {
+    ev.trace_id = ev.span_id;
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return;
+  if (size_ == ring_.size()) {
+    ring_[head_] = ev;
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  } else {
+    ring_[(head_ + size_) % ring_.size()] = ev;
+    ++size_;
+  }
+}
+
+std::vector<TraceEvent> EventLog::Events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
   return out;
 }
 
@@ -83,13 +159,16 @@ std::vector<std::string> EventLog::ToJsonLines() const {
   const std::vector<TraceEvent> events = Events();
   std::vector<std::string> out;
   out.reserve(events.size());
-  char buf[256];
+  char buf[384];
   for (const TraceEvent& e : events) {
     int n = std::snprintf(
         buf, sizeof buf,
         "{\"kind\":\"%s\",\"start_ns\":%" PRIu64 ",\"duration_ns\":%" PRIu64
-        ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 "%s%s%s}",
-        ToString(e.kind), e.start_ns, e.duration_ns, e.a, e.b,
+        ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 ",\"tid\":%" PRIu32
+        ",\"seq\":%" PRIu64 ",\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64
+        ",\"parent_span_id\":%" PRIu64 "%s%s%s}",
+        ToString(e.kind), e.start_ns, e.duration_ns, e.a, e.b, e.tid, e.seq,
+        e.trace_id, e.span_id, e.parent_span_id,
         e.detail != nullptr ? ",\"detail\":\"" : "",
         e.detail != nullptr ? e.detail : "", e.detail != nullptr ? "\"" : "");
     out.emplace_back(buf, static_cast<size_t>(std::max(n, 0)));
@@ -106,6 +185,83 @@ std::string EventLog::DumpJson() const {
     out += line;
   }
   out += ']';
+  return out;
+}
+
+std::string EventLog::DumpChromeTrace() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\":[";
+  char buf[512];
+  bool first = true;
+  auto append = [&](int n) {
+    if (!first) out += ',';
+    first = false;
+    out.append(buf, static_cast<size_t>(std::max(n, 0)));
+  };
+
+  // One metadata event names each distinct track. Tids are small dense
+  // ints, so a sorted set keeps the output deterministic.
+  std::vector<uint32_t> tids;
+  for (const TraceEvent& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (uint32_t tid : tids) {
+    const char* name = trace::ThreadName(tid);
+    char fallback[32];
+    if (name == nullptr) {
+      std::snprintf(fallback, sizeof fallback, "thread-%" PRIu32, tid);
+      name = fallback;
+    }
+    append(std::snprintf(buf, sizeof buf,
+                         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                         "\"tid\":%" PRIu32 ",\"args\":{\"name\":\"%s\"}}",
+                         tid, name));
+  }
+
+  // Complete ("X") duration events, ts/dur in microseconds.
+  for (const TraceEvent& e : events) {
+    append(std::snprintf(
+        buf, sizeof buf,
+        "{\"name\":\"%s\",\"cat\":\"xupd\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%" PRIu32
+        ",\"args\":{\"seq\":%" PRIu64 ",\"trace_id\":%" PRIu64
+        ",\"span_id\":%" PRIu64 ",\"parent_span_id\":%" PRIu64
+        ",\"a\":%" PRIu64 ",\"b\":%" PRIu64 "%s%s%s}}",
+        ToString(e.kind), static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(e.duration_ns) / 1e3, e.tid, e.seq, e.trace_id,
+        e.span_id, e.parent_span_id, e.a, e.b,
+        e.detail != nullptr ? ",\"detail\":\"" : "",
+        e.detail != nullptr ? e.detail : "", e.detail != nullptr ? "\"" : ""));
+  }
+
+  // Flow arrows for every parent→child edge that crosses threads. The
+  // arrow is keyed by the child's span id; the start point is clamped into
+  // the parent slice so chrome://tracing binds it.
+  std::map<uint64_t, const TraceEvent*> by_span;
+  for (const TraceEvent& e : events) by_span[e.span_id] = &e;
+  for (const TraceEvent& e : events) {
+    if (e.parent_span_id == 0) continue;
+    auto it = by_span.find(e.parent_span_id);
+    if (it == by_span.end()) continue;
+    const TraceEvent& parent = *it->second;
+    if (parent.tid == e.tid) continue;
+    const uint64_t parent_end = parent.start_ns + parent.duration_ns;
+    const uint64_t s_ns = std::min(parent_end, e.start_ns);
+    append(std::snprintf(buf, sizeof buf,
+                         "{\"name\":\"handoff\",\"cat\":\"flow\",\"ph\":\"s\","
+                         "\"id\":%" PRIu64 ",\"ts\":%.3f,\"pid\":1,"
+                         "\"tid\":%" PRIu32 "}",
+                         e.span_id, static_cast<double>(s_ns) / 1e3,
+                         parent.tid));
+    append(std::snprintf(buf, sizeof buf,
+                         "{\"name\":\"handoff\",\"cat\":\"flow\",\"ph\":\"f\","
+                         "\"bp\":\"e\",\"id\":%" PRIu64 ",\"ts\":%.3f,"
+                         "\"pid\":1,\"tid\":%" PRIu32 "}",
+                         e.span_id, static_cast<double>(e.start_ns) / 1e3,
+                         e.tid));
+  }
+
+  out += "]}";
   return out;
 }
 

@@ -188,14 +188,23 @@ class Histogram {
 /// slots whose meaning depends on the kind (see the kind comments).
 /// `detail` must point at a string literal or other static storage — the
 /// ring never copies it, which keeps Record() allocation-free.
+///
+/// Causal identity (PR 9): every recorded event carries the recording
+/// thread's id, a process-order sequence number, and a
+/// (trace_id, span_id, parent_span_id) triple. Call sites normally leave
+/// the causal fields zero — EventLog::Record fills them from the calling
+/// thread's trace::Context — and set them explicitly only when a span was
+/// handed off from another thread (group-commit fsync, background
+/// checkpoint).
 struct TraceEvent {
   enum class Kind : uint8_t {
     kStatement,   ///< one SQL statement; a = sql::Statement::Kind.
     kTxn,         ///< outermost BEGIN..COMMIT/ROLLBACK; a = 1 if committed.
     kWalUnit,     ///< one WAL commit unit; a = records, b = bytes.
-    kFsync,       ///< one WAL fsync.
+    kFsync,       ///< one WAL fsync; a = commit units batched into it.
     kCheckpoint,  ///< snapshot + WAL truncation (snapshot.write histogram
-                  ///< holds the write alone).
+                  ///< holds the write alone). a = 0 blocking, 1 background
+                  ///< snapshot write, 2 background schedule (writer side).
     kRecovery,    ///< startup replay; a = records replayed.
     kScrub,       ///< integrity scrub; a = violations found.
     kEngineOp,    ///< one engine/store.cc operation; a = SQL exec ns,
@@ -207,9 +216,99 @@ struct TraceEvent {
   uint64_t a = 0;            ///< kind-specific payload.
   uint64_t b = 0;            ///< kind-specific payload.
   const char* detail = nullptr;  ///< static string or nullptr.
+  uint32_t tid = 0;              ///< trace::CurrentTid() of the recorder.
+  uint64_t seq = 0;              ///< stamped atomically by EventLog::Record.
+  uint64_t trace_id = 0;         ///< causal root id (0 = stamp from context).
+  uint64_t span_id = 0;          ///< this span's id (0 = allocate fresh).
+  uint64_t parent_span_id = 0;   ///< causal parent (0 = current span).
 };
 
 const char* ToString(TraceEvent::Kind kind);
+
+// --- trace context ----------------------------------------------------------
+//
+// Lightweight causal propagation: each thread carries a current
+// (trace_id, span_id) in a thread_local trace::Context; SpanScope pushes a
+// fresh span for the dynamic extent of a statement/engine op, and a Handoff
+// token carries the pair by value across an explicit thread boundary (the
+// writer stashes one for the group-commit flusher and the background
+// checkpointer). Everything here is allocation-free: ids come from one
+// relaxed atomic counter, thread names must be static strings.
+namespace trace {
+
+/// Small dense id (>= 1) of the calling thread, assigned on first use.
+uint32_t CurrentTid();
+
+/// Names the calling thread's track in DumpChromeTrace() output. `name`
+/// must be a string literal or other static storage.
+void SetCurrentThreadName(const char* name);
+
+/// Registered name for `tid`, or nullptr when the thread never named
+/// itself.
+const char* ThreadName(uint32_t tid);
+
+/// Process-unique nonzero span id.
+uint64_t NextSpanId();
+
+/// The calling thread's current causal position. Both ids are zero outside
+/// any SpanScope.
+struct Context {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+Context& CurrentContext();
+
+/// A span's identity captured for another thread: record the remote event
+/// with trace_id = token.trace_id and parent_span_id = token.parent_span_id
+/// to keep the cross-thread edge in the trace.
+struct Handoff {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+};
+
+/// Current position as a handoff token (zeros outside any scope).
+inline Handoff CaptureHandoff() {
+  const Context& c = CurrentContext();
+  return Handoff{c.trace_id, c.span_id};
+}
+
+/// RAII: makes a fresh span the thread's current one for the scope's
+/// lifetime. A scope opened with no active span and no handoff roots a new
+/// trace (trace_id = its own span_id).
+class SpanScope {
+ public:
+  SpanScope() : SpanScope(CaptureHandoff()) {}
+  explicit SpanScope(const Handoff& from) {
+    Context& cur = CurrentContext();
+    prev_ = cur;
+    parent_span_id_ = from.parent_span_id;
+    cur.span_id = NextSpanId();
+    cur.trace_id = from.trace_id != 0 ? from.trace_id : cur.span_id;
+    ctx_ = cur;
+  }
+  ~SpanScope() { CurrentContext() = prev_; }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  uint64_t trace_id() const { return ctx_.trace_id; }
+  uint64_t span_id() const { return ctx_.span_id; }
+  uint64_t parent_span_id() const { return parent_span_id_; }
+  Handoff handoff() const { return Handoff{ctx_.trace_id, ctx_.span_id}; }
+
+  /// Stamps `e` with this scope's identity (the event IS this span).
+  void Annotate(TraceEvent* e) const {
+    e->trace_id = ctx_.trace_id;
+    e->span_id = ctx_.span_id;
+    e->parent_span_id = parent_span_id_;
+  }
+
+ private:
+  Context prev_;
+  Context ctx_;
+  uint64_t parent_span_id_ = 0;
+};
+
+}  // namespace trace
 
 /// Fixed-capacity ring of TraceEvents. When full, the oldest event is
 /// overwritten and `dropped()` counts it; the engine can therefore trace
@@ -221,18 +320,13 @@ class EventLog {
  public:
   explicit EventLog(size_t capacity = 1024) : ring_(capacity) {}
 
-  void Record(const TraceEvent& e) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (ring_.empty()) return;
-    if (size_ == ring_.size()) {
-      ring_[head_] = e;
-      head_ = (head_ + 1) % ring_.size();
-      ++dropped_;
-    } else {
-      ring_[(head_ + size_) % ring_.size()] = e;
-      ++size_;
-    }
-  }
+  /// Copies `e` into the ring, stamping the causal fields first: `seq` is
+  /// taken from an atomic counter (so dumps can be ordered even when
+  /// concurrent threads race into slots), `tid` defaults to the calling
+  /// thread, and zero span fields are filled from the thread's
+  /// trace::Context (fresh span_id, parent = current span, trace inherited
+  /// or self-rooted).
+  void Record(const TraceEvent& e);
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -249,14 +343,23 @@ class EventLog {
     dropped_ = 0;
   }
 
-  /// Events oldest-first.
+  /// Events in recording (sequence) order, oldest-first. Slot order can
+  /// deviate from sequence order when threads race between the seq stamp
+  /// and the ring insert, so this sorts by `seq`.
   std::vector<TraceEvent> Events() const;
 
-  /// One JSON object per event, oldest-first.
+  /// One JSON object per event, sequence order.
   std::vector<std::string> ToJsonLines() const;
 
-  /// The whole ring as a JSON array.
+  /// The whole ring as a JSON array, sequence order.
   std::string DumpJson() const;
+
+  /// Chrome/Perfetto trace-event JSON: one "X" (complete duration) event
+  /// per span on its thread's track (ts/dur in microseconds), "M" metadata
+  /// naming every track (trace::ThreadName or "thread-<tid>"), and "s"/"f"
+  /// flow arrows for every parent→child edge that crosses threads. Load
+  /// the result in chrome://tracing or ui.perfetto.dev.
+  std::string DumpChromeTrace() const;
 
  private:
   mutable std::mutex mu_;
@@ -264,6 +367,7 @@ class EventLog {
   size_t head_ = 0;
   size_t size_ = 0;
   uint64_t dropped_ = 0;
+  std::atomic<uint64_t> next_seq_{1};
 };
 
 /// Named counters, gauges, and histograms. Counter()/Gauge()/GetHistogram()

@@ -34,8 +34,10 @@ class EngineSpan {
   ~EngineSpan() {
     const uint64_t dur = MonotonicNanos() - t0_;
     db_->metrics().GetHistogram(std::string("engine.") + op_)->Record(dur);
-    db_->events().Record({TraceEvent::Kind::kEngineOp, t0_, dur,
-                          *exec_ns_ - exec0_, *trigger_ns_ - trigger0_, op_});
+    TraceEvent ev{TraceEvent::Kind::kEngineOp, t0_, dur, *exec_ns_ - exec0_,
+                  *trigger_ns_ - trigger0_, op_};
+    span_.Annotate(&ev);
+    db_->events().Record(ev);
   }
 
  private:
@@ -43,6 +45,10 @@ class EngineSpan {
   const char* op_;
   std::atomic<uint64_t>* exec_ns_;
   std::atomic<uint64_t>* trigger_ns_;
+  /// The op is the causal parent of every statement it issues: opened in
+  /// the member list before t0_, so the thread-local context already points
+  /// at this span when the operation body runs.
+  trace::SpanScope span_;
   uint64_t t0_;
   uint64_t exec0_;
   uint64_t trigger0_;

@@ -64,6 +64,32 @@ void Database::InitMetrics() {
   exec_ns_ = metrics_.Counter("db.exec_ns");
   trigger_ns_ = metrics_.Counter("db.trigger_ns");
   epochs_.readers_gauge = metrics_.Gauge("readers.active");
+  // Concurrency telemetry (PR 9): resolved once so the commit-boundary and
+  // reader hot paths touch plain atomics.
+  epochs_.lag_gauge = metrics_.Gauge("epoch.lag");
+  epochs_.reclaim_counter = metrics_.Counter("mvcc.slab_reclaims");
+  epoch_published_gauge_ = metrics_.Gauge("epoch.published");
+  version_rows_gauge_ = metrics_.Gauge("mvcc.version_rows");
+  version_bytes_gauge_ = metrics_.Gauge("mvcc.version_bytes");
+  version_gc_rows_ = metrics_.Counter("mvcc.version_gc_rows");
+  reader_sessions_gauge_ = metrics_.Gauge("readers.sessions");
+  catalog_shared_wait_ = metrics_.GetHistogram("catalog_lock.shared_wait");
+  catalog_exclusive_wait_ =
+      metrics_.GetHistogram("catalog_lock.exclusive_wait");
+}
+
+std::unique_lock<std::shared_mutex> Database::LockCatalogExclusive() const {
+  const uint64_t t0 = MonotonicNanos();
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  catalog_exclusive_wait_->Record(MonotonicNanos() - t0);
+  return lock;
+}
+
+std::shared_lock<std::shared_mutex> Database::LockCatalogShared() const {
+  const uint64_t t0 = MonotonicNanos();
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  catalog_shared_wait_->Record(MonotonicNanos() - t0);
+  return lock;
 }
 
 size_t Database::StmtKindSlot(sql::Statement::Kind kind) {
@@ -359,15 +385,43 @@ Status Database::WalFlush() {
 }
 
 void Database::AdvanceEpochBoundary() {
-  epochs_.Advance();
-  // Fast path: nothing retired and no version-buffer images → the boundary
-  // cost is the single atomic increment above.
-  if (!epochs_.has_retired() && epochs_.version_entries == 0) return;
-  const uint64_t min_pinned = epochs_.MinPinned();
-  epochs_.ReclaimBefore(min_pinned);
-  if (epochs_.version_entries > 0) {
-    for (auto& [name, table] : tables_) table->GcVersions(min_pinned);
+  const uint64_t published = epochs_.Advance();
+  epoch_published_gauge_->store(static_cast<int64_t>(published),
+                                std::memory_order_relaxed);
+  // Fast path: nothing retired, no version-buffer images, no reader
+  // pinned, and no stale lag to decay → the boundary cost stays the single
+  // atomic increment plus three relaxed gauge touches. The min-pinned slot
+  // scan runs only while it has something to observe (readers to measure
+  // lag against, garbage to reclaim, or a nonzero lag to decay back to 0).
+  const bool has_garbage =
+      epochs_.has_retired() || epochs_.version_entries > 0;
+  if (!has_garbage &&
+      epochs_.readers_gauge->load(std::memory_order_relaxed) == 0 &&
+      epochs_.lag_gauge->load(std::memory_order_relaxed) == 0) {
+    return;
   }
+  const uint64_t min_pinned = epochs_.MinPinned();
+  epochs_.lag_gauge->store(
+      min_pinned == UINT64_MAX ? 0
+                               : static_cast<int64_t>(published - min_pinned),
+      std::memory_order_relaxed);
+  if (!has_garbage) return;
+  epochs_.ReclaimBefore(min_pinned);
+  uint64_t version_bytes = 0;
+  if (epochs_.version_entries > 0) {
+    uint64_t trimmed = 0;
+    for (auto& [name, table] : tables_) {
+      trimmed += table->GcVersions(min_pinned);
+      version_bytes += table->version_bytes();
+    }
+    if (trimmed != 0) {
+      version_gc_rows_->fetch_add(trimmed, std::memory_order_relaxed);
+    }
+  }
+  version_rows_gauge_->store(static_cast<int64_t>(epochs_.version_entries),
+                             std::memory_order_relaxed);
+  version_bytes_gauge_->store(static_cast<int64_t>(version_bytes),
+                              std::memory_order_relaxed);
 }
 
 Status Database::WalCommitUnit() {
@@ -482,7 +536,7 @@ Status Database::ReopenFromDisk() {
   }
   txn_.AttachWal(nullptr);
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    auto lock = LockCatalogExclusive();
     {
       std::lock_guard<std::mutex> vlock(table_versions_mu_);
       for (auto& [name, version] : table_versions_) ++*version;
@@ -629,14 +683,20 @@ Result<ResultSet> Database::RunStatement(const sql::Statement& stmt,
   Stats before;
   if (slow_enabled) before = stats_;
   const uint64_t t0 = MonotonicNanos();
+  // Root (or nested, inside a trigger cascade) span of the statement: every
+  // engine op, WAL unit and fsync recorded below inherits it through the
+  // thread-local trace context.
+  trace::SpanScope stmt_span;
   Executor exec(this, params, sql_text);
   auto result = exec.Run(stmt, slot);
   Status wal = WalFlush();
   const uint64_t dur = MonotonicNanos() - t0;
   stmt_hists_[StmtKindSlot(stmt.kind)]->Record(dur);
   *exec_ns_ += dur;
-  events_.Record({TraceEvent::Kind::kStatement, t0, dur,
-                  static_cast<uint64_t>(stmt.kind), 0, nullptr});
+  TraceEvent stmt_ev{TraceEvent::Kind::kStatement, t0, dur,
+                     static_cast<uint64_t>(stmt.kind), 0, nullptr};
+  stmt_span.Annotate(&stmt_ev);
+  events_.Record(stmt_ev);
   if (slow_enabled && dur >= slow_statement_threshold_us_ * 1000.0) {
     SlowStatement slow;
     slow.sql = std::string(sql_text);
@@ -756,7 +816,7 @@ Result<Table*> Database::CreateTableDirect(TableSchema schema,
   table->set_epoch_manager(&epochs_);
   Table* raw = table.get();
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    auto lock = LockCatalogExclusive();
     tables_.emplace(std::move(key), std::move(table));
   }
   return raw;
@@ -785,7 +845,7 @@ Status Database::DropTableDirect(std::string_view name) {
     WalLogDdl("DROP TABLE " + dropped);
   }
   {
-    std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+    auto lock = LockCatalogExclusive();
     // Cached plans may hold this Table*; their per-table dependency makes
     // them re-plan before any reuse. Plans over other tables stay valid —
     // no global version bump (that is the point of per-table dependencies:
@@ -860,9 +920,14 @@ void Database::StopFlusher() {
 }
 
 void Database::FlusherLoop() {
+  trace::SetCurrentThreadName("wal-flusher");
   const int window_us = durability_options_.group_commit_window_us > 0
                             ? durability_options_.group_commit_window_us
                             : 2000;
+  // Occupancy of the group-commit window: how much of each period the
+  // flusher spent inside Sync (100 ≈ fsync saturates the window and
+  // commits start seeing un-amortized latency).
+  Histogram* occupancy = metrics_.GetHistogram("wal.window_occupancy_pct");
   std::unique_lock<std::mutex> lock(flusher_mu_);
   while (!flusher_stop_) {
     flusher_cv_.wait_for(lock, std::chrono::microseconds(window_us));
@@ -872,7 +937,13 @@ void Database::FlusherLoop() {
     // the writer to discover at its next commit (MarkBroken happened
     // inside Sync); the flusher never flips the Database read-only from
     // off-thread.
-    if (wal_ != nullptr && !wal_->broken()) (void)wal_->Sync();
+    if (wal_ != nullptr && !wal_->broken()) {
+      const uint64_t t0 = MonotonicNanos();
+      (void)wal_->Sync();
+      const uint64_t sync_ns = MonotonicNanos() - t0;
+      occupancy->Record(sync_ns * 100 / (static_cast<uint64_t>(window_us) *
+                                         1000));
+    }
   }
 }
 
@@ -934,6 +1005,19 @@ Status Database::CheckpointBackground() {
   checkpoint_status_ = Status::OK();
   checkpoint_renamed_ = false;
 
+  // Writer-side scheduling span (kCheckpoint a=2): the background thread's
+  // snapshot-write span (a=1) adopts its handoff, so the trace carries a
+  // writer -> checkpoint-thread flow edge.
+  trace::SpanScope schedule_span;
+  {
+    const uint64_t sched_ns = MonotonicNanos();
+    TraceEvent ev{TraceEvent::Kind::kCheckpoint, sched_ns, 0, 2, 0,
+                  "schedule"};
+    schedule_span.Annotate(&ev);
+    events_.Record(ev);
+  }
+  const trace::Handoff bg_handoff = schedule_span.handoff();
+
   // Handshake: the captured raw Table* are only safe while the background
   // thread holds the shared catalog lock, but a shared_lock cannot be
   // transferred across threads — so wait here until the spawned thread has
@@ -944,8 +1028,10 @@ Status Database::CheckpointBackground() {
   std::condition_variable ready_cv;
   bool ready = false;
   checkpoint_thread_ =
-      std::thread([this, capture, &ready_mu, &ready_cv, &ready] {
-        std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+      std::thread([this, capture, bg_handoff, &ready_mu, &ready_cv, &ready] {
+        trace::SetCurrentThreadName("checkpoint");
+        trace::SpanScope snapshot_span{bg_handoff};
+        auto catalog_lock = LockCatalogShared();
         {
           // Notify under the mutex: the waiter must re-acquire it to return
           // from wait(), so it cannot destroy the stack-local cv while the
@@ -966,8 +1052,10 @@ Status Database::CheckpointBackground() {
         if (s.ok()) {
           const uint64_t dur = MonotonicNanos() - t0;
           metrics_.GetHistogram("db.checkpoint")->Record(dur);
-          events_.Record(
-              {TraceEvent::Kind::kCheckpoint, t0, dur, 1, 0, nullptr});
+          TraceEvent ev{TraceEvent::Kind::kCheckpoint, t0, dur, 1, 0,
+                        "snapshot"};
+          snapshot_span.Annotate(&ev);
+          events_.Record(ev);
         }
       });
   {
@@ -1003,12 +1091,14 @@ Result<std::unique_ptr<ReaderSession>> Database::OpenReaderSession() {
         "all " + std::to_string(EpochManager::kMaxReaders) +
         " reader session slots are in use");
   }
+  reader_sessions_gauge_->fetch_add(1, std::memory_order_relaxed);
   return std::unique_ptr<ReaderSession>(new ReaderSession(this, slot));
 }
 
 ReaderSession::~ReaderSession() {
   Unpin();
   db_->epochs_.ReleaseSlot(slot_);
+  db_->reader_sessions_gauge_->fetch_sub(1, std::memory_order_relaxed);
 }
 
 uint64_t ReaderSession::PinSnapshot() {
@@ -1082,7 +1172,7 @@ Result<ResultSet> ReaderSession::Run(std::string_view sql_text,
   // The shared catalog lock spans plan validation AND execution, so the
   // catalog (and every Table* the plan holds) is stable for the whole
   // statement; row-level consistency is the pinned epoch's job.
-  std::shared_lock<std::shared_mutex> catalog_lock(db_->catalog_mu_);
+  auto catalog_lock = db_->LockCatalogShared();
   std::shared_ptr<const PlannedStatement> plan;
   if (cached.plan != nullptr && cached.version == db_->catalog_version()) {
     bool deps_current = true;

@@ -400,6 +400,35 @@ class Database {
   //    into the p50/p99 columns of bench JSON rows (e.g. commit_p50_us /
   //    commit_p99_us in the WAL ablation): medians of per-run samples, so
   //    single-run noise stays out of checked-in numbers.
+  //
+  //  * Causal trace spans: every TraceEvent additionally carries
+  //    (tid, seq, trace_id, span_id, parent_span_id), stamped from the
+  //    recording thread's trace::Context (common/metrics.h). The writer's
+  //    statement span is the root; engine ops and WAL commit units nest
+  //    under it via thread-local context, and the two cross-thread edges —
+  //    commit unit -> group-commit flusher fsync, and writer-side
+  //    checkpoint schedule -> background snapshot write — propagate via
+  //    explicit trace::Handoff tokens captured on the producing thread and
+  //    adopted by the consuming one. Background threads name themselves
+  //    ("wal-flusher", "checkpoint") so exported tracks are labeled.
+  //    events().DumpChromeTrace() (or SQL `SHOW TRACE`) renders the ring as
+  //    Chrome/Perfetto trace-event JSON: per-thread named tracks, nested
+  //    duration events, and flow arrows for every cross-thread handoff.
+  //
+  //  * Concurrency telemetry: the commit boundary maintains epoch.published
+  //    and epoch.lag (published − min pinned, 0 when no reader is pinned)
+  //    gauges, mvcc.version_rows / mvcc.version_bytes (pre-update images
+  //    parked in table version buffers), mvcc.version_gc_rows and
+  //    mvcc.slab_reclaims counters (epoch GC actually firing);
+  //    readers.sessions gauges open reader sessions; catalog-lock
+  //    acquisitions record shared/exclusive wait time into
+  //    catalog_lock.shared_wait / catalog_lock.exclusive_wait histograms;
+  //    and the batched flusher records group-commit batch size (fsync `a`
+  //    payload) plus wal.window_occupancy_pct. Per-table/per-index access
+  //    stats (scans, probes/hits, rows read/inserted/deleted/updated,
+  //    version-buffer size) aggregate in Table and surface via SQL
+  //    `SHOW TABLE STATS`. All of it is plain pre-resolved atomics on the
+  //    hot path — the cached-prepared CI budget holds with it on.
 
   /// Mutable even on const Database: observability is not logical state
   /// (read-only paths like snapshot writing record their own timings).
@@ -536,6 +565,11 @@ class Database {
 
   /// Resolves the statement-kind histograms and hot counters once (ctor).
   void InitMetrics();
+  /// Timed catalog-lock acquisition: records the wait into
+  /// catalog_lock.exclusive_wait / catalog_lock.shared_wait. All catalog
+  /// lock sites go through these so lock contention is always attributed.
+  std::unique_lock<std::shared_mutex> LockCatalogExclusive() const;
+  std::shared_lock<std::shared_mutex> LockCatalogShared() const;
   /// Histogram slot for a statement kind (see kStmtHistNames).
   static size_t StmtKindSlot(sql::Statement::Kind kind);
   /// Charges a finished trigger cascade's wall time (Executor calls this at
@@ -572,6 +606,15 @@ class Database {
   /// counters db.exec_ns / db.trigger_ns; engine spans diff them).
   std::atomic<uint64_t>* exec_ns_ = nullptr;
   std::atomic<uint64_t>* trigger_ns_ = nullptr;
+  /// Concurrency-telemetry hooks, resolved once in InitMetrics (epoch/GC
+  /// gauges live on epochs_; these cover the Database-owned surfaces).
+  std::atomic<int64_t>* epoch_published_gauge_ = nullptr;
+  std::atomic<int64_t>* version_rows_gauge_ = nullptr;
+  std::atomic<int64_t>* version_bytes_gauge_ = nullptr;
+  std::atomic<uint64_t>* version_gc_rows_ = nullptr;
+  std::atomic<int64_t>* reader_sessions_gauge_ = nullptr;
+  Histogram* catalog_shared_wait_ = nullptr;
+  Histogram* catalog_exclusive_wait_ = nullptr;
   double slow_statement_threshold_us_ = -1;
   size_t slow_log_capacity_ = 32;
   std::vector<SlowStatement> slow_log_;

@@ -134,27 +134,46 @@ class EpochManager {
   bool has_retired() const { return !retired_.empty(); }
 
   /// Frees every queued object retired strictly before `min_pinned`
-  /// (writer thread, called at commit boundaries).
+  /// (writer thread, called at commit boundaries). Each freed retirement
+  /// bumps the reclaim counter when one is attached.
   void ReclaimBefore(uint64_t min_pinned) {
     size_t kept = 0;
+    uint64_t freed = 0;
     for (size_t i = 0; i < retired_.size(); ++i) {
       if (retired_[i].epoch < min_pinned) {
         retired_[i].free();
+        ++freed;
       } else {
         if (kept != i) retired_[kept] = std::move(retired_[i]);
         ++kept;
       }
     }
     retired_.resize(kept);
+    if (freed != 0 && reclaim_counter != nullptr) {
+      reclaim_counter->fetch_add(freed, std::memory_order_relaxed);
+    }
   }
+
+  /// Retirements still queued (waiting on a pinned reader to unpin).
+  size_t retired_pending() const { return retired_.size(); }
 
   /// Count of pre-update row images parked in table version buffers
   /// (maintained by Table; the writer consults it to decide whether a
   /// boundary needs a GC pass at all). Writer thread only.
   uint64_t version_entries = 0;
 
-  /// Optional metrics hook: active-reader gauge (readers.active).
+  /// Optional metrics hooks, resolved once by Database::InitMetrics so the
+  /// epoch hot path touches plain atomics, never a registry map.
+  /// Active-reader gauge (readers.active): statements currently holding a
+  /// pinned epoch.
   std::atomic<int64_t>* readers_gauge = nullptr;
+  /// Epoch-lag gauge (epoch.lag): published − min pinned at the last
+  /// boundary, 0 when no reader was pinned. The writer updates it from
+  /// AdvanceEpochBoundary.
+  std::atomic<int64_t>* lag_gauge = nullptr;
+  /// Reclaim counter (mvcc.slab_reclaims): retired slabs/scratch buffers
+  /// actually freed by ReclaimBefore.
+  std::atomic<uint64_t>* reclaim_counter = nullptr;
 
  private:
   struct alignas(64) Slot {

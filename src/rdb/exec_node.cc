@@ -271,6 +271,8 @@ class ScanNode : public ExecNode {
     mat_ = rel_->cte_slot >= 0
                ? (*ctx.cte_values)[static_cast<size_t>(rel_->cte_slot)].get()
                : nullptr;
+    // Per-table access stats (SHOW TABLE STATS); CTE scans have no table.
+    if (rel_->table != nullptr) ++rel_->table->access_stats().scans;
     if (rel_->table != nullptr && ctx.read_epoch != kLatestEpoch) {
       // Snapshot bound: slots appended after this point belong to epochs
       // newer than the pin and would be invisible anyway.
@@ -295,6 +297,7 @@ class ScanNode : public ExecNode {
             continue;
           }
           ++ctx.stats->rows_scanned;
+          ++table->access_stats().rows_read;
           (*slots_)[k_] = staging_.data();
           return true;
         }
@@ -304,6 +307,7 @@ class ScanNode : public ExecNode {
         size_t rowid = pos_++;
         if (!table->is_live(rowid)) continue;
         ++ctx.stats->rows_scanned;
+        ++table->access_stats().rows_read;
         (*slots_)[k_] = table->row(rowid);
         return true;
       }
@@ -365,6 +369,7 @@ class IndexProbeNode : public ExecNode {
     while (pos_ < rowids_.size()) {
       size_t rowid = rowids_[pos_++];
       if (!rel_->table->is_live(rowid)) continue;
+      ++rel_->table->access_stats().rows_read;
       (*slots_)[k_] = rel_->table->row(rowid);
       return true;
     }
@@ -684,9 +689,11 @@ Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
   };
 
   if (m.path.kind == AccessPath::Kind::kScan) {
+    ++m.table->access_stats().scans;
     for (size_t rowid = 0; rowid < m.table->capacity(); ++rowid) {
       if (!m.table->is_live(rowid)) continue;
       ++ctx.stats->rows_scanned;
+      ++m.table->access_stats().rows_read;
       XUPD_ASSIGN_OR_RETURN(bool ok, matches(rowid));
       if (ok) out.push_back(rowid);
     }

@@ -173,6 +173,8 @@ struct Statement {
     kHealth,   ///< SHOW HEALTH — Database::health() as rows.
     kSlow,     ///< SHOW SLOW [STATEMENTS] — the slow-statement log.
     kEvents,   ///< SHOW EVENTS — the structured trace ring as JSON rows.
+    kTableStats,  ///< SHOW TABLE STATS — per-table/per-index access stats.
+    kTrace,    ///< SHOW TRACE — the event ring as Chrome trace-event JSON.
   };
   Kind kind = Kind::kSelect;
   /// Number of ? placeholders in the statement text; values must be bound

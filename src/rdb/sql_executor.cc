@@ -305,6 +305,39 @@ Result<ResultSet> Executor::RunShow(const sql::Statement& stmt) {
       }
       return out;
     }
+    case sql::Statement::ShowWhat::kTableStats: {
+      out.columns = {"stat", "value"};
+      auto add = [&out](std::string name, uint64_t v) {
+        out.rows.push_back(
+            {Value::Str(std::move(name)), Value::Int(static_cast<int64_t>(v))});
+      };
+      // tables_ is keyed case-insensitively by name; emit in map order with
+      // the schema's original casing.
+      for (const auto& [key, table] : db_->tables_) {
+        const std::string& name = table->schema().name();
+        const TableAccessStats& s = table->access_stats();
+        add("table." + name + ".scans", s.scans);
+        add("table." + name + ".rows_read", s.rows_read);
+        add("table." + name + ".rows_inserted", s.rows_inserted);
+        add("table." + name + ".rows_deleted", s.rows_deleted);
+        add("table." + name + ".rows_updated", s.rows_updated);
+        add("table." + name + ".live_rows", table->live_count());
+        add("table." + name + ".version_rows", table->version_rows());
+        add("table." + name + ".version_bytes", table->version_bytes());
+        for (const auto& index : table->indexes()) {
+          add("index." + name + "." + index->name() + ".probes",
+              index->probes());
+          add("index." + name + "." + index->name() + ".hits",
+              index->probe_hits());
+        }
+      }
+      return out;
+    }
+    case sql::Statement::ShowWhat::kTrace: {
+      out.columns = {"trace"};
+      out.rows.push_back({Value::Str(db_->events().DumpChromeTrace())});
+      return out;
+    }
   }
   return Status::Internal("unknown SHOW kind");
 }
@@ -335,7 +368,7 @@ Result<ResultSet> Executor::RunCreateIndex(const sql::CreateIndexStmt& stmt) {
   {
     // Index vectors are walked by reader-session planners under the shared
     // catalog lock; mutate them exclusively.
-    std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
+    auto lock = db_->LockCatalogExclusive();
     XUPD_RETURN_IF_ERROR(table->CreateIndex(stmt.name, col));
   }
   return ResultSet{};
@@ -359,7 +392,7 @@ Result<ResultSet> Executor::RunCreateTrigger(const sql::CreateTriggerStmt& stmt)
   // persist the trigger (trigger-body DDL would capture the wrong text).
   if (trigger_depth_ == 0) def.sql = std::string(sql_text_);
   {
-    std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
+    auto lock = db_->LockCatalogExclusive();
     db_->triggers_.push_back(std::move(def));
   }
   return ResultSet{};
@@ -379,7 +412,7 @@ Result<ResultSet> Executor::RunDrop(const sql::DropStmt& stmt) {
       // statement simply fails to find the table (documented anomaly).
       db_->CheckpointWait();
       {
-        std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
+        auto lock = db_->LockCatalogExclusive();
         // Bump inside the exclusive section: a reader session validating a
         // cached plan under the shared lock must never pass validation
         // after the mutation but before the version change.
@@ -395,7 +428,7 @@ Result<ResultSet> Executor::RunDrop(const sql::DropStmt& stmt) {
       return ResultSet{};
     }
     case sql::DropStmt::What::kIndex: {
-      std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
+      auto lock = db_->LockCatalogExclusive();
       if (!stmt.table.empty()) {
         Table* table = db_->FindTable(stmt.table);
         if (table == nullptr) {
@@ -411,7 +444,7 @@ Result<ResultSet> Executor::RunDrop(const sql::DropStmt& stmt) {
       return Status::NotFound("index '" + stmt.name + "' not found");
     }
     case sql::DropStmt::What::kTrigger: {
-      std::unique_lock<std::shared_mutex> lock(db_->catalog_mu_);
+      auto lock = db_->LockCatalogExclusive();
       auto& trigs = db_->triggers_;
       size_t before = trigs.size();
       trigs.erase(std::remove_if(trigs.begin(), trigs.end(),

@@ -336,8 +336,17 @@ class Parser {
         stmt.show = Statement::ShowWhat::kSlow;
       } else if (lex_.ConsumeKw("events")) {
         stmt.show = Statement::ShowWhat::kEvents;
+      } else if (lex_.ConsumeKw("table")) {
+        if (!lex_.ConsumeKw("stats")) {
+          return lex_.Error("expected STATS after SHOW TABLE");
+        }
+        stmt.show = Statement::ShowWhat::kTableStats;
+      } else if (lex_.ConsumeKw("trace")) {
+        stmt.show = Statement::ShowWhat::kTrace;
       } else {
-        return lex_.Error("expected METRICS, HEALTH, SLOW or EVENTS after SHOW");
+        return lex_.Error(
+            "expected METRICS, HEALTH, SLOW, EVENTS, TABLE STATS or TRACE "
+            "after SHOW");
       }
     } else {
       return lex_.Error("expected a SQL statement");

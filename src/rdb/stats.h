@@ -47,6 +47,10 @@ class RelaxedU64 {
     v_.fetch_add(n, std::memory_order_relaxed);
     return *this;
   }
+  RelaxedU64& operator-=(uint64_t n) {
+    v_.fetch_sub(n, std::memory_order_relaxed);
+    return *this;
+  }
   uint64_t load() const { return v_.load(std::memory_order_relaxed); }
 
  private:

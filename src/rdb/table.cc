@@ -164,8 +164,10 @@ void HashIndex::Erase(const Value& v, size_t rowid) {
 }
 
 void HashIndex::Lookup(const Value& v, std::vector<size_t>* out) const {
+  ++probes_;
   int32_t hpos = FindHead(v.Hash(), v);
   if (hpos < 0) return;
+  ++hits_;
   for (int32_t at = heads_[static_cast<size_t>(hpos)]; at >= 0;
        at = slots_[static_cast<size_t>(at)].next) {
     out->push_back(slots_[static_cast<size_t>(at)].rowid);
@@ -261,6 +263,7 @@ Result<size_t> Table::Insert(Row row) {
   AppendRow(std::move(row), RowEpochClamp(w), kRowEpochInf, w);
   live_.push_back(true);
   ++live_count_;
+  ++access_stats_.rows_inserted;
   if (txn_ != nullptr) txn_->LogInsert(this, rowid);
   return rowid;
 }
@@ -290,6 +293,7 @@ Status Table::Delete(size_t rowid) {
   meta(rowid).StoreEnd(RowEpochClamp(WriteEpoch()));
   live_[rowid] = false;
   --live_count_;
+  ++access_stats_.rows_deleted;
   if (txn_ != nullptr) txn_->LogDelete(this, rowid);
   return Status::OK();
 }
@@ -306,6 +310,8 @@ void Table::PrepareRowUpdate(size_t rowid) {
     ov.values = CopyRow(rowid);
     versions_.emplace(rowid, std::move(ov));
     ++em_->version_entries;
+    ++version_rows_;
+    version_bytes_ += arity_ * sizeof(Value);
   }
   // Seqlock open: stamp the mod word, then fence, then (in the caller)
   // word-atomic cell stores. A reader that observes any new cell bytes is
@@ -332,6 +338,7 @@ Status Table::SetColumn(size_t rowid, int column, Value v) {
     }
   }
   std::move(v).RacyPublishTo(&cell);
+  ++access_stats_.rows_updated;
   return Status::OK();
 }
 
@@ -467,16 +474,23 @@ bool Table::SnapshotReadRow(size_t rowid, uint64_t pin, Row* out) const {
   }
 }
 
-void Table::GcVersions(uint64_t min_pinned) {
+size_t Table::GcVersions(uint64_t min_pinned) {
   std::lock_guard<std::mutex> lock(versions_mu_);
+  size_t trimmed = 0;
   for (auto it = versions_.begin(); it != versions_.end();) {
     if (it->second.end_valid <= min_pinned) {
       it = versions_.erase(it);
       if (em_ != nullptr) --em_->version_entries;
+      ++trimmed;
     } else {
       ++it;
     }
   }
+  if (trimmed != 0) {
+    version_rows_ -= trimmed;
+    version_bytes_ -= trimmed * arity_ * sizeof(Value);
+  }
+  return trimmed;
 }
 
 Status Table::CreateIndex(const std::string& index_name, int column) {

@@ -56,11 +56,25 @@
 #include "common/status.h"
 #include "rdb/epoch.h"
 #include "rdb/schema.h"
+#include "rdb/stats.h"
 #include "rdb/value.h"
 
 namespace xupd::rdb {
 
 class TransactionManager;
+
+/// Per-table access statistics (SHOW TABLE STATS): maintained by the exec
+/// nodes (scans, rows read) and the Table mutation entry points (rows
+/// inserted/deleted/updated), so direct-API writes count too. RelaxedU64
+/// keeps every bump one relaxed fetch_add — safe from reader sessions and
+/// free of ordering cost on the scan hot path.
+struct TableAccessStats {
+  RelaxedU64 scans;          ///< scan operator opens over this table.
+  RelaxedU64 rows_read;      ///< rows emitted by scans/probes of this table.
+  RelaxedU64 rows_inserted;
+  RelaxedU64 rows_deleted;
+  RelaxedU64 rows_updated;
+};
 
 /// Hash index over one column: value -> set of row ids. Erase of an exact
 /// (value, rowid) pair stays O(1) even for low-cardinality keys (e.g. a
@@ -80,10 +94,16 @@ class HashIndex {
   /// Removes (v, rowid); absent pairs are a no-op.
   void Erase(const Value& v, size_t rowid);
   /// Appends matching row ids to *out (chain order — callers that need a
-  /// deterministic order sort; multi-probe callers dedupe too).
+  /// deterministic order sort; multi-probe callers dedupe too). Counts one
+  /// probe, and one hit when at least one row id matched.
   void Lookup(const Value& v, std::vector<size_t>* out) const;
   void Clear();
   size_t size() const { return size_; }
+
+  /// Probe lookups issued against this index, and how many found at least
+  /// one entry (SHOW TABLE STATS).
+  uint64_t probes() const { return probes_.load(); }
+  uint64_t probe_hits() const { return hits_.load(); }
 
   /// Scrub hook (rdb/integrity.cc): calls fn(value, rowid) for every live
   /// entry, in slot order.
@@ -143,6 +163,8 @@ class HashIndex {
   size_t size_ = 0;        ///< live entries.
   size_t slots_used_ = 0;  ///< occupied + tombstoned entry slots.
   size_t heads_used_ = 0;  ///< occupied + tombstoned head slots.
+  mutable RelaxedU64 probes_;  ///< Lookup calls (access stats).
+  mutable RelaxedU64 hits_;    ///< Lookups that matched >= 1 entry.
 };
 
 /// View over one row's 16-byte MVCC metadata slot (the trailing Value-sized
@@ -270,9 +292,19 @@ class Table {
 
   size_t arity() const { return arity_; }
 
+  /// Access statistics for SHOW TABLE STATS; bumped from the exec nodes
+  /// (any thread) and the mutation entry points (writer thread).
+  TableAccessStats& access_stats() const { return access_stats_; }
+
+  /// Version-buffer occupancy: parked pre-image rows and their approximate
+  /// byte footprint (cells only). Readable from any thread.
+  uint64_t version_rows() const { return version_rows_.load(); }
+  uint64_t version_bytes() const { return version_bytes_.load(); }
+
   /// Frees version-buffer entries no pinned reader can need anymore
-  /// (writer thread, at commit boundaries).
-  void GcVersions(uint64_t min_pinned);
+  /// (writer thread, at commit boundaries). Returns the number of parked
+  /// pre-images trimmed.
+  size_t GcVersions(uint64_t min_pinned);
 
   /// Appends a row (arity must match the schema). Returns its rowid.
   Result<size_t> Insert(Row row);
@@ -381,6 +413,11 @@ class Table {
   /// up on seqlock failure).
   mutable std::mutex versions_mu_;
   std::unordered_multimap<size_t, OldVersion> versions_;
+  /// Version-buffer occupancy mirrors of versions_ (rows / approx bytes),
+  /// readable without the mutex for gauges and SHOW TABLE STATS.
+  RelaxedU64 version_rows_;
+  RelaxedU64 version_bytes_;
+  mutable TableAccessStats access_stats_;
   std::vector<std::unique_ptr<HashIndex>> indexes_;
 };
 

@@ -438,6 +438,10 @@ Status WalWriter::CommitPending(int64_t next_id) {
         "or heal the database to resume");
   }
   const uint64_t t0 = commit_hist_ != nullptr ? MonotonicNanos() : 0;
+  // The commit unit is a span of its own (child of the enclosing statement
+  // or txn span); the fsync that persists it — inline under kCommit, on the
+  // flusher thread under kBatched — becomes its child via sync_handoff_.
+  trace::SpanScope unit_span;
   const uint64_t unit_records = pending_records_;
   size_t frame = FrameBegin();
   binio::PutU8(&pending_, static_cast<uint8_t>(RecordKind::kCommit));
@@ -477,6 +481,7 @@ Status WalWriter::CommitPending(int64_t next_id) {
     pending_defs_.clear();  // the defs (and their ids) are in the file now
     dirty_ = true;
     ++commits_since_sync_;
+    sync_handoff_ = unit_span.handoff();
 
     switch (options_.sync_mode) {
       case SyncMode::kNone:
@@ -495,8 +500,10 @@ Status WalWriter::CommitPending(int64_t next_id) {
     const uint64_t dur = MonotonicNanos() - t0;
     commit_hist_->Record(dur);
     if (events_ != nullptr) {
-      events_->Record({TraceEvent::Kind::kWalUnit, t0, dur, unit_records,
-                       unit_bytes, nullptr});
+      TraceEvent ev{TraceEvent::Kind::kWalUnit, t0, dur, unit_records,
+                    unit_bytes, nullptr};
+      unit_span.Annotate(&ev);
+      events_->Record(ev);
     }
   }
   return Status::OK();
@@ -522,6 +529,8 @@ Status WalWriter::SyncLocked() {
   }
   dirty_ = false;
   commits_since_sync_ = 0;
+  const trace::Handoff from_unit = sync_handoff_;
+  sync_handoff_ = trace::Handoff{};
   synced_size_.store(file_size_, std::memory_order_release);
   ++stats_->wal_fsyncs;
   if (batch_hist_ != nullptr && batch > 0) batch_hist_->Record(batch);
@@ -529,7 +538,13 @@ Status WalWriter::SyncLocked() {
     const uint64_t dur = MonotonicNanos() - t0;
     fsync_hist_->Record(dur);
     if (events_ != nullptr) {
-      events_->Record({TraceEvent::Kind::kFsync, t0, dur, 0, 0, nullptr});
+      // `a` = group-commit batch size (units this fsync persisted). The
+      // span adopts the last unit's handoff, so under kBatched the trace
+      // carries a writer->flusher flow edge.
+      trace::SpanScope fsync_span{from_unit};
+      TraceEvent ev{TraceEvent::Kind::kFsync, t0, dur, batch, 0, nullptr};
+      fsync_span.Annotate(&ev);
+      events_->Record(ev);
     }
   }
   return Status::OK();

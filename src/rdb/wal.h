@@ -285,6 +285,12 @@ class WalWriter {
   /// and are touched outside the lock.
   mutable std::mutex mu_;
   uint64_t commits_since_sync_ = 0;  ///< guarded by mu_.
+  /// Causal handoff from the last committed unit's span to the fsync that
+  /// will persist it — CommitPending stashes it, SyncLocked adopts it as
+  /// the kFsync event's parent. Under kBatched the adopting thread is the
+  /// group-commit flusher, so this is the writer->flusher trace edge.
+  /// Guarded by mu_.
+  trace::Handoff sync_handoff_;
   bool dirty_ = false;  ///< written bytes not yet fsynced; guarded by mu_.
   /// File length after the last fully written unit — where a failed append
   /// truncates back to before the writer fail-stops. Guarded by mu_.

@@ -180,6 +180,218 @@ TEST(EventLogTest, JsonLinesCarryKindAndTiming) {
   EXPECT_NE(lines[0].find("\"duration_ns\":250"), std::string::npos);
 }
 
+// --- causal identity --------------------------------------------------------
+
+TEST(EventLogTest, RecordStampsSequenceTidAndSelfRootedTrace) {
+  // Outside any SpanScope, Record fills the causal fields itself: a fresh
+  // per-log sequence starting at 1, the recording thread's tid, a fresh
+  // span id, no parent, and a trace id rooted at the span itself.
+  EventLog log(8);
+  log.Record({TraceEvent::Kind::kStatement, 10, 1, 0, 0, nullptr});
+  log.Record({TraceEvent::Kind::kStatement, 20, 1, 0, 0, nullptr});
+  std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[0].tid, trace::CurrentTid());
+  EXPECT_NE(events[0].span_id, 0u);
+  EXPECT_NE(events[1].span_id, events[0].span_id);
+  EXPECT_EQ(events[0].parent_span_id, 0u);
+  EXPECT_EQ(events[0].trace_id, events[0].span_id);  // self-rooted
+  // Explicitly-set identity is preserved verbatim (only seq is stamped).
+  TraceEvent explicit_ev{TraceEvent::Kind::kFsync, 30, 1, 0, 0, nullptr};
+  explicit_ev.tid = 77;
+  explicit_ev.trace_id = 500;
+  explicit_ev.span_id = 501;
+  explicit_ev.parent_span_id = 500;
+  log.Record(explicit_ev);
+  events = log.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2].tid, 77u);
+  EXPECT_EQ(events[2].trace_id, 500u);
+  EXPECT_EQ(events[2].span_id, 501u);
+  EXPECT_EQ(events[2].parent_span_id, 500u);
+}
+
+TEST(TraceContextTest, SpanScopeNestsAndHandoffCrossesThreads) {
+  // No active span outside any scope.
+  EXPECT_EQ(trace::CurrentContext().span_id, 0u);
+  uint64_t outer_trace = 0;
+  uint64_t outer_span = 0;
+  trace::Handoff token;
+  {
+    trace::SpanScope outer;
+    outer_trace = outer.trace_id();
+    outer_span = outer.span_id();
+    EXPECT_EQ(outer.parent_span_id(), 0u);
+    EXPECT_EQ(outer.trace_id(), outer.span_id());  // roots a new trace
+    EXPECT_EQ(trace::CurrentContext().span_id, outer.span_id());
+    {
+      trace::SpanScope inner;
+      EXPECT_EQ(inner.trace_id(), outer_trace);
+      EXPECT_EQ(inner.parent_span_id(), outer_span);
+      EXPECT_NE(inner.span_id(), outer_span);
+      // Events recorded in scope inherit the trace and parent under it.
+      EventLog log(4);
+      log.Record({TraceEvent::Kind::kWalUnit, 1, 1, 0, 0, nullptr});
+      std::vector<TraceEvent> events = log.Events();
+      ASSERT_EQ(events.size(), 1u);
+      EXPECT_EQ(events[0].trace_id, outer_trace);
+      EXPECT_EQ(events[0].parent_span_id, inner.span_id());
+    }
+    // Inner scope popped; the outer context is current again.
+    EXPECT_EQ(trace::CurrentContext().span_id, outer_span);
+    token = outer.handoff();
+  }
+  EXPECT_EQ(trace::CurrentContext().span_id, 0u);  // fully unwound
+
+  // A handoff token adopted on another thread keeps the causal edge: the
+  // remote span joins the same trace with the originating span as parent.
+  uint64_t remote_trace = 0;
+  uint64_t remote_parent = 0;
+  std::thread remote([&] {
+    trace::SpanScope adopted{token};
+    remote_trace = adopted.trace_id();
+    remote_parent = adopted.parent_span_id();
+  });
+  remote.join();
+  EXPECT_EQ(remote_trace, outer_trace);
+  EXPECT_EQ(remote_parent, outer_span);
+}
+
+TEST(EventLogTest, ConcurrentRecordersDumpInSequenceOrder) {
+  // Threads racing into the ring may land in slots out of arrival order;
+  // Events() must still come back sorted by the atomic sequence, with no
+  // duplicates, no drops below capacity, and every event accounted for.
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 500;
+  EventLog log(4096);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        log.Record({TraceEvent::Kind::kEngineOp, i, 1,
+                    /*a=*/static_cast<uint64_t>(t), /*b=*/i, nullptr});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<TraceEvent> events = log.Events();
+  ASSERT_EQ(events.size(), kThreads * kPerThread);
+  EXPECT_EQ(log.dropped(), 0u);
+  uint64_t per_thread_seen[kThreads] = {};
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) EXPECT_LT(events[i - 1].seq, events[i].seq) << i;
+    ASSERT_LT(events[i].a, static_cast<uint64_t>(kThreads));
+    ++per_thread_seen[events[i].a];
+  }
+  EXPECT_EQ(events.front().seq, 1u);
+  EXPECT_EQ(events.back().seq, kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread_seen[t], kPerThread);
+}
+
+// --- Chrome trace export ----------------------------------------------------
+
+// Golden-file-style check: a fresh EventLog with fully-explicit causal
+// fields produces byte-predictable Chrome trace-event JSON (per-log seq
+// starts at 1 and Record preserves nonzero identity fields).
+TEST(EventLogTest, ChromeTraceGoldenShape) {
+  EventLog log(8);
+  TraceEvent parent{TraceEvent::Kind::kWalUnit, /*start_ns=*/1000,
+                    /*duration_ns=*/5000, /*a=*/3, /*b=*/96, nullptr};
+  parent.tid = 200;
+  parent.trace_id = 1000;
+  parent.span_id = 1000;
+  log.Record(parent);
+  TraceEvent child{TraceEvent::Kind::kFsync, /*start_ns=*/2000,
+                   /*duration_ns=*/1000, /*a=*/3, /*b=*/0, nullptr};
+  child.tid = 201;
+  child.trace_id = 1000;
+  child.span_id = 1001;
+  child.parent_span_id = 1000;
+  log.Record(child);
+
+  const std::string json = log.DumpChromeTrace();
+  EXPECT_EQ(json.substr(0, 16), "{\"traceEvents\":[") << json;
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  // One metadata record per distinct tid, unnamed tracks get the fallback.
+  EXPECT_NE(json.find("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":200,\"args\":{\"name\":\"thread-200\"}}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"tid\":201,\"args\":{\"name\":\"thread-201\"}"),
+            std::string::npos);
+  // Complete slices: ts/dur are microseconds with ns precision.
+  EXPECT_NE(json.find("{\"name\":\"wal_unit\",\"cat\":\"xupd\",\"ph\":\"X\","
+                      "\"ts\":1.000,\"dur\":5.000,\"pid\":1,\"tid\":200,"
+                      "\"args\":{\"seq\":1,\"trace_id\":1000,\"span_id\":1000,"
+                      "\"parent_span_id\":0,\"a\":3,\"b\":96}}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"name\":\"fsync\",\"cat\":\"xupd\",\"ph\":\"X\","
+                      "\"ts\":2.000,\"dur\":1.000,\"pid\":1,\"tid\":201,"
+                      "\"args\":{\"seq\":2,\"trace_id\":1000,\"span_id\":1001,"
+                      "\"parent_span_id\":1000,\"a\":3,\"b\":0}}"),
+            std::string::npos)
+      << json;
+  // The cross-thread parent→child edge gets a flow arrow pair keyed by the
+  // child span: the start is clamped into the parent slice on the parent's
+  // track, the finish binds to the child slice's start on its own track.
+  EXPECT_NE(json.find("{\"name\":\"handoff\",\"cat\":\"flow\",\"ph\":\"s\","
+                      "\"id\":1001,\"ts\":2.000,\"pid\":1,\"tid\":200}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"name\":\"handoff\",\"cat\":\"flow\",\"ph\":\"f\","
+                      "\"bp\":\"e\",\"id\":1001,\"ts\":2.000,\"pid\":1,"
+                      "\"tid\":201}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(EventLogTest, ChromeTraceSkipsSameThreadAndDanglingFlows) {
+  EventLog log(8);
+  // Parent and child on the SAME thread: nesting is visible from the X
+  // slices alone, so no flow arrow is emitted.
+  TraceEvent parent{TraceEvent::Kind::kStatement, 100, 900, 0, 0, nullptr};
+  parent.tid = 210;
+  parent.trace_id = 2000;
+  parent.span_id = 2000;
+  log.Record(parent);
+  TraceEvent child{TraceEvent::Kind::kEngineOp, 200, 300, 0, 0, nullptr};
+  child.tid = 210;
+  child.trace_id = 2000;
+  child.span_id = 2001;
+  child.parent_span_id = 2000;
+  log.Record(child);
+  // A child whose parent was overwritten out of the ring: the arrow would
+  // dangle, so it is suppressed too.
+  TraceEvent orphan{TraceEvent::Kind::kFsync, 400, 100, 0, 0, nullptr};
+  orphan.tid = 211;
+  orphan.trace_id = 2000;
+  orphan.span_id = 2002;
+  orphan.parent_span_id = 999999;
+  log.Record(orphan);
+
+  const std::string json = log.DumpChromeTrace();
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"ph\":\"f\""), std::string::npos) << json;
+}
+
+TEST(EventLogTest, ChromeTraceNamesRegisteredThreads) {
+  EventLog log(8);
+  std::thread worker([&log] {
+    trace::SetCurrentThreadName("golden-worker");
+    log.Record({TraceEvent::Kind::kCheckpoint, 10, 5, 1, 0, nullptr});
+  });
+  worker.join();
+  const std::string json = log.DumpChromeTrace();
+  EXPECT_NE(json.find("\"args\":{\"name\":\"golden-worker\"}"),
+            std::string::npos)
+      << json;
+}
+
 // --- registry ---------------------------------------------------------------
 
 TEST(MetricsRegistryTest, CountersGaugesHistogramsRoundTrip) {

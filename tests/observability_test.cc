@@ -222,6 +222,57 @@ TEST(ShowTest, EventsRecordStatementSpans) {
   EXPECT_NE(first.find("\"duration_ns\":"), std::string::npos) << first;
 }
 
+TEST(ShowTest, TableStatsCountAccessesPerTableAndIndex) {
+  Database db;
+  Populate(&db);
+  // The join scans parent and probes child_parent once per parent row.
+  ASSERT_TRUE(db.ExecuteQuery(kJoin).ok());
+  ASSERT_TRUE(db.Execute("UPDATE parent SET v = v + 1 WHERE id = 3").ok());
+  ASSERT_TRUE(db.Execute("DELETE FROM child WHERE parentId = 9").ok());
+
+  auto stats = db.ExecuteQuery("SHOW TABLE STATS");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(MetricValue(*stats, "table.parent.scans"), 0);
+  EXPECT_GT(MetricValue(*stats, "table.parent.rows_read"), 0);
+  EXPECT_EQ(MetricValue(*stats, "table.parent.rows_inserted"), 10);
+  EXPECT_EQ(MetricValue(*stats, "table.parent.rows_updated"), 1);
+  EXPECT_EQ(MetricValue(*stats, "table.child.rows_inserted"), 30);
+  EXPECT_EQ(MetricValue(*stats, "table.child.rows_deleted"), 3);
+  EXPECT_EQ(MetricValue(*stats, "table.child.live_rows"), 27);
+  // The join drove the secondary index: 10 probes (one per parent row), all
+  // hits; the DELETE may add more.
+  EXPECT_GE(MetricValue(*stats, "index.child.child_parent.probes"), 10);
+  EXPECT_GE(MetricValue(*stats, "index.child.child_parent.hits"), 10);
+  EXPECT_LE(MetricValue(*stats, "index.child.child_parent.hits"),
+            MetricValue(*stats, "index.child.child_parent.probes"));
+  // Version-buffer columns exist even when nothing is parked right now.
+  EXPECT_GE(MetricValue(*stats, "table.parent.version_rows"), 0);
+  EXPECT_GE(MetricValue(*stats, "table.parent.version_bytes"), 0);
+}
+
+TEST(ShowTest, TraceReturnsChromeTraceJson) {
+  Database db;
+  Populate(&db);
+  ASSERT_TRUE(db.ExecuteQuery(kJoin).ok());
+  auto trace = db.ExecuteQuery("SHOW TRACE");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->columns.size(), 1u);
+  ASSERT_EQ(trace->rows.size(), 1u);
+  const std::string json = trace->rows[0][0].ToString();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 64);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  // Statement spans carry their causal identity into the export.
+  EXPECT_NE(json.find("\"name\":\"statement\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+}
+
+TEST(ShowTest, ParserRejectsIncompleteShowTable) {
+  Database db;
+  auto rs = db.ExecuteQuery("SHOW TABLE");
+  EXPECT_FALSE(rs.ok());
+}
+
 TEST(SlowLogTest, ThresholdZeroCapturesStatementsWithPlans) {
   Database db;
   Populate(&db);
