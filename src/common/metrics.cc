@@ -106,6 +106,7 @@ const char* ToString(TraceEvent::Kind kind) {
     case TraceEvent::Kind::kRecovery: return "recovery";
     case TraceEvent::Kind::kScrub: return "scrub";
     case TraceEvent::Kind::kEngineOp: return "engine_op";
+    case TraceEvent::Kind::kGovernance: return "governance";
   }
   return "unknown";
 }

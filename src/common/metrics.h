@@ -209,6 +209,8 @@ struct TraceEvent {
     kScrub,       ///< integrity scrub; a = violations found.
     kEngineOp,    ///< one engine/store.cc operation; a = SQL exec ns,
                   ///< b = trigger-cascade ns; detail = op name.
+    kGovernance,  ///< resource-governance event (heal backoff, watchdog
+                  ///< stall); detail names it, a/b are event-specific.
   };
   Kind kind = Kind::kStatement;
   uint64_t start_ns = 0;     ///< MonotonicNanos() at span start.

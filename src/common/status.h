@@ -24,6 +24,9 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   kInternal = 8,
   kUnavailable = 9,  ///< Degraded mode: retry later (e.g. store read-only).
+  kDeadlineExceeded = 10,   ///< Statement/operation deadline expired.
+  kResourceExhausted = 11,  ///< Memory budget (or other quota) exceeded.
+  kCancelled = 12,          ///< Cooperatively cancelled via a CancelToken.
 };
 
 /// Returns a stable human-readable name for a code ("ParseError", ...).
@@ -68,6 +71,15 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -253,7 +253,36 @@ Status RelationalStore::Load(const xml::Document& doc) {
 // ---------------------------------------------------------------------------
 // Transactions
 
+namespace {
+
+// Arms the Database's operation deadline for one update entry point and
+// restores the previous one on exit — sub-operations keep the outer (earlier)
+// deadline because EffectiveDeadline always takes the minimum.
+class OpDeadlineScope {
+ public:
+  OpDeadlineScope(rdb::Database* db, int64_t timeout_us) : db_(db) {
+    prev_ = db_->operation_deadline_ns();
+    if (timeout_us > 0) {
+      uint64_t deadline =
+          MonotonicNanos() + static_cast<uint64_t>(timeout_us) * 1000;
+      if (prev_ != 0 && prev_ < deadline) deadline = prev_;
+      db_->ArmOperationDeadline(deadline);
+    }
+  }
+  ~OpDeadlineScope() { db_->ArmOperationDeadline(prev_); }
+
+  OpDeadlineScope(const OpDeadlineScope&) = delete;
+  OpDeadlineScope& operator=(const OpDeadlineScope&) = delete;
+
+ private:
+  rdb::Database* db_;
+  uint64_t prev_ = 0;
+};
+
+}  // namespace
+
 Status RelationalStore::RunInTxn(const std::function<Status()>& fn) {
+  OpDeadlineScope deadline(&db_, options_.op_timeout_us);
   if (!options_.transactional) return fn();
   XUPD_RETURN_IF_ERROR(db_.Begin());
   Status s = fn();

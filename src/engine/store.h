@@ -78,6 +78,12 @@ class RelationalStore {
     /// Filesystem interface for all durable I/O; null means the real one
     /// (rdb::Vfs::Default()). Fault-injection tests interpose a FaultVfs.
     rdb::Vfs* vfs = nullptr;
+    /// Per-operation deadline in microseconds (0 = none): every update entry
+    /// point (DeleteWhere/DeleteByIds/CopySubtree*/InsertConstructed) arms
+    /// Database::ArmOperationDeadline for its duration, so a runaway
+    /// multi-statement operation fails with kDeadlineExceeded and — under
+    /// `transactional` — rolls back to the pre-operation state.
+    int64_t op_timeout_us = 0;
   };
 
   /// Creates the store for a DTD: derives the mapping, creates the schema,

@@ -17,10 +17,14 @@ namespace xupd::rdb {
 namespace {
 
 // Busy-wait so the simulated latency shows up in wall-clock measurements.
-void SpinFor(double us) {
+// Deadline-aware: an armed statement deadline cuts the spin short so a
+// timed-out statement fails promptly instead of first paying the full
+// simulated round trip.
+void SpinFor(double us, uint64_t deadline_ns = 0) {
   if (us <= 0) return;
   Stopwatch sw;
   while (sw.ElapsedSeconds() * 1e6 < us) {
+    if (deadline_ns != 0 && MonotonicNanos() >= deadline_ns) return;
   }
 }
 
@@ -51,7 +55,13 @@ std::string MultiRowInsertSql(std::string_view table, size_t columns,
   return sql;
 }
 
-Database::Database() { InitMetrics(); }
+Database::Database() {
+  InitMetrics();
+  // Wire the memory accountant into the always-present charge sites; tables
+  // and the WAL writer are wired as they are created/opened.
+  interner_.set_accountant(&mem_);
+  txn_.set_accountant(&mem_);
+}
 
 void Database::InitMetrics() {
   static constexpr const char* kStmtHistNames[kStmtKindSlots] = {
@@ -76,6 +86,16 @@ void Database::InitMetrics() {
   catalog_shared_wait_ = metrics_.GetHistogram("catalog_lock.shared_wait");
   catalog_exclusive_wait_ =
       metrics_.GetHistogram("catalog_lock.exclusive_wait");
+  // Resource governance (PR 10): statement-kill counters, heal/watchdog
+  // observability, and the mem.* gauges the accountant mirrors into.
+  stmt_cancelled_ = metrics_.Counter("stmt.cancelled");
+  stmt_deadline_exceeded_ = metrics_.Counter("stmt.deadline_exceeded");
+  stmt_resource_exhausted_ = metrics_.Counter("stmt.resource_exhausted");
+  stmt_shed_ = metrics_.Counter("stmt.shed");
+  heal_attempts_counter_ = metrics_.Counter("db.heal_attempts");
+  flusher_stall_counter_ = metrics_.Counter("watchdog.flusher_stalls");
+  checkpoint_stall_counter_ = metrics_.Counter("watchdog.checkpoint_stalls");
+  mem_.AttachMetrics(&metrics_);
 }
 
 std::unique_lock<std::shared_mutex> Database::LockCatalogExclusive() const {
@@ -168,6 +188,9 @@ Database::~Database() {
   // reader-slot state, the flusher dereferences wal_.
   (void)CheckpointWait();
   StopFlusher();
+  // The metrics registry dies before tables_/interner_/txn_ do, and their
+  // destructors release memory charges — stop mirroring into gauges now.
+  mem_.AttachMetrics(nullptr);
   if (wal_ != nullptr) {
     // Clean shutdown persists pending direct-API writes; an open
     // transaction's pending redo is uncommitted and must not.
@@ -289,6 +312,7 @@ Status Database::RecoverFromDir() {
   wal_->AttachMetrics(metrics_.GetHistogram("wal.commit_unit"),
                       metrics_.GetHistogram("wal.fsync"),
                       metrics_.GetHistogram("wal.batch_commits"), &events_);
+  wal_->set_accountant(&mem_);
   txn_.AttachWal(wal_.get());
   // Everything loaded so far belongs to the pre-boundary epoch; publish the
   // first post-recovery boundary so reader pins see the recovered state.
@@ -365,6 +389,7 @@ Status Database::Checkpoint() {
   wal_->AttachMetrics(metrics_.GetHistogram("wal.commit_unit"),
                       metrics_.GetHistogram("wal.fsync"),
                       metrics_.GetHistogram("wal.batch_commits"), &events_);
+  wal_->set_accountant(&mem_);
   txn_.AttachWal(wal_.get());
   flusher_lock.unlock();
   ++stats_.checkpoints;
@@ -441,6 +466,64 @@ void Database::WalLogDdl(std::string_view sql_text) {
 
 // ---------------------------------------------------------------------------
 // Graceful degradation
+
+Database::Health Database::health() const {
+  Health h;
+  h.read_only = read_only_.load(std::memory_order_acquire);
+  h.cause = read_only_cause_;
+  h.flusher_stalled = FlusherStalled();
+  h.checkpoint_stalled = CheckpointStalled();
+  return h;
+}
+
+bool Database::FlusherStalled() const {
+  const uint64_t hb = flusher_heartbeat_ns_.load(std::memory_order_acquire);
+  if (!flusher_.joinable() || hb == 0) return false;
+  const int window_us = durability_options_.group_commit_window_us > 0
+                            ? durability_options_.group_commit_window_us
+                            : 2000;
+  const uint64_t budget = static_cast<uint64_t>(watchdog_stall_windows_) *
+                          static_cast<uint64_t>(window_us) * 1000;
+  const uint64_t now = MonotonicNanos();
+  const bool stalled = now - hb > budget;
+  if (stalled) {
+    if (!flusher_stall_reported_.exchange(true, std::memory_order_acq_rel)) {
+      flusher_stall_counter_->fetch_add(1, std::memory_order_relaxed);
+      events_.Record({TraceEvent::Kind::kGovernance, hb, now - hb,
+                      static_cast<uint64_t>(watchdog_stall_windows_),
+                      static_cast<uint64_t>(window_us), "flusher_stall"});
+    }
+  } else {
+    flusher_stall_reported_.store(false, std::memory_order_release);
+  }
+  return stalled;
+}
+
+bool Database::CheckpointStalled() const {
+  if (!checkpoint_running_ ||
+      checkpoint_done_.load(std::memory_order_acquire)) {
+    // A finished-but-unjoined background checkpoint made its progress; only
+    // a thread still inside the snapshot write can be stalled.
+    checkpoint_stall_reported_.store(false, std::memory_order_release);
+    return false;
+  }
+  const uint64_t hb = checkpoint_heartbeat_ns_.load(std::memory_order_acquire);
+  if (hb == 0) return false;
+  const uint64_t budget = static_cast<uint64_t>(watchdog_stall_windows_) *
+                          static_cast<uint64_t>(checkpoint_watchdog_window_us_) *
+                          1000;
+  const uint64_t now = MonotonicNanos();
+  const bool stalled = now - hb > budget;
+  if (stalled &&
+      !checkpoint_stall_reported_.exchange(true, std::memory_order_acq_rel)) {
+    checkpoint_stall_counter_->fetch_add(1, std::memory_order_relaxed);
+    events_.Record({TraceEvent::Kind::kGovernance, hb, now - hb,
+                    static_cast<uint64_t>(watchdog_stall_windows_),
+                    static_cast<uint64_t>(checkpoint_watchdog_window_us_),
+                    "checkpoint_stall"});
+  }
+  return stalled;
+}
 
 void Database::EnterReadOnly(const Status& cause) {
   if (read_only_) return;  // keep the first (root) cause
@@ -574,9 +657,32 @@ Status Database::TryHeal(int max_attempts) {
   Status last = Status::OK();
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+      // Exponential backoff, bounded by kMaxHealBackoffMs and interruptible
+      // via the cancel token (slept in 1ms slices so a Cancel() from
+      // another thread is honored within ~1ms). Each backoff is a
+      // kGovernance trace span annotated with the attempt and planned wait.
+      const int backoff_ms =
+          std::min(1 << attempt, kMaxHealBackoffMs);
+      const uint64_t t0 = MonotonicNanos();
+      for (int slept = 0; slept < backoff_ms; ++slept) {
+        if (cancel_token_.cancelled()) {
+          events_.Record({TraceEvent::Kind::kGovernance, t0,
+                          MonotonicNanos() - t0,
+                          static_cast<uint64_t>(attempt),
+                          static_cast<uint64_t>(backoff_ms), "heal_backoff"});
+          return Status::Cancelled(
+              "heal cancelled during backoff (attempt " +
+              std::to_string(attempt) + " of " +
+              std::to_string(max_attempts) + ")");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      events_.Record({TraceEvent::Kind::kGovernance, t0,
+                      MonotonicNanos() - t0, static_cast<uint64_t>(attempt),
+                      static_cast<uint64_t>(backoff_ms), "heal_backoff"});
     }
     ++stats_.heal_attempts;
+    heal_attempts_counter_->fetch_add(1, std::memory_order_relaxed);
     last = ReopenFromDisk();
     if (last.ok()) return Status::OK();
   }
@@ -673,22 +779,79 @@ void Database::set_prepared_cache_capacity(size_t capacity) {
   }
 }
 
+uint64_t Database::EffectiveDeadline(int64_t timeout_us) const {
+  uint64_t deadline =
+      timeout_us > 0 ? MonotonicNanos() + static_cast<uint64_t>(timeout_us) *
+                                              1000
+                     : 0;
+  // An armed engine-op deadline bounds every statement of the op; the
+  // earlier of the two wins.
+  if (operation_deadline_ns_ != 0 &&
+      (deadline == 0 || operation_deadline_ns_ < deadline)) {
+    deadline = operation_deadline_ns_;
+  }
+  return deadline;
+}
+
+bool Database::GovernanceExempt(sql::Statement::Kind kind) {
+  switch (kind) {
+    // Resource-releasing and diagnostic statements must run even over
+    // budget / past a deadline: COMMIT and ROLLBACK shrink the very
+    // buffers the budgets meter, and SHOW / CHECK INTEGRITY / SET are how
+    // an operator diagnoses and fixes an overloaded database.
+    case sql::Statement::Kind::kCommit:
+    case sql::Statement::Kind::kRollback:
+    case sql::Statement::Kind::kRelease:
+    case sql::Statement::Kind::kShow:
+    case sql::Statement::Kind::kCheckIntegrity:
+    case sql::Statement::Kind::kSet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status Database::GovernanceAdmission(uint64_t deadline_ns) const {
+  if (cancel_token_.cancelled()) {
+    return Status::Cancelled(
+        "statement cancelled via CancelToken (Reset() to resume)");
+  }
+  if (deadline_ns != 0 && MonotonicNanos() >= deadline_ns) {
+    return Status::DeadlineExceeded(
+        "statement deadline exceeded before execution (see "
+        "Database::set_statement_timeout_us / SET STATEMENT_TIMEOUT)");
+  }
+  XUPD_RETURN_IF_ERROR(mem_.CheckHard());
+  return mem_.CheckAdmission();
+}
+
 Result<ResultSet> Database::RunStatement(const sql::Statement& stmt,
                                          const std::vector<Value>* params,
                                          std::string_view sql_text,
-                                         PlanCacheSlot* slot) {
+                                         PlanCacheSlot* slot,
+                                         uint64_t deadline_ns) {
   // DDL invalidation happens inside the Executor, the choke point shared
   // by all entry paths.
+  const bool exempt = GovernanceExempt(stmt.kind);
+  // Snapshot stats when governance could kill this statement, so a killed
+  // statement's slow-log entry carries the partial-work delta even with
+  // the slow log's threshold disabled.
+  const bool governed =
+      !exempt && (deadline_ns != 0 || cancel_at_pull_armed_ ||
+                  mem_.soft_budget() != 0 || mem_.hard_budget() != 0 ||
+                  mem_.wal_pending_limit() != 0);
   const bool slow_enabled = slow_statement_threshold_us_ >= 0;
   Stats before;
-  if (slow_enabled) before = stats_;
+  if (slow_enabled || governed) before = stats_;
   const uint64_t t0 = MonotonicNanos();
   // Root (or nested, inside a trigger cascade) span of the statement: every
   // engine op, WAL unit and fsync recorded below inherits it through the
   // thread-local trace context.
   trace::SpanScope stmt_span;
   Executor exec(this, params, sql_text);
-  auto result = exec.Run(stmt, slot);
+  exec.set_deadline(deadline_ns);
+  Status gate = exempt ? Status::OK() : GovernanceAdmission(deadline_ns);
+  auto result = gate.ok() ? exec.Run(stmt, slot) : Result<ResultSet>(gate);
   Status wal = WalFlush();
   const uint64_t dur = MonotonicNanos() - t0;
   stmt_hists_[StmtKindSlot(stmt.kind)]->Record(dur);
@@ -697,12 +860,36 @@ Result<ResultSet> Database::RunStatement(const sql::Statement& stmt,
                      static_cast<uint64_t>(stmt.kind), 0, nullptr};
   stmt_span.Annotate(&stmt_ev);
   events_.Record(stmt_ev);
-  if (slow_enabled && dur >= slow_statement_threshold_us_ * 1000.0) {
+  // Classify governance kills: count them, and force a slow-log entry with
+  // the cause so operators can see WHAT was killed and how far it got.
+  const char* cause = nullptr;
+  if (!result.ok()) {
+    switch (result.status().code()) {
+      case StatusCode::kCancelled:
+        cause = "cancelled";
+        stmt_cancelled_->fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        cause = "deadline_exceeded";
+        stmt_deadline_exceeded_->fetch_add(1, std::memory_order_relaxed);
+        break;
+      case StatusCode::kResourceExhausted:
+        cause = "resource_exhausted";
+        stmt_resource_exhausted_->fetch_add(1, std::memory_order_relaxed);
+        if (!gate.ok()) stmt_shed_->fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        break;
+    }
+  }
+  if ((slow_enabled && dur >= slow_statement_threshold_us_ * 1000.0) ||
+      cause != nullptr) {
     SlowStatement slow;
     slow.sql = std::string(sql_text);
     slow.duration_ns = dur;
-    slow.delta = stats_.Delta(before);
+    if (slow_enabled || governed) slow.delta = stats_.Delta(before);
     if (exec.last_plan() != nullptr) slow.plan = PlanToString(*exec.last_plan());
+    if (cause != nullptr) slow.cause = cause;
     if (slow_log_.size() >= slow_log_capacity_) {
       slow_log_.erase(slow_log_.begin());
     }
@@ -715,23 +902,28 @@ Result<ResultSet> Database::RunStatement(const sql::Statement& stmt,
 }
 
 Status Database::Execute(std::string_view sql_text) {
-  ++stats_.statements;
-  SpinFor(statement_latency_us_);
-  ++stats_.sql_parses;
-  auto stmt = sql::ParseSql(sql_text);
-  if (!stmt.ok()) return stmt.status();
-  auto result = RunStatement(stmt.value(), nullptr, sql_text, nullptr);
+  return Execute(sql_text, statement_timeout_us());
+}
+
+Status Database::Execute(std::string_view sql_text, int64_t timeout_us) {
+  auto result = ExecuteQuery(sql_text, timeout_us);
   if (!result.ok()) return result.status();
   return Status::OK();
 }
 
 Result<ResultSet> Database::ExecuteQuery(std::string_view sql_text) {
+  return ExecuteQuery(sql_text, statement_timeout_us());
+}
+
+Result<ResultSet> Database::ExecuteQuery(std::string_view sql_text,
+                                         int64_t timeout_us) {
   ++stats_.statements;
-  SpinFor(statement_latency_us_);
+  const uint64_t deadline_ns = EffectiveDeadline(timeout_us);
+  SpinFor(statement_latency_us_, deadline_ns);
   ++stats_.sql_parses;
   auto stmt = sql::ParseSql(sql_text);
   if (!stmt.ok()) return stmt.status();
-  return RunStatement(stmt.value(), nullptr, sql_text, nullptr);
+  return RunStatement(stmt.value(), nullptr, sql_text, nullptr, deadline_ns);
 }
 
 Result<StatementHandle> Database::Prepare(std::string_view sql_text,
@@ -781,9 +973,10 @@ Result<ResultSet> Database::ExecuteQueryPrepared(
         std::to_string(handle->param_count));
   }
   ++stats_.statements;
-  SpinFor(statement_latency_us_);
+  const uint64_t deadline_ns = EffectiveDeadline(statement_timeout_us());
+  SpinFor(statement_latency_us_, deadline_ns);
   return RunStatement(handle->stmt, &params, handle->sql,
-                      &handle->plan_slot);
+                      &handle->plan_slot, deadline_ns);
 }
 
 Status Database::ExecuteBound(std::string_view sql,
@@ -814,6 +1007,7 @@ Result<Table*> Database::CreateTableDirect(TableSchema schema,
   table->set_durable(durable);
   table->set_interner(&interner_);
   table->set_epoch_manager(&epochs_);
+  table->set_accountant(&mem_);
   Table* raw = table.get();
   {
     auto lock = LockCatalogExclusive();
@@ -906,6 +1100,10 @@ std::vector<std::string> Database::TableNames() const {
 void Database::StartFlusher() {
   if (flusher_.joinable()) return;
   flusher_stop_ = false;
+  // Seed the heartbeat so the watchdog measures from thread start, not
+  // from a stale stamp left by a previous flusher incarnation.
+  flusher_heartbeat_ns_.store(MonotonicNanos(), std::memory_order_release);
+  flusher_stall_reported_.store(false, std::memory_order_relaxed);
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
 
@@ -939,10 +1137,16 @@ void Database::FlusherLoop() {
     // off-thread.
     if (wal_ != nullptr && !wal_->broken()) {
       const uint64_t t0 = MonotonicNanos();
-      (void)wal_->Sync();
+      Status synced = wal_->Sync();
       const uint64_t sync_ns = MonotonicNanos() - t0;
       occupancy->Record(sync_ns * 100 / (static_cast<uint64_t>(window_us) *
                                          1000));
+      // Heartbeat only on a successful fsync: a broken or wedged WAL stops
+      // the stamps, and the watchdog reports the stall after K windows.
+      if (synced.ok()) {
+        flusher_heartbeat_ns_.store(MonotonicNanos(),
+                                    std::memory_order_release);
+      }
     }
   }
 }
@@ -1004,6 +1208,9 @@ Status Database::CheckpointBackground() {
   checkpoint_running_ = true;
   checkpoint_status_ = Status::OK();
   checkpoint_renamed_ = false;
+  checkpoint_done_.store(false, std::memory_order_release);
+  checkpoint_stall_reported_.store(false, std::memory_order_relaxed);
+  checkpoint_heartbeat_ns_.store(MonotonicNanos(), std::memory_order_release);
 
   // Writer-side scheduling span (kCheckpoint a=2): the background thread's
   // snapshot-write span (a=1) adopts its handoff, so the trace carries a
@@ -1043,10 +1250,13 @@ Status Database::CheckpointBackground() {
         // The stack locals above are dead after the unlock; everything
         // below uses only owned/captured state.
         const uint64_t t0 = MonotonicNanos();
+        checkpoint_heartbeat_ns_.store(t0, std::memory_order_release);
         bool renamed = false;
         Status s =
             WriteSnapshotAsOf(*this, vfs_, SnapshotPath(data_dir_),
                               SnapshotTmpPath(data_dir_), *capture, &renamed);
+        checkpoint_heartbeat_ns_.store(MonotonicNanos(),
+                                       std::memory_order_release);
         checkpoint_status_ = s;
         checkpoint_renamed_ = renamed;
         if (s.ok()) {
@@ -1057,6 +1267,9 @@ Status Database::CheckpointBackground() {
           snapshot_span.Annotate(&ev);
           events_.Record(ev);
         }
+        // Finished-but-unjoined is not a stall: the watchdog ignores the
+        // heartbeat once this flips, even before CheckpointWait runs.
+        checkpoint_done_.store(true, std::memory_order_release);
       });
   {
     std::unique_lock<std::mutex> lk(ready_mu);
@@ -1069,6 +1282,8 @@ Status Database::CheckpointWait() {
   if (!checkpoint_running_) return Status::OK();
   checkpoint_thread_.join();
   checkpoint_running_ = false;
+  checkpoint_done_.store(false, std::memory_order_release);
+  checkpoint_stall_reported_.store(false, std::memory_order_relaxed);
   epochs_.Unpin(checkpoint_slot_);
   epochs_.ReleaseSlot(checkpoint_slot_);
   checkpoint_slot_ = -1;
@@ -1089,7 +1304,8 @@ Result<std::unique_ptr<ReaderSession>> Database::OpenReaderSession() {
   if (slot < 0) {
     return Status::Unavailable(
         "all " + std::to_string(EpochManager::kMaxReaders) +
-        " reader session slots are in use");
+        " reader session slots are in use; retry after an open session "
+        "closes (sessions release their slot on destruction)");
   }
   reader_sessions_gauge_->fetch_add(1, std::memory_order_relaxed);
   return std::unique_ptr<ReaderSession>(new ReaderSession(this, slot));
@@ -1223,6 +1439,17 @@ Result<ResultSet> ReaderSession::Run(std::string_view sql_text,
   ctx.params = params;
   ctx.cte_values = &cte_store;
   ctx.subquery_memo = &memo;
+  // Governance for readers: the statement timeout (read atomically — the
+  // writer thread owns the setting) and the shared cancel token. The
+  // cancel-at-pull hook and engine-op deadline are writer-thread state and
+  // are NOT consulted here.
+  const int64_t timeout_us = db_->statement_timeout_us();
+  ctx.deadline_ns =
+      timeout_us > 0
+          ? MonotonicNanos() + static_cast<uint64_t>(timeout_us) * 1000
+          : 0;
+  ctx.cancel = db_->cancel_token_.flag();
+  ctx.mem = &db_->mem_;
   auto result = ExecutePlannedSelect(*plan->select, ctx);
   if (statement_pin) {
     db_->epochs_.Unpin(slot_);

@@ -28,6 +28,7 @@
 #include "common/result.h"
 #include "common/str_util.h"
 #include "rdb/epoch.h"
+#include "rdb/governance.h"
 #include "rdb/planner.h"
 #include "rdb/result.h"
 #include "rdb/sql_ast.h"
@@ -171,8 +172,10 @@ class Database {
   bool checkpoint_running() const { return checkpoint_running_; }
 
   /// Opens a concurrent read-only session (see the threading model above).
-  /// Fails with ResourceExhausted when all EpochManager::kMaxReaders reader
-  /// slots are taken. The session must not outlive the Database.
+  /// Fails with kUnavailable when all EpochManager::kMaxReaders reader
+  /// slots are taken — admission control, not a fault: the message carries a
+  /// retry-after hint and the caller should close a session or retry after
+  /// the suggested backoff. The session must not outlive the Database.
   Result<std::unique_ptr<ReaderSession>> OpenReaderSession();
 
   /// The epoch-based MVCC core (tests / benches: inspect the published
@@ -203,17 +206,32 @@ class Database {
   struct Health {
     bool read_only = false;
     std::string cause;  ///< First failure (op + path + errno); "" if healthy.
+    /// Background-thread watchdogs (see the resource-governance section):
+    /// true when the group-commit flusher / background checkpointer has made
+    /// no progress for watchdog_stall_windows() consecutive windows.
+    bool flusher_stalled = false;
+    bool checkpoint_stalled = false;
+    bool degraded() const {
+      return read_only || flusher_stalled || checkpoint_stalled;
+    }
   };
-  Health health() const {
-    return {read_only_.load(std::memory_order_acquire), read_only_cause_};
-  }
+  /// Current health, including lazy watchdog evaluation: the first call that
+  /// observes a stalled background thread bumps watchdog.flusher_stalls /
+  /// watchdog.checkpoint_stalls and records a kGovernance trace event.
+  Health health() const;
   bool read_only() const { return read_only_.load(std::memory_order_acquire); }
 
   /// Attempts to return a read-only database to read-write: re-runs recovery
   /// from disk, retrying up to `max_attempts` times with exponential backoff.
+  /// The backoff is bounded (capped at kMaxHealBackoffMs per attempt),
+  /// interruptible (cancel_token() aborts the sleep with kCancelled), and
+  /// observable (each attempt bumps the db.heal_attempts counter and each
+  /// backoff records a kGovernance trace event annotated "heal_backoff").
   /// No-op when not read-only; rejected inside a transaction. On success the
   /// in-memory state equals the last committed-on-disk unit boundary.
   Status TryHeal(int max_attempts = 5);
+  /// Upper bound on one TryHeal backoff sleep, milliseconds.
+  static constexpr int kMaxHealBackoffMs = 100;
 
   /// Online integrity scrub (SQL: CHECK INTEGRITY). Walks every table
   /// checking slab liveness against hash-index entries in both directions,
@@ -222,11 +240,108 @@ class Database {
   /// Returns human-readable violations; empty means the database is clean.
   std::vector<std::string> VerifyIntegrity();
 
+  // --- resource governance (rdb/governance.h) ------------------------------
+  //
+  // Contract: a statement that exceeds its deadline, is cancelled, or pushes
+  // memory past the hard budget fails with kDeadlineExceeded / kCancelled /
+  // kResourceExhausted respectively, and ALL of its partial effects —
+  // element-table rows, hash-index entries, version buffers, WAL pending
+  // redo — are rolled back through the ordinary transaction machinery (the
+  // engine wraps every multi-statement op in RunInTxn; a lone autocommit
+  // statement unwinds via its own statement scope). The checks are
+  // cooperative: every Volcano operator pull ticks an amortized governance
+  // poll (ExecContext::TickGovernance, every 64th pull), and every statement
+  // entry point polls once up front, so a runaway scan is cut within 64
+  // pulls of the deadline and nothing is killed mid-mutation without undo.
+  //
+  //  * Deadlines: set_statement_timeout_us() arms a per-statement deadline
+  //    for every later statement (SQL: SET STATEMENT_TIMEOUT <us>; 0
+  //    clears); the Execute/ExecuteQuery overloads taking `timeout_us` arm a
+  //    one-call deadline that overrides the global one. The simulated
+  //    statement latency (SpinFor) is deadline-aware: an expired deadline
+  //    cuts the spin short and fails the statement before it runs.
+  //  * Cancellation: cancel_token() is shared with any thread; Cancel()
+  //    makes the writer's (and every reader session's) next governance poll
+  //    fail with kCancelled. The token stays cancelled until Reset() — it is
+  //    a connection-level kill switch, not a one-shot.
+  //  * Memory budgets: memory_accountant() meters table slabs, version
+  //    buffers, the string interner, the undo log, WAL pending redo, and
+  //    query scratch under mem.* gauges. A soft budget sheds NEW statements
+  //    (kResourceExhausted before any work; COMMIT/ROLLBACK/RELEASE, SHOW,
+  //    CHECK INTEGRITY and SET stay admitted so callers can always release
+  //    resources and diagnose); a hard budget (and the WAL pending-buffer
+  //    watermark) kills the RUNNING statement at its next poll, rolling the
+  //    unit back.
+  //  * Watchdogs: the group-commit flusher and background checkpointer
+  //    stamp progress heartbeats; health() reports a thread stalled when it
+  //    made no progress for watchdog_stall_windows() windows (flusher
+  //    window = group_commit_window_us; checkpointer window =
+  //    checkpoint_watchdog_window_us).
+
+  /// Global per-statement timeout in microseconds; 0 (default) disables.
+  /// Readable from reader sessions, hence atomic.
+  void set_statement_timeout_us(int64_t us) {
+    statement_timeout_us_.store(us < 0 ? 0 : us, std::memory_order_relaxed);
+  }
+  int64_t statement_timeout_us() const {
+    return statement_timeout_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Cross-thread cancellation switch (see the contract above).
+  CancelToken& cancel_token() { return cancel_token_; }
+
+  /// The per-Database memory accountant: budgets, watermark, mem.* gauges.
+  MemoryAccountant& memory_accountant() { return mem_; }
+  const MemoryAccountant& memory_accountant() const { return mem_; }
+
+  /// Watchdog staleness threshold: a background thread is stalled after
+  /// this many progress-free windows. Must be >= 1.
+  void set_watchdog_stall_windows(int windows) {
+    watchdog_stall_windows_ = windows < 1 ? 1 : windows;
+  }
+  int watchdog_stall_windows() const { return watchdog_stall_windows_; }
+  /// The background checkpointer's watchdog window (it has no natural
+  /// period like the flusher's group-commit window). Default 1s.
+  void set_checkpoint_watchdog_window_us(int64_t us) {
+    checkpoint_watchdog_window_us_ = us < 1 ? 1 : us;
+  }
+  int64_t checkpoint_watchdog_window_us() const {
+    return checkpoint_watchdog_window_us_;
+  }
+
+  /// Engine-op deadline (engine/store.cc): arms an absolute MonotonicNanos
+  /// deadline that bounds every statement of the current multi-statement
+  /// operation (merged with per-statement deadlines; the earlier wins).
+  /// 0 disarms. Writer thread only.
+  void ArmOperationDeadline(uint64_t deadline_ns) {
+    operation_deadline_ns_ = deadline_ns;
+  }
+  uint64_t operation_deadline_ns() const { return operation_deadline_ns_; }
+
+  /// Test hook: fails the k-th operator pull (1-based) of subsequent
+  /// execution with kCancelled — the cancellation-injection matrix drives
+  /// it through every pull index. The counter keeps counting down below
+  /// zero, so `k - remaining` doubles as a pull counter; arm with a huge k
+  /// to count pulls without injecting. Disarm before verification queries.
+  void ArmCancelAtPull(int64_t k) {
+    cancel_at_pull_.store(k, std::memory_order_relaxed);
+    cancel_at_pull_armed_ = true;
+  }
+  void DisarmCancelAtPull() { cancel_at_pull_armed_ = false; }
+  int64_t cancel_at_pull_remaining() const {
+    return cancel_at_pull_.load(std::memory_order_relaxed);
+  }
+
   /// Parses and executes a DDL/DML statement.
   Status Execute(std::string_view sql);
+  /// Per-call deadline overload: `timeout_us` (microseconds from now)
+  /// overrides the global statement timeout for this one call; <= 0 means
+  /// no deadline.
+  Status Execute(std::string_view sql, int64_t timeout_us);
 
   /// Parses and executes a SELECT, returning its rows.
   Result<ResultSet> ExecuteQuery(std::string_view sql);
+  Result<ResultSet> ExecuteQuery(std::string_view sql, int64_t timeout_us);
 
   /// Parses `sql` into a reusable handle, or returns the cached handle when
   /// the same text was prepared before (LRU, invalidated by DDL). DDL
@@ -435,12 +550,17 @@ class Database {
   MetricsRegistry& metrics() const { return metrics_; }
   EventLog& events() const { return events_; }
 
-  /// One captured slow statement (see the observability comment).
+  /// One captured slow statement (see the observability comment). A
+  /// governance-killed statement (deadline / cancel / budget) is captured
+  /// regardless of the threshold, with `cause` naming why and `delta`
+  /// holding the partial work it did before the kill (rolled back).
   struct SlowStatement {
     std::string sql;           ///< original text ("" for unseen text).
     uint64_t duration_ns = 0;  ///< wall time including trigger cascade.
     Stats delta;               ///< stats delta over the statement.
     std::string plan;          ///< rendered plan ("" when none was built).
+    std::string cause;  ///< "deadline_exceeded" / "cancelled" /
+                        ///< "resource_exhausted"; "" for plain slow capture.
   };
   /// Capture threshold in microseconds; negative (default) disables the
   /// slow log and its per-statement stats snapshot.
@@ -549,7 +669,23 @@ class Database {
   Result<ResultSet> RunStatement(const sql::Statement& stmt,
                                  const std::vector<Value>* params,
                                  std::string_view sql_text,
-                                 PlanCacheSlot* slot);
+                                 PlanCacheSlot* slot,
+                                 uint64_t deadline_ns = 0);
+
+  /// Absolute deadline for a statement entry point: `timeout_us` from now
+  /// (0 = none) merged with any armed operation deadline (earlier wins).
+  uint64_t EffectiveDeadline(int64_t timeout_us) const;
+  /// Statement kinds that bypass admission/governance gates: resource
+  /// RELEASING or diagnostic statements that must run even degraded
+  /// (COMMIT/ROLLBACK/RELEASE, SHOW, CHECK INTEGRITY, SET).
+  static bool GovernanceExempt(sql::Statement::Kind kind);
+  /// The statement-entry governance gate: cancel flag, expired deadline,
+  /// hard budget / WAL watermark, then soft-budget admission.
+  Status GovernanceAdmission(uint64_t deadline_ns) const;
+  /// Watchdog staleness checks (see health()); first observation of a stall
+  /// bumps the counter and records a kGovernance trace event.
+  bool FlusherStalled() const;
+  bool CheckpointStalled() const;
   /// Bumps the per-table plan-dependency counter for `name`.
   void BumpTableVersion(std::string_view name);
 
@@ -576,6 +712,10 @@ class Database {
   /// cascade root; engine spans read the counter to decompose op cost).
   void AddTriggerNs(uint64_t ns) { *trigger_ns_ += ns; }
 
+  /// Memory accountant every charge site (tables, interner, undo log, WAL
+  /// pending, query scratch) reports into. Declared FIRST so it outlives
+  /// every charging member — their destructors release their charges.
+  MemoryAccountant mem_;
   /// String arena every table dedups long values against. Safe in any
   /// destruction order relative to tables_: interned Values carry their own
   /// references, so blocks outlive whichever of table or arena dies first.
@@ -615,6 +755,16 @@ class Database {
   std::atomic<int64_t>* reader_sessions_gauge_ = nullptr;
   Histogram* catalog_shared_wait_ = nullptr;
   Histogram* catalog_exclusive_wait_ = nullptr;
+  /// Governance counters, resolved once in InitMetrics (SHOW METRICS rows
+  /// stmt.cancelled / stmt.deadline_exceeded / stmt.resource_exhausted /
+  /// stmt.shed / db.heal_attempts / watchdog.*_stalls).
+  std::atomic<uint64_t>* stmt_cancelled_ = nullptr;
+  std::atomic<uint64_t>* stmt_deadline_exceeded_ = nullptr;
+  std::atomic<uint64_t>* stmt_resource_exhausted_ = nullptr;
+  std::atomic<uint64_t>* stmt_shed_ = nullptr;
+  std::atomic<uint64_t>* heal_attempts_counter_ = nullptr;
+  std::atomic<uint64_t>* flusher_stall_counter_ = nullptr;
+  std::atomic<uint64_t>* checkpoint_stall_counter_ = nullptr;
   double slow_statement_threshold_us_ = -1;
   size_t slow_log_capacity_ = 32;
   std::vector<SlowStatement> slow_log_;
@@ -665,6 +815,32 @@ class Database {
   /// off-thread; the cause string is writer-thread state.
   std::atomic<bool> read_only_{false};
   std::string read_only_cause_;
+
+  // --- resource governance -------------------------------------------------
+  /// Connection-level kill switch (see cancel_token()).
+  CancelToken cancel_token_;
+  /// Global statement timeout (µs); atomic — reader sessions read it.
+  std::atomic<int64_t> statement_timeout_us_{0};
+  /// Absolute deadline of the engine op in flight (0 = none); writer only.
+  uint64_t operation_deadline_ns_ = 0;
+  /// Cancellation-injection hook (see ArmCancelAtPull).
+  std::atomic<int64_t> cancel_at_pull_{0};
+  bool cancel_at_pull_armed_ = false;
+  /// Watchdog knobs (see the governance section).
+  int watchdog_stall_windows_ = 8;
+  int64_t checkpoint_watchdog_window_us_ = 1000000;
+  /// Progress heartbeats, stamped by the background threads themselves and
+  /// read by health(); 0 = thread not started.
+  std::atomic<uint64_t> flusher_heartbeat_ns_{0};
+  std::atomic<uint64_t> checkpoint_heartbeat_ns_{0};
+  /// Set by the checkpoint thread at exit: a finished-but-unjoined
+  /// checkpoint (checkpoint_running_ stays true until CheckpointWait) is
+  /// progress, not a stall.
+  std::atomic<bool> checkpoint_done_{false};
+  /// Stall-episode latches: the counter/trace event fire once per episode,
+  /// not on every health() poll. Mutable — health() is const.
+  mutable std::atomic<bool> flusher_stall_reported_{false};
+  mutable std::atomic<bool> checkpoint_stall_reported_{false};
 
   // --- background threads --------------------------------------------------
   /// Group-commit flusher (kBatched): fsyncs the WAL every

@@ -11,6 +11,22 @@ namespace xupd::rdb {
 using sql::Expr;
 
 // ---------------------------------------------------------------------------
+// Governance poll (the TickGovernance slow path)
+
+Status ExecContext::PollGovernance() const {
+  if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+    return Status::Cancelled("statement cancelled via CancelToken");
+  }
+  if (deadline_ns != 0 && MonotonicNanos() >= deadline_ns) {
+    return Status::DeadlineExceeded(
+        "statement deadline exceeded (see Database::set_statement_timeout_us "
+        "/ SET STATEMENT_TIMEOUT)");
+  }
+  if (mem != nullptr) return mem->CheckHard();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // Value helpers
 
 Result<Value> CoerceValue(Value v, ColumnType type) {
@@ -291,6 +307,7 @@ class ScanNode : public ExecNode {
         // (stable while inner join steps iterate — only this node's own
         // Next overwrites it).
         while (pos_ < snap_rows_) {
+          XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
           size_t rowid = pos_++;
           staging_.clear();
           if (!table->SnapshotReadRow(rowid, ctx.read_epoch, &staging_)) {
@@ -304,6 +321,7 @@ class ScanNode : public ExecNode {
         return false;
       }
       while (pos_ < table->capacity()) {
+        XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
         size_t rowid = pos_++;
         if (!table->is_live(rowid)) continue;
         ++ctx.stats->rows_scanned;
@@ -314,6 +332,7 @@ class ScanNode : public ExecNode {
       return false;
     }
     if (pos_ < mat_->rows.size()) {
+      XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
       ++ctx.stats->rows_scanned;
       (*slots_)[k_] = mat_->rows[pos_++].data();
       return true;
@@ -365,8 +384,9 @@ class IndexProbeNode : public ExecNode {
     return Status::OK();
   }
 
-  Result<bool> Next(ExecContext&) override {
+  Result<bool> Next(ExecContext& ctx) override {
     while (pos_ < rowids_.size()) {
+      XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
       size_t rowid = rowids_[pos_++];
       if (!rel_->table->is_live(rowid)) continue;
       ++rel_->table->access_stats().rows_read;
@@ -532,8 +552,38 @@ std::unique_ptr<ExecNode> BuildCorePipeline(const PlannedCore& core,
 
 namespace {
 
+/// Charges materialized result/CTE rows to mem.query_scratch for the
+/// duration of one ExecutePlannedSelect (released wholesale on scope exit).
+/// Charges are batched so the accountant's atomics are touched once per
+/// ~16 KiB of growth, not once per row.
+class ScratchCharge {
+ public:
+  explicit ScratchCharge(MemoryAccountant* mem) : mem_(mem) {}
+  ~ScratchCharge() {
+    if (mem_ != nullptr && charged_ != 0) {
+      mem_->Release(MemoryAccountant::kQueryScratch, charged_);
+    }
+  }
+  void AddRow(size_t columns) {
+    if (mem_ == nullptr) return;
+    pending_ += columns * sizeof(Value) + sizeof(Row);
+    if (pending_ >= 16 * 1024) Flush();
+  }
+  void Flush() {
+    if (mem_ == nullptr || pending_ == 0) return;
+    mem_->Charge(MemoryAccountant::kQueryScratch, pending_);
+    charged_ += pending_;
+    pending_ = 0;
+  }
+
+ private:
+  MemoryAccountant* mem_;
+  size_t pending_ = 0;
+  size_t charged_ = 0;
+};
+
 Result<ResultSet> ExecutePlannedCore(const PlannedCore& core,
-                                     ExecContext& ctx,
+                                     ExecContext& ctx, ScratchCharge* scratch,
                                      AnalyzeStats::Core* cs = nullptr) {
   std::vector<const Value*> slots(core.relations.size(), nullptr);
   std::unique_ptr<ExecNode> root = BuildCorePipeline(core, &slots, cs);
@@ -599,6 +649,7 @@ Result<ResultSet> ExecutePlannedCore(const PlannedCore& core,
       XUPD_ASSIGN_OR_RETURN(Value v, EvalBound(e, slots, ctx));
       row.push_back(std::move(v));
     }
+    scratch->AddRow(row.size());
     out.rows.push_back(std::move(row));
   }
   return out;
@@ -608,11 +659,16 @@ Result<ResultSet> ExecutePlannedCore(const PlannedCore& core,
 
 Result<ResultSet> ExecutePlannedSelect(const PlannedSelect& plan,
                                        ExecContext& ctx) {
+  // Sort / CTE / UNION materialization is this statement's scratch memory;
+  // the hard budget fires at the next governance tick once it overruns.
+  ScratchCharge scratch(ctx.mem);
   for (const PlannedSelect::Cte& cte : plan.ctes) {
     XUPD_ASSIGN_OR_RETURN(ResultSet result,
                           ExecutePlannedSelect(*cte.query, ctx));
     auto mat = std::make_unique<ResultSet>(std::move(result));
     mat->columns = cte.columns;
+    for (const Row& row : mat->rows) scratch.AddRow(row.size());
+    scratch.Flush();
     (*ctx.cte_values)[static_cast<size_t>(cte.slot)] = std::move(mat);
   }
 
@@ -630,7 +686,8 @@ Result<ResultSet> ExecutePlannedSelect(const PlannedSelect& plan,
         an != nullptr && i < an->cores.size() ? &an->cores[i] : nullptr;
     const uint64_t t0 = cs != nullptr ? MonotonicNanos() : 0;
     XUPD_ASSIGN_OR_RETURN(ResultSet core,
-                          ExecutePlannedCore(plan.cores[i], ctx, cs));
+                          ExecutePlannedCore(plan.cores[i], ctx, &scratch, cs));
+    scratch.Flush();
     if (cs != nullptr) {
       ++cs->total.opens;
       cs->total.time_ns += MonotonicNanos() - t0;
@@ -691,6 +748,7 @@ Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
   if (m.path.kind == AccessPath::Kind::kScan) {
     ++m.table->access_stats().scans;
     for (size_t rowid = 0; rowid < m.table->capacity(); ++rowid) {
+      XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
       if (!m.table->is_live(rowid)) continue;
       ++ctx.stats->rows_scanned;
       ++m.table->access_stats().rows_read;
@@ -706,6 +764,7 @@ Result<std::vector<size_t>> CollectMatchingRowids(const PlannedMutation& m,
   XUPD_RETURN_IF_ERROR(GatherCandidates(m.path, no_slots, ctx, &candidates));
   SortUnique(&candidates);
   for (size_t rowid : candidates) {
+    XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
     if (!m.table->is_live(rowid)) continue;
     XUPD_ASSIGN_OR_RETURN(bool ok, matches(rowid));
     if (ok) out.push_back(rowid);

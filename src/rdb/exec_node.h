@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "rdb/epoch.h"
+#include "rdb/governance.h"
 #include "rdb/planner.h"
 #include "rdb/result.h"
 #include "rdb/stats.h"
@@ -57,6 +58,36 @@ struct ExecContext {
   /// Identity of the root PlannedSelect being analyzed; CTE bodies and
   /// IN-subqueries execute other PlannedSelects and stay uninstrumented.
   const void* analyze_select = nullptr;
+
+  // --- Resource governance (see rdb/governance.h) -------------------------
+  /// Absolute statement deadline (MonotonicNanos instant); 0 = none.
+  uint64_t deadline_ns = 0;
+  /// External cancel flag (a CancelToken's state); null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Memory budgets polled alongside the deadline; null = unaccounted.
+  MemoryAccountant* mem = nullptr;
+  /// Test hook: counts down once per operator pull; reaching zero injects a
+  /// kCancelled failure at exactly that pull (null in production).
+  std::atomic<int64_t>* cancel_at_pull = nullptr;
+  /// Amortization counter for TickGovernance (per-statement, not shared).
+  uint32_t governance_tick = 0;
+
+  /// Every pull loop calls this; every kGovernanceCheckInterval-th pull (or
+  /// every pull while the injection hook is armed) runs the full poll:
+  /// deadline, cancel flag, hard memory budget, WAL pending watermark.
+  static constexpr uint32_t kGovernanceCheckInterval = 64;
+  Status TickGovernance() {
+    if (cancel_at_pull != nullptr &&
+        cancel_at_pull->fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      return Status::Cancelled("cancellation injected at operator pull");
+    }
+    if ((++governance_tick & (kGovernanceCheckInterval - 1)) != 0) {
+      return Status::OK();
+    }
+    return PollGovernance();
+  }
+  /// The unamortized check (also called per statement by the executor).
+  Status PollGovernance() const;
 };
 
 /// Pull-based operator: Open resets state, Next advances to the next tuple

@@ -166,6 +166,7 @@ struct Statement {
     kExplain,    ///< EXPLAIN [ANALYZE] <stmt> — plans (ANALYZE: executes).
     kCheckIntegrity,  ///< CHECK INTEGRITY — online scrub, returns violations.
     kShow,       ///< SHOW METRICS/HEALTH/SLOW/EVENTS — observability views.
+    kSet,        ///< SET <name> [=] <int> — session knob (STATEMENT_TIMEOUT).
   };
   /// kShow: which observability view to return.
   enum class ShowWhat {
@@ -198,6 +199,10 @@ struct Statement {
   bool explain_analyze = false;
   /// kShow: which observability view.
   ShowWhat show = ShowWhat::kMetrics;
+  /// kSet: knob name (uppercased by the executor's lookup) and its integer
+  /// value. SET STATEMENT_TIMEOUT <microseconds> (0 clears).
+  std::string set_name;
+  int64_t set_value = 0;
 };
 
 }  // namespace xupd::rdb::sql

@@ -1,6 +1,7 @@
 #include "rdb/sql_executor.h"
 
 #include <algorithm>
+#include <cctype>
 #include <mutex>
 #include <shared_mutex>
 
@@ -102,6 +103,20 @@ Result<ResultSet> Executor::Run(const sql::Statement& stmt,
       if (out.rows.empty()) out.rows.push_back({Value::Str("ok")});
       return out;
     }
+    case sql::Statement::Kind::kSet: {
+      // Session knobs; governance-exempt so an operator can always raise or
+      // clear a timeout even while statements are being shed.
+      std::string name = stmt.set_name;
+      for (char& c : name) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      if (name == "STATEMENT_TIMEOUT") {
+        db_->set_statement_timeout_us(stmt.set_value);
+        return ResultSet{};
+      }
+      return Status::InvalidArgument("unknown setting: " + stmt.set_name +
+                                     " (supported: STATEMENT_TIMEOUT)");
+    }
   }
   return Status::Internal("unknown statement kind");
 }
@@ -158,6 +173,13 @@ ExecContext Executor::MakeContext(
   ctx.subquery_memo = &subquery_memo_;
   ctx.analyze = analyze_;
   ctx.analyze_select = analyze_select_;
+  // Governance: the statement deadline, the connection's cancel flag, the
+  // accountant for hard-budget polls, and (when armed) the test-only
+  // cancel-at-pull countdown.
+  ctx.deadline_ns = deadline_ns_;
+  ctx.cancel = db_->cancel_token_.flag();
+  ctx.mem = &db_->mem_;
+  if (db_->cancel_at_pull_armed_) ctx.cancel_at_pull = &db_->cancel_at_pull_;
   return ctx;
 }
 
@@ -286,15 +308,23 @@ Result<ResultSet> Executor::RunShow(const sql::Statement& stmt) {
       add("cause", h.cause);
       add("durability_open", db_->durability_open() ? "1" : "0");
       add("recovered", db_->recovered() ? "1" : "0");
+      add("flusher_stalled", h.flusher_stalled ? "1" : "0");
+      add("checkpoint_stalled", h.checkpoint_stalled ? "1" : "0");
+      const MemoryAccountant& mem = db_->memory_accountant();
+      add("mem_total", std::to_string(mem.total_used()));
+      add("mem_soft_budget", std::to_string(mem.soft_budget()));
+      add("mem_hard_budget", std::to_string(mem.hard_budget()));
+      add("mem_over_soft", mem.OverSoft() ? "1" : "0");
+      add("mem_over_hard", mem.OverHard() ? "1" : "0");
       return out;
     }
     case sql::Statement::ShowWhat::kSlow: {
-      out.columns = {"time_us", "sql", "stats", "plan"};
+      out.columns = {"time_us", "cause", "sql", "stats", "plan"};
       for (const Database::SlowStatement& s : db_->slow_statements()) {
         out.rows.push_back(
             {Value::Int(static_cast<int64_t>(s.duration_ns / 1000)),
-             Value::Str(s.sql), Value::Str(s.delta.ToString()),
-             Value::Str(s.plan)});
+             Value::Str(s.cause.empty() ? "slow" : s.cause), Value::Str(s.sql),
+             Value::Str(s.delta.ToString()), Value::Str(s.plan)});
       }
       return out;
     }
@@ -497,6 +527,7 @@ Result<ResultSet> Executor::RunPlannedInsert(const PlannedStatement& plan) {
     XUPD_ASSIGN_OR_RETURN(ResultSet result,
                           ExecutePlannedSelect(*ins.select, ctx));
     for (const Row& row : result.rows) {
+      XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
       XUPD_ASSIGN_OR_RETURN(Row built, build_row(row));
       XUPD_ASSIGN_OR_RETURN(size_t rowid, ins.table->Insert(std::move(built)));
       (void)rowid;
@@ -522,6 +553,7 @@ Result<ResultSet> Executor::RunPlannedInsert(const PlannedStatement& plan) {
     built_rows.push_back(std::move(built));
   }
   for (Row& row : built_rows) {
+    XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
     XUPD_ASSIGN_OR_RETURN(size_t rowid, ins.table->Insert(std::move(row)));
     (void)rowid;
     ++db_->stats_.rows_inserted;
@@ -541,7 +573,11 @@ Result<ResultSet> Executor::RunPlannedDelete(const PlannedStatement& plan) {
 
   std::vector<Row> deleted_rows;
   deleted_rows.reserve(rowids.size());
+  // The mutation loop ticks like an operator pull: growth the mutations
+  // themselves cause (WAL pending bytes, undo chunks) must hit a poll
+  // point before the statement completes.
   for (size_t rowid : rowids) {
+    XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
     deleted_rows.push_back(m.table->CopyRow(rowid));
     XUPD_RETURN_IF_ERROR(m.table->Delete(rowid));
     ++db_->stats_.rows_deleted;
@@ -560,6 +596,7 @@ Result<ResultSet> Executor::RunPlannedUpdate(const PlannedStatement& plan) {
 
   std::vector<const Value*> slots(1, nullptr);
   for (size_t rowid : rowids) {
+    XUPD_RETURN_IF_ERROR(ctx.TickGovernance());
     // Evaluate all SET expressions against the pre-update row.
     Row snapshot = m.table->CopyRow(rowid);
     slots[0] = snapshot.data();

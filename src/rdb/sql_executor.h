@@ -46,6 +46,10 @@ class Executor {
   /// re-planning). Null otherwise.
   const PlannedStatement* last_plan() const { return last_plan_.get(); }
 
+  /// Absolute MonotonicNanos deadline (0 = none) threaded into every
+  /// ExecContext this statement (and its trigger cascade) creates.
+  void set_deadline(uint64_t deadline_ns) { deadline_ns_ = deadline_ns; }
+
  private:
   Result<ResultSet> RunCreateTable(const sql::CreateTableStmt& stmt);
   Result<ResultSet> RunCreateIndex(const sql::CreateIndexStmt& stmt);
@@ -92,6 +96,8 @@ class Executor {
   /// side effects, not its plan).
   AnalyzeStats* analyze_ = nullptr;
   const void* analyze_select_ = nullptr;
+  /// See set_deadline().
+  uint64_t deadline_ns_ = 0;
   /// See last_plan().
   std::shared_ptr<const PlannedStatement> last_plan_;
 };

@@ -325,6 +325,17 @@ class Parser {
         return lex_.Error("expected INTEGRITY after CHECK");
       }
       stmt.kind = Statement::Kind::kCheckIntegrity;
+    } else if (lex_.ConsumeKw("set")) {
+      stmt.kind = Statement::Kind::kSet;
+      XUPD_ASSIGN_OR_RETURN(stmt.set_name, ExpectIdent("setting name"));
+      (void)(lex_.Peek().type == Tok::kEq && (lex_.Next(), true));
+      bool negative = lex_.Peek().type == Tok::kMinus && (lex_.Next(), true);
+      if (lex_.Peek().type != Tok::kNumber) {
+        return lex_.Error("expected an integer value after SET " +
+                          stmt.set_name);
+      }
+      stmt.set_value = lex_.Next().number;
+      if (negative) stmt.set_value = -stmt.set_value;
     } else if (lex_.ConsumeKw("show")) {
       stmt.kind = Statement::Kind::kShow;
       if (lex_.ConsumeKw("metrics")) {

@@ -191,6 +191,13 @@ Table::~Table() {
     const size_t n = filled_.load(std::memory_order_relaxed) * stride_;
     for (size_t i = 0; i < n; ++i) cells[i].~Value();
     ::operator delete(cells);
+    if (mem_ != nullptr) {
+      mem_->Release(MemoryAccountant::kTableSlabs,
+                    cap_rows_ * stride_ * sizeof(Value));
+    }
+  }
+  if (mem_ != nullptr && version_bytes_.load() != 0) {
+    mem_->Release(MemoryAccountant::kVersionBuffers, version_bytes_.load());
   }
 }
 
@@ -199,8 +206,13 @@ Value* Table::ReserveRowSlot() {
   const size_t rows = filled_.load(std::memory_order_relaxed);
   if (rows == cap_rows_) {
     const size_t new_cap = cap_rows_ == 0 ? 8 : cap_rows_ * 2;
+    const size_t old_bytes = cap_rows_ * stride_ * sizeof(Value);
     auto* grown =
         static_cast<Value*>(::operator new(new_cap * stride_ * sizeof(Value)));
+    if (mem_ != nullptr) {
+      mem_->Charge(MemoryAccountant::kTableSlabs,
+                   new_cap * stride_ * sizeof(Value));
+    }
     if (cells != nullptr) {
       // Raw byte copy, NOT Value moves: the new buffer takes over every
       // heap reference; the old buffer keeps ghost images that pinned
@@ -211,19 +223,26 @@ Value* Table::ReserveRowSlot() {
     }
     cells_.store(grown, std::memory_order_release);
     cap_rows_ = new_cap;
-    if (cells != nullptr) RetireBuffer(cells, rows, /*destroy_values=*/false);
+    if (cells != nullptr) {
+      RetireBuffer(cells, rows, /*destroy_values=*/false, old_bytes);
+    }
     cells = grown;
   }
   return cells + rows * stride_;
 }
 
-void Table::RetireBuffer(Value* buf, size_t rows, bool destroy_values) {
+void Table::RetireBuffer(Value* buf, size_t rows, bool destroy_values,
+                         size_t charged_bytes) {
   const size_t cell_count = rows * stride_;
-  auto free_fn = [buf, cell_count, destroy_values] {
+  MemoryAccountant* mem = mem_;
+  auto free_fn = [buf, cell_count, destroy_values, mem, charged_bytes] {
     if (destroy_values) {
       for (size_t i = 0; i < cell_count; ++i) buf[i].~Value();
     }
     ::operator delete(buf);
+    if (mem != nullptr) {
+      mem->Release(MemoryAccountant::kTableSlabs, charged_bytes);
+    }
   };
   if (em_ != nullptr) {
     em_->Retire(em_->current(), std::move(free_fn));
@@ -312,6 +331,9 @@ void Table::PrepareRowUpdate(size_t rowid) {
     ++em_->version_entries;
     ++version_rows_;
     version_bytes_ += arity_ * sizeof(Value);
+    if (mem_ != nullptr) {
+      mem_->Charge(MemoryAccountant::kVersionBuffers, arity_ * sizeof(Value));
+    }
   }
   // Seqlock open: stamp the mod word, then fence, then (in the caller)
   // word-atomic cell stores. A reader that observes any new cell bytes is
@@ -349,12 +371,15 @@ void Table::Clear() {
   // these stores they observe an empty table (Clear is not snapshot-
   // isolated — it only serves writer-private scratch tables); the retired
   // buffer keeps any in-flight row copies valid until their pins drop.
+  const size_t charged = cap_rows_ * stride_ * sizeof(Value);
   filled_.store(0, std::memory_order_release);
   cells_.store(nullptr, std::memory_order_release);
   cap_rows_ = 0;
   live_.clear();
   live_count_ = 0;
-  if (cells != nullptr) RetireBuffer(cells, rows, /*destroy_values=*/true);
+  if (cells != nullptr) {
+    RetireBuffer(cells, rows, /*destroy_values=*/true, charged);
+  }
   for (const auto& index : indexes_) index->Clear();
 }
 
@@ -489,6 +514,10 @@ size_t Table::GcVersions(uint64_t min_pinned) {
   if (trimmed != 0) {
     version_rows_ -= trimmed;
     version_bytes_ -= trimmed * arity_ * sizeof(Value);
+    if (mem_ != nullptr) {
+      mem_->Release(MemoryAccountant::kVersionBuffers,
+                    trimmed * arity_ * sizeof(Value));
+    }
   }
   return trimmed;
 }

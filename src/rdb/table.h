@@ -55,6 +55,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "rdb/epoch.h"
+#include "rdb/governance.h"
 #include "rdb/schema.h"
 #include "rdb/stats.h"
 #include "rdb/value.h"
@@ -250,6 +251,12 @@ class Table {
   /// born at epoch 1 and storage is freed eagerly.
   void set_epoch_manager(EpochManager* em) { em_ = em; }
 
+  /// Wires the Database's memory accountant: slab capacity is charged to
+  /// mem.table_slabs at growth (released when the superseded buffer is
+  /// actually freed, which may lag behind epoch retirement) and parked
+  /// pre-images to mem.version_buffers. Null = unaccounted (unit tests).
+  void set_accountant(MemoryAccountant* mem) { mem_ = mem; }
+
   /// Number of row slots (live + tombstoned). Scans iterate this range.
   /// Writer-thread view; readers use SnapshotRowCount().
   size_t capacity() const { return live_.size(); }
@@ -389,8 +396,10 @@ class Table {
   /// Retires `buf` (holding `rows` row slots) through the epoch manager,
   /// or frees it immediately when no reader can reference it.
   /// `destroy_values` runs Value destructors at free time (Clear); growth
-  /// retires ghost images without them.
-  void RetireBuffer(Value* buf, size_t rows, bool destroy_values);
+  /// retires ghost images without them. `charged_bytes` is the slab charge
+  /// released from the accountant when the buffer is actually freed.
+  void RetireBuffer(Value* buf, size_t rows, bool destroy_values,
+                    size_t charged_bytes);
 
   TableSchema schema_;
   size_t arity_;
@@ -398,6 +407,7 @@ class Table {
   TransactionManager* txn_ = nullptr;
   StringInterner* interner_ = nullptr;
   EpochManager* em_ = nullptr;
+  MemoryAccountant* mem_ = nullptr;
   bool durable_ = false;
   /// Row slots back to back: slot i occupies cells_[i*stride_ ..
   /// (i+1)*stride_). Published atomically so pinned readers can chase the

@@ -69,12 +69,28 @@ class UndoLog {
   static constexpr size_t kChunkBits = 12;
   static constexpr size_t kChunkRecords = size_t{1} << kChunkBits;
 
+  ~UndoLog() {
+    if (mem_ != nullptr) {
+      mem_->Release(MemoryAccountant::kUndoLog,
+                    chunks_.size() * kChunkRecords * sizeof(UndoRecord));
+    }
+  }
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Wires the Database's memory accountant: chunk regions charge to
+  /// mem.undo_log when allocated (chunks are retained across transactions,
+  /// so the charge tracks the log's high-water footprint).
+  void set_accountant(MemoryAccountant* mem) { mem_ = mem; }
 
   void Append(const UndoRecord& rec) {
     if (size_ == chunks_.size() * kChunkRecords) {
       chunks_.push_back(std::make_unique<UndoRecord[]>(kChunkRecords));
+      if (mem_ != nullptr) {
+        mem_->Charge(MemoryAccountant::kUndoLog,
+                     kChunkRecords * sizeof(UndoRecord));
+      }
     }
     chunks_[size_ >> kChunkBits][size_ & (kChunkRecords - 1)] = rec;
     ++size_;
@@ -97,6 +113,7 @@ class UndoLog {
  private:
   std::vector<std::unique_ptr<UndoRecord[]>> chunks_;
   size_t size_ = 0;
+  MemoryAccountant* mem_ = nullptr;
 };
 
 class TransactionManager {
@@ -135,6 +152,9 @@ class TransactionManager {
   /// transaction (truncated again if the scope rolls back) or not (the
   /// Database flushes autocommit units at statement boundaries).
   void AttachWal(WalWriter* wal) { wal_ = wal; }
+
+  /// Wires the memory accountant into the undo log (see UndoLog).
+  void set_accountant(MemoryAccountant* mem) { log_.set_accountant(mem); }
 
   /// Record hooks (no-ops unless a transaction is active or a WAL is
   /// attached). Inline: they sit on the per-row hot path of every Table

@@ -30,6 +30,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "rdb/governance.h"
+
 namespace xupd::rdb {
 
 enum class ValueType { kNull, kInt, kString };
@@ -283,7 +285,10 @@ class StringInterner {
  public:
   StringInterner() = default;
   ~StringInterner() {
-    for (auto& [key, rep] : map_) StrRep::Unref(rep);
+    for (auto& [key, rep] : map_) {
+      ReleaseCharge(rep);
+      StrRep::Unref(rep);
+    }
   }
   StringInterner(const StringInterner&) = delete;
   StringInterner& operator=(const StringInterner&) = delete;
@@ -302,6 +307,7 @@ class StringInterner {
     StrRep* rep = StrRep::New(s);
     StrRep::Ref(rep);  // the interner's own reference
     map_.emplace(std::string_view(rep->data(), rep->len), rep);
+    AddCharge(rep);
     return Value::FromRep(rep);
   }
 
@@ -321,11 +327,27 @@ class StringInterner {
     StrRep* rep = v->rep();
     StrRep::Ref(rep);
     map_.emplace(std::string_view(rep->data(), rep->len), rep);
+    AddCharge(rep);
   }
 
   size_t size() const { return map_.size(); }
 
+  /// Wires the Database's memory accountant: every retained block charges
+  /// its header + character bytes to mem.interner until swept or destroyed.
+  void set_accountant(MemoryAccountant* mem) { mem_ = mem; }
+
  private:
+  void AddCharge(const StrRep* rep) {
+    if (mem_ != nullptr) {
+      mem_->Charge(MemoryAccountant::kInterner, sizeof(StrRep) + rep->len);
+    }
+  }
+  void ReleaseCharge(const StrRep* rep) {
+    if (mem_ != nullptr) {
+      mem_->Release(MemoryAccountant::kInterner, sizeof(StrRep) + rep->len);
+    }
+  }
+
   /// Drops entries only the interner still references once the map has
   /// doubled since the last sweep (amortized O(1) per intern).
   void MaybeSweep() {
@@ -336,6 +358,7 @@ class StringInterner {
         // into the block, and erase may touch the key.
         StrRep* rep = it->second;
         it = map_.erase(it);
+        ReleaseCharge(rep);
         StrRep::Unref(rep);
       } else {
         ++it;
@@ -348,6 +371,7 @@ class StringInterner {
   /// immutable and outlive their map entry).
   std::unordered_map<std::string_view, StrRep*> map_;
   size_t last_sweep_size_ = 0;
+  MemoryAccountant* mem_ = nullptr;
 };
 
 }  // namespace xupd::rdb

@@ -293,6 +293,7 @@ class FaultFile : public VfsFile {
 };
 
 void FaultVfs::ArmFault(FaultKind kind, int fail_at, std::string path_filter) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   armed_ = kind;
   fail_at_ = fail_at;
   path_filter_ = std::move(path_filter);
@@ -302,6 +303,7 @@ void FaultVfs::ArmFault(FaultKind kind, int fail_at, std::string path_filter) {
 }
 
 void FaultVfs::ClearFault() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   armed_ = FaultKind::kNone;
   active_ = FaultKind::kNone;
   fired_ = false;
@@ -310,6 +312,7 @@ void FaultVfs::ClearFault() {
 
 int FaultVfs::CheckFault(const std::string& path, bool is_write,
                          FaultKind* one_shot) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   *one_shot = FaultKind::kNone;
   if (active_ == FaultKind::kEio) return EIO;
   if (active_ == FaultKind::kEnospc && is_write) return ENOSPC;
@@ -363,6 +366,7 @@ std::string FaultVfs::DirOf(const std::string& path) {
 }
 
 FaultVfs::Shadow& FaultVfs::TouchShadow(const std::string& path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = shadows_.find(path);
   if (it != shadows_.end()) return it->second;
   Shadow& s = shadows_[path];
@@ -379,6 +383,7 @@ FaultVfs::Shadow& FaultVfs::TouchShadow(const std::string& path) {
 
 std::unique_ptr<VfsFile> FaultVfs::Open(const std::string& path, OpenMode mode,
                                         int* err) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::unique_ptr<VfsFile> base = base_->Open(path, mode, err);
   if (base == nullptr) return nullptr;
   if (mode != OpenMode::kRead) {
@@ -395,6 +400,7 @@ std::unique_ptr<VfsFile> FaultVfs::Open(const std::string& path, OpenMode mode,
 }
 
 int FaultVfs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FaultKind one_shot = FaultKind::kNone;
   int err = CheckFault(from + "|" + to, /*is_write=*/false, &one_shot);
   if (err != 0 && err != EINTR) return err;
@@ -421,6 +427,7 @@ int FaultVfs::Rename(const std::string& from, const std::string& to) {
 }
 
 int FaultVfs::Remove(const std::string& path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FaultKind one_shot = FaultKind::kNone;
   int err = CheckFault(path, /*is_write=*/false, &one_shot);
   if (err != 0) return err;
@@ -433,6 +440,7 @@ int FaultVfs::Remove(const std::string& path) {
 }
 
 int FaultVfs::SyncDir(const std::string& path_in_dir) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   FaultKind one_shot = FaultKind::kNone;
   int err = CheckFault(path_in_dir, /*is_write=*/false, &one_shot);
   if (err != 0) return err;
@@ -451,6 +459,7 @@ int FaultVfs::SyncDir(const std::string& path_in_dir) {
 
 void FaultVfs::RecordWrite(const std::string& path, size_t offset,
                            const char* data, size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (n == 0) return;
   Shadow& s = TouchShadow(path);
   if (s.current.size() < offset + n) s.current.resize(offset + n, '\0');
@@ -459,22 +468,26 @@ void FaultVfs::RecordWrite(const std::string& path, size_t offset,
 }
 
 void FaultVfs::RecordSync(const std::string& path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Shadow& s = TouchShadow(path);
   s.synced = s.current;
   if (last_written_path_ == path) last_written_path_.clear();
 }
 
 void FaultVfs::RecordTruncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Shadow& s = TouchShadow(path);
   s.current.resize(static_cast<size_t>(size), '\0');
 }
 
 void FaultVfs::ForgetFile(FaultFile* file) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   open_files_.erase(std::remove(open_files_.begin(), open_files_.end(), file),
                     open_files_.end());
 }
 
 void FaultVfs::SimulatePowerLoss() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   // Open handles survive as objects but every further op fails: the process
   // conceptually kept running while its storage rebooted underneath it.
   for (FaultFile* f : open_files_) f->MarkDead();

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <sys/types.h>
 #include <vector>
@@ -134,8 +135,14 @@ class FaultVfs : public Vfs {
   /// Reverts the real filesystem to the last-synced state.
   void SimulatePowerLoss();
 
-  int mutating_ops() const { return op_count_; }
-  bool fired() const { return fired_; }
+  int mutating_ops() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return op_count_;
+  }
+  bool fired() const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return fired_;
+  }
 
   std::unique_ptr<VfsFile> Open(const std::string& path, OpenMode mode,
                                 int* err) override;
@@ -179,6 +186,10 @@ class FaultVfs : public Vfs {
   static std::string DirOf(const std::string& path);
 
   Vfs* base_;
+  /// Serializes all fault/shadow state: a kBatched group-commit flusher
+  /// syncs through this Vfs from its own thread while the writer appends.
+  /// Recursive because CheckFault(kPowerLoss) calls SimulatePowerLoss.
+  mutable std::recursive_mutex mu_;
   std::map<std::string, Shadow> shadows_;
   std::vector<class FaultFile*> open_files_;
   std::vector<PendingRename> pending_renames_;

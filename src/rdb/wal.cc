@@ -261,6 +261,9 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
 
 WalWriter::~WalWriter() {
   if (file_ != nullptr) (void)file_->Close();
+  if (mem_ != nullptr && charged_pending_ != 0) {
+    mem_->Release(MemoryAccountant::kWalPending, charged_pending_);
+  }
 }
 
 void WalWriter::TruncatePending(const Mark& m) {
@@ -276,6 +279,7 @@ void WalWriter::TruncatePending(const Mark& m) {
     next_table_id_ = std::get<1>(pending_defs_.back());
     pending_defs_.pop_back();
   }
+  SyncPendingCharge();
 }
 
 // Records serialize straight into pending_ (this sits on the per-row
@@ -299,6 +303,7 @@ void WalWriter::FrameEnd(size_t header_at) {
         static_cast<char>((crc >> (8 * i)) & 0xFFu);
   }
   ++pending_records_;
+  SyncPendingCharge();
 }
 
 namespace {
@@ -344,6 +349,7 @@ void WalWriter::AppendFixedFrame(const char* buf, size_t payload_size) {
   std::memcpy(const_cast<char*>(buf), header, 8);
   pending_.append(buf, 8 + payload_size);
   ++pending_records_;
+  SyncPendingCharge();
 }
 
 uint16_t WalWriter::TableId(const std::string& name) {
@@ -466,6 +472,7 @@ Status WalWriter::CommitPending(int64_t next_id) {
       (void)file_->Seek(file_size_);
       MarkBroken(write_status.message());
       pending_.clear();
+      SyncPendingCharge();
       pending_records_ = 0;
       for (const auto& [name, id, offset] : pending_defs_) {
         table_ids_.erase(name);
@@ -477,6 +484,7 @@ Status WalWriter::CommitPending(int64_t next_id) {
     stats_->wal_appends += pending_records_;
     stats_->wal_bytes += pending_.size();
     pending_.clear();
+    SyncPendingCharge();
     pending_records_ = 0;
     pending_defs_.clear();  // the defs (and their ids) are in the file now
     dirty_ = true;

@@ -234,6 +234,15 @@ class WalWriter {
     events_ = events;
   }
 
+  /// Wires the Database's memory accountant: the pending redo buffer's
+  /// bytes charge to mem.wal_pending as records are pended and release when
+  /// a unit commits (or rolls back). The accountant's wal_pending_limit is
+  /// the bounded-buffer watermark — once the charge crosses it, statement
+  /// governance polls (ExecContext::PollGovernance) fail the unit cleanly
+  /// with kResourceExhausted instead of letting the buffer grow unbounded.
+  /// Writer thread only, like the pending buffer itself.
+  void set_accountant(MemoryAccountant* mem) { mem_ = mem; }
+
   /// fsync now if anything written is unsynced. Safe from any thread —
   /// this is the group-commit flusher's entry point.
   Status Sync();
@@ -259,6 +268,20 @@ class WalWriter {
   /// table name at most once; every data record then spends 2 bytes on the
   /// id instead of 4 + len on the name.
   uint16_t TableId(const std::string& name);
+
+  /// Reconciles the mem.wal_pending charge with pending_.size(). Called
+  /// after every append/truncate/flush of the pending buffer (writer
+  /// thread only, like the buffer).
+  void SyncPendingCharge() {
+    if (mem_ == nullptr) return;
+    const size_t now = pending_.size();
+    if (now > charged_pending_) {
+      mem_->Charge(MemoryAccountant::kWalPending, now - charged_pending_);
+    } else if (now < charged_pending_) {
+      mem_->Release(MemoryAccountant::kWalPending, charged_pending_ - now);
+    }
+    charged_pending_ = now;
+  }
 
   std::unique_ptr<VfsFile> file_;
   std::string path_;
@@ -306,6 +329,10 @@ class WalWriter {
   std::atomic<bool> broken_{false};
   mutable std::mutex broken_mu_;
   std::string broken_cause_;  ///< guarded by broken_mu_.
+  /// Memory accountant (null = unaccounted) and the mem.wal_pending bytes
+  /// currently charged for pending_. Writer thread only.
+  MemoryAccountant* mem_ = nullptr;
+  size_t charged_pending_ = 0;
 };
 
 // --- recovery --------------------------------------------------------------
